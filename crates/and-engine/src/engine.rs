@@ -1,0 +1,329 @@
+//! And-parallel engine entry point.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+
+use ace_logic::Database;
+use ace_machine::{Machine, Solution};
+use ace_runtime::{
+    Agent, CancelToken, DriverKind, EngineConfig, RunOutcome, SimDriver, Stats,
+    ThreadsDriver,
+};
+use parking_lot::Mutex;
+
+use crate::worker::{AndWorker, Shared};
+
+/// Result of one and-parallel query run.
+#[derive(Debug)]
+pub struct AndReport {
+    pub solutions: Vec<Solution>,
+    /// Driver outcome: virtual time (the number every reproduced table
+    /// reports), per-worker clocks, wall time.
+    pub outcome: RunOutcome,
+    /// Aggregated worker statistics.
+    pub stats: Stats,
+    pub per_worker: Vec<Stats>,
+}
+
+/// The and-parallel engine: configure once, run queries.
+pub struct AndEngine {
+    db: Arc<Database>,
+}
+
+impl AndEngine {
+    pub fn new(db: Arc<Database>) -> Self {
+        AndEngine { db }
+    }
+
+    /// Run `query` under `cfg` and collect solutions plus metrics.
+    pub fn run(&self, query: &str, cfg: &EngineConfig) -> Result<AndReport, String> {
+        let shared = Arc::new(Shared {
+            db: self.db.clone(),
+            cfg: cfg.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            idle_workers: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            solutions: Mutex::new(Vec::new()),
+            solutions_count: AtomicUsize::new(0),
+            error: Mutex::new(None),
+            root_cancel: CancelToken::new(),
+            worker_stats: Mutex::new(Vec::new()),
+        });
+
+        let mut workers: Vec<AndWorker> = (0..cfg.workers.max(1))
+            .map(|id| AndWorker::new(id, shared.clone()))
+            .collect();
+
+        let costs = Arc::new(cfg.costs.clone());
+        let mut root = Box::new(Machine::new(self.db.clone(), costs));
+        root.enable_parallel(true);
+        let vars = root
+            .load_query_text(query)
+            .map_err(|e| format!("query parse error: {e}"))?;
+        workers[0].install_root(root, vars);
+
+        let outcome = match cfg.driver {
+            DriverKind::Sim => {
+                let agents: Vec<Box<dyn Agent>> = workers
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn Agent>)
+                    .collect();
+                SimDriver::new(cfg.virtual_time_limit).run(agents)
+            }
+            DriverKind::Threads => {
+                let agents: Vec<Box<dyn Agent + Send>> = workers
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn Agent + Send>)
+                    .collect();
+                ThreadsDriver::run(agents)
+            }
+        };
+
+        if let Some(e) = shared.error.lock().take() {
+            return Err(e);
+        }
+        if let Some(a) = &outcome.aborted {
+            return Err(format!("driver aborted: {a}"));
+        }
+
+        let per_worker = shared.worker_stats.lock().clone();
+        let mut stats = Stats::new();
+        for w in &per_worker {
+            stats += *w;
+        }
+        let solutions = std::mem::take(&mut *shared.solutions.lock());
+        Ok(AndReport {
+            solutions,
+            outcome,
+            stats,
+            per_worker,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_runtime::OptFlags;
+
+    fn db(src: &str) -> Arc<Database> {
+        Arc::new(Database::load(src).unwrap())
+    }
+
+    fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(opts)
+            .all_solutions()
+    }
+
+    fn renders(r: &AndReport) -> Vec<String> {
+        r.solutions.iter().map(|s| s.render()).collect()
+    }
+
+    const BASE: &str = r#"
+        p(1). p(2).
+        q(10). q(20).
+        double(X, Y) :- Y is X * 2.
+        add(X, Y, Z) :- Z is X + Y.
+    "#;
+
+    #[test]
+    fn deterministic_parcall_single_worker() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run("double(3, A) & double(4, B)", &cfg(1, OptFlags::none()))
+            .unwrap();
+        assert_eq!(renders(&r), vec!["A=6, B=8"]);
+        assert_eq!(r.stats.parcall_frames, 1);
+        assert_eq!(r.stats.parcall_slots, 2);
+    }
+
+    #[test]
+    fn deterministic_parcall_many_workers() {
+        for workers in [2, 4, 10] {
+            let e = AndEngine::new(db(BASE));
+            let r = e
+                .run(
+                    "double(3, A) & double(4, B) & double(5, C)",
+                    &cfg(workers, OptFlags::none()),
+                )
+                .unwrap();
+            assert_eq!(renders(&r), vec!["A=6, B=8, C=10"], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cross_product_enumeration_matches_sequential_order() {
+        let e = AndEngine::new(db(BASE));
+        let r = e.run("p(X) & q(Y)", &cfg(2, OptFlags::none())).unwrap();
+        assert_eq!(
+            renders(&r),
+            vec!["X=1, Y=10", "X=1, Y=20", "X=2, Y=10", "X=2, Y=20"]
+        );
+    }
+
+    #[test]
+    fn inside_failure_fails_parcall() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run("p(X) & fail", &cfg(2, OptFlags::none()))
+            .unwrap();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn failure_after_parcall_backtracks_into_it() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run("(p(X) & q(Y)), X =:= 2, Y =:= 20", &cfg(2, OptFlags::none()))
+            .unwrap();
+        assert_eq!(renders(&r), vec!["X=2, Y=20"]);
+    }
+
+    #[test]
+    fn markers_allocated_without_spo_elided_with() {
+        let e = AndEngine::new(db(BASE));
+        let r0 = e
+            .run("double(1, A) & double(2, B)", &cfg(2, OptFlags::none()))
+            .unwrap();
+        assert!(r0.stats.markers_allocated > 0, "{:?}", r0.stats);
+        let r1 = e
+            .run("double(1, A) & double(2, B)", &cfg(2, OptFlags::spo_only()))
+            .unwrap();
+        assert_eq!(r1.stats.markers_allocated, 0);
+        // only the shipped slot carries markers (the inline branch never
+        // does — paper Figure 2), so one slot => two elisions
+        assert!(r1.stats.markers_elided_spo >= 2);
+    }
+
+    #[test]
+    fn spo_still_allocates_markers_for_nondet_slots() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run("p(X) & q(Y)", &cfg(2, OptFlags::spo_only()))
+            .unwrap();
+        // both slots are nondeterministic: markers materialize
+        assert!(r.stats.markers_allocated > 0);
+        assert_eq!(
+            renders(&r),
+            vec!["X=1, Y=10", "X=1, Y=20", "X=2, Y=10", "X=2, Y=20"]
+        );
+    }
+
+    #[test]
+    fn pdo_merges_adjacent_slots_on_one_worker() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run(
+                "double(1, A) & double(2, B) & double(3, C) & double(4, D)",
+                &cfg(1, OptFlags::pdo_only()),
+            )
+            .unwrap();
+        assert_eq!(renders(&r), vec!["A=2, B=4, C=6, D=8"]);
+        assert!(r.stats.pdo_merges > 0, "{:?}", r.stats);
+    }
+
+    const PROCESS_LIST: &str = r#"
+        process(X, Y) :- Y is X * 10.
+        process_list([], []).
+        process_list([H|T], [HO|TO]) :- process(H, HO) & process_list(T, TO).
+    "#;
+
+    #[test]
+    fn lpco_flattens_recursive_parcalls() {
+        let e = AndEngine::new(db(PROCESS_LIST));
+        let q = "process_list([1,2,3,4], Out)";
+        let r0 = e.run(q, &cfg(2, OptFlags::none())).unwrap();
+        assert_eq!(renders(&r0), vec!["Out=[10,20,30,40]"]);
+        // unoptimized: one frame per recursion level
+        assert_eq!(r0.stats.parcall_frames, 4);
+        assert_eq!(r0.stats.frames_elided_lpco, 0);
+
+        let r1 = e.run(q, &cfg(2, OptFlags::lpco_only())).unwrap();
+        assert_eq!(renders(&r1), vec!["Out=[10,20,30,40]"]);
+        // optimized: the nested frames merge into the first
+        assert_eq!(r1.stats.parcall_frames, 1, "{:?}", r1.stats);
+        assert_eq!(r1.stats.frames_elided_lpco, 3);
+        assert_eq!(r1.stats.slots_merged_lpco, 6);
+    }
+
+    #[test]
+    fn nested_parcall_without_lpco_runs_correctly() {
+        let e = AndEngine::new(db(PROCESS_LIST));
+        let r = e
+            .run("process_list([5,6], O) & process(7, P)", &cfg(3, OptFlags::none()))
+            .unwrap();
+        assert_eq!(renders(&r), vec!["O=[50,60], P=70"]);
+    }
+
+    #[test]
+    fn all_optimizations_together() {
+        let e = AndEngine::new(db(PROCESS_LIST));
+        for workers in [1, 2, 5] {
+            let r = e
+                .run(
+                    "process_list([1,2,3,4,5,6], Out)",
+                    &cfg(workers, OptFlags::all()),
+                )
+                .unwrap();
+            assert_eq!(renders(&r), vec!["Out=[10,20,30,40,50,60]"]);
+        }
+    }
+
+    #[test]
+    fn redo_with_nondet_slots_and_pdo() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run("p(X) & q(Y)", &cfg(1, OptFlags::pdo_only()))
+            .unwrap();
+        assert_eq!(
+            renders(&r),
+            vec!["X=1, Y=10", "X=1, Y=20", "X=2, Y=10", "X=2, Y=20"]
+        );
+    }
+
+    #[test]
+    fn threads_driver_equivalence() {
+        let e = AndEngine::new(db(BASE));
+        let mut c = cfg(3, OptFlags::all());
+        c.driver = DriverKind::Threads;
+        let r = e.run("p(X) & q(Y)", &c).unwrap();
+        let mut got = renders(&r);
+        got.sort();
+        assert_eq!(
+            got,
+            vec!["X=1, Y=10", "X=1, Y=20", "X=2, Y=10", "X=2, Y=20"]
+        );
+    }
+
+    #[test]
+    fn sim_is_deterministic_across_runs() {
+        let e = AndEngine::new(db(PROCESS_LIST));
+        let c = cfg(4, OptFlags::all());
+        let t1 = e.run("process_list([1,2,3,4,5], O)", &c).unwrap();
+        let t2 = e.run("process_list([1,2,3,4,5], O)", &c).unwrap();
+        assert_eq!(t1.outcome.virtual_time, t2.outcome.virtual_time);
+        assert_eq!(t1.outcome.clocks, t2.outcome.clocks);
+    }
+
+    #[test]
+    fn error_in_slot_surfaces() {
+        let e = AndEngine::new(db(BASE));
+        let err = e.run("double(1, A) & nosuch(B)", &cfg(2, OptFlags::none()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sequential_goals_around_parcall() {
+        let e = AndEngine::new(db(BASE));
+        let r = e
+            .run(
+                "p(X), (double(X, A) & add(X, 100, B)), A < 100",
+                &cfg(2, OptFlags::none()),
+            )
+            .unwrap();
+        assert_eq!(renders(&r), vec!["A=2, B=101, X=1", "A=4, B=102, X=2"]);
+    }
+}

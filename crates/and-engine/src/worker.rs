@@ -1,0 +1,1866 @@
+//! And-parallel worker agents.
+//!
+//! Each worker cooperates through the shared task queue and the
+//! [`FrameState`]s of active parallel calls. A worker maintains a stack of
+//! *activations*:
+//!
+//! * `Run` — driving a machine (the root query or a subgoal group);
+//! * `Wait` — the machine below raised a parallel call; the worker helps
+//!   with other work until the frame's wave completes, then integrates;
+//! * `Advance` — outside backtracking: producing the next solution of one
+//!   subgoal group (via its kept generator machine or by recomputation).
+//!
+//! All engine-side operations charge the [`ace_runtime::CostModel`] so the
+//! virtual-time driver sees scheduler and data-structure costs exactly
+//! where the paper locates them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ace_logic::copy::copy_term;
+use ace_logic::{Cell, Database};
+use ace_machine::{Machine, MarkerKind, Solution, Status};
+use ace_runtime::{Agent, CancelToken, EngineConfig, Phase, Stats};
+use parking_lot::Mutex;
+
+use crate::frame::{
+    bundle_copy, FrameStage, FrameState, GroupRec, SlotState,
+};
+
+/// A schedulable unit: one slot of one frame.
+#[derive(Clone)]
+pub struct Task {
+    pub frame: Arc<FrameState>,
+    pub slot: usize,
+    pub creator: usize,
+}
+
+/// State shared by all workers of one engine run.
+pub struct Shared {
+    pub db: Arc<Database>,
+    pub cfg: EngineConfig,
+    pub queue: Mutex<VecDeque<Task>>,
+    /// Workers currently without work — demand signal for goal shipping.
+    pub idle_workers: AtomicUsize,
+    pub done: AtomicBool,
+    pub solutions: Mutex<Vec<Solution>>,
+    pub solutions_count: AtomicUsize,
+    pub error: Mutex<Option<String>>,
+    pub root_cancel: CancelToken,
+    pub worker_stats: Mutex<Vec<Stats>>,
+}
+
+impl Shared {
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn fail_with(&self, msg: String) {
+        let mut e = self.error.lock();
+        if e.is_none() {
+            *e = Some(msg);
+        }
+        self.finish();
+    }
+}
+
+/// What a `Run` activation is computing.
+enum RunCtx {
+    /// The root query (worker 0 starts with it).
+    Root,
+    /// A group of subgoal slots of `frame`, led by slot `leader`.
+    Slot {
+        frame: Arc<FrameState>,
+        leader: usize,
+    },
+}
+
+/// How an `Advance` activation obtains the next solution.
+enum AdvanceMode {
+    /// Resume the kept generator machine.
+    Generator,
+    /// Re-execute from scratch (sequentially), skipping `skip` solutions.
+    Recompute { skip: u64, seen: u64 },
+}
+
+/// Bookkeeping for a subgoal the owner machine is executing directly
+/// (speculative PDO): where to roll back to if it turns out
+/// nondeterministic, and the fence guarding backtracking below it.
+struct OwnerSlot {
+    frame: Arc<FrameState>,
+    slot: usize,
+    fence_idx: usize,
+    ctrl_len: usize,
+    trail: ace_logic::TrailMark,
+    heap: ace_logic::heap::HeapMark,
+}
+
+enum Act {
+    Run {
+        machine: Box<Machine>,
+        ctx: RunCtx,
+        cancel: CancelToken,
+        /// Machine-heap cells of each member slot's shipped goal (in group
+        /// slot order) — the roots extracted into the solution bundle.
+        goal_cells: Vec<Cell>,
+        /// Machine-heap cells of LPCO-merged branch goals awaiting
+        /// registration as new slots at group finalization.
+        lpco_added: Vec<Cell>,
+        /// PDO: a member before the last carried nondeterminism. The
+        /// machine cannot serve as a plain generator (backtracking into an
+        /// early member would skip re-running the later ones), so redos go
+        /// through recomputation instead.
+        pdo_nondet_prefix: bool,
+        /// Frames whose *inline* (rightmost) branch this machine is
+        /// currently executing, outermost first (&ACE model: the owner
+        /// runs the last subgoal locally while the others are shipped).
+        inline: Vec<Arc<FrameState>>,
+        /// Shipped slots being executed directly on this machine instead
+        /// (speculative PDO), innermost last; see [`OwnerSlot`].
+        owner_slot: Vec<OwnerSlot>,
+    },
+    Wait {
+        frame: Arc<FrameState>,
+    },
+    Advance {
+        frame: Arc<FrameState>,
+        leader: usize,
+        machine: Box<Machine>,
+        mode: AdvanceMode,
+        goal_cells: Vec<Cell>,
+    },
+}
+
+/// One and-parallel worker (an [`Agent`] for either driver).
+pub struct AndWorker {
+    pub id: usize,
+    sh: Arc<Shared>,
+    stack: Vec<Act>,
+    #[allow(clippy::vec_box)] // machines move in/out of activations as Box
+    pool: Vec<Box<Machine>>,
+    pub stats: Stats,
+    /// Root query variables (worker 0 only).
+    root_vars: Vec<(String, Cell)>,
+    phase_cost: u64,
+    reported: bool,
+    /// Consecutive no-work phases (exponential idle backoff).
+    idle_streak: u32,
+    /// Counted in [`Shared::idle_workers`].
+    marked_idle: bool,
+}
+
+enum Outcome {
+    Worked,
+    NoWork,
+}
+
+/// `ACE_TRACE=1` enables phase/barrier tracing on stderr (dev aid).
+fn trace_enabled() -> bool {
+    static T: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *T.get_or_init(|| std::env::var("ACE_TRACE").is_ok())
+}
+
+impl AndWorker {
+    pub fn new(id: usize, sh: Arc<Shared>) -> Self {
+        AndWorker {
+            id,
+            sh,
+            stack: Vec::new(),
+            pool: Vec::new(),
+            stats: Stats::new(),
+            root_vars: Vec::new(),
+            phase_cost: 0,
+            reported: false,
+            idle_streak: 0,
+            marked_idle: false,
+        }
+    }
+
+    /// Are there idle workers other than this one? (The demand signal for
+    /// goal shipping; a worker's own idle flag from its previous phase
+    /// must not count.)
+    fn others_idle(&self) -> bool {
+        self.sh.idle_workers.load(Ordering::Acquire)
+            > usize::from(self.marked_idle)
+    }
+
+    fn mark_idle(&mut self, idle: bool) {
+        if idle != self.marked_idle {
+            self.marked_idle = idle;
+            if idle {
+                self.sh.idle_workers.fetch_add(1, Ordering::AcqRel);
+            } else {
+                self.sh.idle_workers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Install the root query on this worker (worker 0).
+    pub fn install_root(&mut self, machine: Box<Machine>, vars: Vec<(String, Cell)>) {
+        let cancel = self.sh.root_cancel.clone();
+        self.root_vars = vars;
+        self.stack.push(Act::Run {
+            machine,
+            ctx: RunCtx::Root,
+            cancel,
+            goal_cells: Vec::new(),
+            lpco_added: Vec::new(),
+            pdo_nondet_prefix: false,
+            inline: Vec::new(),
+            owner_slot: Vec::new(),
+        });
+    }
+
+    #[inline]
+    fn charge(&mut self, units: u64) {
+        self.stats.charge(units);
+        self.phase_cost += units;
+    }
+
+    fn costs(&self) -> ace_runtime::CostModel {
+        self.sh.cfg.costs.clone()
+    }
+
+    fn get_machine(&mut self) -> Box<Machine> {
+        match self.pool.pop() {
+            Some(m) => m,
+            None => Box::new(Machine::new(
+                self.sh.db.clone(),
+                Arc::new(self.sh.cfg.costs.clone()),
+            )),
+        }
+    }
+
+    fn retire_machine(&mut self, mut m: Box<Machine>) {
+        // Surface any cost not yet on a driver clock, then harvest the
+        // machine's counters into this worker's sheet. Busy cost drives
+        // clocks via per-phase surfacing; `stats.cost` keeps the report
+        // totals coherent.
+        self.phase_cost += m.take_unsurfaced_cost();
+        let mut ms = m.stats;
+        let machine_cost = ms.cost;
+        ms.cost = 0;
+        self.stats += ms;
+        self.stats.cost += machine_cost; // keep totals coherent in stats
+        m.reset();
+        if self.pool.len() < 8 {
+            self.pool.push(m);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work acquisition
+    // ------------------------------------------------------------------
+
+    fn try_get_work(&mut self) -> Outcome {
+        let task = {
+            let mut q = self.sh.queue.lock();
+            loop {
+                let Some(t) = q.pop_front() else { break None };
+                if t.frame.cancel.is_cancelled() {
+                    continue;
+                }
+                if t.frame.claim(Some(t.slot)).is_some() {
+                    break Some(t);
+                }
+                // already claimed elsewhere (e.g. PDO) — skip
+            }
+        };
+        let Some(task) = task else {
+            self.stats.idle_probes += 1;
+            return Outcome::NoWork;
+        };
+        let costs = self.costs();
+        if task.creator != self.id {
+            self.stats.tasks_stolen += 1;
+            self.charge(costs.steal);
+        } else {
+            self.charge(costs.queue_op);
+        }
+        self.start_slot(task.frame, task.slot);
+        Outcome::Worked
+    }
+
+    /// Begin executing `slot` of `frame` on a fresh machine: ship the goal,
+    /// allocate (or procrastinate) the input marker, register the group.
+    fn start_slot(&mut self, frame: Arc<FrameState>, slot: usize) {
+        let costs = self.costs();
+        let mut machine = self.get_machine();
+        machine.enable_parallel(true);
+
+        // Goal shipping: copy the subgoal closure into the machine.
+        let (src_heap, root) = {
+            let inner = frame.inner.lock();
+            let s = &inner.slots[slot];
+            (s.goal_heap.clone(), s.goal_root)
+        };
+        let out = copy_term(&src_heap, root, &mut machine.heap);
+        self.stats.cells_copied += out.cells_copied as u64;
+        self.charge(out.cells_copied as u64 * costs.heap_cell);
+
+        // Markers: the unoptimized engine allocates the input marker
+        // eagerly; SPO procrastinates it (paper §4.1).
+        if self.sh.cfg.opts.spo {
+            self.charge(costs.spo_track);
+            machine.procrastinate_input_marker(frame.id, slot as u32);
+        } else {
+            machine.push_marker(MarkerKind::Input, frame.id, slot as u32);
+        }
+        machine.set_query(out.root);
+
+        // Register the group.
+        {
+            let mut inner = frame.inner.lock();
+            inner.slots[slot].group = Some(slot);
+            inner.groups.insert(
+                slot,
+                GroupRec {
+                    slots: vec![slot],
+                    ..GroupRec::default()
+                },
+            );
+        }
+        self.charge(costs.lock);
+
+        self.phase_cost += machine.take_unsurfaced_cost();
+        let cancel = frame.cancel.clone();
+        self.stack.push(Act::Run {
+            machine,
+            ctx: RunCtx::Slot { frame, leader: slot },
+            cancel,
+            goal_cells: vec![out.root],
+            lpco_added: Vec::new(),
+            pdo_nondet_prefix: false,
+            inline: Vec::new(),
+            owner_slot: Vec::new(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase dispatch
+    // ------------------------------------------------------------------
+
+    fn do_phase(&mut self) -> Outcome {
+        if trace_enabled() {
+            let top = match self.stack.last() {
+                None => "-".to_owned(),
+                Some(Act::Run { machine, ctx, .. }) => format!(
+                    "Run({}, {:?})",
+                    match ctx {
+                        RunCtx::Root => "root".to_owned(),
+                        RunCtx::Slot { frame, leader } =>
+                            format!("f{}s{}", frame.id, leader),
+                    },
+                    machine.status()
+                ),
+                Some(Act::Wait { frame }) => format!(
+                    "Wait(f{} {:?} cancelled={})",
+                    frame.id,
+                    frame.stage(),
+                    frame.cancel.is_cancelled()
+                ),
+                Some(Act::Advance { frame, leader, .. }) =>
+                    format!("Advance(f{} g{leader})", frame.id),
+            };
+            eprintln!("w{} depth={} top={}", self.id, self.stack.len(), top);
+        }
+        match self.stack.last() {
+            None => self.try_get_work(),
+            Some(Act::Run { .. }) => self.step_run(),
+            Some(Act::Wait { .. }) => self.step_wait(),
+            Some(Act::Advance { .. }) => self.step_advance(),
+        }
+    }
+
+    fn step_run(&mut self) -> Outcome {
+        let Some(Act::Run {
+            machine,
+            cancel,
+            inline,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let quantum = self.sh.cfg.quantum;
+        // Check the innermost inline frame's token: it is a descendant of
+        // the activation token, so it also covers ancestor cancellation,
+        // and additionally catches sibling failures of the parallel call
+        // whose branch is executing inline right here.
+        let check = inline
+            .last()
+            .map(|f| f.cancel.clone())
+            .unwrap_or_else(|| cancel.clone());
+        let status = machine.run(quantum, Some(&check));
+        self.phase_cost += machine.take_unsurfaced_cost();
+
+        match status {
+            Status::Running => Outcome::Worked,
+            Status::Parcall => self.on_parcall(),
+            Status::Solution => self.on_solution(),
+            Status::Failed => self.on_failed(),
+            Status::ParcallRedo => self.on_redo(),
+            Status::InlineBarrier(fid) => self.on_barrier(fid),
+            Status::FenceHit(fid, slot) => self.on_fence_hit(fid, slot),
+            Status::Cancelled => self.on_cancelled(),
+            Status::Halted => {
+                self.sh.finish();
+                Outcome::Worked
+            }
+            Status::Error(e) => {
+                self.sh.fail_with(e);
+                Outcome::Worked
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel call creation (and LPCO)
+    // ------------------------------------------------------------------
+
+    fn on_parcall(&mut self) -> Outcome {
+        let costs = self.costs();
+        // LPCO applicability (paper §3.1).
+        if self.sh.cfg.opts.lpco {
+            self.charge(costs.lpco_check);
+            if self.try_lpco_inline() {
+                return Outcome::Worked;
+            }
+            if self.try_lpco() {
+                return Outcome::Worked;
+            }
+        }
+
+        let ship_hint = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager
+            || self.others_idle();
+        let Some(Act::Run {
+            machine,
+            ctx,
+            cancel,
+            inline,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let depth = match (&inline.last(), &ctx) {
+            (Some(f), _) => f.depth + 1,
+            (None, RunCtx::Root) => 1,
+            (None, RunCtx::Slot { frame, .. }) => frame.depth + 1,
+        };
+        let pf = machine.top_parcall().expect("Parcall status without frame");
+        let pf_id = pf.id;
+        let branches = pf.branches.clone();
+        let pf_cont = pf.cont.clone();
+        let created_at = (pf.trail, pf.heap);
+        // Nested frames hang off the innermost inline frame's token so a
+        // sibling failure anywhere up the chain kills them too.
+        let parent_token = inline
+            .last()
+            .map(|f| f.cancel.clone())
+            .unwrap_or_else(|| cancel.clone());
+        let ship_now = ship_hint;
+        let (frame, cells) = FrameState::create(
+            pf_id,
+            &machine.heap,
+            &branches,
+            depth,
+            &parent_token,
+            true,
+            pf_cont,
+            created_at,
+            ship_now,
+        );
+        machine.top_parcall_mut().unwrap().ext = Some(Box::new(frame.clone()));
+        self.stats.cells_copied += cells as u64;
+        let n = branches.len() as u64;
+        self.stats.parcall_frames += 1;
+        self.stats.parcall_slots += n;
+        let charge = costs.parcall_frame_alloc
+            + costs.parcall_slot * n
+            + cells as u64 * costs.heap_cell
+            + costs.queue_op * (n - 1);
+        self.stats.charge(charge);
+        self.phase_cost += charge;
+
+        // Ship all branches but the last (when idle workers demand them);
+        // run the last inline, &ACE-style ("the goal a does not need an
+        // input marker as the parcall frame marks its beginning" — paper
+        // Figure 2; the *local* branch needs neither marker nor copy).
+        let tasks: Vec<Task> = if ship_now {
+            (0..branches.len() - 1)
+                .map(|slot| Task {
+                    frame: frame.clone(),
+                    slot,
+                    creator: self.id,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        machine.run_inline_branch(*branches.last().unwrap(), frame.id);
+        inline.push(frame);
+        if !tasks.is_empty() {
+            self.sh.queue.lock().extend(tasks);
+        }
+        Outcome::Worked
+    }
+
+    /// LPCO within an inline chain: the machine executing the inline
+    /// (rightmost) branch of `frame` reached a trailing parallel call and
+    /// has been determinate since entering it — append the new branches as
+    /// slots of `frame` (shipping all but the last) and keep walking the
+    /// rightmost spine inline. `process_list/2` recursion thus runs in ONE
+    /// wide frame (paper Figure 4).
+    fn try_lpco_inline(&mut self) -> bool {
+        let costs = self.costs();
+        let ship_hint = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager
+            || self.others_idle();
+        let Some(Act::Run {
+            machine, inline, ..
+        }) = self.stack.last_mut()
+        else {
+            return false;
+        };
+        let Some(frame) = inline.last().cloned() else {
+            return false;
+        };
+        if !machine.deterministic_since_previous_parcall() {
+            return false;
+        }
+        // "last goal" in an inline chain: nothing follows but this frame's
+        // own end-marker barrier (the real continuation is parked in the
+        // frame).
+        if !machine.top_parcall_cont_is_barrier_of(frame.id) {
+            return false;
+        }
+        {
+            // Filling or Ready (shipped slots may finish before the inline
+            // chain does); appending slots below re-opens the wave.
+            let inner = frame.inner.lock();
+            if !matches!(inner.stage, FrameStage::Filling | FrameStage::Ready) {
+                return false;
+            }
+        }
+        let pf = machine.merge_out_parcall();
+        let branches = pf.branches;
+        let k = branches.len();
+        let ship_now = ship_hint;
+        let shipped = &branches[..k - 1];
+        let (bundle, cells) = if ship_now {
+            bundle_copy(&machine.heap, shipped)
+        } else {
+            (
+                crate::frame::Bundle {
+                    heap: Arc::new(ace_logic::Heap::new()),
+                    roots: vec![Cell::Nil; shipped.len()],
+                },
+                0,
+            )
+        };
+        self.stats.cells_copied += cells as u64;
+        self.stats.slots_merged_lpco += k as u64;
+        self.stats.frames_elided_lpco += 1;
+        let charge =
+            costs.lpco_merge_slot * k as u64 + cells as u64 * costs.heap_cell;
+        self.stats.charge(charge);
+        self.phase_cost += charge;
+
+        let mut tasks = Vec::with_capacity(shipped.len());
+        {
+            let mut inner = frame.inner.lock();
+            let inline_idx = inner.inline.expect("inline chain without inline slot");
+            let base = inner.slots.len();
+            for (i, &pg) in shipped.iter().enumerate() {
+                inner.slots.push(crate::frame::SlotRec {
+                    goal_heap: bundle.heap.clone(),
+                    goal_root: bundle.roots[i],
+                    parent_goal: Some(pg),
+                    state: SlotState::Unclaimed,
+                    group: None,
+                    // A rerun of the inline spine re-creates these slots:
+                    // mark their origin so redo waves drop them first.
+                    origin: Some(inline_idx),
+                    owner_run: false,
+                    spec_failed: false,
+                    materialized: false,
+                    shipped: ship_now,
+                });
+                inner.marks.push(None);
+                inner.pending += 1;
+                if ship_now {
+                    tasks.push(Task {
+                        frame: frame.clone(),
+                        slot: base + i,
+                        creator: self.id,
+                    });
+                }
+            }
+            if inner.stage == FrameStage::Ready {
+                inner.stage = FrameStage::Filling;
+            }
+        }
+        machine.run_inline_branch(*branches.last().unwrap(), frame.id);
+        self.sh.queue.lock().extend(tasks);
+        true
+    }
+
+    /// Try to apply the Last Parallel Call Optimization: merge the newly
+    /// raised parallel call's subgoals into the *enclosing* frame as
+    /// additional slots instead of nesting a child frame. Conditions:
+    /// the raising computation is a subgoal group that is currently the
+    /// rightmost of its frame, it has been determinate so far, and nothing
+    /// follows the parallel call in its continuation.
+    fn try_lpco(&mut self) -> bool {
+        let costs = self.costs();
+        let Some(Act::Run {
+            machine,
+            ctx: RunCtx::Slot { frame, leader: _ },
+            lpco_added,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            return false;
+        };
+        if !machine.deterministic_before_top_parcall() {
+            return false;
+        }
+        {
+            let pf = machine.top_parcall().unwrap();
+            if pf.cont.is_some() {
+                return false; // parallel call is not the last goal
+            }
+        }
+        {
+            let inner = frame.inner.lock();
+            if inner.stage != FrameStage::Filling {
+                return false;
+            }
+        }
+        // Note: the paper's general LPCO (Figure 3) merges trailing
+        // parallel calls of *any* slot into the enclosing frame. When the
+        // merging slot is not the rightmost and its appended branches turn
+        // out nondeterministic, the cross-product enumeration order can
+        // deviate from strict sequential order (the solution multiset is
+        // preserved) — the same caveat the paper notes about "backtracking
+        // over parcalls". Conditions (i)/(ii) (determinacy of the merging
+        // computation) are enforced above.
+        // Merge: take the branches; the machine resumes past the parallel
+        // call (and, its continuation being empty, completes immediately).
+        let pf = machine.merge_out_parcall();
+        let k = pf.branches.len() as u64;
+        lpco_added.extend(pf.branches);
+        let fid = frame.id;
+        let _ = fid;
+        self.stats.slots_merged_lpco += k;
+        self.stats.frames_elided_lpco += 1;
+        self.charge(costs.lpco_merge_slot * k);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Solutions
+    // ------------------------------------------------------------------
+
+    fn on_solution(&mut self) -> Outcome {
+        let is_root = matches!(
+            self.stack.last(),
+            Some(Act::Run {
+                ctx: RunCtx::Root,
+                ..
+            })
+        );
+        if is_root {
+            self.on_root_solution()
+        } else {
+            self.on_slot_solution()
+        }
+    }
+
+    /// The inline branch of frame `fid` (re-)arrived at its barrier.
+    ///
+    /// * First arrival: its slot joins the barrier; wait for the shipped
+    ///   slots, then integrate.
+    /// * Re-arrival (the machine's own backtracking found another inline
+    ///   solution): the backtrack that reached the inline choice points
+    ///   unwound every sibling integration on the trail, so mark the whole
+    ///   frame for re-integration and wait again.
+    fn on_barrier(&mut self, fid: u64) -> Outcome {
+        let costs = self.costs();
+        if trace_enabled() {
+            if let Some(Act::Run { owner_slot, inline, .. }) = self.stack.last() {
+                eprintln!(
+                    "BARRIER fid={fid} owner_top={:?} inline_top={:?}",
+                    owner_slot.last().map(|o| (o.frame.id, o.slot)),
+                    inline.last().map(|f| f.id)
+                );
+            }
+        }
+        // Owner-executed (PDO) subgoal completion?
+        if matches!(
+            self.stack.last(),
+            Some(Act::Run { owner_slot, .. })
+                if owner_slot.last().is_some_and(|o| o.frame.id == fid)
+        ) {
+            return self.on_owner_slot_done();
+        }
+        let Some(Act::Run {
+            machine, inline, ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let (frame, rearrival) = if inline.last().is_some_and(|f| f.id == fid) {
+            (inline.pop().unwrap(), false)
+        } else {
+            // find the frame on this machine's control stack
+            let found = machine.ctrl_frames().iter().find_map(|f| match f {
+                ace_machine::CtrlFrame::Parcall(pf) => pf
+                    .ext
+                    .as_ref()
+                    .and_then(|e| e.downcast_ref::<Arc<FrameState>>())
+                    .filter(|fr| fr.id == fid)
+                    .cloned(),
+                _ => None,
+            });
+            match found {
+                Some(fr) => (fr, true),
+                None => {
+                    self.sh.fail_with(format!(
+                        "engine bug: inline barrier for unknown frame {fid}"
+                    ));
+                    return Outcome::Worked;
+                }
+            }
+        };
+        let mut owner_reruns: Vec<Task> = Vec::new();
+        {
+            let mut inner = frame.inner.lock();
+            if let Some(idx) = inner.inline {
+                inner.slots[idx].state = SlotState::Done;
+            }
+            inner.inline_done = true;
+            if rearrival {
+                // every integration (and every owner-executed binding) was
+                // unwound by the backtracking that reached the inline
+                // choice points: redo integrations and re-run owner slots
+                for m in inner.marks.iter_mut() {
+                    *m = None;
+                }
+                for sl in inner.slots.iter_mut() {
+                    if sl.materialized {
+                        sl.parent_goal = None;
+                        sl.materialized = false;
+                    }
+                }
+                inner.integrate_from = 0;
+                for slot_idx in 0..inner.slots.len() {
+                    if inner.slots[slot_idx].owner_run
+                        && inner.slots[slot_idx].state == SlotState::Done
+                    {
+                        inner.slots[slot_idx].owner_run = false;
+                        inner.slots[slot_idx].state = SlotState::Unclaimed;
+                        inner.pending += 1;
+                        if inner.slots[slot_idx].shipped {
+                            owner_reruns.push(Task {
+                                frame: frame.clone(),
+                                slot: slot_idx,
+                                creator: self.id,
+                            });
+                        }
+                    }
+                }
+                if inner.stage == FrameStage::Integrated {
+                    inner.stage = if inner.pending == 0 {
+                        FrameStage::Ready
+                    } else {
+                        FrameStage::Filling
+                    };
+                }
+                self.stats.redo_rounds += 1;
+            } else if inner.pending == 0 && inner.stage == FrameStage::Filling {
+                inner.stage = FrameStage::Ready;
+            }
+        }
+        if !owner_reruns.is_empty() {
+            self.sh.queue.lock().extend(owner_reruns);
+        }
+        self.charge(costs.slot_join + costs.lock);
+        self.stack.push(Act::Wait { frame });
+        Outcome::Worked
+    }
+
+    /// The owner-executed subgoal reached the barrier: commit it if its
+    /// execution was determinate (PDO success — no markers, no copies), or
+    /// roll it back and ship it normally.
+    fn on_owner_slot_done(&mut self) -> Outcome {
+        let costs = self.costs();
+        let Some(Act::Run {
+            machine,
+            inline,
+            owner_slot,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let o = owner_slot.pop().expect("checked in on_barrier");
+        if inline.last().is_some_and(|f| f.id == o.frame.id) {
+            inline.pop();
+        }
+        // region above the fence: determinate?
+        let det = region_is_deterministic(machine, o.ctrl_len + 1);
+        if trace_enabled() {
+            eprintln!(
+                "OWNER_DONE f{} slot={} det={det} ctrl={} region_from={}",
+                o.frame.id,
+                o.slot,
+                machine.ctrl_len(),
+                o.ctrl_len + 1
+            );
+        }
+        if det {
+            machine.disarm_fence(o.fence_idx);
+            {
+                let mut inner = o.frame.inner.lock();
+                inner.slots[o.slot].state = SlotState::Done;
+                inner.slots[o.slot].owner_run = true;
+                inner.pending -= 1;
+                if inner.pending == 0 && inner.stage == FrameStage::Filling {
+                    inner.stage = FrameStage::Ready;
+                }
+            }
+            self.stats.pdo_merges += 1;
+            self.charge(costs.slot_join + costs.lock);
+        } else {
+            // speculation failed: undo and ship to a fresh machine
+            machine.rollback_to(o.ctrl_len, o.trail, o.heap);
+            let unsurfaced = machine.take_unsurfaced_cost();
+            self.phase_cost += unsurfaced;
+            {
+                let mut inner = o.frame.inner.lock();
+                inner.slots[o.slot].state = SlotState::Unclaimed;
+                inner.slots[o.slot].spec_failed = true;
+            }
+            self.sh.queue.lock().push_back(Task {
+                frame: o.frame.clone(),
+                slot: o.slot,
+                creator: self.id,
+            });
+            self.charge(costs.queue_op);
+        }
+        let frame = o.frame;
+        self.stack.push(Act::Wait { frame });
+        Outcome::Worked
+    }
+
+    /// Backtracking crossed a PDO fence: the owner-executed subgoal has no
+    /// solution, so the whole parallel call fails (inside backtracking).
+    fn on_fence_hit(&mut self, fid: u64, _slot: u32) -> Outcome {
+        let Some(Act::Run {
+            machine,
+            inline,
+            owner_slot,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let o = owner_slot.pop().expect("fence hit without owner slot");
+        debug_assert_eq!(o.frame.id, fid);
+        if inline.last().is_some_and(|f| f.id == fid) {
+            inline.pop();
+        }
+        self.stats.slot_failures += 1;
+        o.frame.fail();
+        machine.fail_parcall_until(fid);
+        let unsurfaced = machine.take_unsurfaced_cost();
+        self.phase_cost += unsurfaced;
+        Outcome::Worked
+    }
+
+    fn on_root_solution(&mut self) -> Outcome {
+        let Some(Act::Run { machine, .. }) = self.stack.last_mut() else {
+            unreachable!()
+        };
+        let sol = Solution {
+            bindings: self
+                .root_vars
+                .iter()
+                .map(|(n, c)| (n.clone(), machine.render(*c)))
+                .collect(),
+        };
+        self.sh.solutions.lock().push(sol);
+        let count = self.sh.solutions_count.fetch_add(1, Ordering::AcqRel) + 1;
+        if self
+            .sh
+            .cfg
+            .max_solutions
+            .is_some_and(|max| count >= max)
+        {
+            self.sh.finish();
+            return Outcome::Worked;
+        }
+        // search for more solutions
+        machine.backtrack();
+        self.phase_cost += machine.take_unsurfaced_cost();
+        Outcome::Worked
+    }
+
+    fn on_slot_solution(&mut self) -> Outcome {
+        let costs = self.costs();
+
+        // PDO (paper §4.2): if the sequentially-next slot is still
+        // unclaimed, continue it on this same machine as one contiguous
+        // computation — no markers, no new machine.
+        if self.sh.cfg.opts.pdo {
+            self.charge(costs.pdo_check);
+            if self.try_pdo() {
+                return Outcome::Worked;
+            }
+        }
+        self.finalize_group()
+    }
+
+    fn try_pdo(&mut self) -> bool {
+        let costs = self.costs();
+        let Some(Act::Run {
+            machine,
+            ctx: RunCtx::Slot { frame, leader },
+            goal_cells,
+            lpco_added,
+            pdo_nondet_prefix,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            return false;
+        };
+        if !lpco_added.is_empty() {
+            // group already carries merged branch goals: finalize first so
+            // the new slots become available
+            return false;
+        }
+        let next = {
+            let inner = frame.inner.lock();
+            let group = &inner.groups[leader];
+            *group.slots.last().unwrap() + 1
+        };
+        if frame.claim(Some(next)).is_none() {
+            return false;
+        }
+        // Claimed: extend the group.
+        let (src_heap, root) = {
+            let mut inner = frame.inner.lock();
+            inner.slots[next].group = Some(*leader);
+            let g = inner.groups.get_mut(leader).unwrap();
+            g.slots.push(next);
+            let s = &inner.slots[next];
+            (s.goal_heap.clone(), s.goal_root)
+        };
+        // If the members so far left any choice point, the merged machine
+        // cannot later serve as a plain generator (see `pdo_nondet_prefix`).
+        if !machine.is_deterministic_above(0) {
+            *pdo_nondet_prefix = true;
+        }
+        let out = copy_term(&src_heap, root, &mut machine.heap);
+        goal_cells.push(out.root);
+        machine.continue_with(out.root);
+        let unsurfaced = machine.take_unsurfaced_cost();
+        self.phase_cost += unsurfaced;
+        self.stats.pdo_merges += 1;
+        self.stats.cells_copied += out.cells_copied as u64;
+        self.charge(out.cells_copied as u64 * costs.heap_cell + costs.lock);
+        true
+    }
+
+    /// The group's current solution is final for this wave: handle end
+    /// markers, extract the solution bundle, register LPCO-added slots,
+    /// classify the machine (retire / keep as generator / recompute), and
+    /// update the frame's fill state.
+    fn finalize_group(&mut self) -> Outcome {
+        let costs = self.costs();
+        let Some(Act::Run {
+            mut machine,
+            ctx: RunCtx::Slot { frame, leader },
+            goal_cells,
+            lpco_added,
+            pdo_nondet_prefix,
+            ..
+        }) = self.stack.pop()
+        else {
+            unreachable!()
+        };
+
+        let det = machine_is_deterministic(&machine);
+        let has_frames = machine.has_parcall_frames() || pdo_nondet_prefix;
+
+        // End marker policy (paper §4.1): unoptimized always allocates it;
+        // SPO elides both markers for deterministic subgoals.
+        let last_slot = {
+            let inner = frame.inner.lock();
+            *inner.groups[&leader].slots.last().unwrap()
+        };
+        if self.sh.cfg.opts.spo {
+            if det {
+                // The subgoal completed deterministically: neither marker
+                // was ever needed; only its trail section is remembered.
+                machine.clear_pending_marker();
+                self.stats.markers_elided_spo += 2;
+                self.charge(costs.spo_track);
+            } else {
+                machine.materialize_pending_marker();
+                machine.push_marker(MarkerKind::End, frame.id, last_slot as u32);
+            }
+        } else {
+            machine.push_marker(MarkerKind::End, frame.id, last_slot as u32);
+        }
+
+        self.phase_cost += machine.take_unsurfaced_cost();
+
+        // Extract the solution bundle (goal instances + LPCO branches).
+        let mut roots = goal_cells.clone();
+        roots.extend(lpco_added.iter().copied());
+        let (bundle, cells) = bundle_copy(&machine.heap, &roots);
+        self.stats.cells_copied += cells as u64;
+        self.charge(cells as u64 * costs.heap_cell + costs.slot_join + costs.lock);
+
+        let mut new_tasks: Vec<Task> = Vec::new();
+        let keep = !det && !has_frames;
+        let mut machine_opt = Some(machine);
+        {
+            let mut inner = frame.inner.lock();
+            let n_members = {
+                let g = inner.groups.get_mut(&leader).unwrap();
+                g.bundle = Some(bundle.clone());
+                g.goal_cells = goal_cells;
+                g.det = det;
+                g.exhausted = det; // deterministic: no further solutions
+                g.recompute = !det && has_frames;
+                g.solutions_delivered = 1;
+                g.slots.len()
+            };
+            // Register LPCO-added slots.
+            let added_base = inner.slots.len();
+            for (j, _) in lpco_added.iter().enumerate() {
+                let root_idx = n_members + j;
+                inner.slots.push(crate::frame::SlotRec {
+                    goal_heap: bundle.heap.clone(),
+                    goal_root: bundle.roots[root_idx],
+                    parent_goal: None,
+                    state: SlotState::Unclaimed,
+                    group: None,
+                    origin: Some(last_slot),
+                    owner_run: false,
+                    spec_failed: false,
+                    materialized: false,
+                    shipped: true,
+                });
+                inner.marks.push(None);
+                inner.pending += 1;
+                new_tasks.push(Task {
+                    frame: frame.clone(),
+                    slot: added_base + j,
+                    creator: self.id,
+                });
+            }
+            {
+                let g = inner.groups.get_mut(&leader).unwrap();
+                g.extra = (0..lpco_added.len())
+                    .map(|j| (added_base + j, n_members + j))
+                    .collect();
+            }
+            // Mark members done and update the wave count.
+            let members: Vec<usize> = inner.groups[&leader].slots.clone();
+            for &s in &members {
+                inner.slots[s].state = SlotState::Done;
+            }
+            inner.pending -= members.len();
+            // Keep the machine as a generator, or retire it below.
+            if keep {
+                let mut m = machine_opt.take().unwrap();
+                // generators continue sequentially on redo
+                m.enable_parallel(false);
+                inner.groups.get_mut(&leader).unwrap().machine = Some(m);
+            }
+            if inner.pending == 0 && inner.stage == FrameStage::Filling {
+                inner.stage = FrameStage::Ready;
+            }
+        }
+        if let Some(m) = machine_opt {
+            self.retire_machine(m);
+        }
+        if !new_tasks.is_empty() {
+            self.sh.queue.lock().extend(new_tasks);
+        }
+        Outcome::Worked
+    }
+
+    // ------------------------------------------------------------------
+    // Failure (inside backtracking)
+    // ------------------------------------------------------------------
+
+    fn on_failed(&mut self) -> Outcome {
+        let Some(act) = self.stack.pop() else { unreachable!() };
+        let Act::Run { machine, ctx, .. } = act else {
+            unreachable!()
+        };
+        match ctx {
+            RunCtx::Root => {
+                self.retire_machine(machine);
+                self.sh.finish();
+            }
+            RunCtx::Slot { frame, .. } => {
+                self.stats.slot_failures += 1;
+                frame.fail();
+                self.retire_machine(machine);
+            }
+        }
+        Outcome::Worked
+    }
+
+    fn on_cancelled(&mut self) -> Outcome {
+        // Distinguish "this whole activation is doomed" (ancestor token)
+        // from "the parallel call whose branch we are running inline
+        // failed" (inline frame token): the latter unwinds the machine to
+        // that frame and keeps going below it.
+        let Some(Act::Run {
+            machine,
+            cancel,
+            inline,
+            ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        if cancel.is_cancelled() {
+            let Some(Act::Run { machine, .. }) = self.stack.pop() else {
+                unreachable!()
+            };
+            self.retire_machine(machine);
+            return Outcome::Worked;
+        }
+        // Find the outermost cancelled inline frame and unwind to it.
+        let mut target = None;
+        while let Some(f) = inline.last() {
+            if f.cancel.is_cancelled() {
+                target = inline.pop();
+            } else {
+                break;
+            }
+        }
+        match target {
+            Some(f) => {
+                self.stats.frame_traversals += 1;
+                machine.fail_parcall_until(f.id);
+                let unsurfaced = machine.take_unsurfaced_cost();
+                self.phase_cost += unsurfaced;
+            }
+            None => {
+                // spurious wake-up: token cleared meanwhile (cannot
+                // happen with our one-way tokens, but stay safe)
+            }
+        }
+        Outcome::Worked
+    }
+
+    // ------------------------------------------------------------------
+    // Waiting & integration
+    // ------------------------------------------------------------------
+
+    /// Copy the shipping closures of `idxs` (owner-local subgoals of
+    /// `frame`) out of the owner machine's heap and publish their tasks.
+    fn ship_slots(&mut self, frame: &Arc<FrameState>, idxs: &[usize]) {
+        let costs = self.costs();
+        // the owner machine sits directly below this Wait
+        let n = self.stack.len();
+        let Some(Act::Run { machine, .. }) =
+            (n >= 2).then(|| &mut self.stack[n - 2])
+        else {
+            unreachable!("Wait without Run below")
+        };
+        let goals: Vec<Cell> = {
+            let inner = frame.inner.lock();
+            idxs.iter()
+                .map(|&i| inner.slots[i].parent_goal.expect("unshipped w/o goal"))
+                .collect()
+        };
+        let (bundle, cells) = bundle_copy(&machine.heap, &goals);
+        frame.install_closures(idxs, bundle);
+        self.stats.cells_copied += cells as u64;
+        let charge =
+            cells as u64 * costs.heap_cell + costs.queue_op * idxs.len() as u64;
+        self.stats.charge(charge);
+        self.phase_cost += charge;
+        let tasks: Vec<Task> = idxs
+            .iter()
+            .map(|&slot| Task {
+                frame: frame.clone(),
+                slot,
+                creator: self.id,
+            })
+            .collect();
+        self.sh.queue.lock().extend(tasks);
+    }
+
+    fn step_wait(&mut self) -> Outcome {
+        let Some(Act::Wait { frame }) = self.stack.last() else {
+            unreachable!()
+        };
+        let frame = frame.clone();
+        match frame.stage() {
+            FrameStage::Filling => {
+                // An ancestor failed while this frame was filling: the
+                // whole branch is doomed and will never reach Ready/Failed.
+                // Unwind — the Run below observes its (cancelled) token on
+                // its next phase.
+                if frame.cancel.is_cancelled() {
+                    self.stack.pop();
+                    return Outcome::Worked;
+                }
+                let costs = self.costs();
+                // Demand-driven shipping: if idle workers exist (or the
+                // owner itself needs a closure to help below), copy the
+                // closures of any still-local subgoals out of the owner's
+                // heap and publish them.
+                let want_ship = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager
+                    || self.others_idle()
+                    || !self.sh.cfg.opts.pdo;
+                if want_ship {
+                    let idxs = frame.unshipped();
+                    if !idxs.is_empty() {
+                        self.ship_slots(&frame, &idxs);
+                        return Outcome::Worked;
+                    }
+                }
+                // PDO (speculative): the owner picks up its own frame's
+                // next unclaimed subgoal and runs it DIRECTLY on its
+                // machine — no goal copy, no markers, no integration —
+                // exactly the "single contiguous piece of computation" of
+                // §4.2. A fence guards backtracking; if the subgoal turns
+                // out nondeterministic it is rolled back and shipped
+                // normally (determinacy is only known a posteriori).
+                if self.sh.cfg.opts.pdo {
+                    self.charge(costs.pdo_check);
+                    if let Some(slot) = frame.claim_for_owner() {
+                        let goal = frame.inner.lock().slots[slot]
+                            .parent_goal
+                            .expect("shipped slot without parent goal");
+                        self.stack.pop(); // the Wait; re-pushed at the barrier
+                        let Some(Act::Run {
+                            machine,
+                            inline,
+                            owner_slot,
+                            ..
+                        }) = self.stack.last_mut()
+                        else {
+                            unreachable!("Wait without Run below")
+                        };
+                        let ctrl_len = machine.ctrl_len();
+                        let trail = machine.heap.trail_mark();
+                        let heap = machine.heap.heap_mark();
+                        let fence_idx = machine.push_fence(frame.id, slot as u32);
+                        machine.run_inline_branch(goal, frame.id);
+                        owner_slot.push(OwnerSlot {
+                            frame: frame.clone(),
+                            slot,
+                            fence_idx,
+                            ctrl_len,
+                            trail,
+                            heap,
+                        });
+                        inline.push(frame);
+                        return Outcome::Worked;
+                    }
+                }
+                // Help-first: while blocked on this frame's barrier, only
+                // pick up ITS unclaimed slots. Stealing unrelated (and
+                // possibly long) work here would bury this Wait under new
+                // activations and serialize the whole computation.
+                match frame.claim(None) {
+                    Some(slot) => {
+                        self.charge(costs.queue_op);
+                        self.start_slot(frame, slot);
+                        Outcome::Worked
+                    }
+                    None => {
+                        // remaining local goals the owner cannot run
+                        // directly (failed speculation, LPCO-added): ship
+                        // them so help-first / remote workers can
+                        let idxs = frame.unshipped();
+                        if !idxs.is_empty() {
+                            self.ship_slots(&frame, &idxs);
+                            return Outcome::Worked;
+                        }
+                        self.stats.idle_probes += 1;
+                        Outcome::NoWork
+                    }
+                }
+            }
+            FrameStage::Ready => {
+                self.stack.pop();
+                self.integrate(&frame);
+                Outcome::Worked
+            }
+            FrameStage::Failed => {
+                let costs = self.costs();
+                self.stack.pop();
+                // one level of failure propagation up the frame chain
+                self.stats.frame_traversals += 1;
+                self.charge(costs.frame_traverse);
+                let Some(Act::Run { machine, .. }) = self.stack.last_mut() else {
+                    unreachable!("Wait without Run below");
+                };
+                // Deeper (already integrated) inline frames may sit above
+                // this one on the control stack; discard them with it.
+                machine.fail_parcall_until(frame.id);
+                self.phase_cost += machine.take_unsurfaced_cost();
+                Outcome::Worked
+            }
+            FrameStage::Integrated | FrameStage::Exhausted => {
+                self.sh
+                    .fail_with("engine bug: waiting on finished frame".into());
+                Outcome::Worked
+            }
+        }
+    }
+
+    /// Splice the frame's slot solutions into the parent machine: copy each
+    /// group bundle in, unify each member's solved instance with the
+    /// parent-side subgoal term, record per-slot undo marks, materialize
+    /// parent-side terms for LPCO-added slots, and resume the parent.
+    fn integrate(&mut self, frame: &Arc<FrameState>) {
+        let costs = self.costs();
+        let mut copied = 0u64;
+        let mut unify_steps = 0u64;
+        let mut independence_violation = false;
+        {
+            let Some(Act::Run { machine, .. }) = self.stack.last_mut() else {
+                unreachable!("integrate without parent Run")
+            };
+            let mut inner = frame.inner.lock();
+            let from = inner.integrate_from;
+            let leaders: Vec<usize> = inner
+                .groups
+                .keys()
+                .copied()
+                .filter(|&l| l >= from)
+                .collect();
+            'groups: for leader in leaders {
+                let (bundle, members, extra) = {
+                    let g = &inner.groups[&leader];
+                    (
+                        g.bundle.clone().expect("ready group without bundle"),
+                        g.slots.clone(),
+                        g.extra.clone(),
+                    )
+                };
+                // Record the undo point for this group.
+                let mark = (machine.heap.trail_mark(), machine.heap.heap_mark());
+                // Joint copy of the whole bundle into the parent heap.
+                let mut scratch = (*bundle.heap).clone();
+                let tuple =
+                    scratch.new_struct(ace_logic::sym("$integ"), &bundle.roots);
+                let out = copy_term(&scratch, tuple, &mut machine.heap);
+                let Cell::Str(hdr) = out.root else { unreachable!() };
+                copied += out.cells_copied as u64;
+
+                for (i, &slot) in members.iter().enumerate() {
+                    inner.marks[slot] = Some(mark);
+                    let solved = machine.heap.str_arg(hdr, i as u32);
+                    let parent_goal = inner.slots[slot]
+                        .parent_goal
+                        .expect("parent goal not materialized in order");
+                    if trace_enabled() {
+                        eprintln!(
+                            "INTEG f{} slot={slot} origin={:?} owner_run={} pg={:?} heap={}",
+                            frame.id,
+                            inner.slots[slot].origin,
+                            inner.slots[slot].owner_run,
+                            parent_goal,
+                            machine.heap.len()
+                        );
+                    }
+                    match ace_logic::unify::unify(
+                        &mut machine.heap,
+                        parent_goal,
+                        solved,
+                    ) {
+                        Some(steps) => unify_steps += steps as u64,
+                        None => {
+                            independence_violation = true;
+                            break 'groups;
+                        }
+                    }
+                }
+                // Materialize parent-side terms for LPCO-added slots.
+                for &(added_slot, root_idx) in &extra {
+                    let cell = machine.heap.str_arg(hdr, root_idx as u32);
+                    inner.slots[added_slot].parent_goal = Some(cell);
+                    inner.slots[added_slot].materialized = true;
+                    inner.marks[added_slot] = Some(mark);
+                }
+            }
+            if !independence_violation {
+                inner.stage = FrameStage::Integrated;
+                inner.integrate_from = inner.slots.len();
+                drop(inner);
+                // The frame may be buried under deeper (already
+                // integrated) inline frames on the control stack, so
+                // resume via its stored continuation.
+                machine.resume_with_cont(frame.cont.clone());
+            }
+        }
+        self.stats.cells_copied += copied;
+        self.charge(copied * costs.heap_cell + unify_steps * costs.unify_step);
+        if independence_violation {
+            self.sh.fail_with(
+                "parallel goals were not independent: cross-slot binding \
+                 conflict at integration"
+                    .into(),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outside backtracking (redo)
+    // ------------------------------------------------------------------
+
+    /// The machine of the top `Run` activation is at `ParcallRedo`: find
+    /// the rightmost group that can produce another solution and start
+    /// advancing it; if none can, the parallel call is exhausted.
+    fn on_redo(&mut self) -> Outcome {
+        let costs = self.costs();
+        self.stats.redo_rounds += 1;
+        let Some(Act::Run {
+            machine, inline, ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let frame = {
+            let pf = machine
+                .top_parcall_mut()
+                .expect("ParcallRedo without frame");
+            pf.ext
+                .as_ref()
+                .and_then(|e| e.downcast_ref::<Arc<FrameState>>())
+                .cloned()
+                .expect("parcall frame without engine attachment")
+        };
+
+        // Backtracking reached a frame that was never (or is no longer)
+        // integrated: its inline branch failed — inside backtracking, the
+        // whole parallel call fails (paper §2: a subgoal with no solution
+        // fails the conjunction).
+        if frame.stage() != FrameStage::Integrated {
+            if inline.last().is_some_and(|f| f.id == frame.id) {
+                inline.pop();
+            }
+            self.stats.slot_failures += 1;
+            frame.fail();
+            machine.fail_parcall();
+            self.phase_cost += machine.take_unsurfaced_cost();
+            return Outcome::Worked;
+        }
+
+        // Scan groups right-to-left for an advanceable one. Each visited
+        // group costs a frame traversal — this is exactly the "repeated
+        // traversal" LPCO's flattening reduces.
+        /// What the redo scan selected: (group leader, kept generator if
+        /// any, its goal cells, recompute-skip count).
+        type Advance = (usize, Option<Box<Machine>>, Vec<Cell>, u64);
+        let mut advance: Option<Advance> = None;
+        {
+            let mut inner = frame.inner.lock();
+            let leaders: Vec<usize> = inner.groups.keys().copied().collect();
+            for &leader in leaders.iter().rev() {
+                self.stats.frame_traversals += 1;
+                self.charge(costs.frame_traverse);
+                let g = inner.groups.get_mut(&leader).unwrap();
+                if g.exhausted {
+                    continue;
+                }
+                if let Some(m) = g.machine.take() {
+                    advance = Some((leader, Some(m), g.goal_cells.clone(), 0));
+                    break;
+                }
+                if g.recompute {
+                    let skip = g.solutions_delivered;
+                    advance = Some((leader, None, Vec::new(), skip));
+                    break;
+                }
+                // det group: cannot advance
+                g.exhausted = true;
+            }
+            if advance.is_none() {
+                inner.stage = FrameStage::Exhausted;
+            }
+        }
+
+        match advance {
+            None => {
+                // Exhausted: fail the parallel call in the parent.
+                let Some(Act::Run { machine, .. }) = self.stack.last_mut() else {
+                    unreachable!()
+                };
+                machine.fail_parcall();
+                self.phase_cost += machine.take_unsurfaced_cost();
+                Outcome::Worked
+            }
+            Some((leader, Some(mut genm), goal_cells, _)) => {
+                // Resume the kept generator.
+                genm.backtrack();
+                self.phase_cost += genm.take_unsurfaced_cost();
+                self.stack.push(Act::Advance {
+                    frame,
+                    leader,
+                    machine: genm,
+                    mode: AdvanceMode::Generator,
+                    goal_cells,
+                });
+                Outcome::Worked
+            }
+            Some((leader, None, _, skip)) => {
+                // Recompute the group from its goal closures, sequentially.
+                let mut m = self.get_machine();
+                m.enable_parallel(false);
+                let (roots, cells) = {
+                    let inner = frame.inner.lock();
+                    let g = &inner.groups[&leader];
+                    let mut roots = Vec::new();
+                    let mut cells = 0usize;
+                    for &s in &g.slots {
+                        let slot = &inner.slots[s];
+                        let out =
+                            copy_term(&slot.goal_heap, slot.goal_root, &mut m.heap);
+                        cells += out.cells_copied;
+                        roots.push(out.root);
+                    }
+                    (roots, cells)
+                };
+                self.stats.cells_copied += cells as u64;
+                self.charge(cells as u64 * costs.heap_cell);
+                // conjoin the roots: run them in order
+                let mut goal = *roots.last().unwrap();
+                for &r in roots.iter().rev().skip(1) {
+                    goal = m.heap.new_struct(ace_logic::sym(","), &[r, goal]);
+                }
+                m.set_query(goal);
+                self.stack.push(Act::Advance {
+                    frame,
+                    leader,
+                    machine: m,
+                    mode: AdvanceMode::Recompute { skip, seen: 0 },
+                    goal_cells: roots,
+                });
+                Outcome::Worked
+            }
+        }
+    }
+
+    fn step_advance(&mut self) -> Outcome {
+        let quantum = self.sh.cfg.quantum;
+        let Some(Act::Advance {
+            frame, machine, ..
+        }) = self.stack.last_mut()
+        else {
+            unreachable!()
+        };
+        let cancel = frame.cancel.clone();
+        let status = machine.run(quantum, Some(&cancel));
+        self.phase_cost += machine.take_unsurfaced_cost();
+
+        match status {
+            Status::Running => Outcome::Worked,
+            Status::Solution => {
+                // Recompute mode may need to skip already-delivered ones.
+                let Some(Act::Advance {
+                    machine, mode, ..
+                }) = self.stack.last_mut()
+                else {
+                    unreachable!()
+                };
+                if let AdvanceMode::Recompute { skip, seen } = mode {
+                    if *seen < *skip {
+                        *seen += 1;
+                        machine.backtrack();
+                        self.phase_cost += machine.take_unsurfaced_cost();
+                        return Outcome::Worked;
+                    }
+                }
+                self.advance_succeeded()
+            }
+            Status::Failed => {
+                let Some(Act::Advance {
+                    frame,
+                    leader,
+                    machine,
+                    ..
+                }) = self.stack.pop()
+                else {
+                    unreachable!()
+                };
+                {
+                    let mut inner = frame.inner.lock();
+                    let g = inner.groups.get_mut(&leader).unwrap();
+                    g.exhausted = true;
+                    g.machine = None;
+                }
+                self.retire_machine(machine);
+                // Parent (below) is still at ParcallRedo; next phase
+                // rescans for a group further left.
+                Outcome::Worked
+            }
+            Status::Cancelled => {
+                let Some(Act::Advance { machine, .. }) = self.stack.pop() else {
+                    unreachable!()
+                };
+                self.retire_machine(machine);
+                Outcome::Worked
+            }
+            Status::Error(e) => {
+                self.sh.fail_with(e);
+                Outcome::Worked
+            }
+            other => {
+                self.sh.fail_with(format!(
+                    "engine bug: unexpected generator status {other:?}"
+                ));
+                Outcome::Worked
+            }
+        }
+    }
+
+    /// A group produced its next solution: rebuild its bundle, undo the
+    /// parent's integrations from that group rightwards, reset and re-run
+    /// the groups to its right, and wait for the wave to refill.
+    fn advance_succeeded(&mut self) -> Outcome {
+        let costs = self.costs();
+        let Some(Act::Advance {
+            frame,
+            leader,
+            machine,
+            mode,
+            goal_cells,
+        }) = self.stack.pop()
+        else {
+            unreachable!()
+        };
+
+        let (bundle, cells) = bundle_copy(&machine.heap, &goal_cells);
+        self.stats.cells_copied += cells as u64;
+        self.charge(cells as u64 * costs.heap_cell);
+
+        let mut new_tasks: Vec<Task> = Vec::new();
+        let mut machine_opt = Some(machine);
+        let mut rerun_branch: Option<Cell> = None;
+        {
+            // Undo parent integrations from this group onwards.
+            let Some(Act::Run { machine: parent, .. }) = self.stack.last_mut()
+            else {
+                unreachable!("Advance without parent Run")
+            };
+            let mut inner = frame.inner.lock();
+            let group_last = *inner.groups[&leader].slots.last().unwrap();
+            // If the inline slot lies right of the advanced group, its
+            // branch must re-run too; its bindings predate every
+            // integration, so the undo point is the frame's creation.
+            let rerun_inline = inner.inline.is_some_and(|i| i > group_last);
+            let owner_reset = inner
+                .slots
+                .iter()
+                .enumerate()
+                .any(|(i, sl)| {
+                    i > group_last
+                        && sl.owner_run
+                        && sl.state != SlotState::Dropped
+                });
+            // Inline and owner-executed bindings predate every integration
+            // mark, so resetting them needs the frame-creation undo point.
+            let deep_undo = rerun_inline || owner_reset;
+            let (tm, hm) = if deep_undo {
+                frame.created_at
+            } else {
+                inner.marks[leader].expect("advanced group not integrated")
+            };
+            let undone = parent.heap.undo_to(tm);
+            parent.heap.truncate_to(hm);
+            self.stats.trail_undos += undone as u64;
+            self.charge(undone as u64 * costs.trail_undo);
+
+            // Store the new bundle & machine state.
+            {
+                let g = inner.groups.get_mut(&leader).unwrap();
+                g.bundle = Some(bundle);
+                g.solutions_delivered += 1;
+                if matches!(mode, AdvanceMode::Generator) {
+                    g.machine = machine_opt.take();
+                }
+                // Recompute mode: the scratch machine is retired below.
+            }
+
+            // Reset everything to the right of the advanced group.
+            let total = inner.slots.len();
+            let mut pending = 0usize;
+            for s in (group_last + 1)..total {
+                if inner.slots[s].state == SlotState::Dropped {
+                    continue;
+                }
+                if Some(s) == inner.inline {
+                    // the owner machine re-runs this branch itself
+                    inner.slots[s].state = SlotState::Running;
+                    inner.marks[s] = None;
+                    continue;
+                }
+                let origin = inner.slots[s].origin;
+                // LPCO-added slots whose origin also reruns will be
+                // re-created by that rerun: drop them.
+                if origin.is_some_and(|o| o > group_last) {
+                    inner.slots[s].state = SlotState::Dropped;
+                    if let Some(gl) = inner.slots[s].group.take() {
+                        inner.groups.remove(&gl);
+                    }
+                    inner.marks[s] = None;
+                    continue;
+                }
+                if let Some(gl) = inner.slots[s].group.take() {
+                    inner.groups.remove(&gl);
+                }
+                inner.slots[s].state = SlotState::Unclaimed;
+                inner.slots[s].owner_run = false;
+                inner.marks[s] = None;
+                pending += 1;
+                if inner.slots[s].shipped {
+                    new_tasks.push(Task {
+                        frame: frame.clone(),
+                        slot: s,
+                        creator: self.id,
+                    });
+                }
+            }
+            if deep_undo {
+                // every integration was undone: redo them all, and drop
+                // LPCO-materialized parent goals (their cells were
+                // truncated; the origin's re-integration recreates them)
+                for m in inner.marks.iter_mut() {
+                    *m = None;
+                }
+                for sl in inner.slots.iter_mut() {
+                    if sl.materialized {
+                        sl.parent_goal = None;
+                        sl.materialized = false;
+                    }
+                }
+                inner.integrate_from = 0;
+            }
+            if rerun_inline {
+                inner.inline_done = false;
+                inner.rerun_inline = true;
+                let idx = inner.inline.unwrap();
+                rerun_branch = inner.slots[idx].parent_goal;
+            } else if !deep_undo {
+                inner.integrate_from = leader;
+            }
+            inner.pending = pending;
+            inner.stage = if pending > 0 {
+                FrameStage::Filling
+            } else {
+                FrameStage::Ready
+            };
+        }
+        if let Some(m) = machine_opt {
+            self.retire_machine(m);
+        }
+        if !new_tasks.is_empty() {
+            self.sh.queue.lock().extend(new_tasks);
+        }
+        match rerun_branch {
+            Some(branch) => {
+                // Restart the inline branch on the owner machine; the
+                // barrier Wait is pushed by its completion handler.
+                let Some(Act::Run {
+                    machine: parent,
+                    inline,
+                    ..
+                }) = self.stack.last_mut()
+                else {
+                    unreachable!()
+                };
+                parent.run_inline_branch(branch, frame.id);
+                inline.push(frame);
+            }
+            None => {
+                self.stack.push(Act::Wait { frame });
+            }
+        }
+        Outcome::Worked
+    }
+}
+
+/// Refined runtime determinacy: a finished subgoal is deterministic when
+/// no choice point survives AND every nested parcall frame it integrated
+/// is itself incapable of further solutions. (The coarse
+/// `Machine::is_deterministic_above` treats any parcall frame as a
+/// nondeterminism source; this looks through the engine attachment.)
+fn machine_is_deterministic(machine: &Machine) -> bool {
+    region_is_deterministic(machine, 0)
+}
+
+/// Like [`machine_is_deterministic`], restricted to control frames at
+/// height `from` and above (owner-PDO determinacy check of one region).
+fn region_is_deterministic(machine: &Machine, from: usize) -> bool {
+    use ace_machine::CtrlFrame;
+    let ctrl = machine.ctrl_frames();
+    ctrl[from.min(ctrl.len())..].iter().all(|f| match f {
+        CtrlFrame::Marker(_) => true,
+        CtrlFrame::Choice(_) => false,
+        CtrlFrame::Parcall(pf) => pf
+            .ext
+            .as_ref()
+            .and_then(|e| e.downcast_ref::<Arc<FrameState>>())
+            .is_some_and(|fs| fs.fully_deterministic()),
+    })
+}
+
+impl Agent for AndWorker {
+    fn phase(&mut self) -> Phase {
+        if self.sh.done.load(Ordering::Acquire) {
+            if !self.reported {
+                self.reported = true;
+                // Harvest counters from machines still on the activation
+                // stack (the root machine in particular never retires).
+                while let Some(act) = self.stack.pop() {
+                    match act {
+                        Act::Run { machine, .. } | Act::Advance { machine, .. } => {
+                            self.retire_machine(machine);
+                        }
+                        Act::Wait { .. } => {}
+                    }
+                }
+                self.sh.worker_stats.lock().push(self.stats);
+            }
+            return Phase::Done;
+        }
+        self.phase_cost = 0;
+        match self.do_phase() {
+            Outcome::Worked => {
+                self.idle_streak = 0;
+                self.mark_idle(false);
+                Phase::Busy(self.phase_cost.max(1))
+            }
+            Outcome::NoWork => {
+                self.mark_idle(true);
+                // Spin-then-back-off: consecutive fruitless probes grow
+                // exponentially up to the quantum, so idle workers don't
+                // flood the virtual-time driver with micro-phases.
+                let base = self.sh.cfg.costs.idle_probe;
+                let p = (base << self.idle_streak.min(6))
+                    .min(self.sh.cfg.quantum.max(base));
+                self.idle_streak = self.idle_streak.saturating_add(1);
+                self.stats.charge_idle(p);
+                Phase::Idle(p)
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion wrappers over the paper experiments: one bench per table and
+//! figure, at reduced (quick) sizes so `cargo bench` finishes promptly.
+//! The authoritative full-size reproduction is the `tables` binary; these
+//! benches wall-clock the same code paths and guard against performance
+//! regressions of the engines themselves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ace_bench::{experiments, run_experiment};
+
+fn bench_paper_experiments(c: &mut Criterion) {
+    for exp in experiments() {
+        // keep the bench matrix small: two benchmarks, two worker counts
+        let mut exp = exp;
+        exp.benchmarks.truncate(2);
+        exp.workers = match exp.workers.len() {
+            0..=2 => exp.workers,
+            _ => vec![exp.workers[0], *exp.workers.last().unwrap()],
+        };
+        let id = exp.id;
+        c.bench_function(&format!("paper/{id}"), move |b| {
+            b.iter(|| black_box(run_experiment(&exp, true).unwrap()));
+        });
+    }
+}
+
+criterion_group!(
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_paper_experiments
+);
+criterion_main!(paper);

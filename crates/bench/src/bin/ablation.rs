@@ -1,0 +1,138 @@
+//! `ablation` — cost-model sensitivity analysis.
+//!
+//! The reproduction's conclusions rest on a calibrated cost model
+//! (`ace_runtime::CostModel`). This harness varies one price at a time and
+//! reports how each optimization's improvement responds, showing which
+//! conclusions are robust to calibration and which are driven by a
+//! particular constant:
+//!
+//! * `marker_alloc`  → SPO's gain (it removes exactly these);
+//! * `frame_traverse` + `parcall_frame_alloc` → LPCO's backward-execution
+//!   gain (flattening removes traversals and frames);
+//! * `tree_visit` → LAO's gain (shallow public trees are cheap to scan);
+//! * `steal`/`queue_op` → PDO's gain (owner-local execution avoids them).
+//!
+//! ```sh
+//! cargo run --release -p ace-bench --bin ablation
+//! ```
+
+use ace_core::Ace;
+use ace_runtime::{CostModel, EngineConfig, OptFlags};
+
+struct Knob {
+    name: &'static str,
+    values: [u64; 3],
+    set: fn(&mut CostModel, u64),
+    benchmark: &'static str,
+    size: usize,
+    workers: usize,
+    base: OptFlags,
+    opt: OptFlags,
+    optimization: &'static str,
+}
+
+fn knobs() -> Vec<Knob> {
+    vec![
+        Knob {
+            name: "marker_alloc",
+            values: [5, 30, 120],
+            set: |c, v| c.marker_alloc = v,
+            benchmark: "takeuchi",
+            size: 9,
+            workers: 4,
+            base: OptFlags::none(),
+            opt: OptFlags::spo_only(),
+            optimization: "SPO",
+        },
+        Knob {
+            name: "frame_traverse",
+            values: [12, 48, 200],
+            set: |c, v| c.frame_traverse = v,
+            benchmark: "matrix_bt",
+            size: 8,
+            workers: 4,
+            base: OptFlags::none(),
+            opt: OptFlags::lpco_only(),
+            optimization: "LPCO (backward)",
+        },
+        Knob {
+            name: "parcall_frame_alloc",
+            values: [10, 40, 160],
+            set: |c, v| c.parcall_frame_alloc = v,
+            benchmark: "map2",
+            size: 30,
+            workers: 4,
+            base: OptFlags::none(),
+            opt: OptFlags::lpco_only(),
+            optimization: "LPCO (forward)",
+        },
+        Knob {
+            name: "tree_visit",
+            values: [2, 8, 40],
+            set: |c, v| c.tree_visit = v,
+            benchmark: "members",
+            size: 14,
+            workers: 8,
+            base: OptFlags::none(),
+            opt: OptFlags::lao_only(),
+            optimization: "LAO",
+        },
+        Knob {
+            name: "steal",
+            values: [5, 30, 150],
+            set: |c, v| c.steal = v,
+            benchmark: "takeuchi",
+            size: 9,
+            workers: 1,
+            base: OptFlags::lpco_only(),
+            opt: OptFlags {
+                lpco: true,
+                pdo: true,
+                ..OptFlags::none()
+            },
+            optimization: "PDO",
+        },
+    ]
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12}  optimization",
+        "knob", "value", "t_base", "t_opt", "improvement"
+    );
+    for k in knobs() {
+        let b = ace_programs::benchmark(k.benchmark).expect("corpus");
+        let ace = Ace::load(&(b.program)(k.size)).expect("load");
+        let query = (b.query)(k.size);
+        for v in k.values {
+            let mut costs = CostModel::default();
+            (k.set)(&mut costs, v);
+            let mk = |opts: OptFlags| {
+                let mut c = EngineConfig::default()
+                    .with_workers(k.workers)
+                    .with_opts(opts);
+                c.costs = costs.clone();
+                c.max_solutions = if b.all_solutions { None } else { Some(1) };
+                c
+            };
+            let r0 = ace.run(b.mode, &query, &mk(k.base)).expect("base run");
+            let r1 = ace.run(b.mode, &query, &mk(k.opt)).expect("opt run");
+            println!(
+                "{:<22} {:>8} {:>12} {:>12} {:>11.1}%  {} on {}",
+                k.name,
+                v,
+                r0.virtual_time,
+                r1.virtual_time,
+                r0.improvement_over(&r1),
+                k.optimization,
+                k.benchmark
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: each optimization's gain should grow with the price of\n\
+         the operation it eliminates — confirming the mechanism — while\n\
+         remaining positive across the sweep (robustness)."
+    );
+}

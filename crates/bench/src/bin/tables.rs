@@ -1,0 +1,89 @@
+//! `tables` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tables                  # run every experiment at full size
+//! tables table2 fig5      # run specific experiments
+//! tables --quick          # halved sizes (smoke run)
+//! tables --list           # list experiments
+//! tables --out DIR        # write .txt/.csv results (default: results/)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use ace_bench::{experiments, render_csv, render_table, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let wanted: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // skip the value of --out
+            args.iter()
+                .position(|x| x == "--out")
+                .is_none_or(|i| args.get(i + 1) != Some(*a))
+        })
+        .collect();
+
+    let all = experiments();
+    if list {
+        for e in &all {
+            println!("{:<10} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if wanted.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|e| wanted.iter().any(|w| *w == e.id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(1);
+    }
+
+    fs::create_dir_all(&out_dir).expect("create results dir");
+    for exp in &selected {
+        eprintln!(
+            "running {}{} ...",
+            exp.id,
+            if quick { " (quick)" } else { "" }
+        );
+        let started = std::time::Instant::now();
+        match run_experiment(exp, quick) {
+            Ok(result) => {
+                let txt = render_table(&result);
+                println!("{txt}");
+                let base = out_dir.join(exp.id);
+                fs::write(base.with_extension("txt"), &txt).unwrap();
+                fs::write(
+                    base.with_extension("csv"),
+                    render_csv(&result),
+                )
+                .unwrap();
+                eprintln!(
+                    "{} done in {:.1}s (results/{}.txt, .csv)",
+                    exp.id,
+                    started.elapsed().as_secs_f64(),
+                    exp.id
+                );
+            }
+            Err(e) => {
+                eprintln!("{} FAILED: {e}", exp.id);
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # ace-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation:
+//!
+//! | experiment | paper content | toggled optimization |
+//! |---|---|---|
+//! | `table1` | LPCO, forward execution | LPCO |
+//! | `table2` | LPCO, backward execution | LPCO |
+//! | `fig5`   | speedup curves, backward execution | LPCO |
+//! | `table3` | LAO on or-parallel search | LAO |
+//! | `table4` | shallow parallelism | SPO |
+//! | `fig8`   | execution-time curves | SPO |
+//! | `table5` | processor determinacy | PDO |
+//! | `overhead` | §2.3 parallel overhead vs sequential | all |
+//!
+//! Every measurement is a deterministic virtual-time run (see
+//! `ace-runtime`); "time" columns are cost units, reported exactly like the
+//! paper's tables: `unoptimized/optimized (improvement%)` per worker count.
+
+pub mod experiments;
+pub mod render;
+pub mod runner;
+
+pub use experiments::{experiments, Experiment, ExperimentKind};
+pub use render::{render_csv, render_table};
+pub use runner::{run_experiment, CellResult, ExperimentResult};

@@ -1,0 +1,158 @@
+//! Experiment execution: run benchmark × workers × {unopt, opt} cells.
+
+use ace_core::{Ace, Mode, RunReport};
+use ace_runtime::{EngineConfig, OptFlags};
+
+use crate::experiments::{Experiment, ExperimentKind};
+
+/// One measured cell of a table/figure.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub benchmark: String,
+    pub workers: usize,
+    /// Virtual time, unoptimized engine.
+    pub unopt: u64,
+    /// Virtual time, optimized engine.
+    pub opt: u64,
+    /// `(unopt - opt) / unopt`, in percent (paper convention).
+    pub improvement: f64,
+    /// Sequential-baseline virtual time (overhead experiment only).
+    pub sequential: Option<u64>,
+    /// Mechanism counters of the optimized run, for the "why" columns.
+    pub opt_stats: ace_runtime::Stats,
+    pub unopt_stats: ace_runtime::Stats,
+}
+
+/// A fully executed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    pub id: String,
+    pub title: String,
+    pub kind: ExperimentKind,
+    pub workers: Vec<usize>,
+    pub cells: Vec<CellResult>,
+    pub paper_claim: String,
+}
+
+fn cfg_for(b: &ace_programs::Benchmark, workers: usize, opts: OptFlags) -> EngineConfig {
+    let mut c = EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(opts);
+    c.max_solutions = if b.all_solutions { None } else { Some(1) };
+    c
+}
+
+fn run_one(
+    ace: &Ace,
+    b: &ace_programs::Benchmark,
+    query: &str,
+    workers: usize,
+    opts: OptFlags,
+) -> Result<RunReport, String> {
+    ace.run(b.mode, query, &cfg_for(b, workers, opts))
+}
+
+/// Execute `exp`, optionally scaling sizes down (`quick`).
+pub fn run_experiment(exp: &Experiment, quick: bool) -> Result<ExperimentResult, String> {
+    let mut cells = Vec::new();
+    for &(name, size) in &exp.benchmarks {
+        let b = ace_programs::benchmark(name)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let size = if quick {
+            crate::experiments::quick_size(size)
+        } else {
+            size
+        };
+        let program = (b.program)(size);
+        let query = (b.query)(size);
+        let ace = Ace::load(&program)?;
+
+        let sequential = if exp.kind == ExperimentKind::Overhead {
+            let mut c = cfg_for(&b, 1, OptFlags::none());
+            c.max_solutions = if b.all_solutions { None } else { Some(1) };
+            Some(ace.run(Mode::Sequential, &query, &c)?.virtual_time)
+        } else {
+            None
+        };
+
+        for &w in &exp.workers {
+            let unopt = run_one(&ace, &b, &query, w, exp.base)
+                .map_err(|e| format!("{name} w={w} unopt: {e}"))?;
+            let opt = run_one(&ace, &b, &query, w, exp.opt)
+                .map_err(|e| format!("{name} w={w} opt: {e}"))?;
+            debug_assert_eq!(
+                unopt.solutions.len(),
+                opt.solutions.len(),
+                "{name} w={w}: optimized run changed the solution count"
+            );
+            cells.push(CellResult {
+                benchmark: name.to_owned(),
+                workers: w,
+                unopt: unopt.virtual_time,
+                opt: opt.virtual_time,
+                improvement: unopt.improvement_over(&opt),
+                sequential,
+                opt_stats: opt.stats,
+                unopt_stats: unopt.stats,
+            });
+        }
+    }
+    Ok(ExperimentResult {
+        id: exp.id.to_owned(),
+        title: exp.title.to_owned(),
+        kind: exp.kind,
+        workers: exp.workers.clone(),
+        cells,
+        paper_claim: exp.paper_claim.to_owned(),
+    })
+}
+
+impl ExperimentResult {
+    /// Cells of one benchmark, in worker order.
+    pub fn row(&self, benchmark: &str) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.benchmark == benchmark)
+            .collect()
+    }
+
+    /// Benchmark names in first-appearance order.
+    pub fn benchmarks(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.benchmark) {
+                seen.push(c.benchmark.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::experiment;
+
+    #[test]
+    fn quick_table1_runs_and_improves() {
+        let exp = experiment("table1").unwrap();
+        let r = run_experiment(&exp, true).unwrap();
+        assert_eq!(r.benchmarks(), vec!["map2", "occur"]);
+        assert_eq!(r.cells.len(), 2 * exp.workers.len());
+        for c in &r.cells {
+            assert!(c.unopt > 0 && c.opt > 0);
+        }
+    }
+
+    #[test]
+    fn quick_overhead_has_sequential_column() {
+        let exp = experiment("overhead").unwrap();
+        // restrict to two benchmarks for test speed
+        let mut exp = exp;
+        exp.benchmarks.truncate(2);
+        let r = run_experiment(&exp, true).unwrap();
+        for c in &r.cells {
+            assert!(c.sequential.unwrap() > 0);
+        }
+    }
+}

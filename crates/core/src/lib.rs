@@ -1,0 +1,250 @@
+//! # ace-core — the ACE system facade
+//!
+//! One entry point over the whole reproduction: load a program, pick an
+//! execution mode ([`Mode`]), a worker count and an optimization set
+//! ([`ace_runtime::OptFlags`]), run a query, get a [`RunReport`] with the
+//! solutions, the virtual execution time and the full statistics sheet.
+//!
+//! ```
+//! use ace_core::{Ace, Mode};
+//! use ace_runtime::{EngineConfig, OptFlags};
+//!
+//! let ace = Ace::load(r#"
+//!     double(X, Y) :- Y is X * 2.
+//!     pair(A, B) :- double(1, A) & double(2, B).
+//! "#).unwrap();
+//!
+//! let cfg = EngineConfig::default()
+//!     .with_workers(4)
+//!     .with_opts(OptFlags::all())
+//!     .all_solutions();
+//! let report = ace.run(Mode::AndParallel, "pair(A, B)", &cfg).unwrap();
+//! assert_eq!(report.solutions, vec!["A=2, B=4"]);
+//! ```
+
+pub mod report;
+pub mod schema;
+
+use std::sync::Arc;
+
+use ace_and::AndEngine;
+use ace_logic::Database;
+use ace_machine::Solver;
+use ace_or::OrEngine;
+use ace_runtime::{CostModel, EngineConfig};
+
+pub use report::RunReport;
+pub use schema::{Optimization, Schema};
+
+/// Which engine executes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Pure sequential baseline (the "SICStus" stand-in): `&` behaves as
+    /// `,`, no parallel machinery at all.
+    Sequential,
+    /// Independent and-parallel execution (&ACE model): honours `&`,
+    /// LPCO/SPO/PDO apply.
+    AndParallel,
+    /// Or-parallel execution (MUSE model): alternatives explored in
+    /// parallel, LAO applies. Programs must not contain `&`.
+    OrParallel,
+}
+
+/// The loaded system: a program database plus both engines.
+pub struct Ace {
+    db: Arc<Database>,
+}
+
+impl Ace {
+    /// Parse and load `program`.
+    pub fn load(program: &str) -> Result<Ace, String> {
+        let db = Database::load(program).map_err(|e| e.to_string())?;
+        Ok(Ace { db: Arc::new(db) })
+    }
+
+    /// Load from an already-built database.
+    pub fn from_db(db: Arc<Database>) -> Ace {
+        Ace { db }
+    }
+
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Run `query` under `mode` and `cfg`.
+    pub fn run(
+        &self,
+        mode: Mode,
+        query: &str,
+        cfg: &EngineConfig,
+    ) -> Result<RunReport, String> {
+        match mode {
+            Mode::Sequential => self.run_sequential(query, cfg),
+            Mode::AndParallel => {
+                let engine = AndEngine::new(self.db.clone());
+                let r = engine.run(query, cfg)?;
+                Ok(RunReport {
+                    solutions: r.solutions.iter().map(|s| s.render()).collect(),
+                    virtual_time: r.outcome.virtual_time,
+                    wall: r.outcome.wall,
+                    clocks: r.outcome.clocks,
+                    stats: r.stats,
+                    per_worker: r.per_worker,
+                    tree_depth: None,
+                })
+            }
+            Mode::OrParallel => {
+                let engine = OrEngine::new(self.db.clone());
+                let r = engine.run(query, cfg)?;
+                Ok(RunReport {
+                    solutions: r.solutions,
+                    virtual_time: r.outcome.virtual_time,
+                    wall: r.outcome.wall,
+                    clocks: r.outcome.clocks,
+                    stats: r.stats,
+                    per_worker: r.per_worker,
+                    tree_depth: Some(r.max_tree_depth),
+                })
+            }
+        }
+    }
+
+    fn run_sequential(
+        &self,
+        query: &str,
+        cfg: &EngineConfig,
+    ) -> Result<RunReport, String> {
+        let start = std::time::Instant::now();
+        let mut solver = Solver::new(
+            self.db.clone(),
+            Arc::new(cfg.costs.clone()),
+            query,
+        )
+        .map_err(|e| e.to_string())?;
+        let sols = solver
+            .collect_solutions(cfg.max_solutions)
+            .map_err(|e| e.to_string())?;
+        let stats = solver.machine().stats;
+        Ok(RunReport {
+            solutions: sols.iter().map(|s| s.render()).collect(),
+            virtual_time: stats.total_cost(),
+            wall: start.elapsed(),
+            clocks: vec![stats.total_cost()],
+            stats,
+            per_worker: vec![stats],
+            tree_depth: None,
+        })
+    }
+
+    /// Convenience: the sequential solution list (oracle for tests).
+    pub fn sequential_solutions(&self, query: &str) -> Result<Vec<String>, String> {
+        let cfg = EngineConfig {
+            max_solutions: None,
+            costs: CostModel::default(),
+            ..EngineConfig::default()
+        };
+        Ok(self.run(Mode::Sequential, query, &cfg)?.solutions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_runtime::OptFlags;
+
+    const PROG: &str = r#"
+        double(X, Y) :- Y is X * 2.
+        p(1). p(2). p(3).
+        pl([], []).
+        pl([H|T], [H2|T2]) :- double(H, H2) & pl(T, T2).
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+    "#;
+
+    fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(opts)
+            .all_solutions()
+    }
+
+    #[test]
+    fn three_modes_agree_on_solutions() {
+        let ace = Ace::load(PROG).unwrap();
+        let seq = ace.sequential_solutions("p(X), double(X, Y)").unwrap();
+        let and = ace
+            .run(Mode::AndParallel, "p(X), double(X, Y)", &cfg(2, OptFlags::all()))
+            .unwrap();
+        let or = ace
+            .run(Mode::OrParallel, "p(X), double(X, Y)", &cfg(2, OptFlags::all()))
+            .unwrap();
+        let mut or_sols = or.solutions.clone();
+        or_sols.sort();
+        let mut seq_sorted = seq.clone();
+        seq_sorted.sort();
+        assert_eq!(and.solutions, seq);
+        assert_eq!(or_sols, seq_sorted);
+    }
+
+    #[test]
+    fn and_parallel_honours_amp() {
+        let ace = Ace::load(PROG).unwrap();
+        let r = ace
+            .run(
+                Mode::AndParallel,
+                "pl([1,2,3], Out)",
+                &cfg(3, OptFlags::all()),
+            )
+            .unwrap();
+        assert_eq!(r.solutions, vec!["Out=[2,4,6]"]);
+        assert!(r.virtual_time > 0);
+    }
+
+    #[test]
+    fn sequential_treats_amp_as_comma() {
+        let ace = Ace::load(PROG).unwrap();
+        let sols = ace.sequential_solutions("pl([1,2], Out)").unwrap();
+        assert_eq!(sols, vec!["Out=[2,4]"]);
+    }
+
+    #[test]
+    fn or_parallel_reports_tree_depth() {
+        let ace = Ace::load(PROG).unwrap();
+        let r = ace
+            .run(
+                Mode::OrParallel,
+                "member(X, [1,2,3,4,5])",
+                &cfg(3, OptFlags::none()),
+            )
+            .unwrap();
+        assert_eq!(r.solutions.len(), 5);
+        assert!(r.tree_depth.is_some());
+    }
+
+    #[test]
+    fn report_summary_renders() {
+        let ace = Ace::load(PROG).unwrap();
+        let r = ace
+            .run(Mode::AndParallel, "pl([1,2], O)", &cfg(2, OptFlags::all()))
+            .unwrap();
+        let s = r.summary();
+        assert!(s.contains("virtual time"));
+    }
+
+    #[test]
+    fn doc_example_works() {
+        let ace = Ace::load(
+            r#"
+            double(X, Y) :- Y is X * 2.
+            pair(A, B) :- double(1, A) & double(2, B).
+            "#,
+        )
+        .unwrap();
+        let cfg = EngineConfig::default()
+            .with_workers(4)
+            .with_opts(OptFlags::all())
+            .all_solutions();
+        let report = ace.run(Mode::AndParallel, "pair(A, B)", &cfg).unwrap();
+        assert_eq!(report.solutions, vec!["A=2, B=4"]);
+    }
+}

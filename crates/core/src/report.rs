@@ -1,0 +1,97 @@
+//! Run reports: solutions plus the measurements every experiment consumes.
+
+use std::time::Duration;
+
+use ace_runtime::Stats;
+
+/// The outcome of one query run under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Rendered solutions (`"X=1, Y=2"`), in discovery order.
+    pub solutions: Vec<String>,
+    /// Simulated execution time in cost units: max over workers of
+    /// busy + idle virtual time. This is the number reported in every
+    /// reproduced table (the substitute for the paper's Sequent Symmetry
+    /// wall-clock seconds).
+    pub virtual_time: u64,
+    /// Host wall-clock time of the run (informational).
+    pub wall: Duration,
+    /// Per-worker final virtual clocks.
+    pub clocks: Vec<u64>,
+    /// Aggregated statistics across workers.
+    pub stats: Stats,
+    /// Per-worker statistics.
+    pub per_worker: Vec<Stats>,
+    /// Or-parallel runs: maximum public-tree depth observed.
+    pub tree_depth: Option<u32>,
+}
+
+impl RunReport {
+    /// Percentage improvement of `optimized` over `self` (the paper's
+    /// `(unopt - opt) / unopt` convention, negative = slowdown).
+    pub fn improvement_over(&self, optimized: &RunReport) -> f64 {
+        if self.virtual_time == 0 {
+            return 0.0;
+        }
+        100.0 * (self.virtual_time as f64 - optimized.virtual_time as f64)
+            / self.virtual_time as f64
+    }
+
+    /// Speedup of this run relative to a one-worker reference time.
+    pub fn speedup_from(&self, one_worker_time: u64) -> f64 {
+        if self.virtual_time == 0 {
+            return 0.0;
+        }
+        one_worker_time as f64 / self.virtual_time as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} solution(s), virtual time {}, workers {}, {}",
+            self.solutions.len(),
+            self.virtual_time,
+            self.clocks.len(),
+            self.stats.summary()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(vt: u64) -> RunReport {
+        RunReport {
+            solutions: vec![],
+            virtual_time: vt,
+            wall: Duration::ZERO,
+            clocks: vec![vt],
+            stats: Stats::new(),
+            per_worker: vec![],
+            tree_depth: None,
+        }
+    }
+
+    #[test]
+    fn improvement_math() {
+        let unopt = report(200);
+        let opt = report(150);
+        assert!((unopt.improvement_over(&opt) - 25.0).abs() < 1e-9);
+        // slowdown is negative
+        assert!(opt.improvement_over(&unopt) < 0.0);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let five_workers = report(40);
+        assert!((five_workers.speedup_from(200) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let z = report(0);
+        assert_eq!(z.improvement_over(&report(10)), 0.0);
+        assert_eq!(z.speedup_from(100), 0.0);
+    }
+}

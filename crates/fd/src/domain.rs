@@ -1,0 +1,162 @@
+//! Bit-set finite domains over `0..=63`.
+
+/// A finite domain as a 64-bit set: bit `v` set ⇔ value `v` is possible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BitDomain(pub u64);
+
+impl BitDomain {
+    /// The domain `{lo, lo+1, …, hi}` (inclusive; both ≤ 63).
+    pub fn range(lo: u32, hi: u32) -> BitDomain {
+        assert!(lo <= hi && hi <= 63, "BitDomain supports values 0..=63");
+        let width = hi - lo + 1;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << lo
+        };
+        BitDomain(mask)
+    }
+
+    /// The singleton `{v}`.
+    pub fn singleton(v: u32) -> BitDomain {
+        BitDomain(1u64 << v)
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn contains(self, v: u32) -> bool {
+        v <= 63 && self.0 & (1 << v) != 0
+    }
+
+    /// Number of possible values.
+    pub fn size(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The single value, if the domain is a singleton.
+    pub fn value(self) -> Option<u32> {
+        if self.size() == 1 {
+            Some(self.0.trailing_zeros())
+        } else {
+            None
+        }
+    }
+
+    pub fn min(self) -> Option<u32> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+
+    pub fn max(self) -> Option<u32> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros())
+        }
+    }
+
+    /// Remove `v`; reports whether the domain changed.
+    pub fn remove(&mut self, v: u32) -> bool {
+        if self.contains(v) {
+            self.0 &= !(1 << v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every value `< bound`; reports change.
+    pub fn remove_below(&mut self, bound: u32) -> bool {
+        let keep = if bound >= 64 { 0 } else { u64::MAX << bound };
+        let new = self.0 & keep;
+        let changed = new != self.0;
+        self.0 = new;
+        changed
+    }
+
+    /// Remove every value `> bound`; reports change.
+    pub fn remove_above(&mut self, bound: u32) -> bool {
+        let keep = if bound >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (bound + 1)) - 1
+        };
+        let new = self.0 & keep;
+        let changed = new != self.0;
+        self.0 = new;
+        changed
+    }
+
+    /// Iterate the values in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let v = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(v)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_contains() {
+        let d = BitDomain::range(2, 5);
+        assert_eq!(d.size(), 4);
+        assert!(d.contains(2) && d.contains(5));
+        assert!(!d.contains(1) && !d.contains(6));
+        assert_eq!(d.min(), Some(2));
+        assert_eq!(d.max(), Some(5));
+    }
+
+    #[test]
+    fn full_width_range() {
+        let d = BitDomain::range(0, 63);
+        assert_eq!(d.size(), 64);
+    }
+
+    #[test]
+    fn singleton_and_value() {
+        let d = BitDomain::singleton(7);
+        assert_eq!(d.value(), Some(7));
+        assert_eq!(BitDomain::range(1, 2).value(), None);
+    }
+
+    #[test]
+    fn removals() {
+        let mut d = BitDomain::range(0, 7);
+        assert!(d.remove(3));
+        assert!(!d.remove(3));
+        assert!(d.remove_below(2));
+        assert!(d.remove_above(5));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut d = BitDomain::singleton(0);
+        d.remove(0);
+        assert!(d.is_empty());
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+        assert_eq!(d.value(), None);
+    }
+
+    #[test]
+    fn iter_order() {
+        let d = BitDomain(0b101010);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ace-fd — the optimization schemas on a second nondeterministic system
+//!
+//! The paper closes by claiming its schemas "can be readily applied to
+//! other nondeterministic systems such as parallel theorem proving
+//! systems, parallel rule based and AI systems, and parallel
+//! implementations of constraint and concurrent constraint languages",
+//! and its reference \[6\] applies LAO to a parallel CLP(FD). This crate
+//! substantiates that claim inside this reproduction: a small but real
+//! **finite-domain constraint solver** (bit-set domains, propagation to
+//! fixpoint, first-fail labeling) whose or-parallel labeling search reuses
+//! the same runtime substrate (drivers, cost model, cancellation) and
+//! implements the **Last Alternative Optimization** on its choice-point
+//! tree.
+//!
+//! The structure mirrors the Prolog or-engine deliberately:
+//!
+//! * a labeling step is a choice point (variable × remaining values);
+//! * publishing one copies the domain state into a shared node
+//!   (MUSE-style state copying — domains are plain bit vectors, so the
+//!   copy is cheap and exact);
+//! * idle workers hunt for work by traversing the public tree (charged per
+//!   node — the cost LAO's flattening attacks);
+//! * **LAO**: taking the last value of node `B1` and immediately creating
+//!   the next labeling choice point reuses `B1` in place, keeping the
+//!   public tree shallow.
+//!
+//! ```
+//! use ace_fd::{queens, Fd};
+//! use ace_runtime::{EngineConfig, OptFlags};
+//!
+//! let problem = queens(6);
+//! let cfg = EngineConfig::default()
+//!     .with_workers(4)
+//!     .with_opts(OptFlags::lao_only())
+//!     .all_solutions();
+//! let report = Fd::new(problem).solve_all(&cfg);
+//! assert_eq!(report.solutions.len(), 4);
+//! ```
+
+pub mod domain;
+pub mod problem;
+pub mod propagate;
+pub mod search;
+
+pub use domain::BitDomain;
+pub use problem::{queens, Constraint, Problem};
+pub use propagate::propagate;
+pub use search::{Fd, FdReport};

@@ -1,0 +1,124 @@
+//! Constraint problems: variables, domains, and a small constraint
+//! vocabulary sufficient for the classic benchmarks.
+
+use crate::domain::BitDomain;
+
+/// Binary constraints over variables (indices into the domain vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// `x[a] != x[b]`
+    Ne(usize, usize),
+    /// `x[a] != x[b] + k` (k may be negative) — queens diagonals.
+    NeOffset(usize, usize, i32),
+    /// `x[a] < x[b]`
+    Lt(usize, usize),
+}
+
+/// A finite-domain constraint problem.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub domains: Vec<BitDomain>,
+    pub constraints: Vec<Constraint>,
+    /// Constraints indexed by participating variable (propagation agenda).
+    pub watches: Vec<Vec<usize>>,
+}
+
+impl Problem {
+    /// `n` variables, all with domain `{lo..=hi}`.
+    pub fn new(n: usize, lo: u32, hi: u32) -> Problem {
+        Problem {
+            domains: vec![BitDomain::range(lo, hi); n],
+            constraints: Vec::new(),
+            watches: vec![Vec::new(); n],
+        }
+    }
+
+    pub fn n_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Restrict one variable's domain.
+    pub fn set_domain(&mut self, var: usize, d: BitDomain) {
+        self.domains[var] = d;
+    }
+
+    fn push_constraint(&mut self, c: Constraint) {
+        let idx = self.constraints.len();
+        self.constraints.push(c);
+        let (a, b) = match c {
+            Constraint::Ne(a, b)
+            | Constraint::NeOffset(a, b, _)
+            | Constraint::Lt(a, b) => (a, b),
+        };
+        self.watches[a].push(idx);
+        self.watches[b].push(idx);
+    }
+
+    pub fn ne(&mut self, a: usize, b: usize) {
+        self.push_constraint(Constraint::Ne(a, b));
+    }
+
+    pub fn ne_offset(&mut self, a: usize, b: usize, k: i32) {
+        self.push_constraint(Constraint::NeOffset(a, b, k));
+    }
+
+    pub fn lt(&mut self, a: usize, b: usize) {
+        self.push_constraint(Constraint::Lt(a, b));
+    }
+
+    /// `all_different` over a set of variables (pairwise `Ne`).
+    pub fn all_different(&mut self, vars: &[usize]) {
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                self.ne(vars[i], vars[j]);
+            }
+        }
+    }
+}
+
+/// The classic N-queens model: `q[i]` = row of the queen in column `i`.
+pub fn queens(n: usize) -> Problem {
+    assert!((1..=63).contains(&n));
+    let mut p = Problem::new(n, 0, (n - 1) as u32);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = (j - i) as i32;
+            p.ne(i, j);
+            p.ne_offset(i, j, d);
+            p.ne_offset(i, j, -d);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_watches() {
+        let mut p = Problem::new(3, 0, 4);
+        p.ne(0, 1);
+        p.lt(1, 2);
+        assert_eq!(p.constraints.len(), 2);
+        assert_eq!(p.watches[1], vec![0, 1]);
+        assert_eq!(p.watches[0], vec![0]);
+        assert_eq!(p.watches[2], vec![1]);
+    }
+
+    #[test]
+    fn all_different_pairs() {
+        let mut p = Problem::new(4, 0, 3);
+        p.all_different(&[0, 1, 2, 3]);
+        assert_eq!(p.constraints.len(), 6);
+    }
+
+    #[test]
+    fn queens_model_size() {
+        let p = queens(8);
+        assert_eq!(p.n_vars(), 8);
+        // 3 constraints per pair
+        assert_eq!(p.constraints.len(), 3 * 8 * 7 / 2);
+        assert_eq!(p.domains[0].size(), 8);
+    }
+}

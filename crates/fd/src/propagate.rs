@@ -1,0 +1,178 @@
+//! Constraint propagation to fixpoint (forward checking + bounds).
+
+use crate::domain::BitDomain;
+use crate::problem::{Constraint, Problem};
+
+/// Result of a propagation run: consistent (with prune count for cost
+/// accounting) or failed (some domain emptied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fixpoint reached; `prunes` values were removed on the way.
+    Consistent { prunes: u32 },
+    Failed,
+}
+
+/// Propagate all constraints of `problem` over `domains` to fixpoint,
+/// seeded by changes to variable `seed` (pass `None` to propagate
+/// everything, e.g. at the root).
+pub fn propagate(
+    problem: &Problem,
+    domains: &mut [BitDomain],
+    seed: Option<usize>,
+) -> Outcome {
+    let mut agenda: Vec<usize> = match seed {
+        Some(v) => problem.watches[v].clone(),
+        None => (0..problem.constraints.len()).collect(),
+    };
+    let mut prunes = 0u32;
+    while let Some(ci) = agenda.pop() {
+        let (changed_vars, ok) = apply(problem.constraints[ci], domains, &mut prunes);
+        if !ok {
+            return Outcome::Failed;
+        }
+        for v in changed_vars {
+            for &w in &problem.watches[v] {
+                if w != ci && !agenda.contains(&w) {
+                    agenda.push(w);
+                }
+            }
+        }
+    }
+    Outcome::Consistent { prunes }
+}
+
+/// Apply one constraint; returns the variables whose domains changed and
+/// whether all domains remain non-empty.
+fn apply(
+    c: Constraint,
+    domains: &mut [BitDomain],
+    prunes: &mut u32,
+) -> (Vec<usize>, bool) {
+    let mut changed = Vec::new();
+    match c {
+        Constraint::Ne(a, b) => {
+            ne_offset(a, b, 0, domains, prunes, &mut changed);
+        }
+        Constraint::NeOffset(a, b, k) => {
+            ne_offset(a, b, k, domains, prunes, &mut changed);
+        }
+        Constraint::Lt(a, b) => {
+            // x[a] < x[b]: a's max < b's max bound, b's min > a's min
+            if let Some(bmax) = domains[b].max() {
+                if bmax == 0 {
+                    domains[a] = BitDomain(0);
+                    changed.push(a);
+                } else if domains[a].remove_above(bmax - 1) {
+                    *prunes += 1;
+                    changed.push(a);
+                }
+            }
+            if let Some(amin) = domains[a].min() {
+                if domains[b].remove_below(amin + 1) {
+                    *prunes += 1;
+                    changed.push(b);
+                }
+            }
+        }
+    }
+    let ok = changed.iter().all(|&v| !domains[v].is_empty());
+    (changed, ok)
+}
+
+/// Forward checking for `x[a] != x[b] + k`.
+fn ne_offset(
+    a: usize,
+    b: usize,
+    k: i32,
+    domains: &mut [BitDomain],
+    prunes: &mut u32,
+    changed: &mut Vec<usize>,
+) {
+    if let Some(vb) = domains[b].value() {
+        let forbidden = vb as i64 + k as i64;
+        if (0..=63).contains(&forbidden)
+            && domains[a].remove(forbidden as u32)
+        {
+            *prunes += 1;
+            changed.push(a);
+        }
+    }
+    if let Some(va) = domains[a].value() {
+        let forbidden = va as i64 - k as i64;
+        if (0..=63).contains(&forbidden)
+            && domains[b].remove(forbidden as u32)
+        {
+            *prunes += 1;
+            changed.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn ne_forward_checks_on_singletons() {
+        let mut p = Problem::new(2, 0, 3);
+        p.ne(0, 1);
+        let mut d = p.domains.clone();
+        d[0] = BitDomain::singleton(2);
+        let out = propagate(&p, &mut d, Some(0));
+        assert!(matches!(out, Outcome::Consistent { prunes: 1 }));
+        assert!(!d[1].contains(2));
+        assert_eq!(d[1].size(), 3);
+    }
+
+    #[test]
+    fn ne_offset_prunes_diagonals() {
+        let mut p = Problem::new(2, 0, 3);
+        p.ne_offset(0, 1, 1); // x0 != x1 + 1
+        let mut d = p.domains.clone();
+        d[1] = BitDomain::singleton(2);
+        assert!(matches!(
+            propagate(&p, &mut d, Some(1)),
+            Outcome::Consistent { .. }
+        ));
+        assert!(!d[0].contains(3));
+    }
+
+    #[test]
+    fn lt_tightens_bounds() {
+        let mut p = Problem::new(2, 0, 5);
+        p.lt(0, 1);
+        let mut d = p.domains.clone();
+        assert!(matches!(
+            propagate(&p, &mut d, None),
+            Outcome::Consistent { .. }
+        ));
+        assert_eq!(d[0].max(), Some(4));
+        assert_eq!(d[1].min(), Some(1));
+    }
+
+    #[test]
+    fn chain_of_lt_propagates_transitively() {
+        let mut p = Problem::new(4, 0, 3);
+        p.lt(0, 1);
+        p.lt(1, 2);
+        p.lt(2, 3);
+        let mut d = p.domains.clone();
+        assert!(matches!(
+            propagate(&p, &mut d, None),
+            Outcome::Consistent { .. }
+        ));
+        // forced: 0 < 1 < 2 < 3 with 4 values each
+        for (i, dom) in d.iter().enumerate() {
+            assert_eq!(dom.value(), Some(i as u32), "var {i}");
+        }
+    }
+
+    #[test]
+    fn failure_detected() {
+        let mut p = Problem::new(2, 0, 0); // both {0}
+        p.ne(0, 1);
+        let mut d = p.domains.clone();
+        assert_eq!(propagate(&p, &mut d, None), Outcome::Failed);
+    }
+}

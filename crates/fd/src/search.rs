@@ -1,0 +1,679 @@
+//! Or-parallel labeling search with the Last Alternative Optimization.
+//!
+//! Workers run first-fail labeling with **private** choice points (plain
+//! depth-first backtracking — the paper's *sequentialization* schema).
+//! When idle workers exist, the oldest private choice point is
+//! **published** into a shared tree by copying the domain state (MUSE-style
+//! state copying; domains are flat bit vectors, so a snapshot is one
+//! memcpy). Idle workers traverse the public tree to claim untried values,
+//! paying per node visited — and **LAO** keeps that tree shallow by
+//! reusing a drained node for the next choice point instead of deepening
+//! the chain, exactly as in the Prolog or-engine (paper §3.2 / Figure 7;
+//! its reference \[6\] = LAO for parallel CLP(FD)).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ace_runtime::{
+    Agent, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver, Stats,
+    ThreadsDriver,
+};
+use parking_lot::Mutex;
+
+use crate::domain::BitDomain;
+use crate::problem::Problem;
+use crate::propagate::{propagate, Outcome as Prop};
+
+static NODE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Claimable content of a public node (replaced wholesale by LAO reuse).
+struct Payload {
+    epoch: u64,
+    var: usize,
+    values: VecDeque<u32>,
+    /// Domain state at the choice point.
+    state: Arc<Vec<BitDomain>>,
+}
+
+/// One public choice point of the labeling tree.
+pub struct FdNode {
+    pub id: u64,
+    pub depth: u32,
+    payload: Mutex<Option<Payload>>,
+    children: Mutex<Vec<Arc<FdNode>>>,
+    total_alts: Arc<AtomicUsize>,
+}
+
+impl FdNode {
+    fn root(total: Arc<AtomicUsize>) -> Arc<FdNode> {
+        Arc::new(FdNode {
+            id: 0,
+            depth: 0,
+            payload: Mutex::new(None),
+            children: Mutex::new(Vec::new()),
+            total_alts: total,
+        })
+    }
+
+    fn publish(
+        parent: &Arc<FdNode>,
+        var: usize,
+        values: VecDeque<u32>,
+        state: Arc<Vec<BitDomain>>,
+        total: Arc<AtomicUsize>,
+    ) -> Arc<FdNode> {
+        total.fetch_add(values.len(), Ordering::AcqRel);
+        let node = Arc::new(FdNode {
+            id: NODE_IDS.fetch_add(1, Ordering::Relaxed),
+            depth: parent.depth + 1,
+            payload: Mutex::new(Some(Payload {
+                epoch: 0,
+                var,
+                values,
+                state,
+            })),
+            children: Mutex::new(Vec::new()),
+            total_alts: total,
+        });
+        parent.children.lock().push(node.clone());
+        node
+    }
+
+    /// LAO: atomically install a new choice point into this (drained)
+    /// node; `None` if it still has unclaimed values.
+    fn try_reuse(
+        &self,
+        var: usize,
+        values: VecDeque<u32>,
+        state: Arc<Vec<BitDomain>>,
+    ) -> Option<u64> {
+        let mut p = self.payload.lock();
+        if p.as_ref().is_some_and(|p| !p.values.is_empty()) {
+            return None;
+        }
+        let epoch = p.as_ref().map_or(0, |p| p.epoch) + 1;
+        self.total_alts.fetch_add(values.len(), Ordering::AcqRel);
+        *p = Some(Payload {
+            epoch,
+            var,
+            values,
+            state,
+        });
+        Some(epoch)
+    }
+
+    fn claim(&self) -> Option<(usize, u32, Arc<Vec<BitDomain>>)> {
+        let mut p = self.payload.lock();
+        let payload = p.as_mut()?;
+        let v = payload.values.pop_front()?;
+        self.total_alts.fetch_sub(1, Ordering::AcqRel);
+        Some((payload.var, v, payload.state.clone()))
+    }
+
+    fn claim_epoch(&self, epoch: u64) -> Option<u32> {
+        let mut p = self.payload.lock();
+        let payload = p.as_mut()?;
+        if payload.epoch != epoch {
+            return None;
+        }
+        let v = payload.values.pop_front()?;
+        self.total_alts.fetch_sub(1, Ordering::AcqRel);
+        Some(v)
+    }
+}
+
+/// A private (unpublished or owner-held) choice point.
+enum LocalCp {
+    Private {
+        state: Vec<BitDomain>,
+        var: usize,
+        values: VecDeque<u32>,
+    },
+    /// Published: remaining values live in the shared node.
+    Shared {
+        state: Vec<BitDomain>,
+        var: usize,
+        node: Arc<FdNode>,
+        epoch: u64,
+    },
+}
+
+struct SharedState {
+    problem: Problem,
+    cfg: EngineConfig,
+    root: Arc<FdNode>,
+    total_alts: Arc<AtomicUsize>,
+    busy: AtomicUsize,
+    idle: AtomicUsize,
+    done: AtomicBool,
+    solutions: Mutex<Vec<Vec<u32>>>,
+    nsolutions: AtomicUsize,
+    max_depth: AtomicUsize,
+    worker_stats: Mutex<Vec<Stats>>,
+}
+
+struct Run {
+    domains: Vec<BitDomain>,
+    stack: Vec<LocalCp>,
+    origin: Arc<FdNode>,
+    last_published: Option<Arc<FdNode>>,
+}
+
+struct FdWorker {
+    #[allow(dead_code)]
+    id: usize,
+    sh: Arc<SharedState>,
+    current: Option<Run>,
+    stats: Stats,
+    phase_cost: u64,
+    reported: bool,
+    marked_idle: bool,
+    idle_streak: u32,
+}
+
+impl FdWorker {
+    fn charge(&mut self, units: u64) {
+        self.stats.charge(units);
+        self.phase_cost += units;
+    }
+
+    fn mark_idle(&mut self, idle: bool) {
+        if idle != self.marked_idle {
+            self.marked_idle = idle;
+            if idle {
+                self.sh.idle.fetch_add(1, Ordering::AcqRel);
+            } else {
+                self.sh.idle.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn others_idle(&self) -> bool {
+        self.sh.idle.load(Ordering::Acquire) > usize::from(self.marked_idle)
+    }
+
+    /// Publish the oldest private choice point (demand-driven), applying
+    /// LAO when the publish target is drained.
+    fn maybe_publish(&mut self) {
+        if !self.others_idle() {
+            return;
+        }
+        let costs = self.sh.cfg.costs.clone();
+        let lao = self.sh.cfg.opts.lao;
+        let total_alts = self.sh.total_alts.clone();
+        let (copy_cost, reused, depth) = {
+            let Some(run) = self.current.as_mut() else { return };
+            let Some(pos) = run
+                .stack
+                .iter()
+                .position(|cp| matches!(cp, LocalCp::Private { .. }))
+            else {
+                return;
+            };
+            let LocalCp::Private { state, var, values } = std::mem::replace(
+                &mut run.stack[pos],
+                LocalCp::Private {
+                    state: Vec::new(),
+                    var: 0,
+                    values: VecDeque::new(),
+                },
+            ) else {
+                unreachable!()
+            };
+            let snapshot = Arc::new(state.clone());
+            let copy_cost = state.len() as u64 * costs.heap_cell;
+            let candidate = run
+                .last_published
+                .clone()
+                .or_else(|| (run.origin.id != 0).then(|| run.origin.clone()));
+            let mut reuse_hit = None;
+            if lao {
+                if let Some(n) = &candidate {
+                    if let Some(e) =
+                        n.try_reuse(var, values.clone(), snapshot.clone())
+                    {
+                        reuse_hit = Some((n.clone(), e));
+                    }
+                }
+            }
+            let (node, epoch, reused, depth) = match reuse_hit {
+                Some((n, e)) => (n, e, true, 0),
+                None => {
+                    let parent = run
+                        .last_published
+                        .clone()
+                        .unwrap_or_else(|| run.origin.clone());
+                    let n = FdNode::publish(
+                        &parent,
+                        var,
+                        values.clone(),
+                        snapshot,
+                        total_alts,
+                    );
+                    let d = n.depth;
+                    (n, 0, false, d)
+                }
+            };
+            run.stack[pos] = LocalCp::Shared {
+                state,
+                var,
+                node: node.clone(),
+                epoch,
+            };
+            run.last_published = Some(node);
+            (copy_cost, reused, depth)
+        };
+        if lao {
+            self.charge(costs.lao_check);
+        }
+        if reused {
+            self.stats.cp_reused_lao += 1;
+            self.charge(costs.lao_reuse + copy_cost);
+        } else {
+            self.sh.max_depth.fetch_max(depth as usize, Ordering::AcqRel);
+            self.stats.nodes_published += 1;
+            self.charge(costs.publish_node + copy_cost);
+        }
+    }
+
+    /// One bounded amount of labeling work.
+    fn run_current(&mut self) -> Phase {
+        self.maybe_publish();
+        let costs = self.sh.cfg.costs.clone();
+        let quantum = self.sh.cfg.quantum;
+        let start = self.phase_cost;
+        while self.phase_cost - start < quantum {
+            let Some(run) = self.current.as_mut() else { break };
+            // fully labeled?
+            if run.domains.iter().all(|d| d.size() == 1) {
+                let sol: Vec<u32> =
+                    run.domains.iter().map(|d| d.value().unwrap()).collect();
+                self.sh.solutions.lock().push(sol);
+                self.stats.solutions += 1;
+                let n = self.sh.nsolutions.fetch_add(1, Ordering::AcqRel) + 1;
+                if self.sh.cfg.max_solutions.is_some_and(|max| n >= max) {
+                    self.sh.done.store(true, Ordering::Release);
+                    return Phase::Busy(self.phase_cost.max(1));
+                }
+                if !self.backtrack() {
+                    break;
+                }
+                continue;
+            }
+            // first-fail: smallest non-singleton domain
+            let (var, _) = run
+                .domains
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.size() > 1)
+                .min_by_key(|(_, d)| d.size())
+                .expect("non-singleton exists");
+            let mut values: VecDeque<u32> =
+                run.domains[var].iter().collect();
+            let first = values.pop_front().expect("domain non-empty");
+            let snapshot_cells = run.domains.len() as u64;
+            run.stack.push(LocalCp::Private {
+                state: run.domains.clone(),
+                var,
+                values,
+            });
+            self.stats.choice_points += 1;
+            self.charge(
+                costs.choice_point_alloc + snapshot_cells * costs.heap_cell,
+            );
+            self.assign_and_propagate(var, first);
+        }
+        Phase::Busy(self.phase_cost.max(1))
+    }
+
+    fn assign_and_propagate(&mut self, var: usize, value: u32) {
+        let costs = self.sh.cfg.costs.clone();
+        let outcome = {
+            let run = self.current.as_mut().expect("assign without run");
+            run.domains[var] = BitDomain::singleton(value);
+            propagate(&self.sh.problem, &mut run.domains, Some(var))
+        };
+        self.stats.calls += 1;
+        self.charge(costs.call_dispatch);
+        match outcome {
+            Prop::Consistent { prunes } => {
+                self.stats.unify_steps += prunes as u64;
+                self.charge(prunes as u64 * costs.unify_step + costs.builtin);
+            }
+            Prop::Failed => {
+                self.charge(costs.builtin);
+                self.backtrack();
+            }
+        }
+    }
+
+    /// Take the next alternative from the youngest choice point; `false`
+    /// when the local computation is exhausted.
+    fn backtrack(&mut self) -> bool {
+        let costs = self.sh.cfg.costs.clone();
+        self.stats.backtracks += 1;
+        loop {
+            let Some(run) = self.current.as_mut() else { return false };
+            let Some(top) = run.stack.last_mut() else {
+                // exhausted: drop the run
+                self.finish_run();
+                return false;
+            };
+            self.stats.charge(costs.choice_point_retry);
+            self.phase_cost += costs.choice_point_retry;
+            match top {
+                LocalCp::Private { state, var, values } => {
+                    if let Some(v) = values.pop_front() {
+                        let (var, state) = (*var, state.clone());
+                        run.domains = state;
+                        self.assign_and_propagate(var, v);
+                        return true;
+                    }
+                    run.stack.pop();
+                }
+                LocalCp::Shared {
+                    state,
+                    var,
+                    node,
+                    epoch,
+                } => {
+                    self.stats.alternatives_claimed += 1;
+                    self.stats.charge(costs.claim_alternative);
+                    self.phase_cost += costs.claim_alternative;
+                    match node.claim_epoch(*epoch) {
+                        Some(v) => {
+                            let (var, state) = (*var, state.clone());
+                            run.domains = state;
+                            self.assign_and_propagate(var, v);
+                            return true;
+                        }
+                        None => {
+                            run.stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_run(&mut self) {
+        if self.current.take().is_some() {
+            self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Hunt the public tree for an untried value.
+    fn find_work(&mut self) -> bool {
+        let costs = self.sh.cfg.costs.clone();
+        self.sh.busy.fetch_add(1, Ordering::AcqRel);
+        let mut stack = vec![self.sh.root.clone()];
+        while let Some(node) = stack.pop() {
+            self.stats.tree_visits += 1;
+            self.charge(costs.tree_visit);
+            if let Some((var, value, state)) = node.claim() {
+                self.stats.alternatives_claimed += 1;
+                self.charge(
+                    costs.claim_alternative
+                        + costs.install_state
+                        + state.len() as u64 * costs.heap_cell,
+                );
+                self.current = Some(Run {
+                    domains: (*state).clone(),
+                    stack: Vec::new(),
+                    origin: node,
+                    last_published: None,
+                });
+                self.assign_and_propagate(var, value);
+                return true;
+            }
+            stack.extend(node.children.lock().iter().cloned());
+        }
+        self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+        false
+    }
+}
+
+impl Agent for FdWorker {
+    fn phase(&mut self) -> Phase {
+        if self.sh.done.load(Ordering::Acquire) {
+            if !self.reported {
+                self.reported = true;
+                self.sh.worker_stats.lock().push(self.stats);
+            }
+            return Phase::Done;
+        }
+        self.phase_cost = 0;
+        if self.current.is_some() {
+            self.mark_idle(false);
+            self.idle_streak = 0;
+            return self.run_current();
+        }
+        self.mark_idle(true);
+        if self.find_work() {
+            self.mark_idle(false);
+            self.idle_streak = 0;
+            return Phase::Busy(self.phase_cost.max(1));
+        }
+        if self.sh.busy.load(Ordering::Acquire) == 0
+            && self.sh.total_alts.load(Ordering::Acquire) == 0
+        {
+            self.sh.done.store(true, Ordering::Release);
+            return Phase::Busy(1);
+        }
+        let base = self.sh.cfg.costs.idle_probe;
+        let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
+        self.idle_streak = self.idle_streak.saturating_add(1);
+        self.stats.charge_idle(p);
+        Phase::Idle(p)
+    }
+}
+
+/// Result of an FD search.
+#[derive(Debug)]
+pub struct FdReport {
+    /// Complete assignments, one `Vec<u32>` per solution (values by
+    /// variable index). Discovery order is scheduling-dependent.
+    pub solutions: Vec<Vec<u32>>,
+    pub outcome: RunOutcome,
+    pub stats: Stats,
+    /// Maximum public-tree depth observed (the Figure-7 shape metric).
+    pub max_tree_depth: u32,
+}
+
+/// The FD solver front end.
+pub struct Fd {
+    problem: Problem,
+}
+
+impl Fd {
+    pub fn new(problem: Problem) -> Fd {
+        Fd { problem }
+    }
+
+    /// Find all solutions (or up to `cfg.max_solutions`).
+    pub fn solve_all(&self, cfg: &EngineConfig) -> FdReport {
+        let total = Arc::new(AtomicUsize::new(0));
+        let sh = Arc::new(SharedState {
+            problem: self.problem.clone(),
+            cfg: cfg.clone(),
+            root: FdNode::root(total.clone()),
+            total_alts: total,
+            busy: AtomicUsize::new(1),
+            idle: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            solutions: Mutex::new(Vec::new()),
+            nsolutions: AtomicUsize::new(0),
+            max_depth: AtomicUsize::new(0),
+            worker_stats: Mutex::new(Vec::new()),
+        });
+
+        let mut workers: Vec<FdWorker> = (0..cfg.workers.max(1))
+            .map(|id| FdWorker {
+                id,
+                sh: sh.clone(),
+                current: None,
+                stats: Stats::new(),
+                phase_cost: 0,
+                reported: false,
+                marked_idle: false,
+                idle_streak: 0,
+            })
+            .collect();
+
+        // Root run: propagate the initial constraints, then label.
+        let mut domains = self.problem.domains.clone();
+        let root_ok = !matches!(
+            propagate(&self.problem, &mut domains, None),
+            Prop::Failed
+        );
+        if root_ok {
+            workers[0].current = Some(Run {
+                domains,
+                stack: Vec::new(),
+                origin: sh.root.clone(),
+                last_published: None,
+            });
+        } else {
+            sh.busy.store(0, Ordering::Release);
+        }
+
+        let outcome = match cfg.driver {
+            DriverKind::Sim => {
+                let agents: Vec<Box<dyn Agent>> = workers
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn Agent>)
+                    .collect();
+                SimDriver::new(cfg.virtual_time_limit).run(agents)
+            }
+            DriverKind::Threads => {
+                let agents: Vec<Box<dyn Agent + Send>> = workers
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn Agent + Send>)
+                    .collect();
+                ThreadsDriver::run(agents)
+            }
+        };
+
+        let per_worker = sh.worker_stats.lock().clone();
+        let mut stats = Stats::new();
+        for w in &per_worker {
+            stats += *w;
+        }
+        let mut solutions = std::mem::take(&mut *sh.solutions.lock());
+        if let Some(max) = cfg.max_solutions {
+            solutions.truncate(max);
+        }
+        FdReport {
+            solutions,
+            outcome,
+            stats,
+            max_tree_depth: sh.max_depth.load(Ordering::Acquire) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::queens;
+    use ace_runtime::OptFlags;
+
+    fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
+        let mut c = EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(opts);
+        c.max_solutions = None;
+        c
+    }
+
+    #[test]
+    fn queens_counts() {
+        for (n, expect) in [(4usize, 2usize), (5, 10), (6, 4), (7, 40)] {
+            let r = Fd::new(queens(n)).solve_all(&cfg(1, OptFlags::none()));
+            assert_eq!(r.solutions.len(), expect, "queens({n})");
+        }
+    }
+
+    #[test]
+    fn solutions_satisfy_constraints() {
+        let r = Fd::new(queens(6)).solve_all(&cfg(2, OptFlags::none()));
+        for sol in &r.solutions {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    assert_ne!(sol[i], sol[j]);
+                    let d = (j - i) as i64;
+                    assert_ne!(sol[i] as i64 - sol[j] as i64, d);
+                    assert_ne!(sol[j] as i64 - sol[i] as i64, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_workers_find_the_same_multiset() {
+        let baseline = {
+            let mut s = Fd::new(queens(7))
+                .solve_all(&cfg(1, OptFlags::none()))
+                .solutions;
+            s.sort();
+            s
+        };
+        for workers in [2, 4, 8] {
+            for opts in [OptFlags::none(), OptFlags::lao_only()] {
+                let mut s = Fd::new(queens(7)).solve_all(&cfg(workers, opts)).solutions;
+                s.sort();
+                assert_eq!(s, baseline, "workers={workers} {}", opts.label());
+            }
+        }
+    }
+
+    #[test]
+    fn lao_keeps_fd_tree_shallow() {
+        let unopt = Fd::new(queens(8)).solve_all(&cfg(6, OptFlags::none()));
+        let opt = Fd::new(queens(8)).solve_all(&cfg(6, OptFlags::lao_only()));
+        assert_eq!(unopt.solutions.len(), 92);
+        assert_eq!(opt.solutions.len(), 92);
+        assert!(opt.stats.cp_reused_lao > 0);
+        assert!(
+            opt.max_tree_depth < unopt.max_tree_depth,
+            "lao {} !< unopt {}",
+            opt.max_tree_depth,
+            unopt.max_tree_depth
+        );
+        assert!(opt.stats.tree_visits < unopt.stats.tree_visits);
+    }
+
+    #[test]
+    fn first_solution_mode() {
+        let mut c = cfg(4, OptFlags::lao_only());
+        c.max_solutions = Some(1);
+        let r = Fd::new(queens(8)).solve_all(&c);
+        assert_eq!(r.solutions.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_problem_terminates_empty() {
+        let mut p = Problem::new(2, 0, 0);
+        p.ne(0, 1);
+        let r = Fd::new(p).solve_all(&cfg(3, OptFlags::lao_only()));
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn threads_driver_works() {
+        let mut c = cfg(3, OptFlags::lao_only());
+        c.driver = DriverKind::Threads;
+        let r = Fd::new(queens(6)).solve_all(&c);
+        assert_eq!(r.solutions.len(), 4);
+    }
+
+    #[test]
+    fn sim_deterministic() {
+        let c = cfg(4, OptFlags::lao_only());
+        let a = Fd::new(queens(6)).solve_all(&c);
+        let b = Fd::new(queens(6)).solve_all(&c);
+        assert_eq!(a.outcome.virtual_time, b.outcome.virtual_time);
+        assert_eq!(a.solutions, b.solutions);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests: the parallel FD search agrees with brute-force
+//! enumeration on random problems, under every optimization/worker mix.
+
+use proptest::prelude::*;
+
+use ace_fd::{BitDomain, Constraint, Fd, Problem};
+use ace_runtime::{EngineConfig, OptFlags};
+
+/// Generate a random small problem: up to 5 variables over 0..=4 with up
+/// to 8 random binary constraints.
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    let var_count = 2usize..=5;
+    var_count.prop_flat_map(|n| {
+        let constraint = (0usize..n, 0usize..n, 0u8..3, -3i32..=3).prop_map(
+            move |(a, b, kind, k)| match kind {
+                0 => Constraint::Ne(a, b),
+                1 => Constraint::NeOffset(a, b, k),
+                _ => Constraint::Lt(a, b),
+            },
+        );
+        prop::collection::vec(constraint, 0..8).prop_map(move |cs| {
+            let mut p = Problem::new(n, 0, 4);
+            for c in cs {
+                match c {
+                    Constraint::Ne(a, b) if a != b => p.ne(a, b),
+                    Constraint::NeOffset(a, b, k) if a != b => p.ne_offset(a, b, k),
+                    Constraint::Lt(a, b) if a != b => p.lt(a, b),
+                    _ => {}
+                }
+            }
+            p
+        })
+    })
+}
+
+/// All satisfying assignments by brute force.
+fn brute_force(p: &Problem) -> Vec<Vec<u32>> {
+    let n = p.n_vars();
+    let mut out = Vec::new();
+    let mut assignment = vec![0u32; n];
+    fn sat(c: &Constraint, a: &[u32]) -> bool {
+        match *c {
+            Constraint::Ne(x, y) => a[x] != a[y],
+            Constraint::NeOffset(x, y, k) => a[x] as i64 != a[y] as i64 + k as i64,
+            Constraint::Lt(x, y) => a[x] < a[y],
+        }
+    }
+    fn rec(
+        p: &Problem,
+        i: usize,
+        assignment: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        if i == assignment.len() {
+            if p.constraints.iter().all(|c| sat(c, assignment)) {
+                out.push(assignment.clone());
+            }
+            return;
+        }
+        for v in p.domains[i].iter() {
+            assignment[i] = v;
+            rec(p, i + 1, assignment, out);
+        }
+    }
+    rec(p, 0, &mut assignment, &mut out);
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fd_search_matches_brute_force(
+        p in problem_strategy(),
+        workers in 1usize..5,
+        lao in any::<bool>(),
+    ) {
+        let expected = brute_force(&p);
+        let opts = if lao { OptFlags::lao_only() } else { OptFlags::none() };
+        let cfg = EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(opts)
+            .all_solutions();
+        let mut got = Fd::new(p).solve_all(&cfg).solutions;
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Propagation never removes a value that participates in a solution
+    /// (soundness of pruning).
+    #[test]
+    fn propagation_is_sound(p in problem_strategy()) {
+        let solutions = brute_force(&p);
+        let mut domains = p.domains.clone();
+        let _ = ace_fd::propagate(&p, &mut domains, None);
+        for sol in &solutions {
+            for (var, &v) in sol.iter().enumerate() {
+                prop_assert!(
+                    domains[var].contains(v),
+                    "propagation pruned value {v} of var {var} used by {sol:?}"
+                );
+            }
+        }
+    }
+
+    /// Domain ops respect set semantics on random masks.
+    #[test]
+    fn bitdomain_ops(bits in any::<u64>(), v in 0u32..64) {
+        let d = BitDomain(bits);
+        prop_assert_eq!(d.size() as usize, d.iter().count());
+        let mut d2 = d;
+        let removed = d2.remove(v);
+        prop_assert_eq!(removed, d.contains(v));
+        prop_assert!(!d2.contains(v));
+        if let (Some(lo), Some(hi)) = (d.min(), d.max()) {
+            prop_assert!(d.contains(lo) && d.contains(hi));
+            prop_assert!(lo <= hi);
+        }
+    }
+}

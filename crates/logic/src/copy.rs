@@ -1,0 +1,233 @@
+//! Term copying between (or within) heaps.
+//!
+//! [`copy_term`] produces an isomorphic copy of a term in a destination
+//! heap, with fresh variables standing in for the source's unbound
+//! variables. Structure sharing is preserved (a shared subterm is copied
+//! once), which also makes the copy terminate on cyclic terms.
+//!
+//! This is the workhorse of both parallel engines:
+//! * **goal shipping** (and-parallelism): a parcall subgoal is copied into
+//!   the executing machine's heap, and its solution copied back;
+//! * **state copying** (or-parallelism): the goal and continuation of a
+//!   published choice point are copied into the shared or-tree node.
+//!
+//! The returned [`CopyOut::cells_copied`] feeds the virtual cost model.
+
+use std::collections::HashMap;
+
+use crate::heap::{Addr, Cell, Heap};
+
+/// Result of a [`copy_term`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyOut {
+    /// The copied term's root cell, valid in the destination heap.
+    pub root: Cell,
+    /// Number of destination cells written (cost metric).
+    pub cells_copied: usize,
+    /// Number of fresh variables created.
+    pub fresh_vars: usize,
+}
+
+/// Copy `root` from `src` into `dst` with fresh variables.
+pub fn copy_term(src: &Heap, root: Cell, dst: &mut Heap) -> CopyOut {
+    let mut copier = Copier {
+        map: HashMap::new(),
+        cells: 0,
+        vars: 0,
+    };
+    let mut work: Vec<(Cell, Addr)> = Vec::new();
+    let out_root = copier.translate(src, root, dst, &mut work);
+    while let Some((src_cell, at)) = work.pop() {
+        let t = copier.translate(src, src_cell, dst, &mut work);
+        dst.set_raw(at, t);
+    }
+    CopyOut {
+        root: out_root,
+        cells_copied: copier.cells,
+        fresh_vars: copier.vars,
+    }
+}
+
+/// Copy a term within a single heap (fresh variables, new cells at the top).
+/// Implements the `copy_term/2` builtin.
+pub fn copy_term_within(heap: &mut Heap, root: Cell) -> CopyOut {
+    // The copier only reads cells that existed before it starts appending
+    // (every source address predates the copy), but expressing that to the
+    // borrow checker would need split borrows; `copy_term_within` is a
+    // builtin-only path, so a snapshot is acceptable.
+    let snapshot = heap.clone();
+    copy_term(&snapshot, root, heap)
+}
+
+struct Copier {
+    /// Source address -> destination cell. Keys are unbound-variable
+    /// addresses and compound header/pair addresses; presence means the
+    /// destination block already exists (sharing & cycle safety).
+    map: HashMap<Addr, Cell>,
+    cells: usize,
+    vars: usize,
+}
+
+impl Copier {
+    /// Translate one source cell to a destination cell. Newly seen compound
+    /// terms get their destination block reserved here, and their children
+    /// queued onto `work` to be filled in later (iterative, so arbitrarily
+    /// deep terms cannot overflow the Rust stack).
+    fn translate(
+        &mut self,
+        src: &Heap,
+        c: Cell,
+        dst: &mut Heap,
+        work: &mut Vec<(Cell, Addr)>,
+    ) -> Cell {
+        match src.deref(c) {
+            Cell::Ref(a) => *self.map.entry(a).or_insert_with(|| {
+                self.vars += 1;
+                self.cells += 1;
+                dst.new_var()
+            }),
+            Cell::Atom(s) => Cell::Atom(s),
+            Cell::Int(i) => Cell::Int(i),
+            Cell::Nil => Cell::Nil,
+            Cell::Str(hdr) => {
+                if let Some(&d) = self.map.get(&hdr) {
+                    return d;
+                }
+                let (f, n) = src.functor_at(hdr);
+                let dhdr = dst.push(Cell::Functor(f, n));
+                for i in 0..n {
+                    let slot = dst.push(Cell::Nil); // placeholder
+                    work.push((src.str_arg(hdr, i), slot));
+                }
+                self.cells += 1 + n as usize;
+                let out = Cell::Str(dhdr);
+                self.map.insert(hdr, out);
+                out
+            }
+            Cell::Lst(p) => {
+                if let Some(&d) = self.map.get(&p) {
+                    return d;
+                }
+                let dh = dst.push(Cell::Nil);
+                let dt = dst.push(Cell::Nil);
+                work.push((src.lst_head(p), dh));
+                work.push((src.lst_tail(p), dt));
+                self.cells += 2;
+                let out = Cell::Lst(dh);
+                self.map.insert(p, out);
+                out
+            }
+            Cell::Functor(..) => unreachable!("Functor is not a term"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+    use crate::term::{is_ground, term_size, variables};
+    use crate::unify::struct_eq;
+
+    #[test]
+    fn copy_ground_struct() {
+        let mut src = Heap::new();
+        let s = src.new_struct(sym("f"), &[Cell::Int(1), Cell::Atom(sym("a"))]);
+        let mut dst = Heap::new();
+        let out = copy_term(&src, s, &mut dst);
+        assert_eq!(out.cells_copied, 3);
+        assert!(is_ground(&dst, out.root));
+        let Cell::Str(h) = out.root else { unreachable!() };
+        assert_eq!(dst.functor_at(h), (sym("f"), 2));
+        assert_eq!(dst.str_arg(h, 0), Cell::Int(1));
+    }
+
+    #[test]
+    fn copy_renames_vars_consistently() {
+        let mut src = Heap::new();
+        let x = src.new_var();
+        let s = src.new_struct(sym("f"), &[x, x, Cell::Int(3)]);
+        let mut dst = Heap::new();
+        let out = copy_term(&src, s, &mut dst);
+        let vars = variables(&dst, out.root);
+        assert_eq!(vars.len(), 1, "shared var copied once");
+        assert_eq!(out.fresh_vars, 1);
+    }
+
+    #[test]
+    fn copy_list() {
+        let mut src = Heap::new();
+        let l = src.list(&[Cell::Int(1), Cell::Int(2), Cell::Int(3)]);
+        let mut dst = Heap::new();
+        let out = copy_term(&src, l, &mut dst);
+        let items = crate::term::proper_list(&dst, out.root).unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(dst.deref(items[0]), Cell::Int(1));
+        assert_eq!(dst.deref(items[2]), Cell::Int(3));
+        assert_eq!(term_size(&dst, out.root), term_size(&src, l));
+    }
+
+    #[test]
+    fn copy_deep_nesting_no_stack_overflow() {
+        let mut src = Heap::new();
+        let mut t = Cell::Nil;
+        for i in 0..50_000 {
+            t = src.cons(Cell::Int(i), t);
+        }
+        let mut dst = Heap::new();
+        let out = copy_term(&src, t, &mut dst);
+        assert_eq!(term_size(&dst, out.root), term_size(&src, t));
+    }
+
+    #[test]
+    fn copy_within_heap() {
+        let mut h = Heap::new();
+        let x = h.new_var();
+        let s = h.new_struct(sym("g"), &[x, Cell::Int(7)]);
+        let out = copy_term_within(&mut h, s);
+        assert!(struct_eq(&h, out.root, out.root));
+        // the copy's variable is distinct from the original's
+        let v1 = variables(&h, s);
+        let v2 = variables(&h, out.root);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn copy_follows_bindings() {
+        let mut src = Heap::new();
+        let x = src.new_var();
+        let s = src.new_struct(sym("f"), &[x]);
+        let Cell::Ref(a) = x else { unreachable!() };
+        src.bind(a, Cell::Int(9));
+        let mut dst = Heap::new();
+        let out = copy_term(&src, s, &mut dst);
+        let Cell::Str(h) = out.root else { unreachable!() };
+        assert_eq!(dst.str_arg(h, 0), Cell::Int(9));
+    }
+
+    #[test]
+    fn copy_preserves_sharing() {
+        let mut src = Heap::new();
+        let shared = src.new_struct(sym("s"), &[Cell::Int(1)]);
+        let outer = src.new_struct(sym("f"), &[shared, shared]);
+        let mut dst = Heap::new();
+        let out = copy_term(&src, outer, &mut dst);
+        let Cell::Str(h) = out.root else { unreachable!() };
+        assert_eq!(dst.str_arg(h, 0), dst.str_arg(h, 1));
+    }
+
+    #[test]
+    fn copy_terminates_on_cyclic_term() {
+        let mut src = Heap::new();
+        let x = src.new_var();
+        let s = src.new_struct(sym("f"), &[x]);
+        let Cell::Ref(a) = x else { unreachable!() };
+        // create the rational tree f(f(f(...))) without occurs check
+        crate::unify::unify(&mut src, Cell::Ref(a), s).unwrap();
+        let mut dst = Heap::new();
+        let out = copy_term(&src, s, &mut dst);
+        // the copy is itself cyclic and was produced in finite time
+        let Cell::Str(h) = out.root else { unreachable!() };
+        assert_eq!(dst.deref(dst.str_arg(h, 0)), Cell::Str(h));
+    }
+}

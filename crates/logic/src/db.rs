@@ -1,0 +1,399 @@
+//! Clause database with first-argument indexing.
+//!
+//! Each clause is kept as a **self-contained heap arena** produced by the
+//! reader. Calling a clause instantiates it by a single block copy with
+//! address relocation — variables in the arena are self-referential `Ref`
+//! cells, so relocation automatically renames them apart (the classic
+//! "copy-based" clause representation).
+//!
+//! First-argument indexing matters here beyond raw speed: the engines
+//! detect **determinacy at runtime** by asking how many clauses *can still
+//! match* a call. The paper's optimizations (LPCO condition (i), shallow
+//! parallelism) key off exactly this runtime-determinacy information, which
+//! "is completely known at runtime" unlike compile-time approximations
+//! (paper §1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::heap::{Cell, Heap};
+use crate::read::{parse_program, ReadClause, ReadError};
+use crate::sym::{wk, Sym};
+use crate::term::{view, TermView};
+
+/// First-argument index key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexKey {
+    /// Clause head's first argument is a variable (matches anything), or
+    /// the predicate has arity 0.
+    Any,
+    Atom(Sym),
+    Int(i64),
+    Struct(Sym, u32),
+    /// A list pair `[_|_]`.
+    List,
+    Nil,
+}
+
+impl IndexKey {
+    /// Compute the key of a term (used both for clause heads at load time
+    /// and call arguments at runtime).
+    pub fn of(heap: &Heap, t: Cell) -> IndexKey {
+        match view(heap, t) {
+            TermView::Var(_) => IndexKey::Any,
+            TermView::Atom(s) => IndexKey::Atom(s),
+            TermView::Int(i) => IndexKey::Int(i),
+            TermView::Struct(f, n, _) => IndexKey::Struct(f, n),
+            TermView::List(_) => IndexKey::List,
+            TermView::Nil => IndexKey::Nil,
+        }
+    }
+
+    /// Could a clause with key `self` match a call with key `call`?
+    #[inline]
+    pub fn may_match(self, call: IndexKey) -> bool {
+        self == IndexKey::Any || call == IndexKey::Any || self == call
+    }
+}
+
+/// One program clause in relocatable form.
+#[derive(Debug)]
+pub struct Clause {
+    /// Self-contained cell arena holding head and body.
+    arena: Heap,
+    /// Head term (arena-relative).
+    head: Cell,
+    /// Body term (arena-relative); the atom `true` for facts.
+    body: Cell,
+    /// First-argument index key of the head.
+    pub key: IndexKey,
+    /// Source position (clause number within its predicate), for tracing.
+    pub ordinal: usize,
+}
+
+impl Clause {
+    /// Build from a parsed clause term (`Head`, or `Head :- Body`).
+    pub fn from_read(rc: ReadClause, ordinal: usize) -> Result<Clause, String> {
+        let ReadClause { arena, root } = rc;
+        let (head, body) = match view(&arena, root) {
+            TermView::Struct(f, 2, hdr) if f == wk().clause_neck => {
+                (arena.str_arg(hdr, 0), arena.str_arg(hdr, 1))
+            }
+            _ => (root, Cell::Atom(wk().true_)),
+        };
+        let key = match view(&arena, head) {
+            TermView::Atom(_) => IndexKey::Any,
+            TermView::Struct(_, _, hdr) => IndexKey::of(&arena, arena.str_arg(hdr, 0)),
+            other => {
+                return Err(format!("invalid clause head: {other:?}"));
+            }
+        };
+        Ok(Clause {
+            arena,
+            head,
+            body,
+            key,
+            ordinal,
+        })
+    }
+
+    /// Head functor name and arity.
+    pub fn head_functor(&self) -> (Sym, u32) {
+        match view(&self.arena, self.head) {
+            TermView::Atom(s) => (s, 0),
+            TermView::Struct(f, n, _) => (f, n),
+            _ => unreachable!("validated in from_read"),
+        }
+    }
+
+    /// Number of arena cells (instantiation cost metric).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Instantiate this clause on `heap`: block-copy the arena with
+    /// relocation and return the (head, body) cells valid in `heap`.
+    ///
+    /// Cost is one `memcpy`-like pass over the arena; every self-referential
+    /// `Ref` cell becomes a fresh unbound variable automatically.
+    pub fn instantiate(&self, heap: &mut Heap) -> (Cell, Cell) {
+        let base = heap.len() as u32;
+        for &c in self.arena.cells() {
+            heap.push(c.relocated(base));
+        }
+        (self.head.relocated(base), self.body.relocated(base))
+    }
+
+    /// Read-only access to the stored body (arena-relative), used by load-
+    /// time analyses (e.g. detecting a trailing parallel conjunction for
+    /// LPCO applicability hints).
+    pub fn body_in_arena(&self) -> (&Heap, Cell) {
+        (&self.arena, self.body)
+    }
+
+    /// Read-only access to the stored head (arena-relative).
+    pub fn head_in_arena(&self) -> (&Heap, Cell) {
+        (&self.arena, self.head)
+    }
+}
+
+/// All clauses of one `name/arity` predicate.
+#[derive(Debug, Default)]
+pub struct Predicate {
+    pub clauses: Vec<Arc<Clause>>,
+}
+
+impl Predicate {
+    /// Indices of clauses whose key may match `call`, starting from clause
+    /// `from`. Returns the first such index, or `None`.
+    pub fn next_matching(&self, call: IndexKey, from: usize) -> Option<usize> {
+        (from..self.clauses.len()).find(|&i| self.clauses[i].key.may_match(call))
+    }
+
+    /// How many clauses may match `call`? (Runtime determinacy query: a
+    /// call with exactly one matching clause is *determinate*.)
+    pub fn match_count(&self, call: IndexKey) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.key.may_match(call))
+            .count()
+    }
+}
+
+/// Errors produced while loading a program into a database.
+#[derive(Debug)]
+pub enum LoadError {
+    Read(ReadError),
+    BadClause(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Read(e) => write!(f, "{e}"),
+            LoadError::BadClause(m) => write!(f, "bad clause: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ReadError> for LoadError {
+    fn from(e: ReadError) -> Self {
+        LoadError::Read(e)
+    }
+}
+
+/// The program database: immutable once loaded, shared by all machines via
+/// `Arc<Database>`.
+#[derive(Debug, Default)]
+pub struct Database {
+    preds: HashMap<(Sym, u32), Predicate>,
+    /// `?- Goal` / `:- Goal` directives in source order, each as its own
+    /// arena (same relocatable representation as clause bodies).
+    directives: Vec<Arc<Clause>>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Parse and load a program text.
+    pub fn load(src: &str) -> Result<Database, LoadError> {
+        let mut db = Database::new();
+        db.consult(src)?;
+        Ok(db)
+    }
+
+    /// Add the clauses of `src` to this database.
+    pub fn consult(&mut self, src: &str) -> Result<(), LoadError> {
+        for rc in parse_program(src)? {
+            // Directive?
+            if let TermView::Struct(f, 1, hdr) = view(&rc.arena, rc.root) {
+                if f == wk().query_neck || f == wk().clause_neck {
+                    let goal = rc.arena.str_arg(hdr, 0);
+                    let arena = rc.arena.clone();
+                    self.directives.push(Arc::new(Clause {
+                        arena,
+                        head: Cell::Atom(wk().true_),
+                        body: goal,
+                        key: IndexKey::Any,
+                        ordinal: self.directives.len(),
+                    }));
+                    continue;
+                }
+            }
+            self.add_clause(rc).map_err(LoadError::BadClause)?;
+        }
+        Ok(())
+    }
+
+    /// Add one parsed clause.
+    pub fn add_clause(&mut self, rc: ReadClause) -> Result<(), String> {
+        let clause = Clause::from_read(rc, 0)?;
+        let fa = clause.head_functor();
+        let pred = self.preds.entry(fa).or_default();
+        let mut clause = clause;
+        clause.ordinal = pred.clauses.len();
+        pred.clauses.push(Arc::new(clause));
+        Ok(())
+    }
+
+    /// Look up a predicate.
+    pub fn predicate(&self, name: Sym, arity: u32) -> Option<&Predicate> {
+        self.preds.get(&(name, arity))
+    }
+
+    /// The `?-`/`:-` directives found while loading, in order.
+    pub fn directives(&self) -> &[Arc<Clause>] {
+        &self.directives
+    }
+
+    /// Iterate all `(name, arity)` pairs defined (diagnostics).
+    pub fn predicates(&self) -> impl Iterator<Item = (Sym, u32)> + '_ {
+        self.preds.keys().copied()
+    }
+
+    /// Total clause count (diagnostics).
+    pub fn clause_count(&self) -> usize {
+        self.preds.values().map(|p| p.clauses.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+    use crate::term::proper_list;
+    use crate::unify::unify;
+
+    const MEMBER: &str = r#"
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+    "#;
+
+    #[test]
+    fn load_and_lookup() {
+        let db = Database::load(MEMBER).unwrap();
+        let p = db.predicate(sym("member"), 2).unwrap();
+        assert_eq!(p.clauses.len(), 2);
+        assert_eq!(db.clause_count(), 2);
+    }
+
+    #[test]
+    fn index_keys() {
+        let db = Database::load(
+            "p(a). p(b). p(42). p([H|T]) :- q(H, T). p([]). p(f(X)) :- r(X). p(Y) :- s(Y).",
+        )
+        .unwrap();
+        let p = db.predicate(sym("p"), 1).unwrap();
+        assert_eq!(p.clauses[0].key, IndexKey::Atom(sym("a")));
+        assert_eq!(p.clauses[2].key, IndexKey::Int(42));
+        assert_eq!(p.clauses[3].key, IndexKey::List);
+        assert_eq!(p.clauses[4].key, IndexKey::Nil);
+        assert_eq!(p.clauses[5].key, IndexKey::Struct(sym("f"), 1));
+        assert_eq!(p.clauses[6].key, IndexKey::Any);
+
+        // call p(a): matches clause 0 and the catch-all clause 6
+        assert_eq!(p.match_count(IndexKey::Atom(sym("a"))), 2);
+        // call p(X): matches everything
+        assert_eq!(p.match_count(IndexKey::Any), 7);
+        // call p(g(1)): only the catch-all
+        assert_eq!(p.match_count(IndexKey::Struct(sym("g"), 1)), 1);
+        // determinacy: p(99) matches... Int(42) doesn't match 99
+        assert_eq!(p.match_count(IndexKey::Int(99)), 1);
+    }
+
+    #[test]
+    fn next_matching_scans() {
+        let db = Database::load("q(a). q(b). q(a).").unwrap();
+        let p = db.predicate(sym("q"), 1).unwrap();
+        let key = IndexKey::Atom(sym("a"));
+        assert_eq!(p.next_matching(key, 0), Some(0));
+        assert_eq!(p.next_matching(key, 1), Some(2));
+        assert_eq!(p.next_matching(key, 3), None);
+    }
+
+    #[test]
+    fn instantiate_renames_variables() {
+        let db = Database::load(MEMBER).unwrap();
+        let p = db.predicate(sym("member"), 2).unwrap();
+        let mut heap = Heap::new();
+        let (h1, _) = p.clauses[0].instantiate(&mut heap);
+        let (h2, _) = p.clauses[0].instantiate(&mut heap);
+        // two instantiations have distinct variables: unifying them binds
+        // fresh-to-fresh without clashing
+        assert!(unify(&mut heap, h1, h2).is_some());
+    }
+
+    #[test]
+    fn instantiated_clause_unifies_with_call() {
+        let db = Database::load(MEMBER).unwrap();
+        let p = db.predicate(sym("member"), 2).unwrap();
+        let mut heap = Heap::new();
+        // call: member(E, [1,2])
+        let e = heap.new_var();
+        let l = heap.list(&[Cell::Int(1), Cell::Int(2)]);
+        let call = heap.new_struct(sym("member"), &[e, l]);
+        let (head, body) = p.clauses[0].instantiate(&mut heap);
+        assert!(unify(&mut heap, call, head).is_some());
+        assert_eq!(heap.deref(e), Cell::Int(1));
+        assert_eq!(heap.deref(body), Cell::Atom(wk().true_));
+    }
+
+    #[test]
+    fn facts_have_true_body() {
+        let db = Database::load("f(1).").unwrap();
+        let p = db.predicate(sym("f"), 1).unwrap();
+        let (arena, body) = p.clauses[0].body_in_arena();
+        assert_eq!(arena.deref(body), Cell::Atom(wk().true_));
+    }
+
+    #[test]
+    fn directives_collected() {
+        let db = Database::load("p(1). ?- p(X). :- p(1).").unwrap();
+        assert_eq!(db.directives().len(), 2);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let db = Database::load("go :- step. step.").unwrap();
+        assert!(db.predicate(sym("go"), 0).is_some());
+        assert!(db.predicate(sym("step"), 0).is_some());
+    }
+
+    #[test]
+    fn bad_head_rejected() {
+        assert!(Database::load("42 :- q.").is_err());
+        assert!(Database::load("[a] :- q.").is_err());
+    }
+
+    #[test]
+    fn clause_arena_is_self_contained() {
+        let db = Database::load("p([H|T], f(H)) :- q(T).").unwrap();
+        let p = db.predicate(sym("p"), 2).unwrap();
+        let c = &p.clauses[0];
+        // every relocatable cell points within the arena
+        for cell in c.head_in_arena().0.cells() {
+            if let Cell::Ref(a) | Cell::Str(a) | Cell::Lst(a) = cell {
+                assert!((a.idx()) < c.arena_len());
+            }
+        }
+    }
+
+    #[test]
+    fn instantiate_list_heads() {
+        let db = Database::load("first([H|_], H).").unwrap();
+        let p = db.predicate(sym("first"), 2).unwrap();
+        let mut heap = Heap::new();
+        let x = heap.new_var();
+        let l = heap.list(&[Cell::Int(7), Cell::Int(8)]);
+        let call = heap.new_struct(sym("first"), &[l, x]);
+        let (head, _) = p.clauses[0].instantiate(&mut heap);
+        assert!(unify(&mut heap, call, head).is_some());
+        assert_eq!(heap.deref(x), Cell::Int(7));
+        let items = proper_list(&heap, l).unwrap();
+        assert_eq!(items.len(), 2);
+    }
+}

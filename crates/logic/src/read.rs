@@ -1,0 +1,825 @@
+//! Reader: tokenizer and operator-precedence parser for the Prolog subset
+//! used by the benchmark corpus and examples.
+//!
+//! Supported syntax: atoms (plain, quoted, symbolic), variables, integers,
+//! compound terms, lists with `|` tails, parenthesised terms, `%` line and
+//! `/* */` block comments, and the standard operator table extended with
+//! the `&` **parallel conjunction** operator (priority 1025, `xfy`) that
+//! &ACE programs use to annotate independent and-parallel goals:
+//!
+//! ```text
+//! process_list([H|T], [Hout|Tout]) :-
+//!     process(H, Hout) & process_list(T, Tout).
+//! ```
+//!
+//! Terms are built directly into a caller-supplied [`Heap`]; parsing a
+//! program yields one self-contained heap ("arena") per clause, which the
+//! database later instantiates by block copy + relocation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::heap::{Cell, Heap};
+use crate::sym::sym;
+
+/// Reader errors with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    pub at: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+fn err<T>(at: usize, msg: impl Into<String>) -> Result<T, ReadError> {
+    Err(ReadError {
+        at,
+        msg: msg.into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Atom or symbolic atom; bool = followed immediately by `(`.
+    Atom(String, bool),
+    Var(String),
+    Int(i64),
+    Open,      // (
+    Close,     // )
+    OpenB,     // [
+    CloseB,    // ]
+    Comma,     // ,
+    Bar,       // |
+    End,       // clause-terminating .
+    Eof,
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+const SYMBOLIC: &[u8] = b"+-*/\\^<>=~:.?@#&$";
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) -> Result<(), ReadError> {
+        loop {
+            while self.pos < self.src.len()
+                && self.src[self.pos].is_ascii_whitespace()
+            {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.pos + 1 < self.src.len()
+                && self.src[self.pos] == b'/'
+                && self.src[self.pos + 1] == b'*'
+            {
+                let start = self.pos;
+                self.pos += 2;
+                loop {
+                    if self.pos + 1 >= self.src.len() {
+                        return err(start, "unterminated block comment");
+                    }
+                    if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/'
+                    {
+                        self.pos += 2;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    /// Lex the next token.
+    fn next(&mut self) -> Result<(usize, Tok), ReadError> {
+        self.skip_ws()?;
+        let at = self.pos;
+        let Some(c) = self.peek_byte() else {
+            return Ok((at, Tok::Eof));
+        };
+        match c {
+            b'(' => {
+                self.pos += 1;
+                Ok((at, Tok::Open))
+            }
+            b')' => {
+                self.pos += 1;
+                Ok((at, Tok::Close))
+            }
+            b'[' => {
+                self.pos += 1;
+                Ok((at, Tok::OpenB))
+            }
+            b']' => {
+                self.pos += 1;
+                Ok((at, Tok::CloseB))
+            }
+            b',' => {
+                self.pos += 1;
+                Ok((at, Tok::Comma))
+            }
+            b'|' => {
+                self.pos += 1;
+                Ok((at, Tok::Bar))
+            }
+            b'!' => {
+                self.pos += 1;
+                Ok((at, self.atom_tok("!")))
+            }
+            b';' => {
+                self.pos += 1;
+                Ok((at, self.atom_tok(";")))
+            }
+            b'\'' => self.quoted_atom(at),
+            b'0'..=b'9' => self.number(at),
+            b'_' | b'A'..=b'Z' => {
+                let name = self.ident();
+                Ok((at, Tok::Var(name)))
+            }
+            b'a'..=b'z' => {
+                let name = self.ident();
+                Ok((at, self.atom_tok(&name)))
+            }
+            c if SYMBOLIC.contains(&c) => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && SYMBOLIC.contains(&self.src[self.pos])
+                {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_owned();
+                // A lone '.' followed by whitespace/EOF terminates a clause.
+                if s == "." {
+                    let next_ws = self
+                        .peek_byte()
+                        .is_none_or(|b| b.is_ascii_whitespace() || b == b'%');
+                    if next_ws {
+                        return Ok((at, Tok::End));
+                    }
+                }
+                Ok((at, self.atom_tok(&s)))
+            }
+            other => err(at, format!("unexpected character {:?}", other as char)),
+        }
+    }
+
+    fn atom_tok(&self, name: &str) -> Tok {
+        let calls = self.peek_byte() == Some(b'(');
+        Tok::Atom(name.to_owned(), calls)
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric()
+                || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_owned()
+    }
+
+    fn number(&mut self, at: usize) -> Result<(usize, Tok), ReadError> {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match text.parse::<i64>() {
+            Ok(v) => Ok((at, Tok::Int(v))),
+            Err(_) => err(at, "integer literal out of range"),
+        }
+    }
+
+    fn quoted_atom(&mut self, at: usize) -> Result<(usize, Tok), ReadError> {
+        self.pos += 1; // opening quote
+        // Collect raw bytes so multi-byte UTF-8 inside quoted atoms
+        // survives intact (the input is valid UTF-8 and all delimiters
+        // and escapes are ASCII, so byte-level scanning is safe).
+        let mut bytes: Vec<u8> = Vec::new();
+        loop {
+            match self.peek_byte() {
+                None => return err(at, "unterminated quoted atom"),
+                Some(b'\'') => {
+                    self.pos += 1;
+                    if self.peek_byte() == Some(b'\'') {
+                        bytes.push(b'\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek_byte() {
+                        Some(b'n') => bytes.push(b'\n'),
+                        Some(b't') => bytes.push(b'\t'),
+                        Some(b'\\') => bytes.push(b'\\'),
+                        Some(b'\'') => bytes.push(b'\''),
+                        other => {
+                            return err(
+                                self.pos,
+                                format!("bad escape {:?}", other.map(|b| b as char)),
+                            )
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    bytes.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        let out = String::from_utf8(bytes)
+            .map_err(|_| ReadError {
+                at,
+                msg: "invalid UTF-8 in quoted atom".into(),
+            })?;
+        let calls = self.peek_byte() == Some(b'(');
+        Ok((at, Tok::Atom(out, calls)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator table
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpType {
+    Xfx,
+    Xfy,
+    Yfx,
+    Fy,
+    Fx,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpDef {
+    prec: u16,
+    typ: OpType,
+}
+
+fn infix_op(name: &str) -> Option<OpDef> {
+    use OpType::*;
+    let (prec, typ) = match name {
+        ":-" | "-->" => (1200, Xfx),
+        ";" => (1100, Xfy),
+        "->" => (1050, Xfy),
+        // &ACE parallel conjunction: binds tighter than ';' and looser
+        // than ','  so  `a, b & c, d`  reads as  `(a, b) & (c, d)`.
+        "&" => (1025, Xfy),
+        "," => (1000, Xfy),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">"
+        | "=<" | ">=" | "@<" | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
+        "+" | "-" => (500, Yfx),
+        "*" | "/" | "//" | "mod" | "rem" | ">>" | "<<" => (400, Yfx),
+        "**" => (200, Xfx),
+        "^" => (200, Xfy),
+        _ => return None,
+    };
+    Some(OpDef { prec, typ })
+}
+
+fn prefix_op(name: &str) -> Option<OpDef> {
+    use OpType::*;
+    let (prec, typ) = match name {
+        ":-" | "?-" => (1200, Fx),
+        "\\+" => (900, Fy),
+        "-" | "+" | "\\" => (200, Fy),
+        _ => return None,
+    };
+    Some(OpDef { prec, typ })
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'s, 'h> {
+    lx: Lexer<'s>,
+    heap: &'h mut Heap,
+    vars: HashMap<String, Cell>,
+    /// one-token lookahead
+    peeked: Option<(usize, Tok)>,
+}
+
+impl<'s, 'h> Parser<'s, 'h> {
+    fn new(src: &'s str, heap: &'h mut Heap) -> Self {
+        Parser {
+            lx: Lexer::new(src),
+            heap,
+            vars: HashMap::new(),
+            peeked: None,
+        }
+    }
+
+    fn peek(&mut self) -> Result<&(usize, Tok), ReadError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lx.next()?);
+        }
+        Ok(self.peeked.as_ref().unwrap())
+    }
+
+    fn bump(&mut self) -> Result<(usize, Tok), ReadError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lx.next(),
+        }
+    }
+
+    fn var(&mut self, name: &str) -> Cell {
+        if name == "_" {
+            return self.heap.new_var();
+        }
+        if let Some(&c) = self.vars.get(name) {
+            return c;
+        }
+        let c = self.heap.new_var();
+        self.vars.insert(name.to_owned(), c);
+        c
+    }
+
+    /// Parse a term with priority at most `max_prec`.
+    fn term(&mut self, max_prec: u16) -> Result<Cell, ReadError> {
+        let (mut left, mut left_prec) = self.primary(max_prec)?;
+        loop {
+            let (at, tok) = self.peek()?.clone();
+            let opname = match &tok {
+                Tok::Atom(name, _) => name.clone(),
+                Tok::Comma => ",".to_owned(),
+                Tok::Bar if max_prec >= 1100 => {
+                    // '|' as alternative separator is not supported;
+                    // it only appears in lists.
+                    break;
+                }
+                _ => break,
+            };
+            let Some(op) = infix_op(&opname) else { break };
+            if op.prec > max_prec {
+                break;
+            }
+            let (larg_max, rarg_max) = match op.typ {
+                OpType::Xfx => (op.prec - 1, op.prec - 1),
+                OpType::Xfy => (op.prec - 1, op.prec),
+                OpType::Yfx => (op.prec, op.prec - 1),
+                _ => unreachable!(),
+            };
+            if left_prec > larg_max {
+                break;
+            }
+            self.bump()?; // consume the operator
+            let right = self.term(rarg_max).map_err(|e| ReadError {
+                at: e.at.max(at),
+                msg: e.msg,
+            })?;
+            left = self.heap.new_struct(sym(&opname), &[left, right]);
+            left_prec = op.prec;
+        }
+        Ok(left)
+    }
+
+    /// Parse a primary (possibly prefixed) term; returns (term, priority).
+    fn primary(&mut self, max_prec: u16) -> Result<(Cell, u16), ReadError> {
+        let (at, tok) = self.bump()?;
+        match tok {
+            Tok::Int(v) => Ok((Cell::Int(v), 0)),
+            Tok::Var(name) => Ok((self.var(&name), 0)),
+            Tok::Open => {
+                let t = self.term(1200)?;
+                self.expect_close()?;
+                Ok((t, 0))
+            }
+            Tok::OpenB => self.list(),
+            Tok::Atom(name, calls_args) => {
+                if calls_args {
+                    // functional notation f(...)
+                    let args = self.arglist()?;
+                    let t = self.heap.new_struct(sym(&name), &args);
+                    return Ok((t, 0));
+                }
+                // Prefix operator?
+                if let Some(op) = prefix_op(&name) {
+                    if op.prec <= max_prec && self.starts_term()? {
+                        // Special case: -Integer is a negative literal.
+                        if name == "-" {
+                            if let (_, Tok::Int(v)) = self.peek()?.clone() {
+                                self.bump()?;
+                                return Ok((Cell::Int(-v), 0));
+                            }
+                        }
+                        let arg_max = match op.typ {
+                            OpType::Fy => op.prec,
+                            OpType::Fx => op.prec - 1,
+                            _ => unreachable!(),
+                        };
+                        let arg = self.term(arg_max)?;
+                        let t = self.heap.new_struct(sym(&name), &[arg]);
+                        return Ok((t, op.prec));
+                    }
+                }
+                if infix_op(&name).is_some() && !self.at_term_end()? {
+                    // an infix operator in primary position with more input
+                    // following is a syntax error unless parenthesised
+                    return err(at, format!("operator `{name}` used as term"));
+                }
+                Ok((atom_cell(&name), 0))
+            }
+            Tok::Comma => err(at, "unexpected `,`"),
+            Tok::Bar => err(at, "unexpected `|`"),
+            Tok::Close => err(at, "unexpected `)`"),
+            Tok::CloseB => err(at, "unexpected `]`"),
+            Tok::End => err(at, "unexpected end of clause"),
+            Tok::Eof => err(at, "unexpected end of input"),
+        }
+    }
+
+    /// Could the next token begin a term?
+    fn starts_term(&mut self) -> Result<bool, ReadError> {
+        Ok(matches!(
+            self.peek()?.1,
+            Tok::Int(_) | Tok::Var(_) | Tok::Atom(..) | Tok::Open | Tok::OpenB
+        ))
+    }
+
+    fn at_term_end(&mut self) -> Result<bool, ReadError> {
+        Ok(matches!(
+            self.peek()?.1,
+            Tok::End | Tok::Eof | Tok::Close | Tok::CloseB | Tok::Comma | Tok::Bar
+        ))
+    }
+
+    fn expect_close(&mut self) -> Result<(), ReadError> {
+        match self.bump()? {
+            (_, Tok::Close) => Ok(()),
+            (at, other) => err(at, format!("expected `)`, found {other:?}")),
+        }
+    }
+
+    /// `(` already consumed by the `calls_args` path? No — the open paren
+    /// still sits in the stream; consume it, then parse comma-separated
+    /// arguments at priority 999.
+    fn arglist(&mut self) -> Result<Vec<Cell>, ReadError> {
+        match self.bump()? {
+            (_, Tok::Open) => {}
+            (at, other) => return err(at, format!("expected `(`, found {other:?}")),
+        }
+        let mut args = Vec::new();
+        loop {
+            args.push(self.term(999)?);
+            match self.bump()? {
+                (_, Tok::Comma) => continue,
+                (_, Tok::Close) => break,
+                (at, other) => {
+                    return err(at, format!("expected `,` or `)`, found {other:?}"))
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// `[` already consumed.
+    fn list(&mut self) -> Result<(Cell, u16), ReadError> {
+        if matches!(self.peek()?.1, Tok::CloseB) {
+            self.bump()?;
+            return Ok((Cell::Nil, 0));
+        }
+        let mut items = Vec::new();
+        let tail;
+        loop {
+            items.push(self.term(999)?);
+            match self.bump()? {
+                (_, Tok::Comma) => continue,
+                (_, Tok::CloseB) => {
+                    tail = Cell::Nil;
+                    break;
+                }
+                (_, Tok::Bar) => {
+                    tail = self.term(999)?;
+                    match self.bump()? {
+                        (_, Tok::CloseB) => {}
+                        (at, other) => {
+                            return err(
+                                at,
+                                format!("expected `]`, found {other:?}"),
+                            )
+                        }
+                    }
+                    break;
+                }
+                (at, other) => {
+                    return err(
+                        at,
+                        format!("expected `,`, `|` or `]`, found {other:?}"),
+                    )
+                }
+            }
+        }
+        let mut t = tail;
+        for &item in items.iter().rev() {
+            t = self.heap.cons(item, t);
+        }
+        Ok((t, 0))
+    }
+}
+
+fn atom_cell(name: &str) -> Cell {
+    if name == "[]" {
+        Cell::Nil
+    } else {
+        Cell::Atom(sym(name))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Parse a single term (terminated by `.` or end of input) into `heap`.
+/// Returns the term and the variable-name bindings encountered.
+pub fn parse_term(
+    heap: &mut Heap,
+    src: &str,
+) -> Result<(Cell, Vec<(String, Cell)>), ReadError> {
+    let mut p = Parser::new(src, heap);
+    let t = p.term(1200)?;
+    match p.bump()? {
+        (_, Tok::End) | (_, Tok::Eof) => {}
+        (at, other) => return err(at, format!("trailing input: {other:?}")),
+    }
+    let mut names: Vec<(String, Cell)> = p.vars.into_iter().collect();
+    names.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((t, names))
+}
+
+/// A clause read from program text, as a self-contained heap arena.
+#[derive(Debug, Clone)]
+pub struct ReadClause {
+    /// The arena containing the whole clause term.
+    pub arena: Heap,
+    /// The clause term (`Head`, `Head :- Body`, or `:- Directive`).
+    pub root: Cell,
+}
+
+/// Parse a whole program: a sequence of `.`-terminated clauses.
+pub fn parse_program(src: &str) -> Result<Vec<ReadClause>, ReadError> {
+    let mut out = Vec::new();
+    let mut rest = src;
+    let mut consumed = 0usize;
+    loop {
+        // Skip to see whether anything is left.
+        {
+            let mut lx = Lexer::new(rest);
+            lx.skip_ws().map_err(|e| ReadError {
+                at: e.at + consumed,
+                msg: e.msg,
+            })?;
+            if lx.peek_byte().is_none() {
+                break;
+            }
+        }
+        let mut arena = Heap::new();
+        let mut p = Parser::new(rest, &mut arena);
+        let root = p.term(1200).map_err(|e| ReadError {
+            at: e.at + consumed,
+            msg: e.msg,
+        })?;
+        match p.bump().map_err(|e| ReadError {
+            at: e.at + consumed,
+            msg: e.msg,
+        })? {
+            (_, Tok::End) => {}
+            (at, Tok::Eof) => {
+                return err(at + consumed, "clause not terminated by `.`")
+            }
+            (at, other) => {
+                return err(at + consumed, format!("expected `.`, found {other:?}"))
+            }
+        }
+        let advanced = p.lx.pos;
+        out.push(ReadClause { arena, root });
+        consumed += advanced;
+        rest = &rest[advanced..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+    use crate::term::{proper_list, view, TermView};
+    use crate::write::term_to_string;
+
+    fn roundtrip(src: &str) -> String {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, src).unwrap();
+        term_to_string(&h, t)
+    }
+
+    #[test]
+    fn atoms_ints_vars() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "foo").unwrap();
+        assert_eq!(t, Cell::Atom(sym("foo")));
+        let (t, _) = parse_term(&mut h, "42").unwrap();
+        assert_eq!(t, Cell::Int(42));
+        let (t, vars) = parse_term(&mut h, "X").unwrap();
+        assert!(matches!(view(&h, t), TermView::Var(_)));
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars[0].0, "X");
+    }
+
+    #[test]
+    fn negative_literal() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "-7").unwrap();
+        assert_eq!(t, Cell::Int(-7));
+    }
+
+    #[test]
+    fn compound_and_nesting() {
+        assert_eq!(roundtrip("f(a, g(B, 1), [])"), "f(a,g(_G0,1),[])");
+    }
+
+    #[test]
+    fn variables_scoped_within_term() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "f(X, X, Y)").unwrap();
+        let TermView::Struct(_, 3, hdr) = view(&h, t) else {
+            unreachable!()
+        };
+        assert_eq!(h.deref(h.str_arg(hdr, 0)), h.deref(h.str_arg(hdr, 1)));
+        assert_ne!(h.deref(h.str_arg(hdr, 0)), h.deref(h.str_arg(hdr, 2)));
+    }
+
+    #[test]
+    fn lists() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "[1,2,3]").unwrap();
+        let items = proper_list(&h, t).unwrap();
+        assert_eq!(items.len(), 3);
+        let (t2, _) = parse_term(&mut h, "[H|T]").unwrap();
+        assert!(matches!(view(&h, t2), TermView::List(_)));
+        let (t3, _) = parse_term(&mut h, "[]").unwrap();
+        assert_eq!(t3, Cell::Nil);
+    }
+
+    #[test]
+    fn operators_precedence() {
+        // 1+2*3 = +(1, *(2,3))
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "1+2*3").unwrap();
+        let TermView::Struct(f, 2, hdr) = view(&h, t) else {
+            unreachable!()
+        };
+        assert_eq!(f, sym("+"));
+        assert_eq!(h.str_arg(hdr, 0), Cell::Int(1));
+        let TermView::Struct(g, 2, _) = view(&h, h.str_arg(hdr, 1)) else {
+            unreachable!()
+        };
+        assert_eq!(g, sym("*"));
+    }
+
+    #[test]
+    fn yfx_left_assoc() {
+        // 1-2-3 = -(-(1,2),3)
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "1-2-3").unwrap();
+        let TermView::Struct(f, 2, hdr) = view(&h, t) else {
+            unreachable!()
+        };
+        assert_eq!(f, sym("-"));
+        assert_eq!(h.str_arg(hdr, 1), Cell::Int(3));
+    }
+
+    #[test]
+    fn comma_and_amp_structure() {
+        // a, b & c, d  =  &( ','(a,b) , ','(c,d) )
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "a, b & c, d").unwrap();
+        let TermView::Struct(f, 2, hdr) = view(&h, t) else {
+            unreachable!()
+        };
+        assert_eq!(f, sym("&"));
+        let TermView::Struct(l, 2, _) = view(&h, h.str_arg(hdr, 0)) else {
+            unreachable!()
+        };
+        assert_eq!(l, sym(","));
+    }
+
+    #[test]
+    fn clause_neck() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "p(X) :- q(X), r(X)").unwrap();
+        let TermView::Struct(f, 2, _) = view(&h, t) else { unreachable!() };
+        assert_eq!(f, sym(":-"));
+    }
+
+    #[test]
+    fn parse_program_multi_clause() {
+        let prog = r#"
+            % list membership
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+        "#;
+        let clauses = parse_program(prog).unwrap();
+        assert_eq!(clauses.len(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let prog = "/* block */ p. % line\nq.";
+        let clauses = parse_program(prog).unwrap();
+        assert_eq!(clauses.len(), 2);
+    }
+
+    #[test]
+    fn quoted_atoms() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "'hello world'").unwrap();
+        assert_eq!(t, Cell::Atom(sym("hello world")));
+        let (t2, _) = parse_term(&mut h, "'it''s'").unwrap();
+        assert_eq!(t2, Cell::Atom(sym("it's")));
+    }
+
+    #[test]
+    fn cut_and_control_atoms() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "p :- !, q").unwrap();
+        let s = term_to_string(&h, t);
+        assert!(s.contains('!'), "{s}");
+    }
+
+    #[test]
+    fn naf_prefix() {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, "\\+ p(X)").unwrap();
+        let TermView::Struct(f, 1, _) = view(&h, t) else { unreachable!() };
+        assert_eq!(f, sym("\\+"));
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut h = Heap::new();
+        assert!(parse_term(&mut h, "f(").is_err());
+        assert!(parse_term(&mut h, "[1,2").is_err());
+        assert!(parse_program("p :- q").is_err()); // missing end dot
+    }
+
+    #[test]
+    fn end_dot_after_operand() {
+        let clauses = parse_program("x(X) :- X = a.\ny.").unwrap();
+        assert_eq!(clauses.len(), 2);
+    }
+
+    #[test]
+    fn parallel_conj_in_clause() {
+        let prog = "p(L, O) :- q(L, M) & r(M, O).";
+        let clauses = parse_program(prog).unwrap();
+        assert_eq!(clauses.len(), 1);
+        let c = &clauses[0];
+        let TermView::Struct(neck, 2, hdr) = view(&c.arena, c.root) else {
+            unreachable!()
+        };
+        assert_eq!(neck, sym(":-"));
+        let body = c.arena.str_arg(hdr, 1);
+        let TermView::Struct(amp, 2, _) = view(&c.arena, body) else {
+            unreachable!()
+        };
+        assert_eq!(amp, sym("&"));
+    }
+}

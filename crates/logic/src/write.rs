@@ -1,0 +1,253 @@
+//! Term writer: renders heap terms back to (re-readable) Prolog text.
+//!
+//! Operator terms are written infix with minimal parenthesisation based on
+//! the same operator table the reader uses, so `parse ∘ write` is the
+//! identity on term structure (verified by property tests).
+
+use std::fmt::Write as _;
+
+use crate::heap::{Cell, Heap};
+use crate::term::{view, TermView};
+
+/// Render `t` to a string.
+pub fn term_to_string(heap: &Heap, t: Cell) -> String {
+    let mut out = String::new();
+    write_term(&mut out, heap, t, 1200);
+    out
+}
+
+/// Render `t` with a priority bound (terms of higher priority get parens).
+fn write_term(out: &mut String, heap: &Heap, t: Cell, max_prec: u16) {
+    match view(heap, t) {
+        TermView::Var(a) => {
+            let _ = write!(out, "_G{}", a.0);
+        }
+        TermView::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        TermView::Nil => out.push_str("[]"),
+        TermView::Atom(s) => write_atom(out, &s.name()),
+        TermView::List(_) => write_list(out, heap, t),
+        TermView::Struct(f, n, hdr) => {
+            let name = f.name();
+            if n == 2 {
+                if let Some((prec, lmax, rmax)) = infix_prec(&name) {
+                    let parens = prec > max_prec;
+                    if parens {
+                        out.push('(');
+                    }
+                    write_term(out, heap, heap.str_arg(hdr, 0), lmax);
+                    let mut right = String::new();
+                    write_term(&mut right, heap, heap.str_arg(hdr, 1), rmax);
+                    if name == "," {
+                        out.push(',');
+                    } else if name.bytes().all(|b| b.is_ascii_alphanumeric()) {
+                        // alphabetic operators (is, mod, rem) need spacing
+                        let _ = write!(out, " {name} ");
+                    } else {
+                        // symbolic: insert spaces only where tokens would
+                        // otherwise merge (e.g. `1- -2`, `a= =b`)
+                        if out.ends_with(|c: char| is_symbolic(c)) {
+                            out.push(' ');
+                        }
+                        let _ = write!(out, "{name}");
+                        if right.starts_with(|c: char| is_symbolic(c)) {
+                            out.push(' ');
+                        }
+                    }
+                    out.push_str(&right);
+                    if parens {
+                        out.push(')');
+                    }
+                    return;
+                }
+            }
+            if n == 1 {
+                if let Some((prec, amax)) = prefix_prec(&name) {
+                    let parens = prec > max_prec;
+                    if parens {
+                        out.push('(');
+                    }
+                    let _ = write!(out, "{name} ");
+                    write_term(out, heap, heap.str_arg(hdr, 0), amax);
+                    if parens {
+                        out.push(')');
+                    }
+                    return;
+                }
+            }
+            write_atom(out, &name);
+            out.push('(');
+            for i in 0..n {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_term(out, heap, heap.str_arg(hdr, i), 999);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_list(out: &mut String, heap: &Heap, t: Cell) {
+    out.push('[');
+    let mut cur = t;
+    let mut first = true;
+    loop {
+        match view(heap, cur) {
+            TermView::List(p) => {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write_term(out, heap, heap.lst_head(p), 999);
+                cur = heap.lst_tail(p);
+            }
+            TermView::Nil => break,
+            _ => {
+                out.push('|');
+                write_term(out, heap, cur, 999);
+                break;
+            }
+        }
+    }
+    out.push(']');
+}
+
+/// (priority, left-arg max, right-arg max) for infix operators the reader
+/// knows; mirrors `read::infix_op`.
+fn infix_prec(name: &str) -> Option<(u16, u16, u16)> {
+    Some(match name {
+        ":-" | "-->" => (1200, 1199, 1199),
+        ";" => (1100, 1099, 1100),
+        "->" => (1050, 1049, 1050),
+        "&" => (1025, 1024, 1025),
+        "," => (1000, 999, 1000),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">"
+        | "=<" | ">=" | "@<" | "@>" | "@=<" | "@>=" | "=.." => (700, 699, 699),
+        "+" | "-" => (500, 500, 499),
+        "*" | "/" | "//" | "mod" | "rem" | ">>" | "<<" => (400, 400, 399),
+        "**" => (200, 199, 199),
+        "^" => (200, 199, 200),
+        _ => return None,
+    })
+}
+
+fn prefix_prec(name: &str) -> Option<(u16, u16)> {
+    Some(match name {
+        ":-" | "?-" => (1200, 1199),
+        "\\+" => (900, 900),
+        "\\" => (200, 200),
+        _ => return None,
+    })
+}
+
+fn is_symbolic(c: char) -> bool {
+    "+-*/\\^<>=~:.?@#&$".contains(c)
+}
+
+fn write_atom(out: &mut String, name: &str) {
+    if needs_quotes(name) {
+        out.push('\'');
+        for ch in name.chars() {
+            if ch == '\'' {
+                out.push_str("''");
+            } else {
+                out.push(ch);
+            }
+        }
+        out.push('\'');
+    } else {
+        out.push_str(name);
+    }
+}
+
+fn needs_quotes(name: &str) -> bool {
+    if name.is_empty() {
+        return true;
+    }
+    let bytes = name.as_bytes();
+    // plain atom: lowercase alnum run
+    if bytes[0].is_ascii_lowercase()
+        && bytes
+            .iter()
+            .all(|b| b.is_ascii_alphanumeric() || *b == b'_')
+    {
+        return false;
+    }
+    // symbolic atom
+    const SYMBOLIC: &[u8] = b"+-*/\\^<>=~:.?@#&$";
+    if bytes.iter().all(|b| SYMBOLIC.contains(b)) {
+        return false;
+    }
+    // solo atoms
+    if matches!(name, "!" | ";" | "[]" | "{}") {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::parse_term;
+
+    fn rt(src: &str) -> String {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, src).unwrap();
+        term_to_string(&h, t)
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(rt("foo"), "foo");
+        assert_eq!(rt("'hello world'"), "'hello world'");
+        assert_eq!(rt("[]"), "[]");
+        assert_eq!(rt("'it''s'"), "'it''s'");
+    }
+
+    #[test]
+    fn operators_minimal_parens() {
+        assert_eq!(rt("1+2*3"), "1+2*3");
+        assert_eq!(rt("(1+2)*3"), "(1+2)*3");
+        assert_eq!(rt("1-2-3"), "1-2-3");
+        assert_eq!(rt("1-(2-3)"), "1-(2-3)");
+    }
+
+    #[test]
+    fn clause_shape() {
+        assert_eq!(rt("p(X) :- q(X), r(X)"), "p(_G0):-q(_G0),r(_G0)");
+    }
+
+    #[test]
+    fn parallel_conj() {
+        assert_eq!(rt("a & b & c"), "a&b&c");
+        assert_eq!(rt("(a, b) & c"), "a,b&c");
+    }
+
+    #[test]
+    fn lists_with_tails() {
+        assert_eq!(rt("[1,2|T]"), "[1,2|_G0]");
+        assert_eq!(rt("[1,2,3]"), "[1,2,3]");
+    }
+
+    #[test]
+    fn reparse_identity() {
+        for src in [
+            "f(a,g(B,1),[])",
+            "p(X):-q(X),r(X)",
+            "a&b&c",
+            "1+2*3",
+            "(1+2)*3",
+            "[1,[2,x],'q w'|T]",
+            "\\+ p(X)",
+            "X is Y mod 3",
+        ] {
+            let s1 = rt(src);
+            let mut h = Heap::new();
+            let (t2, _) = parse_term(&mut h, &s1).unwrap();
+            let s2 = term_to_string(&h, t2);
+            assert_eq!(s1, s2, "unstable roundtrip for {src}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the logic substrate: unification laws, trail
+//! discipline, copying, and reader/writer round-trips over randomly
+//! generated terms.
+
+use proptest::prelude::*;
+
+use ace_logic::copy::copy_term;
+use ace_logic::heap::{Cell, Heap};
+use ace_logic::sym::sym;
+use ace_logic::term::{term_size, variables};
+use ace_logic::unify::{struct_eq, unify, unify_oc};
+use ace_logic::write::term_to_string;
+
+/// AST for generated terms (built into heaps by `build`).
+#[derive(Debug, Clone)]
+enum T {
+    Var(u8),
+    Atom(u8),
+    Int(i16),
+    Struct(u8, Vec<T>),
+    List(Vec<T>),
+}
+
+fn term_strategy() -> impl Strategy<Value = T> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(T::Var),
+        (0u8..6).prop_map(T::Atom),
+        any::<i16>().prop_map(T::Int),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            ((0u8..4), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(f, args)| T::Struct(f, args)),
+            prop::collection::vec(inner, 0..4).prop_map(T::List),
+        ]
+    })
+}
+
+/// Build `t` into `heap`, sharing variables via `vars`.
+fn build(heap: &mut Heap, t: &T, vars: &mut Vec<Option<Cell>>) -> Cell {
+    match t {
+        T::Var(i) => {
+            let i = *i as usize;
+            if vars.len() <= i {
+                vars.resize(i + 1, None);
+            }
+            match vars[i] {
+                Some(c) => c,
+                None => {
+                    let c = heap.new_var();
+                    vars[i] = Some(c);
+                    c
+                }
+            }
+        }
+        T::Atom(i) => Cell::Atom(sym(&format!("a{i}"))),
+        T::Int(v) => Cell::Int(*v as i64),
+        T::Struct(f, args) => {
+            let cells: Vec<Cell> =
+                args.iter().map(|a| build(heap, a, vars)).collect();
+            heap.new_struct(sym(&format!("f{f}")), &cells)
+        }
+        T::List(items) => {
+            let cells: Vec<Cell> =
+                items.iter().map(|a| build(heap, a, vars)).collect();
+            heap.list(&cells)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Unifying a term with itself always succeeds and binds nothing new.
+    #[test]
+    fn unify_reflexive(t in term_strategy()) {
+        let mut heap = Heap::new();
+        let mut vars = Vec::new();
+        let c = build(&mut heap, &t, &mut vars);
+        let mark = heap.trail_mark();
+        prop_assert!(unify(&mut heap, c, c).is_some());
+        prop_assert_eq!(heap.trail_section(mark).len(), 0);
+    }
+
+    /// Unification success is symmetric, and both orders leave the pair
+    /// structurally equal.
+    #[test]
+    fn unify_symmetric(a in term_strategy(), b in term_strategy()) {
+        let mut h1 = Heap::new();
+        let mut v1 = Vec::new();
+        let a1 = build(&mut h1, &a, &mut v1);
+        let mut v1b = Vec::new(); // b gets its own variables
+        let b1 = build(&mut h1, &b, &mut v1b);
+        let r1 = unify(&mut h1, a1, b1).is_some();
+
+        let mut h2 = Heap::new();
+        let mut v2 = Vec::new();
+        let a2 = build(&mut h2, &a, &mut v2);
+        let mut v2b = Vec::new();
+        let b2 = build(&mut h2, &b, &mut v2b);
+        let r2 = unify(&mut h2, b2, a2).is_some();
+
+        prop_assert_eq!(r1, r2);
+        if r1 {
+            prop_assert!(struct_eq(&h1, a1, b1));
+            prop_assert!(struct_eq(&h2, a2, b2));
+        }
+    }
+
+    /// Undoing the trail restores every cell touched by a unification.
+    #[test]
+    fn trail_undo_restores_heap(a in term_strategy(), b in term_strategy()) {
+        let mut heap = Heap::new();
+        let mut va = Vec::new();
+        let ca = build(&mut heap, &a, &mut va);
+        let mut vb = Vec::new();
+        let cb = build(&mut heap, &b, &mut vb);
+        let snapshot: Vec<Cell> = heap.cells().to_vec();
+        let mark = heap.trail_mark();
+        let hmark = heap.heap_mark();
+        let _ = unify(&mut heap, ca, cb);
+        heap.undo_to(mark);
+        heap.truncate_to(hmark);
+        prop_assert_eq!(heap.cells(), &snapshot[..]);
+    }
+
+    /// copy_term preserves size, text (module variable names), and the
+    /// variable count; the copy shares no variables with the original.
+    #[test]
+    fn copy_preserves_structure(t in term_strategy()) {
+        let mut src = Heap::new();
+        let mut vars = Vec::new();
+        let c = build(&mut src, &t, &mut vars);
+        let mut dst = Heap::new();
+        let out = copy_term(&src, c, &mut dst);
+        prop_assert_eq!(term_size(&dst, out.root), term_size(&src, c));
+        prop_assert_eq!(
+            variables(&dst, out.root).len(),
+            variables(&src, c).len()
+        );
+        // normalize variable names before comparing text
+        let norm = |s: String| {
+            let mut names: Vec<String> = Vec::new();
+            let mut out = String::new();
+            let mut rest = s.as_str();
+            while let Some(i) = rest.find("_G") {
+                out.push_str(&rest[..i]);
+                let tail = &rest[i + 2..];
+                let end = tail
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(tail.len());
+                let name = &rest[i..i + 2 + end];
+                let id = match names.iter().position(|n| n == name) {
+                    Some(p) => p,
+                    None => {
+                        names.push(name.to_owned());
+                        names.len() - 1
+                    }
+                };
+                out.push_str(&format!("V{id}"));
+                rest = &rest[i + 2 + end..];
+            }
+            out.push_str(rest);
+            out
+        };
+        prop_assert_eq!(
+            norm(term_to_string(&src, c)),
+            norm(term_to_string(&dst, out.root))
+        );
+    }
+
+    /// write ∘ parse is the identity on rendered text (stable round-trip).
+    #[test]
+    fn write_parse_roundtrip(t in term_strategy()) {
+        let mut heap = Heap::new();
+        let mut vars = Vec::new();
+        let c = build(&mut heap, &t, &mut vars);
+        let s1 = term_to_string(&heap, c);
+        let mut h2 = Heap::new();
+        let (c2, _) = ace_logic::parse_term(&mut h2, &s1)
+            .map_err(|e| TestCaseError::fail(format!("reparse {s1:?}: {e}")))?;
+        let s2 = term_to_string(&h2, c2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Occurs-check unification only differs from plain unification by
+    /// rejecting cyclic bindings: whenever unify_oc succeeds, unify does
+    /// too and produces equal terms.
+    #[test]
+    fn occurs_check_is_restriction(a in term_strategy(), b in term_strategy()) {
+        let mut h1 = Heap::new();
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        let a1 = build(&mut h1, &a, &mut va);
+        let b1 = build(&mut h1, &b, &mut vb);
+        let mark = h1.trail_mark();
+        let oc = unify_oc(&mut h1, a1, b1).is_some();
+        h1.undo_to(mark);
+        let plain = unify(&mut h1, a1, b1).is_some();
+        if oc {
+            prop_assert!(plain);
+        }
+    }
+
+    /// Unwind/rewind is an exact inverse pair even interleaved with reads.
+    #[test]
+    fn unwind_rewind_identity(a in term_strategy(), b in term_strategy()) {
+        let mut heap = Heap::new();
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        let ca = build(&mut heap, &a, &mut va);
+        let cb = build(&mut heap, &b, &mut vb);
+        let mark = heap.trail_mark();
+        if unify(&mut heap, ca, cb).is_none() {
+            heap.undo_to(mark);
+            return Ok(());
+        }
+        let after: Vec<Cell> = heap.cells().to_vec();
+        let section = heap.unwind_section(mark);
+        let _ = term_to_string(&heap, ca); // arbitrary read while unwound
+        heap.rewind_section(section);
+        prop_assert_eq!(heap.cells(), &after[..]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Reader robustness: arbitrary input must never panic the parser — it
+//! either produces a term or a positioned syntax error.
+
+use proptest::prelude::*;
+
+use ace_logic::{parse_program, parse_term, Heap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (valid UTF-8 strings) never panic the term parser.
+    #[test]
+    fn parse_term_never_panics(input in ".*") {
+        let mut heap = Heap::new();
+        let _ = parse_term(&mut heap, &input);
+    }
+
+    /// Arbitrary program text never panics the program parser.
+    #[test]
+    fn parse_program_never_panics(input in ".*") {
+        let _ = parse_program(&input);
+    }
+
+    /// Prolog-ish token soup exercises deeper parser paths.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("foo".to_owned()),
+                Just("X".to_owned()),
+                Just("42".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("[".to_owned()),
+                Just("]".to_owned()),
+                Just(",".to_owned()),
+                Just("|".to_owned()),
+                Just(".".to_owned()),
+                Just(":-".to_owned()),
+                Just("&".to_owned()),
+                Just(";".to_owned()),
+                Just("->".to_owned()),
+                Just("=".to_owned()),
+                Just("is".to_owned()),
+                Just("+".to_owned()),
+                Just("-".to_owned()),
+                Just("'q w'".to_owned()),
+                Just("\\+".to_owned()),
+                Just("!".to_owned()),
+            ],
+            0..24
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = parse_program(&input);
+        let mut heap = Heap::new();
+        let _ = parse_term(&mut heap, &input);
+    }
+
+    /// Whatever parses also prints, and the printed form re-parses to the
+    /// same text (writer/reader fixpoint on arbitrary accepted inputs).
+    #[test]
+    fn accepted_inputs_roundtrip(input in ".*") {
+        let mut heap = Heap::new();
+        if let Ok((term, _)) = parse_term(&mut heap, &input) {
+            let s1 = ace_logic::write::term_to_string(&heap, term);
+            let mut h2 = Heap::new();
+            let (t2, _) = parse_term(&mut h2, &s1).map_err(|e| {
+                TestCaseError::fail(format!("printed form unparsable: {s1:?}: {e}"))
+            })?;
+            let s2 = ace_logic::write::term_to_string(&h2, t2);
+            prop_assert_eq!(s1, s2);
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! Builtin predicates.
+//!
+//! Control constructs (`,`, `&`, `;`, `->`, `!`, `\+`, `call/N`) are
+//! handled directly in [`crate::machine`]; everything here is a "real"
+//! builtin dispatched by `(functor, arity)`. Returns `None` when the goal
+//! is not a builtin (falls through to user-predicate resolution).
+
+use ace_logic::copy::copy_term_within;
+use ace_logic::sym::{sym, wk};
+use ace_logic::term::{compare as term_compare, is_ground, view, ListIter, TermView};
+use ace_logic::unify::{struct_eq, unify};
+use ace_logic::{Addr, Cell, Sym};
+
+use crate::arith;
+use crate::frames::{Alts, ChoicePoint};
+use crate::machine::{Machine, Status};
+
+/// Try to execute `f/n` (with argument block at `hdr`) as a builtin.
+pub(crate) fn dispatch(m: &mut Machine, f: Sym, n: u32, hdr: Addr) -> Option<Status> {
+    let w = wk();
+    let s = match (f, n) {
+        (x, 2) if x == w.unify => builtin_unify(m, hdr),
+        (x, 2) if x == w.not_unify => builtin_not_unify(m, hdr),
+        (x, 2) if x == w.struct_eq => builtin_struct_eq(m, hdr, true),
+        (x, 2) if x == w.struct_ne => builtin_struct_eq(m, hdr, false),
+        (x, 2) if x == w.is => builtin_is(m, hdr),
+        (x, 2)
+            if x == w.arith_eq
+                || x == w.arith_ne
+                || x == w.lt
+                || x == w.gt
+                || x == w.le
+                || x == w.ge =>
+        {
+            builtin_arith_compare(m, f, hdr)
+        }
+        (x, 1) if x == w.var_ => builtin_type_test(m, hdr, TypeTest::Var),
+        (x, 1) if x == w.nonvar => builtin_type_test(m, hdr, TypeTest::Nonvar),
+        (x, 1) if x == w.atom_ => builtin_type_test(m, hdr, TypeTest::Atom),
+        (x, 1) if x == w.number || x == w.integer => {
+            builtin_type_test(m, hdr, TypeTest::Integer)
+        }
+        (x, 1) if x == w.atomic => builtin_type_test(m, hdr, TypeTest::Atomic),
+        (x, 1) if x == w.compound => builtin_type_test(m, hdr, TypeTest::Compound),
+        (x, 1) if x == w.ground => builtin_ground(m, hdr),
+        (x, 3) if x == w.functor => builtin_functor(m, hdr),
+        (x, 3) if x == w.arg => builtin_arg(m, hdr),
+        (x, 2) if x == w.univ => builtin_univ(m, hdr),
+        (x, 2) if x == w.copy_term => builtin_copy_term(m, hdr),
+        (x, 2) if x == w.length => builtin_length(m, hdr),
+        (x, 3) if x == w.between => builtin_between(m, hdr),
+        (x, 3) if x == w.compare => builtin_compare3(m, hdr),
+        (x, 2) if x == w.term_lt || x == w.term_gt || x == w.term_le || x == w.term_ge => {
+            builtin_term_order(m, f, hdr)
+        }
+        (x, 1) if x == w.write => builtin_write(m, hdr, false),
+        (x, 1) if x == w.writeln => builtin_write(m, hdr, true),
+        (x, 1) if x == sym("tab") => builtin_tab(m, hdr),
+        (x, 3) if x == sym("findall") => builtin_findall(m, hdr),
+        (x, 2) if x == sym("msort") => builtin_sort(m, hdr, false),
+        (x, 2) if x == sym("sort") => builtin_sort(m, hdr, true),
+        (x, 2) if x == sym("reverse") => builtin_reverse(m, hdr),
+        (x, 3) if x == sym("nth1") => builtin_nth1(m, hdr),
+        (x, 1) if x == sym("$answer") => builtin_answer(m, hdr),
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// `findall(Template, Goal, Bag)`: run `Goal` to exhaustion on a private
+/// sub-machine and collect a copy of `Template` for every solution.
+/// The sub-machine's cost is charged to this machine (the caller pays for
+/// the sub-search), and `&` inside the goal runs sequentially (findall is
+/// an all-solutions barrier).
+fn builtin_findall(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let template = m.heap.str_arg(hdr, 0);
+    let goal = m.heap.str_arg(hdr, 1);
+    let bag = m.heap.str_arg(hdr, 2);
+
+    let mut sub = Machine::new(m.db().clone(), m.costs().clone());
+    // ship template+goal jointly so they keep sharing variables
+    let pair = m.heap.new_struct(sym("$findall"), &[template, goal]);
+    let out = ace_logic::copy::copy_term(&m.heap, pair, &mut sub.heap);
+    let Cell::Str(phdr) = out.root else { unreachable!() };
+    let sub_template = sub.heap.str_arg(phdr, 0);
+    let sub_goal = sub.heap.str_arg(phdr, 1);
+    m.stats.cells_copied += out.cells_copied as u64;
+    m.charge(out.cells_copied as u64 * m.costs.heap_cell);
+
+    sub.set_query(sub_goal);
+    let mut items: Vec<Cell> = Vec::new();
+    loop {
+        match sub.run_to_completion() {
+            Status::Solution => {
+                let inst =
+                    ace_logic::copy::copy_term(&sub.heap, sub_template, &mut m.heap);
+                m.stats.cells_copied += inst.cells_copied as u64;
+                items.push(inst.root);
+                sub.backtrack();
+            }
+            Status::Failed => break,
+            Status::Error(e) => {
+                m.charge(sub.stats.cost);
+                return m.error(format!("findall/3: {e}"));
+            }
+            other => {
+                m.charge(sub.stats.cost);
+                return m.error(format!(
+                    "findall/3: unexpected sub-status {other:?}"
+                ));
+            }
+        }
+    }
+    m.charge(sub.stats.cost);
+    let list = m.heap.list(&items);
+    unify_or_backtrack(m, bag, list)
+}
+
+/// `msort/2` (order-preserving duplicates) and `sort/2` (dedup) by the
+/// standard order of terms.
+fn builtin_sort(m: &mut Machine, hdr: Addr, dedup: bool) -> Status {
+    m.charge(m.costs.builtin);
+    let input = m.heap.str_arg(hdr, 0);
+    let out = m.heap.str_arg(hdr, 1);
+    let Some(mut items) = ace_logic::term::proper_list(&m.heap, input) else {
+        return m.error("sort/2: proper list expected");
+    };
+    m.charge(
+        (items.len() as u64)
+            * (64 - (items.len() as u64).leading_zeros() as u64).max(1),
+    );
+    items.sort_by(|a, b| term_compare(&m.heap, *a, *b));
+    if dedup {
+        items.dedup_by(|a, b| term_compare(&m.heap, *a, *b).is_eq());
+    }
+    let list = m.heap.list(&items);
+    unify_or_backtrack(m, out, list)
+}
+
+fn builtin_reverse(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let input = m.heap.str_arg(hdr, 0);
+    let out = m.heap.str_arg(hdr, 1);
+    let Some(mut items) = ace_logic::term::proper_list(&m.heap, input) else {
+        return m.error("reverse/2: proper list expected");
+    };
+    items.reverse();
+    m.charge(items.len() as u64);
+    let list = m.heap.list(&items);
+    unify_or_backtrack(m, out, list)
+}
+
+/// `nth1(Index, List, Elem)` with a bound integer index.
+fn builtin_nth1(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let idx = m.heap.str_arg(hdr, 0);
+    let list = m.heap.str_arg(hdr, 1);
+    let elem = m.heap.str_arg(hdr, 2);
+    let TermView::Int(i) = view(&m.heap, idx) else {
+        return m.error("nth1/3: bound integer index expected");
+    };
+    if i < 1 {
+        return m.backtrack();
+    }
+    let mut it = ListIter::new(&m.heap, list);
+    match it.nth((i - 1) as usize) {
+        Some(cell) => unify_or_backtrack(m, elem, cell),
+        None => m.backtrack(),
+    }
+}
+
+/// Internal `$answer(['X'=V, ...])`: record the rendered bindings as one
+/// solution line (or-parallel solution collection; survives state copying
+/// because it rides in the continuation).
+fn builtin_answer(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let list = m.heap.str_arg(hdr, 0);
+    let mut parts: Vec<String> = Vec::new();
+    for item in ListIter::new(&m.heap, list).collect::<Vec<_>>() {
+        if let TermView::Struct(f, 2, phdr) = view(&m.heap, item) {
+            if f == wk().unify {
+                // the name side is a variable-name atom: render it raw
+                let name = match view(&m.heap, m.heap.str_arg(phdr, 0)) {
+                    TermView::Atom(s) => s.name(),
+                    _ => m.render(m.heap.str_arg(phdr, 0)),
+                };
+                let val = m.render(m.heap.str_arg(phdr, 1));
+                parts.push(format!("{name}={val}"));
+                continue;
+            }
+        }
+        parts.push(m.render(item));
+    }
+    parts.sort();
+    m.answers.push(parts.join(", "));
+    m.stats.solutions += 1;
+    succeed(m)
+}
+
+fn succeed(m: &mut Machine) -> Status {
+    m.status = Status::Running;
+    Status::Running
+}
+
+fn builtin_unify(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let a = m.heap.str_arg(hdr, 0);
+    let b = m.heap.str_arg(hdr, 1);
+    let pre = m.heap.trail_mark();
+    match unify(&mut m.heap, a, b) {
+        Some(steps) => {
+            m.stats.unify_steps += steps as u64;
+            m.charge(steps as u64 * m.costs.unify_step);
+            succeed(m)
+        }
+        None => {
+            m.heap.undo_to(pre);
+            m.backtrack()
+        }
+    }
+}
+
+fn builtin_not_unify(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let a = m.heap.str_arg(hdr, 0);
+    let b = m.heap.str_arg(hdr, 1);
+    let pre = m.heap.trail_mark();
+    let unified = unify(&mut m.heap, a, b).is_some();
+    m.heap.undo_to(pre);
+    if unified {
+        m.backtrack()
+    } else {
+        succeed(m)
+    }
+}
+
+fn builtin_struct_eq(m: &mut Machine, hdr: Addr, want_eq: bool) -> Status {
+    m.charge(m.costs.builtin);
+    let a = m.heap.str_arg(hdr, 0);
+    let b = m.heap.str_arg(hdr, 1);
+    if struct_eq(&m.heap, a, b) == want_eq {
+        succeed(m)
+    } else {
+        m.backtrack()
+    }
+}
+
+fn builtin_is(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let lhs = m.heap.str_arg(hdr, 0);
+    let rhs = m.heap.str_arg(hdr, 1);
+    match arith::eval(&m.heap, rhs) {
+        Ok((v, ops)) => {
+            m.charge(ops as u64 * m.costs.arith_op);
+            let pre = m.heap.trail_mark();
+            match unify(&mut m.heap, lhs, Cell::Int(v)) {
+                Some(_) => succeed(m),
+                None => {
+                    m.heap.undo_to(pre);
+                    m.backtrack()
+                }
+            }
+        }
+        Err(e) => m.error(format!("is/2: {e}")),
+    }
+}
+
+fn builtin_arith_compare(m: &mut Machine, op: Sym, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let a = m.heap.str_arg(hdr, 0);
+    let b = m.heap.str_arg(hdr, 1);
+    match arith::compare(&m.heap, op, a, b) {
+        Ok((true, ops)) => {
+            m.charge(ops as u64 * m.costs.arith_op);
+            succeed(m)
+        }
+        Ok((false, ops)) => {
+            m.charge(ops as u64 * m.costs.arith_op);
+            m.backtrack()
+        }
+        Err(e) => m.error(format!("{}/2: {e}", op.name())),
+    }
+}
+
+enum TypeTest {
+    Var,
+    Nonvar,
+    Atom,
+    Integer,
+    Atomic,
+    Compound,
+}
+
+fn builtin_type_test(m: &mut Machine, hdr: Addr, t: TypeTest) -> Status {
+    m.charge(m.costs.builtin);
+    let v = view(&m.heap, m.heap.str_arg(hdr, 0));
+    let ok = match t {
+        TypeTest::Var => matches!(v, TermView::Var(_)),
+        TypeTest::Nonvar => !matches!(v, TermView::Var(_)),
+        TypeTest::Atom => matches!(v, TermView::Atom(_) | TermView::Nil),
+        TypeTest::Integer => matches!(v, TermView::Int(_)),
+        TypeTest::Atomic => matches!(
+            v,
+            TermView::Atom(_) | TermView::Int(_) | TermView::Nil
+        ),
+        TypeTest::Compound => {
+            matches!(v, TermView::Struct(..) | TermView::List(_))
+        }
+    };
+    if ok {
+        succeed(m)
+    } else {
+        m.backtrack()
+    }
+}
+
+fn builtin_ground(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let t = m.heap.str_arg(hdr, 0);
+    if is_ground(&m.heap, t) {
+        succeed(m)
+    } else {
+        m.backtrack()
+    }
+}
+
+fn builtin_functor(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let t = m.heap.str_arg(hdr, 0);
+    let name = m.heap.str_arg(hdr, 1);
+    let arity = m.heap.str_arg(hdr, 2);
+    match view(&m.heap, t) {
+        TermView::Var(_) => {
+            // construct: functor(T, Name, Arity)
+            let nv = view(&m.heap, name);
+            let av = view(&m.heap, arity);
+            let (TermView::Int(a), true) = (av, !matches!(nv, TermView::Var(_)))
+            else {
+                return m.error("functor/3: insufficiently instantiated");
+            };
+            if !(0..=1_000_000).contains(&a) {
+                return m.error("functor/3: bad arity");
+            }
+            let built = match (nv, a) {
+                (TermView::Atom(s), 0) => Cell::Atom(s),
+                (TermView::Int(i), 0) => Cell::Int(i),
+                (TermView::Nil, 0) => Cell::Nil,
+                (TermView::Atom(s), a) => {
+                    let args: Vec<Cell> =
+                        (0..a).map(|_| m.heap.new_var()).collect();
+                    m.stats.heap_cells += a as u64 + 1;
+                    if s == wk().dot && a == 2 {
+                        m.heap.cons(args[0], args[1])
+                    } else {
+                        m.heap.new_struct(s, &args)
+                    }
+                }
+                _ => return m.error("functor/3: bad name/arity"),
+            };
+            unify_or_backtrack(m, t, built)
+        }
+        TermView::Atom(s) => {
+            let pre = m.heap.trail_mark();
+            if unify(&mut m.heap, name, Cell::Atom(s)).is_some()
+                && unify(&mut m.heap, arity, Cell::Int(0)).is_some()
+            {
+                succeed(m)
+            } else {
+                m.heap.undo_to(pre);
+                m.backtrack()
+            }
+        }
+        TermView::Int(i) => {
+            let pre = m.heap.trail_mark();
+            if unify(&mut m.heap, name, Cell::Int(i)).is_some()
+                && unify(&mut m.heap, arity, Cell::Int(0)).is_some()
+            {
+                succeed(m)
+            } else {
+                m.heap.undo_to(pre);
+                m.backtrack()
+            }
+        }
+        TermView::Nil => {
+            let pre = m.heap.trail_mark();
+            if unify(&mut m.heap, name, Cell::Nil).is_some()
+                && unify(&mut m.heap, arity, Cell::Int(0)).is_some()
+            {
+                succeed(m)
+            } else {
+                m.heap.undo_to(pre);
+                m.backtrack()
+            }
+        }
+        TermView::Struct(f, a, _) => {
+            let pre = m.heap.trail_mark();
+            if unify(&mut m.heap, name, Cell::Atom(f)).is_some()
+                && unify(&mut m.heap, arity, Cell::Int(a as i64)).is_some()
+            {
+                succeed(m)
+            } else {
+                m.heap.undo_to(pre);
+                m.backtrack()
+            }
+        }
+        TermView::List(_) => {
+            let pre = m.heap.trail_mark();
+            let dot = Cell::Atom(wk().dot);
+            if unify(&mut m.heap, name, dot).is_some()
+                && unify(&mut m.heap, arity, Cell::Int(2)).is_some()
+            {
+                succeed(m)
+            } else {
+                m.heap.undo_to(pre);
+                m.backtrack()
+            }
+        }
+    }
+}
+
+fn builtin_arg(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let n = m.heap.str_arg(hdr, 0);
+    let t = m.heap.str_arg(hdr, 1);
+    let a = m.heap.str_arg(hdr, 2);
+    let TermView::Int(i) = view(&m.heap, n) else {
+        return m.error("arg/3: index must be an integer");
+    };
+    let picked = match view(&m.heap, t) {
+        TermView::Struct(_, arity, shdr) => {
+            if i < 1 || i as u32 > arity {
+                return m.backtrack();
+            }
+            m.heap.str_arg(shdr, (i - 1) as u32)
+        }
+        TermView::List(p) => match i {
+            1 => m.heap.lst_head(p),
+            2 => m.heap.lst_tail(p),
+            _ => return m.backtrack(),
+        },
+        _ => return m.error("arg/3: compound expected"),
+    };
+    unify_or_backtrack(m, a, picked)
+}
+
+fn builtin_univ(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let t = m.heap.str_arg(hdr, 0);
+    let l = m.heap.str_arg(hdr, 1);
+    match view(&m.heap, t) {
+        TermView::Var(_) => {
+            // construct from list
+            let Some(items) = ace_logic::term::proper_list(&m.heap, l) else {
+                return m.error("=../2: list expected");
+            };
+            if items.is_empty() {
+                return m.error("=../2: empty list");
+            }
+            let head = view(&m.heap, items[0]);
+            let built = match (head, items.len()) {
+                (TermView::Atom(s), 1) => Cell::Atom(s),
+                (TermView::Int(i), 1) => Cell::Int(i),
+                (TermView::Nil, 1) => Cell::Nil,
+                (TermView::Atom(s), _) => {
+                    if s == wk().dot && items.len() == 3 {
+                        m.heap.cons(items[1], items[2])
+                    } else {
+                        m.heap.new_struct(s, &items[1..])
+                    }
+                }
+                _ => return m.error("=../2: bad functor"),
+            };
+            unify_or_backtrack(m, t, built)
+        }
+        TermView::Atom(s) => {
+            let lst = m.heap.list(&[Cell::Atom(s)]);
+            unify_or_backtrack(m, l, lst)
+        }
+        TermView::Int(i) => {
+            let lst = m.heap.list(&[Cell::Int(i)]);
+            unify_or_backtrack(m, l, lst)
+        }
+        TermView::Nil => {
+            let lst = m.heap.list(&[Cell::Nil]);
+            unify_or_backtrack(m, l, lst)
+        }
+        TermView::Struct(f, n, shdr) => {
+            let mut items = vec![Cell::Atom(f)];
+            items.extend((0..n).map(|i| m.heap.str_arg(shdr, i)));
+            let lst = m.heap.list(&items);
+            unify_or_backtrack(m, l, lst)
+        }
+        TermView::List(p) => {
+            let items = vec![
+                Cell::Atom(wk().dot),
+                m.heap.lst_head(p),
+                m.heap.lst_tail(p),
+            ];
+            let lst = m.heap.list(&items);
+            unify_or_backtrack(m, l, lst)
+        }
+    }
+}
+
+fn builtin_copy_term(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let t = m.heap.str_arg(hdr, 0);
+    let c = m.heap.str_arg(hdr, 1);
+    let out = copy_term_within(&mut m.heap, t);
+    m.stats.cells_copied += out.cells_copied as u64;
+    m.charge(out.cells_copied as u64 * m.costs.heap_cell);
+    unify_or_backtrack(m, c, out.root)
+}
+
+fn builtin_length(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let l = m.heap.str_arg(hdr, 0);
+    let n = m.heap.str_arg(hdr, 1);
+    // Walk the list as far as it is instantiated.
+    let mut count = 0i64;
+    let mut it = ListIter::new(&m.heap, l);
+    for _ in it.by_ref() {
+        count += 1;
+    }
+    let rest = it.rest();
+    match (view(&m.heap, rest), view(&m.heap, n)) {
+        (TermView::Nil, _) => unify_or_backtrack(m, n, Cell::Int(count)),
+        (TermView::Var(_), TermView::Int(total)) => {
+            if total < count {
+                return m.backtrack();
+            }
+            // extend with fresh variables up to the requested length
+            let mut tail = Cell::Nil;
+            let extra = (total - count) as usize;
+            let vars: Vec<Cell> = (0..extra).map(|_| m.heap.new_var()).collect();
+            for &v in vars.iter().rev() {
+                tail = m.heap.cons(v, tail);
+            }
+            m.stats.heap_cells += (extra * 3) as u64;
+            unify_or_backtrack(m, rest, tail)
+        }
+        _ => m.error("length/2: insufficiently instantiated"),
+    }
+}
+
+fn builtin_between(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let lo_t = m.heap.str_arg(hdr, 0);
+    let hi_t = m.heap.str_arg(hdr, 1);
+    let x = m.heap.str_arg(hdr, 2);
+    let (Ok((lo, o1)), Ok((hi, o2))) =
+        (arith::eval(&m.heap, lo_t), arith::eval(&m.heap, hi_t))
+    else {
+        return m.error("between/3: bounds must evaluate to integers");
+    };
+    m.charge((o1 + o2) as u64 * m.costs.arith_op);
+    match view(&m.heap, x) {
+        TermView::Int(i) => {
+            if lo <= i && i <= hi {
+                succeed(m)
+            } else {
+                m.backtrack()
+            }
+        }
+        TermView::Var(a) => {
+            if lo > hi {
+                return m.backtrack();
+            }
+            if lo < hi {
+                m.push_choice(ChoicePoint {
+                    goal: x,
+                    alts: Alts::Between {
+                        var: x,
+                        next: lo + 1,
+                        hi,
+                    },
+                    cont: m.cont.clone(),
+                    trail: m.heap.trail_mark(),
+                    heap: m.heap.heap_mark(),
+                    barrier: m.ctrl.len() as u32,
+                    shared: None,
+                });
+            }
+            m.heap.bind(a, Cell::Int(lo));
+            succeed(m)
+        }
+        _ => m.error("between/3: integer or variable expected"),
+    }
+}
+
+fn builtin_compare3(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let order = m.heap.str_arg(hdr, 0);
+    let a = m.heap.str_arg(hdr, 1);
+    let b = m.heap.str_arg(hdr, 2);
+    let o = term_compare(&m.heap, a, b);
+    let atom = match o {
+        std::cmp::Ordering::Less => Cell::Atom(sym("<")),
+        std::cmp::Ordering::Equal => Cell::Atom(sym("=")),
+        std::cmp::Ordering::Greater => Cell::Atom(sym(">")),
+    };
+    unify_or_backtrack(m, order, atom)
+}
+
+fn builtin_term_order(m: &mut Machine, op: Sym, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let a = m.heap.str_arg(hdr, 0);
+    let b = m.heap.str_arg(hdr, 1);
+    let o = term_compare(&m.heap, a, b);
+    let w = wk();
+    use std::cmp::Ordering::*;
+    let ok = if op == w.term_lt {
+        o == Less
+    } else if op == w.term_gt {
+        o == Greater
+    } else if op == w.term_le {
+        o != Greater
+    } else {
+        o != Less
+    };
+    if ok {
+        succeed(m)
+    } else {
+        m.backtrack()
+    }
+}
+
+fn builtin_write(m: &mut Machine, hdr: Addr, newline: bool) -> Status {
+    m.charge(m.costs.builtin);
+    let t = m.heap.str_arg(hdr, 0);
+    let s = m.render(t);
+    m.output.push_str(&s);
+    if newline {
+        m.output.push('\n');
+    }
+    succeed(m)
+}
+
+fn builtin_tab(m: &mut Machine, hdr: Addr) -> Status {
+    m.charge(m.costs.builtin);
+    let t = m.heap.str_arg(hdr, 0);
+    match arith::eval(&m.heap, t) {
+        Ok((n, _)) if n >= 0 => {
+            for _ in 0..n.min(10_000) {
+                m.output.push(' ');
+            }
+            succeed(m)
+        }
+        _ => m.error("tab/1: non-negative integer expected"),
+    }
+}
+
+fn unify_or_backtrack(m: &mut Machine, a: Cell, b: Cell) -> Status {
+    let pre = m.heap.trail_mark();
+    match unify(&mut m.heap, a, b) {
+        Some(steps) => {
+            m.stats.unify_steps += steps as u64;
+            m.charge(steps as u64 * m.costs.unify_step);
+            succeed(m)
+        }
+        None => {
+            m.heap.undo_to(pre);
+            m.backtrack()
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Goal continuations: persistent (shareable) lists of pending goals.
+//!
+//! Choice points capture the continuation at call time; with a persistent
+//! list that capture is a pointer copy, as in a WAM environment chain.
+//! Nodes are `Arc` so whole machines (and the closures the or-engine copies
+//! out of them) stay `Send`.
+
+use std::sync::Arc;
+
+use ace_logic::Cell;
+
+/// One pending goal plus the cut barrier of its enclosing clause body
+/// (the control-stack height that `!` cuts back to).
+#[derive(Debug)]
+pub struct ContNode {
+    pub goal: Cell,
+    pub barrier: u32,
+    pub next: Cont,
+}
+
+/// A persistent list of pending goals (`None` = computation finished).
+pub type Cont = Option<Arc<ContNode>>;
+
+/// Push `goal` onto `cont`.
+#[inline]
+pub fn push(cont: &Cont, goal: Cell, barrier: u32) -> Cont {
+    Some(Arc::new(ContNode {
+        goal,
+        barrier,
+        next: cont.clone(),
+    }))
+}
+
+/// Collect the goals (and barriers) of a continuation, nearest first.
+/// Used when publishing a choice point's state to the or-tree.
+pub fn to_vec(cont: &Cont) -> Vec<(Cell, u32)> {
+    let mut out = Vec::new();
+    let mut cur = cont.clone();
+    while let Some(node) = cur {
+        out.push((node.goal, node.barrier));
+        cur = node.next.clone();
+    }
+    out
+}
+
+/// Rebuild a continuation from goals collected by [`to_vec`] (nearest
+/// first), applying `map_barrier` to each stored barrier.
+pub fn from_vec(goals: &[(Cell, u32)], map_barrier: impl Fn(u32) -> u32) -> Cont {
+    let mut cont: Cont = None;
+    for &(goal, barrier) in goals.iter().rev() {
+        cont = push(&cont, goal, map_barrier(barrier));
+    }
+    cont
+}
+
+/// Length of a continuation (diagnostics).
+pub fn len(cont: &Cont) -> usize {
+    let mut n = 0;
+    let mut cur = cont.clone();
+    while let Some(node) = cur {
+        n += 1;
+        cur = node.next.clone();
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_logic::Cell;
+
+    #[test]
+    fn push_and_walk() {
+        let c = push(&None, Cell::Int(1), 0);
+        let c = push(&c, Cell::Int(2), 3);
+        assert_eq!(len(&c), 2);
+        let v = to_vec(&c);
+        assert_eq!(v, vec![(Cell::Int(2), 3), (Cell::Int(1), 0)]);
+    }
+
+    #[test]
+    fn persistence() {
+        let base = push(&None, Cell::Int(1), 0);
+        let a = push(&base, Cell::Int(2), 0);
+        let b = push(&base, Cell::Int(3), 0);
+        assert_eq!(to_vec(&a)[0].0, Cell::Int(2));
+        assert_eq!(to_vec(&b)[0].0, Cell::Int(3));
+        assert_eq!(to_vec(&base).len(), 1);
+    }
+
+    #[test]
+    fn from_vec_roundtrip_with_barrier_map() {
+        let c = push(&push(&None, Cell::Int(1), 5), Cell::Int(2), 9);
+        let v = to_vec(&c);
+        let c2 = from_vec(&v, |b| b.saturating_sub(5));
+        assert_eq!(
+            to_vec(&c2),
+            vec![(Cell::Int(2), 4), (Cell::Int(1), 0)]
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Control-stack frames: the state-saving data structures of §2 of the
+//! paper (Figure 2), made concrete.
+//!
+//! * [`ChoicePoint`] — "allocated whenever a non-deterministic goal is
+//!   called; it also serves as a source of or-parallel work."
+//! * [`ParcallFrame`] — "allocated when a parallel conjunction is called;
+//!   it serves as a source of and-parallel work."
+//! * [`Marker`] — input/end markers "delimit the segments of stacks
+//!   corresponding to goals taken from a parallel conjunction."
+//!
+//! The optimizations are, concretely, policies about when these frames can
+//! be *reused* (LPCO, LAO), *never allocated* (SPO, PDO), or traversed in
+//! one step instead of many (flattening).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use ace_logic::db::IndexKey;
+use ace_logic::heap::HeapMark;
+use ace_logic::{Cell, Sym, TrailMark};
+
+use crate::cont::Cont;
+
+/// The untried alternatives of a choice point.
+#[derive(Debug, Clone)]
+pub enum Alts {
+    /// Remaining clauses of a user predicate call: try clause indices
+    /// `>= next` whose index key may match `key`.
+    Clauses {
+        name: Sym,
+        arity: u32,
+        key: IndexKey,
+        next: usize,
+    },
+    /// The right branch of a `;`/2 disjunction.
+    Disj { rhs: Cell },
+    /// `between/3` enumeration: bind `var` to `next..=hi`.
+    Between { var: Cell, next: i64, hi: i64 },
+}
+
+/// Hook installed by the or-parallel engine when a choice point is made
+/// **public**: its alternatives move into a shared pool that both the
+/// owning machine (on backtracking) and idle remote workers (work finding)
+/// claim from atomically.
+pub trait SharedChoice: Send + Sync {
+    /// Claim the next untried clause index; `None` when exhausted.
+    fn claim_next(&self) -> Option<usize>;
+    /// The owner backtracked past this node (its local stack section is
+    /// gone); remote workers may still hold claims.
+    fn owner_detached(&self);
+    /// Diagnostic id.
+    fn node_id(&self) -> u64;
+}
+
+/// A choice point: everything needed to restore the computation to the
+/// state at a nondeterministic call and try the next alternative.
+pub struct ChoicePoint {
+    /// The call that created this choice point (re-unified on retry).
+    pub goal: Cell,
+    pub alts: Alts,
+    /// Continuation to restore on retry.
+    pub cont: Cont,
+    pub trail: TrailMark,
+    pub heap: HeapMark,
+    /// Cut barrier active at the call (restored on retry).
+    pub barrier: u32,
+    /// Set when the or-engine has published this choice point; alternatives
+    /// are then claimed through the shared pool instead of `alts`.
+    pub shared: Option<Arc<dyn SharedChoice>>,
+}
+
+impl std::fmt::Debug for ChoicePoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChoicePoint")
+            .field("alts", &self.alts)
+            .field("trail", &self.trail)
+            .field("heap", &self.heap)
+            .field("barrier", &self.barrier)
+            .field("shared", &self.shared.as_ref().map(|s| s.node_id()))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A parallel-conjunction descriptor. One slot per subgoal; the and-engine
+/// stores its orchestration state in `ext`.
+pub struct ParcallFrame {
+    /// Monotonic id (diagnostics, marker linkage).
+    pub id: u64,
+    /// The subgoal terms, in source order, in the owning machine's heap.
+    pub branches: Vec<Cell>,
+    /// Continuation after the parallel conjunction.
+    pub cont: Cont,
+    pub trail: TrailMark,
+    pub heap: HeapMark,
+    pub barrier: u32,
+    /// And-engine attachment (slot states, generators, scheduling handle).
+    pub ext: Option<Box<dyn Any + Send>>,
+}
+
+impl std::fmt::Debug for ParcallFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParcallFrame")
+            .field("id", &self.id)
+            .field("branches", &self.branches.len())
+            .field("trail", &self.trail)
+            .field("ext", &self.ext.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Which end of a stack section a marker delimits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// "indicates the beginning of a new execution" of a picked-up subgoal.
+    Input,
+    /// Marks the end of the subgoal's execution.
+    End,
+    /// A backtrack fence below an owner-executed (PDO) subgoal: reaching it
+    /// while backtracking means the subgoal is exhausted, which the engine
+    /// must interpret as failure of the parallel call rather than letting
+    /// backtracking leak into the preceding inline section.
+    Fence,
+}
+
+/// A stack-section marker. The paper notes these "store various
+/// information" — the fields here mirror that: linkage back to the parcall
+/// frame and slot, plus the trail extent of the section for backtracking.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    pub kind: MarkerKind,
+    /// Id of the parcall frame whose subgoal this section executes.
+    pub parcall_id: u64,
+    /// Slot index within that frame.
+    pub slot: u32,
+    /// Trail position at section start (Input) / end (End).
+    pub trail: TrailMark,
+    /// Heap position at section start (Input) / end (End).
+    pub heap: HeapMark,
+}
+
+/// One frame of the control stack.
+#[derive(Debug)]
+pub enum CtrlFrame {
+    Choice(ChoicePoint),
+    Parcall(ParcallFrame),
+    Marker(Marker),
+}
+
+impl CtrlFrame {
+    pub fn is_choice(&self) -> bool {
+        matches!(self, CtrlFrame::Choice(_))
+    }
+
+    pub fn is_parcall(&self) -> bool {
+        matches!(self, CtrlFrame::Parcall(_))
+    }
+
+    pub fn is_marker(&self) -> bool {
+        matches!(self, CtrlFrame::Marker(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_kind_predicates() {
+        let m = CtrlFrame::Marker(Marker {
+            kind: MarkerKind::Input,
+            parcall_id: 1,
+            slot: 0,
+            trail: TrailMark(0),
+            heap: HeapMark(0),
+        });
+        assert!(m.is_marker());
+        assert!(!m.is_choice());
+        assert!(!m.is_parcall());
+    }
+
+    #[test]
+    fn choicepoint_debug_does_not_panic() {
+        let cp = ChoicePoint {
+            goal: Cell::Nil,
+            alts: Alts::Disj { rhs: Cell::Nil },
+            cont: None,
+            trail: TrailMark(0),
+            heap: HeapMark(0),
+            barrier: 0,
+            shared: None,
+        };
+        let s = format!("{cp:?}");
+        assert!(s.contains("ChoicePoint"));
+    }
+}

@@ -1,0 +1,1121 @@
+//! The solver machine: a steppable resolution engine with full
+//! backtracking, cut, and the parallel-frame protocol the engines build on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ace_logic::copy::copy_term;
+use ace_logic::db::{Database, IndexKey};
+use ace_logic::sym::{sym, wk};
+use ace_logic::term::{view, TermView};
+use ace_logic::unify::unify;
+use ace_logic::write::term_to_string;
+use ace_logic::{Cell, Heap, Sym, TrailMark};
+use ace_runtime::{CancelToken, CostModel, Stats};
+
+use crate::cont::{self, Cont};
+use crate::frames::{
+    Alts, ChoicePoint, CtrlFrame, Marker, MarkerKind, ParcallFrame, SharedChoice,
+};
+
+/// Machine execution status, returned by [`Machine::step`] / [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// More work to do; call `step`/`run` again.
+    Running,
+    /// The goal list is exhausted: current bindings are a solution.
+    /// Call [`Machine::backtrack`] to search for the next one.
+    Solution,
+    /// The (sub)computation is exhausted: no (more) solutions.
+    Failed,
+    /// A parallel conjunction was reached; a fresh [`ParcallFrame`] is on
+    /// top of the control stack awaiting the and-engine.
+    Parcall,
+    /// Backtracking reached a [`ParcallFrame`] from outside (a later goal
+    /// failed); the and-engine must produce the next cross-product
+    /// solution or declare the frame exhausted.
+    ParcallRedo,
+    /// The inline (owner-executed) branch of the parallel call with this
+    /// frame id arrived at its barrier — either for the first time (join)
+    /// or again after local backtracking produced a new solution for it
+    /// (the and-engine must then re-integrate its siblings).
+    InlineBarrier(u64),
+    /// Backtracking crossed a PDO fence: the owner-executed subgoal `slot`
+    /// of the parallel call with this frame id is exhausted (inside
+    /// failure).
+    FenceHit(u64, u32),
+    /// Execution was cancelled (sibling failure killed this computation).
+    Cancelled,
+    /// `halt/0` was executed.
+    Halted,
+    /// An execution error (undefined predicate, arithmetic fault…).
+    Error(String),
+}
+
+static PARCALL_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// If `goal` is an `$inline_barrier(Id)` term, return the frame id.
+pub(crate) fn view_barrier(heap: &Heap, goal: Cell) -> Option<u64> {
+    match view(heap, goal) {
+        TermView::Struct(f, 1, hdr) if f == inline_barrier_sym() => {
+            match heap.deref(heap.str_arg(hdr, 0)) {
+                Cell::Int(i) => Some(i as u64),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Interned `$ite_then` (hot-path comparison in `dispatch`).
+fn ite_then_sym() -> Sym {
+    static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *S.get_or_init(|| sym("$ite_then"))
+}
+
+/// Interned `$inline_barrier` (end marker of an inline parcall branch).
+fn inline_barrier_sym() -> Sym {
+    static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *S.get_or_init(|| sym("$inline_barrier"))
+}
+
+/// A published-choice-point state closure: everything a remote worker needs
+/// to continue an alternative (or-parallel state copying).
+#[derive(Debug)]
+pub struct StateClosure {
+    /// Self-contained heap holding the copied goal and continuation.
+    pub heap: Heap,
+    /// The call that created the choice point (in `heap`).
+    pub goal: Cell,
+    /// The continuation at the choice point, nearest goal first, with
+    /// original barriers (clamped on install).
+    pub cont: Vec<(Cell, u32)>,
+    /// Cells copied (cost accounting at publication).
+    pub cells: usize,
+}
+
+/// The solver machine. See the crate docs for the role it plays.
+pub struct Machine {
+    pub heap: Heap,
+    db: Arc<Database>,
+    pub(crate) cont: Cont,
+    pub(crate) ctrl: Vec<CtrlFrame>,
+    pub(crate) status: Status,
+    /// Whether `&`/2 raises [`Status::Parcall`] (parallel engines) or is
+    /// executed as `,`/2 (pure sequential baseline).
+    par_enabled: bool,
+    pub stats: Stats,
+    pub(crate) costs: Arc<CostModel>,
+    /// Captured output of `write/1`, `nl/0`, `writeln/1`.
+    pub output: String,
+    /// Solutions captured by the internal `$answer/1` goal (or-parallel
+    /// engines append it to the query so solutions survive state copying).
+    pub answers: Vec<String>,
+    /// Steps since the last cancellation check.
+    cancel_check_countdown: u32,
+    /// SPO: an input marker whose allocation has been procrastinated; it is
+    /// materialized just below the first choice point created, or never.
+    pending_marker: Option<(u64, u32)>,
+    /// Cost already surfaced to a driver clock (see
+    /// [`Machine::take_unsurfaced_cost`]).
+    surfaced_cost: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("status", &self.status)
+            .field("ctrl_len", &self.ctrl.len())
+            .field("cont_len", &cont::len(&self.cont))
+            .field("heap_len", &self.heap.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    pub fn new(db: Arc<Database>, costs: Arc<CostModel>) -> Self {
+        Machine {
+            heap: Heap::new(),
+            db,
+            cont: None,
+            ctrl: Vec::with_capacity(64),
+            status: Status::Failed,
+            par_enabled: false,
+            stats: Stats::new(),
+            costs,
+            output: String::new(),
+            answers: Vec::new(),
+            cancel_check_countdown: 0,
+            pending_marker: None,
+            surfaced_cost: 0,
+        }
+    }
+
+    /// Cost charged by this machine since the last call (engines surface
+    /// this into their worker's phase cost so *every* machine operation —
+    /// including those performed between `run` calls, like marker pushes
+    /// or `fail_parcall` — reaches the virtual-time clock exactly once).
+    pub fn take_unsurfaced_cost(&mut self) -> u64 {
+        let delta = self.stats.cost - self.surfaced_cost;
+        self.surfaced_cost = self.stats.cost;
+        delta
+    }
+
+    /// Enable the parallel-conjunction protocol (used by the engines; the
+    /// sequential baseline leaves it off so `&` degrades to `,`).
+    pub fn enable_parallel(&mut self, on: bool) {
+        self.par_enabled = on;
+    }
+
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    pub fn costs(&self) -> &Arc<CostModel> {
+        &self.costs
+    }
+
+    pub fn status(&self) -> &Status {
+        &self.status
+    }
+
+    /// Begin solving `goal` (a term in this machine's heap).
+    pub fn set_query(&mut self, goal: Cell) {
+        self.cont = cont::push(&None, goal, 0);
+        self.status = Status::Running;
+    }
+
+    /// Parse `text` as a query, returning its named variables.
+    pub fn load_query_text(
+        &mut self,
+        text: &str,
+    ) -> Result<Vec<(String, Cell)>, ace_logic::ReadError> {
+        let (goal, vars) = ace_logic::parse_term(&mut self.heap, text)?;
+        self.set_query(goal);
+        Ok(vars)
+    }
+
+    /// Reset for reuse from a machine pool. Harvest [`Machine::stats`]
+    /// before calling — they are zeroed here.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.cont = None;
+        self.ctrl.clear();
+        self.status = Status::Failed;
+        self.output.clear();
+        self.answers.clear();
+        self.pending_marker = None;
+        self.stats = Stats::new();
+        self.surfaced_cost = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Cost & stats helpers (crate-visible for builtins)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn charge(&mut self, units: u64) {
+        self.stats.charge(units);
+    }
+
+    // ------------------------------------------------------------------
+    // Control-stack access for the parallel engines
+    // ------------------------------------------------------------------
+
+    pub fn ctrl_len(&self) -> usize {
+        self.ctrl.len()
+    }
+
+    /// Read-only view of the control stack (engines use it for refined
+    /// determinacy analysis and publication scans).
+    pub fn ctrl_frames(&self) -> &[CtrlFrame] {
+        &self.ctrl
+    }
+
+    /// "Did any choice point (or nested parcall frame) survive above
+    /// `height`?" — the runtime determinacy test driving SPO and LPCO.
+    pub fn is_deterministic_above(&self, height: usize) -> bool {
+        self.ctrl[height.min(self.ctrl.len())..]
+            .iter()
+            .all(|f| f.is_marker())
+    }
+
+    /// The parcall frame on top of the control stack (present when status
+    /// is [`Status::Parcall`] or [`Status::ParcallRedo`]).
+    pub fn top_parcall_mut(&mut self) -> Option<&mut ParcallFrame> {
+        match self.ctrl.last_mut() {
+            Some(CtrlFrame::Parcall(pf)) => Some(pf),
+            _ => None,
+        }
+    }
+
+    pub fn top_parcall(&self) -> Option<&ParcallFrame> {
+        match self.ctrl.last() {
+            Some(CtrlFrame::Parcall(pf)) => Some(pf),
+            _ => None,
+        }
+    }
+
+    /// Resume execution after the and-engine integrated a (new) solution of
+    /// the top parcall frame: continue with the goals after the `&`.
+    pub fn resume_after_parcall(&mut self) {
+        let cont = self
+            .top_parcall()
+            .expect("resume_after_parcall: no parcall on top")
+            .cont
+            .clone();
+        self.cont = cont;
+        self.status = Status::Running;
+    }
+
+    /// Resume with an explicit continuation (integration of a parcall frame
+    /// that is no longer on top — inline-execution chains stack several
+    /// frames on one control stack).
+    pub fn resume_with_cont(&mut self, cont: Cont) {
+        self.cont = cont;
+        self.status = Status::Running;
+    }
+
+    /// Inline execution (&ACE-style): run `goal` — the last branch of the
+    /// just-raised parallel call — directly on this machine, on top of the
+    /// parcall frame. The locally executed subgoal needs no input marker
+    /// ("the parcall frame marks its beginning", paper Figure 2); the
+    /// `$inline_barrier` goal planted after it plays the end marker's
+    /// role: every (re)arrival there hands control back to the and-engine
+    /// for (re)integration of the sibling slots.
+    pub fn run_inline_branch(&mut self, goal: Cell, frame_id: u64) {
+        let barrier = self.ctrl.len() as u32;
+        let marker = self
+            .heap
+            .new_struct(inline_barrier_sym(), &[Cell::Int(frame_id as i64)]);
+        let cont = cont::push(&None, marker, barrier);
+        self.cont = cont::push(&cont, goal, barrier);
+        self.status = Status::Running;
+    }
+
+    /// Fail the parallel call whose machine-level frame has `frame_id`,
+    /// discarding everything above it on the control stack (deeper inline
+    /// frames, markers, choice points — all part of the doomed branch),
+    /// then continue backtracking below it.
+    pub fn fail_parcall_until(&mut self, frame_id: u64) -> Status {
+        loop {
+            match self.ctrl.pop() {
+                None => panic!("fail_parcall_until: frame {frame_id} not on ctrl"),
+                Some(CtrlFrame::Choice(cp)) => {
+                    if let Some(shared) = cp.shared {
+                        shared.owner_detached();
+                    }
+                    self.charge(self.costs.frame_traverse);
+                }
+                Some(CtrlFrame::Marker(_)) => {
+                    self.charge(self.costs.frame_traverse);
+                }
+                Some(CtrlFrame::Parcall(pf)) => {
+                    self.charge(self.costs.frame_traverse);
+                    self.stats.frame_traversals += 1;
+                    if pf.id == frame_id {
+                        let undone = self.heap.undo_to(pf.trail);
+                        self.heap.truncate_to(pf.heap);
+                        self.stats.trail_undos += undone as u64;
+                        self.charge(undone as u64 * self.costs.trail_undo);
+                        return self.backtrack();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is the top parcall frame's continuation empty except for the
+    /// `$inline_barrier` end marker of frame `frame_id`? That is the
+    /// inline-chain form of LPCO's "the parallel call is the last goal of
+    /// the clause" condition (the real continuation is parked in the
+    /// enclosing frame).
+    pub fn top_parcall_cont_is_barrier_of(&self, frame_id: u64) -> bool {
+        let Some(pf) = self.top_parcall() else { return false };
+        let Some(node) = &pf.cont else { return false };
+        if node.next.is_some() {
+            return false;
+        }
+        match crate::machine::view_barrier(&self.heap, node.goal) {
+            Some(fid) => fid == frame_id,
+            None => false,
+        }
+    }
+
+    /// LPCO in inline chains: is the control stack between the top parcall
+    /// frame and the *previous* parcall frame free of choice points (the
+    /// inline branch has been determinate since its frame)?
+    pub fn deterministic_since_previous_parcall(&self) -> bool {
+        if self.ctrl.is_empty() {
+            return true;
+        }
+        for f in self.ctrl[..self.ctrl.len() - 1].iter().rev() {
+            match f {
+                CtrlFrame::Marker(_) => continue,
+                CtrlFrame::Choice(_) => return false,
+                CtrlFrame::Parcall(_) => return true,
+            }
+        }
+        true
+    }
+
+    /// The top parcall frame is exhausted (inside failure on first
+    /// execution, or cross-product enumeration done): pop it, restore state
+    /// to before the parallel call, and continue backtracking.
+    pub fn fail_parcall(&mut self) -> Status {
+        let Some(CtrlFrame::Parcall(pf)) = self.ctrl.pop() else {
+            panic!("fail_parcall: no parcall on top");
+        };
+        let undone = self.heap.undo_to(pf.trail);
+        self.heap.truncate_to(pf.heap);
+        self.stats.trail_undos += undone as u64;
+        self.charge(undone as u64 * self.costs.trail_undo + self.costs.frame_traverse);
+        self.backtrack()
+    }
+
+    /// LPCO support: pop the just-raised top parcall frame and resume the
+    /// machine *past* it (its branches will be re-parented into an ancestor
+    /// frame by the and-engine). The machine behaves as if the clause body
+    /// ended before the parallel call.
+    pub fn merge_out_parcall(&mut self) -> ParcallFrame {
+        let cont = self
+            .top_parcall()
+            .expect("merge_out_parcall: no parcall on top")
+            .cont
+            .clone();
+        let Some(CtrlFrame::Parcall(pf)) = self.ctrl.pop() else {
+            unreachable!()
+        };
+        self.cont = cont;
+        self.status = Status::Running;
+        pf
+    }
+
+    /// Push an input or end marker delimiting a subgoal stack section
+    /// (allocated by the and-engine when a worker picks up a parcall
+    /// subgoal; elided under SPO/PDO).
+    pub fn push_marker(&mut self, kind: MarkerKind, parcall_id: u64, slot: u32) {
+        self.stats.markers_allocated += 1;
+        self.charge(self.costs.marker_alloc);
+        let m = Marker {
+            kind,
+            parcall_id,
+            slot,
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+        };
+        self.ctrl.push(CtrlFrame::Marker(m));
+    }
+
+    /// PDO support: continue this machine (currently at a [`Status::Solution`])
+    /// with another goal, as one contiguous computation — no markers, no
+    /// new machine; `(a & b)` executed here becomes `(a, b)`.
+    pub fn continue_with(&mut self, goal: Cell) {
+        debug_assert_eq!(self.status, Status::Solution);
+        self.cont = cont::push(&None, goal, 0);
+        self.status = Status::Running;
+    }
+
+    /// SPO: procrastinate this subgoal's input-marker allocation. The
+    /// marker is materialized below the first choice point created, or —
+    /// if the subgoal completes deterministically — never.
+    pub fn procrastinate_input_marker(&mut self, parcall_id: u64, slot: u32) {
+        self.pending_marker = Some((parcall_id, slot));
+    }
+
+    /// Is the procrastinated input marker still unmaterialized?
+    pub fn input_marker_still_pending(&self) -> bool {
+        self.pending_marker.is_some()
+    }
+
+    /// Clear any procrastinated marker (slot finished deterministically).
+    pub fn clear_pending_marker(&mut self) {
+        self.pending_marker = None;
+    }
+
+    /// Does the control stack contain any parcall frame? Used to classify
+    /// a finished subgoal: such a machine cannot be kept as a plain
+    /// sequential generator (its redos would need the full frame protocol),
+    /// so further solutions are obtained by recomputation instead.
+    pub fn has_parcall_frames(&self) -> bool {
+        self.ctrl.iter().any(|f| f.is_parcall())
+    }
+
+    /// LPCO condition (i)+(ii): no choice point survives below the top
+    /// parcall frame — the computation up to the trailing parallel call was
+    /// determinate.
+    pub fn deterministic_before_top_parcall(&self) -> bool {
+        if self.ctrl.is_empty() {
+            return true;
+        }
+        self.ctrl[..self.ctrl.len() - 1]
+            .iter()
+            .all(|f| f.is_marker())
+    }
+
+    /// Plant a PDO fence at the current control height; returns its index
+    /// so a successful owner execution can disarm it.
+    pub fn push_fence(&mut self, parcall_id: u64, slot: u32) -> usize {
+        let idx = self.ctrl.len();
+        self.ctrl.push(CtrlFrame::Marker(Marker {
+            kind: MarkerKind::Fence,
+            parcall_id,
+            slot,
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+        }));
+        idx
+    }
+
+    /// Disarm the fence at `idx` (owner execution committed): it becomes a
+    /// transparent end marker, so later backtracking flows through.
+    pub fn disarm_fence(&mut self, idx: usize) {
+        if let Some(CtrlFrame::Marker(m)) = self.ctrl.get_mut(idx) {
+            debug_assert_eq!(m.kind, MarkerKind::Fence);
+            m.kind = MarkerKind::End;
+        }
+    }
+
+    /// Roll a speculative owner execution back: drop every control frame at
+    /// `ctrl_len` and above, undo the trail and truncate the heap to the
+    /// given marks.
+    pub fn rollback_to(
+        &mut self,
+        ctrl_len: usize,
+        trail: TrailMark,
+        heap: ace_logic::heap::HeapMark,
+    ) {
+        while self.ctrl.len() > ctrl_len {
+            if let Some(CtrlFrame::Choice(cp)) = self.ctrl.pop() {
+                if let Some(shared) = cp.shared {
+                    shared.owner_detached();
+                }
+            }
+        }
+        let undone = self.heap.undo_to(trail);
+        self.stats.trail_undos += undone as u64;
+        self.charge(undone as u64 * self.costs.trail_undo);
+        self.heap.truncate_to(heap);
+    }
+
+    /// Indices of private (unpublished) choice points, oldest first
+    /// (or-engine publication scan).
+    pub fn private_choice_indices(&self) -> Vec<usize> {
+        self.ctrl
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match f {
+                CtrlFrame::Choice(cp) if cp.shared.is_none() => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Inspect a choice point (or-engine publication).
+    pub fn choice_at(&self, idx: usize) -> Option<&ChoicePoint> {
+        match self.ctrl.get(idx) {
+            Some(CtrlFrame::Choice(cp)) => Some(cp),
+            _ => None,
+        }
+    }
+
+    /// Install a shared-alternatives pool on the choice point at `idx`.
+    /// From now on the owner claims alternatives from the pool too.
+    pub fn share_choice(&mut self, idx: usize, shared: Arc<dyn SharedChoice>) {
+        match self.ctrl.get_mut(idx) {
+            Some(CtrlFrame::Choice(cp)) => cp.shared = Some(shared),
+            other => panic!("share_choice: not a choice point: {other:?}"),
+        }
+    }
+
+    /// Copy out the state of the choice point at `idx` so a remote worker
+    /// can run one of its alternatives: temporarily unwind the trail to the
+    /// choice point, copy the goal and continuation, rewind.
+    pub fn choice_closure(&mut self, idx: usize) -> StateClosure {
+        let (goal, cont_goals, trail) = {
+            let Some(CtrlFrame::Choice(cp)) = self.ctrl.get(idx) else {
+                panic!("choice_closure: not a choice point");
+            };
+            (cp.goal, cont::to_vec(&cp.cont), cp.trail)
+        };
+        let section = self.heap.unwind_section(trail);
+        // Copy goal + every continuation goal jointly so shared variables
+        // stay shared in the closure.
+        let mut tuple_args = Vec::with_capacity(cont_goals.len() + 1);
+        tuple_args.push(goal);
+        tuple_args.extend(cont_goals.iter().map(|(g, _)| *g));
+        let tuple = self.heap.new_struct(sym("$closure"), &tuple_args);
+        let mut closure_heap = Heap::new();
+        let out = copy_term(&self.heap, tuple, &mut closure_heap);
+        self.heap.rewind_section(section);
+
+        let Cell::Str(hdr) = out.root else { unreachable!() };
+        let c_goal = closure_heap.str_arg(hdr, 0);
+        let c_cont: Vec<(Cell, u32)> = cont_goals
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, b))| (closure_heap.str_arg(hdr, 1 + i as u32), b))
+            .collect();
+        self.stats.cells_copied += out.cells_copied as u64;
+        StateClosure {
+            heap: closure_heap,
+            goal: c_goal,
+            cont: c_cont,
+            cells: out.cells_copied,
+        }
+    }
+
+    /// Install a published alternative on this (fresh) machine: copy the
+    /// closure in, rebuild the continuation (barriers clamp to this
+    /// machine's floor), and start executing `clause_idx` of the goal's
+    /// predicate. Returns `false` when the head unification already fails.
+    pub fn install_closure(
+        &mut self,
+        closure: &StateClosure,
+        name: Sym,
+        arity: u32,
+        clause_idx: usize,
+    ) -> bool {
+        debug_assert!(self.ctrl.is_empty() && self.cont.is_none());
+        let mut tuple_args = Vec::with_capacity(closure.cont.len() + 1);
+        tuple_args.push(closure.goal);
+        tuple_args.extend(closure.cont.iter().map(|(g, _)| *g));
+        // Rebuild jointly (via a scratch root) so shared variables stay
+        // shared across the goal and its continuation.
+        let mut scratch = closure.heap.clone();
+        let root = scratch.new_struct(sym("$closure"), &tuple_args);
+        let tuple = copy_term(&scratch, root, &mut self.heap);
+        self.stats.cells_copied += tuple.cells_copied as u64;
+        self.charge(tuple.cells_copied as u64 * self.costs.heap_cell);
+
+        let Cell::Str(hdr) = tuple.root else { unreachable!() };
+        let goal = self.heap.str_arg(hdr, 0);
+        let cont_goals: Vec<(Cell, u32)> = closure
+            .cont
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (self.heap.str_arg(hdr, 1 + i as u32), 0u32))
+            .collect();
+        self.cont = cont::from_vec(&cont_goals, |_| 0);
+        self.status = Status::Running;
+
+        let ok = self.try_clause(name, arity, clause_idx, goal, 0);
+        if !ok {
+            self.status = Status::Failed;
+        }
+        ok
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Run until a non-`Running` status, the quantum is exhausted, or
+    /// cancellation. Returns the current status ([`Status::Running`] means
+    /// "quantum expired, call again").
+    pub fn run(&mut self, quantum: u64, cancel: Option<&CancelToken>) -> Status {
+        let start = self.stats.cost;
+        loop {
+            if let Some(tok) = cancel {
+                if self.cancel_check_countdown == 0 {
+                    self.cancel_check_countdown = 32;
+                    if tok.is_cancelled() {
+                        self.status = Status::Cancelled;
+                        return Status::Cancelled;
+                    }
+                }
+                self.cancel_check_countdown -= 1;
+            }
+            let s = self.step();
+            if s != Status::Running {
+                return s;
+            }
+            if self.stats.cost - start >= quantum {
+                return Status::Running;
+            }
+        }
+    }
+
+    /// Run to the next definitive outcome with no quantum (sequential use).
+    pub fn run_to_completion(&mut self) -> Status {
+        loop {
+            let s = self.step();
+            if s != Status::Running {
+                return s;
+            }
+        }
+    }
+
+    /// Perform one resolution step.
+    pub fn step(&mut self) -> Status {
+        if self.status != Status::Running {
+            return self.status.clone();
+        }
+        let Some(node) = self.cont.clone() else {
+            self.status = Status::Solution;
+            self.stats.solutions += 1;
+            return Status::Solution;
+        };
+        self.cont = node.next.clone();
+        let goal = node.goal;
+        let barrier = node.barrier;
+        self.dispatch(goal, barrier)
+    }
+
+    fn dispatch(&mut self, goal: Cell, barrier: u32) -> Status {
+        self.charge(self.costs.call_dispatch);
+        let w = wk();
+        match view(&self.heap, goal) {
+            TermView::Var(_) => self.error("unbound goal (instantiation error)"),
+            TermView::Int(_) | TermView::Nil | TermView::List(_) => {
+                self.error("type error: callable expected")
+            }
+            TermView::Atom(s) => {
+                if s == w.true_ {
+                    self.status = Status::Running;
+                    Status::Running
+                } else if s == w.fail || s == w.false_ {
+                    self.backtrack()
+                } else if s == w.cut {
+                    self.cut_to(barrier);
+                    Status::Running
+                } else if s == w.nl {
+                    self.output.push('\n');
+                    Status::Running
+                } else if s == w.halt {
+                    self.status = Status::Halted;
+                    Status::Halted
+                } else {
+                    self.call_user(goal, s, 0, None)
+                }
+            }
+            TermView::Struct(f, n, hdr) => {
+                if f == w.comma && n == 2 {
+                    let a = self.heap.str_arg(hdr, 0);
+                    let b = self.heap.str_arg(hdr, 1);
+                    self.cont = cont::push(&self.cont, b, barrier);
+                    self.cont = cont::push(&self.cont, a, barrier);
+                    Status::Running
+                } else if f == w.amp && n == 2 {
+                    if self.par_enabled {
+                        self.raise_parcall(goal, barrier)
+                    } else {
+                        // sequential fallback: `&` behaves as `,`
+                        let a = self.heap.str_arg(hdr, 0);
+                        let b = self.heap.str_arg(hdr, 1);
+                        self.cont = cont::push(&self.cont, b, barrier);
+                        self.cont = cont::push(&self.cont, a, barrier);
+                        Status::Running
+                    }
+                } else if f == w.semicolon && n == 2 {
+                    self.disjunction(hdr, barrier)
+                } else if f == w.arrow && n == 2 {
+                    // bare C -> T  ==  (C -> T ; fail)
+                    let c = self.heap.str_arg(hdr, 0);
+                    let t = self.heap.str_arg(hdr, 1);
+                    self.if_then_else(c, t, Cell::Atom(w.fail), barrier)
+                } else if (f == w.naf || f == w.not) && n == 1 {
+                    let g = self.heap.str_arg(hdr, 0);
+                    self.if_then_else(g, Cell::Atom(w.fail), Cell::Atom(w.true_), barrier)
+                } else if f == w.call && n >= 1 {
+                    self.call_n(hdr, n)
+                } else if f == inline_barrier_sym() && n == 1 {
+                    let Cell::Int(fid) = self.heap.deref(self.heap.str_arg(hdr, 0))
+                    else {
+                        unreachable!("malformed inline barrier")
+                    };
+                    self.status = Status::InlineBarrier(fid as u64);
+                    self.status.clone()
+                } else if f == ite_then_sym() && n == 2 {
+                    // internal: ITE condition succeeded — cut the else
+                    // choice point, then run Then.
+                    let t = self.heap.str_arg(hdr, 0);
+                    let Cell::Int(cp_idx) = self.heap.deref(self.heap.str_arg(hdr, 1))
+                    else {
+                        unreachable!()
+                    };
+                    self.cut_to(cp_idx as u32);
+                    self.cont = cont::push(&self.cont, t, barrier);
+                    Status::Running
+                } else if let Some(status) = crate::builtins::dispatch(self, f, n, hdr)
+                {
+                    status
+                } else {
+                    self.call_user(goal, f, n, Some(hdr))
+                }
+            }
+        }
+    }
+
+    fn raise_parcall(&mut self, goal: Cell, barrier: u32) -> Status {
+        // Flatten `a & b & c` (xfy: a & (b & c)) into branch list.
+        let mut branches = Vec::new();
+        let mut cur = goal;
+        loop {
+            match view(&self.heap, cur) {
+                TermView::Struct(f, 2, hdr) if f == wk().amp => {
+                    branches.push(self.heap.str_arg(hdr, 0));
+                    cur = self.heap.str_arg(hdr, 1);
+                }
+                _ => {
+                    branches.push(cur);
+                    break;
+                }
+            }
+        }
+        // Frame-allocation cost and count are charged by the and-engine,
+        // which decides whether this frame is kept or merged away (LPCO).
+        let pf = ParcallFrame {
+            id: PARCALL_IDS.fetch_add(1, Ordering::Relaxed),
+            branches,
+            cont: self.cont.clone(),
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+            barrier,
+            ext: None,
+        };
+        self.ctrl.push(CtrlFrame::Parcall(pf));
+        self.status = Status::Parcall;
+        Status::Parcall
+    }
+
+    fn disjunction(&mut self, hdr: ace_logic::Addr, barrier: u32) -> Status {
+        let lhs = self.heap.str_arg(hdr, 0);
+        let rhs = self.heap.str_arg(hdr, 1);
+        // if-then-else?
+        if let TermView::Struct(f, 2, ite_hdr) = view(&self.heap, lhs) {
+            if f == wk().arrow {
+                let c = self.heap.str_arg(ite_hdr, 0);
+                let t = self.heap.str_arg(ite_hdr, 1);
+                return self.if_then_else(c, t, rhs, barrier);
+            }
+        }
+        self.push_choice(ChoicePoint {
+            goal: lhs,
+            alts: Alts::Disj { rhs },
+            cont: self.cont.clone(),
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+            barrier,
+            shared: None,
+        });
+        self.cont = cont::push(&self.cont, lhs, barrier);
+        Status::Running
+    }
+
+    fn if_then_else(&mut self, c: Cell, t: Cell, e: Cell, barrier: u32) -> Status {
+        let cp_idx = self.ctrl.len() as i64;
+        self.push_choice(ChoicePoint {
+            goal: c,
+            alts: Alts::Disj { rhs: e },
+            cont: self.cont.clone(),
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+            barrier,
+            shared: None,
+        });
+        // run C, then '$ite_then'(T, cp_idx); C's own cuts are local to it.
+        let then_goal =
+            self.heap
+                .new_struct(sym("$ite_then"), &[t, Cell::Int(cp_idx)]);
+        self.cont = cont::push(&self.cont, then_goal, barrier);
+        let cond_barrier = self.ctrl.len() as u32; // cut inside C is local
+        self.cont = cont::push(&self.cont, c, cond_barrier);
+        Status::Running
+    }
+
+    fn call_n(&mut self, hdr: ace_logic::Addr, n: u32) -> Status {
+        self.charge(self.costs.builtin);
+        let target = self.heap.str_arg(hdr, 0);
+        let goal = if n == 1 {
+            target
+        } else {
+            // call(F, A1..Ak): append args to F
+            match view(&self.heap, target) {
+                TermView::Atom(f) => {
+                    let extra: Vec<Cell> =
+                        (1..n).map(|i| self.heap.str_arg(hdr, i)).collect();
+                    self.heap.new_struct(f, &extra)
+                }
+                TermView::Struct(f, m, ghdr) => {
+                    let mut args: Vec<Cell> =
+                        (0..m).map(|i| self.heap.str_arg(ghdr, i)).collect();
+                    args.extend((1..n).map(|i| self.heap.str_arg(hdr, i)));
+                    self.heap.new_struct(f, &args)
+                }
+                _ => return self.error("call/N: callable expected"),
+            }
+        };
+        // cut inside call/N is local: fresh barrier at current height
+        let barrier = self.ctrl.len() as u32;
+        self.cont = cont::push(&self.cont, goal, barrier);
+        Status::Running
+    }
+
+    fn call_user(
+        &mut self,
+        goal: Cell,
+        name: Sym,
+        arity: u32,
+        hdr: Option<ace_logic::Addr>,
+    ) -> Status {
+        self.stats.calls += 1;
+        self.charge(self.costs.index_lookup);
+        let db = self.db.clone();
+        let Some(pred) = db.predicate(name, arity) else {
+            return self.error(format!(
+                "undefined predicate {}/{arity}",
+                name.name()
+            ));
+        };
+        let key = match hdr {
+            Some(h) if arity > 0 => IndexKey::of(&self.heap, self.heap.str_arg(h, 0)),
+            _ => IndexKey::Any,
+        };
+        let Some(first) = pred.next_matching(key, 0) else {
+            return self.backtrack();
+        };
+        let second = pred.next_matching(key, first + 1);
+        let barrier_at_call = self.ctrl.len() as u32;
+        if let Some(next) = second {
+            self.push_choice(ChoicePoint {
+                goal,
+                alts: Alts::Clauses {
+                    name,
+                    arity,
+                    key,
+                    next,
+                },
+                cont: self.cont.clone(),
+                trail: self.heap.trail_mark(),
+                heap: self.heap.heap_mark(),
+                barrier: barrier_at_call,
+                shared: None,
+            });
+        }
+        if self.try_clause(name, arity, first, goal, barrier_at_call) {
+            Status::Running
+        } else {
+            self.backtrack()
+        }
+    }
+
+    /// Instantiate clause `idx` of `name/arity` and unify its head with
+    /// `goal`; on success push the body. Returns success. On failure the
+    /// partial bindings are undone (heap garbage is reclaimed by the next
+    /// choice-point restore).
+    pub(crate) fn try_clause(
+        &mut self,
+        name: Sym,
+        arity: u32,
+        idx: usize,
+        goal: Cell,
+        body_barrier: u32,
+    ) -> bool {
+        let db = self.db.clone();
+        let pred = db.predicate(name, arity).expect("predicate vanished");
+        let clause = &pred.clauses[idx];
+        let pre_trail = self.heap.trail_mark();
+        let (head, body) = clause.instantiate(&mut self.heap);
+        let cells = clause.arena_len() as u64;
+        self.stats.heap_cells += cells;
+        self.charge(cells * self.costs.heap_cell);
+        match unify(&mut self.heap, goal, head) {
+            Some(steps) => {
+                self.stats.unify_steps += steps as u64;
+                self.charge(steps as u64 * self.costs.unify_step);
+                self.cont = cont::push(&self.cont, body, body_barrier);
+                self.status = Status::Running;
+                true
+            }
+            None => {
+                let undone = self.heap.undo_to(pre_trail);
+                self.stats.trail_undos += undone as u64;
+                self.charge(undone as u64 * self.costs.trail_undo);
+                false
+            }
+        }
+    }
+
+    pub(crate) fn push_choice(&mut self, cp: ChoicePoint) {
+        self.stats.choice_points += 1;
+        self.charge(self.costs.choice_point_alloc);
+        self.ctrl.push(CtrlFrame::Choice(cp));
+    }
+
+    /// SPO: materialize the procrastinated input marker now (the subgoal
+    /// turned out nondeterministic — a surviving choice point needs the
+    /// section delimited). The and-engine calls this at slot completion;
+    /// choice points that were created and then cut or exhausted during
+    /// the subgoal never force the marker (the paper's shallow-backtracking
+    /// reference \[4\] plays the same role in &ACE).
+    pub fn materialize_pending_marker(&mut self) {
+        if let Some((parcall_id, slot)) = self.pending_marker.take() {
+            self.push_marker(MarkerKind::Input, parcall_id, slot);
+        }
+    }
+
+    /// Cut: discard all control frames at height >= `height` (bindings are
+    /// kept — cut never untrails).
+    pub(crate) fn cut_to(&mut self, height: u32) {
+        while self.ctrl.len() > height as usize {
+            match self.ctrl.pop().unwrap() {
+                CtrlFrame::Choice(cp) => {
+                    if let Some(shared) = cp.shared {
+                        shared.owner_detached();
+                    }
+                }
+                // Cutting across a parcall frame commits to its first
+                // solution; its ext (slot generators) is dropped here.
+                CtrlFrame::Parcall(_) | CtrlFrame::Marker(_) => {}
+            }
+        }
+    }
+
+    /// Backtrack to the most recent choice point and take the next
+    /// alternative. Public so solution iteration can resume the search.
+    pub fn backtrack(&mut self) -> Status {
+        self.stats.backtracks += 1;
+        loop {
+            let Some(top_frame) = self.ctrl.last() else {
+                self.status = Status::Failed;
+                return Status::Failed;
+            };
+            match top_frame {
+                CtrlFrame::Marker(m) => {
+                    // Input/end section boundaries are transparent to local
+                    // backtracking; a PDO fence is not — it reports the
+                    // owner-executed subgoal above it as exhausted.
+                    let fence = if m.kind == MarkerKind::Fence {
+                        Some((m.parcall_id, m.slot))
+                    } else {
+                        None
+                    };
+                    self.charge(self.costs.frame_traverse);
+                    self.stats.frame_traversals += 1;
+                    self.ctrl.pop();
+                    if let Some((fid, slot)) = fence {
+                        self.status = Status::FenceHit(fid, slot);
+                        return self.status.clone();
+                    }
+                }
+                CtrlFrame::Parcall(_) => {
+                    // Outside backtracking into a parallel call: hand over
+                    // to the and-engine.
+                    self.status = Status::ParcallRedo;
+                    return Status::ParcallRedo;
+                }
+                CtrlFrame::Choice(cp) => {
+                    // Snapshot the choice point, then restore machine state.
+                    let top = self.ctrl.len() - 1;
+                    let trail = cp.trail;
+                    let heap_mark = cp.heap;
+                    let cont = cp.cont.clone();
+                    let barrier = cp.barrier;
+                    let goal = cp.goal;
+                    let shared = cp.shared.clone();
+                    let alts = cp.alts.clone();
+
+                    self.charge(self.costs.choice_point_retry);
+                    let undone = self.heap.undo_to(trail);
+                    self.stats.trail_undos += undone as u64;
+                    self.charge(undone as u64 * self.costs.trail_undo);
+                    self.heap.truncate_to(heap_mark);
+                    self.cont = cont;
+
+                    // Published choice point: alternatives come from the
+                    // shared pool, competed for with remote workers.
+                    if let Some(shared) = shared {
+                        let Alts::Clauses { name, arity, .. } = alts else {
+                            panic!("shared non-clause choice point");
+                        };
+                        match shared.claim_next() {
+                            Some(idx) => {
+                                self.stats.alternatives_claimed += 1;
+                                self.charge(self.costs.claim_alternative);
+                                if self.try_clause(name, arity, idx, goal, barrier)
+                                {
+                                    self.status = Status::Running;
+                                    return Status::Running;
+                                }
+                                continue; // head failed: claim another
+                            }
+                            None => {
+                                shared.owner_detached();
+                                self.ctrl.pop();
+                                continue;
+                            }
+                        }
+                    }
+
+                    match alts {
+                        Alts::Clauses {
+                            name,
+                            arity,
+                            key,
+                            next: idx,
+                        } => {
+                            let db = self.db.clone();
+                            let pred = db.predicate(name, arity).unwrap();
+                            match pred.next_matching(key, idx + 1) {
+                                Some(f) => {
+                                    if let CtrlFrame::Choice(cp) =
+                                        &mut self.ctrl[top]
+                                    {
+                                        if let Alts::Clauses { next, .. } =
+                                            &mut cp.alts
+                                        {
+                                            *next = f;
+                                        }
+                                    }
+                                }
+                                None => {
+                                    // last alternative: pop ("trust")
+                                    self.ctrl.pop();
+                                }
+                            }
+                            if self.try_clause(name, arity, idx, goal, barrier) {
+                                self.status = Status::Running;
+                                return Status::Running;
+                            }
+                            continue;
+                        }
+                        Alts::Disj { rhs } => {
+                            self.ctrl.pop();
+                            self.cont = cont::push(&self.cont, rhs, barrier);
+                            self.status = Status::Running;
+                            return Status::Running;
+                        }
+                        Alts::Between { var, next, hi } => {
+                            if next >= hi {
+                                self.ctrl.pop();
+                            } else if let CtrlFrame::Choice(cp) = &mut self.ctrl[top]
+                            {
+                                if let Alts::Between { next: n, .. } = &mut cp.alts {
+                                    *n = next + 1;
+                                }
+                            }
+                            let Cell::Ref(a) = self.heap.deref(var) else {
+                                panic!("between var became bound across retry")
+                            };
+                            self.heap.bind(a, Cell::Int(next));
+                            self.status = Status::Running;
+                            return Status::Running;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn error(&mut self, msg: impl Into<String>) -> Status {
+        let s = Status::Error(msg.into());
+        self.status = s.clone();
+        s
+    }
+
+    /// Render a term of this machine's heap (for solutions & diagnostics).
+    pub fn render(&self, t: Cell) -> String {
+        term_to_string(&self.heap, t)
+    }
+}

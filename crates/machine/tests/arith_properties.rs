@@ -1,0 +1,148 @@
+//! Property tests: machine arithmetic against a Rust reference evaluator
+//! on random expression trees (checked semantics: both sides agree on the
+//! value or both report an error).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use ace_logic::{sym, Cell, Heap};
+use ace_machine::arith::{eval, ArithError};
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i16),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Abs(Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = any::<i16>().prop_map(E::Lit);
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| E::Abs(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Reference evaluation with the machine's semantics (checked ops,
+/// euclidean mod).
+fn reference(e: &E) -> Result<i64, ()> {
+    Ok(match e {
+        E::Lit(v) => *v as i64,
+        E::Add(a, b) => reference(a)?.checked_add(reference(b)?).ok_or(())?,
+        E::Sub(a, b) => reference(a)?.checked_sub(reference(b)?).ok_or(())?,
+        E::Mul(a, b) => reference(a)?.checked_mul(reference(b)?).ok_or(())?,
+        E::Div(a, b) => {
+            let (x, y) = (reference(a)?, reference(b)?);
+            if y == 0 {
+                return Err(());
+            }
+            x.checked_div(y).ok_or(())?
+        }
+        E::Mod(a, b) => {
+            let (x, y) = (reference(a)?, reference(b)?);
+            if y == 0 {
+                return Err(());
+            }
+            x.rem_euclid(y)
+        }
+        E::Neg(a) => reference(a)?.checked_neg().ok_or(())?,
+        E::Abs(a) => reference(a)?.checked_abs().ok_or(())?,
+        E::Min(a, b) => reference(a)?.min(reference(b)?),
+        E::Max(a, b) => reference(a)?.max(reference(b)?),
+    })
+}
+
+fn build(heap: &mut Heap, e: &E) -> Cell {
+    let bin = |heap: &mut Heap, op: &str, a: &E, b: &E| {
+        let ca = build(heap, a);
+        let cb = build(heap, b);
+        heap.new_struct(sym(op), &[ca, cb])
+    };
+    match e {
+        E::Lit(v) => Cell::Int(*v as i64),
+        E::Add(a, b) => bin(heap, "+", a, b),
+        E::Sub(a, b) => bin(heap, "-", a, b),
+        E::Mul(a, b) => bin(heap, "*", a, b),
+        E::Div(a, b) => bin(heap, "//", a, b),
+        E::Mod(a, b) => bin(heap, "mod", a, b),
+        E::Neg(a) => {
+            let c = build(heap, a);
+            heap.new_struct(sym("-"), &[c])
+        }
+        E::Abs(a) => {
+            let c = build(heap, a);
+            heap.new_struct(sym("abs"), &[c])
+        }
+        E::Min(a, b) => bin(heap, "min", a, b),
+        E::Max(a, b) => bin(heap, "max", a, b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn machine_arith_matches_reference(e in expr_strategy()) {
+        let mut heap = Heap::new();
+        let cell = build(&mut heap, &e);
+        let machine_result = eval(&heap, cell).map(|(v, _)| v);
+        match (reference(&e), machine_result) {
+            (Ok(expect), Ok(got)) => prop_assert_eq!(expect, got),
+            (Err(()), Err(ArithError::DivideByZero | ArithError::Overflow)) => {}
+            (r, m) => {
+                return Err(TestCaseError::fail(format!(
+                    "mismatch: reference {r:?} vs machine {m:?} on {e:?}"
+                )))
+            }
+        }
+    }
+
+    /// Solving `X is <expr>` through the whole machine agrees with `eval`.
+    #[test]
+    fn is_builtin_agrees_with_eval(e in expr_strategy()) {
+        let mut heap = Heap::new();
+        let cell = build(&mut heap, &e);
+        let direct = eval(&heap, cell).map(|(v, _)| v);
+
+        let rendered = ace_logic::write::term_to_string(&heap, cell);
+        let db = Arc::new(ace_logic::Database::load("t.").unwrap());
+        let result = ace_machine::solve::all_solutions(
+            &db,
+            &format!("X is {rendered}"),
+        );
+        match (direct, result) {
+            (Ok(v), Ok(sols)) => {
+                prop_assert_eq!(sols, vec![format!("X={v}")]);
+            }
+            (Err(_), Err(_)) => {}
+            (d, r) => {
+                return Err(TestCaseError::fail(format!(
+                    "mismatch: direct {d:?} vs solved {r:?} for {rendered}"
+                )))
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Tests for the extended builtin set: findall/3, sort/msort, reverse,
+//! nth1, and their interactions with nondeterminism and errors.
+
+use std::sync::Arc;
+
+use ace_logic::Database;
+use ace_machine::solve::all_solutions;
+
+fn db(src: &str) -> Arc<Database> {
+    Arc::new(Database::load(src).unwrap())
+}
+
+const LISTS: &str = r#"
+    member(X, [X|_]).
+    member(X, [_|T]) :- member(X, T).
+    p(3). p(1). p(2). p(1).
+"#;
+
+#[test]
+fn findall_collects_all_solutions() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "findall(X, p(X), L)").unwrap(),
+        vec!["L=[3,1,2,1], X=_G0"]
+    );
+}
+
+#[test]
+fn findall_empty_on_failure() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "findall(X, (p(X), X > 100), L)").unwrap(),
+        vec!["L=[], X=_G0"]
+    );
+}
+
+#[test]
+fn findall_with_compound_template() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "findall(q(X, X), member(X, [a,b]), L)").unwrap(),
+        vec!["L=[q(a,a),q(b,b)], X=_G0"]
+    );
+}
+
+#[test]
+fn findall_does_not_bind_goal_variables() {
+    let d = db(LISTS);
+    // X must remain unbound outside the findall
+    let sols = all_solutions(&d, "findall(X, p(X), L), var(X)").unwrap();
+    assert_eq!(sols.len(), 1);
+}
+
+#[test]
+fn findall_nested() {
+    let d = db(LISTS);
+    let sols = all_solutions(
+        &d,
+        "findall(L1, (member(Y, [1,2]), findall(f(Y,X), p(X), L1)), L2)",
+    )
+    .unwrap();
+    assert_eq!(sols.len(), 1);
+    assert!(sols[0].contains("L2=[[f(1,3),f(1,1),f(1,2),f(1,1)],"));
+}
+
+#[test]
+fn findall_propagates_errors() {
+    let d = db(LISTS);
+    assert!(all_solutions(&d, "findall(X, (p(X), Y is X + foo), L)").is_err());
+}
+
+#[test]
+fn findall_cut_inside_goal_is_local() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "findall(X, (p(X), !), L)").unwrap(),
+        vec!["L=[3], X=_G0"]
+    );
+}
+
+#[test]
+fn msort_keeps_duplicates_sort_removes() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "msort([3,1,2,1], L)").unwrap(),
+        vec!["L=[1,1,2,3]"]
+    );
+    assert_eq!(
+        all_solutions(&d, "sort([3,1,2,1], L)").unwrap(),
+        vec!["L=[1,2,3]"]
+    );
+}
+
+#[test]
+fn sort_standard_order_of_terms() {
+    let d = db(LISTS);
+    // Int < Atom < compound; compounds order by arity first, so f/1
+    // precedes the list pair '.'/2
+    assert_eq!(
+        all_solutions(&d, "msort([f(1), a, 2, [x]], L)").unwrap(),
+        vec!["L=[2,a,f(1),[x]]"]
+    );
+}
+
+#[test]
+fn reverse_works() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "reverse([1,2,3], L)").unwrap(),
+        vec!["L=[3,2,1]"]
+    );
+    assert_eq!(
+        all_solutions(&d, "reverse([], L)").unwrap(),
+        vec!["L=[]"]
+    );
+}
+
+#[test]
+fn nth1_indexing() {
+    let d = db(LISTS);
+    assert_eq!(
+        all_solutions(&d, "nth1(2, [a,b,c], E)").unwrap(),
+        vec!["E=b"]
+    );
+    assert!(all_solutions(&d, "nth1(9, [a,b,c], E)").unwrap().is_empty());
+    assert!(all_solutions(&d, "nth1(0, [a,b,c], E)").unwrap().is_empty());
+}
+
+#[test]
+fn findall_is_usable_for_aggregation() {
+    let d = db(r#"
+        score(alice, 3). score(bob, 5). score(carol, 2).
+        total(T) :- findall(S, score(_, S), Ss), sum(Ss, 0, T).
+        sum([], A, A).
+        sum([X|T], A, S) :- A1 is A + X, sum(T, A1, S).
+    "#);
+    assert_eq!(all_solutions(&d, "total(T)").unwrap(), vec!["T=10"]);
+}

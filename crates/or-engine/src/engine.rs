@@ -1,0 +1,681 @@
+//! Or-parallel engine entry point and worker agents.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ace_logic::sym::{sym, wk};
+use ace_logic::{Cell, Database};
+use ace_machine::frames::Alts;
+use ace_machine::{Machine, Status};
+use ace_runtime::{
+    Agent, CancelToken, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver,
+    Stats, ThreadsDriver,
+};
+use parking_lot::Mutex;
+
+use crate::tree::{NodeClaim, OrNode};
+
+/// Result of an or-parallel query run. Solutions are rendered binding
+/// lines (`"X=1, Y=2"`); their order across workers is nondeterministic
+/// under the threads driver, deterministic (but schedule-dependent) under
+/// the sim driver — compare as multisets.
+#[derive(Debug)]
+pub struct OrReport {
+    pub solutions: Vec<String>,
+    pub outcome: RunOutcome,
+    pub stats: Stats,
+    pub per_worker: Vec<Stats>,
+    /// Maximum public-tree depth observed (Figure 6/7 shape metric).
+    pub max_tree_depth: u32,
+}
+
+struct OrShared {
+    db: Arc<Database>,
+    cfg: EngineConfig,
+    root: Arc<OrNode>,
+    total_alts: Arc<AtomicUsize>,
+    busy: AtomicUsize,
+    idle: AtomicUsize,
+    done: AtomicBool,
+    solutions: Mutex<Vec<String>>,
+    nsolutions: AtomicUsize,
+    error: Mutex<Option<String>>,
+    cancel: CancelToken,
+    worker_stats: Mutex<Vec<Stats>>,
+    max_depth: AtomicUsize,
+}
+
+impl OrShared {
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+        self.cancel.cancel();
+    }
+
+    fn fail_with(&self, msg: String) {
+        let mut e = self.error.lock();
+        if e.is_none() {
+            *e = Some(msg);
+        }
+        self.finish();
+    }
+
+    fn note_depth(&self, d: u32) {
+        self.max_depth.fetch_max(d as usize, Ordering::AcqRel);
+    }
+}
+
+struct Running {
+    machine: Box<Machine>,
+    /// Node whose claimed alternative spawned this computation (publish
+    /// parent when nothing has been published yet).
+    origin: Arc<OrNode>,
+    /// Youngest node this machine published (publish parent / LAO target).
+    last_published: Option<Arc<OrNode>>,
+}
+
+struct OrWorker {
+    /// Worker index (diagnostics).
+    #[allow(dead_code)]
+    id: usize,
+    sh: Arc<OrShared>,
+    current: Option<Running>,
+    stats: Stats,
+    phase_cost: u64,
+    reported: bool,
+    /// This worker is counted in `OrShared::idle` (demand-driven
+    /// publication looks at that count).
+    marked_idle: bool,
+    /// Consecutive no-work phases (exponential idle backoff).
+    idle_streak: u32,
+}
+
+impl OrWorker {
+    fn new(id: usize, sh: Arc<OrShared>) -> Self {
+        OrWorker {
+            id,
+            sh,
+            current: None,
+            stats: Stats::new(),
+            phase_cost: 0,
+            reported: false,
+            marked_idle: false,
+            idle_streak: 0,
+        }
+    }
+
+    fn mark_idle(&mut self, idle: bool) {
+        if idle && !self.marked_idle {
+            self.marked_idle = true;
+            self.sh.idle.fetch_add(1, Ordering::AcqRel);
+        } else if !idle && self.marked_idle {
+            self.marked_idle = false;
+            self.sh.idle.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[inline]
+    fn charge(&mut self, units: u64) {
+        self.stats.charge(units);
+        self.phase_cost += units;
+    }
+
+    /// Install the root query machine (worker 0).
+    fn install_root(&mut self, machine: Box<Machine>) {
+        self.current = Some(Running {
+            machine,
+            origin: self.sh.root.clone(),
+            last_published: None,
+        });
+        // `busy` was pre-set to 1 by the engine.
+    }
+
+    // ------------------------------------------------------------------
+    // Publication (and LAO)
+    // ------------------------------------------------------------------
+
+    /// If idle workers exist, publish this machine's oldest private choice
+    /// point into the or-tree (demand-driven, MUSE-style).
+    fn maybe_publish(&mut self) {
+        if self.sh.idle.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let costs = self.sh.cfg.costs.clone();
+        let lao = self.sh.cfg.opts.lao;
+        let Some(run) = self.current.as_mut() else { return };
+        let Some(&idx) = run.machine.private_choice_indices().first() else {
+            return;
+        };
+        // Only clause-selection choice points are publishable.
+        let Some(cp) = run.machine.choice_at(idx) else { return };
+        let Alts::Clauses {
+            name,
+            arity,
+            key,
+            next,
+        } = cp.alts
+        else {
+            return;
+        };
+        let Some(pred) = self.sh.db.predicate(name, arity) else {
+            return;
+        };
+        let mut alts = VecDeque::new();
+        let mut i = next;
+        while let Some(j) = pred.next_matching(key, i) {
+            alts.push_back(j);
+            i = j + 1;
+        }
+        if alts.is_empty() {
+            return;
+        }
+        let nalts = alts.len();
+        let closure = Arc::new(run.machine.choice_closure(idx));
+        let copy_cost = closure.cells as u64 * costs.heap_cell;
+
+        // LAO (paper §3.2, Figures 6/7): this computation descends from the
+        // node holding its youngest public choice point — `last_published`,
+        // or, for a machine spawned from a claimed alternative, its origin
+        // node. If that node has been drained (the alternative we continue
+        // was its last), install the new choice point into it in place
+        // instead of growing the tree. The root sentinel (id 0) is never a
+        // reuse target.
+        let mut reused = false;
+        if lao {
+            self.stats.charge(costs.lao_check);
+            self.phase_cost += costs.lao_check;
+        }
+        let candidate = run
+            .last_published
+            .clone()
+            .or_else(|| (run.origin.id != 0).then(|| run.origin.clone()));
+        let mut reuse_hit = None;
+        if lao {
+            if let Some(n) = &candidate {
+                if let Some(e) =
+                    n.try_reuse((name, arity), alts.clone(), closure.clone())
+                {
+                    reuse_hit = Some((n.clone(), e));
+                }
+            }
+        }
+        let (node, epoch) = match reuse_hit {
+            Some((n, e)) => {
+                reused = true;
+                (n, e)
+            }
+            None => {
+                let parent = run
+                    .last_published
+                    .clone()
+                    .unwrap_or_else(|| run.origin.clone());
+                let n = OrNode::publish(
+                    &parent,
+                    (name, arity),
+                    alts,
+                    closure,
+                    self.sh.total_alts.clone(),
+                );
+                self.sh.note_depth(n.depth);
+                (n, 0)
+            }
+        };
+        run.machine.share_choice(
+            idx,
+            Arc::new(NodeClaim {
+                node: node.clone(),
+                epoch,
+            }),
+        );
+        run.last_published = Some(node);
+        if reused {
+            self.stats.cp_reused_lao += 1;
+            self.charge(costs.lao_reuse + copy_cost);
+        } else {
+            self.stats.nodes_published += 1;
+            self.charge(
+                costs.publish_node + copy_cost + costs.queue_op * nalts as u64,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work finding
+    // ------------------------------------------------------------------
+
+    /// Traverse the public tree hunting for an unclaimed alternative; on
+    /// success install it on a fresh machine. Charges one `tree_visit` per
+    /// node inspected — the traversal cost LAO's flattening reduces.
+    fn find_work(&mut self) -> bool {
+        let costs = self.sh.cfg.costs.clone();
+        self.sh.busy.fetch_add(1, Ordering::AcqRel);
+
+        // Traversal order is the Aurora dispatch policy: deepest-first
+        // (bottommost, stack order) or root-first (topmost, queue order).
+        let topmost = self.sh.cfg.or_dispatch == ace_runtime::OrDispatch::Topmost;
+        let mut work: std::collections::VecDeque<_> =
+            std::collections::VecDeque::from([self.sh.root.clone()]);
+        let claimed = loop {
+            let node = if topmost { work.pop_front() } else { work.pop_back() };
+            let Some(node) = node else { break None };
+            self.stats.tree_visits += 1;
+            self.charge(costs.tree_visit);
+            if let Some((idx, pred, closure)) = node.claim_remote() {
+                break Some((node, idx, pred, closure));
+            }
+            work.extend(node.children.lock().iter().cloned());
+        };
+
+        let Some((node, idx, (name, arity), closure)) = claimed else {
+            self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        };
+        self.stats.alternatives_claimed += 1;
+        self.charge(
+            costs.claim_alternative
+                + costs.install_state
+                + closure.cells as u64 * costs.heap_cell,
+        );
+        let mut machine = Box::new(Machine::new(
+            self.sh.db.clone(),
+            Arc::new(costs.clone()),
+        ));
+        let ok = machine.install_closure(&closure, name, arity, idx);
+        self.phase_cost += machine.take_unsurfaced_cost();
+        if !ok {
+            // head unification failed: branch dies immediately
+            self.harvest(&machine);
+            self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+            return true; // did work (explored and killed a branch)
+        }
+        self.current = Some(Running {
+            machine,
+            origin: node,
+            last_published: None,
+        });
+        true
+    }
+
+    fn harvest(&mut self, machine: &Machine) {
+        let mut ms = machine.stats;
+        let c = ms.cost;
+        ms.cost = 0;
+        self.stats += ms;
+        self.stats.cost += c;
+    }
+
+    fn drop_current(&mut self) {
+        if let Some(run) = self.current.take() {
+            self.harvest(&run.machine);
+            self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn drain_answers(&mut self) {
+        let Some(run) = self.current.as_mut() else { return };
+        if run.machine.answers.is_empty() {
+            return;
+        }
+        let answers = std::mem::take(&mut run.machine.answers);
+        let n = answers.len();
+        self.sh.solutions.lock().extend(answers);
+        let total = self.sh.nsolutions.fetch_add(n, Ordering::AcqRel) + n;
+        if self
+            .sh
+            .cfg
+            .max_solutions
+            .is_some_and(|max| total >= max)
+        {
+            self.sh.finish();
+        }
+    }
+
+    fn run_current(&mut self) -> Phase {
+        // Fine-grained quantum: publication windows in chain-like searches
+        // (the Figure-6 `member/2` pattern) are one resolution step wide,
+        // so or-parallel distribution needs sub-quantum interleaving.
+        let quantum = self.sh.cfg.quantum.min(32);
+        let cancel = self.sh.cancel.clone();
+        let run = self.current.as_mut().expect("run_current without machine");
+        let status = run.machine.run(quantum, Some(&cancel));
+        self.phase_cost += run.machine.take_unsurfaced_cost();
+        // Publish *after* running: choice points created inside the
+        // quantum (still alive at a Solution boundary) become public
+        // before the owner backtracks into them.
+        self.maybe_publish();
+
+        match status {
+            Status::Running => {}
+            Status::Solution => {
+                self.drain_answers();
+                if !self.sh.done.load(Ordering::Acquire) {
+                    let run = self.current.as_mut().unwrap();
+                    run.machine.backtrack();
+                    self.phase_cost += run.machine.take_unsurfaced_cost();
+                }
+            }
+            Status::Failed => {
+                self.drain_answers();
+                self.drop_current();
+            }
+            Status::Cancelled => {
+                self.drop_current();
+            }
+            Status::Halted => {
+                self.sh.finish();
+            }
+            Status::Error(e) => {
+                self.sh.fail_with(e);
+            }
+            Status::Parcall
+            | Status::ParcallRedo
+            | Status::InlineBarrier(_)
+            | Status::FenceHit(..) => {
+                self.sh.fail_with(
+                    "the or-parallel engine does not execute `&` parallel \
+                     conjunctions; use the and-parallel engine"
+                        .into(),
+                );
+            }
+        }
+        Phase::Busy(self.phase_cost.max(1))
+    }
+}
+
+impl Agent for OrWorker {
+    fn phase(&mut self) -> Phase {
+        if self.sh.done.load(Ordering::Acquire) {
+            if !self.reported {
+                self.reported = true;
+                if let Some(run) = self.current.take() {
+                    self.harvest(&run.machine);
+                    self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+                }
+                self.sh.worker_stats.lock().push(self.stats);
+            }
+            return Phase::Done;
+        }
+        self.phase_cost = 0;
+        if self.current.is_some() {
+            self.mark_idle(false);
+            self.idle_streak = 0;
+            return self.run_current();
+        }
+        // Idle path: look for work in the public tree. The idle mark stays
+        // up across phases so busy workers publish on demand.
+        self.mark_idle(true);
+        if self.find_work() {
+            self.mark_idle(false);
+            self.idle_streak = 0;
+            return Phase::Busy(self.phase_cost.max(1));
+        }
+        // Nothing to claim: engine-wide termination check.
+        if self.sh.busy.load(Ordering::Acquire) == 0
+            && self.sh.total_alts.load(Ordering::Acquire) == 0
+        {
+            self.sh.finish();
+            return Phase::Busy(1);
+        }
+        let base = self.sh.cfg.costs.idle_probe;
+        let p = (base << self.idle_streak.min(6))
+            .min(self.sh.cfg.quantum.max(base));
+        self.idle_streak = self.idle_streak.saturating_add(1);
+        self.stats.charge_idle(p);
+        self.stats.idle_probes += 1;
+        Phase::Idle(p)
+    }
+}
+
+/// The or-parallel engine: configure once, run queries.
+pub struct OrEngine {
+    db: Arc<Database>,
+}
+
+impl OrEngine {
+    pub fn new(db: Arc<Database>) -> Self {
+        OrEngine { db }
+    }
+
+    /// Run `query` under `cfg`, exploring alternatives or-parallel.
+    pub fn run(&self, query: &str, cfg: &EngineConfig) -> Result<OrReport, String> {
+        let total_alts = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(OrShared {
+            db: self.db.clone(),
+            cfg: cfg.clone(),
+            root: OrNode::root(total_alts.clone()),
+            total_alts,
+            busy: AtomicUsize::new(1), // the root machine
+            idle: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            solutions: Mutex::new(Vec::new()),
+            nsolutions: AtomicUsize::new(0),
+            error: Mutex::new(None),
+            cancel: CancelToken::new(),
+            worker_stats: Mutex::new(Vec::new()),
+            max_depth: AtomicUsize::new(0),
+        });
+
+        // Build the root machine with the `$answer`-wrapped query.
+        let costs = Arc::new(cfg.costs.clone());
+        let mut root = Box::new(Machine::new(self.db.clone(), costs));
+        let (goal, mut vars) = ace_logic::parse_term(&mut root.heap, query)
+            .map_err(|e| format!("query parse error: {e}"))?;
+        vars.sort_by(|a, b| a.0.cmp(&b.0));
+        let pairs: Vec<Cell> = vars
+            .iter()
+            .map(|(n, c)| root.heap.new_struct(wk().unify, &[Cell::Atom(sym(n)), *c]))
+            .collect();
+        let var_list = root.heap.list(&pairs);
+        let answer = root.heap.new_struct(sym("$answer"), &[var_list]);
+        let wrapped = root.heap.new_struct(wk().comma, &[goal, answer]);
+        root.set_query(wrapped);
+
+        let mut workers: Vec<OrWorker> = (0..cfg.workers.max(1))
+            .map(|id| OrWorker::new(id, shared.clone()))
+            .collect();
+        workers[0].install_root(root);
+
+        let outcome = match cfg.driver {
+            DriverKind::Sim => {
+                let agents: Vec<Box<dyn Agent>> = workers
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn Agent>)
+                    .collect();
+                SimDriver::new(cfg.virtual_time_limit).run(agents)
+            }
+            DriverKind::Threads => {
+                let agents: Vec<Box<dyn Agent + Send>> = workers
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn Agent + Send>)
+                    .collect();
+                ThreadsDriver::run(agents)
+            }
+        };
+
+        if let Some(e) = shared.error.lock().take() {
+            return Err(e);
+        }
+        if let Some(a) = &outcome.aborted {
+            return Err(format!("driver aborted: {a}"));
+        }
+        let per_worker = shared.worker_stats.lock().clone();
+        let mut stats = Stats::new();
+        for w in &per_worker {
+            stats += *w;
+        }
+        let mut solutions = std::mem::take(&mut *shared.solutions.lock());
+        if let Some(max) = cfg.max_solutions {
+            solutions.truncate(max);
+        }
+        Ok(OrReport {
+            solutions,
+            outcome,
+            stats,
+            per_worker,
+            max_tree_depth: shared.max_depth.load(Ordering::Acquire) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_runtime::OptFlags;
+
+    fn db(src: &str) -> Arc<Database> {
+        Arc::new(Database::load(src).unwrap())
+    }
+
+    fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(opts)
+            .all_solutions()
+    }
+
+    fn sorted(mut v: Vec<String>) -> Vec<String> {
+        v.sort();
+        v
+    }
+
+    const MEMBER: &str = r#"
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        compute(V, R) :- R is V * V.
+    "#;
+
+    #[test]
+    fn sequential_equivalence_one_worker() {
+        let e = OrEngine::new(db(MEMBER));
+        let r = e
+            .run(
+                "member(V, [1,2,3,4]), compute(V, R)",
+                &cfg(1, OptFlags::none()),
+            )
+            .unwrap();
+        assert_eq!(
+            r.solutions,
+            vec!["R=1, V=1", "R=4, V=2", "R=9, V=3", "R=16, V=4"]
+        );
+    }
+
+    #[test]
+    fn parallel_workers_find_all_solutions() {
+        for workers in [2, 4, 8] {
+            let e = OrEngine::new(db(MEMBER));
+            let r = e
+                .run(
+                    "member(V, [1,2,3,4,5,6,7,8]), compute(V, R)",
+                    &cfg(workers, OptFlags::none()),
+                )
+                .unwrap();
+            assert_eq!(r.solutions.len(), 8, "workers={workers}");
+            assert!(r.stats.nodes_published > 0);
+            assert!(r.stats.alternatives_claimed > 0);
+        }
+    }
+
+    #[test]
+    fn lao_keeps_tree_shallow() {
+        let list = (1..=30)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let q = format!("member(V, [{list}]), compute(V, R)");
+        let e = OrEngine::new(db(MEMBER));
+
+        let r0 = e.run(&q, &cfg(4, OptFlags::none())).unwrap();
+        let r1 = e.run(&q, &cfg(4, OptFlags::lao_only())).unwrap();
+        assert_eq!(
+            sorted(r0.solutions.clone()),
+            sorted(r1.solutions.clone())
+        );
+        assert_eq!(r0.solutions.len(), 30);
+        assert!(r1.stats.cp_reused_lao > 0, "{:?}", r1.stats);
+        // Figure 6 vs Figure 7: without LAO the public tree is a deep
+        // member-chain; with LAO alternatives club into few shallow nodes.
+        assert!(
+            r1.max_tree_depth < r0.max_tree_depth,
+            "lao depth {} !< unopt depth {}",
+            r1.max_tree_depth,
+            r0.max_tree_depth
+        );
+    }
+
+    #[test]
+    fn multiple_solutions_per_branch() {
+        let e = OrEngine::new(db(
+            "p(1). p(2). p(3). q(a). q(b). pair(X, Y) :- p(X), q(Y).",
+        ));
+        let r = e.run("pair(X, Y)", &cfg(3, OptFlags::lao_only())).unwrap();
+        assert_eq!(r.solutions.len(), 6);
+    }
+
+    #[test]
+    fn first_solution_mode_stops_early() {
+        let e = OrEngine::new(db(MEMBER));
+        let mut c = cfg(4, OptFlags::none());
+        c.max_solutions = Some(1);
+        let r = e
+            .run("member(V, [1,2,3,4]), compute(V, R)", &c)
+            .unwrap();
+        assert_eq!(r.solutions.len(), 1);
+    }
+
+    #[test]
+    fn failing_query_terminates() {
+        let e = OrEngine::new(db(MEMBER));
+        let r = e
+            .run("member(V, [1,2,3]), V > 100", &cfg(4, OptFlags::lao_only()))
+            .unwrap();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn deterministic_query_no_publication() {
+        let e = OrEngine::new(db("f(1). g(X, Y) :- Y is X + 1."));
+        let r = e.run("f(X), g(X, Y)", &cfg(4, OptFlags::none())).unwrap();
+        assert_eq!(r.solutions, vec!["X=1, Y=2"]);
+        assert_eq!(r.stats.nodes_published, 0);
+    }
+
+    #[test]
+    fn threads_driver_multiset_equivalence() {
+        let e = OrEngine::new(db(MEMBER));
+        let mut c = cfg(3, OptFlags::lao_only());
+        c.driver = DriverKind::Threads;
+        let r = e
+            .run("member(V, [1,2,3,4,5]), compute(V, R)", &c)
+            .unwrap();
+        assert_eq!(
+            sorted(r.solutions),
+            vec!["R=1, V=1", "R=16, V=4", "R=25, V=5", "R=4, V=2", "R=9, V=3"]
+        );
+    }
+
+    #[test]
+    fn sim_deterministic() {
+        let e = OrEngine::new(db(MEMBER));
+        let c = cfg(4, OptFlags::lao_only());
+        let q = "member(V, [1,2,3,4,5,6]), compute(V, R)";
+        let a = e.run(q, &c).unwrap();
+        let b = e.run(q, &c).unwrap();
+        assert_eq!(a.outcome.virtual_time, b.outcome.virtual_time);
+        assert_eq!(a.solutions, b.solutions);
+    }
+
+    #[test]
+    fn cut_confined_to_private_region() {
+        let e = OrEngine::new(db(
+            r#"
+            d(X) :- X > 1, !.
+            d(0).
+            t(X, Y) :- member(X, [0, 2, 5]), d(X), Y is X * 10.
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+            "#,
+        ));
+        let r = e.run("t(X, Y)", &cfg(1, OptFlags::none())).unwrap();
+        assert_eq!(r.solutions, vec!["X=0, Y=0", "X=2, Y=20", "X=5, Y=50"]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ace-or — the or-parallel engine (MUSE/Aurora model) with LAO
+//!
+//! Explores the alternatives of nondeterministic calls in parallel. The
+//! design follows the systems the paper cites as instances of its
+//! *sequentialization* schema (§4 — Muse, Aurora):
+//!
+//! * the search tree is split into a **private** part (each worker executes
+//!   plain sequential backtracking on its own machine — "when a processor
+//!   is in the private part of the search tree, execution is exactly as in
+//!   a sequential Prolog system") and a **public** part — an explicit
+//!   shared **or-tree** of published choice points ([`tree::OrNode`]);
+//! * a choice point is **published** on demand, when idle workers exist:
+//!   its untried alternatives move into the node's shared pool and the
+//!   machine state needed to run them is copied out (MUSE-style state
+//!   copying, via [`ace_machine::Machine::choice_closure`]);
+//! * an **idle worker hunts for work by traversing the or-tree** — the cost
+//!   the paper's *flattening* schema attacks: every node visited is
+//!   charged, so deep chains of single-alternative choice points (the
+//!   `member/2` pattern of Figure 6) make work-finding expensive;
+//! * **LAO** (Last Alternative Optimization, §3.2): when the last
+//!   alternative of node `B1` is taken and the continuing computation
+//!   immediately publishes its next choice point, the engine *reuses*
+//!   `B1` in place — new alternatives and closure are installed into the
+//!   same node (Figure 7), keeping the public tree shallow and work-finding
+//!   cheap.
+//!
+//! Restrictions (documented, standard for or-parallel Prologs): programs
+//! must not cut across a published choice point, and only clause-selection
+//! choice points are published (`;`/`between` alternatives stay private).
+
+pub mod engine;
+pub mod tree;
+
+pub use engine::{OrEngine, OrReport};
+pub use tree::OrNode;

@@ -1,0 +1,291 @@
+//! The shared or-tree: published choice points and their alternative pools.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ace_machine::frames::SharedChoice;
+use ace_machine::machine::StateClosure;
+use ace_logic::Sym;
+use parking_lot::Mutex;
+
+static NODE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// The claimable content of a node. Replaced wholesale by an LAO reuse,
+/// with `epoch` incremented so stale owner choice points claim nothing.
+pub struct Payload {
+    pub epoch: u64,
+    /// Predicate whose clauses the alternatives index.
+    pub pred: (Sym, u32),
+    /// Untried clause indices.
+    pub alts: VecDeque<usize>,
+    /// Machine state at the choice point (installed by remote claimants).
+    pub closure: Arc<StateClosure>,
+}
+
+/// One public choice point of the or-tree.
+pub struct OrNode {
+    pub id: u64,
+    /// Distance from the root sentinel (the work-finding traversal cost
+    /// LAO keeps low; asserted on by the Figure-6/7 shape tests).
+    pub depth: u32,
+    pub payload: Mutex<Option<Payload>>,
+    pub children: Mutex<Vec<Arc<OrNode>>>,
+    /// Global count of unclaimed alternatives (termination detection).
+    total_alts: Arc<AtomicUsize>,
+}
+
+impl OrNode {
+    /// The root sentinel: no alternatives, depth 0.
+    pub fn root(total_alts: Arc<AtomicUsize>) -> Arc<OrNode> {
+        Arc::new(OrNode {
+            id: 0,
+            depth: 0,
+            payload: Mutex::new(None),
+            children: Mutex::new(Vec::new()),
+            total_alts,
+        })
+    }
+
+    /// Publish a fresh node under `parent`.
+    pub fn publish(
+        parent: &Arc<OrNode>,
+        pred: (Sym, u32),
+        alts: VecDeque<usize>,
+        closure: Arc<StateClosure>,
+        total_alts: Arc<AtomicUsize>,
+    ) -> Arc<OrNode> {
+        total_alts.fetch_add(alts.len(), Ordering::AcqRel);
+        let node = Arc::new(OrNode {
+            id: NODE_IDS.fetch_add(1, Ordering::Relaxed),
+            depth: parent.depth + 1,
+            payload: Mutex::new(Some(Payload {
+                epoch: 0,
+                pred,
+                alts,
+                closure,
+            })),
+            children: Mutex::new(Vec::new()),
+            total_alts,
+        });
+        parent.children.lock().push(node.clone());
+        node
+    }
+
+    /// LAO: install a *new* choice point's alternatives into this node in
+    /// place, bumping the epoch (Figure 7 — "B1 can be updated with the
+    /// information that would be stored in B2"). Atomic: fails (returns
+    /// `None`) if the node still holds unclaimed alternatives — the caller
+    /// then publishes a fresh node instead.
+    pub fn try_reuse(
+        &self,
+        pred: (Sym, u32),
+        alts: VecDeque<usize>,
+        closure: Arc<StateClosure>,
+    ) -> Option<u64> {
+        let mut p = self.payload.lock();
+        if p.as_ref().is_some_and(|p| !p.alts.is_empty()) {
+            return None;
+        }
+        let epoch = p.as_ref().map_or(0, |p| p.epoch) + 1;
+        self.total_alts.fetch_add(alts.len(), Ordering::AcqRel);
+        *p = Some(Payload {
+            epoch,
+            pred,
+            alts,
+            closure,
+        });
+        Some(epoch)
+    }
+
+    /// Remote claim: atomically take one alternative together with the
+    /// closure it must run against.
+    pub fn claim_remote(&self) -> Option<(usize, (Sym, u32), Arc<StateClosure>)> {
+        let mut p = self.payload.lock();
+        let payload = p.as_mut()?;
+        let idx = payload.alts.pop_front()?;
+        self.total_alts.fetch_sub(1, Ordering::AcqRel);
+        Some((idx, payload.pred, payload.closure.clone()))
+    }
+
+    /// Any unclaimed alternatives right now?
+    pub fn has_work(&self) -> bool {
+        self.payload
+            .lock()
+            .as_ref()
+            .is_some_and(|p| !p.alts.is_empty())
+    }
+
+    /// Is the alternative pool empty (reusable under LAO)?
+    pub fn is_drained(&self) -> bool {
+        self.payload
+            .lock()
+            .as_ref()
+            .is_none_or(|p| p.alts.is_empty())
+    }
+
+    pub fn current_epoch(&self) -> u64 {
+        self.payload.lock().as_ref().map_or(0, |p| p.epoch)
+    }
+}
+
+impl std::fmt::Debug for OrNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrNode")
+            .field("id", &self.id)
+            .field("depth", &self.depth)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The owner-side view of a published choice point, installed into the
+/// machine's [`ace_machine::ChoicePoint`]. Epoch-guarded so that after an
+/// LAO reuse the owner's *older* choice point referencing the same node
+/// stops claiming (the node now belongs to a younger choice point).
+pub struct NodeClaim {
+    pub node: Arc<OrNode>,
+    pub epoch: u64,
+}
+
+impl SharedChoice for NodeClaim {
+    fn claim_next(&self) -> Option<usize> {
+        let mut p = self.node.payload.lock();
+        let payload = p.as_mut()?;
+        if payload.epoch != self.epoch {
+            return None; // node was reused by a younger choice point
+        }
+        let idx = payload.alts.pop_front()?;
+        self.node.total_alts.fetch_sub(1, Ordering::AcqRel);
+        Some(idx)
+    }
+
+    fn owner_detached(&self) {
+        // Cut or exhaustion on the owner side: discard untried alternatives
+        // of *this epoch* (cut semantics; see crate-level restrictions).
+        let mut p = self.node.payload.lock();
+        if let Some(payload) = p.as_mut() {
+            if payload.epoch == self.epoch {
+                let n = payload.alts.len();
+                payload.alts.clear();
+                self.node.total_alts.fetch_sub(n, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn node_id(&self) -> u64 {
+        self.node.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_logic::{sym, Heap};
+
+    fn closure() -> Arc<StateClosure> {
+        Arc::new(StateClosure {
+            heap: Heap::new(),
+            goal: ace_logic::Cell::Nil,
+            cont: Vec::new(),
+            cells: 0,
+        })
+    }
+
+    fn counter() -> Arc<AtomicUsize> {
+        Arc::new(AtomicUsize::new(0))
+    }
+
+    #[test]
+    fn publish_links_and_counts() {
+        let total = counter();
+        let root = OrNode::root(total.clone());
+        let node = OrNode::publish(
+            &root,
+            (sym("p"), 1),
+            VecDeque::from([1, 2, 3]),
+            closure(),
+            total.clone(),
+        );
+        assert_eq!(total.load(Ordering::Acquire), 3);
+        assert_eq!(node.depth, 1);
+        assert_eq!(root.children.lock().len(), 1);
+        assert!(node.has_work());
+    }
+
+    #[test]
+    fn remote_claims_drain_the_pool() {
+        let total = counter();
+        let root = OrNode::root(total.clone());
+        let node = OrNode::publish(
+            &root,
+            (sym("p"), 1),
+            VecDeque::from([5, 7]),
+            closure(),
+            total.clone(),
+        );
+        let (i1, pred, _) = node.claim_remote().unwrap();
+        assert_eq!(i1, 5);
+        assert_eq!(pred, (sym("p"), 1));
+        let (i2, ..) = node.claim_remote().unwrap();
+        assert_eq!(i2, 7);
+        assert!(node.claim_remote().is_none());
+        assert!(node.is_drained());
+        assert_eq!(total.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn lao_reuse_bumps_epoch_and_blocks_stale_claims() {
+        let total = counter();
+        let root = OrNode::root(total.clone());
+        let node = OrNode::publish(
+            &root,
+            (sym("p"), 1),
+            VecDeque::from([1]),
+            closure(),
+            total.clone(),
+        );
+        let stale = NodeClaim {
+            node: node.clone(),
+            epoch: 0,
+        };
+        assert_eq!(stale.claim_next(), Some(1));
+        assert!(node.is_drained());
+
+        let epoch = node.try_reuse((sym("q"), 2), VecDeque::from([0, 1]), closure()).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(total.load(Ordering::Acquire), 2);
+        // the stale owner claim sees nothing
+        assert_eq!(stale.claim_next(), None);
+        // a fresh claim at the right epoch works
+        let fresh = NodeClaim { node: node.clone(), epoch };
+        assert_eq!(fresh.claim_next(), Some(0));
+        // depth is unchanged — that is the whole point of LAO
+        assert_eq!(node.depth, 1);
+    }
+
+    #[test]
+    fn owner_detached_discards_only_its_epoch() {
+        let total = counter();
+        let root = OrNode::root(total.clone());
+        let node = OrNode::publish(
+            &root,
+            (sym("p"), 1),
+            VecDeque::from([1, 2]),
+            closure(),
+            total.clone(),
+        );
+        let old = NodeClaim {
+            node: node.clone(),
+            epoch: 0,
+        };
+        // reuse first (epoch 1), then detach the old claim
+        node.payload.lock().as_mut().unwrap().alts.clear();
+        total.store(0, Ordering::Release);
+        let epoch = node.try_reuse((sym("q"), 1), VecDeque::from([0]), closure()).unwrap();
+        old.owner_detached();
+        assert_eq!(total.load(Ordering::Acquire), 1, "new epoch untouched");
+        let new = NodeClaim { node, epoch };
+        new.owner_detached();
+        assert_eq!(total.load(Ordering::Acquire), 0);
+    }
+}

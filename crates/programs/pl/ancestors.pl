@@ -1,0 +1,4 @@
+% ancestors — transitive closure over a generated family tree
+% (paper Table 3). The parent/2 facts are generated per benchmark size.
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).

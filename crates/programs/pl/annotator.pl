@@ -1,0 +1,24 @@
+% annotator — annotate every tree node with its subtree size, subtrees in
+% parallel (paper Tables 2, 4 and 5; Figure 8).
+ann(leaf(V), leaf(V, 1)).
+ann(node(L, R), node(AL, AR, S)) :-
+    ( ann(L, AL) & ann(R, AR) ),
+    size_of(AL, SL), size_of(AR, SR), S is SL + SR + 1.
+
+size_of(leaf(_, S), S).
+size_of(node(_, _, S), S).
+
+% -- backward execution: two annotation styles per leaf ------------------
+ann_nd(leaf(V), leaf(W, 1)) :- W is V * 2.
+ann_nd(leaf(V), leaf(W, 1)) :- W is V * 2 + 1.
+ann_nd(node(L, R), node(AL, AR, S)) :-
+    ( ann_nd(L, AL) & ann_nd(R, AR) ),
+    size_of(AL, SL), size_of(AR, SR), S is SL + SR + 1.
+
+reject(_) :- fail.
+annotator_bt(T) :- ann_nd(T, A), reject(A), fail.
+annotator_bt(_).
+
+% Parallel backward execution over independent trees.
+pann_bt([]).
+pann_bt([T|Ts]) :- annotator_bt(T) & pann_bt(Ts).

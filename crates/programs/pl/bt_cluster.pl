@@ -1,0 +1,11 @@
+% bt_cluster — score point clusters in parallel (paper Tables 4 and 5).
+cluster_scores([], []).
+cluster_scores([C|Cs], [S|Ss]) :- score(C, S) & cluster_scores(Cs, Ss).
+
+score(cluster(Center, Points), S) :- sumdist(Points, Center, 0, S).
+
+sumdist([], _, A, A).
+sumdist([P|Ps], C, A, S) :-
+    D is (P - C) * (P - C), A1 is A + D, sumdist(Ps, C, A1, S).
+
+bt_cluster(Clusters, Best) :- cluster_scores(Clusters, Ss), sum_list(Ss, Best).

@@ -1,0 +1,9 @@
+% hanoi — Towers of Hanoi with the two recursive transfers in parallel
+% (paper Table 4, Figure 8).
+hanoi(N, Moves) :- h(N, a, b, c, Moves).
+
+h(N, A, B, C, M) :-
+    ( N =:= 0 -> M = []
+    ; N1 is N - 1,
+      ( h(N1, A, C, B, M1) & h(N1, C, B, A, M2) ),
+      append(M1, [mv(A, B)|M2], M) ).

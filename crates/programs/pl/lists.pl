@@ -1,0 +1,15 @@
+% Shared list library for the benchmark corpus.
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+sel(X, [X|T], T).
+sel(X, [Y|T], [Y|R]) :- sel(X, T, R).
+
+sum_list(L, S) :- sum_list_(L, 0, S).
+sum_list_([], A, A).
+sum_list_([X|T], A, S) :- A1 is A + X, sum_list_(T, A1, S).
+
+range(L, H, R) :- ( L > H -> R = [] ; L1 is L + 1, range(L1, H, T), R = [L|T] ).

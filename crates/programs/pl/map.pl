@@ -1,0 +1,31 @@
+% map — parallel list transformation (paper Tables 1 & 2, Figure 5).
+%
+% `work/3` is the granularity knob: a deterministic arithmetic loop.
+work(N, X, R) :-
+    ( N =< 0 -> R = X
+    ; X1 is (X * 3 + 1) mod 1000, N1 is N - 1, work(N1, X1, R) ).
+
+% -- forward execution (map2): deterministic transformer ----------------
+tr_det(X, Y) :- work(160, X, Y).
+
+map([], []).
+map([X|T], [Y|T2]) :- tr_det(X, Y) & map(T, T2).
+
+% -- backward execution (map1): nondeterministic transformer ------------
+tr_nd(X, Y) :- work(15, X, W), Y is W * 2.
+tr_nd(X, Y) :- work(15, X, W), Y is W * 2 + 1.
+
+map_nd([], []).
+map_nd([X|T], [Y|T2]) :- tr_nd(X, Y) & map_nd(T, T2).
+
+% Exhaust the full cross product of transformer choices (failure-driven):
+% this is the backward-execution workload whose redo traffic LPCO's
+% flattening collapses.
+reject(_) :- fail.
+map_bt(L) :- map_nd(L, Out), reject(Out), fail.
+map_bt(_).
+
+% Parallel backward execution: independent sublists, each exhaustively
+% enumerated (the per-slot backtracking that Figure 5 measures).
+pmap_bt([]).
+pmap_bt([L|Ls]) :- map_bt(L) & pmap_bt(Ls).

@@ -1,0 +1,15 @@
+% maps — map colouring by generate-and-test (paper Table 3). Colour a
+% 10-region map with 4 colours such that neighbours differ.
+col(r). col(g). col(b). col(y).
+
+maps([PT, ES, FR, DE, CH, IT, AT, NL, BE, LU]) :-
+    col(PT),
+    col(ES), ES \== PT,
+    col(FR), FR \== ES,
+    col(BE), BE \== FR,
+    col(LU), LU \== FR, LU \== BE,
+    col(DE), DE \== FR, DE \== BE, DE \== LU,
+    col(NL), NL \== BE, NL \== DE,
+    col(CH), CH \== FR, CH \== DE,
+    col(IT), IT \== FR, IT \== CH,
+    col(AT), AT \== DE, AT \== CH, AT \== IT.

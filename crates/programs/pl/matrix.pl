@@ -1,0 +1,34 @@
+% matrix — parallel matrix multiplication, one subgoal per result row
+% (paper Tables 2, 4 and 5; Figure 5 as `matrix mult`).
+% The second operand is supplied transposed (`Bt`), so every row product
+% is a sequence of dot products.
+mmul([], _, []).
+mmul([R|Rs], Bt, [OR|ORs]) :- row_mult(Bt, R, OR) & mmul(Rs, Bt, ORs).
+
+% first argument is the column list so clause indexing makes this
+% determinate at runtime
+row_mult([], _, []).
+row_mult([C|Cs], R, [V|Vs]) :- dot(R, C, 0, V), row_mult(Cs, R, Vs).
+
+dot([], [], A, A).
+dot([X|Xs], [Y|Ys], A, V) :- A2 is A + X * Y, dot(Xs, Ys, A2, V).
+
+matrix(A, Bt, C) :- mmul(A, Bt, C).
+
+% -- backward execution: rows nondeterministically scaled ---------------
+row_nd(R, Bt, OR) :- scale(R, 1, RS), row_mult(Bt, RS, OR).
+row_nd(R, Bt, OR) :- scale(R, 2, RS), row_mult(Bt, RS, OR).
+
+scale([], _, []).
+scale([X|T], F, [Y|T2]) :- Y is X * F, scale(T, F, T2).
+
+mmul_nd([], _, []).
+mmul_nd([R|Rs], Bt, [OR|ORs]) :- row_nd(R, Bt, OR) & mmul_nd(Rs, Bt, ORs).
+
+reject(_) :- fail.
+matrix_bt(A, Bt) :- mmul_nd(A, Bt, C), reject(C), fail.
+matrix_bt(_, _).
+
+% Parallel backward execution over independent matrix instances.
+pmatrix_bt([], _).
+pmatrix_bt([A|As], Bt) :- matrix_bt(A, Bt) & pmatrix_bt(As, Bt).

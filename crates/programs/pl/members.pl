@@ -1,0 +1,5 @@
+% members — nested member/2 search (paper Table 3). All triples from the
+% list whose sum hits the target.
+triples(L, T, t(X, Y, Z)) :-
+    member(X, L), member(Y, L), member(Z, L),
+    X + Y + Z =:= T.

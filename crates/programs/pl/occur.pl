@@ -1,0 +1,12 @@
+% occur / poccur — parallel occurrence counting over a list of lists
+% (paper Tables 1, 4 and 5; Figure 8 as `poccur`).
+count(L, E, C) :- count_(L, E, 0, C).
+count_([], _, A, A).
+count_([X|T], E, A, C) :-
+    ( X =:= E -> A1 is A + 1 ; A1 = A ),
+    count_(T, E, A1, C).
+
+occur_all([], _, []).
+occur_all([L|Ls], E, [C|Cs]) :- count(L, E, C) & occur_all(Ls, E, Cs).
+
+poccur(Ls, E, Total) :- occur_all(Ls, E, Cs), sum_list(Cs, Total).

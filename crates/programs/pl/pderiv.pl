@@ -1,0 +1,37 @@
+% pderiv — parallel symbolic differentiation (paper Table 2, Figure 5).
+d(x, n(1)).
+d(n(_), n(0)).
+d(plus(A, B), plus(DA, DB)) :- d(A, DA) & d(B, DB).
+d(times(A, B), plus(times(DA, B), times(A, DB))) :- d(A, DA) & d(B, DB).
+
+% -- backward execution: nondeterministic derivative rules ---------------
+% Two representations for d(x): the exhaustive enumeration of their
+% combinations is the backward-execution workload; the d_nd tree is a
+% trailing parallel call, so LPCO flattens it (Table 2 / Figure 5).
+d_nd(x, n(1)).
+d_nd(x, one).
+d_nd(n(_), n(0)).
+d_nd(plus(A, B), plus(DA, DB)) :- d_nd(A, DA) & d_nd(B, DB).
+d_nd(times(A, B), plus(times(DA, B), times(A, DB))) :-
+    d_nd(A, DA) & d_nd(B, DB).
+
+reject(_) :- fail.
+pderiv_bt(E) :- d_nd(E, DE), reject(DE), fail.
+pderiv_bt(_).
+
+% Simplification with overlapping rules (library extra; not part of the
+% reproduced tables because its trailing tests block LPCO by design).
+simp(x, x).
+simp(n(X), n(X)).
+simp(plus(A, B), S) :- ( simp(A, SA) & simp(B, SB) ), mkplus(SA, SB, S).
+simp(times(A, B), S) :- ( simp(A, SA) & simp(B, SB) ), mktimes(SA, SB, S).
+
+mkplus(n(0), X, X).
+mkplus(X, n(0), X).
+mkplus(X, Y, plus(X, Y)).
+
+mktimes(X, Y, times(X, Y)).
+
+% Parallel backward execution over independent expressions.
+ppderiv_bt([]).
+ppderiv_bt([E|Es]) :- pderiv_bt(E) & ppderiv_bt(Es).

@@ -1,0 +1,14 @@
+% puzzle — 3x3 magic square by constrained selection (paper Table 3).
+% Rows, columns and both diagonals sum to 15; cells are a permutation of
+% 1..9. Derived cells prune the search early.
+puzzle([A, B, C, D, E, F, G, H, I]) :-
+    sel(A, [1,2,3,4,5,6,7,8,9], R1),
+    sel(B, R1, R2),
+    C is 15 - A - B, sel(C, R2, R3),
+    sel(D, R3, R4),
+    G is 15 - A - D, sel(G, R4, R5),
+    E is 15 - C - G, sel(E, R5, R6),
+    I is 15 - A - E, sel(I, R6, R7),
+    F is 15 - D - E, sel(F, R7, R8),
+    H is 15 - B - E, sel(H, R8, []),
+    G + H + I =:= 15.

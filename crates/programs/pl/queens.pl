@@ -1,0 +1,25 @@
+% queens — two N-queens formulations (paper Table 3: Queen1, Queen2).
+%
+% queen1: permutation construction via sel/3.
+queens1(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+
+place([], Acc, Acc).
+place(Un, Acc, Qs) :-
+    sel(Q, Un, Rest), safe(Q, 1, Acc), place(Rest, [Q|Acc], Qs).
+
+safe(_, _, []).
+safe(Q, D, [P|Ps]) :-
+    Q =\= P + D, Q =\= P - D, D1 is D + 1, safe(Q, D1, Ps).
+
+% queen2: column-by-column row choice via member/2 (rows may repeat in the
+% candidate pool; the vertical constraint prunes them).
+queens2(N, Qs) :- range(1, N, Rows), q2(N, Rows, [], Qs).
+
+q2(0, _, Acc, Acc).
+q2(C, Rows, Acc, Qs) :-
+    C > 0, member(R, Rows), ok(R, 1, Acc),
+    C1 is C - 1, q2(C1, Rows, [R|Acc], Qs).
+
+ok(_, _, []).
+ok(R, D, [P|Ps]) :-
+    R =\= P, R =\= P + D, R =\= P - D, D1 is D + 1, ok(R, D1, Ps).

@@ -1,0 +1,11 @@
+% quick_sort — parallel divide and conquer (paper Table 5).
+qsort([], []).
+qsort([P|T], S) :-
+    partition(T, P, Lo, Hi),
+    ( qsort(Lo, SL) & qsort(Hi, SH) ),
+    append(SL, [P|SH], S).
+
+partition([], _, [], []).
+partition([X|T], P, Lo, Hi) :-
+    ( X =< P -> Lo = [X|L1], partition(T, P, L1, Hi)
+    ; Hi = [X|H1], partition(T, P, Lo, H1) ).

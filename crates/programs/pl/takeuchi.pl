@@ -1,0 +1,7 @@
+% takeuchi — the Takeuchi function with its three recursive calls in
+% parallel (paper Tables 4 and 5).
+tak(X, Y, Z, A) :-
+    ( X =< Y -> A = Z
+    ; X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+      ( tak(X1, Y, Z, A1) & tak(Y1, Z, X, A2) & tak(Z1, X, Y, A3) ),
+      tak(A1, A2, A3, A) ).

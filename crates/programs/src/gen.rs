@@ -1,0 +1,182 @@
+//! Deterministic input generators: render benchmark inputs as Prolog text.
+//!
+//! All pseudo-randomness comes from a fixed-seed linear congruential
+//! generator so every run of every experiment sees identical inputs.
+
+/// Minimal deterministic LCG (Numerical Recipes constants).
+pub struct Lcg(u64);
+
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+
+    /// Uniform in `0..bound`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound.max(1)
+    }
+}
+
+/// `[a, b, c, ...]` of `n` pseudo-random ints in 0..100.
+pub fn int_list(n: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let items: Vec<String> = (0..n)
+        .map(|_| rng.below(100).to_string())
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `[1, 2, ..., n]`.
+pub fn range_list(n: usize) -> String {
+    let items: Vec<String> = (1..=n).map(|i| i.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `k` sublists of `m` pseudo-random digits 0..9.
+pub fn list_of_lists(k: usize, m: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let subs: Vec<String> = (0..k)
+        .map(|_| {
+            let items: Vec<String> =
+                (0..m).map(|_| rng.below(10).to_string()).collect();
+            format!("[{}]", items.join(","))
+        })
+        .collect();
+    format!("[{}]", subs.join(","))
+}
+
+/// `rows x cols` matrix of small ints as a list of row lists.
+pub fn matrix(rows: usize, cols: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let rs: Vec<String> = (0..rows)
+        .map(|_| {
+            let items: Vec<String> =
+                (0..cols).map(|_| rng.below(10).to_string()).collect();
+            format!("[{}]", items.join(","))
+        })
+        .collect();
+    format!("[{}]", rs.join(","))
+}
+
+/// Balanced arithmetic expression of the pderiv benchmark:
+/// depth `d` over `x` and small constants, alternating plus/times.
+pub fn expr(d: usize) -> String {
+    fn go(d: usize, idx: &mut u32) -> String {
+        if d == 0 {
+            *idx += 1;
+            if idx.is_multiple_of(2) {
+                "x".to_owned()
+            } else {
+                format!("n({})", *idx % 7)
+            }
+        } else {
+            let l = go(d - 1, idx);
+            let r = go(d - 1, idx);
+            if d.is_multiple_of(2) {
+                format!("plus({l}, {r})")
+            } else {
+                format!("times({l}, {r})")
+            }
+        }
+    }
+    let mut idx = 0;
+    go(d, &mut idx)
+}
+
+/// Balanced binary tree of depth `d` with small leaf values for the
+/// annotator benchmark.
+pub fn tree(d: usize, seed: u64) -> String {
+    fn go(d: usize, rng: &mut Lcg) -> String {
+        if d == 0 {
+            format!("leaf({})", rng.below(50))
+        } else {
+            let l = go(d - 1, rng);
+            let r = go(d - 1, rng);
+            format!("node({l}, {r})")
+        }
+    }
+    let mut rng = Lcg::new(seed);
+    go(d, &mut rng)
+}
+
+/// `k` clusters of `m` points each for bt_cluster.
+pub fn clusters(k: usize, m: usize) -> String {
+    let mut rng = Lcg::new(97);
+    let cs: Vec<String> = (0..k)
+        .map(|i| {
+            let center = (i * 10) % 100;
+            let pts: Vec<String> =
+                (0..m).map(|_| rng.below(100).to_string()).collect();
+            format!("cluster({center}, [{}])", pts.join(","))
+        })
+        .collect();
+    format!("[{}]", cs.join(","))
+}
+
+/// `parent/2` facts of a binary family tree of depth `d` (ancestors).
+pub fn family(d: usize) -> String {
+    let mut out = String::new();
+    let last_parent = (1usize << d.min(16)) - 1;
+    for p in 1..=last_parent {
+        out.push_str(&format!("parent(p{p}, p{}).\n", 2 * p));
+        out.push_str(&format!("parent(p{p}, p{}).\n", 2 * p + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(int_list(5, 7), int_list(5, 7));
+        assert_ne!(int_list(5, 7), int_list(5, 8));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(range_list(3), "[1,2,3]");
+        assert!(matrix(2, 3, 1).starts_with("[["));
+        assert_eq!(expr(0), "n(1)");
+        assert!(expr(2).starts_with("plus("));
+        assert!(tree(1, 3).starts_with("node(leaf("));
+        assert!(clusters(1, 2).starts_with("[cluster(0, ["));
+    }
+
+    #[test]
+    fn family_tree_size() {
+        let f = family(2);
+        // parents 1..=3, two facts each
+        assert_eq!(f.lines().count(), 6);
+        assert!(f.contains("parent(p3, p7)."));
+    }
+}
+
+/// `n` independent expressions of depth `d` (parallel backward execution).
+pub fn exprs(n: usize, d: usize) -> String {
+    let items: Vec<String> = (0..n).map(|_| expr(d)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `n` independent trees of depth `d`.
+pub fn trees(n: usize, d: usize, seed: u64) -> String {
+    let items: Vec<String> =
+        (0..n).map(|i| tree(d, seed + i as u64)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `n` independent `rows x cols` matrices.
+pub fn matrices(n: usize, rows: usize, cols: usize, seed: u64) -> String {
+    let items: Vec<String> =
+        (0..n).map(|i| matrix(rows, cols, seed + i as u64)).collect();
+    format!("[{}]", items.join(","))
+}

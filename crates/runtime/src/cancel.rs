@@ -1,0 +1,110 @@
+//! Hierarchical cancellation tokens.
+//!
+//! When a sibling subgoal of a parallel conjunction fails, the whole
+//! parcall fails and every other slot must stop ("inside backtracking",
+//! paper §2). Slots may themselves have spawned nested parcalls, so
+//! cancellation is hierarchical: cancelling a parent token cancels every
+//! descendant. Checks are a single atomic load per level and are performed
+//! by machines between quanta, bounding the kill latency.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    parent: Option<Arc<Inner>>,
+}
+
+/// A cancellable token; clone to share, `child()` to nest.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh root token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A child token: cancelled when either it or any ancestor is.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Cancel this token (and thereby all descendants).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Has this token or any ancestor been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        let mut cur = Some(&self.inner);
+        while let Some(node) = cur {
+            if node.flag.load(Ordering::Acquire) {
+                return true;
+            }
+            cur = node.parent.as_ref();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_propagates_to_children() {
+        let root = CancelToken::new();
+        let child = root.child();
+        let grandchild = child.child();
+        root.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancel_does_not_affect_parent_or_sibling() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!root.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let u = t.child();
+        let h = std::thread::spawn(move || {
+            while !u.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,235 @@
+//! Engine configuration: worker count, optimization toggles, driver choice.
+
+use crate::cost::CostModel;
+
+/// Which optimizations from the paper are enabled.
+///
+/// Each flag corresponds to one concrete optimization derived from the
+/// three schemas (§3–§4 of the paper):
+///
+/// | flag  | optimization                      | schema             |
+/// |-------|-----------------------------------|--------------------|
+/// | `lpco`| Last Parallel Call Optimization   | flattening         |
+/// | `lao` | Last Alternative Optimization     | flattening         |
+/// | `spo` | Shallow Parallelism Optimization  | procrastination    |
+/// | `pdo` | Processor Determinacy Optimization| sequentialization  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptFlags {
+    pub lpco: bool,
+    pub lao: bool,
+    pub spo: bool,
+    pub pdo: bool,
+}
+
+impl OptFlags {
+    /// The unoptimized baseline engine.
+    pub fn none() -> Self {
+        OptFlags::default()
+    }
+
+    /// All four optimizations on (the fully optimized ACE engine).
+    pub fn all() -> Self {
+        OptFlags {
+            lpco: true,
+            lao: true,
+            spo: true,
+            pdo: true,
+        }
+    }
+
+    pub fn lpco_only() -> Self {
+        OptFlags {
+            lpco: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn lao_only() -> Self {
+        OptFlags {
+            lao: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn spo_only() -> Self {
+        OptFlags {
+            spo: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn pdo_only() -> Self {
+        OptFlags {
+            pdo: true,
+            ..Default::default()
+        }
+    }
+
+    /// All 16 combinations, for exhaustive equivalence testing.
+    pub fn all_combinations() -> Vec<OptFlags> {
+        (0..16)
+            .map(|m| OptFlags {
+                lpco: m & 1 != 0,
+                lao: m & 2 != 0,
+                spo: m & 4 != 0,
+                pdo: m & 8 != 0,
+            })
+            .collect()
+    }
+
+    /// Short label like `"lpco+spo"` (or `"none"`).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.lpco {
+            parts.push("lpco");
+        }
+        if self.lao {
+            parts.push("lao");
+        }
+        if self.spo {
+            parts.push("spo");
+        }
+        if self.pdo {
+            parts.push("pdo");
+        }
+        if parts.is_empty() {
+            "none".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// When and-parallel subgoal closures are copied out for stealing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShipPolicy {
+    /// Copy closures only when idle workers exist (&ACE-style local goal
+    /// stacks; the default — one-worker runs never copy).
+    #[default]
+    Demand,
+    /// Copy every shipped branch at frame creation (simpler, pays the
+    /// copy even when nobody steals — kept for ablation).
+    Eager,
+}
+
+/// Which public or-tree node idle workers draw work from first
+/// (the classic Aurora scheduling debate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrDispatch {
+    /// Deepest-first (dispatch on bottommost): long private runs, less
+    /// task switching.
+    #[default]
+    Deepest,
+    /// Closest to the root (dispatch on topmost): biggest subtrees first.
+    Topmost,
+}
+
+/// Which execution driver to run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverKind {
+    /// Deterministic virtual-time simulation (used for all paper
+    /// reproductions; see crate docs).
+    #[default]
+    Sim,
+    /// Real OS threads (correctness validation; wall-clock on multicore).
+    Threads,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of workers ("agents"/"processors" in the paper's tables).
+    pub workers: usize,
+    pub opts: OptFlags,
+    pub driver: DriverKind,
+    /// Cost-unit prices (virtual time).
+    pub costs: CostModel,
+    /// Maximum cost a worker may accumulate in one uninterrupted phase
+    /// before yielding to the driver (bounds cancellation latency and
+    /// interleaving granularity in the simulator).
+    pub quantum: u64,
+    /// Stop after this many solutions of the root query (`None` = all).
+    pub max_solutions: Option<usize>,
+    /// And-parallel goal-shipping policy.
+    pub ship: ShipPolicy,
+    /// Or-parallel work-finding order.
+    pub or_dispatch: OrDispatch,
+    /// Safety valve: abort if total virtual time exceeds this bound
+    /// (catches engine livelocks in tests). `None` = unbounded.
+    pub virtual_time_limit: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            opts: OptFlags::none(),
+            driver: DriverKind::Sim,
+            costs: CostModel::default(),
+            quantum: 400,
+            max_solutions: Some(1),
+            ship: ShipPolicy::default(),
+            or_dispatch: OrDispatch::default(),
+            virtual_time_limit: Some(200_000_000_000),
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    pub fn with_opts(mut self, opts: OptFlags) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    pub fn with_driver(mut self, driver: DriverKind) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    pub fn all_solutions(mut self) -> Self {
+        self.max_solutions = None;
+        self
+    }
+
+    pub fn first_solution(mut self) -> Self {
+        self.max_solutions = Some(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(OptFlags::none().label(), "none");
+        assert_eq!(OptFlags::all().label(), "lpco+lao+spo+pdo");
+        assert_eq!(OptFlags::lpco_only().label(), "lpco");
+    }
+
+    #[test]
+    fn sixteen_combinations_unique() {
+        let all = OptFlags::all_combinations();
+        assert_eq!(all.len(), 16);
+        let labels: std::collections::HashSet<String> =
+            all.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), 16);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = EngineConfig::default()
+            .with_workers(10)
+            .with_opts(OptFlags::all())
+            .all_solutions();
+        assert_eq!(c.workers, 10);
+        assert!(c.opts.pdo);
+        assert_eq!(c.max_solutions, None);
+    }
+}

@@ -1,0 +1,201 @@
+//! The virtual-time cost model.
+//!
+//! Each field is the price, in abstract cost units, of one engine
+//! operation. The defaults are calibrated to the *relative* magnitudes the
+//! paper describes rather than to any concrete hardware:
+//!
+//! * state-saving data structures (choice points, parcall frames, markers)
+//!   are **expensive** — "these extra data-structures can be quite heavy,
+//!   and can add considerable overhead to execution" (§2); markers in
+//!   particular "store various information" (§4.1);
+//! * elementary resolution work (unification steps, heap cells) is cheap;
+//! * scheduler interactions (stealing, publication, idle probing) carry a
+//!   synchronization premium.
+//!
+//! Every constant lives here so ablation benches can vary one knob at a
+//! time (`bench/ablation_costs.rs`).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost-unit prices for every chargeable engine operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    // -- sequential resolution --------------------------------------------
+    /// Dispatch of one goal (procedure call overhead).
+    pub call_dispatch: u64,
+    /// One elementary unification step (per node visited).
+    pub unify_step: u64,
+    /// One heap cell written (clause instantiation, term building, copy).
+    pub heap_cell: u64,
+    /// One trail entry undone on backtracking.
+    pub trail_undo: u64,
+    /// Clause-index lookup for a call.
+    pub index_lookup: u64,
+    /// One builtin evaluation (plus per-step arithmetic below).
+    pub builtin: u64,
+    /// One arithmetic operator application.
+    pub arith_op: u64,
+
+    // -- nondeterminism ----------------------------------------------------
+    /// Allocating a choice point.
+    pub choice_point_alloc: u64,
+    /// Restoring a choice point on backtracking (minus trail costs).
+    pub choice_point_retry: u64,
+    /// LAO applicability check performed at choice-point allocation.
+    pub lao_check: u64,
+    /// In-place reuse of a choice point under LAO (vs a fresh allocation).
+    pub lao_reuse: u64,
+
+    // -- and-parallelism ----------------------------------------------------
+    /// Allocating a parcall frame (base price).
+    pub parcall_frame_alloc: u64,
+    /// Per-slot price within a parcall frame.
+    pub parcall_slot: u64,
+    /// LPCO applicability check at a nested parallel call.
+    pub lpco_check: u64,
+    /// Merging slots into an ancestor frame under LPCO (per slot).
+    pub lpco_merge_slot: u64,
+    /// Allocating an input or end marker.
+    pub marker_alloc: u64,
+    /// SPO procrastination bookkeeping when a marker is *not* allocated.
+    pub spo_track: u64,
+    /// PDO adjacency check on scheduler exit.
+    pub pdo_check: u64,
+    /// Traversing one level of nested parcall frames during failure
+    /// propagation or backtracking.
+    pub frame_traverse: u64,
+    /// Joining/synchronizing on a finished slot.
+    pub slot_join: u64,
+
+    // -- or-parallelism ------------------------------------------------------
+    /// Publishing a choice point into the shared or-tree (base price;
+    /// copied state adds `heap_cell` per cell).
+    pub publish_node: u64,
+    /// Visiting one or-tree node while hunting for work.
+    pub tree_visit: u64,
+    /// Taking an alternative from a shared node (claim + bookkeeping).
+    pub claim_alternative: u64,
+    /// Reconstructing machine state from a published closure (base price;
+    /// copied state adds `heap_cell` per cell).
+    pub install_state: u64,
+
+    // -- scheduling / synchronization ---------------------------------------
+    /// Pushing or popping the shared work pool.
+    pub queue_op: u64,
+    /// Stealing a task from another worker.
+    pub steal: u64,
+    /// One idle probe (busy-wait iteration) while looking for work.
+    pub idle_probe: u64,
+    /// Acquiring a contended lock (uncontended costs are folded into the
+    /// operation prices above).
+    pub lock: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            call_dispatch: 3,
+            unify_step: 1,
+            heap_cell: 1,
+            trail_undo: 1,
+            index_lookup: 2,
+            builtin: 3,
+            arith_op: 1,
+
+            choice_point_alloc: 18,
+            choice_point_retry: 6,
+            lao_check: 2,
+            lao_reuse: 6,
+
+            parcall_frame_alloc: 40,
+            parcall_slot: 8,
+            lpco_check: 2,
+            lpco_merge_slot: 4,
+            marker_alloc: 30,
+            spo_track: 2,
+            pdo_check: 2,
+            frame_traverse: 48,
+            slot_join: 6,
+
+            publish_node: 35,
+            tree_visit: 8,
+            claim_alternative: 10,
+            install_state: 20,
+
+            queue_op: 6,
+            steal: 30,
+            idle_probe: 12,
+            lock: 5,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where every operation costs one unit — useful for pure
+    /// operation-count comparisons in tests.
+    pub fn unit() -> Self {
+        CostModel {
+            call_dispatch: 1,
+            unify_step: 1,
+            heap_cell: 1,
+            trail_undo: 1,
+            index_lookup: 1,
+            builtin: 1,
+            arith_op: 1,
+            choice_point_alloc: 1,
+            choice_point_retry: 1,
+            lao_check: 1,
+            lao_reuse: 1,
+            parcall_frame_alloc: 1,
+            parcall_slot: 1,
+            lpco_check: 1,
+            lpco_merge_slot: 1,
+            marker_alloc: 1,
+            spo_track: 1,
+            pdo_check: 1,
+            frame_traverse: 1,
+            slot_join: 1,
+            publish_node: 1,
+            tree_visit: 1,
+            claim_alternative: 1,
+            install_state: 1,
+            queue_op: 1,
+            steal: 1,
+            idle_probe: 1,
+            lock: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reflect_paper_magnitudes() {
+        let m = CostModel::default();
+        // markers and frames dominate elementary steps
+        assert!(m.marker_alloc > 10 * m.unify_step);
+        assert!(m.parcall_frame_alloc > m.choice_point_alloc);
+        // procrastination bookkeeping is much cheaper than the marker it
+        // replaces — otherwise SPO could not pay off
+        assert!(m.spo_track * 10 <= m.marker_alloc);
+        // LPCO's runtime check is "limited to very simple runtime checks"
+        assert!(m.lpco_check <= 4);
+    }
+
+    #[test]
+    fn unit_model_is_all_ones() {
+        let m = CostModel::unit();
+        assert_eq!(m.marker_alloc, 1);
+        assert_eq!(m.steal, 1);
+    }
+
+    #[test]
+    fn debug_formatting_names_fields() {
+        let m = CostModel::default();
+        let d = format!("{m:?}");
+        assert!(d.contains("marker_alloc"));
+        assert!(d.contains("tree_visit"));
+    }
+}

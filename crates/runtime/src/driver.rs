@@ -1,0 +1,349 @@
+//! Execution drivers: deterministic virtual-time simulation and real
+//! OS threads.
+//!
+//! Engines expose their workers as [`Agent`]s: objects that perform one
+//! bounded *phase* of work per call and report its virtual cost. Between
+//! phases, workers interact only through shared structures (work pools,
+//! parcall frames, the or-tree), so a driver that serializes phases in
+//! virtual-clock order ([`SimDriver`]) observes the same interleaving
+//! semantics a real multiprocessor would, while remaining exactly
+//! reproducible on a single host core.
+//!
+//! [`ThreadsDriver`] runs the identical agents on real threads; engines
+//! must therefore be `Send` and use real synchronization internally, which
+//! the test suite exercises.
+
+use std::time::{Duration, Instant};
+
+/// The result of one agent phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Performed useful work costing this many units.
+    Busy(u64),
+    /// Probed for work and found none; cost of the probe.
+    Idle(u64),
+    /// This agent will never run again (global completion observed).
+    Done,
+}
+
+/// A cooperative engine worker.
+pub trait Agent: Send {
+    /// Perform one bounded phase of work.
+    fn phase(&mut self) -> Phase;
+}
+
+/// Outcome of a driver run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// max over workers of (busy + idle) virtual time — the simulated
+    /// execution time reported in all reproduced tables.
+    pub virtual_time: u64,
+    /// Per-worker final clocks.
+    pub clocks: Vec<u64>,
+    /// Host wall-clock duration of the run.
+    pub wall: Duration,
+    /// Set when the driver aborted (livelock guard or time limit).
+    pub aborted: Option<String>,
+}
+
+/// Deterministic virtual-time driver: always advances the worker with the
+/// smallest clock.
+pub struct SimDriver {
+    /// Abort when any clock exceeds this bound (livelock/bug guard).
+    pub time_limit: Option<u64>,
+}
+
+impl Default for SimDriver {
+    fn default() -> Self {
+        SimDriver {
+            time_limit: Some(200_000_000_000),
+        }
+    }
+}
+
+impl SimDriver {
+    pub fn new(time_limit: Option<u64>) -> Self {
+        SimDriver { time_limit }
+    }
+
+    pub fn run(&self, mut agents: Vec<Box<dyn Agent + '_>>) -> RunOutcome {
+        let start = Instant::now();
+        let n = agents.len();
+        let mut clocks = vec![0u64; n];
+        let mut done = vec![false; n];
+        let mut live = n;
+        let mut aborted = None;
+        // Livelock guard: consecutive all-idle rounds with no progress.
+        let mut idle_streak = 0u64;
+        let idle_limit = 1_000_000u64.max(10_000 * n as u64);
+
+        while live > 0 {
+            // Pick the live agent with the smallest clock (ties: lowest id,
+            // which keeps the schedule deterministic).
+            let mut who = usize::MAX;
+            let mut best = u64::MAX;
+            for i in 0..n {
+                if !done[i] && clocks[i] < best {
+                    best = clocks[i];
+                    who = i;
+                }
+            }
+            match agents[who].phase() {
+                Phase::Busy(c) => {
+                    clocks[who] += c.max(1);
+                    idle_streak = 0;
+                }
+                Phase::Idle(c) => {
+                    clocks[who] += c.max(1);
+                    // Fast-forward past redundant probes: nothing can have
+                    // changed before the next other live agent acts.
+                    let next_other = (0..n)
+                        .filter(|&i| i != who && !done[i])
+                        .map(|i| clocks[i])
+                        .min();
+                    if let Some(t) = next_other {
+                        if clocks[who] < t {
+                            clocks[who] = t;
+                        }
+                    }
+                    idle_streak += 1;
+                    if idle_streak > idle_limit {
+                        aborted = Some(format!(
+                            "livelock: {idle_streak} consecutive idle phases"
+                        ));
+                        break;
+                    }
+                }
+                Phase::Done => {
+                    done[who] = true;
+                    live -= 1;
+                    idle_streak = 0;
+                }
+            }
+            if let Some(limit) = self.time_limit {
+                if clocks[who] > limit {
+                    aborted = Some(format!(
+                        "virtual time limit exceeded ({} > {limit})",
+                        clocks[who]
+                    ));
+                    break;
+                }
+            }
+        }
+
+        RunOutcome {
+            virtual_time: clocks.iter().copied().max().unwrap_or(0),
+            clocks,
+            wall: start.elapsed(),
+            aborted,
+        }
+    }
+}
+
+/// Real-threads driver: each agent runs on its own OS thread until `Done`.
+pub struct ThreadsDriver;
+
+impl ThreadsDriver {
+    pub fn run(agents: Vec<Box<dyn Agent + Send + '_>>) -> RunOutcome {
+        let start = Instant::now();
+        let clocks: Vec<u64> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = agents
+                .into_iter()
+                .map(|mut agent| {
+                    scope.spawn(move |_| {
+                        let mut clock = 0u64;
+                        loop {
+                            match agent.phase() {
+                                Phase::Busy(c) => clock += c,
+                                Phase::Idle(c) => {
+                                    clock += c;
+                                    std::thread::yield_now();
+                                }
+                                Phase::Done => break,
+                            }
+                        }
+                        clock
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("worker thread panicked");
+
+        RunOutcome {
+            virtual_time: clocks.iter().copied().max().unwrap_or(0),
+            clocks,
+            wall: start.elapsed(),
+            aborted: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Toy agent: performs `work` phases of cost `each`, then Done.
+    struct Toy {
+        work: u64,
+        each: u64,
+        log: Arc<AtomicU64>,
+    }
+
+    impl Agent for Toy {
+        fn phase(&mut self) -> Phase {
+            if self.work == 0 {
+                return Phase::Done;
+            }
+            self.work -= 1;
+            self.log.fetch_add(1, Ordering::Relaxed);
+            Phase::Busy(self.each)
+        }
+    }
+
+    #[test]
+    fn sim_runs_all_agents_to_completion() {
+        let log = Arc::new(AtomicU64::new(0));
+        let agents: Vec<Box<dyn Agent>> = (0..4)
+            .map(|_| {
+                Box::new(Toy {
+                    work: 10,
+                    each: 5,
+                    log: log.clone(),
+                }) as Box<dyn Agent>
+            })
+            .collect();
+        let out = SimDriver::default().run(agents);
+        assert_eq!(log.load(Ordering::Relaxed), 40);
+        assert_eq!(out.virtual_time, 50);
+        assert!(out.aborted.is_none());
+    }
+
+    #[test]
+    fn sim_virtual_time_is_max_clock() {
+        let log = Arc::new(AtomicU64::new(0));
+        let agents: Vec<Box<dyn Agent>> = vec![
+            Box::new(Toy {
+                work: 1,
+                each: 100,
+                log: log.clone(),
+            }),
+            Box::new(Toy {
+                work: 1,
+                each: 10,
+                log: log.clone(),
+            }),
+        ];
+        let out = SimDriver::default().run(agents);
+        assert_eq!(out.virtual_time, 100);
+        assert_eq!(out.clocks, vec![100, 10]);
+    }
+
+    /// An agent that idles until a shared counter reaches a threshold
+    /// raised by the other agent, then finishes.
+    struct Waiter {
+        shared: Arc<AtomicU64>,
+        need: u64,
+    }
+
+    impl Agent for Waiter {
+        fn phase(&mut self) -> Phase {
+            if self.shared.load(Ordering::Acquire) >= self.need {
+                Phase::Done
+            } else {
+                Phase::Idle(3)
+            }
+        }
+    }
+
+    struct Producer {
+        shared: Arc<AtomicU64>,
+        left: u64,
+    }
+
+    impl Agent for Producer {
+        fn phase(&mut self) -> Phase {
+            if self.left == 0 {
+                return Phase::Done;
+            }
+            self.left -= 1;
+            self.shared.fetch_add(1, Ordering::Release);
+            Phase::Busy(20)
+        }
+    }
+
+    #[test]
+    fn sim_idle_agent_waits_for_producer() {
+        let shared = Arc::new(AtomicU64::new(0));
+        let agents: Vec<Box<dyn Agent>> = vec![
+            Box::new(Producer {
+                shared: shared.clone(),
+                left: 5,
+            }),
+            Box::new(Waiter {
+                shared: shared.clone(),
+                need: 5,
+            }),
+        ];
+        let out = SimDriver::default().run(agents);
+        assert!(out.aborted.is_none());
+        // waiter's clock advanced while idling but never past the producer
+        // by more than one fast-forward hop
+        assert!(out.clocks[1] <= out.clocks[0] + 3);
+    }
+
+    #[test]
+    fn sim_detects_livelock() {
+        struct Forever;
+        impl Agent for Forever {
+            fn phase(&mut self) -> Phase {
+                Phase::Idle(1)
+            }
+        }
+        let out = SimDriver::default().run(vec![Box::new(Forever)]);
+        assert!(out.aborted.is_some());
+    }
+
+    #[test]
+    fn sim_is_deterministic() {
+        let run = || {
+            let shared = Arc::new(AtomicU64::new(0));
+            let agents: Vec<Box<dyn Agent>> = vec![
+                Box::new(Producer {
+                    shared: shared.clone(),
+                    left: 7,
+                }),
+                Box::new(Waiter {
+                    shared: shared.clone(),
+                    need: 7,
+                }),
+                Box::new(Toy {
+                    work: 3,
+                    each: 11,
+                    log: Arc::new(AtomicU64::new(0)),
+                }),
+            ];
+            SimDriver::default().run(agents).clocks
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threads_driver_completes() {
+        let log = Arc::new(AtomicU64::new(0));
+        let agents: Vec<Box<dyn Agent + Send>> = (0..3)
+            .map(|_| {
+                Box::new(Toy {
+                    work: 100,
+                    each: 1,
+                    log: log.clone(),
+                }) as Box<dyn Agent + Send>
+            })
+            .collect();
+        let out = ThreadsDriver::run(agents);
+        assert_eq!(log.load(Ordering::Relaxed), 300);
+        assert_eq!(out.virtual_time, 100);
+    }
+}

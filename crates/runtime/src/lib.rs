@@ -1,0 +1,32 @@
+//! # ace-runtime — parallel runtime substrate
+//!
+//! Configuration, cost accounting and execution drivers shared by the
+//! and-parallel and or-parallel engines.
+//!
+//! ## The Sequent Symmetry substitution
+//!
+//! The paper's evaluation ran on a 10-processor Sequent Symmetry. This
+//! reproduction instead measures on a **deterministic virtual-time
+//! multiprocessor**: every engine operation charges units from a
+//! [`cost::CostModel`] to its worker's virtual clock, and the
+//! [`driver::SimDriver`] advances the worker whose clock is smallest, so
+//! N-worker interleavings are simulated faithfully (including busy-wait
+//! idling while looking for work) on any host — results are exact,
+//! repeatable, and independent of host core count.
+//!
+//! The same engines also run under [`driver::ThreadsDriver`] on real OS
+//! threads (crossbeam + parking_lot); tests use it to validate that engine
+//! logic is correct under true concurrency, and on multicore hosts it
+//! reports wall-clock times.
+
+pub mod cancel;
+pub mod config;
+pub mod cost;
+pub mod driver;
+pub mod stats;
+
+pub use cancel::CancelToken;
+pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, ShipPolicy};
+pub use cost::CostModel;
+pub use driver::{Agent, Phase, RunOutcome, SimDriver, ThreadsDriver};
+pub use stats::Stats;

@@ -1,0 +1,170 @@
+//! Per-worker execution statistics.
+//!
+//! Every counter corresponds to an observable the paper's argument rests
+//! on: how many heavy structures were allocated vs elided, how much tree
+//! traversal backtracking and work-finding performed, and how much was
+//! copied. The `tables` harness prints these next to the virtual times so
+//! the *mechanism* of each improvement is visible, not just the outcome.
+
+use std::ops::AddAssign;
+
+/// Flat counter sheet. All counts are per-worker and merged with `+=`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Virtual cost units charged (the worker's busy time).
+    pub cost: u64,
+    /// Cost units spent idle-probing for work.
+    pub idle_cost: u64,
+
+    // resolution
+    pub calls: u64,
+    pub unify_steps: u64,
+    pub heap_cells: u64,
+    pub backtracks: u64,
+    pub trail_undos: u64,
+
+    // nondeterminism structures
+    pub choice_points: u64,
+    pub cp_reused_lao: u64,
+
+    // and-parallelism structures
+    pub parcall_frames: u64,
+    pub parcall_slots: u64,
+    pub slots_merged_lpco: u64,
+    pub frames_elided_lpco: u64,
+    pub markers_allocated: u64,
+    pub markers_elided_spo: u64,
+    pub pdo_merges: u64,
+    pub frame_traversals: u64,
+    pub slot_failures: u64,
+    pub redo_rounds: u64,
+
+    // or-parallelism
+    pub nodes_published: u64,
+    pub alternatives_claimed: u64,
+    pub tree_visits: u64,
+
+    // scheduling
+    pub tasks_stolen: u64,
+    pub idle_probes: u64,
+    pub cells_copied: u64,
+
+    // outcomes
+    pub solutions: u64,
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Charge `units` of busy virtual time.
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        self.cost += units;
+    }
+
+    /// Charge `units` of idle (work-hunting) virtual time.
+    #[inline]
+    pub fn charge_idle(&mut self, units: u64) {
+        self.idle_cost += units;
+    }
+
+    /// Total virtual time (busy + idle).
+    #[inline]
+    pub fn total_cost(&self) -> u64 {
+        self.cost + self.idle_cost
+    }
+
+    /// Render a compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "cost={} idle={} calls={} cps={} (lao-reused {}) frames={} \
+             (lpco-merged {}) markers={} (spo-elided {}) pdo={} stolen={} \
+             published={} visits={} copied={} backtracks={}",
+            self.cost,
+            self.idle_cost,
+            self.calls,
+            self.choice_points,
+            self.cp_reused_lao,
+            self.parcall_frames,
+            self.slots_merged_lpco,
+            self.markers_allocated,
+            self.markers_elided_spo,
+            self.pdo_merges,
+            self.tasks_stolen,
+            self.nodes_published,
+            self.tree_visits,
+            self.cells_copied,
+            self.backtracks,
+        )
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, o: Stats) {
+        self.cost += o.cost;
+        self.idle_cost += o.idle_cost;
+        self.calls += o.calls;
+        self.unify_steps += o.unify_steps;
+        self.heap_cells += o.heap_cells;
+        self.backtracks += o.backtracks;
+        self.trail_undos += o.trail_undos;
+        self.choice_points += o.choice_points;
+        self.cp_reused_lao += o.cp_reused_lao;
+        self.parcall_frames += o.parcall_frames;
+        self.parcall_slots += o.parcall_slots;
+        self.slots_merged_lpco += o.slots_merged_lpco;
+        self.frames_elided_lpco += o.frames_elided_lpco;
+        self.markers_allocated += o.markers_allocated;
+        self.markers_elided_spo += o.markers_elided_spo;
+        self.pdo_merges += o.pdo_merges;
+        self.frame_traversals += o.frame_traversals;
+        self.slot_failures += o.slot_failures;
+        self.redo_rounds += o.redo_rounds;
+        self.nodes_published += o.nodes_published;
+        self.alternatives_claimed += o.alternatives_claimed;
+        self.tree_visits += o.tree_visits;
+        self.tasks_stolen += o.tasks_stolen;
+        self.idle_probes += o.idle_probes;
+        self.cells_copied += o.cells_copied;
+        self.solutions += o.solutions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Stats::new();
+        a.charge(10);
+        a.calls = 3;
+        let mut b = Stats::new();
+        b.charge(5);
+        b.calls = 4;
+        b.markers_allocated = 2;
+        a += b;
+        assert_eq!(a.cost, 15);
+        assert_eq!(a.calls, 7);
+        assert_eq!(a.markers_allocated, 2);
+    }
+
+    #[test]
+    fn totals() {
+        let mut s = Stats::new();
+        s.charge(7);
+        s.charge_idle(3);
+        assert_eq!(s.total_cost(), 10);
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let s = Stats::new();
+        let text = s.summary();
+        for key in ["lao-reused", "lpco-merged", "spo-elided", "pdo="] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

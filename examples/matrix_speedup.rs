@@ -1,0 +1,61 @@
+//! And-parallel matrix multiplication: a miniature speedup study showing
+//! how each optimization contributes at increasing worker counts.
+//!
+//! ```sh
+//! cargo run --release --example matrix_speedup -- 12
+//! #                                               matrix size (n x n)
+//! ```
+
+use ace_core::{Ace, Mode};
+use ace_programs::gen;
+use ace_runtime::{EngineConfig, OptFlags};
+
+fn main() -> Result<(), String> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    let b = ace_programs::benchmark("matrix").expect("corpus");
+    let ace = Ace::load(&(b.program)(n))?;
+    let query = format!(
+        "matrix({}, {}, C)",
+        gen::matrix(n, n, 5),
+        gen::matrix(n, n, 9)
+    );
+
+    let seq = ace.run(Mode::Sequential, &query, &EngineConfig::default())?;
+    println!("{n}x{n} matrix multiplication; sequential time {}\n", seq.virtual_time);
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "workers", "none", "spo", "pdo", "spo+pdo"
+    );
+
+    let variants = [
+        OptFlags::none(),
+        OptFlags::spo_only(),
+        OptFlags::pdo_only(),
+        OptFlags {
+            spo: true,
+            pdo: true,
+            ..OptFlags::none()
+        },
+    ];
+    for workers in [1, 2, 4, 6, 8, 10] {
+        print!("{workers:>8}");
+        for opts in variants {
+            let cfg = EngineConfig::default()
+                .with_workers(workers)
+                .with_opts(opts);
+            let r = ace.run(Mode::AndParallel, &query, &cfg)?;
+            print!(" {:>12}", r.virtual_time);
+        }
+        println!();
+    }
+
+    println!(
+        "\n(speedup = column value at 1 worker divided by value at N; \
+         lower is better)"
+    );
+    Ok(())
+}

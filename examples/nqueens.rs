@@ -1,0 +1,57 @@
+//! N-queens under the or-parallel engine: demonstrates or-parallel search
+//! and the Last Alternative Optimization's effect on the public tree.
+//!
+//! ```sh
+//! cargo run --release --example nqueens -- 7 8
+//! #                                        N  workers
+//! ```
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+
+fn main() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let b = ace_programs::benchmark("queen1").expect("corpus");
+    let ace = Ace::load(&(b.program)(n))?;
+    let query = format!("queens1({n}, Qs)");
+
+    println!("{n}-queens, {workers} workers, all solutions\n");
+    let mut first_count = None;
+    for (label, opts) in [
+        ("unoptimized", OptFlags::none()),
+        ("with LAO   ", OptFlags::lao_only()),
+    ] {
+        let cfg = EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(opts)
+            .all_solutions();
+        let r = ace.run(Mode::OrParallel, &query, &cfg)?;
+        println!(
+            "{label}: {} solutions, virtual time {}, public tree depth {}, \
+             nodes published {}, nodes reused {}, tree visits {}",
+            r.solutions.len(),
+            r.virtual_time,
+            r.tree_depth.unwrap_or(0),
+            r.stats.nodes_published,
+            r.stats.cp_reused_lao,
+            r.stats.tree_visits,
+        );
+        if let Some(c) = first_count {
+            assert_eq!(c, r.solutions.len(), "LAO changed the solution count!");
+        }
+        first_count = Some(r.solutions.len());
+    }
+
+    // Show a solution.
+    let cfg = EngineConfig::default().with_workers(1).first_solution();
+    let r = ace.run(Mode::OrParallel, &query, &cfg)?;
+    if let Some(s) = r.solutions.first() {
+        println!("\nfirst solution: {s}");
+    } else {
+        println!("\nno solutions for N={n}");
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! A tiny interactive Prolog REPL over the ACE engines.
+//!
+//! ```sh
+//! cargo run --release --example repl -- crates/programs/pl/lists.pl
+//! ```
+//!
+//! Commands:
+//! * `?- Goal.` — solve sequentially (all solutions)
+//! * `:and N ?- Goal.` — solve on the and-parallel engine with N workers
+//! * `:or N ?- Goal.` — solve on the or-parallel engine with N workers
+//! * `:quit`
+
+use std::io::{BufRead, Write};
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+
+fn main() {
+    let mut program = String::new();
+    for path in std::env::args().skip(1) {
+        match std::fs::read_to_string(&path) {
+            Ok(src) => program.push_str(&src),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if program.is_empty() {
+        program.push_str(
+            "member(X, [X|_]).\nmember(X, [_|T]) :- member(X, T).\n",
+        );
+        println!("(no program files given; loaded member/2 as a demo)");
+    }
+    let ace = match Ace::load(&program) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("load error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ACE repl — `?- goal.` to query, `:quit` to exit.");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        let (mode, workers, rest) = parse_command(line);
+        let goal = rest
+            .trim()
+            .trim_start_matches("?-")
+            .trim()
+            .trim_end_matches('.');
+        if goal.is_empty() {
+            println!("usage: ?- goal.   or   :and 4 ?- goal.");
+            continue;
+        }
+        let cfg = EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(OptFlags::all())
+            .all_solutions();
+        match ace.run(mode, goal, &cfg) {
+            Ok(r) => {
+                if r.solutions.is_empty() {
+                    println!("no.");
+                } else {
+                    for s in &r.solutions {
+                        println!("{}", if s.is_empty() { "yes." } else { s });
+                    }
+                    println!(
+                        "({} solution(s), virtual time {})",
+                        r.solutions.len(),
+                        r.virtual_time
+                    );
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn parse_command(line: &str) -> (Mode, usize, &str) {
+    if let Some(rest) = line.strip_prefix(":and") {
+        let mut parts = rest.trim_start().splitn(2, ' ');
+        let n = parts.next().and_then(|p| p.parse().ok()).unwrap_or(4);
+        return (Mode::AndParallel, n, parts.next().unwrap_or(""));
+    }
+    if let Some(rest) = line.strip_prefix(":or") {
+        let mut parts = rest.trim_start().splitn(2, ' ');
+        let n = parts.next().and_then(|p| p.parse().ok()).unwrap_or(4);
+        return (Mode::OrParallel, n, parts.next().unwrap_or(""));
+    }
+    (Mode::Sequential, 1, line)
+}

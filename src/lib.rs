@@ -1,0 +1,17 @@
+//! # parace — Optimization Schemas for Parallel Nondeterministic Systems
+//!
+//! Facade crate of the IPPS'97 reproduction workspace. Re-exports the
+//! public API of every subsystem crate so examples, integration tests and
+//! downstream users have a single import root.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ace_core as core;
+pub use ace_logic as logic;
+pub use ace_machine as machine;
+pub use ace_programs as programs;
+pub use ace_runtime as runtime;
+
+pub use ace_and as and_engine;
+pub use ace_fd as fd;
+pub use ace_or as or_engine;

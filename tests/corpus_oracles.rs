@@ -1,0 +1,181 @@
+//! Randomized oracles for the benchmark corpus: the Prolog programs must
+//! compute what their Rust reference implementations compute, under the
+//! parallel engine with all optimizations enabled.
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+use proptest::prelude::*;
+
+fn cfg(workers: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(OptFlags::all())
+        .first_solution()
+}
+
+fn render_list(items: &[i64]) -> String {
+    format!(
+        "[{}]",
+        items
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// quick_sort sorts exactly like Rust's sort.
+    #[test]
+    fn qsort_matches_rust_sort(
+        mut xs in prop::collection::vec(0i64..100, 0..25),
+        workers in 1usize..5,
+    ) {
+        let b = ace_programs::benchmark("quick_sort").unwrap();
+        let ace = Ace::load(&(b.program)(4)).unwrap();
+        let q = format!("qsort({}, S)", render_list(&xs));
+        let r = ace.run(Mode::AndParallel, &q, &cfg(workers)).unwrap();
+        xs.sort();
+        prop_assert_eq!(&r.solutions, &vec![format!("S={}", render_list(&xs))]);
+    }
+
+    /// The parallel map is the pointwise map of its transformer.
+    #[test]
+    fn map_is_pointwise(
+        xs in prop::collection::vec(0i64..1000, 0..15),
+        workers in 1usize..5,
+    ) {
+        let b = ace_programs::benchmark("map2").unwrap();
+        let ace = Ace::load(&(b.program)(4)).unwrap();
+        // reference for work/3: iterate x := (x*3+1) mod 1000, 160 times
+        let expect: Vec<i64> = xs
+            .iter()
+            .map(|&x0| {
+                let mut x = x0;
+                for _ in 0..160 {
+                    x = (x * 3 + 1) % 1000;
+                }
+                x
+            })
+            .collect();
+        let q = format!("map({}, Out)", render_list(&xs));
+        let r = ace.run(Mode::AndParallel, &q, &cfg(workers)).unwrap();
+        prop_assert_eq!(
+            &r.solutions,
+            &vec![format!("Out={}", render_list(&expect))]
+        );
+    }
+
+    /// poccur counts occurrences exactly.
+    #[test]
+    fn occur_counts(
+        lists in prop::collection::vec(
+            prop::collection::vec(0i64..10, 0..12),
+            1..6
+        ),
+        needle in 0i64..10,
+        workers in 1usize..5,
+    ) {
+        let b = ace_programs::benchmark("occur").unwrap();
+        let ace = Ace::load(&(b.program)(3)).unwrap();
+        let expect: usize = lists
+            .iter()
+            .flat_map(|l| l.iter())
+            .filter(|&&x| x == needle)
+            .count();
+        let rendered = format!(
+            "[{}]",
+            lists
+                .iter()
+                .map(|l| render_list(l))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let q = format!("poccur({rendered}, {needle}, T)");
+        let r = ace.run(Mode::AndParallel, &q, &cfg(workers)).unwrap();
+        prop_assert_eq!(&r.solutions, &vec![format!("T={expect}")]);
+    }
+}
+
+/// Hanoi produces exactly 2^n − 1 moves, and the move sequence is legal.
+#[test]
+fn hanoi_move_count_and_legality() {
+    let b = ace_programs::benchmark("hanoi").unwrap();
+    let ace = Ace::load(&(b.program)(5)).unwrap();
+    for n in 1..=7usize {
+        let r = ace
+            .run(Mode::AndParallel, &format!("hanoi({n}, M)"), &cfg(3))
+            .unwrap();
+        assert_eq!(r.solutions.len(), 1);
+        let moves = r.solutions[0].matches("mv(").count();
+        assert_eq!(moves, (1 << n) - 1, "hanoi({n})");
+    }
+}
+
+/// Takeuchi agrees with the Rust reference.
+#[test]
+fn takeuchi_matches_reference() {
+    fn tak(x: i64, y: i64, z: i64) -> i64 {
+        if x <= y {
+            z
+        } else {
+            tak(
+                tak(x - 1, y, z),
+                tak(y - 1, z, x),
+                tak(z - 1, x, y),
+            )
+        }
+    }
+    let b = ace_programs::benchmark("takeuchi").unwrap();
+    let ace = Ace::load(&(b.program)(5)).unwrap();
+    for (x, y, z) in [(4i64, 2, 0), (6, 3, 0), (8, 4, 2), (7, 5, 1)] {
+        let r = ace
+            .run(
+                Mode::AndParallel,
+                &format!("tak({x}, {y}, {z}, A)"),
+                &cfg(4),
+            )
+            .unwrap();
+        assert_eq!(r.solutions, vec![format!("A={}", tak(x, y, z))]);
+    }
+}
+
+/// Known N-queens solution counts through the or-engine.
+#[test]
+fn queens_known_counts() {
+    let b = ace_programs::benchmark("queen1").unwrap();
+    for (n, count) in [(4usize, 2usize), (5, 10), (6, 4), (7, 40)] {
+        let ace = Ace::load(&(b.program)(n)).unwrap();
+        let mut c = EngineConfig::default()
+            .with_workers(4)
+            .with_opts(OptFlags::lao_only());
+        c.max_solutions = None;
+        let r = ace
+            .run(Mode::OrParallel, &format!("queens1({n}, Qs)"), &c)
+            .unwrap();
+        assert_eq!(r.solutions.len(), count, "queens({n})");
+    }
+}
+
+/// The FD and Prolog formulations of N-queens agree on solution counts.
+#[test]
+fn fd_and_prolog_queens_agree() {
+    let b = ace_programs::benchmark("queen1").unwrap();
+    for n in 4..=7usize {
+        let ace = Ace::load(&(b.program)(n)).unwrap();
+        let mut c = EngineConfig::default().with_workers(3);
+        c.max_solutions = None;
+        let prolog = ace
+            .run(Mode::OrParallel, &format!("queens1({n}, Qs)"), &c)
+            .unwrap()
+            .solutions
+            .len();
+        let fd = ace_fd::Fd::new(ace_fd::queens(n))
+            .solve_all(&c)
+            .solutions
+            .len();
+        assert_eq!(prolog, fd, "n={n}");
+    }
+}

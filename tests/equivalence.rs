@@ -1,0 +1,153 @@
+//! Cross-engine equivalence: every corpus benchmark must produce exactly
+//! the same solutions under the sequential baseline, the and-parallel
+//! engine, and the or-parallel engine, for every optimization combination
+//! and several worker counts. This is the safety net behind the paper's
+//! requirement that optimizations "preserve the operational semantics".
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+
+fn cfg(workers: usize, opts: OptFlags, all: bool) -> EngineConfig {
+    let mut c = EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(opts);
+    c.max_solutions = if all { None } else { Some(1) };
+    c
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+/// Run one benchmark at its test size under every optimization combination
+/// and the given worker counts; compare against the sequential oracle.
+fn check_benchmark(name: &str, workers: &[usize]) {
+    let b = ace_programs::benchmark(name).unwrap();
+    let program = (b.program)(b.test_size);
+    let query = (b.query)(b.test_size);
+    let ace = Ace::load(&program).unwrap();
+
+    let oracle = ace
+        .sequential_solutions(&query)
+        .unwrap_or_else(|e| panic!("{name}: sequential failed: {e}"));
+
+    for &w in workers {
+        for opts in OptFlags::all_combinations() {
+            let r = ace
+                .run(b.mode, &query, &cfg(w, opts, b.all_solutions))
+                .unwrap_or_else(|e| {
+                    panic!("{name}: {} workers, {}: {e}", w, opts.label())
+                });
+            match b.mode {
+                Mode::AndParallel if b.all_solutions => {
+                    // and-parallel preserves sequential solution order
+                    assert_eq!(
+                        r.solutions,
+                        oracle,
+                        "{name} w={w} opts={}",
+                        opts.label()
+                    );
+                }
+                Mode::AndParallel => {
+                    assert_eq!(
+                        r.solutions.first(),
+                        oracle.first(),
+                        "{name} w={w} opts={}",
+                        opts.label()
+                    );
+                }
+                Mode::OrParallel => {
+                    // or-parallel explores in nondeterministic order
+                    if b.all_solutions {
+                        assert_eq!(
+                            sorted(r.solutions),
+                            sorted(oracle.clone()),
+                            "{name} w={w} opts={}",
+                            opts.label()
+                        );
+                    } else {
+                        assert_eq!(r.solutions.len(), 1.min(oracle.len()));
+                    }
+                }
+                Mode::Sequential => unreachable!(),
+            }
+        }
+    }
+}
+
+macro_rules! equivalence_test {
+    ($test:ident, $name:literal) => {
+        #[test]
+        fn $test() {
+            check_benchmark($name, &[1, 2, 4]);
+        }
+    };
+}
+
+equivalence_test!(map2_equivalent, "map2");
+equivalence_test!(map1_equivalent, "map1");
+equivalence_test!(occur_equivalent, "occur");
+equivalence_test!(matrix_equivalent, "matrix");
+equivalence_test!(matrix_bt_equivalent, "matrix_bt");
+equivalence_test!(pderiv_equivalent, "pderiv");
+equivalence_test!(pderiv_bt_equivalent, "pderiv_bt");
+equivalence_test!(annotator_equivalent, "annotator");
+equivalence_test!(annotator_bt_equivalent, "annotator_bt");
+equivalence_test!(takeuchi_equivalent, "takeuchi");
+equivalence_test!(hanoi_equivalent, "hanoi");
+equivalence_test!(bt_cluster_equivalent, "bt_cluster");
+equivalence_test!(quick_sort_equivalent, "quick_sort");
+equivalence_test!(queen1_equivalent, "queen1");
+equivalence_test!(queen2_equivalent, "queen2");
+equivalence_test!(puzzle_equivalent, "puzzle");
+equivalence_test!(ancestors_equivalent, "ancestors");
+equivalence_test!(members_equivalent, "members");
+equivalence_test!(maps_equivalent, "maps");
+
+/// The and-parallel engine must also enumerate *all* solutions of a
+/// nondeterministic parallel conjunction in sequential order.
+#[test]
+fn and_parallel_all_solutions_cross_product() {
+    let ace = Ace::load(
+        r#"
+        p(1). p(2). p(3).
+        q(a). q(b).
+        r(X, Y, Z) :- (p(X) & q(Y) & p(Z)).
+        "#,
+    )
+    .unwrap();
+    let oracle = ace.sequential_solutions("r(X, Y, Z)").unwrap();
+    assert_eq!(oracle.len(), 18);
+    for w in [1, 3] {
+        for opts in [OptFlags::none(), OptFlags::all()] {
+            let r = ace
+                .run(Mode::AndParallel, "r(X, Y, Z)", &cfg(w, opts, true))
+                .unwrap();
+            assert_eq!(r.solutions, oracle, "w={w} opts={}", opts.label());
+        }
+    }
+}
+
+/// Threads driver spot check (full matrix is sim-only to keep CI fast).
+#[test]
+fn threads_driver_spot_check() {
+    use ace_runtime::DriverKind;
+    let b = ace_programs::benchmark("map2").unwrap();
+    let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+    let query = (b.query)(b.test_size);
+    let oracle = ace.sequential_solutions(&query).unwrap();
+    let mut c = cfg(3, OptFlags::all(), false);
+    c.driver = DriverKind::Threads;
+    let r = ace.run(Mode::AndParallel, &query, &c).unwrap();
+    assert_eq!(r.solutions.first(), oracle.first());
+
+    let b = ace_programs::benchmark("members").unwrap();
+    let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+    let query = (b.query)(b.test_size);
+    let oracle = sorted(ace.sequential_solutions(&query).unwrap());
+    let mut c = cfg(3, OptFlags::lao_only(), true);
+    c.driver = DriverKind::Threads;
+    let r = ace.run(Mode::OrParallel, &query, &c).unwrap();
+    assert_eq!(sorted(r.solutions), oracle);
+}

@@ -1,0 +1,90 @@
+//! Design-choice policies are correctness-neutral and behave as designed:
+//!
+//! * `ShipPolicy::Eager` vs `Demand` — identical solutions; `Demand` never
+//!   copies goals on one worker;
+//! * `OrDispatch::Topmost` vs `Deepest` — identical solution multisets.
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags, OrDispatch, ShipPolicy};
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+#[test]
+fn ship_policies_agree_on_solutions() {
+    for name in ["map2", "takeuchi", "map1"] {
+        let b = ace_programs::benchmark(name).unwrap();
+        let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+        let query = (b.query)(b.test_size);
+        let mut results = Vec::new();
+        for ship in [ShipPolicy::Demand, ShipPolicy::Eager] {
+            for w in [1, 3] {
+                let mut c = EngineConfig::default()
+                    .with_workers(w)
+                    .with_opts(OptFlags::all());
+                c.ship = ship;
+                c.max_solutions = if b.all_solutions { None } else { Some(1) };
+                let r = ace.run(b.mode, &query, &c).unwrap();
+                results.push(r.solutions);
+            }
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "{name}");
+        }
+    }
+}
+
+#[test]
+fn demand_shipping_copies_nothing_on_one_worker() {
+    let ace = Ace::load(
+        r#"
+        w(X, Y) :- Y is X * 3.
+        row([], []).
+        row([X|T], [Y|T2]) :- w(X, Y) & row(T, T2).
+        "#,
+    )
+    .unwrap();
+    let q = "row([1,2,3,4,5,6,7,8], R)";
+    let run = |ship: ShipPolicy| {
+        let mut c = EngineConfig::default()
+            .with_workers(1)
+            .with_opts(OptFlags::all());
+        c.ship = ship;
+        ace.run(Mode::AndParallel, q, &c).unwrap()
+    };
+    let demand = run(ShipPolicy::Demand);
+    let eager = run(ShipPolicy::Eager);
+    assert_eq!(demand.solutions, eager.solutions);
+    assert_eq!(
+        demand.stats.cells_copied, 0,
+        "demand shipping must not copy at one worker"
+    );
+    assert!(eager.stats.cells_copied > 0);
+    assert!(demand.virtual_time < eager.virtual_time);
+}
+
+#[test]
+fn or_dispatch_orders_agree_on_solutions() {
+    for name in ["queen1", "members", "ancestors"] {
+        let b = ace_programs::benchmark(name).unwrap();
+        let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+        let query = (b.query)(b.test_size);
+        let mut baseline: Option<Vec<String>> = None;
+        for dispatch in [OrDispatch::Deepest, OrDispatch::Topmost] {
+            for opts in [OptFlags::none(), OptFlags::lao_only()] {
+                let mut c = EngineConfig::default()
+                    .with_workers(4)
+                    .with_opts(opts)
+                    .all_solutions();
+                c.or_dispatch = dispatch;
+                let got = sorted(ace.run(b.mode, &query, &c).unwrap().solutions);
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(b0) => assert_eq!(&got, b0, "{name} {dispatch:?}"),
+                }
+            }
+        }
+    }
+}

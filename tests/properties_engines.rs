@@ -1,0 +1,111 @@
+//! Property-based cross-engine equivalence over randomly generated
+//! workloads: the parallel engines must agree with the sequential solver
+//! on randomly shaped inputs, not just on the fixed corpus.
+
+use proptest::prelude::*;
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+
+fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(opts)
+        .all_solutions()
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random nondeterministic parallel conjunction: each subgoal picks
+    /// from its own fact set; cross-product enumeration must match the
+    /// sequential order exactly, for every optimization set.
+    #[test]
+    fn random_cross_products(
+        sizes in prop::collection::vec(1usize..4, 2..4),
+        workers in 1usize..5,
+        opt_idx in 0usize..16,
+    ) {
+        let mut program = String::new();
+        let mut goals = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            for v in 0..n {
+                program.push_str(&format!("p{i}({v}).\n"));
+            }
+            goals.push(format!("p{i}(X{i})"));
+        }
+        let query = goals.join(" & ");
+        let ace = Ace::load(&program).unwrap();
+        let oracle = ace.sequential_solutions(&query).unwrap();
+        let opts = OptFlags::all_combinations()[opt_idx];
+        let r = ace
+            .run(Mode::AndParallel, &query, &cfg(workers, opts))
+            .unwrap();
+        prop_assert_eq!(r.solutions, oracle);
+    }
+
+    /// Random member/filter searches under the or-engine agree with the
+    /// sequential solver as multisets, with and without LAO.
+    #[test]
+    fn random_or_searches(
+        items in prop::collection::vec(0i64..20, 1..12),
+        modulus in 1i64..5,
+        workers in 1usize..5,
+        lao in any::<bool>(),
+    ) {
+        let list = items
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let program = r#"
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+        "#;
+        let query = format!(
+            "member(X, [{list}]), 0 =:= X mod {modulus}"
+        );
+        let ace = Ace::load(program).unwrap();
+        let oracle = sorted(ace.sequential_solutions(&query).unwrap());
+        let opts = if lao { OptFlags::lao_only() } else { OptFlags::none() };
+        let r = ace
+            .run(Mode::OrParallel, &query, &cfg(workers, opts))
+            .unwrap();
+        prop_assert_eq!(sorted(r.solutions), oracle);
+    }
+
+    /// Random deterministic arithmetic pipelines through nested parallel
+    /// conjunctions compute the same value everywhere.
+    #[test]
+    fn random_parallel_arithmetic(
+        xs in prop::collection::vec(0i64..50, 2..8),
+        workers in 1usize..5,
+    ) {
+        let list = xs
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let program = r#"
+            sq([], []).
+            sq([X|T], [Y|T2]) :- step(X, Y) & sq(T, T2).
+            step(X, Y) :- Y is X * X + 1.
+            total([], 0).
+            total([X|T], S) :- total(T, S1), S is S1 + X.
+        "#;
+        let query = format!("sq([{list}], Out), total(Out, S)");
+        let ace = Ace::load(program).unwrap();
+        let oracle = ace.sequential_solutions(&query).unwrap();
+        for opts in [OptFlags::none(), OptFlags::all()] {
+            let r = ace
+                .run(Mode::AndParallel, &query, &cfg(workers, opts))
+                .unwrap();
+            prop_assert_eq!(&r.solutions, &oracle);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Shape tests: reproduce the paper's *structural* figures as assertions.
+//!
+//! * Figure 4 — with LPCO, `process_list/2`-style recursion runs in ONE
+//!   wide parcall frame instead of a chain of nested frames.
+//! * Figures 6/7 — the `member/2` search tree is a deep chain without LAO
+//!   and collapses to a shallow, wide node with it.
+//! * §4.1 — SPO allocates no markers for deterministic subgoals.
+//! * Figure 2's data structures exist and are counted.
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+
+fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(opts)
+        .all_solutions()
+}
+
+const PROCESS_LIST: &str = r#"
+    process(X, Y) :- Y is X * 10.
+    process_list([], []).
+    process_list([H|T], [HO|TO]) :- process(H, HO) & process_list(T, TO).
+"#;
+
+/// Figure 4: frame count n without LPCO, 1 with; slot count grows instead.
+#[test]
+fn figure4_lpco_flattens_recursion() {
+    let ace = Ace::load(PROCESS_LIST).unwrap();
+    let n = 8;
+    let list: Vec<String> = (1..=n).map(|i| i.to_string()).collect();
+    let q = format!("process_list([{}], Out)", list.join(","));
+
+    let unopt = ace
+        .run(Mode::AndParallel, &q, &cfg(2, OptFlags::none()))
+        .unwrap();
+    assert_eq!(unopt.stats.parcall_frames as usize, n, "one frame per level");
+
+    let opt = ace
+        .run(Mode::AndParallel, &q, &cfg(2, OptFlags::lpco_only()))
+        .unwrap();
+    assert_eq!(opt.stats.parcall_frames, 1, "single flat frame");
+    assert_eq!(opt.stats.frames_elided_lpco as usize, n - 1);
+    // every recursion level contributed its two subgoals to the flat frame
+    assert_eq!(
+        opt.stats.parcall_slots + opt.stats.slots_merged_lpco,
+        unopt.stats.parcall_slots
+    );
+    assert_eq!(unopt.solutions, opt.solutions);
+}
+
+/// Figures 6/7: or-tree depth for the member pattern: O(n) vs O(1)-ish.
+#[test]
+fn figures6_7_lao_collapses_member_chain() {
+    let b = ace_programs::benchmark("members").unwrap();
+    let ace = Ace::load(&(b.program)(12)).unwrap();
+    let q = "member(X, [1,2,3,4,5,6,7,8,9,10,11,12]), X > 100";
+
+    let unopt = ace
+        .run(Mode::OrParallel, q, &cfg(4, OptFlags::none()))
+        .unwrap();
+    let opt = ace
+        .run(Mode::OrParallel, q, &cfg(4, OptFlags::lao_only()))
+        .unwrap();
+    assert!(unopt.solutions.is_empty() && opt.solutions.is_empty());
+    let (ud, od) = (unopt.tree_depth.unwrap(), opt.tree_depth.unwrap());
+    assert!(
+        ud >= 6,
+        "unoptimized member chain should publish deep ({ud})"
+    );
+    assert!(od <= 2, "LAO keeps the tree shallow ({od})");
+    assert!(opt.stats.cp_reused_lao > 0);
+    // work-finding traversal shrinks accordingly
+    assert!(
+        opt.stats.tree_visits < unopt.stats.tree_visits,
+        "visits: {} !< {}",
+        opt.stats.tree_visits,
+        unopt.stats.tree_visits
+    );
+}
+
+/// §4.1: deterministic subgoals allocate no markers under SPO; the
+/// unoptimized engine allocates two per subgoal execution.
+#[test]
+fn spo_elides_markers_for_deterministic_subgoals() {
+    let ace = Ace::load(PROCESS_LIST).unwrap();
+    let q = "process_list([1,2,3,4,5,6], Out)";
+
+    let unopt = ace
+        .run(Mode::AndParallel, q, &cfg(3, OptFlags::none()))
+        .unwrap();
+    assert!(unopt.stats.markers_allocated > 0);
+    assert_eq!(unopt.stats.markers_elided_spo, 0);
+
+    let opt = ace
+        .run(Mode::AndParallel, q, &cfg(3, OptFlags::spo_only()))
+        .unwrap();
+    assert_eq!(
+        opt.stats.markers_allocated, 0,
+        "all subgoals are deterministic: no markers at all"
+    );
+    assert!(opt.stats.markers_elided_spo >= unopt.stats.markers_allocated);
+}
+
+/// SPO still allocates markers when a subgoal really is nondeterministic.
+#[test]
+fn spo_keeps_markers_for_nondeterministic_subgoals() {
+    let ace = Ace::load(
+        r#"
+        pick(1). pick(2).
+        pair(X, Y) :- pick(X) & pick(Y).
+        "#,
+    )
+    .unwrap();
+    let r = ace
+        .run(Mode::AndParallel, "pair(X, Y)", &cfg(2, OptFlags::spo_only()))
+        .unwrap();
+    assert_eq!(r.solutions.len(), 4);
+    assert!(r.stats.markers_allocated > 0);
+}
+
+/// PDO: on one worker every adjacent subgoal pair merges; the merged
+/// execution allocates fewer markers than the unoptimized one.
+#[test]
+fn pdo_merges_contiguous_subgoals() {
+    let ace = Ace::load(
+        r#"
+        w(X, Y) :- Y is X + 1.
+        all(A, B, C, D) :- w(1, A) & w(2, B) & w(3, C) & w(4, D).
+        "#,
+    )
+    .unwrap();
+    let unopt = ace
+        .run(Mode::AndParallel, "all(A,B,C,D)", &cfg(1, OptFlags::none()))
+        .unwrap();
+    let opt = ace
+        .run(Mode::AndParallel, "all(A,B,C,D)", &cfg(1, OptFlags::pdo_only()))
+        .unwrap();
+    assert_eq!(unopt.solutions, opt.solutions);
+    // the rightmost subgoal runs inline on the owner; with owner-PDO the
+    // three shipped slots all run directly on the owner's machine too
+    assert_eq!(opt.stats.pdo_merges, 3);
+    assert!(opt.stats.markers_allocated < unopt.stats.markers_allocated);
+}
+
+/// Inside failure crosses one flat frame under LPCO instead of a chain of
+/// nested frames (the paper's "whole conjunction fails in one single
+/// step"): failure-propagation traversals shrink.
+#[test]
+fn lpco_failure_crosses_one_frame() {
+    let ace = Ace::load(
+        r#"
+        check(X) :- X < 7.
+        process(X, Y) :- check(X), Y is X * 10.
+        process_list([], []).
+        process_list([H|T], [HO|TO]) :- process(H, HO) & process_list(T, TO).
+        "#,
+    )
+    .unwrap();
+    // element 9 fails deep inside the recursion
+    let q = "process_list([1,2,3,4,5,6,9,1,1,1], Out)";
+    let unopt = ace
+        .run(Mode::AndParallel, q, &cfg(2, OptFlags::none()))
+        .unwrap();
+    let opt = ace
+        .run(Mode::AndParallel, q, &cfg(2, OptFlags::lpco_only()))
+        .unwrap();
+    assert!(unopt.solutions.is_empty() && opt.solutions.is_empty());
+    assert!(
+        opt.stats.frame_traversals < unopt.stats.frame_traversals,
+        "failure propagation: {} !< {}",
+        opt.stats.frame_traversals,
+        unopt.stats.frame_traversals
+    );
+}
