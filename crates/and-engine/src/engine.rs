@@ -7,7 +7,7 @@ use std::sync::Arc;
 use ace_logic::Database;
 use ace_machine::{Machine, Solution};
 use ace_runtime::{
-    Agent, CancelToken, DriverKind, EngineConfig, RunOutcome, SimDriver, Stats,
+    Agent, CancelToken, DriverKind, EngineConfig, FaultInjector, RunOutcome, SimDriver, Stats,
     ThreadsDriver,
 };
 use parking_lot::Mutex;
@@ -49,6 +49,10 @@ impl AndEngine {
             error: Mutex::new(None),
             root_cancel: CancelToken::new(),
             worker_stats: Mutex::new(Vec::new()),
+            injector: cfg
+                .fault_plan
+                .as_ref()
+                .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
         });
 
         let mut workers: Vec<AndWorker> = (0..cfg.workers.max(1))
@@ -69,22 +73,28 @@ impl AndEngine {
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent>)
                     .collect();
-                SimDriver::new(cfg.virtual_time_limit).run(agents)
+                SimDriver::new(cfg.virtual_time_limit)
+                    .with_cancel(shared.root_cancel.clone())
+                    .run(agents)
             }
             DriverKind::Threads => {
                 let agents: Vec<Box<dyn Agent + Send>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent + Send>)
                     .collect();
-                ThreadsDriver::run(agents)
+                ThreadsDriver::new(cfg.threads_deadline, Some(shared.root_cancel.clone()))
+                    .run(agents)
             }
         };
 
+        // Panics and driver aborts carry their own structured, prefixed
+        // messages; report them ahead of any secondary error the drain
+        // path may have recorded.
+        if let Some(a) = &outcome.aborted {
+            return Err(a.clone());
+        }
         if let Some(e) = shared.error.lock().take() {
             return Err(e);
-        }
-        if let Some(a) = &outcome.aborted {
-            return Err(format!("driver aborted: {a}"));
         }
 
         let per_worker = shared.worker_stats.lock().clone();
@@ -167,9 +177,7 @@ mod tests {
     #[test]
     fn inside_failure_fails_parcall() {
         let e = AndEngine::new(db(BASE));
-        let r = e
-            .run("p(X) & fail", &cfg(2, OptFlags::none()))
-            .unwrap();
+        let r = e.run("p(X) & fail", &cfg(2, OptFlags::none())).unwrap();
         assert!(r.solutions.is_empty());
     }
 
@@ -177,7 +185,10 @@ mod tests {
     fn failure_after_parcall_backtracks_into_it() {
         let e = AndEngine::new(db(BASE));
         let r = e
-            .run("(p(X) & q(Y)), X =:= 2, Y =:= 20", &cfg(2, OptFlags::none()))
+            .run(
+                "(p(X) & q(Y)), X =:= 2, Y =:= 20",
+                &cfg(2, OptFlags::none()),
+            )
             .unwrap();
         assert_eq!(renders(&r), vec!["X=2, Y=20"]);
     }
@@ -201,9 +212,7 @@ mod tests {
     #[test]
     fn spo_still_allocates_markers_for_nondet_slots() {
         let e = AndEngine::new(db(BASE));
-        let r = e
-            .run("p(X) & q(Y)", &cfg(2, OptFlags::spo_only()))
-            .unwrap();
+        let r = e.run("p(X) & q(Y)", &cfg(2, OptFlags::spo_only())).unwrap();
         // both slots are nondeterministic: markers materialize
         assert!(r.stats.markers_allocated > 0);
         assert_eq!(
@@ -253,7 +262,10 @@ mod tests {
     fn nested_parcall_without_lpco_runs_correctly() {
         let e = AndEngine::new(db(PROCESS_LIST));
         let r = e
-            .run("process_list([5,6], O) & process(7, P)", &cfg(3, OptFlags::none()))
+            .run(
+                "process_list([5,6], O) & process(7, P)",
+                &cfg(3, OptFlags::none()),
+            )
             .unwrap();
         assert_eq!(renders(&r), vec!["O=[50,60], P=70"]);
     }
@@ -275,9 +287,7 @@ mod tests {
     #[test]
     fn redo_with_nondet_slots_and_pdo() {
         let e = AndEngine::new(db(BASE));
-        let r = e
-            .run("p(X) & q(Y)", &cfg(1, OptFlags::pdo_only()))
-            .unwrap();
+        let r = e.run("p(X) & q(Y)", &cfg(1, OptFlags::pdo_only())).unwrap();
         assert_eq!(
             renders(&r),
             vec!["X=1, Y=10", "X=1, Y=20", "X=2, Y=10", "X=2, Y=20"]

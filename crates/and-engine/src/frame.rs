@@ -32,7 +32,9 @@ pub fn bundle_copy(src: &Heap, roots: &[Cell]) -> (Bundle, usize) {
     let tuple = scratch.new_struct(sym("$bundle"), roots);
     let mut heap = Heap::new();
     let out = copy_term(&scratch, tuple, &mut heap);
-    let Cell::Str(hdr) = out.root else { unreachable!() };
+    let Cell::Str(hdr) = out.root else {
+        unreachable!()
+    };
     let roots_out: Vec<Cell> = (0..roots.len())
         .map(|i| heap.str_arg(hdr, i as u32))
         .collect();
@@ -330,9 +332,7 @@ impl FrameState {
             .iter()
             .enumerate()
             .filter(|(_, s)| {
-                s.state == SlotState::Unclaimed
-                    && !s.shipped
-                    && s.parent_goal.is_some()
+                s.state == SlotState::Unclaimed && !s.shipped && s.parent_goal.is_some()
             })
             .map(|(i, _)| i)
             .collect()
@@ -373,8 +373,7 @@ impl FrameState {
     /// themselves deterministic.
     pub fn fully_deterministic(&self) -> bool {
         let inner = self.inner.lock();
-        inner.stage == FrameStage::Integrated
-            && inner.groups.values().all(|g| g.exhausted)
+        inner.stage == FrameStage::Integrated && inner.groups.values().all(|g| g.exhausted)
     }
 
     /// Number of live (non-dropped) slots — the frame's width. LPCO grows

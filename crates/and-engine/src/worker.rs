@@ -21,12 +21,13 @@ use std::sync::Arc;
 use ace_logic::copy::copy_term;
 use ace_logic::{Cell, Database};
 use ace_machine::{Machine, MarkerKind, Solution, Status};
-use ace_runtime::{Agent, CancelToken, EngineConfig, Phase, Stats};
+use ace_runtime::{
+    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, EngineConfig, FaultAction, FaultInjector, Phase,
+    Stats,
+};
 use parking_lot::Mutex;
 
-use crate::frame::{
-    bundle_copy, FrameStage, FrameState, GroupRec, SlotState,
-};
+use crate::frame::{bundle_copy, FrameStage, FrameState, GroupRec, SlotState};
 
 /// A schedulable unit: one slot of one frame.
 #[derive(Clone)]
@@ -49,6 +50,8 @@ pub struct Shared {
     pub error: Mutex<Option<String>>,
     pub root_cancel: CancelToken,
     pub worker_stats: Mutex<Vec<Stats>>,
+    /// Fault injection (tests/robustness validation); `None` = no faults.
+    pub injector: Option<FaultInjector>,
 }
 
 impl Shared {
@@ -181,8 +184,7 @@ impl AndWorker {
     /// goal shipping; a worker's own idle flag from its previous phase
     /// must not count.)
     fn others_idle(&self) -> bool {
-        self.sh.idle_workers.load(Ordering::Acquire)
-            > usize::from(self.marked_idle)
+        self.sh.idle_workers.load(Ordering::Acquire) > usize::from(self.marked_idle)
     }
 
     fn mark_idle(&mut self, idle: bool) {
@@ -254,6 +256,21 @@ impl AndWorker {
     // ------------------------------------------------------------------
 
     fn try_get_work(&mut self) -> Outcome {
+        // Injected transient steal failure: the task stays queued (checked
+        // before any claim so nothing needs un-claiming) and this worker
+        // retries on a later phase after its idle backoff — bounded retry,
+        // since each fault event fires at most once.
+        let steal_faulted = self
+            .sh
+            .injector
+            .as_ref()
+            .is_some_and(|inj| !self.sh.queue.lock().is_empty() && inj.steal_fails(self.id));
+        if steal_faulted {
+            self.stats.faults_injected += 1;
+            self.stats.steal_retries += 1;
+            self.stats.idle_probes += 1;
+            return Outcome::NoWork;
+        }
         let task = {
             let mut q = self.sh.queue.lock();
             loop {
@@ -327,7 +344,10 @@ impl AndWorker {
         let cancel = frame.cancel.clone();
         self.stack.push(Act::Run {
             machine,
-            ctx: RunCtx::Slot { frame, leader: slot },
+            ctx: RunCtx::Slot {
+                frame,
+                leader: slot,
+            },
             cancel,
             goal_cells: vec![out.root],
             lpco_added: Vec::new(),
@@ -349,8 +369,7 @@ impl AndWorker {
                     "Run({}, {:?})",
                     match ctx {
                         RunCtx::Root => "root".to_owned(),
-                        RunCtx::Slot { frame, leader } =>
-                            format!("f{}s{}", frame.id, leader),
+                        RunCtx::Slot { frame, leader } => format!("f{}s{}", frame.id, leader),
                     },
                     machine.status()
                 ),
@@ -360,8 +379,9 @@ impl AndWorker {
                     frame.stage(),
                     frame.cancel.is_cancelled()
                 ),
-                Some(Act::Advance { frame, leader, .. }) =>
-                    format!("Advance(f{} g{leader})", frame.id),
+                Some(Act::Advance { frame, leader, .. }) => {
+                    format!("Advance(f{} g{leader})", frame.id)
+                }
             };
             eprintln!("w{} depth={} top={}", self.id, self.stack.len(), top);
         }
@@ -432,8 +452,7 @@ impl AndWorker {
             }
         }
 
-        let ship_hint = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager
-            || self.others_idle();
+        let ship_hint = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager || self.others_idle();
         let Some(Act::Run {
             machine,
             ctx,
@@ -515,8 +534,7 @@ impl AndWorker {
     /// wide frame (paper Figure 4).
     fn try_lpco_inline(&mut self) -> bool {
         let costs = self.costs();
-        let ship_hint = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager
-            || self.others_idle();
+        let ship_hint = self.sh.cfg.ship == ace_runtime::ShipPolicy::Eager || self.others_idle();
         let Some(Act::Run {
             machine, inline, ..
         }) = self.stack.last_mut()
@@ -562,8 +580,7 @@ impl AndWorker {
         self.stats.cells_copied += cells as u64;
         self.stats.slots_merged_lpco += k as u64;
         self.stats.frames_elided_lpco += 1;
-        let charge =
-            costs.lpco_merge_slot * k as u64 + cells as u64 * costs.heap_cell;
+        let charge = costs.lpco_merge_slot * k as u64 + cells as u64 * costs.heap_cell;
         self.stats.charge(charge);
         self.phase_cost += charge;
 
@@ -689,7 +706,10 @@ impl AndWorker {
     fn on_barrier(&mut self, fid: u64) -> Outcome {
         let costs = self.costs();
         if trace_enabled() {
-            if let Some(Act::Run { owner_slot, inline, .. }) = self.stack.last() {
+            if let Some(Act::Run {
+                owner_slot, inline, ..
+            }) = self.stack.last()
+            {
                 eprintln!(
                     "BARRIER fid={fid} owner_top={:?} inline_top={:?}",
                     owner_slot.last().map(|o| (o.frame.id, o.slot)),
@@ -893,12 +913,7 @@ impl AndWorker {
         };
         self.sh.solutions.lock().push(sol);
         let count = self.sh.solutions_count.fetch_add(1, Ordering::AcqRel) + 1;
-        if self
-            .sh
-            .cfg
-            .max_solutions
-            .is_some_and(|max| count >= max)
-        {
+        if self.sh.cfg.max_solutions.is_some_and(|max| count >= max) {
             self.sh.finish();
             return Outcome::Worked;
         }
@@ -1101,7 +1116,9 @@ impl AndWorker {
     // ------------------------------------------------------------------
 
     fn on_failed(&mut self) -> Outcome {
-        let Some(act) = self.stack.pop() else { unreachable!() };
+        let Some(act) = self.stack.pop() else {
+            unreachable!()
+        };
         let Act::Run { machine, ctx, .. } = act else {
             unreachable!()
         };
@@ -1174,9 +1191,7 @@ impl AndWorker {
         let costs = self.costs();
         // the owner machine sits directly below this Wait
         let n = self.stack.len();
-        let Some(Act::Run { machine, .. }) =
-            (n >= 2).then(|| &mut self.stack[n - 2])
-        else {
+        let Some(Act::Run { machine, .. }) = (n >= 2).then(|| &mut self.stack[n - 2]) else {
             unreachable!("Wait without Run below")
         };
         let goals: Vec<Cell> = {
@@ -1188,8 +1203,7 @@ impl AndWorker {
         let (bundle, cells) = bundle_copy(&machine.heap, &goals);
         frame.install_closures(idxs, bundle);
         self.stats.cells_copied += cells as u64;
-        let charge =
-            cells as u64 * costs.heap_cell + costs.queue_op * idxs.len() as u64;
+        let charge = cells as u64 * costs.heap_cell + costs.queue_op * idxs.len() as u64;
         self.stats.charge(charge);
         self.phase_cost += charge;
         let tasks: Vec<Task> = idxs
@@ -1359,10 +1373,11 @@ impl AndWorker {
                 let mark = (machine.heap.trail_mark(), machine.heap.heap_mark());
                 // Joint copy of the whole bundle into the parent heap.
                 let mut scratch = (*bundle.heap).clone();
-                let tuple =
-                    scratch.new_struct(ace_logic::sym("$integ"), &bundle.roots);
+                let tuple = scratch.new_struct(ace_logic::sym("$integ"), &bundle.roots);
                 let out = copy_term(&scratch, tuple, &mut machine.heap);
-                let Cell::Str(hdr) = out.root else { unreachable!() };
+                let Cell::Str(hdr) = out.root else {
+                    unreachable!()
+                };
                 copied += out.cells_copied as u64;
 
                 for (i, &slot) in members.iter().enumerate() {
@@ -1381,11 +1396,7 @@ impl AndWorker {
                             machine.heap.len()
                         );
                     }
-                    match ace_logic::unify::unify(
-                        &mut machine.heap,
-                        parent_goal,
-                        solved,
-                    ) {
+                    match ace_logic::unify::unify(&mut machine.heap, parent_goal, solved) {
                         Some(steps) => unify_steps += steps as u64,
                         None => {
                             independence_violation = true;
@@ -1532,8 +1543,7 @@ impl AndWorker {
                     let mut cells = 0usize;
                     for &s in &g.slots {
                         let slot = &inner.slots[s];
-                        let out =
-                            copy_term(&slot.goal_heap, slot.goal_root, &mut m.heap);
+                        let out = copy_term(&slot.goal_heap, slot.goal_root, &mut m.heap);
                         cells += out.cells_copied;
                         roots.push(out.root);
                     }
@@ -1561,10 +1571,7 @@ impl AndWorker {
 
     fn step_advance(&mut self) -> Outcome {
         let quantum = self.sh.cfg.quantum;
-        let Some(Act::Advance {
-            frame, machine, ..
-        }) = self.stack.last_mut()
-        else {
+        let Some(Act::Advance { frame, machine, .. }) = self.stack.last_mut() else {
             unreachable!()
         };
         let cancel = frame.cancel.clone();
@@ -1575,10 +1582,7 @@ impl AndWorker {
             Status::Running => Outcome::Worked,
             Status::Solution => {
                 // Recompute mode may need to skip already-delivered ones.
-                let Some(Act::Advance {
-                    machine, mode, ..
-                }) = self.stack.last_mut()
-                else {
+                let Some(Act::Advance { machine, mode, .. }) = self.stack.last_mut() else {
                     unreachable!()
                 };
                 if let AdvanceMode::Recompute { skip, seen } = mode {
@@ -1624,9 +1628,8 @@ impl AndWorker {
                 Outcome::Worked
             }
             other => {
-                self.sh.fail_with(format!(
-                    "engine bug: unexpected generator status {other:?}"
-                ));
+                self.sh
+                    .fail_with(format!("engine bug: unexpected generator status {other:?}"));
                 Outcome::Worked
             }
         }
@@ -1657,7 +1660,9 @@ impl AndWorker {
         let mut rerun_branch: Option<Cell> = None;
         {
             // Undo parent integrations from this group onwards.
-            let Some(Act::Run { machine: parent, .. }) = self.stack.last_mut()
+            let Some(Act::Run {
+                machine: parent, ..
+            }) = self.stack.last_mut()
             else {
                 unreachable!("Advance without parent Run")
             };
@@ -1667,14 +1672,9 @@ impl AndWorker {
             // branch must re-run too; its bindings predate every
             // integration, so the undo point is the frame's creation.
             let rerun_inline = inner.inline.is_some_and(|i| i > group_last);
-            let owner_reset = inner
-                .slots
-                .iter()
-                .enumerate()
-                .any(|(i, sl)| {
-                    i > group_last
-                        && sl.owner_run
-                        && sl.state != SlotState::Dropped
+            let owner_reset =
+                inner.slots.iter().enumerate().any(|(i, sl)| {
+                    i > group_last && sl.owner_run && sl.state != SlotState::Dropped
                 });
             // Inline and owner-executed bindings predate every integration
             // mark, so resetting them needs the frame-creation undo point.
@@ -1842,6 +1842,37 @@ impl Agent for AndWorker {
             }
             return Phase::Done;
         }
+        // Cooperative shutdown: the driver cancels the root token when it
+        // contains a panic or hits a deadline. Converge to `done` so every
+        // worker drains and reports instead of idling forever.
+        if self.sh.root_cancel.is_cancelled() {
+            self.sh
+                .fail_with(format!("{FAULT_ERROR_PREFIX} run cancelled"));
+            return Phase::Busy(1);
+        }
+        // Fault-injection checkpoint (same cadence as the cancel check).
+        if let Some(action) = self.sh.injector.as_ref().and_then(|inj| inj.poll(self.id)) {
+            self.stats.faults_injected += 1;
+            match action {
+                FaultAction::Stall(cost) => {
+                    // A clock jump: virtual time lost, no state touched.
+                    self.stats.fault_stalls += 1;
+                    self.stats.charge(cost);
+                    return Phase::Busy(cost.max(1));
+                }
+                FaultAction::Cancel => {
+                    self.sh.fail_with(format!(
+                        "{FAULT_ERROR_PREFIX} injected cancellation on worker {}",
+                        self.id
+                    ));
+                    self.sh.root_cancel.cancel();
+                    return Phase::Busy(1);
+                }
+                FaultAction::Die => {
+                    panic!("{}", ace_runtime::fault::INJECTED_DEATH);
+                }
+            }
+        }
         self.phase_cost = 0;
         match self.do_phase() {
             Outcome::Worked => {
@@ -1855,8 +1886,7 @@ impl Agent for AndWorker {
                 // exponentially up to the quantum, so idle workers don't
                 // flood the virtual-time driver with micro-phases.
                 let base = self.sh.cfg.costs.idle_probe;
-                let p = (base << self.idle_streak.min(6))
-                    .min(self.sh.cfg.quantum.max(base));
+                let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
                 self.idle_streak = self.idle_streak.saturating_add(1);
                 self.stats.charge_idle(p);
                 Phase::Idle(p)

@@ -53,10 +53,8 @@ fn bench_copy(c: &mut Criterion) {
 }
 
 fn bench_instantiate(c: &mut Criterion) {
-    let db = Database::load(
-        "append([], L, L). append([H|T], L, [H|R]) :- append(T, L, R).",
-    )
-    .unwrap();
+    let db =
+        Database::load("append([], L, L). append([H|T], L, [H|R]) :- append(T, L, R).").unwrap();
     let pred = db.predicate(ace_logic::sym("append"), 3).unwrap();
     c.bench_function("clause/instantiate-append-2", |b| {
         let mut heap = Heap::new();

@@ -68,11 +68,7 @@ fn main() {
                 println!("{txt}");
                 let base = out_dir.join(exp.id);
                 fs::write(base.with_extension("txt"), &txt).unwrap();
-                fs::write(
-                    base.with_extension("csv"),
-                    render_csv(&result),
-                )
-                .unwrap();
+                fs::write(base.with_extension("csv"), render_csv(&result)).unwrap();
                 eprintln!(
                     "{} done in {:.1}s (results/{}.txt, .csv)",
                     exp.id,

@@ -194,10 +194,7 @@ mod tests {
         let ids: Vec<&str> = experiments().iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
-            vec![
-                "table1", "table2", "fig5", "table3", "table4", "fig8",
-                "table5", "overhead"
-            ]
+            vec!["table1", "table2", "fig5", "table3", "table4", "fig8", "table5", "overhead"]
         );
     }
 

@@ -23,10 +23,7 @@ pub fn render_table(r: &ExperimentResult) -> String {
             for b in r.benchmarks() {
                 let _ = write!(out, "{:<14}", b);
                 for c in r.row(&b) {
-                    let cell = format!(
-                        "{}/{} ({:+.0}%)",
-                        c.unopt, c.opt, c.improvement
-                    );
+                    let cell = format!("{}/{} ({:+.0}%)", c.unopt, c.opt, c.improvement);
                     let _ = write!(out, "{cell:>26}");
                 }
                 let _ = writeln!(out);
@@ -63,8 +60,7 @@ pub fn render_table(r: &ExperimentResult) -> String {
             let _ = writeln!(
                 out,
                 "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
-                "Benchmark", "sequential", "par-unopt", "par-opt",
-                "ovh-unopt%", "ovh-opt%"
+                "Benchmark", "sequential", "par-unopt", "par-opt", "ovh-unopt%", "ovh-opt%"
             );
             for b in r.benchmarks() {
                 for c in r.row(&b) {

@@ -56,8 +56,7 @@ fn run_one(
 pub fn run_experiment(exp: &Experiment, quick: bool) -> Result<ExperimentResult, String> {
     let mut cells = Vec::new();
     for &(name, size) in &exp.benchmarks {
-        let b = ace_programs::benchmark(name)
-            .ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let b = ace_programs::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
         let size = if quick {
             crate::experiments::quick_size(size)
         } else {

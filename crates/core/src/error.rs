@@ -1,0 +1,120 @@
+//! Structured errors for the query path.
+//!
+//! Engines report failures as strings with stable prefixes (see
+//! [`ace_runtime::fault`]); [`AceError::classify`] turns them into a typed
+//! error so callers — and [`Ace::run_query`](crate::Ace::run_query)'s
+//! sequential-fallback logic — can distinguish *program* errors (which must
+//! surface) from *infrastructure* failures (worker death, injected faults,
+//! driver aborts) that graceful degradation can recover from.
+
+use ace_runtime::fault::{ABORT_ERROR_PREFIX, FAULT_ERROR_PREFIX, PANIC_ERROR_PREFIX};
+
+/// Why a query run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AceError {
+    /// The query text did not parse. Not recoverable — a sequential rerun
+    /// would fail identically.
+    Parse(String),
+    /// The program itself raised an error (type error, bad goal, engine
+    /// misuse). Not recoverable — the error is the answer.
+    Program(String),
+    /// The driver aborted the run: virtual-time limit, livelock guard, or
+    /// wall-clock deadline. Recoverable by sequential fallback.
+    Aborted(String),
+    /// A worker thread died mid-run; the driver contained the panic.
+    /// Recoverable by sequential fallback.
+    WorkerPanicked(String),
+    /// An injected fault (or the cooperative cancellation path) killed the
+    /// run. Recoverable by sequential fallback.
+    FaultInjected(String),
+}
+
+impl AceError {
+    /// Classify an engine error string by its stable prefix.
+    pub fn classify(msg: String) -> AceError {
+        if msg.starts_with("query parse error") || msg.starts_with("parse error") {
+            AceError::Parse(msg)
+        } else if msg.starts_with(PANIC_ERROR_PREFIX) {
+            AceError::WorkerPanicked(msg)
+        } else if msg.starts_with(ABORT_ERROR_PREFIX) {
+            AceError::Aborted(msg)
+        } else if msg.starts_with(FAULT_ERROR_PREFIX) {
+            AceError::FaultInjected(msg)
+        } else {
+            AceError::Program(msg)
+        }
+    }
+
+    /// The underlying message (what the legacy string API returned).
+    pub fn message(&self) -> &str {
+        match self {
+            AceError::Parse(m)
+            | AceError::Program(m)
+            | AceError::Aborted(m)
+            | AceError::WorkerPanicked(m)
+            | AceError::FaultInjected(m) => m,
+        }
+    }
+
+    /// True when a sequential rerun of the same query can still produce
+    /// the answer: the failure was in the parallel infrastructure, not in
+    /// the program.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            AceError::Aborted(_) | AceError::WorkerPanicked(_) | AceError::FaultInjected(_)
+        )
+    }
+}
+
+impl std::fmt::Display for AceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for AceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_prefix() {
+        assert!(matches!(
+            AceError::classify("query parse error: x".into()),
+            AceError::Parse(_)
+        ));
+        assert!(matches!(
+            AceError::classify("worker panic: worker 2 panicked: boom".into()),
+            AceError::WorkerPanicked(_)
+        ));
+        assert!(matches!(
+            AceError::classify("driver aborted: livelock".into()),
+            AceError::Aborted(_)
+        ));
+        assert!(matches!(
+            AceError::classify("fault: injected cancellation on worker 0".into()),
+            AceError::FaultInjected(_)
+        ));
+        assert!(matches!(
+            AceError::classify("type error: expected evaluable".into()),
+            AceError::Program(_)
+        ));
+    }
+
+    #[test]
+    fn recoverability_split() {
+        assert!(!AceError::classify("query parse error: x".into()).is_recoverable());
+        assert!(!AceError::classify("type error".into()).is_recoverable());
+        assert!(AceError::classify("driver aborted: deadline".into()).is_recoverable());
+        assert!(AceError::classify("worker panic: w0".into()).is_recoverable());
+        assert!(AceError::classify("fault: run cancelled".into()).is_recoverable());
+    }
+
+    #[test]
+    fn display_is_the_raw_message() {
+        let e = AceError::classify("type error: oops".into());
+        assert_eq!(e.to_string(), "type error: oops");
+    }
+}

@@ -22,6 +22,7 @@
 //! assert_eq!(report.solutions, vec!["A=2, B=4"]);
 //! ```
 
+pub mod error;
 pub mod report;
 pub mod schema;
 
@@ -33,6 +34,7 @@ use ace_machine::Solver;
 use ace_or::OrEngine;
 use ace_runtime::{CostModel, EngineConfig};
 
+pub use error::AceError;
 pub use report::RunReport;
 pub use schema::{Optimization, Schema};
 
@@ -71,19 +73,47 @@ impl Ace {
         &self.db
     }
 
-    /// Run `query` under `mode` and `cfg`.
-    pub fn run(
+    /// Run `query` under `mode` and `cfg` (legacy string-error API).
+    ///
+    /// Strict: every failure surfaces, including recoverable infrastructure
+    /// failures. Use [`Ace::run_query`] for structured errors and graceful
+    /// degradation.
+    pub fn run(&self, mode: Mode, query: &str, cfg: &EngineConfig) -> Result<RunReport, String> {
+        self.run_once(mode, query, cfg).map_err(|e| e.to_string())
+    }
+
+    /// Run `query` under `mode` and `cfg` with structured errors and
+    /// graceful degradation: if a *parallel* run is killed by something
+    /// that is not the program's fault — a worker panic, an injected
+    /// fault, a driver abort — the query is replayed on the sequential
+    /// engine and the recovery is recorded on the report. Program and
+    /// parse errors always surface.
+    pub fn run_query(
         &self,
         mode: Mode,
         query: &str,
         cfg: &EngineConfig,
-    ) -> Result<RunReport, String> {
-        match mode {
-            Mode::Sequential => self.run_sequential(query, cfg),
+    ) -> Result<RunReport, AceError> {
+        match self.run_once(mode, query, cfg) {
+            Ok(r) => Ok(r),
+            Err(e) if e.is_recoverable() && mode != Mode::Sequential => {
+                let mut r = self.run_once(Mode::Sequential, query, cfg)?;
+                r.recovery.push(format!(
+                    "parallel run failed ({e}); recovered via sequential fallback"
+                ));
+                Ok(r)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_once(&self, mode: Mode, query: &str, cfg: &EngineConfig) -> Result<RunReport, AceError> {
+        let mut report = match mode {
+            Mode::Sequential => self.run_sequential(query, cfg)?,
             Mode::AndParallel => {
                 let engine = AndEngine::new(self.db.clone());
-                let r = engine.run(query, cfg)?;
-                Ok(RunReport {
+                let r = engine.run(query, cfg).map_err(AceError::classify)?;
+                RunReport {
                     solutions: r.solutions.iter().map(|s| s.render()).collect(),
                     virtual_time: r.outcome.virtual_time,
                     wall: r.outcome.wall,
@@ -91,12 +121,13 @@ impl Ace {
                     stats: r.stats,
                     per_worker: r.per_worker,
                     tree_depth: None,
-                })
+                    recovery: Vec::new(),
+                }
             }
             Mode::OrParallel => {
                 let engine = OrEngine::new(self.db.clone());
-                let r = engine.run(query, cfg)?;
-                Ok(RunReport {
+                let r = engine.run(query, cfg).map_err(AceError::classify)?;
+                RunReport {
                     solutions: r.solutions,
                     virtual_time: r.outcome.virtual_time,
                     wall: r.outcome.wall,
@@ -104,26 +135,30 @@ impl Ace {
                     stats: r.stats,
                     per_worker: r.per_worker,
                     tree_depth: Some(r.max_tree_depth),
-                })
+                    recovery: Vec::new(),
+                }
             }
+        };
+        if report.stats.faults_injected > 0 {
+            report.recovery.push(format!(
+                "absorbed {} injected fault(s) ({} steal retries, {} publish \
+                 retries, {} stalls) without losing answers",
+                report.stats.faults_injected,
+                report.stats.steal_retries,
+                report.stats.publish_retries,
+                report.stats.fault_stalls,
+            ));
         }
+        Ok(report)
     }
 
-    fn run_sequential(
-        &self,
-        query: &str,
-        cfg: &EngineConfig,
-    ) -> Result<RunReport, String> {
+    fn run_sequential(&self, query: &str, cfg: &EngineConfig) -> Result<RunReport, AceError> {
         let start = std::time::Instant::now();
-        let mut solver = Solver::new(
-            self.db.clone(),
-            Arc::new(cfg.costs.clone()),
-            query,
-        )
-        .map_err(|e| e.to_string())?;
+        let mut solver = Solver::new(self.db.clone(), Arc::new(cfg.costs.clone()), query)
+            .map_err(|e| AceError::classify(e.to_string()))?;
         let sols = solver
             .collect_solutions(cfg.max_solutions)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| AceError::classify(e.to_string()))?;
         let stats = solver.machine().stats;
         Ok(RunReport {
             solutions: sols.iter().map(|s| s.render()).collect(),
@@ -133,6 +168,7 @@ impl Ace {
             stats,
             per_worker: vec![stats],
             tree_depth: None,
+            recovery: Vec::new(),
         })
     }
 
@@ -173,10 +209,18 @@ mod tests {
         let ace = Ace::load(PROG).unwrap();
         let seq = ace.sequential_solutions("p(X), double(X, Y)").unwrap();
         let and = ace
-            .run(Mode::AndParallel, "p(X), double(X, Y)", &cfg(2, OptFlags::all()))
+            .run(
+                Mode::AndParallel,
+                "p(X), double(X, Y)",
+                &cfg(2, OptFlags::all()),
+            )
             .unwrap();
         let or = ace
-            .run(Mode::OrParallel, "p(X), double(X, Y)", &cfg(2, OptFlags::all()))
+            .run(
+                Mode::OrParallel,
+                "p(X), double(X, Y)",
+                &cfg(2, OptFlags::all()),
+            )
             .unwrap();
         let mut or_sols = or.solutions.clone();
         or_sols.sort();

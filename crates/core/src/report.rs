@@ -24,6 +24,10 @@ pub struct RunReport {
     pub per_worker: Vec<Stats>,
     /// Or-parallel runs: maximum public-tree depth observed.
     pub tree_depth: Option<u32>,
+    /// Recovery events: one line per fault absorbed or degradation applied
+    /// (e.g. a parallel run replayed on the sequential engine after a
+    /// worker died). Empty for an undisturbed run.
+    pub recovery: Vec<String>,
 }
 
 impl RunReport {
@@ -70,6 +74,7 @@ mod tests {
             stats: Stats::new(),
             per_worker: vec![],
             tree_depth: None,
+            recovery: vec![],
         }
     }
 

@@ -120,10 +120,7 @@ mod tests {
     fn flags_are_singletons() {
         for opt in Optimization::ALL {
             let f = opt.flags();
-            let on = [f.lpco, f.lao, f.spo, f.pdo]
-                .iter()
-                .filter(|b| **b)
-                .count();
+            let on = [f.lpco, f.lao, f.spo, f.pdo].iter().filter(|b| **b).count();
             assert_eq!(on, 1, "{opt:?}");
         }
     }

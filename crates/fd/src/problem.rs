@@ -46,9 +46,7 @@ impl Problem {
         let idx = self.constraints.len();
         self.constraints.push(c);
         let (a, b) = match c {
-            Constraint::Ne(a, b)
-            | Constraint::NeOffset(a, b, _)
-            | Constraint::Lt(a, b) => (a, b),
+            Constraint::Ne(a, b) | Constraint::NeOffset(a, b, _) | Constraint::Lt(a, b) => (a, b),
         };
         self.watches[a].push(idx);
         self.watches[b].push(idx);

@@ -8,18 +8,16 @@ use crate::problem::{Constraint, Problem};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Fixpoint reached; `prunes` values were removed on the way.
-    Consistent { prunes: u32 },
+    Consistent {
+        prunes: u32,
+    },
     Failed,
 }
 
 /// Propagate all constraints of `problem` over `domains` to fixpoint,
 /// seeded by changes to variable `seed` (pass `None` to propagate
 /// everything, e.g. at the root).
-pub fn propagate(
-    problem: &Problem,
-    domains: &mut [BitDomain],
-    seed: Option<usize>,
-) -> Outcome {
+pub fn propagate(problem: &Problem, domains: &mut [BitDomain], seed: Option<usize>) -> Outcome {
     let mut agenda: Vec<usize> = match seed {
         Some(v) => problem.watches[v].clone(),
         None => (0..problem.constraints.len()).collect(),
@@ -43,11 +41,7 @@ pub fn propagate(
 
 /// Apply one constraint; returns the variables whose domains changed and
 /// whether all domains remain non-empty.
-fn apply(
-    c: Constraint,
-    domains: &mut [BitDomain],
-    prunes: &mut u32,
-) -> (Vec<usize>, bool) {
+fn apply(c: Constraint, domains: &mut [BitDomain], prunes: &mut u32) -> (Vec<usize>, bool) {
     let mut changed = Vec::new();
     match c {
         Constraint::Ne(a, b) => {
@@ -90,18 +84,14 @@ fn ne_offset(
 ) {
     if let Some(vb) = domains[b].value() {
         let forbidden = vb as i64 + k as i64;
-        if (0..=63).contains(&forbidden)
-            && domains[a].remove(forbidden as u32)
-        {
+        if (0..=63).contains(&forbidden) && domains[a].remove(forbidden as u32) {
             *prunes += 1;
             changed.push(a);
         }
     }
     if let Some(va) = domains[a].value() {
         let forbidden = va as i64 - k as i64;
-        if (0..=63).contains(&forbidden)
-            && domains[b].remove(forbidden as u32)
-        {
+        if (0..=63).contains(&forbidden) && domains[b].remove(forbidden as u32) {
             *prunes += 1;
             changed.push(b);
         }

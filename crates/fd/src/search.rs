@@ -16,8 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ace_runtime::{
-    Agent, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver, Stats,
-    ThreadsDriver,
+    Agent, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
 };
 use parking_lot::Mutex;
 
@@ -203,7 +202,9 @@ impl FdWorker {
         let lao = self.sh.cfg.opts.lao;
         let total_alts = self.sh.total_alts.clone();
         let (copy_cost, reused, depth) = {
-            let Some(run) = self.current.as_mut() else { return };
+            let Some(run) = self.current.as_mut() else {
+                return;
+            };
             let Some(pos) = run
                 .stack
                 .iter()
@@ -230,9 +231,7 @@ impl FdWorker {
             let mut reuse_hit = None;
             if lao {
                 if let Some(n) = &candidate {
-                    if let Some(e) =
-                        n.try_reuse(var, values.clone(), snapshot.clone())
-                    {
+                    if let Some(e) = n.try_reuse(var, values.clone(), snapshot.clone()) {
                         reuse_hit = Some((n.clone(), e));
                     }
                 }
@@ -244,13 +243,7 @@ impl FdWorker {
                         .last_published
                         .clone()
                         .unwrap_or_else(|| run.origin.clone());
-                    let n = FdNode::publish(
-                        &parent,
-                        var,
-                        values.clone(),
-                        snapshot,
-                        total_alts,
-                    );
+                    let n = FdNode::publish(&parent, var, values.clone(), snapshot, total_alts);
                     let d = n.depth;
                     (n, 0, false, d)
                 }
@@ -271,7 +264,9 @@ impl FdWorker {
             self.stats.cp_reused_lao += 1;
             self.charge(costs.lao_reuse + copy_cost);
         } else {
-            self.sh.max_depth.fetch_max(depth as usize, Ordering::AcqRel);
+            self.sh
+                .max_depth
+                .fetch_max(depth as usize, Ordering::AcqRel);
             self.stats.nodes_published += 1;
             self.charge(costs.publish_node + copy_cost);
         }
@@ -284,11 +279,12 @@ impl FdWorker {
         let quantum = self.sh.cfg.quantum;
         let start = self.phase_cost;
         while self.phase_cost - start < quantum {
-            let Some(run) = self.current.as_mut() else { break };
+            let Some(run) = self.current.as_mut() else {
+                break;
+            };
             // fully labeled?
             if run.domains.iter().all(|d| d.size() == 1) {
-                let sol: Vec<u32> =
-                    run.domains.iter().map(|d| d.value().unwrap()).collect();
+                let sol: Vec<u32> = run.domains.iter().map(|d| d.value().unwrap()).collect();
                 self.sh.solutions.lock().push(sol);
                 self.stats.solutions += 1;
                 let n = self.sh.nsolutions.fetch_add(1, Ordering::AcqRel) + 1;
@@ -309,8 +305,7 @@ impl FdWorker {
                 .filter(|(_, d)| d.size() > 1)
                 .min_by_key(|(_, d)| d.size())
                 .expect("non-singleton exists");
-            let mut values: VecDeque<u32> =
-                run.domains[var].iter().collect();
+            let mut values: VecDeque<u32> = run.domains[var].iter().collect();
             let first = values.pop_front().expect("domain non-empty");
             let snapshot_cells = run.domains.len() as u64;
             run.stack.push(LocalCp::Private {
@@ -319,9 +314,7 @@ impl FdWorker {
                 values,
             });
             self.stats.choice_points += 1;
-            self.charge(
-                costs.choice_point_alloc + snapshot_cells * costs.heap_cell,
-            );
+            self.charge(costs.choice_point_alloc + snapshot_cells * costs.heap_cell);
             self.assign_and_propagate(var, first);
         }
         Phase::Busy(self.phase_cost.max(1))
@@ -354,7 +347,9 @@ impl FdWorker {
         let costs = self.sh.cfg.costs.clone();
         self.stats.backtracks += 1;
         loop {
-            let Some(run) = self.current.as_mut() else { return false };
+            let Some(run) = self.current.as_mut() else {
+                return false;
+            };
             let Some(top) = run.stack.last_mut() else {
                 // exhausted: drop the run
                 self.finish_run();
@@ -523,10 +518,7 @@ impl Fd {
 
         // Root run: propagate the initial constraints, then label.
         let mut domains = self.problem.domains.clone();
-        let root_ok = !matches!(
-            propagate(&self.problem, &mut domains, None),
-            Prop::Failed
-        );
+        let root_ok = !matches!(propagate(&self.problem, &mut domains, None), Prop::Failed);
         if root_ok {
             workers[0].current = Some(Run {
                 domains,
@@ -551,7 +543,7 @@ impl Fd {
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent + Send>)
                     .collect();
-                ThreadsDriver::run(agents)
+                ThreadsDriver::new(cfg.threads_deadline, None).run(agents)
             }
         };
 

@@ -11,13 +11,12 @@ use ace_runtime::{EngineConfig, OptFlags};
 fn problem_strategy() -> impl Strategy<Value = Problem> {
     let var_count = 2usize..=5;
     var_count.prop_flat_map(|n| {
-        let constraint = (0usize..n, 0usize..n, 0u8..3, -3i32..=3).prop_map(
-            move |(a, b, kind, k)| match kind {
+        let constraint =
+            (0usize..n, 0usize..n, 0u8..3, -3i32..=3).prop_map(move |(a, b, kind, k)| match kind {
                 0 => Constraint::Ne(a, b),
                 1 => Constraint::NeOffset(a, b, k),
                 _ => Constraint::Lt(a, b),
-            },
-        );
+            });
         prop::collection::vec(constraint, 0..8).prop_map(move |cs| {
             let mut p = Problem::new(n, 0, 4);
             for c in cs {
@@ -45,12 +44,7 @@ fn brute_force(p: &Problem) -> Vec<Vec<u32>> {
             Constraint::Lt(x, y) => a[x] < a[y],
         }
     }
-    fn rec(
-        p: &Problem,
-        i: usize,
-        assignment: &mut Vec<u32>,
-        out: &mut Vec<Vec<u32>>,
-    ) {
+    fn rec(p: &Problem, i: usize, assignment: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
         if i == assignment.len() {
             if p.constraints.iter().all(|c| sat(c, assignment)) {
                 out.push(assignment.clone());

@@ -137,7 +137,9 @@ mod tests {
         let out = copy_term(&src, s, &mut dst);
         assert_eq!(out.cells_copied, 3);
         assert!(is_ground(&dst, out.root));
-        let Cell::Str(h) = out.root else { unreachable!() };
+        let Cell::Str(h) = out.root else {
+            unreachable!()
+        };
         assert_eq!(dst.functor_at(h), (sym("f"), 2));
         assert_eq!(dst.str_arg(h, 0), Cell::Int(1));
     }
@@ -201,7 +203,9 @@ mod tests {
         src.bind(a, Cell::Int(9));
         let mut dst = Heap::new();
         let out = copy_term(&src, s, &mut dst);
-        let Cell::Str(h) = out.root else { unreachable!() };
+        let Cell::Str(h) = out.root else {
+            unreachable!()
+        };
         assert_eq!(dst.str_arg(h, 0), Cell::Int(9));
     }
 
@@ -212,7 +216,9 @@ mod tests {
         let outer = src.new_struct(sym("f"), &[shared, shared]);
         let mut dst = Heap::new();
         let out = copy_term(&src, outer, &mut dst);
-        let Cell::Str(h) = out.root else { unreachable!() };
+        let Cell::Str(h) = out.root else {
+            unreachable!()
+        };
         assert_eq!(dst.str_arg(h, 0), dst.str_arg(h, 1));
     }
 
@@ -227,7 +233,9 @@ mod tests {
         let mut dst = Heap::new();
         let out = copy_term(&src, s, &mut dst);
         // the copy is itself cyclic and was produced in finite time
-        let Cell::Str(h) = out.root else { unreachable!() };
+        let Cell::Str(h) = out.root else {
+            unreachable!()
+        };
         assert_eq!(dst.deref(dst.str_arg(h, 0)), Cell::Str(h));
     }
 }

@@ -467,9 +467,13 @@ mod tests {
         let l = h.list(&[Cell::Int(1), Cell::Int(2), Cell::Int(3)]);
         let Cell::Lst(p) = l else { unreachable!() };
         assert_eq!(h.lst_head(p), Cell::Int(1));
-        let Cell::Lst(p2) = h.lst_tail(p) else { unreachable!() };
+        let Cell::Lst(p2) = h.lst_tail(p) else {
+            unreachable!()
+        };
         assert_eq!(h.lst_head(p2), Cell::Int(2));
-        let Cell::Lst(p3) = h.lst_tail(p2) else { unreachable!() };
+        let Cell::Lst(p3) = h.lst_tail(p2) else {
+            unreachable!()
+        };
         assert_eq!(h.lst_head(p3), Cell::Int(3));
         assert_eq!(h.lst_tail(p3), Cell::Nil);
     }

@@ -54,13 +54,13 @@ enum Tok {
     Atom(String, bool),
     Var(String),
     Int(i64),
-    Open,      // (
-    Close,     // )
-    OpenB,     // [
-    CloseB,    // ]
-    Comma,     // ,
-    Bar,       // |
-    End,       // clause-terminating .
+    Open,   // (
+    Close,  // )
+    OpenB,  // [
+    CloseB, // ]
+    Comma,  // ,
+    Bar,    // |
+    End,    // clause-terminating .
     Eof,
 }
 
@@ -81,9 +81,7 @@ impl<'s> Lexer<'s> {
 
     fn skip_ws(&mut self) -> Result<(), ReadError> {
         loop {
-            while self.pos < self.src.len()
-                && self.src[self.pos].is_ascii_whitespace()
-            {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
                 self.pos += 1;
             }
             if self.pos < self.src.len() && self.src[self.pos] == b'%' {
@@ -102,8 +100,7 @@ impl<'s> Lexer<'s> {
                     if self.pos + 1 >= self.src.len() {
                         return err(start, "unterminated block comment");
                     }
-                    if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/'
-                    {
+                    if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/' {
                         self.pos += 2;
                         break;
                     }
@@ -171,9 +168,7 @@ impl<'s> Lexer<'s> {
             }
             c if SYMBOLIC.contains(&c) => {
                 let start = self.pos;
-                while self.pos < self.src.len()
-                    && SYMBOLIC.contains(&self.src[self.pos])
-                {
+                while self.pos < self.src.len() && SYMBOLIC.contains(&self.src[self.pos]) {
                     self.pos += 1;
                 }
                 let s = std::str::from_utf8(&self.src[start..self.pos])
@@ -202,8 +197,7 @@ impl<'s> Lexer<'s> {
     fn ident(&mut self) -> String {
         let start = self.pos;
         while self.pos < self.src.len()
-            && (self.src[self.pos].is_ascii_alphanumeric()
-                || self.src[self.pos] == b'_')
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
         {
             self.pos += 1;
         }
@@ -226,9 +220,9 @@ impl<'s> Lexer<'s> {
 
     fn quoted_atom(&mut self, at: usize) -> Result<(usize, Tok), ReadError> {
         self.pos += 1; // opening quote
-        // Collect raw bytes so multi-byte UTF-8 inside quoted atoms
-        // survives intact (the input is valid UTF-8 and all delimiters
-        // and escapes are ASCII, so byte-level scanning is safe).
+                       // Collect raw bytes so multi-byte UTF-8 inside quoted atoms
+                       // survives intact (the input is valid UTF-8 and all delimiters
+                       // and escapes are ASCII, so byte-level scanning is safe).
         let mut bytes: Vec<u8> = Vec::new();
         loop {
             match self.peek_byte() {
@@ -264,11 +258,10 @@ impl<'s> Lexer<'s> {
                 }
             }
         }
-        let out = String::from_utf8(bytes)
-            .map_err(|_| ReadError {
-                at,
-                msg: "invalid UTF-8 in quoted atom".into(),
-            })?;
+        let out = String::from_utf8(bytes).map_err(|_| ReadError {
+            at,
+            msg: "invalid UTF-8 in quoted atom".into(),
+        })?;
         let calls = self.peek_byte() == Some(b'(');
         Ok((at, Tok::Atom(out, calls)))
     }
@@ -303,8 +296,8 @@ fn infix_op(name: &str) -> Option<OpDef> {
         // than ','  so  `a, b & c, d`  reads as  `(a, b) & (c, d)`.
         "&" => (1025, Xfy),
         "," => (1000, Xfy),
-        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">"
-        | "=<" | ">=" | "@<" | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<"
+        | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
         "+" | "-" => (500, Yfx),
         "*" | "/" | "//" | "mod" | "rem" | ">>" | "<<" => (400, Yfx),
         "**" => (200, Xfx),
@@ -503,9 +496,7 @@ impl<'s, 'h> Parser<'s, 'h> {
             match self.bump()? {
                 (_, Tok::Comma) => continue,
                 (_, Tok::Close) => break,
-                (at, other) => {
-                    return err(at, format!("expected `,` or `)`, found {other:?}"))
-                }
+                (at, other) => return err(at, format!("expected `,` or `)`, found {other:?}")),
             }
         }
         Ok(args)
@@ -531,20 +522,12 @@ impl<'s, 'h> Parser<'s, 'h> {
                     tail = self.term(999)?;
                     match self.bump()? {
                         (_, Tok::CloseB) => {}
-                        (at, other) => {
-                            return err(
-                                at,
-                                format!("expected `]`, found {other:?}"),
-                            )
-                        }
+                        (at, other) => return err(at, format!("expected `]`, found {other:?}")),
                     }
                     break;
                 }
                 (at, other) => {
-                    return err(
-                        at,
-                        format!("expected `,`, `|` or `]`, found {other:?}"),
-                    )
+                    return err(at, format!("expected `,`, `|` or `]`, found {other:?}"))
                 }
             }
         }
@@ -570,10 +553,7 @@ fn atom_cell(name: &str) -> Cell {
 
 /// Parse a single term (terminated by `.` or end of input) into `heap`.
 /// Returns the term and the variable-name bindings encountered.
-pub fn parse_term(
-    heap: &mut Heap,
-    src: &str,
-) -> Result<(Cell, Vec<(String, Cell)>), ReadError> {
+pub fn parse_term(heap: &mut Heap, src: &str) -> Result<(Cell, Vec<(String, Cell)>), ReadError> {
     let mut p = Parser::new(src, heap);
     let t = p.term(1200)?;
     match p.bump()? {
@@ -622,12 +602,8 @@ pub fn parse_program(src: &str) -> Result<Vec<ReadClause>, ReadError> {
             msg: e.msg,
         })? {
             (_, Tok::End) => {}
-            (at, Tok::Eof) => {
-                return err(at + consumed, "clause not terminated by `.`")
-            }
-            (at, other) => {
-                return err(at + consumed, format!("expected `.`, found {other:?}"))
-            }
+            (at, Tok::Eof) => return err(at + consumed, "clause not terminated by `.`"),
+            (at, other) => return err(at + consumed, format!("expected `.`, found {other:?}")),
         }
         let advanced = p.lx.pos;
         out.push(ReadClause { arena, root });
@@ -745,7 +721,9 @@ mod tests {
     fn clause_neck() {
         let mut h = Heap::new();
         let (t, _) = parse_term(&mut h, "p(X) :- q(X), r(X)").unwrap();
-        let TermView::Struct(f, 2, _) = view(&h, t) else { unreachable!() };
+        let TermView::Struct(f, 2, _) = view(&h, t) else {
+            unreachable!()
+        };
         assert_eq!(f, sym(":-"));
     }
 
@@ -788,7 +766,9 @@ mod tests {
     fn naf_prefix() {
         let mut h = Heap::new();
         let (t, _) = parse_term(&mut h, "\\+ p(X)").unwrap();
-        let TermView::Struct(f, 1, _) = view(&h, t) else { unreachable!() };
+        let TermView::Struct(f, 1, _) = view(&h, t) else {
+            unreachable!()
+        };
         assert_eq!(f, sym("\\+"));
     }
 

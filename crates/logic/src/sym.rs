@@ -82,34 +82,103 @@ fn interner() -> &'static RwLock<Interner> {
 }
 
 /// Intern `name`, returning its global symbol.
+///
+/// The interner lock tolerates poisoning: interning only appends, so a
+/// panic while holding the lock cannot leave the table inconsistent, and
+/// one dead worker must not poison symbol access for every later run.
 pub fn sym(name: &str) -> Sym {
     {
-        let rd = interner().read().unwrap();
+        let rd = interner().read().unwrap_or_else(|e| e.into_inner());
         if let Some(&i) = rd.by_name.get(name) {
             return Sym(i);
         }
     }
-    interner().write().unwrap().intern(name)
+    interner()
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .intern(name)
 }
 
 /// The textual name of `s`. Panics if `s` did not come from [`sym`].
 pub fn sym_name(s: Sym) -> String {
-    interner().read().unwrap().names[s.0 as usize].clone()
+    interner().read().unwrap_or_else(|e| e.into_inner()).names[s.0 as usize].clone()
 }
 
 /// Number of symbols interned so far (diagnostics only).
 pub fn interned_count() -> usize {
-    interner().read().unwrap().names.len()
+    interner()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .names
+        .len()
 }
 
 const WELL_KNOWN_NAMES: &[&str] = &[
-    ",", "&", ";", "->", ":-", "?-", "!", "true", "fail", "false", "[]", ".",
-    "=", "\\=", "==", "\\==", "is", "=:=", "=\\=", "<", ">", "=<", ">=",
-    "+", "-", "*", "/", "//", "mod", "rem", "abs", "min", "max", "\\+",
-    "var", "nonvar", "atom", "number", "integer", "atomic", "compound",
-    "functor", "arg", "=..", "copy_term", "call", "halt", "write", "nl",
-    "between", "length", "ground", "compare", "@<", "@>", "@=<", "@>=",
-    "succ_or_zero", "tab", "not", "\\", ">>", "<<", "^", "writeln",
+    ",",
+    "&",
+    ";",
+    "->",
+    ":-",
+    "?-",
+    "!",
+    "true",
+    "fail",
+    "false",
+    "[]",
+    ".",
+    "=",
+    "\\=",
+    "==",
+    "\\==",
+    "is",
+    "=:=",
+    "=\\=",
+    "<",
+    ">",
+    "=<",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "//",
+    "mod",
+    "rem",
+    "abs",
+    "min",
+    "max",
+    "\\+",
+    "var",
+    "nonvar",
+    "atom",
+    "number",
+    "integer",
+    "atomic",
+    "compound",
+    "functor",
+    "arg",
+    "=..",
+    "copy_term",
+    "call",
+    "halt",
+    "write",
+    "nl",
+    "between",
+    "length",
+    "ground",
+    "compare",
+    "@<",
+    "@>",
+    "@=<",
+    "@>=",
+    "succ_or_zero",
+    "tab",
+    "not",
+    "\\",
+    ">>",
+    "<<",
+    "^",
+    "writeln",
 ];
 
 /// Pre-interned well-known symbols used on engine hot paths.
@@ -282,13 +351,10 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let names = names.clone();
-                std::thread::spawn(move || {
-                    names.iter().map(|n| sym(n)).collect::<Vec<_>>()
-                })
+                std::thread::spawn(move || names.iter().map(|n| sym(n)).collect::<Vec<_>>())
             })
             .collect();
-        let results: Vec<Vec<Sym>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {
             assert_eq!(w[0], w[1]);
         }

@@ -198,9 +198,7 @@ pub fn compare(heap: &Heap, a: Cell, b: Cell) -> std::cmp::Ordering {
 
 fn compound_parts(heap: &Heap, v: TermView) -> (Sym, u32, Vec<Cell>) {
     match v {
-        TermView::Struct(f, n, hdr) => {
-            (f, n, (0..n).map(|i| heap.str_arg(hdr, i)).collect())
-        }
+        TermView::Struct(f, n, hdr) => (f, n, (0..n).map(|i| heap.str_arg(hdr, i)).collect()),
         TermView::List(p) => (
             crate::sym::wk().dot,
             2,

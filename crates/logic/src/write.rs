@@ -123,8 +123,8 @@ fn infix_prec(name: &str) -> Option<(u16, u16, u16)> {
         "->" => (1050, 1049, 1050),
         "&" => (1025, 1024, 1025),
         "," => (1000, 999, 1000),
-        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">"
-        | "=<" | ">=" | "@<" | "@>" | "@=<" | "@>=" | "=.." => (700, 699, 699),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<"
+        | "@>" | "@=<" | "@>=" | "=.." => (700, 699, 699),
         "+" | "-" => (500, 500, 499),
         "*" | "/" | "//" | "mod" | "rem" | ">>" | "<<" => (400, 400, 399),
         "**" => (200, 199, 199),

@@ -56,13 +56,11 @@ fn build(heap: &mut Heap, t: &T, vars: &mut Vec<Option<Cell>>) -> Cell {
         T::Atom(i) => Cell::Atom(sym(&format!("a{i}"))),
         T::Int(v) => Cell::Int(*v as i64),
         T::Struct(f, args) => {
-            let cells: Vec<Cell> =
-                args.iter().map(|a| build(heap, a, vars)).collect();
+            let cells: Vec<Cell> = args.iter().map(|a| build(heap, a, vars)).collect();
             heap.new_struct(sym(&format!("f{f}")), &cells)
         }
         T::List(items) => {
-            let cells: Vec<Cell> =
-                items.iter().map(|a| build(heap, a, vars)).collect();
+            let cells: Vec<Cell> = items.iter().map(|a| build(heap, a, vars)).collect();
             heap.list(&cells)
         }
     }

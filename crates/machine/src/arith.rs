@@ -33,12 +33,7 @@ pub fn eval(heap: &Heap, t: Cell) -> Result<(i64, usize), ArithError> {
     Ok((v, ops))
 }
 
-fn eval_inner(
-    heap: &Heap,
-    t: Cell,
-    ops: &mut usize,
-    depth: usize,
-) -> Result<i64, ArithError> {
+fn eval_inner(heap: &Heap, t: Cell, ops: &mut usize, depth: usize) -> Result<i64, ArithError> {
     if depth > 10_000 {
         return Err(ArithError::NotEvaluable("expression too deep".into()));
     }
@@ -54,9 +49,7 @@ fn eval_inner(
                     let a = eval_inner(heap, heap.str_arg(hdr, 0), ops, depth + 1)?;
                     a.checked_neg().ok_or(ArithError::Overflow)
                 }
-                (s, 1) if s == w.plus => {
-                    eval_inner(heap, heap.str_arg(hdr, 0), ops, depth + 1)
-                }
+                (s, 1) if s == w.plus => eval_inner(heap, heap.str_arg(hdr, 0), ops, depth + 1),
                 (s, 1) if s == w.abs => {
                     let a = eval_inner(heap, heap.str_arg(hdr, 0), ops, depth + 1)?;
                     a.checked_abs().ok_or(ArithError::Overflow)
@@ -117,12 +110,7 @@ fn binop(f: Sym, a: i64, b: i64) -> Result<i64, ArithError> {
 }
 
 /// Evaluate both sides of an arithmetic comparison and apply it.
-pub fn compare(
-    heap: &Heap,
-    op: Sym,
-    lhs: Cell,
-    rhs: Cell,
-) -> Result<(bool, usize), ArithError> {
+pub fn compare(heap: &Heap, op: Sym, lhs: Cell, rhs: Cell) -> Result<(bool, usize), ArithError> {
     let (a, o1) = eval(heap, lhs)?;
     let (b, o2) = eval(heap, rhs)?;
     let w = wk();
@@ -185,10 +173,7 @@ mod tests {
     #[test]
     fn overflow_detected() {
         let mut h = Heap::new();
-        let big = h.new_struct(
-            ace_logic::sym("*"),
-            &[Cell::Int(i64::MAX), Cell::Int(2)],
-        );
+        let big = h.new_struct(ace_logic::sym("*"), &[Cell::Int(i64::MAX), Cell::Int(2)]);
         assert_eq!(eval(&h, big), Err(ArithError::Overflow));
     }
 
@@ -199,8 +184,7 @@ mod tests {
         let TermView::Struct(op, 2, hdr) = view(&h, t) else {
             unreachable!()
         };
-        let (r, _) =
-            compare(&h, op, h.str_arg(hdr, 0), h.str_arg(hdr, 1)).unwrap();
+        let (r, _) = compare(&h, op, h.str_arg(hdr, 0), h.str_arg(hdr, 1)).unwrap();
         assert!(r);
     }
 

@@ -37,9 +37,7 @@ pub(crate) fn dispatch(m: &mut Machine, f: Sym, n: u32, hdr: Addr) -> Option<Sta
         (x, 1) if x == w.var_ => builtin_type_test(m, hdr, TypeTest::Var),
         (x, 1) if x == w.nonvar => builtin_type_test(m, hdr, TypeTest::Nonvar),
         (x, 1) if x == w.atom_ => builtin_type_test(m, hdr, TypeTest::Atom),
-        (x, 1) if x == w.number || x == w.integer => {
-            builtin_type_test(m, hdr, TypeTest::Integer)
-        }
+        (x, 1) if x == w.number || x == w.integer => builtin_type_test(m, hdr, TypeTest::Integer),
         (x, 1) if x == w.atomic => builtin_type_test(m, hdr, TypeTest::Atomic),
         (x, 1) if x == w.compound => builtin_type_test(m, hdr, TypeTest::Compound),
         (x, 1) if x == w.ground => builtin_ground(m, hdr),
@@ -82,7 +80,9 @@ fn builtin_findall(m: &mut Machine, hdr: Addr) -> Status {
     // ship template+goal jointly so they keep sharing variables
     let pair = m.heap.new_struct(sym("$findall"), &[template, goal]);
     let out = ace_logic::copy::copy_term(&m.heap, pair, &mut sub.heap);
-    let Cell::Str(phdr) = out.root else { unreachable!() };
+    let Cell::Str(phdr) = out.root else {
+        unreachable!()
+    };
     let sub_template = sub.heap.str_arg(phdr, 0);
     let sub_goal = sub.heap.str_arg(phdr, 1);
     m.stats.cells_copied += out.cells_copied as u64;
@@ -93,8 +93,7 @@ fn builtin_findall(m: &mut Machine, hdr: Addr) -> Status {
     loop {
         match sub.run_to_completion() {
             Status::Solution => {
-                let inst =
-                    ace_logic::copy::copy_term(&sub.heap, sub_template, &mut m.heap);
+                let inst = ace_logic::copy::copy_term(&sub.heap, sub_template, &mut m.heap);
                 m.stats.cells_copied += inst.cells_copied as u64;
                 items.push(inst.root);
                 sub.backtrack();
@@ -106,9 +105,7 @@ fn builtin_findall(m: &mut Machine, hdr: Addr) -> Status {
             }
             other => {
                 m.charge(sub.stats.cost);
-                return m.error(format!(
-                    "findall/3: unexpected sub-status {other:?}"
-                ));
+                return m.error(format!("findall/3: unexpected sub-status {other:?}"));
             }
         }
     }
@@ -126,10 +123,7 @@ fn builtin_sort(m: &mut Machine, hdr: Addr, dedup: bool) -> Status {
     let Some(mut items) = ace_logic::term::proper_list(&m.heap, input) else {
         return m.error("sort/2: proper list expected");
     };
-    m.charge(
-        (items.len() as u64)
-            * (64 - (items.len() as u64).leading_zeros() as u64).max(1),
-    );
+    m.charge((items.len() as u64) * (64 - (items.len() as u64).leading_zeros() as u64).max(1));
     items.sort_by(|a, b| term_compare(&m.heap, *a, *b));
     if dedup {
         items.dedup_by(|a, b| term_compare(&m.heap, *a, *b).is_eq());
@@ -300,10 +294,7 @@ fn builtin_type_test(m: &mut Machine, hdr: Addr, t: TypeTest) -> Status {
         TypeTest::Nonvar => !matches!(v, TermView::Var(_)),
         TypeTest::Atom => matches!(v, TermView::Atom(_) | TermView::Nil),
         TypeTest::Integer => matches!(v, TermView::Int(_)),
-        TypeTest::Atomic => matches!(
-            v,
-            TermView::Atom(_) | TermView::Int(_) | TermView::Nil
-        ),
+        TypeTest::Atomic => matches!(v, TermView::Atom(_) | TermView::Int(_) | TermView::Nil),
         TypeTest::Compound => {
             matches!(v, TermView::Struct(..) | TermView::List(_))
         }
@@ -335,8 +326,7 @@ fn builtin_functor(m: &mut Machine, hdr: Addr) -> Status {
             // construct: functor(T, Name, Arity)
             let nv = view(&m.heap, name);
             let av = view(&m.heap, arity);
-            let (TermView::Int(a), true) = (av, !matches!(nv, TermView::Var(_)))
-            else {
+            let (TermView::Int(a), true) = (av, !matches!(nv, TermView::Var(_))) else {
                 return m.error("functor/3: insufficiently instantiated");
             };
             if !(0..=1_000_000).contains(&a) {
@@ -347,8 +337,7 @@ fn builtin_functor(m: &mut Machine, hdr: Addr) -> Status {
                 (TermView::Int(i), 0) => Cell::Int(i),
                 (TermView::Nil, 0) => Cell::Nil,
                 (TermView::Atom(s), a) => {
-                    let args: Vec<Cell> =
-                        (0..a).map(|_| m.heap.new_var()).collect();
+                    let args: Vec<Cell> = (0..a).map(|_| m.heap.new_var()).collect();
                     m.stats.heap_cells += a as u64 + 1;
                     if s == wk().dot && a == 2 {
                         m.heap.cons(args[0], args[1])
@@ -492,11 +481,7 @@ fn builtin_univ(m: &mut Machine, hdr: Addr) -> Status {
             unify_or_backtrack(m, l, lst)
         }
         TermView::List(p) => {
-            let items = vec![
-                Cell::Atom(wk().dot),
-                m.heap.lst_head(p),
-                m.heap.lst_tail(p),
-            ];
+            let items = vec![Cell::Atom(wk().dot), m.heap.lst_head(p), m.heap.lst_tail(p)];
             let lst = m.heap.list(&items);
             unify_or_backtrack(m, l, lst)
         }
@@ -549,8 +534,7 @@ fn builtin_between(m: &mut Machine, hdr: Addr) -> Status {
     let lo_t = m.heap.str_arg(hdr, 0);
     let hi_t = m.heap.str_arg(hdr, 1);
     let x = m.heap.str_arg(hdr, 2);
-    let (Ok((lo, o1)), Ok((hi, o2))) =
-        (arith::eval(&m.heap, lo_t), arith::eval(&m.heap, hi_t))
+    let (Ok((lo, o1)), Ok((hi, o2))) = (arith::eval(&m.heap, lo_t), arith::eval(&m.heap, hi_t))
     else {
         return m.error("between/3: bounds must evaluate to integers");
     };

@@ -93,9 +93,6 @@ mod tests {
         let c = push(&push(&None, Cell::Int(1), 5), Cell::Int(2), 9);
         let v = to_vec(&c);
         let c2 = from_vec(&v, |b| b.saturating_sub(5));
-        assert_eq!(
-            to_vec(&c2),
-            vec![(Cell::Int(2), 4), (Cell::Int(1), 0)]
-        );
+        assert_eq!(to_vec(&c2), vec![(Cell::Int(2), 4), (Cell::Int(1), 0)]);
     }
 }

@@ -14,9 +14,7 @@ use ace_logic::{Cell, Heap, Sym, TrailMark};
 use ace_runtime::{CancelToken, CostModel, Stats};
 
 use crate::cont::{self, Cont};
-use crate::frames::{
-    Alts, ChoicePoint, CtrlFrame, Marker, MarkerKind, ParcallFrame, SharedChoice,
-};
+use crate::frames::{Alts, ChoicePoint, CtrlFrame, Marker, MarkerKind, ParcallFrame, SharedChoice};
 
 /// Machine execution status, returned by [`Machine::step`] / [`Machine::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -331,7 +329,9 @@ impl Machine {
     /// the clause" condition (the real continuation is parked in the
     /// enclosing frame).
     pub fn top_parcall_cont_is_barrier_of(&self, frame_id: u64) -> bool {
-        let Some(pf) = self.top_parcall() else { return false };
+        let Some(pf) = self.top_parcall() else {
+            return false;
+        };
         let Some(node) = &pf.cont else { return false };
         if node.next.is_some() {
             return false;
@@ -549,7 +549,9 @@ impl Machine {
         let out = copy_term(&self.heap, tuple, &mut closure_heap);
         self.heap.rewind_section(section);
 
-        let Cell::Str(hdr) = out.root else { unreachable!() };
+        let Cell::Str(hdr) = out.root else {
+            unreachable!()
+        };
         let c_goal = closure_heap.str_arg(hdr, 0);
         let c_cont: Vec<(Cell, u32)> = cont_goals
             .iter()
@@ -588,7 +590,9 @@ impl Machine {
         self.stats.cells_copied += tuple.cells_copied as u64;
         self.charge(tuple.cells_copied as u64 * self.costs.heap_cell);
 
-        let Cell::Str(hdr) = tuple.root else { unreachable!() };
+        let Cell::Str(hdr) = tuple.root else {
+            unreachable!()
+        };
         let goal = self.heap.str_arg(hdr, 0);
         let cont_goals: Vec<(Cell, u32)> = closure
             .cont
@@ -720,8 +724,7 @@ impl Machine {
                 } else if f == w.call && n >= 1 {
                     self.call_n(hdr, n)
                 } else if f == inline_barrier_sym() && n == 1 {
-                    let Cell::Int(fid) = self.heap.deref(self.heap.str_arg(hdr, 0))
-                    else {
+                    let Cell::Int(fid) = self.heap.deref(self.heap.str_arg(hdr, 0)) else {
                         unreachable!("malformed inline barrier")
                     };
                     self.status = Status::InlineBarrier(fid as u64);
@@ -730,15 +733,13 @@ impl Machine {
                     // internal: ITE condition succeeded — cut the else
                     // choice point, then run Then.
                     let t = self.heap.str_arg(hdr, 0);
-                    let Cell::Int(cp_idx) = self.heap.deref(self.heap.str_arg(hdr, 1))
-                    else {
+                    let Cell::Int(cp_idx) = self.heap.deref(self.heap.str_arg(hdr, 1)) else {
                         unreachable!()
                     };
                     self.cut_to(cp_idx as u32);
                     self.cont = cont::push(&self.cont, t, barrier);
                     Status::Running
-                } else if let Some(status) = crate::builtins::dispatch(self, f, n, hdr)
-                {
+                } else if let Some(status) = crate::builtins::dispatch(self, f, n, hdr) {
                     status
                 } else {
                     self.call_user(goal, f, n, Some(hdr))
@@ -815,9 +816,9 @@ impl Machine {
             shared: None,
         });
         // run C, then '$ite_then'(T, cp_idx); C's own cuts are local to it.
-        let then_goal =
-            self.heap
-                .new_struct(sym("$ite_then"), &[t, Cell::Int(cp_idx)]);
+        let then_goal = self
+            .heap
+            .new_struct(sym("$ite_then"), &[t, Cell::Int(cp_idx)]);
         self.cont = cont::push(&self.cont, then_goal, barrier);
         let cond_barrier = self.ctrl.len() as u32; // cut inside C is local
         self.cont = cont::push(&self.cont, c, cond_barrier);
@@ -833,13 +834,11 @@ impl Machine {
             // call(F, A1..Ak): append args to F
             match view(&self.heap, target) {
                 TermView::Atom(f) => {
-                    let extra: Vec<Cell> =
-                        (1..n).map(|i| self.heap.str_arg(hdr, i)).collect();
+                    let extra: Vec<Cell> = (1..n).map(|i| self.heap.str_arg(hdr, i)).collect();
                     self.heap.new_struct(f, &extra)
                 }
                 TermView::Struct(f, m, ghdr) => {
-                    let mut args: Vec<Cell> =
-                        (0..m).map(|i| self.heap.str_arg(ghdr, i)).collect();
+                    let mut args: Vec<Cell> = (0..m).map(|i| self.heap.str_arg(ghdr, i)).collect();
                     args.extend((1..n).map(|i| self.heap.str_arg(hdr, i)));
                     self.heap.new_struct(f, &args)
                 }
@@ -863,10 +862,7 @@ impl Machine {
         self.charge(self.costs.index_lookup);
         let db = self.db.clone();
         let Some(pred) = db.predicate(name, arity) else {
-            return self.error(format!(
-                "undefined predicate {}/{arity}",
-                name.name()
-            ));
+            return self.error(format!("undefined predicate {}/{arity}", name.name()));
         };
         let key = match hdr {
             Some(h) if arity > 0 => IndexKey::of(&self.heap, self.heap.str_arg(h, 0)),
@@ -1033,8 +1029,7 @@ impl Machine {
                             Some(idx) => {
                                 self.stats.alternatives_claimed += 1;
                                 self.charge(self.costs.claim_alternative);
-                                if self.try_clause(name, arity, idx, goal, barrier)
-                                {
+                                if self.try_clause(name, arity, idx, goal, barrier) {
                                     self.status = Status::Running;
                                     return Status::Running;
                                 }
@@ -1059,12 +1054,8 @@ impl Machine {
                             let pred = db.predicate(name, arity).unwrap();
                             match pred.next_matching(key, idx + 1) {
                                 Some(f) => {
-                                    if let CtrlFrame::Choice(cp) =
-                                        &mut self.ctrl[top]
-                                    {
-                                        if let Alts::Clauses { next, .. } =
-                                            &mut cp.alts
-                                        {
+                                    if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
+                                        if let Alts::Clauses { next, .. } = &mut cp.alts {
                                             *next = f;
                                         }
                                     }
@@ -1089,8 +1080,7 @@ impl Machine {
                         Alts::Between { var, next, hi } => {
                             if next >= hi {
                                 self.ctrl.pop();
-                            } else if let CtrlFrame::Choice(cp) = &mut self.ctrl[top]
-                            {
+                            } else if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
                                 if let Alts::Between { next: n, .. } = &mut cp.alts {
                                     *n = next + 1;
                                 }

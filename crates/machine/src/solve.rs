@@ -68,11 +68,7 @@ pub struct Solver {
 
 impl Solver {
     /// Parse `query` (without the `?-` wrapper) against `db`.
-    pub fn new(
-        db: Arc<Database>,
-        costs: Arc<CostModel>,
-        query: &str,
-    ) -> Result<Self, SolveError> {
+    pub fn new(db: Arc<Database>, costs: Arc<CostModel>, query: &str) -> Result<Self, SolveError> {
         let mut machine = Machine::new(db, costs);
         let vars = machine
             .load_query_text(query)
@@ -125,10 +121,7 @@ impl Solver {
     }
 
     /// Collect up to `limit` solutions (all if `None`).
-    pub fn collect_solutions(
-        &mut self,
-        limit: Option<usize>,
-    ) -> Result<Vec<Solution>, SolveError> {
+    pub fn collect_solutions(&mut self, limit: Option<usize>) -> Result<Vec<Solution>, SolveError> {
         let mut out = Vec::new();
         while limit.is_none_or(|l| out.len() < l) {
             match self.next_solution()? {
@@ -155,10 +148,7 @@ impl Solver {
 }
 
 /// One-shot helper: all solutions of `query` against `db`, rendered.
-pub fn all_solutions(
-    db: &Arc<Database>,
-    query: &str,
-) -> Result<Vec<String>, SolveError> {
+pub fn all_solutions(db: &Arc<Database>, query: &str) -> Result<Vec<String>, SolveError> {
     let mut s = Solver::new(db.clone(), Arc::new(CostModel::default()), query)?;
     Ok(s.collect_solutions(None)?
         .into_iter()
@@ -205,10 +195,7 @@ mod tests {
         assert_eq!(sols, vec!["L=[1,2,3]"]);
         // backwards: all splits of [1,2]
         let sols = all_solutions(&d, "append(A, B, [1,2])").unwrap();
-        assert_eq!(
-            sols,
-            vec!["A=[], B=[1,2]", "A=[1], B=[2]", "A=[1,2], B=[]"]
-        );
+        assert_eq!(sols, vec!["A=[], B=[1,2]", "A=[1], B=[2]", "A=[1,2], B=[]"]);
     }
 
     #[test]
@@ -268,10 +255,7 @@ mod tests {
     #[test]
     fn if_then_else() {
         let d = db("classify(X, neg) :- (X < 0 -> true ; fail). classify(X, nonneg) :- (X < 0 -> fail ; true).");
-        assert_eq!(
-            all_solutions(&d, "classify(-5, C)").unwrap(),
-            vec!["C=neg"]
-        );
+        assert_eq!(all_solutions(&d, "classify(-5, C)").unwrap(), vec!["C=neg"]);
         assert_eq!(
             all_solutions(&d, "classify(5, C)").unwrap(),
             vec!["C=nonneg"]
@@ -340,10 +324,7 @@ mod tests {
             all_solutions(&d, "functor(f(a,b), N, A)").unwrap(),
             vec!["A=2, N=f"]
         );
-        assert_eq!(
-            all_solutions(&d, "arg(2, f(a,b), X)").unwrap(),
-            vec!["X=b"]
-        );
+        assert_eq!(all_solutions(&d, "arg(2, f(a,b), X)").unwrap(), vec!["X=b"]);
         assert_eq!(
             all_solutions(&d, "f(a,b) =.. L").unwrap(),
             vec!["L=[f,a,b]"]
@@ -372,8 +353,7 @@ mod tests {
     #[test]
     fn write_captures_output() {
         let d = db("greet :- write(hello), nl, writeln(world).");
-        let mut s =
-            Solver::new(d, Arc::new(CostModel::default()), "greet").unwrap();
+        let mut s = Solver::new(d, Arc::new(CostModel::default()), "greet").unwrap();
         assert!(s.is_provable().unwrap());
         assert_eq!(s.machine().output, "hello\nworld\n");
     }
@@ -381,12 +361,7 @@ mod tests {
     #[test]
     fn solution_limit() {
         let d = db("p(1). p(2). p(3). p(4).");
-        let mut s = Solver::new(
-            d,
-            Arc::new(CostModel::default()),
-            "p(X)",
-        )
-        .unwrap();
+        let mut s = Solver::new(d, Arc::new(CostModel::default()), "p(X)").unwrap();
         let sols = s.collect_solutions(Some(2)).unwrap();
         assert_eq!(sols.len(), 2);
     }
@@ -394,12 +369,8 @@ mod tests {
     #[test]
     fn stats_are_collected() {
         let d = db(LISTS);
-        let mut s = Solver::new(
-            d,
-            Arc::new(CostModel::default()),
-            "nrev([1,2,3,4,5,6], R)",
-        )
-        .unwrap();
+        let mut s =
+            Solver::new(d, Arc::new(CostModel::default()), "nrev([1,2,3,4,5,6], R)").unwrap();
         s.next_solution().unwrap().unwrap();
         let st = &s.machine().stats;
         assert!(st.calls > 20);
@@ -409,12 +380,8 @@ mod tests {
 
         // enumeration through member/2 does allocate choice points
         let d2 = db(LISTS);
-        let mut s2 = Solver::new(
-            d2,
-            Arc::new(CostModel::default()),
-            "member(X, [1,2,3,4])",
-        )
-        .unwrap();
+        let mut s2 =
+            Solver::new(d2, Arc::new(CostModel::default()), "member(X, [1,2,3,4])").unwrap();
         let all = s2.collect_solutions(None).unwrap();
         assert_eq!(all.len(), 4);
         assert!(s2.machine().stats.choice_points > 0);

@@ -109,10 +109,7 @@ fn reverse_works() {
         all_solutions(&d, "reverse([1,2,3], L)").unwrap(),
         vec!["L=[3,2,1]"]
     );
-    assert_eq!(
-        all_solutions(&d, "reverse([], L)").unwrap(),
-        vec!["L=[]"]
-    );
+    assert_eq!(all_solutions(&d, "reverse([], L)").unwrap(), vec!["L=[]"]);
 }
 
 #[test]

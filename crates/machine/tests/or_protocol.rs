@@ -112,14 +112,12 @@ fn install_closure_runs_a_specific_alternative() {
 
 #[test]
 fn install_closure_failure_reports_failed() {
-    let db = Arc::new(
-        Database::load("c(1). c(2). t(X) :- c(X), X > 1.").unwrap(),
-    );
+    let db = Arc::new(Database::load("c(1). c(2). t(X) :- c(X), X > 1.").unwrap());
     let mut owner = Machine::new(db.clone(), Arc::new(CostModel::default()));
     owner.load_query_text("t(X)").unwrap();
     assert_eq!(owner.run_to_completion(), Status::Solution); // X = 2
-    // the single choice point was consumed on the way (c(1) failed the
-    // test, retry happened)... create a fresh one:
+                                                             // the single choice point was consumed on the way (c(1) failed the
+                                                             // test, retry happened)... create a fresh one:
     let mut owner2 = Machine::new(db, Arc::new(CostModel::default()));
     owner2.load_query_text("c(X), X > 1").unwrap();
     assert_eq!(owner2.run_to_completion(), Status::Solution);

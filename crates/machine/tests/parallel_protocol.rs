@@ -174,8 +174,7 @@ fn deterministic_since_previous_parcall() {
     assert_eq!(m.run_to_completion(), Status::Parcall);
     // deterministic inline step then a nested parcall: condition holds
     let goal = {
-        let (g, _) =
-            ace_logic::parse_term(&mut m.heap, "b(K), (a(P) & b(Q))").unwrap();
+        let (g, _) = ace_logic::parse_term(&mut m.heap, "b(K), (a(P) & b(Q))").unwrap();
         g
     };
     let fid = m.top_parcall().unwrap().id;
@@ -189,8 +188,7 @@ fn deterministic_since_previous_parcall() {
     assert_eq!(m2.run_to_completion(), Status::Parcall);
     let fid2 = m2.top_parcall().unwrap().id;
     let goal2 = {
-        let (g, _) =
-            ace_logic::parse_term(&mut m2.heap, "nd(K), (a(P) & b(Q))").unwrap();
+        let (g, _) = ace_logic::parse_term(&mut m2.heap, "nd(K), (a(P) & b(Q))").unwrap();
         g
     };
     m2.run_inline_branch(goal2, fid2);

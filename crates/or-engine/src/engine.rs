@@ -9,8 +9,8 @@ use ace_logic::{Cell, Database};
 use ace_machine::frames::Alts;
 use ace_machine::{Machine, Status};
 use ace_runtime::{
-    Agent, CancelToken, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver,
-    Stats, ThreadsDriver,
+    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, DriverKind, EngineConfig, FaultAction,
+    FaultInjector, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
 };
 use parking_lot::Mutex;
 
@@ -44,6 +44,8 @@ struct OrShared {
     cancel: CancelToken,
     worker_stats: Mutex<Vec<Stats>>,
     max_depth: AtomicUsize,
+    /// Fault injection (tests/robustness validation); `None` = no faults.
+    injector: Option<FaultInjector>,
 }
 
 impl OrShared {
@@ -140,14 +142,32 @@ impl OrWorker {
         if self.sh.idle.load(Ordering::Acquire) == 0 {
             return;
         }
+        // Injected transient publication failure: skip this window; the
+        // next `run_current` calls here again, so publication is only
+        // deferred, never lost (each fault event fires at most once).
+        let publish_faulted = self
+            .sh
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.publish_fails(self.id));
+        if publish_faulted {
+            self.stats.faults_injected += 1;
+            self.stats.publish_retries += 1;
+            self.charge(self.sh.cfg.costs.queue_op);
+            return;
+        }
         let costs = self.sh.cfg.costs.clone();
         let lao = self.sh.cfg.opts.lao;
-        let Some(run) = self.current.as_mut() else { return };
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
         let Some(&idx) = run.machine.private_choice_indices().first() else {
             return;
         };
         // Only clause-selection choice points are publishable.
-        let Some(cp) = run.machine.choice_at(idx) else { return };
+        let Some(cp) = run.machine.choice_at(idx) else {
+            return;
+        };
         let Alts::Clauses {
             name,
             arity,
@@ -192,9 +212,7 @@ impl OrWorker {
         let mut reuse_hit = None;
         if lao {
             if let Some(n) = &candidate {
-                if let Some(e) =
-                    n.try_reuse((name, arity), alts.clone(), closure.clone())
-                {
+                if let Some(e) = n.try_reuse((name, arity), alts.clone(), closure.clone()) {
                     reuse_hit = Some((n.clone(), e));
                 }
             }
@@ -233,9 +251,7 @@ impl OrWorker {
             self.charge(costs.lao_reuse + copy_cost);
         } else {
             self.stats.nodes_published += 1;
-            self.charge(
-                costs.publish_node + copy_cost + costs.queue_op * nalts as u64,
-            );
+            self.charge(costs.publish_node + copy_cost + costs.queue_op * nalts as u64);
         }
     }
 
@@ -247,6 +263,17 @@ impl OrWorker {
     /// success install it on a fresh machine. Charges one `tree_visit` per
     /// node inspected — the traversal cost LAO's flattening reduces.
     fn find_work(&mut self) -> bool {
+        // Injected transient steal failure: claim nothing this phase; the
+        // alternatives stay in the tree and this worker retries after its
+        // idle backoff.
+        let steal_faulted = self.sh.injector.as_ref().is_some_and(|inj| {
+            self.sh.total_alts.load(Ordering::Acquire) > 0 && inj.steal_fails(self.id)
+        });
+        if steal_faulted {
+            self.stats.faults_injected += 1;
+            self.stats.steal_retries += 1;
+            return false;
+        }
         let costs = self.sh.cfg.costs.clone();
         self.sh.busy.fetch_add(1, Ordering::AcqRel);
 
@@ -256,7 +283,11 @@ impl OrWorker {
         let mut work: std::collections::VecDeque<_> =
             std::collections::VecDeque::from([self.sh.root.clone()]);
         let claimed = loop {
-            let node = if topmost { work.pop_front() } else { work.pop_back() };
+            let node = if topmost {
+                work.pop_front()
+            } else {
+                work.pop_back()
+            };
             let Some(node) = node else { break None };
             self.stats.tree_visits += 1;
             self.charge(costs.tree_visit);
@@ -272,14 +303,9 @@ impl OrWorker {
         };
         self.stats.alternatives_claimed += 1;
         self.charge(
-            costs.claim_alternative
-                + costs.install_state
-                + closure.cells as u64 * costs.heap_cell,
+            costs.claim_alternative + costs.install_state + closure.cells as u64 * costs.heap_cell,
         );
-        let mut machine = Box::new(Machine::new(
-            self.sh.db.clone(),
-            Arc::new(costs.clone()),
-        ));
+        let mut machine = Box::new(Machine::new(self.sh.db.clone(), Arc::new(costs.clone())));
         let ok = machine.install_closure(&closure, name, arity, idx);
         self.phase_cost += machine.take_unsurfaced_cost();
         if !ok {
@@ -312,7 +338,9 @@ impl OrWorker {
     }
 
     fn drain_answers(&mut self) {
-        let Some(run) = self.current.as_mut() else { return };
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
         if run.machine.answers.is_empty() {
             return;
         }
@@ -320,12 +348,7 @@ impl OrWorker {
         let n = answers.len();
         self.sh.solutions.lock().extend(answers);
         let total = self.sh.nsolutions.fetch_add(n, Ordering::AcqRel) + n;
-        if self
-            .sh
-            .cfg
-            .max_solutions
-            .is_some_and(|max| total >= max)
-        {
+        if self.sh.cfg.max_solutions.is_some_and(|max| total >= max) {
             self.sh.finish();
         }
     }
@@ -395,6 +418,38 @@ impl Agent for OrWorker {
             }
             return Phase::Done;
         }
+        // Cooperative shutdown: the driver cancels the token when it
+        // contains a panic or hits a deadline. A normal `finish()` also
+        // cancels, but stores `done` first — so re-checking `done` here
+        // distinguishes the two and never fails a completed run.
+        if self.sh.cancel.is_cancelled() {
+            if !self.sh.done.load(Ordering::Acquire) {
+                self.sh
+                    .fail_with(format!("{FAULT_ERROR_PREFIX} run cancelled"));
+            }
+            return Phase::Busy(1);
+        }
+        // Fault-injection checkpoint (same cadence as the cancel check).
+        if let Some(action) = self.sh.injector.as_ref().and_then(|inj| inj.poll(self.id)) {
+            self.stats.faults_injected += 1;
+            match action {
+                FaultAction::Stall(cost) => {
+                    self.stats.fault_stalls += 1;
+                    self.stats.charge(cost);
+                    return Phase::Busy(cost.max(1));
+                }
+                FaultAction::Cancel => {
+                    self.sh.fail_with(format!(
+                        "{FAULT_ERROR_PREFIX} injected cancellation on worker {}",
+                        self.id
+                    ));
+                    return Phase::Busy(1);
+                }
+                FaultAction::Die => {
+                    panic!("{}", ace_runtime::fault::INJECTED_DEATH);
+                }
+            }
+        }
         self.phase_cost = 0;
         if self.current.is_some() {
             self.mark_idle(false);
@@ -417,8 +472,7 @@ impl Agent for OrWorker {
             return Phase::Busy(1);
         }
         let base = self.sh.cfg.costs.idle_probe;
-        let p = (base << self.idle_streak.min(6))
-            .min(self.sh.cfg.quantum.max(base));
+        let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
         self.idle_streak = self.idle_streak.saturating_add(1);
         self.stats.charge_idle(p);
         self.stats.idle_probes += 1;
@@ -453,6 +507,10 @@ impl OrEngine {
             cancel: CancelToken::new(),
             worker_stats: Mutex::new(Vec::new()),
             max_depth: AtomicUsize::new(0),
+            injector: cfg
+                .fault_plan
+                .as_ref()
+                .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
         });
 
         // Build the root machine with the `$answer`-wrapped query.
@@ -481,22 +539,27 @@ impl OrEngine {
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent>)
                     .collect();
-                SimDriver::new(cfg.virtual_time_limit).run(agents)
+                SimDriver::new(cfg.virtual_time_limit)
+                    .with_cancel(shared.cancel.clone())
+                    .run(agents)
             }
             DriverKind::Threads => {
                 let agents: Vec<Box<dyn Agent + Send>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent + Send>)
                     .collect();
-                ThreadsDriver::run(agents)
+                ThreadsDriver::new(cfg.threads_deadline, Some(shared.cancel.clone())).run(agents)
             }
         };
 
+        // Panics and driver aborts carry their own structured, prefixed
+        // messages; report them ahead of any secondary error the drain
+        // path may have recorded.
+        if let Some(a) = &outcome.aborted {
+            return Err(a.clone());
+        }
         if let Some(e) = shared.error.lock().take() {
             return Err(e);
-        }
-        if let Some(a) = &outcome.aborted {
-            return Err(format!("driver aborted: {a}"));
         }
         let per_worker = shared.worker_stats.lock().clone();
         let mut stats = Stats::new();
@@ -586,10 +649,7 @@ mod tests {
 
         let r0 = e.run(&q, &cfg(4, OptFlags::none())).unwrap();
         let r1 = e.run(&q, &cfg(4, OptFlags::lao_only())).unwrap();
-        assert_eq!(
-            sorted(r0.solutions.clone()),
-            sorted(r1.solutions.clone())
-        );
+        assert_eq!(sorted(r0.solutions.clone()), sorted(r1.solutions.clone()));
         assert_eq!(r0.solutions.len(), 30);
         assert!(r1.stats.cp_reused_lao > 0, "{:?}", r1.stats);
         // Figure 6 vs Figure 7: without LAO the public tree is a deep
@@ -616,9 +676,7 @@ mod tests {
         let e = OrEngine::new(db(MEMBER));
         let mut c = cfg(4, OptFlags::none());
         c.max_solutions = Some(1);
-        let r = e
-            .run("member(V, [1,2,3,4]), compute(V, R)", &c)
-            .unwrap();
+        let r = e.run("member(V, [1,2,3,4]), compute(V, R)", &c).unwrap();
         assert_eq!(r.solutions.len(), 1);
     }
 
@@ -644,9 +702,7 @@ mod tests {
         let e = OrEngine::new(db(MEMBER));
         let mut c = cfg(3, OptFlags::lao_only());
         c.driver = DriverKind::Threads;
-        let r = e
-            .run("member(V, [1,2,3,4,5]), compute(V, R)", &c)
-            .unwrap();
+        let r = e.run("member(V, [1,2,3,4,5]), compute(V, R)", &c).unwrap();
         assert_eq!(
             sorted(r.solutions),
             vec!["R=1, V=1", "R=16, V=4", "R=25, V=5", "R=4, V=2", "R=9, V=3"]
@@ -666,15 +722,13 @@ mod tests {
 
     #[test]
     fn cut_confined_to_private_region() {
-        let e = OrEngine::new(db(
-            r#"
+        let e = OrEngine::new(db(r#"
             d(X) :- X > 1, !.
             d(0).
             t(X, Y) :- member(X, [0, 2, 5]), d(X), Y is X * 10.
             member(X, [X|_]).
             member(X, [_|T]) :- member(X, T).
-            "#,
-        ));
+            "#));
         let r = e.run("t(X, Y)", &cfg(1, OptFlags::none())).unwrap();
         assert_eq!(r.solutions, vec!["X=0, Y=0", "X=2, Y=20", "X=5, Y=50"]);
     }

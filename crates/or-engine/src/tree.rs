@@ -4,9 +4,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use ace_logic::Sym;
 use ace_machine::frames::SharedChoice;
 use ace_machine::machine::StateClosure;
-use ace_logic::Sym;
 use parking_lot::Mutex;
 
 static NODE_IDS: AtomicU64 = AtomicU64::new(1);
@@ -251,13 +251,18 @@ mod tests {
         assert_eq!(stale.claim_next(), Some(1));
         assert!(node.is_drained());
 
-        let epoch = node.try_reuse((sym("q"), 2), VecDeque::from([0, 1]), closure()).unwrap();
+        let epoch = node
+            .try_reuse((sym("q"), 2), VecDeque::from([0, 1]), closure())
+            .unwrap();
         assert_eq!(epoch, 1);
         assert_eq!(total.load(Ordering::Acquire), 2);
         // the stale owner claim sees nothing
         assert_eq!(stale.claim_next(), None);
         // a fresh claim at the right epoch works
-        let fresh = NodeClaim { node: node.clone(), epoch };
+        let fresh = NodeClaim {
+            node: node.clone(),
+            epoch,
+        };
         assert_eq!(fresh.claim_next(), Some(0));
         // depth is unchanged — that is the whole point of LAO
         assert_eq!(node.depth, 1);
@@ -281,7 +286,9 @@ mod tests {
         // reuse first (epoch 1), then detach the old claim
         node.payload.lock().as_mut().unwrap().alts.clear();
         total.store(0, Ordering::Release);
-        let epoch = node.try_reuse((sym("q"), 1), VecDeque::from([0]), closure()).unwrap();
+        let epoch = node
+            .try_reuse((sym("q"), 1), VecDeque::from([0]), closure())
+            .unwrap();
         old.owner_detached();
         assert_eq!(total.load(Ordering::Acquire), 1, "new epoch untouched");
         let new = NodeClaim { node, epoch };

@@ -8,7 +8,9 @@ pub struct Lcg(u64);
 
 impl Lcg {
     pub fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+        Lcg(seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493))
     }
 
     pub fn next_u32(&mut self) -> u32 {
@@ -28,9 +30,7 @@ impl Lcg {
 /// `[a, b, c, ...]` of `n` pseudo-random ints in 0..100.
 pub fn int_list(n: usize, seed: u64) -> String {
     let mut rng = Lcg::new(seed);
-    let items: Vec<String> = (0..n)
-        .map(|_| rng.below(100).to_string())
-        .collect();
+    let items: Vec<String> = (0..n).map(|_| rng.below(100).to_string()).collect();
     format!("[{}]", items.join(","))
 }
 
@@ -45,8 +45,7 @@ pub fn list_of_lists(k: usize, m: usize, seed: u64) -> String {
     let mut rng = Lcg::new(seed);
     let subs: Vec<String> = (0..k)
         .map(|_| {
-            let items: Vec<String> =
-                (0..m).map(|_| rng.below(10).to_string()).collect();
+            let items: Vec<String> = (0..m).map(|_| rng.below(10).to_string()).collect();
             format!("[{}]", items.join(","))
         })
         .collect();
@@ -58,8 +57,7 @@ pub fn matrix(rows: usize, cols: usize, seed: u64) -> String {
     let mut rng = Lcg::new(seed);
     let rs: Vec<String> = (0..rows)
         .map(|_| {
-            let items: Vec<String> =
-                (0..cols).map(|_| rng.below(10).to_string()).collect();
+            let items: Vec<String> = (0..cols).map(|_| rng.below(10).to_string()).collect();
             format!("[{}]", items.join(","))
         })
         .collect();
@@ -113,8 +111,7 @@ pub fn clusters(k: usize, m: usize) -> String {
     let cs: Vec<String> = (0..k)
         .map(|i| {
             let center = (i * 10) % 100;
-            let pts: Vec<String> =
-                (0..m).map(|_| rng.below(100).to_string()).collect();
+            let pts: Vec<String> = (0..m).map(|_| rng.below(100).to_string()).collect();
             format!("cluster({center}, [{}])", pts.join(","))
         })
         .collect();
@@ -130,6 +127,26 @@ pub fn family(d: usize) -> String {
         out.push_str(&format!("parent(p{p}, p{}).\n", 2 * p + 1));
     }
     out
+}
+
+/// `n` independent expressions of depth `d` (parallel backward execution).
+pub fn exprs(n: usize, d: usize) -> String {
+    let items: Vec<String> = (0..n).map(|_| expr(d)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `n` independent trees of depth `d`.
+pub fn trees(n: usize, d: usize, seed: u64) -> String {
+    let items: Vec<String> = (0..n).map(|i| tree(d, seed + i as u64)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `n` independent `rows x cols` matrices.
+pub fn matrices(n: usize, rows: usize, cols: usize, seed: u64) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| matrix(rows, cols, seed + i as u64))
+        .collect();
+    format!("[{}]", items.join(","))
 }
 
 #[cfg(test)]
@@ -159,24 +176,4 @@ mod tests {
         assert_eq!(f.lines().count(), 6);
         assert!(f.contains("parent(p3, p7)."));
     }
-}
-
-/// `n` independent expressions of depth `d` (parallel backward execution).
-pub fn exprs(n: usize, d: usize) -> String {
-    let items: Vec<String> = (0..n).map(|_| expr(d)).collect();
-    format!("[{}]", items.join(","))
-}
-
-/// `n` independent trees of depth `d`.
-pub fn trees(n: usize, d: usize, seed: u64) -> String {
-    let items: Vec<String> =
-        (0..n).map(|i| tree(d, seed + i as u64)).collect();
-    format!("[{}]", items.join(","))
-}
-
-/// `n` independent `rows x cols` matrices.
-pub fn matrices(n: usize, rows: usize, cols: usize, seed: u64) -> String {
-    let items: Vec<String> =
-        (0..n).map(|i| matrix(rows, cols, seed + i as u64)).collect();
-    format!("[{}]", items.join(","))
 }

@@ -275,9 +275,7 @@ pub fn all() -> Vec<Benchmark> {
             name: "members",
             mode: Mode::OrParallel,
             program: |_| with_lib(MEMBERS),
-            query: |n| {
-                format!("triples({}, {}, T)", gen::range_list(n), n + 2)
-            },
+            query: |n| format!("triples({}, {}, T)", gen::range_list(n), n + 2),
             test_size: 6,
             bench_size: 18,
             all_solutions: true,
@@ -312,10 +310,25 @@ mod tests {
     fn corpus_is_complete() {
         let names: Vec<&str> = all().iter().map(|b| b.name).collect();
         for expected in [
-            "map1", "map2", "occur", "matrix", "matrix_bt", "pderiv",
-            "pderiv_bt", "annotator", "annotator_bt", "takeuchi", "hanoi",
-            "bt_cluster", "quick_sort", "queen1", "queen2", "puzzle",
-            "ancestors", "members", "maps",
+            "map1",
+            "map2",
+            "occur",
+            "matrix",
+            "matrix_bt",
+            "pderiv",
+            "pderiv_bt",
+            "annotator",
+            "annotator_bt",
+            "takeuchi",
+            "hanoi",
+            "bt_cluster",
+            "quick_sort",
+            "queen1",
+            "queen2",
+            "puzzle",
+            "ancestors",
+            "members",
+            "maps",
         ] {
             assert!(names.contains(&expected), "missing benchmark {expected}");
         }
@@ -325,9 +338,7 @@ mod tests {
     fn every_program_parses_and_loads() {
         for b in all() {
             let src = (b.program)(b.test_size);
-            Ace::load(&src).unwrap_or_else(|e| {
-                panic!("benchmark {} failed to load: {e}", b.name)
-            });
+            Ace::load(&src).unwrap_or_else(|e| panic!("benchmark {} failed to load: {e}", b.name));
         }
     }
 
@@ -381,10 +392,7 @@ mod tests {
         // 6-queens has 4 solutions; magic square has 8
         let b = benchmark("queen1").unwrap();
         let ace = Ace::load(&(b.program)(6)).unwrap();
-        assert_eq!(
-            ace.sequential_solutions("queens1(6, Qs)").unwrap().len(),
-            4
-        );
+        assert_eq!(ace.sequential_solutions("queens1(6, Qs)").unwrap().len(), 4);
         let b = benchmark("puzzle").unwrap();
         let ace = Ace::load(&(b.program)(1)).unwrap();
         assert_eq!(ace.sequential_solutions("puzzle(C)").unwrap().len(), 8);

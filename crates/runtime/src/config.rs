@@ -1,6 +1,9 @@
 //! Engine configuration: worker count, optimization toggles, driver choice.
 
+use std::time::Duration;
+
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 
 /// Which optimizations from the paper are enabled.
 ///
@@ -157,6 +160,14 @@ pub struct EngineConfig {
     /// Safety valve: abort if total virtual time exceeds this bound
     /// (catches engine livelocks in tests). `None` = unbounded.
     pub virtual_time_limit: Option<u64>,
+    /// Wall-clock budget for a [`DriverKind::Threads`] run. When it
+    /// expires the driver raises its stop flag and cancels the engine's
+    /// root token; the run ends with `aborted` set and per-worker
+    /// `DeadlineExceeded` exits instead of hanging. `None` = no watchdog.
+    pub threads_deadline: Option<Duration>,
+    /// Deterministic fault schedule injected into the run (testing and
+    /// robustness validation; see [`crate::fault`]). `None` = no faults.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -171,6 +182,8 @@ impl Default for EngineConfig {
             ship: ShipPolicy::default(),
             or_dispatch: OrDispatch::default(),
             virtual_time_limit: Some(200_000_000_000),
+            threads_deadline: Some(Duration::from_secs(60)),
+            fault_plan: None,
         }
     }
 }
@@ -200,6 +213,16 @@ impl EngineConfig {
         self.max_solutions = Some(1);
         self
     }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    pub fn with_threads_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.threads_deadline = deadline;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -217,8 +240,7 @@ mod tests {
     fn sixteen_combinations_unique() {
         let all = OptFlags::all_combinations();
         assert_eq!(all.len(), 16);
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|o| o.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|o| o.label()).collect();
         assert_eq!(labels.len(), 16);
     }
 

@@ -15,10 +15,8 @@
 //! Every constant lives here so ablation benches can vary one knob at a
 //! time (`bench/ablation_costs.rs`).
 
-use serde::{Deserialize, Serialize};
-
 /// Cost-unit prices for every chargeable engine operation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     // -- sequential resolution --------------------------------------------
     /// Dispatch of one goal (procedure call overhead).

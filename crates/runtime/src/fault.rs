@@ -1,0 +1,415 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is pure data: a seed plus a list of [`FaultEvent`]s, each
+//! naming a worker, an operation count at which the event arms, and a
+//! [`FaultKind`]. Plans are cheap to clone, hash into configs, and print in
+//! failure reports, so a failing fault-matrix case can be replayed exactly.
+//!
+//! A [`FaultInjector`] is the runtime counterpart: engines build one from the
+//! plan at the start of a run and consult it at the same checkpoints where
+//! they already poll [`CancelToken`](crate::CancelToken) — once per agent
+//! phase ([`FaultInjector::poll`]) and at the scheduler's steal/publish sites
+//! ([`FaultInjector::steal_fails`] / [`FaultInjector::publish_fails`]).
+//!
+//! The fault taxonomy mirrors what a real parallel Prolog system survives:
+//!
+//! * **Transient** faults (`StealFail`, `PublishFail`) model lost scheduler
+//!   interactions. The engine absorbs them with bounded retry — results must
+//!   stay bit-identical to a fault-free run.
+//! * **`Stall`** models a descheduled/slow worker: the worker burns extra
+//!   virtual time but computes the same answers.
+//! * **Fatal** faults (`Cancel`, `Die`) kill the run: `Cancel` triggers the
+//!   cooperative cancellation path, `Die` panics the worker. Both must
+//!   surface as structured errors (never hangs or wrong answers), and the
+//!   `ace-core` facade recovers by replaying the query sequentially.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Prefix on every engine error message caused by an injected fault or the
+/// cooperative cancellation path. `ace-core` uses it to classify failures as
+/// recoverable (fall back to the sequential engine) rather than programmer
+/// errors (surface to the caller).
+pub const FAULT_ERROR_PREFIX: &str = "fault:";
+
+/// Prefix on engine error messages synthesized from a panicked worker.
+pub const PANIC_ERROR_PREFIX: &str = "worker panic:";
+
+/// Prefix on engine error messages synthesized from a driver abort
+/// (virtual-time limit, livelock guard, wall-clock deadline).
+pub const ABORT_ERROR_PREFIX: &str = "driver aborted:";
+
+/// Panic message used by workers executing an injected `Die` fault.
+pub const INJECTED_DEATH: &str = "fault: injected worker death";
+
+/// What kind of failure an event injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker loses `cost` units of virtual time doing nothing
+    /// (a clock jump: models preemption or a slow processor).
+    Stall {
+        /// Virtual-time units charged to the stalled worker.
+        cost: u64,
+    },
+    /// The worker's next attempt to take work from the shared pool fails;
+    /// the task stays queued and the worker retries after backoff.
+    StealFail,
+    /// The worker's next attempt to publish work (or-engine demand-driven
+    /// publication) fails; publication is retried on a later phase.
+    PublishFail,
+    /// The run is cancelled through the engine's cooperative cancellation
+    /// path, as if an external supervisor killed it.
+    Cancel,
+    /// The worker thread panics mid-phase. The driver must contain the
+    /// panic, report it as a structured [`WorkerExit`](crate::WorkerExit),
+    /// and shut the remaining workers down.
+    Die,
+}
+
+/// One scheduled fault: `kind` arms on `worker` once that worker has
+/// performed `at_op` phase checkpoints, and fires exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Index of the targeted worker (agent index in the driver).
+    pub worker: usize,
+    /// Phase-checkpoint count at which the event arms. `0` arms immediately.
+    pub at_op: u64,
+    /// The failure to inject.
+    pub kind: FaultKind,
+}
+
+/// A seeded, deterministic schedule of faults. Pure data — store it in
+/// `EngineConfig`, print it, clone it, replay it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed this plan was derived from (recorded for replay/reporting;
+    /// hand-built plans may leave it 0).
+    pub seed: u64,
+    /// The scheduled events.
+    pub events: Vec<FaultEvent>,
+}
+
+/// splitmix64: small, fast, deterministic. Good enough for fault schedules.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (add events with [`FaultPlan::with`]).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder: append one event.
+    pub fn with(mut self, worker: usize, at_op: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent {
+            worker,
+            at_op,
+            kind,
+        });
+        self
+    }
+
+    /// A deterministic pseudo-random plan of `n` events over `workers`
+    /// workers, drawn from the full fault taxonomy (weighted toward
+    /// transient faults; at most one fatal event so runs stay analyzable).
+    pub fn random(seed: u64, workers: usize, n: usize) -> Self {
+        let mut st = seed ^ 0xa5a5_5a5a_0f0f_f0f0;
+        let mut plan = FaultPlan::new(seed);
+        let mut fatal_used = false;
+        for _ in 0..n {
+            let worker = (splitmix64(&mut st) % workers.max(1) as u64) as usize;
+            let at_op = splitmix64(&mut st) % 64;
+            let roll = splitmix64(&mut st) % 100;
+            let kind = match roll {
+                0..=29 => FaultKind::StealFail,
+                30..=54 => FaultKind::PublishFail,
+                55..=79 => FaultKind::Stall {
+                    cost: 50 + splitmix64(&mut st) % 5000,
+                },
+                80..=89 if !fatal_used => {
+                    fatal_used = true;
+                    FaultKind::Cancel
+                }
+                90..=99 if !fatal_used => {
+                    fatal_used = true;
+                    FaultKind::Die
+                }
+                _ => FaultKind::StealFail,
+            };
+            plan = plan.with(worker, at_op, kind);
+        }
+        plan
+    }
+
+    /// Like [`FaultPlan::random`] but transient-only (`StealFail`,
+    /// `PublishFail`, `Stall`): the run must still produce exactly the
+    /// fault-free answers.
+    pub fn random_transient(seed: u64, workers: usize, n: usize) -> Self {
+        let mut st = seed ^ 0x0ddc_0ffe_e0dd_f00d;
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..n {
+            let worker = (splitmix64(&mut st) % workers.max(1) as u64) as usize;
+            let at_op = splitmix64(&mut st) % 64;
+            let kind = match splitmix64(&mut st) % 3 {
+                0 => FaultKind::StealFail,
+                1 => FaultKind::PublishFail,
+                _ => FaultKind::Stall {
+                    cost: 50 + splitmix64(&mut st) % 5000,
+                },
+            };
+            plan = plan.with(worker, at_op, kind);
+        }
+        plan
+    }
+
+    /// True if the plan contains a `Cancel` or `Die` event (the run is
+    /// expected to be killed rather than to complete).
+    pub fn has_fatal(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Cancel | FaultKind::Die))
+    }
+}
+
+/// Action an engine must take after [`FaultInjector::poll`] fires an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Charge this many virtual-time units and continue.
+    Stall(u64),
+    /// Cancel the run through the engine's cooperative cancellation path.
+    Cancel,
+    /// Panic (with [`INJECTED_DEATH`]) so the driver's supervision catches a
+    /// real dead worker.
+    Die,
+}
+
+struct EventSlot {
+    worker: usize,
+    at_op: u64,
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+struct InjectorInner {
+    /// Per-worker phase-checkpoint counters.
+    ops: Vec<AtomicU64>,
+    events: Vec<EventSlot>,
+    injected: AtomicU64,
+}
+
+/// Runtime handle over a [`FaultPlan`]: thread-safe, cheap to clone
+/// (`Arc` inside), consumed-once event semantics.
+#[derive(Clone)]
+pub struct FaultInjector {
+    inner: Arc<InjectorInner>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("events", &self.inner.events.len())
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Build an injector for a run with `workers` workers. Events targeting
+    /// workers `>= workers` never fire (a plan may be reused across
+    /// configurations with fewer workers).
+    pub fn new(plan: &FaultPlan, workers: usize) -> Self {
+        FaultInjector {
+            inner: Arc::new(InjectorInner {
+                ops: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+                events: plan
+                    .events
+                    .iter()
+                    .map(|e| EventSlot {
+                        worker: e.worker,
+                        at_op: e.at_op,
+                        kind: e.kind,
+                        fired: AtomicBool::new(false),
+                    })
+                    .collect(),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn take(&self, worker: usize, want_scheduler: bool) -> Option<FaultKind> {
+        let ops = self.inner.ops.get(worker)?.load(Ordering::Relaxed);
+        for ev in &self.inner.events {
+            if ev.worker != worker || ev.at_op > ops {
+                continue;
+            }
+            let scheduler_kind = matches!(ev.kind, FaultKind::StealFail | FaultKind::PublishFail);
+            if scheduler_kind != want_scheduler {
+                continue;
+            }
+            if ev
+                .fired
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.inner.injected.fetch_add(1, Ordering::Relaxed);
+                return Some(ev.kind);
+            }
+        }
+        None
+    }
+
+    /// Phase checkpoint: advance `worker`'s operation counter and fire the
+    /// first armed non-scheduler event targeting it, if any.
+    pub fn poll(&self, worker: usize) -> Option<FaultAction> {
+        if let Some(ctr) = self.inner.ops.get(worker) {
+            ctr.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.take(worker, false)? {
+            FaultKind::Stall { cost } => Some(FaultAction::Stall(cost)),
+            FaultKind::Cancel => Some(FaultAction::Cancel),
+            FaultKind::Die => Some(FaultAction::Die),
+            // scheduler kinds are filtered out by `take`
+            FaultKind::StealFail | FaultKind::PublishFail => None,
+        }
+    }
+
+    /// Scheduler checkpoint: should `worker`'s next steal attempt fail?
+    /// Fires an armed `StealFail` event (once). Does not advance the
+    /// operation counter.
+    pub fn steal_fails(&self, worker: usize) -> bool {
+        self.fire_scheduler(worker, FaultKind::StealFail)
+    }
+
+    /// Scheduler checkpoint: should `worker`'s next publication fail?
+    pub fn publish_fails(&self, worker: usize) -> bool {
+        self.fire_scheduler(worker, FaultKind::PublishFail)
+    }
+
+    fn fire_scheduler(&self, worker: usize, kind: FaultKind) -> bool {
+        let ops = match self.inner.ops.get(worker) {
+            Some(c) => c.load(Ordering::Relaxed),
+            None => return false,
+        };
+        for ev in &self.inner.events {
+            if ev.worker == worker
+                && ev.kind == kind
+                && ev.at_op <= ops
+                && ev
+                    .fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                self.inner.injected.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total events fired so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_once_at_their_op() {
+        let plan = FaultPlan::new(1)
+            .with(0, 2, FaultKind::Stall { cost: 99 })
+            .with(1, 0, FaultKind::Cancel);
+        let inj = FaultInjector::new(&plan, 2);
+
+        // worker 0: arms once its checkpoint counter reaches 2
+        assert_eq!(inj.poll(0), None); // ops -> 1
+        assert_eq!(inj.poll(0), Some(FaultAction::Stall(99))); // ops -> 2
+        assert_eq!(inj.poll(0), None); // consumed
+
+        // worker 1: immediate
+        assert_eq!(inj.poll(1), Some(FaultAction::Cancel));
+        assert_eq!(inj.poll(1), None);
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn scheduler_faults_are_separate_from_poll() {
+        let plan =
+            FaultPlan::new(2)
+                .with(0, 0, FaultKind::StealFail)
+                .with(0, 0, FaultKind::PublishFail);
+        let inj = FaultInjector::new(&plan, 1);
+        // poll never consumes scheduler kinds
+        assert_eq!(inj.poll(0), None);
+        assert!(inj.steal_fails(0));
+        assert!(!inj.steal_fails(0)); // fired once
+        assert!(inj.publish_fails(0));
+        assert!(!inj.publish_fails(0));
+    }
+
+    #[test]
+    fn out_of_range_worker_never_fires() {
+        let plan = FaultPlan::new(3).with(7, 0, FaultKind::Die);
+        let inj = FaultInjector::new(&plan, 2);
+        for w in 0..2 {
+            for _ in 0..10 {
+                assert_eq!(inj.poll(w), None);
+            }
+        }
+        assert!(!inj.steal_fails(7));
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(42, 4, 8);
+        let b = FaultPlan::random(42, 4, 8);
+        let c = FaultPlan::random(43, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.events.len(), 8);
+        // at most one fatal event per random plan
+        let fatal = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Cancel | FaultKind::Die))
+            .count();
+        assert!(fatal <= 1);
+    }
+
+    #[test]
+    fn transient_plans_contain_no_fatal_events() {
+        for seed in 0..32 {
+            let p = FaultPlan::random_transient(seed, 8, 16);
+            assert!(!p.has_fatal(), "seed {seed} produced a fatal event");
+        }
+    }
+
+    #[test]
+    fn injector_is_shareable_across_threads() {
+        let plan = FaultPlan::new(9).with(0, 0, FaultKind::StealFail);
+        let inj = FaultInjector::new(&plan, 4);
+        let hits: usize = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let inj = inj.clone();
+                    s.spawn(move || usize::from(inj.steal_fails(0)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(hits, 1, "exactly one thread may consume the event");
+    }
+}

@@ -15,18 +15,29 @@
 //! repeatable, and independent of host core count.
 //!
 //! The same engines also run under [`driver::ThreadsDriver`] on real OS
-//! threads (crossbeam + parking_lot); tests use it to validate that engine
-//! logic is correct under true concurrency, and on multicore hosts it
-//! reports wall-clock times.
+//! threads (std scoped threads + parking_lot); tests use it to validate
+//! that engine logic is correct under true concurrency, and on multicore
+//! hosts it reports wall-clock times.
+//!
+//! ## Fault model
+//!
+//! The [`fault`] module provides seeded, deterministic fault injection
+//! ([`fault::FaultPlan`] / [`fault::FaultInjector`]), and both drivers
+//! supervise their workers: panics become structured
+//! [`driver::WorkerExit::Panicked`] entries on the [`driver::RunOutcome`]
+//! instead of crashing the process, and the threads driver enforces an
+//! optional wall-clock deadline.
 
 pub mod cancel;
 pub mod config;
 pub mod cost;
 pub mod driver;
+pub mod fault;
 pub mod stats;
 
 pub use cancel::CancelToken;
 pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, ShipPolicy};
 pub use cost::CostModel;
-pub use driver::{Agent, Phase, RunOutcome, SimDriver, ThreadsDriver};
+pub use driver::{Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
+pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use stats::Stats;

@@ -49,6 +49,16 @@ pub struct Stats {
     pub idle_probes: u64,
     pub cells_copied: u64,
 
+    // fault injection & recovery
+    /// Injected fault events absorbed by this worker.
+    pub faults_injected: u64,
+    /// Virtual time lost to injected stalls.
+    pub fault_stalls: u64,
+    /// Steal attempts that failed transiently and were retried.
+    pub steal_retries: u64,
+    /// Publications deferred by a transient failure and retried.
+    pub publish_retries: u64,
+
     // outcomes
     pub solutions: u64,
 }
@@ -128,6 +138,10 @@ impl AddAssign for Stats {
         self.tasks_stolen += o.tasks_stolen;
         self.idle_probes += o.idle_probes;
         self.cells_copied += o.cells_copied;
+        self.faults_injected += o.faults_injected;
+        self.fault_stalls += o.fault_stalls;
+        self.steal_retries += o.steal_retries;
+        self.publish_retries += o.publish_retries;
         self.solutions += o.solutions;
     }
 }

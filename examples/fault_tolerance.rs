@@ -1,0 +1,75 @@
+//! Fault tolerance tour: inject scheduler faults and a worker death into
+//! a parallel run, watch transient faults get absorbed, and watch the
+//! facade degrade to the sequential engine when a worker dies.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use std::time::Duration;
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, FaultKind, FaultPlan, OptFlags};
+
+fn main() -> Result<(), String> {
+    let ace = Ace::load(
+        r#"
+        c(1). c(2). c(3).
+        pair(N) :- (c(A) & c(B)), N is A * 10 + B.
+        "#,
+    )?;
+
+    let base = EngineConfig::default()
+        .with_workers(3)
+        .with_opts(OptFlags::all())
+        .with_threads_deadline(Some(Duration::from_secs(10)))
+        .all_solutions();
+
+    // 1. Transient faults only: failed steals and stalls are absorbed in
+    //    place — same answers, same order, a note on the recovery log.
+    let plan = FaultPlan::new(7).with(1, 2, FaultKind::StealFail).with(
+        2,
+        3,
+        FaultKind::Stall { cost: 500 },
+    );
+    let cfg = base.clone().with_fault_plan(plan);
+    let r = ace
+        .run_query(Mode::AndParallel, "pair(N)", &cfg)
+        .map_err(|e| e.to_string())?;
+    println!("transient faults: {} solutions", r.solutions.len());
+    for line in &r.recovery {
+        println!("  recovery: {line}");
+    }
+
+    // 2. A worker death. The strict API reports a structured error and the
+    //    process stays alive...
+    let plan = FaultPlan::new(0).with(0, 2, FaultKind::Die);
+    let cfg = base.clone().with_fault_plan(plan);
+    let err = ace
+        .run(Mode::AndParallel, "pair(N)", &cfg)
+        .expect_err("a dead worker fails the strict run");
+    println!("\nworker death, strict API:\n  error: {err}");
+
+    // 3. ...while `run_query` replays the query on the sequential engine
+    //    and records the degradation.
+    let r = ace
+        .run_query(Mode::AndParallel, "pair(N)", &cfg)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "\nworker death, degrading API: {} solutions",
+        r.solutions.len()
+    );
+    for line in &r.recovery {
+        println!("  recovery: {line}");
+    }
+
+    // 4. Seeded random plans replay exactly: same seed, same faults.
+    let a = FaultPlan::random(1234, 3, 6);
+    let b = FaultPlan::random(1234, 3, 6);
+    assert_eq!(a, b);
+    println!(
+        "\nseeded plan 1234 has {} events, replays exactly",
+        a.events.len()
+    );
+    Ok(())
+}

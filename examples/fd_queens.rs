@@ -50,11 +50,7 @@ fn main() {
         "\n({} solutions; `depth` is the public labeling tree's maximum \
          depth without → with LAO)",
         Fd::new(queens(n))
-            .solve_all(
-                &EngineConfig::default()
-                    .with_workers(1)
-                    .all_solutions()
-            )
+            .solve_all(&EngineConfig::default().with_workers(1).all_solutions())
             .solutions
             .len()
     );

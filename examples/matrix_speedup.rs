@@ -25,7 +25,10 @@ fn main() -> Result<(), String> {
     );
 
     let seq = ace.run(Mode::Sequential, &query, &EngineConfig::default())?;
-    println!("{n}x{n} matrix multiplication; sequential time {}\n", seq.virtual_time);
+    println!(
+        "{n}x{n} matrix multiplication; sequential time {}\n",
+        seq.virtual_time
+    );
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
         "workers", "none", "spo", "pdo", "spo+pdo"

@@ -22,11 +22,7 @@ fn main() -> Result<(), String> {
     )?;
 
     // Sequential baseline (the "SICStus" stand-in).
-    let seq = ace.run(
-        Mode::Sequential,
-        "fib(15, F)",
-        &EngineConfig::default(),
-    )?;
+    let seq = ace.run(Mode::Sequential, "fib(15, F)", &EngineConfig::default())?;
     println!("sequential:        F = {:?}", seq.solutions);
     println!("  virtual time {}", seq.virtual_time);
 

@@ -27,9 +27,7 @@ fn main() {
         }
     }
     if program.is_empty() {
-        program.push_str(
-            "member(X, [X|_]).\nmember(X, [_|T]) :- member(X, T).\n",
-        );
+        program.push_str("member(X, [X|_]).\nmember(X, [_|T]) :- member(X, T).\n");
         println!("(no program files given; loaded member/2 as a demo)");
     }
     let ace = match Ace::load(&program) {

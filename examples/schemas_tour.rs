@@ -45,9 +45,7 @@ fn main() -> Result<(), String> {
         match opt {
             Optimization::Lpco => println!(
                 "   mechanism: parcall frames {} → {} (slots merged: {})",
-                unopt.stats.parcall_frames,
-                with.stats.parcall_frames,
-                with.stats.slots_merged_lpco
+                unopt.stats.parcall_frames, with.stats.parcall_frames, with.stats.slots_merged_lpco
             ),
             Optimization::Lao => println!(
                 "   mechanism: public tree depth {} → {} (nodes reused {}, \
@@ -67,9 +65,7 @@ fn main() -> Result<(), String> {
             Optimization::Pdo => println!(
                 "   mechanism: {} subgoals merged onto their neighbours' \
                  machines; goal cells copied {} → {}",
-                with.stats.pdo_merges,
-                unopt.stats.cells_copied,
-                with.stats.cells_copied
+                with.stats.pdo_merges, unopt.stats.cells_copied, with.stats.cells_copied
             ),
         }
         println!();
@@ -94,9 +90,7 @@ fn merged(a: OptFlags, b: OptFlags) -> OptFlags {
     }
 }
 
-fn workload(
-    opt: Optimization,
-) -> (Mode, &'static str, &'static str, usize, bool) {
+fn workload(opt: Optimization) -> (Mode, &'static str, &'static str, usize, bool) {
     match opt {
         Optimization::Lpco => (
             Mode::AndParallel,

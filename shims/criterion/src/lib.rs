@@ -1,0 +1,127 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment is hermetic (no network, no crates.io mirror),
+//! so benches link against this minimal harness instead: same API
+//! (`Criterion`, `bench_function`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!`), but measurement is a plain
+//! best-of-N wall-clock timing with no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            best: Duration::MAX,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.total == Duration::ZERO {
+            println!("{name:<40} (no measurement)");
+        } else {
+            let mean = bencher.total / bencher.iters.max(1) as u32;
+            println!(
+                "{name:<40} best {:>12?}  mean {:>12?}  ({} iters)",
+                bencher.best, mean, bencher.iters
+            );
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    best: Duration,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` `sample_size` times, recording best and mean.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $cfg:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group!(
+        name = group_with_config;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    );
+
+    criterion_group!(simple_group, sample_bench);
+
+    #[test]
+    fn groups_run() {
+        group_with_config();
+        simple_group();
+    }
+}

@@ -1,0 +1,788 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment is hermetic (no network, no crates.io mirror),
+//! so this crate reimplements the subset of proptest the workspace's
+//! property tests actually use: `Strategy` with `prop_map` /
+//! `prop_flat_map` / `prop_recursive` / `boxed`, integer-range and
+//! tuple and `Just` strategies, `any::<T>()`, `prop::collection::vec`,
+//! the `".*"` string strategy, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **Deterministic by default.** Each test derives its RNG seed from
+//!   its own module path, so a given build always replays the same
+//!   cases. Set `PROPTEST_SEED=<u64>` to rotate the seed (CI does this
+//!   on a schedule) and `PROPTEST_CASES=<u32>` to scale case counts.
+//! * **No shrinking.** Failures report the seed and case index instead;
+//!   rerunning with the same seed replays the exact failing input.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Small deterministic RNG (splitmix64) used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    seed: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed, seed }
+    }
+
+    /// Seed an RNG for a named test: deterministic per test, rotated
+    /// globally by the `PROPTEST_SEED` environment variable.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name keeps distinct tests decorrelated.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        TestRng::new(base ^ h)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (bound > 0; modulo bias is fine here).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            f,
+            _marker: PhantomData,
+        }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F, S>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            source: self,
+            f,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Build a recursive strategy by unrolling `recurse` to at most
+    /// `depth` levels, mixing the leaf back in at every level. The
+    /// `_desired_size` / `_expected_branch` hints are accepted for API
+    /// compatibility but unused (depth alone bounds generated sizes).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+pub struct Map<S, F, O> {
+    source: S,
+    f: F,
+    _marker: PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F, S2> {
+    source: S,
+    f: F,
+    _marker: PhantomData<fn() -> S2>,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F, S2>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.source.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// Uniform choice between alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start() as i128, *self.end() as i128);
+                assert!(s <= e, "empty range strategy");
+                let span = (e - s + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (s + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Character pool for the `".*"` string strategy: ASCII structure
+/// characters the parser cares about, plus quoting/escape characters,
+/// control bytes, and multi-byte code points.
+const STRING_CHARS: &[char] = &[
+    'a', 'b', 'f', 'o', 'z', 'A', 'X', 'Z', '0', '1', '9', ' ', '\t', '\n', '\r', '(', ')', '[',
+    ']', '{', '}', ',', '.', '|', '\'', '"', '\\', '-', '+', '*', '/', '_', ':', ';', '!', '?',
+    '&', '%', '$', '#', '@', '~', '^', '<', '>', '=', '`', '\u{0}', '\u{7f}', 'é', 'λ', '中', '🦀',
+];
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        assert_eq!(
+            *self, ".*",
+            "the in-tree proptest shim only supports the \".*\" regex strategy"
+        );
+        let len = rng.below(41) as usize;
+        (0..len)
+            .map(|_| STRING_CHARS[rng.below(STRING_CHARS.len() as u64) as usize])
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategies {
+    ($( ($($s:ident . $idx:tt),+) )+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Element-count bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec`).
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + errors
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $( $crate::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!(
+            $cond,
+            concat!("assertion failed: ", stringify!($cond))
+        )
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed: both sides are {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Entry point mirroring `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code, unused_mut, clippy::redundant_closure_call)]
+        fn $name() {
+            $crate::__proptest_case! {
+                cfg = ($cfg);
+                name = $name;
+                body = $body;
+                pats = [];
+                strats = [];
+                rest = [ $($params)* ]
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: emit the case loop.
+    (
+        cfg = ($cfg:expr);
+        name = $name:ident;
+        body = $body:block;
+        pats = [ $( ($pat:pat) )* ];
+        strats = [ $( ($strat:expr) )* ];
+        rest = [ ]
+    ) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let mut __rng = $crate::TestRng::for_test(concat!(
+            module_path!(),
+            "::",
+            stringify!($name)
+        ));
+        let __seed = __rng.seed();
+        for __case in 0..__config.effective_cases() {
+            let __vals = ( $( $crate::Strategy::generate(&($strat), &mut __rng), )* );
+            let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                (move || {
+                    let ( $( $pat, )* ) = __vals;
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+            match __result {
+                ::std::result::Result::Ok(()) => {}
+                ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest failure (seed={}, case {}): {}",
+                        __seed, __case, __msg
+                    );
+                }
+            }
+        }
+    }};
+    // `mut name in strategy, <more>`
+    (
+        cfg = ($cfg:expr);
+        name = $name:ident;
+        body = $body:block;
+        pats = [ $($pats:tt)* ];
+        strats = [ $($strats:tt)* ];
+        rest = [ mut $p:ident in $s:expr, $($rest:tt)* ]
+    ) => {
+        $crate::__proptest_case! {
+            cfg = ($cfg);
+            name = $name;
+            body = $body;
+            pats = [ $($pats)* (mut $p) ];
+            strats = [ $($strats)* ($s) ];
+            rest = [ $($rest)* ]
+        }
+    };
+    // `mut name in strategy` (final, no trailing comma)
+    (
+        cfg = ($cfg:expr);
+        name = $name:ident;
+        body = $body:block;
+        pats = [ $($pats:tt)* ];
+        strats = [ $($strats:tt)* ];
+        rest = [ mut $p:ident in $s:expr ]
+    ) => {
+        $crate::__proptest_case! {
+            cfg = ($cfg);
+            name = $name;
+            body = $body;
+            pats = [ $($pats)* (mut $p) ];
+            strats = [ $($strats)* ($s) ];
+            rest = [ ]
+        }
+    };
+    // `name in strategy, <more>`
+    (
+        cfg = ($cfg:expr);
+        name = $name:ident;
+        body = $body:block;
+        pats = [ $($pats:tt)* ];
+        strats = [ $($strats:tt)* ];
+        rest = [ $p:ident in $s:expr, $($rest:tt)* ]
+    ) => {
+        $crate::__proptest_case! {
+            cfg = ($cfg);
+            name = $name;
+            body = $body;
+            pats = [ $($pats)* ($p) ];
+            strats = [ $($strats)* ($s) ];
+            rest = [ $($rest)* ]
+        }
+    };
+    // `name in strategy` (final, no trailing comma)
+    (
+        cfg = ($cfg:expr);
+        name = $name:ident;
+        body = $body:block;
+        pats = [ $($pats:tt)* ];
+        strats = [ $($strats:tt)* ];
+        rest = [ $p:ident in $s:expr ]
+    ) => {
+        $crate::__proptest_case! {
+            cfg = ($cfg);
+            name = $name;
+            body = $body;
+            pats = [ $($pats)* ($p) ];
+            strats = [ $($strats)* ($s) ];
+            rest = [ ]
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(0u8..4), &mut rng);
+            assert!(v < 4);
+            let w = Strategy::generate(&(-3i32..=3), &mut rng);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::new(99);
+        let mut b = TestRng::new(99);
+        let s = prop::collection::vec(0i64..100, 0..25);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i16),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(k) => 1 + k.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        fn max_leaf(t: &T) -> i64 {
+            match t {
+                T::Leaf(v) => i64::from(*v),
+                T::Node(k) => k.iter().map(max_leaf).max().unwrap_or(i64::MIN),
+            }
+        }
+        let strat = any::<i16>()
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(T::Node)
+            });
+        let mut rng = TestRng::new(3);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 5);
+            assert!(max_leaf(&t) <= i64::from(i16::MAX));
+            saw_node |= matches!(t, T::Node(_));
+        }
+        assert!(saw_node, "recursion arm never taken");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro front-end itself: mut params, trailing comma,
+        /// tuples, flat_map, oneof, and `?` all compose.
+        #[test]
+        fn macro_front_end(
+            mut xs in prop::collection::vec(0i64..100, 0..10),
+            pair in (0u8..4, -3i32..=3),
+            flag in any::<bool>(),
+            word in prop_oneof![Just("a".to_owned()), Just("b".to_owned())],
+            n in 2usize..=5,
+        ) {
+            xs.sort();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(pair.0 < 4 && (-3..=3).contains(&pair.1));
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!(word == "a" || word == "b");
+            prop_assert!((2..=5).contains(&n));
+            let parsed: i64 = "17"
+                .parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(parsed, 17);
+            prop_assert_ne!(parsed, 18);
+        }
+
+        #[test]
+        fn string_strategy_is_arbitrary(input in ".*") {
+            prop_assert!(input.chars().count() <= 40);
+        }
+    }
+}

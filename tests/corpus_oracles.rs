@@ -121,11 +121,7 @@ fn takeuchi_matches_reference() {
         if x <= y {
             z
         } else {
-            tak(
-                tak(x - 1, y, z),
-                tak(y - 1, z, x),
-                tak(z - 1, x, y),
-            )
+            tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
         }
     }
     let b = ace_programs::benchmark("takeuchi").unwrap();

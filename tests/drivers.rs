@@ -5,7 +5,7 @@
 //! * the **threads driver** (real OS threads, real synchronization) agrees
 //!   with the sim driver's solutions on a representative slice.
 
-use ace_core::{Ace, Mode};
+use ace_core::Ace;
 use ace_runtime::{DriverKind, EngineConfig, OptFlags};
 
 fn cfg(workers: usize, opts: OptFlags, all: bool) -> EngineConfig {

@@ -36,18 +36,11 @@ fn check_benchmark(name: &str, workers: &[usize]) {
         for opts in OptFlags::all_combinations() {
             let r = ace
                 .run(b.mode, &query, &cfg(w, opts, b.all_solutions))
-                .unwrap_or_else(|e| {
-                    panic!("{name}: {} workers, {}: {e}", w, opts.label())
-                });
+                .unwrap_or_else(|e| panic!("{name}: {} workers, {}: {e}", w, opts.label()));
             match b.mode {
                 Mode::AndParallel if b.all_solutions => {
                     // and-parallel preserves sequential solution order
-                    assert_eq!(
-                        r.solutions,
-                        oracle,
-                        "{name} w={w} opts={}",
-                        opts.label()
-                    );
+                    assert_eq!(r.solutions, oracle, "{name} w={w} opts={}", opts.label());
                 }
                 Mode::AndParallel => {
                     assert_eq!(

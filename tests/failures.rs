@@ -3,7 +3,7 @@
 //! edge cases.
 
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags};
+use ace_runtime::{DriverKind, EngineConfig, OptFlags};
 
 fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
     EngineConfig::default()
@@ -34,9 +34,7 @@ fn failure_at_every_slot_position() {
         let ace = Ace::load(program).unwrap();
         for opts in [OptFlags::none(), OptFlags::all()] {
             for w in [1, 3] {
-                let r = ace
-                    .run(Mode::AndParallel, &query, &cfg(w, opts))
-                    .unwrap();
+                let r = ace.run(Mode::AndParallel, &query, &cfg(w, opts)).unwrap();
                 assert!(
                     r.solutions.is_empty(),
                     "pos={fail_pos} w={w} opts={}",
@@ -187,6 +185,65 @@ fn or_engine_failing_deep_search_terminates() {
     for opts in [OptFlags::none(), OptFlags::lao_only()] {
         let r = ace.run(Mode::OrParallel, &q, &cfg(6, opts)).unwrap();
         assert!(r.solutions.is_empty());
+    }
+}
+
+/// Cancellation storm: the same parcall frame is cancelled and redone on
+/// every alternative of a wide cross product (the failing continuation
+/// forces inside backtracking each round). Repeating the identical run
+/// must not leak markers or trail extents — under the deterministic driver
+/// every repetition's counter sheet is bit-identical to the first, and
+/// under threads the per-run structure counts stay within the same bounds
+/// instead of growing across repetitions.
+#[test]
+fn cancellation_storm_no_marker_or_trail_leak() {
+    let ace = Ace::load(
+        r#"
+        c(1). c(2). c(3).
+        bad(_, _) :- fail.
+        storm :- (c(A) & c(B)), bad(A, B).
+        "#,
+    )
+    .unwrap();
+    for driver in [DriverKind::Sim, DriverKind::Threads] {
+        let run = || {
+            let c = cfg(3, OptFlags::none()).with_driver(driver);
+            let r = ace.run(Mode::AndParallel, "storm", &c).unwrap();
+            assert!(r.solutions.is_empty());
+            // every redo round cancels the frame's slots and re-runs them
+            assert!(
+                r.stats.redo_rounds >= 8,
+                "driver={driver:?}: {}",
+                r.stats.redo_rounds
+            );
+            r.stats
+        };
+        let baseline = run();
+        for round in 1..8 {
+            let s = run();
+            match driver {
+                DriverKind::Sim => {
+                    // exact repeatability: identical counters every round
+                    assert_eq!(s, baseline, "round {round}: stats drifted from baseline");
+                }
+                DriverKind::Threads => {
+                    // schedule-dependent, but a leak would compound: the
+                    // structures of one storm bound the structures of all
+                    assert!(
+                        s.markers_allocated <= baseline.markers_allocated * 4 + 64,
+                        "round {round}: markers grew: {} vs baseline {}",
+                        s.markers_allocated,
+                        baseline.markers_allocated
+                    );
+                    assert!(
+                        s.trail_undos <= baseline.trail_undos * 4 + 256,
+                        "round {round}: trail undos grew: {} vs baseline {}",
+                        s.trail_undos,
+                        baseline.trail_undos
+                    );
+                }
+            }
+        }
     }
 }
 

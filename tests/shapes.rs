@@ -34,7 +34,10 @@ fn figure4_lpco_flattens_recursion() {
     let unopt = ace
         .run(Mode::AndParallel, &q, &cfg(2, OptFlags::none()))
         .unwrap();
-    assert_eq!(unopt.stats.parcall_frames as usize, n, "one frame per level");
+    assert_eq!(
+        unopt.stats.parcall_frames as usize, n,
+        "one frame per level"
+    );
 
     let opt = ace
         .run(Mode::AndParallel, &q, &cfg(2, OptFlags::lpco_only()))
@@ -113,7 +116,11 @@ fn spo_keeps_markers_for_nondeterministic_subgoals() {
     )
     .unwrap();
     let r = ace
-        .run(Mode::AndParallel, "pair(X, Y)", &cfg(2, OptFlags::spo_only()))
+        .run(
+            Mode::AndParallel,
+            "pair(X, Y)",
+            &cfg(2, OptFlags::spo_only()),
+        )
         .unwrap();
     assert_eq!(r.solutions.len(), 4);
     assert!(r.stats.markers_allocated > 0);
@@ -134,7 +141,11 @@ fn pdo_merges_contiguous_subgoals() {
         .run(Mode::AndParallel, "all(A,B,C,D)", &cfg(1, OptFlags::none()))
         .unwrap();
     let opt = ace
-        .run(Mode::AndParallel, "all(A,B,C,D)", &cfg(1, OptFlags::pdo_only()))
+        .run(
+            Mode::AndParallel,
+            "all(A,B,C,D)",
+            &cfg(1, OptFlags::pdo_only()),
+        )
         .unwrap();
     assert_eq!(unopt.solutions, opt.solutions);
     // the rightmost subgoal runs inline on the owner; with owner-PDO the
