@@ -139,6 +139,9 @@ enum Act {
 pub struct AndWorker {
     pub id: usize,
     sh: Arc<Shared>,
+    /// The run's immutable cost model, hoisted out of the per-phase hot
+    /// paths (one refcount bump instead of a struct clone per use).
+    costs: Arc<ace_runtime::CostModel>,
     stack: Vec<Act>,
     #[allow(clippy::vec_box)] // machines move in/out of activations as Box
     pool: Vec<Box<Machine>>,
@@ -166,9 +169,11 @@ fn trace_enabled() -> bool {
 
 impl AndWorker {
     pub fn new(id: usize, sh: Arc<Shared>) -> Self {
+        let costs = Arc::new(sh.cfg.costs.clone());
         AndWorker {
             id,
             sh,
+            costs,
             stack: Vec::new(),
             pool: Vec::new(),
             stats: Stats::new(),
@@ -220,17 +225,14 @@ impl AndWorker {
         self.phase_cost += units;
     }
 
-    fn costs(&self) -> ace_runtime::CostModel {
-        self.sh.cfg.costs.clone()
+    fn costs(&self) -> Arc<ace_runtime::CostModel> {
+        self.costs.clone()
     }
 
     fn get_machine(&mut self) -> Box<Machine> {
         match self.pool.pop() {
             Some(m) => m,
-            None => Box::new(Machine::new(
-                self.sh.db.clone(),
-                Arc::new(self.sh.cfg.costs.clone()),
-            )),
+            None => Box::new(Machine::new(self.sh.db.clone(), self.costs.clone())),
         }
     }
 

@@ -1,0 +1,151 @@
+//! `or_scaling` — or-parallel scaling + steal-cost bench, JSON output.
+//!
+//! Runs the or-parallel corpus at 1/2/4/8 workers under the pool
+//! scheduler and records virtual-time speedups, then measures steal cost
+//! per claimed alternative (pool vs traversal oracle) as the `member/2`
+//! chain deepens. Writes the machine-readable perf-trajectory artifact
+//! that CI uploads on every run.
+//!
+//! ```text
+//! or_scaling                       # full sizes, writes BENCH_or_scaling.json
+//! or_scaling --smoke               # reduced sizes (CI smoke job)
+//! or_scaling --json --out FILE     # explicit output path
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use ace_bench::json::Json;
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags, OrScheduler};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cfg(b: &ace_programs::Benchmark, workers: usize, sched: OrScheduler) -> EngineConfig {
+    let mut c = EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(OptFlags::all())
+        .with_or_scheduler(sched);
+    c.max_solutions = if b.all_solutions { None } else { Some(1) };
+    c
+}
+
+/// Speedup rows for one benchmark across `WORKER_COUNTS`.
+fn scaling_entry(name: &str, smoke: bool) -> Result<Json, String> {
+    let b = ace_programs::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let size = if smoke { b.test_size } else { b.bench_size };
+    let ace = Ace::load(&(b.program)(size))?;
+    let query = (b.query)(size);
+
+    let mut runs = Vec::new();
+    let mut base = None;
+    let mut solutions = None;
+    for w in WORKER_COUNTS {
+        let r = ace
+            .run(b.mode, &query, &cfg(&b, w, OrScheduler::Pool))
+            .map_err(|e| format!("{name} w={w}: {e}"))?;
+        let one = *base.get_or_insert(r.virtual_time);
+        match solutions {
+            None => solutions = Some(r.solutions.len()),
+            Some(n) => {
+                if n != r.solutions.len() {
+                    return Err(format!(
+                        "{name} w={w}: solution count changed ({n} -> {})",
+                        r.solutions.len()
+                    ));
+                }
+            }
+        }
+        runs.push(Json::obj([
+            ("workers", w.into()),
+            ("virtual_time", r.virtual_time.into()),
+            ("speedup", r.speedup_from(one).into()),
+            ("pool_pushes", r.stats.pool_pushes.into()),
+            ("pool_pops", r.stats.pool_pops.into()),
+            ("machines_recycled", r.stats.machines_recycled.into()),
+            ("steal_cost_per_claim", r.steal_cost_per_claim().into()),
+        ]));
+    }
+    Ok(Json::obj([
+        ("name", name.into()),
+        ("size", size.into()),
+        ("solutions", solutions.unwrap_or(0).into()),
+        ("runs", Json::Arr(runs)),
+    ]))
+}
+
+/// Pool-vs-traversal steal cost on a deepening member chain, LAO off so
+/// the public tree really grows (this is the O(1)-vs-O(depth) series).
+fn steal_cost_entry(depth: usize) -> Result<Json, String> {
+    let b = ace_programs::benchmark("members").expect("members benchmark exists");
+    let ace = Ace::load(&(b.program)(depth))?;
+    let query = (b.query)(depth);
+    let mut row = vec![("depth", Json::from(depth))];
+    for (key, sched) in [
+        ("pool", OrScheduler::Pool),
+        ("traversal", OrScheduler::Traversal),
+    ] {
+        let mut c = cfg(&b, 4, sched);
+        c.opts = OptFlags::none();
+        let r = ace
+            .run(Mode::OrParallel, &query, &c)
+            .map_err(|e| format!("members depth={depth} {key}: {e}"))?;
+        row.push((key, r.steal_cost_per_claim().into()));
+    }
+    Ok(Json::Obj(
+        row.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // --json is the only output mode; accepted for CLI symmetry with tables.
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_or_scaling.json"));
+
+    let corpus: &[&str] = if smoke {
+        &["queen1", "members", "ancestors"]
+    } else {
+        &["queen1", "queen2", "puzzle", "ancestors", "members", "maps"]
+    };
+    let depths: &[usize] = if smoke { &[6, 10] } else { &[8, 16, 32] };
+
+    let mut benchmarks = Vec::new();
+    for name in corpus {
+        eprintln!("scaling {name} ...");
+        match scaling_entry(name, smoke) {
+            Ok(entry) => benchmarks.push(entry),
+            Err(e) => {
+                eprintln!("or_scaling FAILED: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut steal = Vec::new();
+    for &d in depths {
+        eprintln!("steal cost, member chain depth {d} ...");
+        match steal_cost_entry(d) {
+            Ok(entry) => steal.push(entry),
+            Err(e) => {
+                eprintln!("or_scaling FAILED: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let doc = Json::obj([
+        ("bench", "or_scaling".into()),
+        ("smoke", smoke.into()),
+        ("scheduler", "pool".into()),
+        ("workers", WORKER_COUNTS.to_vec().into()),
+        ("benchmarks", Json::Arr(benchmarks)),
+        ("steal_cost_by_depth", Json::Arr(steal)),
+    ]);
+    fs::write(&out, doc.render()).expect("write bench json");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,7 +1,7 @@
 //! The experiment definitions: which benchmarks, sizes, worker counts and
 //! optimization flags reproduce each table/figure of the paper.
 
-use ace_runtime::OptFlags;
+use ace_runtime::{OptFlags, OrScheduler};
 
 /// What shape of output the experiment produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,11 @@ pub struct Experiment {
     pub opt: OptFlags,
     /// What the paper reports, for EXPERIMENTS.md cross-reference.
     pub paper_claim: &'static str,
+    /// Or-engine work-finding scheduler. Experiments whose paper numbers
+    /// are statements about tree-walking schedulers (Table 3: LAO's win
+    /// is largely avoided traversal) pin `Traversal`; everything else
+    /// uses the production default.
+    pub or_scheduler: OrScheduler,
 }
 
 /// Scale factor applied to sizes for `--quick` runs.
@@ -56,6 +61,7 @@ pub fn experiments() -> Vec<Experiment> {
             opt: OptFlags::lpco_only(),
             paper_claim: "map2: 8-26% improvement; occur(5): 14-19%; \
                           LPCO helps only marginally in forward execution",
+            or_scheduler: OrScheduler::Pool,
         },
         Experiment {
             id: "table2",
@@ -72,6 +78,7 @@ pub fn experiments() -> Vec<Experiment> {
             opt: OptFlags::lpco_only(),
             paper_claim: "matrix: 15-54%; pderiv: 41-65%; map1: 38-84%; \
                           annotator: 1-4%; gains grow with worker count",
+            or_scheduler: OrScheduler::Pool,
         },
         Experiment {
             id: "fig5",
@@ -83,6 +90,7 @@ pub fn experiments() -> Vec<Experiment> {
             opt: OptFlags::lpco_only(),
             paper_claim: "map without LPCO shows almost no speedup; with \
                           LPCO almost linear; matrix/pderiv improve clearly",
+            or_scheduler: OrScheduler::Pool,
         },
         Experiment {
             id: "table3",
@@ -101,6 +109,8 @@ pub fn experiments() -> Vec<Experiment> {
             opt: OptFlags::lao_only(),
             paper_claim: "slight loss on 1 processor (-2..-10%), growing \
                           gains with processors (up to 67% on Queen1 at 10)",
+            // the paper's LAO numbers presuppose traversal-cost stealing
+            or_scheduler: OrScheduler::Traversal,
         },
         Experiment {
             id: "table4",
@@ -119,6 +129,7 @@ pub fn experiments() -> Vec<Experiment> {
             opt: OptFlags::spo_only(),
             paper_claim: "5-25% improvement across the board (deterministic \
                           subgoals never allocate markers)",
+            or_scheduler: OrScheduler::Pool,
         },
         Experiment {
             id: "fig8",
@@ -130,6 +141,7 @@ pub fn experiments() -> Vec<Experiment> {
             opt: OptFlags::spo_only(),
             paper_claim: "optimized curves sit uniformly below unoptimized \
                           ones at every processor count",
+            or_scheduler: OrScheduler::Pool,
         },
         Experiment {
             id: "table5",
@@ -155,6 +167,7 @@ pub fn experiments() -> Vec<Experiment> {
             },
             paper_claim: "7-45% improvement; largest on 1 processor where \
                           every adjacent pair merges",
+            or_scheduler: OrScheduler::Pool,
         },
         Experiment {
             id: "overhead",
@@ -176,6 +189,7 @@ pub fn experiments() -> Vec<Experiment> {
             paper_claim: "unoptimized &ACE incurs 10-25% overhead vs \
                           sequential SICStus; with all optimizations <5% \
                           (often <2%)",
+            or_scheduler: OrScheduler::Pool,
         },
     ]
 }

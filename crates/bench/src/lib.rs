@@ -18,6 +18,7 @@
 //! paper's tables: `unoptimized/optimized (improvement%)` per worker count.
 
 pub mod experiments;
+pub mod json;
 pub mod render;
 pub mod runner;
 

@@ -34,10 +34,16 @@ pub struct ExperimentResult {
     pub paper_claim: String,
 }
 
-fn cfg_for(b: &ace_programs::Benchmark, workers: usize, opts: OptFlags) -> EngineConfig {
+fn cfg_for(
+    b: &ace_programs::Benchmark,
+    workers: usize,
+    opts: OptFlags,
+    sched: ace_runtime::OrScheduler,
+) -> EngineConfig {
     let mut c = EngineConfig::default()
         .with_workers(workers)
-        .with_opts(opts);
+        .with_opts(opts)
+        .with_or_scheduler(sched);
     c.max_solutions = if b.all_solutions { None } else { Some(1) };
     c
 }
@@ -48,8 +54,9 @@ fn run_one(
     query: &str,
     workers: usize,
     opts: OptFlags,
+    sched: ace_runtime::OrScheduler,
 ) -> Result<RunReport, String> {
-    ace.run(b.mode, query, &cfg_for(b, workers, opts))
+    ace.run(b.mode, query, &cfg_for(b, workers, opts, sched))
 }
 
 /// Execute `exp`, optionally scaling sizes down (`quick`).
@@ -67,7 +74,7 @@ pub fn run_experiment(exp: &Experiment, quick: bool) -> Result<ExperimentResult,
         let ace = Ace::load(&program)?;
 
         let sequential = if exp.kind == ExperimentKind::Overhead {
-            let mut c = cfg_for(&b, 1, OptFlags::none());
+            let mut c = cfg_for(&b, 1, OptFlags::none(), exp.or_scheduler);
             c.max_solutions = if b.all_solutions { None } else { Some(1) };
             Some(ace.run(Mode::Sequential, &query, &c)?.virtual_time)
         } else {
@@ -75,9 +82,9 @@ pub fn run_experiment(exp: &Experiment, quick: bool) -> Result<ExperimentResult,
         };
 
         for &w in &exp.workers {
-            let unopt = run_one(&ace, &b, &query, w, exp.base)
+            let unopt = run_one(&ace, &b, &query, w, exp.base, exp.or_scheduler)
                 .map_err(|e| format!("{name} w={w} unopt: {e}"))?;
-            let opt = run_one(&ace, &b, &query, w, exp.opt)
+            let opt = run_one(&ace, &b, &query, w, exp.opt, exp.or_scheduler)
                 .map_err(|e| format!("{name} w={w} opt: {e}"))?;
             debug_assert_eq!(
                 unopt.solutions.len(),

@@ -49,6 +49,16 @@ impl RunReport {
         one_worker_time as f64 / self.virtual_time as f64
     }
 
+    /// Mean or-tree nodes inspected per claimed alternative — the steal
+    /// cost the or-engine's alternative pool keeps amortized O(1), and the
+    /// number that grows with public-tree size under the traversal
+    /// scheduler. `None` when the run claimed no alternatives (sequential
+    /// and and-parallel runs, or one-worker or-runs).
+    pub fn steal_cost_per_claim(&self) -> Option<f64> {
+        (self.stats.alternatives_claimed > 0)
+            .then(|| self.stats.tree_visits as f64 / self.stats.alternatives_claimed as f64)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -98,5 +108,14 @@ mod tests {
         let z = report(0);
         assert_eq!(z.improvement_over(&report(10)), 0.0);
         assert_eq!(z.speedup_from(100), 0.0);
+    }
+
+    #[test]
+    fn steal_cost_math() {
+        let mut r = report(100);
+        assert_eq!(r.steal_cost_per_claim(), None, "no claims, no ratio");
+        r.stats.tree_visits = 12;
+        r.stats.alternatives_claimed = 4;
+        assert_eq!(r.steal_cost_per_claim(), Some(3.0));
     }
 }

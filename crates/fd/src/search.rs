@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ace_runtime::{
-    Agent, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
+    Agent, CostModel, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
 };
 use parking_lot::Mutex;
 
@@ -163,6 +163,8 @@ struct FdWorker {
     #[allow(dead_code)]
     id: usize,
     sh: Arc<SharedState>,
+    /// The run's immutable cost model, hoisted out of the hot paths.
+    costs: Arc<CostModel>,
     current: Option<Run>,
     stats: Stats,
     phase_cost: u64,
@@ -198,7 +200,7 @@ impl FdWorker {
         if !self.others_idle() {
             return;
         }
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         let lao = self.sh.cfg.opts.lao;
         let total_alts = self.sh.total_alts.clone();
         let (copy_cost, reused, depth) = {
@@ -275,7 +277,7 @@ impl FdWorker {
     /// One bounded amount of labeling work.
     fn run_current(&mut self) -> Phase {
         self.maybe_publish();
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         let quantum = self.sh.cfg.quantum;
         let start = self.phase_cost;
         while self.phase_cost - start < quantum {
@@ -321,7 +323,7 @@ impl FdWorker {
     }
 
     fn assign_and_propagate(&mut self, var: usize, value: u32) {
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         let outcome = {
             let run = self.current.as_mut().expect("assign without run");
             run.domains[var] = BitDomain::singleton(value);
@@ -344,7 +346,7 @@ impl FdWorker {
     /// Take the next alternative from the youngest choice point; `false`
     /// when the local computation is exhausted.
     fn backtrack(&mut self) -> bool {
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         self.stats.backtracks += 1;
         loop {
             let Some(run) = self.current.as_mut() else {
@@ -400,7 +402,7 @@ impl FdWorker {
 
     /// Hunt the public tree for an untried value.
     fn find_work(&mut self) -> bool {
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         self.sh.busy.fetch_add(1, Ordering::AcqRel);
         let mut stack = vec![self.sh.root.clone()];
         while let Some(node) = stack.pop() {
@@ -456,7 +458,7 @@ impl Agent for FdWorker {
             self.sh.done.store(true, Ordering::Release);
             return Phase::Busy(1);
         }
-        let base = self.sh.cfg.costs.idle_probe;
+        let base = self.costs.idle_probe;
         let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
         self.idle_streak = self.idle_streak.saturating_add(1);
         self.stats.charge_idle(p);
@@ -503,10 +505,12 @@ impl Fd {
             worker_stats: Mutex::new(Vec::new()),
         });
 
+        let costs = Arc::new(cfg.costs.clone());
         let mut workers: Vec<FdWorker> = (0..cfg.workers.max(1))
             .map(|id| FdWorker {
                 id,
                 sh: sh.clone(),
+                costs: costs.clone(),
                 current: None,
                 stats: Stats::new(),
                 phase_cost: 0,

@@ -9,12 +9,18 @@ use ace_logic::{Cell, Database};
 use ace_machine::frames::Alts;
 use ace_machine::{Machine, Status};
 use ace_runtime::{
-    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, DriverKind, EngineConfig, FaultAction,
-    FaultInjector, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
+    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig,
+    FaultAction, FaultInjector, OrScheduler, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
 };
 use parking_lot::Mutex;
 
+use crate::pool::AltPool;
 use crate::tree::{NodeClaim, OrNode};
+
+/// How many reset machines a worker keeps for reuse. Claims are bursty but
+/// each worker drives at most one machine at a time, so a shallow cache
+/// captures nearly all reuse without hoarding heap capacity.
+const MACHINE_POOL_CAP: usize = 4;
 
 /// Result of an or-parallel query run. Solutions are rendered binding
 /// lines (`"X=1, Y=2"`); their order across workers is nondeterministic
@@ -34,6 +40,8 @@ struct OrShared {
     db: Arc<Database>,
     cfg: EngineConfig,
     root: Arc<OrNode>,
+    /// O(1) work-finding: published nodes with unclaimed alternatives.
+    pool: AltPool,
     total_alts: Arc<AtomicUsize>,
     busy: AtomicUsize,
     idle: AtomicUsize,
@@ -77,11 +85,19 @@ struct Running {
 }
 
 struct OrWorker {
-    /// Worker index (diagnostics).
-    #[allow(dead_code)]
+    /// Worker index (pool shard selection, diagnostics).
     id: usize,
     sh: Arc<OrShared>,
+    /// The run's immutable cost model, hoisted out of the per-steal /
+    /// per-publish hot paths (one refcount bump instead of a struct clone).
+    costs: Arc<CostModel>,
     current: Option<Running>,
+    /// Reset machines kept for reuse so a claim does not pay a fresh
+    /// heap/trail allocation (capped at [`MACHINE_POOL_CAP`]).
+    #[allow(clippy::vec_box)] // machines move in/out of claims as Box
+    free_machines: Vec<Box<Machine>>,
+    /// Rendered solutions awaiting one batched append to the shared list.
+    pending_answers: Vec<String>,
     stats: Stats,
     phase_cost: u64,
     reported: bool,
@@ -93,11 +109,14 @@ struct OrWorker {
 }
 
 impl OrWorker {
-    fn new(id: usize, sh: Arc<OrShared>) -> Self {
+    fn new(id: usize, sh: Arc<OrShared>, costs: Arc<CostModel>) -> Self {
         OrWorker {
             id,
             sh,
+            costs,
             current: None,
+            free_machines: Vec::new(),
+            pending_answers: Vec::new(),
             stats: Stats::new(),
             phase_cost: 0,
             reported: false,
@@ -153,10 +172,10 @@ impl OrWorker {
         if publish_faulted {
             self.stats.faults_injected += 1;
             self.stats.publish_retries += 1;
-            self.charge(self.sh.cfg.costs.queue_op);
+            self.charge(self.costs.queue_op);
             return;
         }
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         let lao = self.sh.cfg.opts.lao;
         let Some(run) = self.current.as_mut() else {
             return;
@@ -245,7 +264,7 @@ impl OrWorker {
                 epoch,
             }),
         );
-        run.last_published = Some(node);
+        run.last_published = Some(node.clone());
         if reused {
             self.stats.cp_reused_lao += 1;
             self.charge(costs.lao_reuse + copy_cost);
@@ -253,18 +272,30 @@ impl OrWorker {
             self.stats.nodes_published += 1;
             self.charge(costs.publish_node + copy_cost + costs.queue_op * nalts as u64);
         }
+        // Make the fresh alternatives findable in O(1). An LAO-refilled
+        // node may still have a stale pool entry, in which case the push
+        // no-ops and the existing entry serves the new alternatives.
+        if self.sh.cfg.or_scheduler == OrScheduler::Pool && self.sh.pool.push(self.id, &node) {
+            self.stats.pool_pushes += 1;
+            self.charge(costs.queue_op);
+        }
     }
 
     // ------------------------------------------------------------------
     // Work finding
     // ------------------------------------------------------------------
 
-    /// Traverse the public tree hunting for an unclaimed alternative; on
-    /// success install it on a fresh machine. Charges one `tree_visit` per
-    /// node inspected — the traversal cost LAO's flattening reduces.
+    /// Find an unclaimed alternative and install it on a machine.
+    ///
+    /// Under [`OrScheduler::Pool`] this is amortized O(1): pop a node
+    /// handle from the shared pool, claim from it, re-enqueue it if it
+    /// still has work. Under [`OrScheduler::Traversal`] (the oracle) the
+    /// whole public tree is walked from the root. Either way one
+    /// `tree_visit` is charged per node actually inspected.
     fn find_work(&mut self) -> bool {
         // Injected transient steal failure: claim nothing this phase; the
-        // alternatives stay in the tree and this worker retries after its
+        // alternatives stay in the tree/pool (checked before any pop, so
+        // every item remains claimable) and this worker retries after its
         // idle backoff.
         let steal_faulted = self.sh.injector.as_ref().is_some_and(|inj| {
             self.sh.total_alts.load(Ordering::Acquire) > 0 && inj.steal_fails(self.id)
@@ -274,27 +305,50 @@ impl OrWorker {
             self.stats.steal_retries += 1;
             return false;
         }
-        let costs = self.sh.cfg.costs.clone();
+        let costs = self.costs.clone();
         self.sh.busy.fetch_add(1, Ordering::AcqRel);
 
-        // Traversal order is the Aurora dispatch policy: deepest-first
+        // Pop/traversal order is the Aurora dispatch policy: deepest-first
         // (bottommost, stack order) or root-first (topmost, queue order).
         let topmost = self.sh.cfg.or_dispatch == ace_runtime::OrDispatch::Topmost;
-        let mut work: std::collections::VecDeque<_> =
-            std::collections::VecDeque::from([self.sh.root.clone()]);
-        let claimed = loop {
-            let node = if topmost {
-                work.pop_front()
-            } else {
-                work.pop_back()
-            };
-            let Some(node) = node else { break None };
-            self.stats.tree_visits += 1;
-            self.charge(costs.tree_visit);
-            if let Some((idx, pred, closure)) = node.claim_remote() {
-                break Some((node, idx, pred, closure));
+        let claimed = match self.sh.cfg.or_scheduler {
+            OrScheduler::Pool => loop {
+                let Some(node) = self.sh.pool.pop(self.id, topmost) else {
+                    break None;
+                };
+                self.stats.pool_pops += 1;
+                self.stats.tree_visits += 1;
+                self.charge(costs.queue_op + costs.tree_visit);
+                if let Some((idx, pred, closure)) = node.claim_remote() {
+                    // Keep the node visible to other idle workers while it
+                    // still has unclaimed alternatives.
+                    if node.has_work() && self.sh.pool.push(self.id, &node) {
+                        self.stats.pool_pushes += 1;
+                        self.charge(costs.queue_op);
+                    }
+                    break Some((node, idx, pred, closure));
+                }
+                // Drained behind the pool's back (owner claims, a cut, an
+                // LAO reuse that was itself re-enqueued): stale hint, drop.
+            },
+            OrScheduler::Traversal => {
+                let mut work: std::collections::VecDeque<_> =
+                    std::collections::VecDeque::from([self.sh.root.clone()]);
+                loop {
+                    let node = if topmost {
+                        work.pop_front()
+                    } else {
+                        work.pop_back()
+                    };
+                    let Some(node) = node else { break None };
+                    self.stats.tree_visits += 1;
+                    self.charge(costs.tree_visit);
+                    if let Some((idx, pred, closure)) = node.claim_remote() {
+                        break Some((node, idx, pred, closure));
+                    }
+                    work.extend(node.children.lock().iter().cloned());
+                }
             }
-            work.extend(node.children.lock().iter().cloned());
         };
 
         let Some((node, idx, (name, arity), closure)) = claimed else {
@@ -302,24 +356,50 @@ impl OrWorker {
             return false;
         };
         self.stats.alternatives_claimed += 1;
-        self.charge(
-            costs.claim_alternative + costs.install_state + closure.cells as u64 * costs.heap_cell,
-        );
-        let mut machine = Box::new(Machine::new(self.sh.db.clone(), Arc::new(costs.clone())));
+        self.charge(costs.claim_alternative + closure.cells as u64 * costs.heap_cell);
+        let mut machine = self.acquire_machine();
         let ok = machine.install_closure(&closure, name, arity, idx);
         self.phase_cost += machine.take_unsurfaced_cost();
         if !ok {
-            // head unification failed: branch dies immediately
-            self.harvest(&machine);
+            // Head unification failed: the branch dies before any state is
+            // set up, so charge the (cheap) abort price, not a full
+            // `install_state` — dead branches must not inflate the
+            // overhead tables.
+            self.charge(costs.install_abort);
+            self.retire_machine(machine);
             self.sh.busy.fetch_sub(1, Ordering::AcqRel);
             return true; // did work (explored and killed a branch)
         }
+        self.charge(costs.install_state);
         self.current = Some(Running {
             machine,
             origin: node,
             last_published: None,
         });
         true
+    }
+
+    /// A machine ready for `install_closure`: reuse a reset one from the
+    /// recycling pool when available (no heap/trail reallocation, interned
+    /// handles kept warm), else allocate fresh.
+    fn acquire_machine(&mut self) -> Box<Machine> {
+        match self.free_machines.pop() {
+            Some(m) => {
+                self.stats.machines_recycled += 1;
+                m
+            }
+            None => Box::new(Machine::new(self.sh.db.clone(), self.costs.clone())),
+        }
+    }
+
+    /// Harvest a finished machine's counters, reset it, and cache it for
+    /// the next claim.
+    fn retire_machine(&mut self, mut m: Box<Machine>) {
+        self.harvest(&m);
+        m.reset();
+        if self.free_machines.len() < MACHINE_POOL_CAP {
+            self.free_machines.push(m);
+        }
     }
 
     fn harvest(&mut self, machine: &Machine) {
@@ -332,11 +412,14 @@ impl OrWorker {
 
     fn drop_current(&mut self) {
         if let Some(run) = self.current.take() {
-            self.harvest(&run.machine);
+            self.retire_machine(run.machine);
             self.sh.busy.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
+    /// Move the current machine's rendered solutions into this worker's
+    /// batch buffer (no locking; [`OrWorker::flush_answers`] publishes the
+    /// whole batch under one `solutions` lock acquisition per phase).
     fn drain_answers(&mut self) {
         let Some(run) = self.current.as_mut() else {
             return;
@@ -344,9 +427,16 @@ impl OrWorker {
         if run.machine.answers.is_empty() {
             return;
         }
-        let answers = std::mem::take(&mut run.machine.answers);
-        let n = answers.len();
-        self.sh.solutions.lock().extend(answers);
+        self.pending_answers.append(&mut run.machine.answers);
+    }
+
+    /// Publish every batched solution with a single lock acquisition.
+    fn flush_answers(&mut self) {
+        if self.pending_answers.is_empty() {
+            return;
+        }
+        let n = self.pending_answers.len();
+        self.sh.solutions.lock().append(&mut self.pending_answers);
         let total = self.sh.nsolutions.fetch_add(n, Ordering::AcqRel) + n;
         if self.sh.cfg.max_solutions.is_some_and(|max| total >= max) {
             self.sh.finish();
@@ -364,13 +454,19 @@ impl OrWorker {
         self.phase_cost += run.machine.take_unsurfaced_cost();
         // Publish *after* running: choice points created inside the
         // quantum (still alive at a Solution boundary) become public
-        // before the owner backtracks into them.
-        self.maybe_publish();
+        // before the owner backtracks into them. Only a machine that
+        // survives the quantum publishes — a Failed/Cancelled machine is
+        // dropped below, and publishing its choice points would enqueue
+        // work that is immediately garbage.
+        if matches!(status, Status::Running | Status::Solution) {
+            self.maybe_publish();
+        }
 
         match status {
             Status::Running => {}
             Status::Solution => {
                 self.drain_answers();
+                self.flush_answers();
                 if !self.sh.done.load(Ordering::Acquire) {
                     let run = self.current.as_mut().unwrap();
                     run.machine.backtrack();
@@ -401,6 +497,7 @@ impl OrWorker {
                 );
             }
         }
+        self.flush_answers();
         Phase::Busy(self.phase_cost.max(1))
     }
 }
@@ -414,6 +511,7 @@ impl Agent for OrWorker {
                     self.harvest(&run.machine);
                     self.sh.busy.fetch_sub(1, Ordering::AcqRel);
                 }
+                self.flush_answers();
                 self.sh.worker_stats.lock().push(self.stats);
             }
             return Phase::Done;
@@ -471,7 +569,7 @@ impl Agent for OrWorker {
             self.sh.finish();
             return Phase::Busy(1);
         }
-        let base = self.sh.cfg.costs.idle_probe;
+        let base = self.costs.idle_probe;
         let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
         self.idle_streak = self.idle_streak.saturating_add(1);
         self.stats.charge_idle(p);
@@ -497,6 +595,7 @@ impl OrEngine {
             db: self.db.clone(),
             cfg: cfg.clone(),
             root: OrNode::root(total_alts.clone()),
+            pool: AltPool::new(cfg.workers.max(1)),
             total_alts,
             busy: AtomicUsize::new(1), // the root machine
             idle: AtomicUsize::new(0),
@@ -513,9 +612,11 @@ impl OrEngine {
                 .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
         });
 
-        // Build the root machine with the `$answer`-wrapped query.
+        // Build the root machine with the `$answer`-wrapped query. The one
+        // `CostModel` clone of the run lives here; workers and recycled
+        // machines share it by refcount.
         let costs = Arc::new(cfg.costs.clone());
-        let mut root = Box::new(Machine::new(self.db.clone(), costs));
+        let mut root = Box::new(Machine::new(self.db.clone(), costs.clone()));
         let (goal, mut vars) = ace_logic::parse_term(&mut root.heap, query)
             .map_err(|e| format!("query parse error: {e}"))?;
         vars.sort_by(|a, b| a.0.cmp(&b.0));
@@ -529,7 +630,7 @@ impl OrEngine {
         root.set_query(wrapped);
 
         let mut workers: Vec<OrWorker> = (0..cfg.workers.max(1))
-            .map(|id| OrWorker::new(id, shared.clone()))
+            .map(|id| OrWorker::new(id, shared.clone(), costs.clone()))
             .collect();
         workers[0].install_root(root);
 
@@ -718,6 +819,76 @@ mod tests {
         let b = e.run(q, &c).unwrap();
         assert_eq!(a.outcome.virtual_time, b.outcome.virtual_time);
         assert_eq!(a.solutions, b.solutions);
+    }
+
+    #[test]
+    fn pool_and_traversal_schedulers_agree() {
+        let list = (1..=20)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let q = format!("member(V, [{list}]), compute(V, R)");
+        let e = OrEngine::new(db(MEMBER));
+        for opts in [OptFlags::none(), OptFlags::lao_only()] {
+            let pool = e
+                .run(
+                    &q,
+                    &cfg(4, opts).with_or_scheduler(ace_runtime::OrScheduler::Pool),
+                )
+                .unwrap();
+            let trav = e
+                .run(
+                    &q,
+                    &cfg(4, opts).with_or_scheduler(ace_runtime::OrScheduler::Traversal),
+                )
+                .unwrap();
+            assert_eq!(
+                sorted(pool.solutions.clone()),
+                sorted(trav.solutions.clone())
+            );
+            assert_eq!(pool.solutions.len(), 20);
+            assert!(pool.stats.pool_pushes > 0, "{:?}", pool.stats);
+            assert!(pool.stats.pool_pops > 0);
+            assert_eq!(trav.stats.pool_pushes, 0, "oracle must not touch pool");
+        }
+    }
+
+    #[test]
+    fn pool_steal_cost_flat_as_chain_deepens() {
+        // The regression the pool exists to prevent: with LAO off, the
+        // public tree is a deep member-chain; under the traversal oracle
+        // tree_visits per claim grows with depth, under the pool it stays
+        // O(1).
+        let e = OrEngine::new(db(MEMBER));
+        let mut per_claim = Vec::new();
+        for n in [10usize, 40] {
+            let list = (1..=n).map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+            let q = format!("member(V, [{list}]), compute(V, R)");
+            let r = e.run(&q, &cfg(4, OptFlags::none())).unwrap();
+            assert_eq!(r.solutions.len(), n);
+            assert!(r.stats.alternatives_claimed > 0);
+            per_claim.push(r.stats.tree_visits as f64 / r.stats.alternatives_claimed as f64);
+        }
+        for &v in &per_claim {
+            assert!(v <= 4.0, "steal cost not O(1): {per_claim:?}");
+        }
+    }
+
+    #[test]
+    fn machines_are_recycled_across_claims() {
+        let e = OrEngine::new(db(MEMBER));
+        let r = e
+            .run(
+                "member(V, [1,2,3,4,5,6,7,8,9,10]), compute(V, R)",
+                &cfg(4, OptFlags::none()),
+            )
+            .unwrap();
+        assert_eq!(r.solutions.len(), 10);
+        assert!(
+            r.stats.machines_recycled > 0,
+            "expected recycled machines: {:?}",
+            r.stats
+        );
     }
 
     #[test]

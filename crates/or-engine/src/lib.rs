@@ -13,10 +13,14 @@
 //!   its untried alternatives move into the node's shared pool and the
 //!   machine state needed to run them is copied out (MUSE-style state
 //!   copying, via [`ace_machine::Machine::choice_closure`]);
-//! * an **idle worker hunts for work by traversing the or-tree** — the cost
-//!   the paper's *flattening* schema attacks: every node visited is
-//!   charged, so deep chains of single-alternative choice points (the
-//!   `member/2` pattern of Figure 6) make work-finding expensive;
+//! * an **idle worker finds work in O(1)** through the sharded
+//!   [`pool::AltPool`]: publication enqueues a handle to the published
+//!   node, an idle worker dequeues one and claims from it directly. The
+//!   original full-tree traversal ([`ace_runtime::OrScheduler::Traversal`])
+//!   is kept as the oracle the pool is validated against — under it every
+//!   node visited is charged, so deep chains of single-alternative choice
+//!   points (the `member/2` pattern of Figure 6) make work-finding
+//!   expensive, which is the cost the paper's *flattening* schema attacks;
 //! * **LAO** (Last Alternative Optimization, §3.2): when the last
 //!   alternative of node `B1` is taken and the continuing computation
 //!   immediately publishes its next choice point, the engine *reuses*
@@ -29,7 +33,9 @@
 //! choice points are published (`;`/`between` alternatives stay private).
 
 pub mod engine;
+pub mod pool;
 pub mod tree;
 
 pub use engine::{OrEngine, OrReport};
+pub use pool::AltPool;
 pub use tree::OrNode;

@@ -1,0 +1,162 @@
+//! The shared alternative pool: O(1) work-finding for idle workers.
+//!
+//! The original scheduler walked the whole public tree from the root on
+//! every steal attempt, so idle-worker cost grew with tree size — exactly
+//! the traversal overhead the paper's flattening schema exists to shrink.
+//! The pool inverts the data flow: *publication* enqueues a handle to the
+//! node carrying fresh alternatives, and an idle worker dequeues one handle
+//! and claims from it directly. Steal cost is then amortized O(1) in the
+//! size of the public tree.
+//!
+//! Design points:
+//!
+//! * **Sharded.** One deque per worker; a worker pushes to its own shard
+//!   and pops from its own shard first, then scans victims round-robin.
+//!   Contention is a per-shard mutex, not a global one, and the scan order
+//!   is deterministic so the sim driver stays replayable.
+//! * **Membership flag, not ownership.** The pool holds `Arc<OrNode>`
+//!   *hints*, never alternatives themselves: all claims still go through
+//!   the node payload's mutex ([`OrNode::claim_remote`]), so the pool can
+//!   never double-issue an alternative and an injected steal failure (which
+//!   returns before any pop) leaves every item claimable. Each node tracks
+//!   whether it is currently pooled ([`OrNode::try_enter_pool`]) so it has
+//!   at most one live pool entry: a popped node that still has work after a
+//!   claim is re-enqueued, one that was drained behind the pool's back
+//!   (owner claims, cut, LAO reuse) is simply discarded on pop.
+//! * **Dispatch policy = pop order.** Nodes enter in publication order,
+//!   which is also roughly depth order (a machine publishes its oldest
+//!   private choice point first). `OrDispatch::Topmost` pops FIFO (oldest,
+//!   closest to the root — biggest subtrees first), `Deepest` pops LIFO
+//!   (youngest, deepest — longest private runs), preserving the Aurora
+//!   policy semantics of the traversal scheduler.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::tree::OrNode;
+
+/// Sharded queue of nodes that (recently) held unclaimed alternatives.
+pub struct AltPool {
+    shards: Vec<Mutex<VecDeque<Arc<OrNode>>>>,
+}
+
+impl AltPool {
+    /// One shard per worker (at least one).
+    pub fn new(workers: usize) -> Self {
+        AltPool {
+            shards: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Enqueue `node` into `worker`'s shard unless it is already pooled.
+    /// Returns whether an entry was actually added.
+    pub fn push(&self, worker: usize, node: &Arc<OrNode>) -> bool {
+        if !node.try_enter_pool() {
+            return false;
+        }
+        self.shards[worker % self.shards.len()]
+            .lock()
+            .push_back(node.clone());
+        true
+    }
+
+    /// Dequeue one node hint for `worker`: own shard first, then victims in
+    /// deterministic round-robin order. `topmost` selects FIFO (root-first)
+    /// vs LIFO (deepest-first) order within each shard.
+    pub fn pop(&self, worker: usize, topmost: bool) -> Option<Arc<OrNode>> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = &self.shards[(worker + i) % n];
+            let mut q = shard.lock();
+            let node = if topmost { q.pop_front() } else { q.pop_back() };
+            if let Some(node) = node {
+                node.leave_pool();
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Total queued entries (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::sync::atomic::AtomicUsize;
+
+    use ace_logic::{sym, Heap};
+    use ace_machine::machine::StateClosure;
+
+    fn closure() -> Arc<StateClosure> {
+        Arc::new(StateClosure {
+            heap: Heap::new(),
+            goal: ace_logic::Cell::Nil,
+            cont: Vec::new(),
+            cells: 0,
+        })
+    }
+
+    fn node(total: &Arc<AtomicUsize>, root: &Arc<OrNode>, alts: &[usize]) -> Arc<OrNode> {
+        OrNode::publish(
+            root,
+            (sym("p"), 1),
+            VecDeque::from(alts.to_vec()),
+            closure(),
+            total.clone(),
+        )
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let root = OrNode::root(total.clone());
+        let pool = AltPool::new(2);
+        let a = node(&total, &root, &[1]);
+        let b = node(&total, &root, &[2]);
+        assert!(pool.push(0, &a));
+        assert!(pool.push(0, &b));
+        assert_eq!(pool.len(), 2);
+        // topmost = FIFO
+        assert_eq!(pool.pop(0, true).unwrap().id, a.id);
+        // deepest = LIFO among the remainder
+        assert_eq!(pool.pop(0, false).unwrap().id, b.id);
+        assert!(pool.pop(0, true).is_none());
+    }
+
+    #[test]
+    fn duplicate_push_is_rejected_until_popped() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let root = OrNode::root(total.clone());
+        let pool = AltPool::new(1);
+        let a = node(&total, &root, &[1, 2]);
+        assert!(pool.push(0, &a));
+        assert!(!pool.push(0, &a), "second push while pooled must no-op");
+        assert_eq!(pool.len(), 1);
+        let popped = pool.pop(0, true).unwrap();
+        assert!(pool.push(0, &popped), "re-push after pop allowed");
+    }
+
+    #[test]
+    fn victim_stealing_crosses_shards() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let root = OrNode::root(total.clone());
+        let pool = AltPool::new(4);
+        let a = node(&total, &root, &[1]);
+        pool.push(2, &a);
+        // worker 0 finds work parked on worker 2's shard
+        assert_eq!(pool.pop(0, true).unwrap().id, a.id);
+    }
+}

@@ -1,7 +1,7 @@
 //! The shared or-tree: published choice points and their alternative pools.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ace_logic::Sym;
@@ -33,6 +33,9 @@ pub struct OrNode {
     pub children: Mutex<Vec<Arc<OrNode>>>,
     /// Global count of unclaimed alternatives (termination detection).
     total_alts: Arc<AtomicUsize>,
+    /// Whether a handle to this node currently sits in the alternative
+    /// pool (at most one live entry per node; see [`crate::pool::AltPool`]).
+    in_pool: AtomicBool,
 }
 
 impl OrNode {
@@ -44,6 +47,7 @@ impl OrNode {
             payload: Mutex::new(None),
             children: Mutex::new(Vec::new()),
             total_alts,
+            in_pool: AtomicBool::new(false),
         })
     }
 
@@ -67,9 +71,23 @@ impl OrNode {
             })),
             children: Mutex::new(Vec::new()),
             total_alts,
+            in_pool: AtomicBool::new(false),
         });
         parent.children.lock().push(node.clone());
         node
+    }
+
+    /// Flip the pool-membership flag on; `false` means the node already has
+    /// a live pool entry and must not be enqueued again.
+    pub fn try_enter_pool(&self) -> bool {
+        self.in_pool
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Flip the pool-membership flag off (the entry was dequeued).
+    pub fn leave_pool(&self) {
+        self.in_pool.store(false, Ordering::Release);
     }
 
     /// LAO: install a *new* choice point's alternatives into this node in

@@ -127,6 +127,20 @@ pub enum OrDispatch {
     Topmost,
 }
 
+/// How idle or-engine workers locate unclaimed alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrScheduler {
+    /// Sharded alternative pool: publication enqueues a node handle,
+    /// stealing pops one — amortized O(1) per claim regardless of
+    /// public-tree size.
+    #[default]
+    Pool,
+    /// Full tree traversal from the root on every steal attempt (the
+    /// original scheduler). O(tree size) per claim; kept as the oracle
+    /// the pool scheduler is validated against.
+    Traversal,
+}
+
 /// Which execution driver to run under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DriverKind {
@@ -157,6 +171,8 @@ pub struct EngineConfig {
     pub ship: ShipPolicy,
     /// Or-parallel work-finding order.
     pub or_dispatch: OrDispatch,
+    /// Or-parallel work-finding mechanism (pool vs full traversal).
+    pub or_scheduler: OrScheduler,
     /// Safety valve: abort if total virtual time exceeds this bound
     /// (catches engine livelocks in tests). `None` = unbounded.
     pub virtual_time_limit: Option<u64>,
@@ -181,6 +197,7 @@ impl Default for EngineConfig {
             max_solutions: Some(1),
             ship: ShipPolicy::default(),
             or_dispatch: OrDispatch::default(),
+            or_scheduler: OrScheduler::default(),
             virtual_time_limit: Some(200_000_000_000),
             threads_deadline: Some(Duration::from_secs(60)),
             fault_plan: None,
@@ -211,6 +228,11 @@ impl EngineConfig {
 
     pub fn first_solution(mut self) -> Self {
         self.max_solutions = Some(1);
+        self
+    }
+
+    pub fn with_or_scheduler(mut self, sched: OrScheduler) -> Self {
+        self.or_scheduler = sched;
         self
     }
 

@@ -76,6 +76,10 @@ pub struct CostModel {
     /// Reconstructing machine state from a published closure (base price;
     /// copied state adds `heap_cell` per cell).
     pub install_state: u64,
+    /// Aborting an install whose head unification fails immediately: the
+    /// branch dies before any machine state is set up, so the kill path is
+    /// much cheaper than a completed `install_state`.
+    pub install_abort: u64,
 
     // -- scheduling / synchronization ---------------------------------------
     /// Pushing or popping the shared work pool.
@@ -119,6 +123,7 @@ impl Default for CostModel {
             tree_visit: 8,
             claim_alternative: 10,
             install_state: 20,
+            install_abort: 5,
 
             queue_op: 6,
             steal: 30,
@@ -157,6 +162,7 @@ impl CostModel {
             tree_visit: 1,
             claim_alternative: 1,
             install_state: 1,
+            install_abort: 1,
             queue_op: 1,
             steal: 1,
             idle_probe: 1,
@@ -180,6 +186,8 @@ mod tests {
         assert!(m.spo_track * 10 <= m.marker_alloc);
         // LPCO's runtime check is "limited to very simple runtime checks"
         assert!(m.lpco_check <= 4);
+        // a branch killed at head unification never pays full state setup
+        assert!(m.install_abort < m.install_state);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod fault;
 pub mod stats;
 
 pub use cancel::CancelToken;
-pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, ShipPolicy};
+pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy};
 pub use cost::CostModel;
 pub use driver::{Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};

@@ -43,6 +43,14 @@ pub struct Stats {
     pub nodes_published: u64,
     pub alternatives_claimed: u64,
     pub tree_visits: u64,
+    /// Node handles enqueued into the shared alternative pool.
+    pub pool_pushes: u64,
+    /// Node handles dequeued from the shared alternative pool (inspected;
+    /// a pop that finds the node drained claims nothing).
+    pub pool_pops: u64,
+    /// Claims served by a reset machine from the recycling pool instead of
+    /// a fresh heap allocation.
+    pub machines_recycled: u64,
 
     // scheduling
     pub tasks_stolen: u64,
@@ -91,7 +99,8 @@ impl Stats {
         format!(
             "cost={} idle={} calls={} cps={} (lao-reused {}) frames={} \
              (lpco-merged {}) markers={} (spo-elided {}) pdo={} stolen={} \
-             published={} visits={} copied={} backtracks={}",
+             published={} visits={} copied={} backtracks={} \
+             pool={}push/{}pop recycled={}",
             self.cost,
             self.idle_cost,
             self.calls,
@@ -107,6 +116,9 @@ impl Stats {
             self.tree_visits,
             self.cells_copied,
             self.backtracks,
+            self.pool_pushes,
+            self.pool_pops,
+            self.machines_recycled,
         )
     }
 }
@@ -135,6 +147,9 @@ impl AddAssign for Stats {
         self.nodes_published += o.nodes_published;
         self.alternatives_claimed += o.alternatives_claimed;
         self.tree_visits += o.tree_visits;
+        self.pool_pushes += o.pool_pushes;
+        self.pool_pops += o.pool_pops;
+        self.machines_recycled += o.machines_recycled;
         self.tasks_stolen += o.tasks_stolen;
         self.idle_probes += o.idle_probes;
         self.cells_copied += o.cells_copied;

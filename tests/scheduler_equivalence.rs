@@ -1,0 +1,114 @@
+//! Scheduler equivalence: the O(1) alternative pool against the
+//! traversal oracle.
+//!
+//! The or-engine's default work-finding path is a sharded alternative
+//! pool; the original root-to-leaf traversal survives as
+//! `OrScheduler::Traversal` precisely so these tests can hold the pool
+//! to it:
+//!
+//! * **Equivalence** — across the or-corpus, every combination of
+//!   scheduler × dispatch order × LAO yields the same solution multiset.
+//! * **O(1) steal** — under the pool, `tree_visits` per claimed
+//!   alternative stays bounded by a small constant as the `member/2`
+//!   chain deepens (LAO off, so the public tree really grows); the
+//!   traversal oracle's per-claim cost grows with depth on the same
+//!   workload.
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags, OrDispatch, OrScheduler};
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+fn cfg(workers: usize, opts: OptFlags, sched: OrScheduler, dispatch: OrDispatch) -> EngineConfig {
+    let mut c = EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(opts)
+        .with_or_scheduler(sched)
+        .all_solutions();
+    c.or_dispatch = dispatch;
+    c
+}
+
+/// (a) Pool (both dispatch orders, LAO on and off) is multiset-equal to
+/// the traversal oracle on the or-corpus, and the pool counters prove
+/// which path actually ran.
+#[test]
+fn pool_matches_traversal_oracle_across_corpus() {
+    for name in ["queen1", "members", "ancestors"] {
+        let b = ace_programs::benchmark(name).unwrap();
+        let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+        let query = (b.query)(b.test_size);
+        for opts in [OptFlags::none(), OptFlags::lao_only()] {
+            let oracle = ace
+                .run(
+                    b.mode,
+                    &query,
+                    &cfg(4, opts, OrScheduler::Traversal, OrDispatch::Deepest),
+                )
+                .unwrap();
+            assert_eq!(
+                oracle.stats.pool_pushes, 0,
+                "{name}: traversal runs must not touch the pool"
+            );
+            let expected = sorted(oracle.solutions);
+            assert!(!expected.is_empty(), "{name}: oracle found no solutions");
+
+            for dispatch in [OrDispatch::Deepest, OrDispatch::Topmost] {
+                let pool = ace
+                    .run(b.mode, &query, &cfg(4, opts, OrScheduler::Pool, dispatch))
+                    .unwrap();
+                assert_eq!(
+                    sorted(pool.solutions),
+                    expected,
+                    "{name} {dispatch:?} lao={}",
+                    opts.lao
+                );
+                assert!(
+                    pool.stats.pool_pushes > 0 && pool.stats.pool_pops > 0,
+                    "{name} {dispatch:?}: pool scheduler never used the pool"
+                );
+            }
+        }
+    }
+}
+
+/// (b) Steal cost per claimed alternative: flat under the pool, growing
+/// under the traversal oracle, as the member chain deepens with LAO off.
+#[test]
+fn pool_steal_cost_is_flat_in_chain_depth() {
+    let b = ace_programs::benchmark("members").unwrap();
+    let run = |n: usize, sched: OrScheduler| {
+        let ace = Ace::load(&(b.program)(n)).unwrap();
+        let list: Vec<String> = (1..=n).map(|i| i.to_string()).collect();
+        // fails at every element: the chain publishes to full depth
+        let q = format!("member(X, [{}]), X > 100", list.join(","));
+        let r = ace
+            .run(
+                Mode::OrParallel,
+                &q,
+                &cfg(4, OptFlags::none(), sched, OrDispatch::Deepest),
+            )
+            .unwrap();
+        assert!(r.solutions.is_empty());
+        r.steal_cost_per_claim()
+            .expect("4-worker chain run claims alternatives")
+    };
+
+    let (shallow, deep) = (run(10, OrScheduler::Pool), run(40, OrScheduler::Pool));
+    assert!(
+        shallow <= 4.0 && deep <= 4.0,
+        "pool steal cost must stay O(1): shallow={shallow:.2} deep={deep:.2}"
+    );
+
+    let (t_shallow, t_deep) = (
+        run(10, OrScheduler::Traversal),
+        run(40, OrScheduler::Traversal),
+    );
+    assert!(
+        t_deep > t_shallow && t_deep > 2.0 * deep,
+        "traversal steal cost should grow with depth: {t_shallow:.2} -> {t_deep:.2} (pool {deep:.2})"
+    );
+}

@@ -8,7 +8,7 @@
 //! * Figure 2's data structures exist and are counted.
 
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags};
+use ace_runtime::{EngineConfig, OptFlags, OrScheduler};
 
 fn cfg(workers: usize, opts: OptFlags) -> EngineConfig {
     EngineConfig::default()
@@ -53,6 +53,11 @@ fn figure4_lpco_flattens_recursion() {
 }
 
 /// Figures 6/7: or-tree depth for the member pattern: O(n) vs O(1)-ish.
+///
+/// The figure's traversal-cost claim is a statement about tree-walking
+/// schedulers, so it is measured under the `Traversal` oracle — the pool
+/// scheduler makes work-finding O(1) regardless of tree depth (that
+/// regression is covered by `tests/scheduler_equivalence.rs`).
 #[test]
 fn figures6_7_lao_collapses_member_chain() {
     let b = ace_programs::benchmark("members").unwrap();
@@ -60,10 +65,18 @@ fn figures6_7_lao_collapses_member_chain() {
     let q = "member(X, [1,2,3,4,5,6,7,8,9,10,11,12]), X > 100";
 
     let unopt = ace
-        .run(Mode::OrParallel, q, &cfg(4, OptFlags::none()))
+        .run(
+            Mode::OrParallel,
+            q,
+            &cfg(4, OptFlags::none()).with_or_scheduler(OrScheduler::Traversal),
+        )
         .unwrap();
     let opt = ace
-        .run(Mode::OrParallel, q, &cfg(4, OptFlags::lao_only()))
+        .run(
+            Mode::OrParallel,
+            q,
+            &cfg(4, OptFlags::lao_only()).with_or_scheduler(OrScheduler::Traversal),
+        )
         .unwrap();
     assert!(unopt.solutions.is_empty() && opt.solutions.is_empty());
     let (ud, od) = (unopt.tree_depth.unwrap(), opt.tree_depth.unwrap());
