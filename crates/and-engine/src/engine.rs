@@ -8,7 +8,7 @@ use ace_logic::Database;
 use ace_machine::{Machine, Solution};
 use ace_runtime::{
     Agent, CancelToken, DriverKind, EngineConfig, FaultInjector, RunOutcome, SimDriver, Stats,
-    ThreadsDriver,
+    ThreadsDriver, Trace, TraceSink,
 };
 use parking_lot::Mutex;
 
@@ -24,6 +24,8 @@ pub struct AndReport {
     /// Aggregated worker statistics.
     pub stats: Stats,
     pub per_worker: Vec<Stats>,
+    /// Merged event trace (present only when tracing was enabled).
+    pub trace: Option<Trace>,
 }
 
 /// The and-parallel engine: configure once, run queries.
@@ -49,6 +51,7 @@ impl AndEngine {
             error: Mutex::new(None),
             root_cancel: CancelToken::new(),
             worker_stats: Mutex::new(Vec::new()),
+            trace_bufs: Mutex::new(Vec::new()),
             injector: cfg
                 .fault_plan
                 .as_ref()
@@ -67,23 +70,31 @@ impl AndEngine {
             .map_err(|e| format!("query parse error: {e}"))?;
         workers[0].install_root(root, vars);
 
+        let sink = cfg.trace.enabled.then(|| TraceSink::new(&cfg.trace));
         let outcome = match cfg.driver {
             DriverKind::Sim => {
                 let agents: Vec<Box<dyn Agent>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent>)
                     .collect();
-                SimDriver::new(cfg.virtual_time_limit)
-                    .with_cancel(shared.root_cancel.clone())
-                    .run(agents)
+                let mut driver =
+                    SimDriver::new(cfg.virtual_time_limit).with_cancel(shared.root_cancel.clone());
+                if let Some(s) = &sink {
+                    driver = driver.with_trace(s.clone());
+                }
+                driver.run(agents)
             }
             DriverKind::Threads => {
                 let agents: Vec<Box<dyn Agent + Send>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent + Send>)
                     .collect();
-                ThreadsDriver::new(cfg.threads_deadline, Some(shared.root_cancel.clone()))
-                    .run(agents)
+                let mut driver =
+                    ThreadsDriver::new(cfg.threads_deadline, Some(shared.root_cancel.clone()));
+                if let Some(s) = &sink {
+                    driver = driver.with_trace(s.clone());
+                }
+                driver.run(agents)
             }
         };
 
@@ -103,11 +114,14 @@ impl AndEngine {
             stats += *w;
         }
         let solutions = std::mem::take(&mut *shared.solutions.lock());
+        let trace =
+            sink.map(|s| Trace::merge(std::mem::take(&mut *shared.trace_bufs.lock()), s.drain()));
         Ok(AndReport {
             solutions,
             outcome,
             stats,
             per_worker,
+            trace,
         })
     }
 }

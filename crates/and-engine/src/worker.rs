@@ -22,8 +22,8 @@ use ace_logic::copy::copy_term;
 use ace_logic::{Cell, Database};
 use ace_machine::{Machine, MarkerKind, Solution, Status};
 use ace_runtime::{
-    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, EngineConfig, FaultAction, FaultInjector, Phase,
-    Stats,
+    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, EngineConfig, EventKind, FaultAction,
+    FaultInjector, Phase, Stats, TraceBuf, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -50,6 +50,8 @@ pub struct Shared {
     pub error: Mutex<Option<String>>,
     pub root_cancel: CancelToken,
     pub worker_stats: Mutex<Vec<Stats>>,
+    /// Ring buffers deposited by finished workers (tracing enabled only).
+    pub trace_bufs: Mutex<Vec<TraceBuf>>,
     /// Fault injection (tests/robustness validation); `None` = no faults.
     pub injector: Option<FaultInjector>,
 }
@@ -154,6 +156,12 @@ pub struct AndWorker {
     idle_streak: u32,
     /// Counted in [`Shared::idle_workers`].
     marked_idle: bool,
+    /// Event tracing (no-op unless enabled in the config).
+    tracer: Tracer,
+    /// Virtual-clock mirror: the sum of all phase costs already returned
+    /// to the driver. `vclock + phase_cost` is this worker's current
+    /// virtual time, used to stamp trace events.
+    vclock: u64,
 }
 
 enum Outcome {
@@ -170,6 +178,7 @@ fn trace_enabled() -> bool {
 impl AndWorker {
     pub fn new(id: usize, sh: Arc<Shared>) -> Self {
         let costs = Arc::new(sh.cfg.costs.clone());
+        let tracer = Tracer::new(&sh.cfg.trace, id);
         AndWorker {
             id,
             sh,
@@ -182,7 +191,15 @@ impl AndWorker {
             reported: false,
             idle_streak: 0,
             marked_idle: false,
+            tracer,
+            vclock: 0,
         }
+    }
+
+    /// This worker's current virtual time (trace event timestamps).
+    #[inline]
+    fn now(&self) -> u64 {
+        self.vclock + self.phase_cost
     }
 
     /// Are there idle workers other than this one? (The demand signal for
@@ -271,6 +288,11 @@ impl AndWorker {
             self.stats.faults_injected += 1;
             self.stats.steal_retries += 1;
             self.stats.idle_probes += 1;
+            let t = self.now();
+            self.tracer
+                .emit(t, || EventKind::FaultInjected { kind: "steal-fail" });
+            self.tracer
+                .emit(t, || EventKind::FaultRetry { what: "steal" });
             return Outcome::NoWork;
         }
         let task = {
@@ -288,12 +310,17 @@ impl AndWorker {
         };
         let Some(task) = task else {
             self.stats.idle_probes += 1;
+            let t = self.now();
+            self.tracer.emit(t, || EventKind::StealFail);
             return Outcome::NoWork;
         };
         let costs = self.costs();
         if task.creator != self.id {
             self.stats.tasks_stolen += 1;
             self.charge(costs.steal);
+            let t = self.now();
+            self.tracer.emit(t, || EventKind::StealAttempt);
+            self.tracer.emit(t, || EventKind::StealSuccess);
         } else {
             self.charge(costs.queue_op);
         }
@@ -504,6 +531,9 @@ impl AndWorker {
             + costs.queue_op * (n - 1);
         self.stats.charge(charge);
         self.phase_cost += charge;
+        let t = self.vclock + self.phase_cost;
+        self.tracer
+            .emit(t, || EventKind::FrameAlloc { slots: n as usize });
 
         // Ship all branches but the last (when idle workers demand them);
         // run the last inline, &ACE-style ("the goal a does not need an
@@ -585,6 +615,9 @@ impl AndWorker {
         let charge = costs.lpco_merge_slot * k as u64 + cells as u64 * costs.heap_cell;
         self.stats.charge(charge);
         self.phase_cost += charge;
+        let t = self.vclock + self.phase_cost;
+        self.tracer
+            .emit(t, || EventKind::FrameElide { merged_slots: k });
 
         let mut tasks = Vec::with_capacity(shipped.len());
         {
@@ -675,6 +708,10 @@ impl AndWorker {
         self.stats.slots_merged_lpco += k;
         self.stats.frames_elided_lpco += 1;
         self.charge(costs.lpco_merge_slot * k);
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::FrameElide {
+            merged_slots: k as usize,
+        });
         true
     }
 
@@ -801,6 +838,8 @@ impl AndWorker {
                     };
                 }
                 self.stats.redo_rounds += 1;
+                let t = self.now();
+                self.tracer.emit(t, || EventKind::RedoRound);
             } else if inner.pending == 0 && inner.stage == FrameStage::Filling {
                 inner.stage = FrameStage::Ready;
             }
@@ -855,6 +894,8 @@ impl AndWorker {
             }
             self.stats.pdo_merges += 1;
             self.charge(costs.slot_join + costs.lock);
+            let t = self.now();
+            self.tracer.emit(t, || EventKind::PdoMerge);
         } else {
             // speculation failed: undo and ship to a fresh machine
             machine.rollback_to(o.ctrl_len, o.trail, o.heap);
@@ -895,6 +936,8 @@ impl AndWorker {
             inline.pop();
         }
         self.stats.slot_failures += 1;
+        let t = self.vclock + self.phase_cost;
+        self.tracer.emit(t, || EventKind::SlotFail);
         o.frame.fail();
         machine.fail_parcall_until(fid);
         let unsurfaced = machine.take_unsurfaced_cost();
@@ -914,6 +957,8 @@ impl AndWorker {
                 .collect(),
         };
         self.sh.solutions.lock().push(sol);
+        let t = self.vclock + self.phase_cost;
+        self.tracer.emit(t, || EventKind::Solution);
         let count = self.sh.solutions_count.fetch_add(1, Ordering::AcqRel) + 1;
         if self.sh.cfg.max_solutions.is_some_and(|max| count >= max) {
             self.sh.finish();
@@ -988,6 +1033,8 @@ impl AndWorker {
         self.stats.pdo_merges += 1;
         self.stats.cells_copied += out.cells_copied as u64;
         self.charge(out.cells_copied as u64 * costs.heap_cell + costs.lock);
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::PdoMerge);
         true
     }
 
@@ -1025,6 +1072,8 @@ impl AndWorker {
                 machine.clear_pending_marker();
                 self.stats.markers_elided_spo += 2;
                 self.charge(costs.spo_track);
+                let t = self.now();
+                self.tracer.emit(t, || EventKind::MarkerElide);
             } else {
                 machine.materialize_pending_marker();
                 machine.push_marker(MarkerKind::End, frame.id, last_slot as u32);
@@ -1131,6 +1180,8 @@ impl AndWorker {
             }
             RunCtx::Slot { frame, .. } => {
                 self.stats.slot_failures += 1;
+                let t = self.now();
+                self.tracer.emit(t, || EventKind::SlotFail);
                 frame.fail();
                 self.retire_machine(machine);
             }
@@ -1445,6 +1496,8 @@ impl AndWorker {
     fn on_redo(&mut self) -> Outcome {
         let costs = self.costs();
         self.stats.redo_rounds += 1;
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::RedoRound);
         let Some(Act::Run {
             machine, inline, ..
         }) = self.stack.last_mut()
@@ -1471,6 +1524,8 @@ impl AndWorker {
                 inline.pop();
             }
             self.stats.slot_failures += 1;
+            let t = self.vclock + self.phase_cost;
+            self.tracer.emit(t, || EventKind::SlotFail);
             frame.fail();
             machine.fail_parcall();
             self.phase_cost += machine.take_unsurfaced_cost();
@@ -1825,8 +1880,8 @@ fn region_is_deterministic(machine: &Machine, from: usize) -> bool {
     })
 }
 
-impl Agent for AndWorker {
-    fn phase(&mut self) -> Phase {
+impl AndWorker {
+    fn phase_inner(&mut self) -> Phase {
         if self.sh.done.load(Ordering::Acquire) {
             if !self.reported {
                 self.reported = true;
@@ -1841,6 +1896,9 @@ impl Agent for AndWorker {
                     }
                 }
                 self.sh.worker_stats.lock().push(self.stats);
+                if let Some(buf) = self.tracer.take() {
+                    self.sh.trace_bufs.lock().push(buf);
+                }
             }
             return Phase::Done;
         }
@@ -1860,9 +1918,16 @@ impl Agent for AndWorker {
                     // A clock jump: virtual time lost, no state touched.
                     self.stats.fault_stalls += 1;
                     self.stats.charge(cost);
+                    let t = self.now();
+                    self.tracer
+                        .emit(t, || EventKind::FaultInjected { kind: "stall" });
+                    self.tracer.emit(t, || EventKind::FaultStall { cost });
                     return Phase::Busy(cost.max(1));
                 }
                 FaultAction::Cancel => {
+                    let t = self.now();
+                    self.tracer
+                        .emit(t, || EventKind::FaultInjected { kind: "cancel" });
                     self.sh.fail_with(format!(
                         "{FAULT_ERROR_PREFIX} injected cancellation on worker {}",
                         self.id
@@ -1875,7 +1940,6 @@ impl Agent for AndWorker {
                 }
             }
         }
-        self.phase_cost = 0;
         match self.do_phase() {
             Outcome::Worked => {
                 self.idle_streak = 0;
@@ -1891,8 +1955,35 @@ impl Agent for AndWorker {
                 let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
                 self.idle_streak = self.idle_streak.saturating_add(1);
                 self.stats.charge_idle(p);
+                let t = self.vclock;
+                self.tracer.emit(t, || EventKind::IdleProbe { cost: p });
                 Phase::Idle(p)
             }
         }
+    }
+}
+
+impl Agent for AndWorker {
+    fn phase(&mut self) -> Phase {
+        // Reset before anything can emit: a stale partial cost from the
+        // previous phase would inflate event timestamps past this phase's
+        // clock advance.
+        self.phase_cost = 0;
+        let start = self.vclock;
+        let p = self.phase_inner();
+        if let Phase::Busy(c) | Phase::Idle(c) = p {
+            self.vclock += c;
+            if self.tracer.lifecycle() {
+                let phase = if matches!(p, Phase::Busy(_)) {
+                    "busy"
+                } else {
+                    "idle"
+                };
+                self.tracer.emit(start, || EventKind::PhaseStart { phase });
+                let end = self.vclock;
+                self.tracer.emit(end, || EventKind::PhaseEnd { phase });
+            }
+        }
+        p
     }
 }

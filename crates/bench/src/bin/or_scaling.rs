@@ -10,6 +10,7 @@
 //! or_scaling                       # full sizes, writes BENCH_or_scaling.json
 //! or_scaling --smoke               # reduced sizes (CI smoke job)
 //! or_scaling --json --out FILE     # explicit output path
+//! or_scaling --trace FILE          # + Perfetto trace of a 4-worker run
 //! ```
 
 use std::fs;
@@ -17,7 +18,7 @@ use std::path::PathBuf;
 
 use ace_bench::json::Json;
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags, OrScheduler};
+use ace_runtime::{EngineConfig, OptFlags, OrScheduler, TraceConfig};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -97,6 +98,30 @@ fn steal_cost_entry(depth: usize) -> Result<Json, String> {
     ))
 }
 
+/// Traced 4-worker pool run over the first corpus benchmark; writes the
+/// Chrome `trace_event` JSON for Perfetto (the CI-uploaded artifact).
+fn write_trace(name: &str, smoke: bool, path: &PathBuf) -> Result<(), String> {
+    let b = ace_programs::benchmark(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let size = if smoke { b.test_size } else { b.bench_size };
+    let ace = Ace::load(&(b.program)(size))?;
+    let mut c = cfg(&b, 4, OrScheduler::Pool);
+    c.trace = TraceConfig::enabled().with_lifecycle();
+    let r = ace.run(b.mode, &(b.query)(size), &c)?;
+    let trace = r
+        .trace
+        .as_ref()
+        .ok_or("tracing enabled but no trace on the report")?;
+    fs::write(path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} events, {} workers, {} dropped)",
+        path.display(),
+        trace.len(),
+        trace.workers(),
+        trace.dropped
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -107,6 +132,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_or_scaling.json"));
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     let corpus: &[&str] = if smoke {
         &["queen1", "members", "ancestors"]
@@ -148,4 +178,12 @@ fn main() {
     ]);
     fs::write(&out, doc.render()).expect("write bench json");
     eprintln!("wrote {}", out.display());
+
+    if let Some(path) = trace_out {
+        eprintln!("tracing {} at 4 workers ...", corpus[0]);
+        if let Err(e) = write_trace(corpus[0], smoke, &path) {
+            eprintln!("or_scaling FAILED: {e}");
+            std::process::exit(2);
+        }
+    }
 }

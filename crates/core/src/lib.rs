@@ -32,7 +32,7 @@ use ace_and::AndEngine;
 use ace_logic::Database;
 use ace_machine::Solver;
 use ace_or::OrEngine;
-use ace_runtime::{CostModel, EngineConfig};
+use ace_runtime::{CostModel, EngineConfig, EventKind, Trace, TraceEvent};
 
 pub use error::AceError;
 pub use report::RunReport;
@@ -98,9 +98,24 @@ impl Ace {
             Ok(r) => Ok(r),
             Err(e) if e.is_recoverable() && mode != Mode::Sequential => {
                 let mut r = self.run_once(Mode::Sequential, query, cfg)?;
-                r.recovery.push(format!(
-                    "parallel run failed ({e}); recovered via sequential fallback"
-                ));
+                let reason =
+                    format!("parallel run failed ({e}); recovered via sequential fallback");
+                if cfg.trace.enabled {
+                    // The parallel run's buffers died with it; record the
+                    // degradation itself so traced runs are never silent
+                    // about the fallback.
+                    r.trace = Some(Trace::merge(
+                        Vec::new(),
+                        vec![TraceEvent {
+                            t: r.virtual_time,
+                            worker: 0,
+                            kind: EventKind::Degraded {
+                                reason: reason.clone(),
+                            },
+                        }],
+                    ));
+                }
+                r.recovery.push(reason);
                 Ok(r)
             }
             Err(e) => Err(e),
@@ -122,6 +137,7 @@ impl Ace {
                     per_worker: r.per_worker,
                     tree_depth: None,
                     recovery: Vec::new(),
+                    trace: r.trace,
                 }
             }
             Mode::OrParallel => {
@@ -136,6 +152,7 @@ impl Ace {
                     per_worker: r.per_worker,
                     tree_depth: Some(r.max_tree_depth),
                     recovery: Vec::new(),
+                    trace: r.trace,
                 }
             }
         };
@@ -169,6 +186,7 @@ impl Ace {
             per_worker: vec![stats],
             tree_depth: None,
             recovery: Vec::new(),
+            trace: None,
         })
     }
 

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use ace_runtime::Stats;
+use ace_runtime::{Stats, Trace};
 
 /// The outcome of one query run under one configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct RunReport {
     /// (e.g. a parallel run replayed on the sequential engine after a
     /// worker died). Empty for an undisturbed run.
     pub recovery: Vec<String>,
+    /// Merged virtual-time-ordered event trace (present only when tracing
+    /// was enabled in the run's [`ace_runtime::trace::TraceConfig`]).
+    pub trace: Option<Trace>,
 }
 
 impl RunReport {
@@ -61,13 +64,21 @@ impl RunReport {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} solution(s), virtual time {}, workers {}, {}",
             self.solutions.len(),
             self.virtual_time,
             self.clocks.len(),
             self.stats.summary()
-        )
+        );
+        if !self.recovery.is_empty() {
+            s.push_str(&format!(
+                ", {} recovery event(s): {}",
+                self.recovery.len(),
+                self.recovery.join("; ")
+            ));
+        }
+        s
     }
 }
 
@@ -85,6 +96,7 @@ mod tests {
             per_worker: vec![],
             tree_depth: None,
             recovery: vec![],
+            trace: None,
         }
     }
 
@@ -108,6 +120,17 @@ mod tests {
         let z = report(0);
         assert_eq!(z.improvement_over(&report(10)), 0.0);
         assert_eq!(z.speedup_from(100), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_recovery_only_when_present() {
+        let mut r = report(100);
+        assert!(!r.summary().contains("recovery"));
+        r.recovery
+            .push("parallel run failed; recovered via sequential fallback".into());
+        let s = r.summary();
+        assert!(s.contains("1 recovery event(s)"), "{s}");
+        assert!(s.contains("sequential fallback"), "{s}");
     }
 
     #[test]

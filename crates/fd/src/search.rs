@@ -16,7 +16,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ace_runtime::{
-    Agent, CostModel, DriverKind, EngineConfig, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
+    Agent, CostModel, DriverKind, EngineConfig, EventKind, Phase, RunOutcome, SimDriver, Stats,
+    ThreadsDriver, Trace, TraceBuf, TraceSink, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -102,12 +103,12 @@ impl FdNode {
         Some(epoch)
     }
 
-    fn claim(&self) -> Option<(usize, u32, Arc<Vec<BitDomain>>)> {
+    fn claim(&self) -> Option<(usize, u32, u64, Arc<Vec<BitDomain>>)> {
         let mut p = self.payload.lock();
         let payload = p.as_mut()?;
         let v = payload.values.pop_front()?;
         self.total_alts.fetch_sub(1, Ordering::AcqRel);
-        Some((payload.var, v, payload.state.clone()))
+        Some((payload.var, v, payload.epoch, payload.state.clone()))
     }
 
     fn claim_epoch(&self, epoch: u64) -> Option<u32> {
@@ -150,6 +151,7 @@ struct SharedState {
     nsolutions: AtomicUsize,
     max_depth: AtomicUsize,
     worker_stats: Mutex<Vec<Stats>>,
+    trace_bufs: Mutex<Vec<TraceBuf>>,
 }
 
 struct Run {
@@ -171,12 +173,22 @@ struct FdWorker {
     reported: bool,
     marked_idle: bool,
     idle_streak: u32,
+    /// Event tracing (no-op unless enabled in the config).
+    tracer: Tracer,
+    /// Sum of phase costs already returned to the driver; `vclock +
+    /// phase_cost` is this worker's current virtual time (event stamps).
+    vclock: u64,
 }
 
 impl FdWorker {
     fn charge(&mut self, units: u64) {
         self.stats.charge(units);
         self.phase_cost += units;
+    }
+
+    #[inline]
+    fn now(&self) -> u64 {
+        self.vclock + self.phase_cost
     }
 
     fn mark_idle(&mut self, idle: bool) {
@@ -203,7 +215,7 @@ impl FdWorker {
         let costs = self.costs.clone();
         let lao = self.sh.cfg.opts.lao;
         let total_alts = self.sh.total_alts.clone();
-        let (copy_cost, reused, depth) = {
+        let (copy_cost, reused, depth, node_id, epoch, nalts) = {
             let Some(run) = self.current.as_mut() else {
                 return;
             };
@@ -226,6 +238,7 @@ impl FdWorker {
             };
             let snapshot = Arc::new(state.clone());
             let copy_cost = state.len() as u64 * costs.heap_cell;
+            let nalts = values.len();
             let candidate = run
                 .last_published
                 .clone()
@@ -256,8 +269,9 @@ impl FdWorker {
                 node: node.clone(),
                 epoch,
             };
+            let node_id = node.id;
             run.last_published = Some(node);
-            (copy_cost, reused, depth)
+            (copy_cost, reused, depth, node_id, epoch, nalts)
         };
         if lao {
             self.charge(costs.lao_check);
@@ -272,6 +286,22 @@ impl FdWorker {
             self.stats.nodes_published += 1;
             self.charge(costs.publish_node + copy_cost);
         }
+        let t = self.now();
+        self.tracer.emit(t, || {
+            if reused {
+                EventKind::LaoReuse {
+                    node: node_id,
+                    epoch,
+                    alts: nalts,
+                }
+            } else {
+                EventKind::Publish {
+                    node: node_id,
+                    epoch,
+                    alts: nalts,
+                }
+            }
+        });
     }
 
     /// One bounded amount of labeling work.
@@ -289,6 +319,8 @@ impl FdWorker {
                 let sol: Vec<u32> = run.domains.iter().map(|d| d.value().unwrap()).collect();
                 self.sh.solutions.lock().push(sol);
                 self.stats.solutions += 1;
+                let t = self.now();
+                self.tracer.emit(t, || EventKind::Solution);
                 let n = self.sh.nsolutions.fetch_add(1, Ordering::AcqRel) + 1;
                 if self.sh.cfg.max_solutions.is_some_and(|max| n >= max) {
                     self.sh.done.store(true, Ordering::Release);
@@ -381,7 +413,14 @@ impl FdWorker {
                     match node.claim_epoch(*epoch) {
                         Some(v) => {
                             let (var, state) = (*var, state.clone());
+                            let (node_id, ep) = (node.id, *epoch);
                             run.domains = state;
+                            let t = self.vclock + self.phase_cost;
+                            self.tracer.emit(t, || EventKind::Claim {
+                                node: node_id,
+                                epoch: ep,
+                                alt: v as usize,
+                            });
                             self.assign_and_propagate(var, v);
                             return true;
                         }
@@ -404,17 +443,27 @@ impl FdWorker {
     fn find_work(&mut self) -> bool {
         let costs = self.costs.clone();
         self.sh.busy.fetch_add(1, Ordering::AcqRel);
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::StealAttempt);
         let mut stack = vec![self.sh.root.clone()];
         while let Some(node) = stack.pop() {
             self.stats.tree_visits += 1;
             self.charge(costs.tree_visit);
-            if let Some((var, value, state)) = node.claim() {
+            if let Some((var, value, epoch, state)) = node.claim() {
                 self.stats.alternatives_claimed += 1;
                 self.charge(
                     costs.claim_alternative
                         + costs.install_state
                         + state.len() as u64 * costs.heap_cell,
                 );
+                let t = self.now();
+                let node_id = node.id;
+                self.tracer.emit(t, || EventKind::Claim {
+                    node: node_id,
+                    epoch,
+                    alt: value as usize,
+                });
+                self.tracer.emit(t, || EventKind::StealSuccess);
                 self.current = Some(Run {
                     domains: (*state).clone(),
                     stack: Vec::new(),
@@ -427,20 +476,24 @@ impl FdWorker {
             stack.extend(node.children.lock().iter().cloned());
         }
         self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::StealFail);
         false
     }
 }
 
-impl Agent for FdWorker {
-    fn phase(&mut self) -> Phase {
+impl FdWorker {
+    fn phase_inner(&mut self) -> Phase {
         if self.sh.done.load(Ordering::Acquire) {
             if !self.reported {
                 self.reported = true;
                 self.sh.worker_stats.lock().push(self.stats);
+                if let Some(buf) = self.tracer.take() {
+                    self.sh.trace_bufs.lock().push(buf);
+                }
             }
             return Phase::Done;
         }
-        self.phase_cost = 0;
         if self.current.is_some() {
             self.mark_idle(false);
             self.idle_streak = 0;
@@ -462,7 +515,34 @@ impl Agent for FdWorker {
         let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
         self.idle_streak = self.idle_streak.saturating_add(1);
         self.stats.charge_idle(p);
+        let t = self.vclock;
+        self.tracer.emit(t, || EventKind::IdleProbe { cost: p });
         Phase::Idle(p)
+    }
+}
+
+impl Agent for FdWorker {
+    fn phase(&mut self) -> Phase {
+        // Reset before anything can emit: a stale partial cost from the
+        // previous phase would inflate event timestamps past this phase's
+        // clock advance.
+        self.phase_cost = 0;
+        let start = self.vclock;
+        let p = self.phase_inner();
+        if let Phase::Busy(c) | Phase::Idle(c) = p {
+            self.vclock += c;
+            if self.tracer.lifecycle() {
+                let phase = if matches!(p, Phase::Busy(_)) {
+                    "busy"
+                } else {
+                    "idle"
+                };
+                self.tracer.emit(start, || EventKind::PhaseStart { phase });
+                let end = self.vclock;
+                self.tracer.emit(end, || EventKind::PhaseEnd { phase });
+            }
+        }
+        p
     }
 }
 
@@ -476,6 +556,8 @@ pub struct FdReport {
     pub stats: Stats,
     /// Maximum public-tree depth observed (the Figure-7 shape metric).
     pub max_tree_depth: u32,
+    /// Merged event trace (present only when tracing was enabled).
+    pub trace: Option<Trace>,
 }
 
 /// The FD solver front end.
@@ -503,6 +585,7 @@ impl Fd {
             nsolutions: AtomicUsize::new(0),
             max_depth: AtomicUsize::new(0),
             worker_stats: Mutex::new(Vec::new()),
+            trace_bufs: Mutex::new(Vec::new()),
         });
 
         let costs = Arc::new(cfg.costs.clone());
@@ -517,6 +600,8 @@ impl Fd {
                 reported: false,
                 marked_idle: false,
                 idle_streak: 0,
+                tracer: Tracer::new(&cfg.trace, id),
+                vclock: 0,
             })
             .collect();
 
@@ -534,20 +619,29 @@ impl Fd {
             sh.busy.store(0, Ordering::Release);
         }
 
+        let sink = cfg.trace.enabled.then(|| TraceSink::new(&cfg.trace));
         let outcome = match cfg.driver {
             DriverKind::Sim => {
                 let agents: Vec<Box<dyn Agent>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent>)
                     .collect();
-                SimDriver::new(cfg.virtual_time_limit).run(agents)
+                let mut driver = SimDriver::new(cfg.virtual_time_limit);
+                if let Some(s) = &sink {
+                    driver = driver.with_trace(s.clone());
+                }
+                driver.run(agents)
             }
             DriverKind::Threads => {
                 let agents: Vec<Box<dyn Agent + Send>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent + Send>)
                     .collect();
-                ThreadsDriver::new(cfg.threads_deadline, None).run(agents)
+                let mut driver = ThreadsDriver::new(cfg.threads_deadline, None);
+                if let Some(s) = &sink {
+                    driver = driver.with_trace(s.clone());
+                }
+                driver.run(agents)
             }
         };
 
@@ -560,11 +654,14 @@ impl Fd {
         if let Some(max) = cfg.max_solutions {
             solutions.truncate(max);
         }
+        let trace =
+            sink.map(|s| Trace::merge(std::mem::take(&mut *sh.trace_bufs.lock()), s.drain()));
         FdReport {
             solutions,
             outcome,
             stats,
             max_tree_depth: sh.max_depth.load(Ordering::Acquire) as u32,
+            trace,
         }
     }
 }

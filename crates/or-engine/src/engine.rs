@@ -9,8 +9,9 @@ use ace_logic::{Cell, Database};
 use ace_machine::frames::Alts;
 use ace_machine::{Machine, Status};
 use ace_runtime::{
-    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig,
+    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig, EventKind,
     FaultAction, FaultInjector, OrScheduler, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
+    Trace, TraceBuf, TraceSink, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -34,6 +35,8 @@ pub struct OrReport {
     pub per_worker: Vec<Stats>,
     /// Maximum public-tree depth observed (Figure 6/7 shape metric).
     pub max_tree_depth: u32,
+    /// Merged event trace (`Some` iff `cfg.trace.enabled`).
+    pub trace: Option<Trace>,
 }
 
 struct OrShared {
@@ -54,6 +57,8 @@ struct OrShared {
     max_depth: AtomicUsize,
     /// Fault injection (tests/robustness validation); `None` = no faults.
     injector: Option<FaultInjector>,
+    /// Completed workers deposit their trace ring buffers here.
+    trace_bufs: Mutex<Vec<TraceBuf>>,
 }
 
 impl OrShared {
@@ -106,10 +111,17 @@ struct OrWorker {
     marked_idle: bool,
     /// Consecutive no-work phases (exponential idle backoff).
     idle_streak: u32,
+    /// Event tracing (no-op unless `cfg.trace.enabled`).
+    tracer: Tracer,
+    /// Virtual time of all phases already returned to the driver; event
+    /// timestamps are `vclock + phase_cost` so they are monotone per
+    /// worker and track the driver's clock.
+    vclock: u64,
 }
 
 impl OrWorker {
     fn new(id: usize, sh: Arc<OrShared>, costs: Arc<CostModel>) -> Self {
+        let tracer = Tracer::new(&sh.cfg.trace, id);
         OrWorker {
             id,
             sh,
@@ -122,7 +134,15 @@ impl OrWorker {
             reported: false,
             marked_idle: false,
             idle_streak: 0,
+            tracer,
+            vclock: 0,
         }
+    }
+
+    /// Current worker-local virtual time, for event timestamps.
+    #[inline]
+    fn now(&self) -> u64 {
+        self.vclock + self.phase_cost
     }
 
     fn mark_idle(&mut self, idle: bool) {
@@ -173,6 +193,12 @@ impl OrWorker {
             self.stats.faults_injected += 1;
             self.stats.publish_retries += 1;
             self.charge(self.costs.queue_op);
+            let t = self.now();
+            self.tracer.emit(t, || EventKind::FaultInjected {
+                kind: "publish-fail",
+            });
+            self.tracer
+                .emit(t, || EventKind::FaultRetry { what: "publish" });
             return;
         }
         let costs = self.costs.clone();
@@ -272,12 +298,32 @@ impl OrWorker {
             self.stats.nodes_published += 1;
             self.charge(costs.publish_node + copy_cost + costs.queue_op * nalts as u64);
         }
+        let t = self.now();
+        let node_id = node.id;
+        self.tracer.emit(t, || {
+            if reused {
+                EventKind::LaoReuse {
+                    node: node_id,
+                    epoch,
+                    alts: nalts,
+                }
+            } else {
+                EventKind::Publish {
+                    node: node_id,
+                    epoch,
+                    alts: nalts,
+                }
+            }
+        });
         // Make the fresh alternatives findable in O(1). An LAO-refilled
         // node may still have a stale pool entry, in which case the push
         // no-ops and the existing entry serves the new alternatives.
         if self.sh.cfg.or_scheduler == OrScheduler::Pool && self.sh.pool.push(self.id, &node) {
             self.stats.pool_pushes += 1;
             self.charge(costs.queue_op);
+            let t = self.now();
+            self.tracer
+                .emit(t, || EventKind::PoolPush { node: node_id });
         }
     }
 
@@ -303,10 +349,17 @@ impl OrWorker {
         if steal_faulted {
             self.stats.faults_injected += 1;
             self.stats.steal_retries += 1;
+            let t = self.now();
+            self.tracer
+                .emit(t, || EventKind::FaultInjected { kind: "steal-fail" });
+            self.tracer
+                .emit(t, || EventKind::FaultRetry { what: "steal" });
             return false;
         }
         let costs = self.costs.clone();
         self.sh.busy.fetch_add(1, Ordering::AcqRel);
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::StealAttempt);
 
         // Pop/traversal order is the Aurora dispatch policy: deepest-first
         // (bottommost, stack order) or root-first (topmost, queue order).
@@ -319,14 +372,20 @@ impl OrWorker {
                 self.stats.pool_pops += 1;
                 self.stats.tree_visits += 1;
                 self.charge(costs.queue_op + costs.tree_visit);
-                if let Some((idx, pred, closure)) = node.claim_remote() {
+                let t = self.now();
+                let node_id = node.id;
+                self.tracer.emit(t, || EventKind::PoolPop { node: node_id });
+                if let Some((idx, epoch, pred, closure)) = node.claim_remote() {
                     // Keep the node visible to other idle workers while it
                     // still has unclaimed alternatives.
                     if node.has_work() && self.sh.pool.push(self.id, &node) {
                         self.stats.pool_pushes += 1;
                         self.charge(costs.queue_op);
+                        let t = self.now();
+                        self.tracer
+                            .emit(t, || EventKind::PoolPush { node: node_id });
                     }
-                    break Some((node, idx, pred, closure));
+                    break Some((node, idx, epoch, pred, closure));
                 }
                 // Drained behind the pool's back (owner claims, a cut, an
                 // LAO reuse that was itself re-enqueued): stale hint, drop.
@@ -343,20 +402,30 @@ impl OrWorker {
                     let Some(node) = node else { break None };
                     self.stats.tree_visits += 1;
                     self.charge(costs.tree_visit);
-                    if let Some((idx, pred, closure)) = node.claim_remote() {
-                        break Some((node, idx, pred, closure));
+                    if let Some((idx, epoch, pred, closure)) = node.claim_remote() {
+                        break Some((node, idx, epoch, pred, closure));
                     }
                     work.extend(node.children.lock().iter().cloned());
                 }
             }
         };
 
-        let Some((node, idx, (name, arity), closure)) = claimed else {
+        let Some((node, idx, epoch, (name, arity), closure)) = claimed else {
             self.sh.busy.fetch_sub(1, Ordering::AcqRel);
+            let t = self.now();
+            self.tracer.emit(t, || EventKind::StealFail);
             return false;
         };
         self.stats.alternatives_claimed += 1;
         self.charge(costs.claim_alternative + closure.cells as u64 * costs.heap_cell);
+        let t = self.now();
+        let node_id = node.id;
+        self.tracer.emit(t, || EventKind::Claim {
+            node: node_id,
+            epoch,
+            alt: idx,
+        });
+        self.tracer.emit(t, || EventKind::StealSuccess);
         let mut machine = self.acquire_machine();
         let ok = machine.install_closure(&closure, name, arity, idx);
         self.phase_cost += machine.take_unsurfaced_cost();
@@ -366,6 +435,9 @@ impl OrWorker {
             // `install_state` — dead branches must not inflate the
             // overhead tables.
             self.charge(costs.install_abort);
+            let t = self.now();
+            self.tracer
+                .emit(t, || EventKind::InstallAbort { node: node_id });
             self.retire_machine(machine);
             self.sh.busy.fetch_sub(1, Ordering::AcqRel);
             return true; // did work (explored and killed a branch)
@@ -386,6 +458,8 @@ impl OrWorker {
         match self.free_machines.pop() {
             Some(m) => {
                 self.stats.machines_recycled += 1;
+                let t = self.now();
+                self.tracer.emit(t, || EventKind::MachineRecycle);
                 m
             }
             None => Box::new(Machine::new(self.sh.db.clone(), self.costs.clone())),
@@ -427,7 +501,12 @@ impl OrWorker {
         if run.machine.answers.is_empty() {
             return;
         }
+        let n = run.machine.answers.len();
         self.pending_answers.append(&mut run.machine.answers);
+        let t = self.now();
+        for _ in 0..n {
+            self.tracer.emit(t, || EventKind::Solution);
+        }
     }
 
     /// Publish every batched solution with a single lock acquisition.
@@ -449,9 +528,19 @@ impl OrWorker {
         // so or-parallel distribution needs sub-quantum interleaving.
         let quantum = self.sh.cfg.quantum.min(32);
         let cancel = self.sh.cancel.clone();
+        if self.tracer.lifecycle() {
+            let t = self.now();
+            self.tracer.emit(t, || EventKind::QuantumStart);
+        }
+        let before = self.phase_cost;
         let run = self.current.as_mut().expect("run_current without machine");
         let status = run.machine.run(quantum, Some(&cancel));
         self.phase_cost += run.machine.take_unsurfaced_cost();
+        if self.tracer.lifecycle() {
+            let t = self.now();
+            let cost = self.phase_cost - before;
+            self.tracer.emit(t, || EventKind::QuantumEnd { cost });
+        }
         // Publish *after* running: choice points created inside the
         // quantum (still alive at a Solution boundary) become public
         // before the owner backtracks into them. Only a machine that
@@ -504,6 +593,30 @@ impl OrWorker {
 
 impl Agent for OrWorker {
     fn phase(&mut self) -> Phase {
+        // Reset before any emission so event timestamps never reuse the
+        // previous phase's partial cost.
+        self.phase_cost = 0;
+        let start = self.vclock;
+        let p = self.phase_inner();
+        if let Phase::Busy(c) | Phase::Idle(c) = p {
+            self.vclock += c;
+            if self.tracer.lifecycle() {
+                let phase = if matches!(p, Phase::Busy(_)) {
+                    "busy"
+                } else {
+                    "idle"
+                };
+                self.tracer.emit(start, || EventKind::PhaseStart { phase });
+                let end = self.vclock;
+                self.tracer.emit(end, || EventKind::PhaseEnd { phase });
+            }
+        }
+        p
+    }
+}
+
+impl OrWorker {
+    fn phase_inner(&mut self) -> Phase {
         if self.sh.done.load(Ordering::Acquire) {
             if !self.reported {
                 self.reported = true;
@@ -513,6 +626,9 @@ impl Agent for OrWorker {
                 }
                 self.flush_answers();
                 self.sh.worker_stats.lock().push(self.stats);
+                if let Some(buf) = self.tracer.take() {
+                    self.sh.trace_bufs.lock().push(buf);
+                }
             }
             return Phase::Done;
         }
@@ -530,13 +646,19 @@ impl Agent for OrWorker {
         // Fault-injection checkpoint (same cadence as the cancel check).
         if let Some(action) = self.sh.injector.as_ref().and_then(|inj| inj.poll(self.id)) {
             self.stats.faults_injected += 1;
+            let t = self.now();
             match action {
                 FaultAction::Stall(cost) => {
                     self.stats.fault_stalls += 1;
                     self.stats.charge(cost);
+                    self.tracer
+                        .emit(t, || EventKind::FaultInjected { kind: "stall" });
+                    self.tracer.emit(t, || EventKind::FaultStall { cost });
                     return Phase::Busy(cost.max(1));
                 }
                 FaultAction::Cancel => {
+                    self.tracer
+                        .emit(t, || EventKind::FaultInjected { kind: "cancel" });
                     self.sh.fail_with(format!(
                         "{FAULT_ERROR_PREFIX} injected cancellation on worker {}",
                         self.id
@@ -574,6 +696,8 @@ impl Agent for OrWorker {
         self.idle_streak = self.idle_streak.saturating_add(1);
         self.stats.charge_idle(p);
         self.stats.idle_probes += 1;
+        let t = self.now();
+        self.tracer.emit(t, || EventKind::IdleProbe { cost: p });
         Phase::Idle(p)
     }
 }
@@ -610,7 +734,9 @@ impl OrEngine {
                 .fault_plan
                 .as_ref()
                 .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
+            trace_bufs: Mutex::new(Vec::new()),
         });
+        let sink = cfg.trace.enabled.then(|| TraceSink::new(&cfg.trace));
 
         // Build the root machine with the `$answer`-wrapped query. The one
         // `CostModel` clone of the run lives here; workers and recycled
@@ -640,16 +766,24 @@ impl OrEngine {
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent>)
                     .collect();
-                SimDriver::new(cfg.virtual_time_limit)
-                    .with_cancel(shared.cancel.clone())
-                    .run(agents)
+                let mut driver =
+                    SimDriver::new(cfg.virtual_time_limit).with_cancel(shared.cancel.clone());
+                if let Some(s) = &sink {
+                    driver = driver.with_trace(s.clone());
+                }
+                driver.run(agents)
             }
             DriverKind::Threads => {
                 let agents: Vec<Box<dyn Agent + Send>> = workers
                     .into_iter()
                     .map(|w| Box::new(w) as Box<dyn Agent + Send>)
                     .collect();
-                ThreadsDriver::new(cfg.threads_deadline, Some(shared.cancel.clone())).run(agents)
+                let mut driver =
+                    ThreadsDriver::new(cfg.threads_deadline, Some(shared.cancel.clone()));
+                if let Some(s) = &sink {
+                    driver = driver.with_trace(s.clone());
+                }
+                driver.run(agents)
             }
         };
 
@@ -671,12 +805,15 @@ impl OrEngine {
         if let Some(max) = cfg.max_solutions {
             solutions.truncate(max);
         }
+        let trace =
+            sink.map(|s| Trace::merge(std::mem::take(&mut *shared.trace_bufs.lock()), s.drain()));
         Ok(OrReport {
             solutions,
             outcome,
             stats,
             per_worker,
             max_tree_depth: shared.max_depth.load(Ordering::Acquire) as u32,
+            trace,
         })
     }
 }

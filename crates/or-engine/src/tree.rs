@@ -11,6 +11,10 @@ use parking_lot::Mutex;
 
 static NODE_IDS: AtomicU64 = AtomicU64::new(1);
 
+/// What a remote claim hands back: the claimed clause index, the payload
+/// epoch it was claimed at, the predicate, and the closure to run against.
+pub type ClaimedAlt = (usize, u64, (Sym, u32), Arc<StateClosure>);
+
 /// The claimable content of a node. Replaced wholesale by an LAO reuse,
 /// with `epoch` incremented so stale owner choice points claim nothing.
 pub struct Payload {
@@ -117,13 +121,13 @@ impl OrNode {
     }
 
     /// Remote claim: atomically take one alternative together with the
-    /// closure it must run against.
-    pub fn claim_remote(&self) -> Option<(usize, (Sym, u32), Arc<StateClosure>)> {
+    /// epoch it was claimed at and the closure it must run against.
+    pub fn claim_remote(&self) -> Option<ClaimedAlt> {
         let mut p = self.payload.lock();
         let payload = p.as_mut()?;
         let idx = payload.alts.pop_front()?;
         self.total_alts.fetch_sub(1, Ordering::AcqRel);
-        Some((idx, payload.pred, payload.closure.clone()))
+        Some((idx, payload.epoch, payload.pred, payload.closure.clone()))
     }
 
     /// Any unclaimed alternatives right now?
@@ -241,8 +245,9 @@ mod tests {
             closure(),
             total.clone(),
         );
-        let (i1, pred, _) = node.claim_remote().unwrap();
+        let (i1, epoch, pred, _) = node.claim_remote().unwrap();
         assert_eq!(i1, 5);
+        assert_eq!(epoch, 0);
         assert_eq!(pred, (sym("p"), 1));
         let (i2, ..) = node.claim_remote().unwrap();
         assert_eq!(i2, 7);

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
+use crate::trace::TraceConfig;
 
 /// Which optimizations from the paper are enabled.
 ///
@@ -184,6 +185,10 @@ pub struct EngineConfig {
     /// Deterministic fault schedule injected into the run (testing and
     /// robustness validation; see [`crate::fault`]). `None` = no faults.
     pub fault_plan: Option<FaultPlan>,
+    /// Event tracing (see [`crate::trace`]). Off by default; when enabled
+    /// the run's merged [`crate::trace::Trace`] is surfaced on the report.
+    /// Tracing charges no virtual time.
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -201,6 +206,7 @@ impl Default for EngineConfig {
             virtual_time_limit: Some(200_000_000_000),
             threads_deadline: Some(Duration::from_secs(60)),
             fault_plan: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -243,6 +249,11 @@ impl EngineConfig {
 
     pub fn with_threads_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.threads_deadline = deadline;
+        self
+    }
+
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }

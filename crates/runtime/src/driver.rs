@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
 use crate::fault::{ABORT_ERROR_PREFIX, PANIC_ERROR_PREFIX};
+use crate::trace::{EventKind, TraceSink};
 
 /// The result of one agent phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,16 @@ impl WorkerExit {
     /// True for any exit other than a normal completion.
     pub fn is_abnormal(&self) -> bool {
         !matches!(self, WorkerExit::Completed)
+    }
+
+    /// Short reason string used in trace events.
+    fn trace_reason(&self) -> String {
+        match self {
+            WorkerExit::Completed => "completed".to_owned(),
+            WorkerExit::Panicked(msg) => format!("panicked: {msg}"),
+            WorkerExit::Cancelled => "cancelled".to_owned(),
+            WorkerExit::DeadlineExceeded => "deadline-exceeded".to_owned(),
+        }
     }
 }
 
@@ -140,6 +151,8 @@ pub struct SimDriver {
     /// engine workers observing it can drain cooperatively. Engines pass
     /// their root token here.
     pub cancel: Option<CancelToken>,
+    /// Sink for driver-side trace events (worker exits, aborts).
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for SimDriver {
@@ -147,6 +160,7 @@ impl Default for SimDriver {
         SimDriver {
             time_limit: Some(200_000_000_000),
             cancel: None,
+            trace: None,
         }
     }
 }
@@ -156,6 +170,7 @@ impl SimDriver {
         SimDriver {
             time_limit,
             cancel: None,
+            trace: None,
         }
     }
 
@@ -163,6 +178,12 @@ impl SimDriver {
     /// contained panic so surviving workers shut down instead of idling).
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach a trace sink that receives worker-exit and abort events.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -262,6 +283,28 @@ impl SimDriver {
             }
         }
 
+        if let Some(sink) = &self.trace {
+            for (i, exit) in exits.iter().enumerate() {
+                sink.emit(
+                    clocks[i],
+                    i,
+                    EventKind::WorkerExit {
+                        reason: exit.trace_reason(),
+                    },
+                );
+            }
+            if let Some(reason) = &aborted {
+                let t = clocks.iter().copied().max().unwrap_or(0);
+                sink.emit(
+                    t,
+                    0,
+                    EventKind::Abort {
+                        reason: reason.clone(),
+                    },
+                );
+            }
+        }
+
         RunOutcome {
             virtual_time: clocks.iter().copied().max().unwrap_or(0),
             clocks,
@@ -286,11 +329,23 @@ pub struct ThreadsDriver {
     /// Cancelled on panic or deadline so engine workers observing it can
     /// drain instead of waiting on shared state forever.
     pub cancel: Option<CancelToken>,
+    /// Sink for driver-side trace events (worker exits, aborts).
+    pub trace: Option<TraceSink>,
 }
 
 impl ThreadsDriver {
     pub fn new(deadline: Option<Duration>, cancel: Option<CancelToken>) -> Self {
-        ThreadsDriver { deadline, cancel }
+        ThreadsDriver {
+            deadline,
+            cancel,
+            trace: None,
+        }
+    }
+
+    /// Attach a trace sink that receives worker-exit and abort events.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     pub fn run(&self, agents: Vec<Box<dyn Agent + Send + '_>>) -> RunOutcome {
@@ -405,6 +460,27 @@ impl ThreadsDriver {
         };
 
         let clocks: Vec<u64> = clocks.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        if let Some(sink) = &self.trace {
+            for (i, exit) in exits.iter().enumerate() {
+                sink.emit(
+                    clocks[i],
+                    i,
+                    EventKind::WorkerExit {
+                        reason: exit.trace_reason(),
+                    },
+                );
+            }
+            if let Some(reason) = &aborted {
+                let t = clocks.iter().copied().max().unwrap_or(0);
+                sink.emit(
+                    t,
+                    0,
+                    EventKind::Abort {
+                        reason: reason.clone(),
+                    },
+                );
+            }
+        }
         RunOutcome {
             virtual_time: clocks.iter().copied().max().unwrap_or(0),
             clocks,

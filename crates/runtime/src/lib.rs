@@ -27,6 +27,16 @@
 //! [`driver::WorkerExit::Panicked`] entries on the [`driver::RunOutcome`]
 //! instead of crashing the process, and the threads driver enforces an
 //! optional wall-clock deadline.
+//!
+//! ## Observability
+//!
+//! The [`trace`] module provides always-compiled, off-by-default event
+//! tracing: each worker records typed events ([`trace::EventKind`]) into
+//! a fixed-capacity ring buffer stamped with its virtual clock, engines
+//! merge the buffers into a virtual-time-ordered [`trace::Trace`], and
+//! consumers export Chrome `trace_event` JSON or replay the trace through
+//! [`trace::TraceChecker`] to assert scheduler invariants. Disabled
+//! tracing costs one branch per emission point and zero virtual time.
 
 pub mod cancel;
 pub mod config;
@@ -34,6 +44,7 @@ pub mod cost;
 pub mod driver;
 pub mod fault;
 pub mod stats;
+pub mod trace;
 
 pub use cancel::CancelToken;
 pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy};
@@ -41,3 +52,6 @@ pub use cost::CostModel;
 pub use driver::{Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use stats::Stats;
+pub use trace::{
+    EventKind, Trace, TraceBuf, TraceChecker, TraceConfig, TraceEvent, TraceSink, Tracer,
+};

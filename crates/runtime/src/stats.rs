@@ -5,70 +5,125 @@
 //! traversal backtracking and work-finding performed, and how much was
 //! copied. The `tables` harness prints these next to the virtual times so
 //! the *mechanism* of each improvement is visible, not just the outcome.
+//!
+//! The struct, its `AddAssign`, and the field-name list are all generated
+//! by one macro invocation so adding a counter cannot silently skip the
+//! merge (the historic hand-written `AddAssign` dropped any field it
+//! forgot to mention).
 
 use std::ops::AddAssign;
 
-/// Flat counter sheet. All counts are per-worker and merged with `+=`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Stats {
-    /// Virtual cost units charged (the worker's busy time).
-    pub cost: u64,
-    /// Cost units spent idle-probing for work.
-    pub idle_cost: u64,
+/// Defines the counter sheet once: struct fields, `AddAssign`, the
+/// `FIELD_NAMES` list, and uniform accessors all come from the same
+/// field list, so they can never drift apart.
+macro_rules! stats_sheet {
+    (
+        $(#[$struct_meta:meta])*
+        pub struct $name:ident {
+            $(
+                $(#[$field_meta:meta])*
+                pub $field:ident: u64,
+            )+
+        }
+    ) => {
+        $(#[$struct_meta])*
+        pub struct $name {
+            $(
+                $(#[$field_meta])*
+                pub $field: u64,
+            )+
+        }
 
-    // resolution
-    pub calls: u64,
-    pub unify_steps: u64,
-    pub heap_cells: u64,
-    pub backtracks: u64,
-    pub trail_undos: u64,
+        impl AddAssign for $name {
+            fn add_assign(&mut self, o: $name) {
+                $( self.$field += o.$field; )+
+            }
+        }
 
-    // nondeterminism structures
-    pub choice_points: u64,
-    pub cp_reused_lao: u64,
+        impl $name {
+            /// Every counter's name, in declaration order.
+            pub const FIELD_NAMES: &'static [&'static str] = &[
+                $( stringify!($field), )+
+            ];
 
-    // and-parallelism structures
-    pub parcall_frames: u64,
-    pub parcall_slots: u64,
-    pub slots_merged_lpco: u64,
-    pub frames_elided_lpco: u64,
-    pub markers_allocated: u64,
-    pub markers_elided_spo: u64,
-    pub pdo_merges: u64,
-    pub frame_traversals: u64,
-    pub slot_failures: u64,
-    pub redo_rounds: u64,
+            /// `(name, value)` snapshot of every counter, in declaration
+            /// order — generic render/merge tests go through this instead
+            /// of naming fields one by one.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($field), self.$field), )+ ]
+            }
 
-    // or-parallelism
-    pub nodes_published: u64,
-    pub alternatives_claimed: u64,
-    pub tree_visits: u64,
-    /// Node handles enqueued into the shared alternative pool.
-    pub pool_pushes: u64,
-    /// Node handles dequeued from the shared alternative pool (inspected;
-    /// a pop that finds the node drained claims nothing).
-    pub pool_pops: u64,
-    /// Claims served by a reset machine from the recycling pool instead of
-    /// a fresh heap allocation.
-    pub machines_recycled: u64,
+            /// Mutable references to every counter, in declaration order.
+            pub fn fields_mut(&mut self) -> Vec<(&'static str, &mut u64)> {
+                vec![ $( (stringify!($field), &mut self.$field), )+ ]
+            }
+        }
+    };
+}
 
-    // scheduling
-    pub tasks_stolen: u64,
-    pub idle_probes: u64,
-    pub cells_copied: u64,
+stats_sheet! {
+    /// Flat counter sheet. All counts are per-worker and merged with `+=`.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct Stats {
+        /// Virtual cost units charged (the worker's busy time).
+        pub cost: u64,
+        /// Cost units spent idle-probing for work.
+        pub idle_cost: u64,
 
-    // fault injection & recovery
-    /// Injected fault events absorbed by this worker.
-    pub faults_injected: u64,
-    /// Virtual time lost to injected stalls.
-    pub fault_stalls: u64,
-    /// Steal attempts that failed transiently and were retried.
-    pub steal_retries: u64,
-    /// Publications deferred by a transient failure and retried.
-    pub publish_retries: u64,
+        // resolution
+        pub calls: u64,
+        pub unify_steps: u64,
+        pub heap_cells: u64,
+        pub backtracks: u64,
+        pub trail_undos: u64,
 
-    // outcomes
-    pub solutions: u64,
+        // nondeterminism structures
+        pub choice_points: u64,
+        pub cp_reused_lao: u64,
+
+        // and-parallelism structures
+        pub parcall_frames: u64,
+        pub parcall_slots: u64,
+        pub slots_merged_lpco: u64,
+        pub frames_elided_lpco: u64,
+        pub markers_allocated: u64,
+        pub markers_elided_spo: u64,
+        pub pdo_merges: u64,
+        pub frame_traversals: u64,
+        pub slot_failures: u64,
+        pub redo_rounds: u64,
+
+        // or-parallelism
+        pub nodes_published: u64,
+        pub alternatives_claimed: u64,
+        pub tree_visits: u64,
+        /// Node handles enqueued into the shared alternative pool.
+        pub pool_pushes: u64,
+        /// Node handles dequeued from the shared alternative pool (inspected;
+        /// a pop that finds the node drained claims nothing).
+        pub pool_pops: u64,
+        /// Claims served by a reset machine from the recycling pool instead of
+        /// a fresh heap allocation.
+        pub machines_recycled: u64,
+
+        // scheduling
+        pub tasks_stolen: u64,
+        pub idle_probes: u64,
+        pub cells_copied: u64,
+
+        // fault injection & recovery
+        /// Injected fault events absorbed by this worker.
+        pub faults_injected: u64,
+        /// Virtual time lost to injected stalls.
+        pub fault_stalls: u64,
+        /// Steal attempts that failed transiently and were retried.
+        pub steal_retries: u64,
+        /// Publications deferred by a transient failure and retried.
+        pub publish_retries: u64,
+
+        // outcomes
+        pub solutions: u64,
+    }
 }
 
 impl Stats {
@@ -100,7 +155,8 @@ impl Stats {
             "cost={} idle={} calls={} cps={} (lao-reused {}) frames={} \
              (lpco-merged {}) markers={} (spo-elided {}) pdo={} stolen={} \
              published={} visits={} copied={} backtracks={} \
-             pool={}push/{}pop recycled={}",
+             pool={}push/{}pop recycled={} probes={} \
+             faults={} steal-retries={} publish-retries={}",
             self.cost,
             self.idle_cost,
             self.calls,
@@ -119,45 +175,11 @@ impl Stats {
             self.pool_pushes,
             self.pool_pops,
             self.machines_recycled,
+            self.idle_probes,
+            self.faults_injected,
+            self.steal_retries,
+            self.publish_retries,
         )
-    }
-}
-
-impl AddAssign for Stats {
-    fn add_assign(&mut self, o: Stats) {
-        self.cost += o.cost;
-        self.idle_cost += o.idle_cost;
-        self.calls += o.calls;
-        self.unify_steps += o.unify_steps;
-        self.heap_cells += o.heap_cells;
-        self.backtracks += o.backtracks;
-        self.trail_undos += o.trail_undos;
-        self.choice_points += o.choice_points;
-        self.cp_reused_lao += o.cp_reused_lao;
-        self.parcall_frames += o.parcall_frames;
-        self.parcall_slots += o.parcall_slots;
-        self.slots_merged_lpco += o.slots_merged_lpco;
-        self.frames_elided_lpco += o.frames_elided_lpco;
-        self.markers_allocated += o.markers_allocated;
-        self.markers_elided_spo += o.markers_elided_spo;
-        self.pdo_merges += o.pdo_merges;
-        self.frame_traversals += o.frame_traversals;
-        self.slot_failures += o.slot_failures;
-        self.redo_rounds += o.redo_rounds;
-        self.nodes_published += o.nodes_published;
-        self.alternatives_claimed += o.alternatives_claimed;
-        self.tree_visits += o.tree_visits;
-        self.pool_pushes += o.pool_pushes;
-        self.pool_pops += o.pool_pops;
-        self.machines_recycled += o.machines_recycled;
-        self.tasks_stolen += o.tasks_stolen;
-        self.idle_probes += o.idle_probes;
-        self.cells_copied += o.cells_copied;
-        self.faults_injected += o.faults_injected;
-        self.fault_stalls += o.fault_stalls;
-        self.steal_retries += o.steal_retries;
-        self.publish_retries += o.publish_retries;
-        self.solutions += o.solutions;
     }
 }
 
@@ -180,6 +202,31 @@ mod tests {
         assert_eq!(a.markers_allocated, 2);
     }
 
+    /// Merging two all-ones sheets must yield all-twos in *every* field —
+    /// the regression the macro exists to make impossible.
+    #[test]
+    fn merge_covers_every_field() {
+        let mut ones = Stats::new();
+        for (_, f) in ones.fields_mut() {
+            *f = 1;
+        }
+        let mut merged = ones;
+        merged += ones;
+        for (name, v) in merged.fields() {
+            assert_eq!(v, 2, "field {name} was dropped by AddAssign");
+        }
+        assert_eq!(merged.fields().len(), Stats::FIELD_NAMES.len());
+    }
+
+    #[test]
+    fn field_names_match_declaration() {
+        let s = Stats::new();
+        let names: Vec<&str> = s.fields().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, Stats::FIELD_NAMES);
+        assert!(Stats::FIELD_NAMES.contains(&"cost"));
+        assert!(Stats::FIELD_NAMES.contains(&"solutions"));
+    }
+
     #[test]
     fn totals() {
         let mut s = Stats::new();
@@ -192,7 +239,16 @@ mod tests {
     fn summary_mentions_key_counters() {
         let s = Stats::new();
         let text = s.summary();
-        for key in ["lao-reused", "lpco-merged", "spo-elided", "pdo="] {
+        for key in [
+            "lao-reused",
+            "lpco-merged",
+            "spo-elided",
+            "pdo=",
+            "probes=",
+            "faults=",
+            "steal-retries=",
+            "publish-retries=",
+        ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }
     }

@@ -1,0 +1,864 @@
+//! Virtual-time event tracing.
+//!
+//! Always compiled, off by default: when [`TraceConfig::enabled`] is
+//! false a [`Tracer`] is a `None` — every emission point costs exactly
+//! one branch and the event payload closure is never evaluated. When
+//! enabled, each worker records typed [`TraceEvent`]s into a private
+//! fixed-capacity ring buffer ([`TraceBuf`]) — no locks on the hot path,
+//! drop-oldest on overflow with a `dropped` counter so truncation is
+//! never silent. At the end of a run the engine merges the per-worker
+//! buffers (plus driver-side events from a shared [`TraceSink`]) into a
+//! single [`Trace`] ordered by virtual time, surfaced on the run report.
+//!
+//! Tracing charges **no** virtual cost: a traced run and an untraced run
+//! of the same program report identical `virtual_time`.
+//!
+//! Consumers:
+//! * [`Trace::to_chrome_json`] — Chrome `trace_event` JSON loadable in
+//!   Perfetto / `chrome://tracing`, with virtual cost units as
+//!   microseconds;
+//! * [`Trace::timeline`] — a compact text timeline;
+//! * [`TraceChecker`] — replays a finished trace and asserts scheduler
+//!   invariants (claims follow publications, no alternative issued
+//!   twice, pool pops bounded by pushes, fault injections matched by
+//!   recovery records).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Tracing knobs, threaded through `EngineConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off by default; when off no ring buffers are
+    /// allocated and every emission point is a single branch.
+    pub enabled: bool,
+    /// Per-worker ring-buffer capacity in events (drop-oldest beyond).
+    pub capacity: usize,
+    /// Also record high-volume lifecycle events (phase transitions,
+    /// quantum start/end). Off by default so invariant-relevant events
+    /// are not evicted by lifecycle noise on long runs.
+    pub lifecycle: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 1 << 16,
+            lifecycle: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config with tracing switched on (default capacity, no lifecycle).
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    pub fn with_lifecycle(mut self) -> Self {
+        self.lifecycle = true;
+        self
+    }
+}
+
+/// What happened. Every variant corresponds to a mechanism the paper's
+/// argument (or our fault model) rests on; aggregate counts of most of
+/// these already exist on `Stats` — the trace adds *when*, *where* and
+/// *interleaved with what*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    // -- engine lifecycle (recorded only with `TraceConfig::lifecycle`) --
+    /// A worker entered the named driver phase (`busy`/`idle`).
+    PhaseStart { phase: &'static str },
+    /// A worker left the named driver phase.
+    PhaseEnd { phase: &'static str },
+    /// An engine began one execution quantum on its current machine.
+    QuantumStart,
+    /// The quantum ended, having charged `cost` units.
+    QuantumEnd { cost: u64 },
+
+    // -- or-engine --
+    /// A private choice point became public under `node` (epoch 0).
+    Publish { node: u64, epoch: u64, alts: usize },
+    /// LAO: a drained node was reloaded in place at a bumped epoch.
+    LaoReuse { node: u64, epoch: u64, alts: usize },
+    /// A node handle was enqueued into the shared alternative pool.
+    PoolPush { node: u64 },
+    /// A node handle was dequeued from the pool (inspection, not claim).
+    PoolPop { node: u64 },
+    /// One alternative of `node` (at `epoch`) was claimed remotely.
+    Claim { node: u64, epoch: u64, alt: usize },
+    /// A claimed alternative's branch was dead on install; aborted.
+    InstallAbort { node: u64 },
+    /// A claim was served by a recycled machine, not a fresh allocation.
+    MachineRecycle,
+
+    // -- and-engine --
+    /// A parcall frame was allocated with `slots` subgoal slots.
+    FrameAlloc { slots: usize },
+    /// LPCO: a nested frame was elided, its slots merged into the parent.
+    FrameElide { merged_slots: usize },
+    /// A parallel subgoal slot failed (triggers outside backtracking).
+    SlotFail,
+    /// SPO: markers for a deterministic subgoal were never allocated.
+    MarkerElide,
+    /// PDO: adjacent same-worker slots merged into one computation.
+    PdoMerge,
+    /// A redo round re-ran slots during cross-product enumeration.
+    RedoRound,
+
+    // -- scheduler --
+    /// A worker started hunting for work.
+    StealAttempt,
+    /// The hunt yielded a task/alternative from another worker.
+    StealSuccess,
+    /// The hunt came up empty.
+    StealFail,
+    /// An idle probe charged `cost` units of idle time.
+    IdleProbe { cost: u64 },
+
+    // -- faults & recovery --
+    /// The injector fired a fault of the named kind on this worker.
+    FaultInjected { kind: &'static str },
+    /// An injected stall charged `cost` units.
+    FaultStall { cost: u64 },
+    /// A transiently failed operation (`steal`/`publish`) was retried.
+    FaultRetry { what: &'static str },
+    /// The run degraded to the sequential engine.
+    Degraded { reason: String },
+
+    // -- driver --
+    /// A worker exited (reason: completed/panicked/cancelled/deadline).
+    WorkerExit { reason: String },
+    /// The driver aborted the run.
+    Abort { reason: String },
+
+    // -- outcomes --
+    /// A solution was recorded.
+    Solution,
+}
+
+/// Argument value of one event payload field.
+enum Arg<'a> {
+    U(u64),
+    S(&'a str),
+}
+
+impl EventKind {
+    /// Stable kebab-case event name (Chrome-trace `name` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PhaseStart { .. } => "phase-start",
+            EventKind::PhaseEnd { .. } => "phase-end",
+            EventKind::QuantumStart => "quantum-start",
+            EventKind::QuantumEnd { .. } => "quantum-end",
+            EventKind::Publish { .. } => "publish",
+            EventKind::LaoReuse { .. } => "lao-reuse",
+            EventKind::PoolPush { .. } => "pool-push",
+            EventKind::PoolPop { .. } => "pool-pop",
+            EventKind::Claim { .. } => "claim",
+            EventKind::InstallAbort { .. } => "install-abort",
+            EventKind::MachineRecycle => "machine-recycle",
+            EventKind::FrameAlloc { .. } => "frame-alloc",
+            EventKind::FrameElide { .. } => "frame-elide",
+            EventKind::SlotFail => "slot-fail",
+            EventKind::MarkerElide => "marker-elide",
+            EventKind::PdoMerge => "pdo-merge",
+            EventKind::RedoRound => "redo-round",
+            EventKind::StealAttempt => "steal-attempt",
+            EventKind::StealSuccess => "steal-success",
+            EventKind::StealFail => "steal-fail",
+            EventKind::IdleProbe { .. } => "idle-probe",
+            EventKind::FaultInjected { .. } => "fault-injected",
+            EventKind::FaultStall { .. } => "fault-stall",
+            EventKind::FaultRetry { .. } => "fault-retry",
+            EventKind::Degraded { .. } => "degraded",
+            EventKind::WorkerExit { .. } => "worker-exit",
+            EventKind::Abort { .. } => "abort",
+            EventKind::Solution => "solution",
+        }
+    }
+
+    /// Payload fields, in a render-agnostic form.
+    fn args(&self) -> Vec<(&'static str, Arg<'_>)> {
+        use Arg::{S, U};
+        match self {
+            EventKind::PhaseStart { phase } | EventKind::PhaseEnd { phase } => {
+                vec![("phase", S(phase))]
+            }
+            EventKind::QuantumEnd { cost }
+            | EventKind::IdleProbe { cost }
+            | EventKind::FaultStall { cost } => vec![("cost", U(*cost))],
+            EventKind::Publish { node, epoch, alts }
+            | EventKind::LaoReuse { node, epoch, alts } => {
+                vec![
+                    ("node", U(*node)),
+                    ("epoch", U(*epoch)),
+                    ("alts", U(*alts as u64)),
+                ]
+            }
+            EventKind::PoolPush { node }
+            | EventKind::PoolPop { node }
+            | EventKind::InstallAbort { node } => vec![("node", U(*node))],
+            EventKind::Claim { node, epoch, alt } => {
+                vec![
+                    ("node", U(*node)),
+                    ("epoch", U(*epoch)),
+                    ("alt", U(*alt as u64)),
+                ]
+            }
+            EventKind::FrameAlloc { slots } => vec![("slots", U(*slots as u64))],
+            EventKind::FrameElide { merged_slots } => {
+                vec![("merged_slots", U(*merged_slots as u64))]
+            }
+            EventKind::FaultInjected { kind } => vec![("kind", S(kind))],
+            EventKind::FaultRetry { what } => vec![("what", S(what))],
+            EventKind::Degraded { reason } | EventKind::Abort { reason } => {
+                vec![("reason", S(reason))]
+            }
+            EventKind::WorkerExit { reason } => vec![("reason", S(reason))],
+            EventKind::QuantumStart
+            | EventKind::MachineRecycle
+            | EventKind::SlotFail
+            | EventKind::MarkerElide
+            | EventKind::PdoMerge
+            | EventKind::RedoRound
+            | EventKind::StealAttempt
+            | EventKind::StealSuccess
+            | EventKind::StealFail
+            | EventKind::Solution => vec![],
+        }
+    }
+}
+
+/// One recorded event: what happened, on which worker, at which point of
+/// that worker's virtual clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Worker-local virtual time (busy + idle cost units charged so far).
+    pub t: u64,
+    pub worker: usize,
+    pub kind: EventKind,
+}
+
+/// A per-worker fixed-capacity ring buffer of events. Drop-oldest on
+/// overflow; `dropped` counts evictions so truncation is visible.
+#[derive(Debug)]
+pub struct TraceBuf {
+    pub worker: usize,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    pub dropped: u64,
+}
+
+impl TraceBuf {
+    pub fn new(worker: usize, capacity: usize) -> Self {
+        TraceBuf {
+            worker,
+            capacity: capacity.max(1),
+            events: VecDeque::with_capacity(capacity.clamp(1, 1024)),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A worker's emission handle. Disabled tracing is a `None`: no ring
+/// buffer exists and [`Tracer::emit`] is one branch — the payload
+/// closure is never called.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    buf: Option<Box<TraceBuf>>,
+    lifecycle: bool,
+}
+
+impl Tracer {
+    /// The no-op tracer (what every worker gets when tracing is off).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer for `worker` per `cfg` — `disabled()` when `cfg` says off.
+    pub fn new(cfg: &TraceConfig, worker: usize) -> Tracer {
+        if !cfg.enabled {
+            return Tracer::disabled();
+        }
+        Tracer {
+            buf: Some(Box::new(TraceBuf::new(worker, cfg.capacity))),
+            lifecycle: cfg.lifecycle,
+        }
+    }
+
+    /// Is a ring buffer attached (i.e. will emissions record)?
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Record lifecycle (high-volume) events too?
+    pub fn lifecycle(&self) -> bool {
+        self.lifecycle && self.buf.is_some()
+    }
+
+    /// Record an event stamped at worker-virtual-time `t`. `kind` is a
+    /// closure so that payload construction is skipped when disabled.
+    #[inline]
+    pub fn emit(&mut self, t: u64, kind: impl FnOnce() -> EventKind) {
+        if let Some(buf) = self.buf.as_mut() {
+            let worker = buf.worker;
+            buf.push(TraceEvent {
+                t,
+                worker,
+                kind: kind(),
+            });
+        }
+    }
+
+    /// Detach the ring buffer (deposited into engine-shared storage when
+    /// the worker completes).
+    pub fn take(&mut self) -> Option<TraceBuf> {
+        self.buf.take().map(|b| *b)
+    }
+}
+
+/// A cloneable, locked event sink for contexts that outlive or sit
+/// outside a single worker (the drivers: worker exits, aborts, phase
+/// transitions). Not on any engine hot path.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    lifecycle: bool,
+}
+
+impl TraceSink {
+    pub fn new(cfg: &TraceConfig) -> TraceSink {
+        TraceSink {
+            events: Arc::new(Mutex::new(Vec::new())),
+            lifecycle: cfg.lifecycle,
+        }
+    }
+
+    pub fn lifecycle(&self) -> bool {
+        self.lifecycle
+    }
+
+    pub fn emit(&self, t: u64, worker: usize, kind: EventKind) {
+        self.events.lock().push(TraceEvent { t, worker, kind });
+    }
+
+    /// Take everything recorded so far.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+/// The merged, virtual-time-ordered trace of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events, sorted by `t` (stable: per-worker emission order is
+    /// preserved among equal timestamps).
+    pub events: Vec<TraceEvent>,
+    /// Total events evicted from ring buffers across all workers.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Merge per-worker ring buffers plus loose (driver-side) events into
+    /// one virtual-time-ordered trace.
+    pub fn merge(bufs: Vec<TraceBuf>, extra: Vec<TraceEvent>) -> Trace {
+        let mut events =
+            Vec::with_capacity(bufs.iter().map(TraceBuf::len).sum::<usize>() + extra.len());
+        let mut dropped = 0;
+        for buf in bufs {
+            dropped += buf.dropped;
+            events.extend(buf.events);
+        }
+        events.extend(extra);
+        events.sort_by_key(|e| e.t); // stable sort: keeps per-worker order
+        Trace { events, dropped }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Highest worker id seen, plus one (0 for an empty trace).
+    pub fn workers(&self) -> usize {
+        self.events.iter().map(|e| e.worker + 1).max().unwrap_or(0)
+    }
+
+    /// Chrome `trace_event` JSON (load in Perfetto or `chrome://tracing`).
+    /// Virtual cost units are exported as microseconds; every event is a
+    /// thread-scoped instant on `tid = worker`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push_sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+        };
+        let mut seen: Vec<usize> = self.events.iter().map(|e| e.worker).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for w in seen {
+            push_sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{w},\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            ));
+        }
+        for ev in &self.events {
+            push_sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                escape_json(ev.kind.name()),
+                ev.t,
+                ev.worker
+            ));
+            let args = ev.kind.args();
+            if !args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (key, val)) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    match val {
+                        Arg::U(n) => out.push_str(&format!("\"{key}\":{n}")),
+                        Arg::S(s) => out.push_str(&format!("\"{key}\":\"{}\"", escape_json(s))),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str(&format!("],\"droppedEvents\":{}}}", self.dropped));
+        out
+    }
+
+    /// Compact one-event-per-line text timeline.
+    pub fn timeline(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&format!("[{:>12}] w{} {}", ev.t, ev.worker, ev.kind.name()));
+            for (key, val) in ev.kind.args() {
+                match val {
+                    Arg::U(n) => out.push_str(&format!(" {key}={n}")),
+                    Arg::S(s) => out.push_str(&format!(" {key}={s:?}")),
+                }
+            }
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "({} events dropped from ring buffers)\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+}
+
+/// Replays a finished [`Trace`] and asserts scheduler invariants. The
+/// merged order is virtual-time order, which is *not* a causal order
+/// across workers (two workers' clocks are independent), so every check
+/// is set-based rather than sequential:
+///
+/// * **claims follow publication** — every `claim (node, epoch)` appears
+///   in the set of `publish`/`lao-reuse` events for that node and epoch;
+/// * **no double issue** — no `(node, epoch, alt)` is claimed twice;
+/// * **pool conservation** — pool pops never exceed pushes plus steal
+///   successes (in this engine every pop dequeues a pushed handle, so
+///   the bound is slack but safe);
+/// * **faults are answered** — every `fault-injected` is matched by a
+///   recovery record (`fault-retry`, `fault-stall`, `degraded`) or a
+///   `worker-exit`/`abort`.
+///
+/// When the trace reports dropped events, count- and set-based checks
+/// that eviction could falsify are skipped; the double-issue check still
+/// runs (dropping events can hide a duplicate, never create one).
+pub struct TraceChecker;
+
+impl TraceChecker {
+    /// Check all invariants; `Err` carries one message per violation.
+    pub fn check(trace: &Trace) -> Result<(), Vec<String>> {
+        let mut published: HashSet<(u64, u64)> = HashSet::new();
+        let mut claimed: HashMap<(u64, u64, usize), u64> = HashMap::new();
+        let (mut pushes, mut pops, mut steals) = (0u64, 0u64, 0u64);
+        let (mut injected, mut recovered) = (0u64, 0u64);
+        let mut violations = Vec::new();
+
+        for ev in &trace.events {
+            match &ev.kind {
+                EventKind::Publish { node, epoch, .. }
+                | EventKind::LaoReuse { node, epoch, .. } => {
+                    published.insert((*node, *epoch));
+                }
+                EventKind::Claim { node, epoch, alt } => {
+                    *claimed.entry((*node, *epoch, *alt)).or_insert(0) += 1;
+                }
+                EventKind::PoolPush { .. } => pushes += 1,
+                EventKind::PoolPop { .. } => pops += 1,
+                EventKind::StealSuccess => steals += 1,
+                EventKind::FaultInjected { .. } => injected += 1,
+                EventKind::FaultRetry { .. }
+                | EventKind::FaultStall { .. }
+                | EventKind::Degraded { .. }
+                | EventKind::WorkerExit { .. }
+                | EventKind::Abort { .. } => recovered += 1,
+                _ => {}
+            }
+        }
+
+        for ((node, epoch, alt), n) in &claimed {
+            if *n > 1 {
+                violations.push(format!(
+                    "alternative claimed {n} times: node={node} epoch={epoch} alt={alt}"
+                ));
+            }
+        }
+
+        // Eviction can remove a publish whose claim survived (and skew
+        // counts); only the complete trace supports the remaining checks.
+        if trace.dropped == 0 {
+            for (node, epoch, alt) in claimed.keys() {
+                if !published.contains(&(*node, *epoch)) {
+                    violations.push(format!(
+                        "claim without publication: node={node} epoch={epoch} alt={alt}"
+                    ));
+                }
+            }
+            if pops > pushes + steals {
+                violations.push(format!(
+                    "pool pops ({pops}) exceed pushes ({pushes}) + steals ({steals})"
+                ));
+            }
+            if injected > recovered {
+                violations.push(format!(
+                    "{injected} fault injection(s) but only {recovered} recovery/exit record(s)"
+                ));
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, worker: usize, kind: EventKind) -> TraceEvent {
+        TraceEvent { t, worker, kind }
+    }
+
+    #[test]
+    fn disabled_tracer_has_no_buffer_and_skips_payloads() {
+        let mut tr = Tracer::new(&TraceConfig::default(), 0);
+        assert!(!tr.is_enabled());
+        tr.emit(10, || panic!("payload must not be built when disabled"));
+        assert!(tr.take().is_none());
+    }
+
+    #[test]
+    fn ring_buffer_wraparound_counts_drops() {
+        let mut buf = TraceBuf::new(0, 4);
+        for t in 0..10 {
+            buf.push(ev(t, 0, EventKind::StealAttempt));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped, 6);
+        // oldest events were evicted: the survivors are t = 6..10
+        assert_eq!(buf.events.front().unwrap().t, 6);
+        assert_eq!(buf.events.back().unwrap().t, 9);
+    }
+
+    #[test]
+    fn merge_orders_by_virtual_time_across_workers() {
+        let mut a = TraceBuf::new(0, 16);
+        let mut b = TraceBuf::new(1, 16);
+        for t in [5u64, 20, 40] {
+            a.push(ev(t, 0, EventKind::StealAttempt));
+        }
+        for t in [1u64, 20, 30, 50] {
+            b.push(ev(t, 1, EventKind::StealFail));
+        }
+        let trace = Trace::merge(
+            vec![a, b],
+            vec![ev(
+                45,
+                0,
+                EventKind::WorkerExit {
+                    reason: "completed".into(),
+                },
+            )],
+        );
+        let ts: Vec<u64> = trace.events.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1, 5, 20, 20, 30, 40, 45, 50]);
+        // per-worker order is monotone after the merge
+        for w in 0..trace.workers() {
+            let mut last = 0;
+            for e in trace.events.iter().filter(|e| e.worker == w) {
+                assert!(e.t >= last, "worker {w} went backwards");
+                last = e.t;
+            }
+        }
+        assert_eq!(trace.workers(), 2);
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn chrome_json_escapes_event_payload_strings() {
+        let trace = Trace::merge(
+            vec![],
+            vec![ev(
+                3,
+                0,
+                EventKind::WorkerExit {
+                    reason: "panic: \"quoted\" \\ back\nslash\ttab\u{1}".into(),
+                },
+            )],
+        );
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(r#"\"quoted\""#), "quotes escaped: {json}");
+        assert!(json.contains(r"\\ back"), "backslash escaped: {json}");
+        assert!(json.contains(r"\n"), "newline escaped: {json}");
+        assert!(json.contains(r"\t"), "tab escaped: {json}");
+        assert!(json.contains("\\u0001"), "control char escaped: {json}");
+        assert!(!json.contains('\n'), "raw newline leaked into JSON");
+    }
+
+    #[test]
+    fn timeline_renders_one_line_per_event() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::Publish {
+                        node: 7,
+                        epoch: 0,
+                        alts: 3,
+                    },
+                ),
+                ev(
+                    2,
+                    1,
+                    EventKind::Claim {
+                        node: 7,
+                        epoch: 0,
+                        alt: 1,
+                    },
+                ),
+            ],
+        );
+        let text = trace.timeline();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("publish") && text.contains("node=7"));
+    }
+
+    #[test]
+    fn checker_accepts_publish_claim_pairs() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 2,
+                    },
+                ),
+                ev(2, 0, EventKind::PoolPush { node: 1 }),
+                ev(3, 1, EventKind::PoolPop { node: 1 }),
+                ev(
+                    4,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+                ev(
+                    5,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 1,
+                    },
+                ),
+                ev(6, 1, EventKind::StealSuccess),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_double_claim_and_orphan_claim() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 1,
+                    },
+                ),
+                ev(
+                    2,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+                ev(
+                    3,
+                    2,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+                ev(
+                    4,
+                    2,
+                    EventKind::Claim {
+                        node: 9,
+                        epoch: 3,
+                        alt: 0,
+                    },
+                ),
+            ],
+        );
+        let violations = TraceChecker::check(&trace).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("claimed 2 times")));
+        assert!(violations.iter().any(|v| v.contains("without publication")));
+    }
+
+    #[test]
+    fn checker_requires_fault_recovery_records() {
+        let bad = Trace::merge(
+            vec![],
+            vec![ev(1, 0, EventKind::FaultInjected { kind: "steal-fail" })],
+        );
+        assert!(TraceChecker::check(&bad).is_err());
+
+        let good = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::FaultInjected { kind: "steal-fail" }),
+                ev(2, 0, EventKind::FaultRetry { what: "steal" }),
+            ],
+        );
+        assert!(TraceChecker::check(&good).is_ok());
+    }
+
+    #[test]
+    fn checker_softens_on_dropped_events() {
+        let mut buf = TraceBuf::new(0, 1);
+        buf.push(ev(
+            1,
+            0,
+            EventKind::Publish {
+                node: 1,
+                epoch: 0,
+                alts: 1,
+            },
+        ));
+        buf.push(ev(
+            2,
+            0,
+            EventKind::Claim {
+                node: 1,
+                epoch: 0,
+                alt: 0,
+            },
+        ));
+        let trace = Trace::merge(vec![buf], vec![]);
+        assert_eq!(trace.dropped, 1);
+        // the publish was evicted, but the checker must not false-positive
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn sink_collects_and_drains() {
+        let sink = TraceSink::new(&TraceConfig::enabled());
+        let clone = sink.clone();
+        clone.emit(
+            9,
+            2,
+            EventKind::Abort {
+                reason: "livelock".into(),
+            },
+        );
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].worker, 2);
+        assert!(sink.drain().is_empty());
+    }
+}

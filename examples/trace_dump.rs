@@ -1,0 +1,56 @@
+//! Trace tour: run a query with virtual-time event tracing enabled,
+//! print the compact text timeline, and write a Chrome `trace_event`
+//! JSON file you can open in Perfetto (https://ui.perfetto.dev) or
+//! `chrome://tracing`.
+//!
+//! ```sh
+//! cargo run --release --example trace_dump            # timeline to stdout
+//! cargo run --release --example trace_dump trace.json # + Perfetto JSON
+//! ```
+
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags, TraceChecker, TraceConfig};
+
+fn main() -> Result<(), String> {
+    let ace = Ace::load(
+        r#"
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        pick(X, Y) :- member(X, [1,2,3,4]), member(Y, [a,b,c]).
+        "#,
+    )?;
+
+    // `lifecycle` adds phase start/end markers on top of the semantic
+    // events — more volume, nicer Perfetto lanes.
+    let cfg = EngineConfig::default()
+        .with_workers(4)
+        .with_opts(OptFlags::all())
+        .with_trace(TraceConfig::enabled().with_lifecycle())
+        .all_solutions();
+
+    let r = ace.run(Mode::OrParallel, "pick(X, Y)", &cfg)?;
+    let trace = r.trace.as_ref().expect("tracing was enabled");
+
+    println!(
+        "{} solutions, virtual time {}",
+        r.solutions.len(),
+        r.virtual_time
+    );
+    println!(
+        "{} events from {} worker(s), {} dropped\n",
+        trace.len(),
+        trace.workers(),
+        trace.dropped
+    );
+    println!("{}", trace.timeline());
+
+    // Every trace should satisfy the scheduler invariants.
+    TraceChecker::check(trace).map_err(|v| format!("trace invariants violated: {v:?}"))?;
+    println!("trace invariants: OK");
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+        println!("wrote {path} — load it at https://ui.perfetto.dev");
+    }
+    Ok(())
+}

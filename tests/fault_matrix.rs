@@ -6,8 +6,10 @@
 
 use std::time::Duration;
 
-use ace_core::{Ace, AceError, Mode};
-use ace_runtime::{DriverKind, EngineConfig, FaultKind, FaultPlan, OptFlags};
+use ace_core::{Ace, AceError, Mode, RunReport};
+use ace_runtime::{
+    DriverKind, EngineConfig, FaultKind, FaultPlan, OptFlags, TraceChecker, TraceConfig,
+};
 
 const WORKERS: usize = 3;
 
@@ -18,7 +20,18 @@ fn cfg(opts: OptFlags, driver: DriverKind, plan: FaultPlan) -> EngineConfig {
         .with_driver(driver)
         .with_threads_deadline(Some(Duration::from_secs(20)))
         .with_fault_plan(plan)
+        .with_trace(TraceConfig::enabled())
         .all_solutions()
+}
+
+/// Every surviving traced run must satisfy the scheduler/fault
+/// invariants — in particular, every fault injection the trace records
+/// must be matched by a recovery record.
+fn check_trace(r: &RunReport, label: &str) {
+    let trace = r.trace.as_ref().expect("tracing enabled but trace missing");
+    if let Err(violations) = TraceChecker::check(trace) {
+        panic!("{label}: trace invariant violations: {violations:#?}");
+    }
 }
 
 /// And-parallel corpus cell: a full cross product with arithmetic, whose
@@ -85,10 +98,12 @@ fn sim_matrix_transient_faults_preserve_answers() {
                 "unexpected fallback: {:?}",
                 r.recovery
             );
+            check_trace(&r, &format!("and seed={seed} opts={}", opts.label()));
 
             let r = or_ace
                 .run_query(Mode::OrParallel, OR_QUERY, &c)
                 .unwrap_or_else(|e| panic!("or seed={seed} opts={}: {e}", opts.label()));
+            check_trace(&r, &format!("or seed={seed} opts={}", opts.label()));
             assert_eq!(
                 sorted(r.solutions),
                 sorted(or_oracle()),
@@ -120,10 +135,12 @@ fn sim_matrix_full_taxonomy_recovers() {
                 "seed={seed} opts={}",
                 opts.label()
             );
+            check_trace(&r, &format!("and seed={seed} opts={}", opts.label()));
 
             let r = or_ace
                 .run_query(Mode::OrParallel, OR_QUERY, &c)
                 .unwrap_or_else(|e| panic!("or seed={seed} opts={}: {e}", opts.label()));
+            check_trace(&r, &format!("or seed={seed} opts={}", opts.label()));
             assert_eq!(
                 sorted(r.solutions),
                 sorted(or_oracle()),
@@ -158,10 +175,12 @@ fn threads_matrix_recovers() {
                 "seed={seed} opts={}",
                 opts.label()
             );
+            check_trace(&r, &format!("threads and seed={seed} {}", opts.label()));
 
             let r = or_ace
                 .run_query(Mode::OrParallel, OR_QUERY, &c)
                 .unwrap_or_else(|e| panic!("or seed={seed} opts={}: {e}", opts.label()));
+            check_trace(&r, &format!("threads or seed={seed} {}", opts.label()));
             assert_eq!(
                 sorted(r.solutions),
                 sorted(or_oracle()),
@@ -197,6 +216,13 @@ fn injected_death_is_structured_then_recovers() {
             "recovery must be recorded: {:?}",
             r.recovery
         );
+        // The fallback trace records the degradation itself.
+        let trace = r.trace.as_ref().expect("fallback must carry a trace");
+        assert!(
+            trace.events.iter().any(|e| e.kind.name() == "degraded"),
+            "degradation must be traced"
+        );
+        check_trace(&r, &format!("death fallback driver={driver:?}"));
     }
 }
 
@@ -235,6 +261,7 @@ fn injected_cancellation_is_classified_and_recovers() {
         }
 
         let r = ace.run_query(Mode::OrParallel, OR_QUERY, &c).unwrap();
+        check_trace(&r, &format!("cancel recovery driver={driver:?}"));
         assert_eq!(
             sorted(r.solutions),
             sorted(or_oracle()),
@@ -268,9 +295,11 @@ fn rotating_seed_sweep() {
                 .run_query(Mode::AndParallel, AND_QUERY, &c)
                 .unwrap_or_else(|e| panic!("and seed={seed} {driver:?}: {e}"));
             assert_eq!(r.solutions, and_oracle(), "seed={seed} {driver:?}");
+            check_trace(&r, &format!("sweep and seed={seed} {driver:?}"));
             let r = or_ace
                 .run_query(Mode::OrParallel, OR_QUERY, &c)
                 .unwrap_or_else(|e| panic!("or seed={seed} {driver:?}: {e}"));
+            check_trace(&r, &format!("sweep or seed={seed} {driver:?}"));
             assert_eq!(
                 sorted(r.solutions),
                 sorted(or_oracle()),

@@ -14,8 +14,8 @@
 //!   traversal oracle's per-claim cost grows with depth on the same
 //!   workload.
 
-use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags, OrDispatch, OrScheduler};
+use ace_core::{Ace, Mode, RunReport};
+use ace_runtime::{EngineConfig, OptFlags, OrDispatch, OrScheduler, TraceChecker, TraceConfig};
 
 fn sorted(mut v: Vec<String>) -> Vec<String> {
     v.sort();
@@ -27,9 +27,20 @@ fn cfg(workers: usize, opts: OptFlags, sched: OrScheduler, dispatch: OrDispatch)
         .with_workers(workers)
         .with_opts(opts)
         .with_or_scheduler(sched)
+        .with_trace(TraceConfig::enabled())
         .all_solutions();
     c.or_dispatch = dispatch;
     c
+}
+
+/// Every traced run must satisfy the scheduler invariants (claims follow
+/// publications, no alternative claimed twice, pops bounded by pushes).
+fn check_trace(r: &RunReport, label: &str) {
+    let trace = r.trace.as_ref().expect("tracing enabled but trace missing");
+    assert!(!trace.is_empty(), "{label}: traced run recorded no events");
+    if let Err(violations) = TraceChecker::check(trace) {
+        panic!("{label}: trace invariant violations: {violations:#?}");
+    }
 }
 
 /// (a) Pool (both dispatch orders, LAO on and off) is multiset-equal to
@@ -53,6 +64,7 @@ fn pool_matches_traversal_oracle_across_corpus() {
                 oracle.stats.pool_pushes, 0,
                 "{name}: traversal runs must not touch the pool"
             );
+            check_trace(&oracle, &format!("{name} traversal lao={}", opts.lao));
             let expected = sorted(oracle.solutions);
             assert!(!expected.is_empty(), "{name}: oracle found no solutions");
 
@@ -60,6 +72,7 @@ fn pool_matches_traversal_oracle_across_corpus() {
                 let pool = ace
                     .run(b.mode, &query, &cfg(4, opts, OrScheduler::Pool, dispatch))
                     .unwrap();
+                check_trace(&pool, &format!("{name} pool {dispatch:?} lao={}", opts.lao));
                 assert_eq!(
                     sorted(pool.solutions),
                     expected,
@@ -92,6 +105,7 @@ fn pool_steal_cost_is_flat_in_chain_depth() {
                 &cfg(4, OptFlags::none(), sched, OrDispatch::Deepest),
             )
             .unwrap();
+        check_trace(&r, &format!("members n={n} {sched:?}"));
         assert!(r.solutions.is_empty());
         r.steal_cost_per_claim()
             .expect("4-worker chain run claims alternatives")
