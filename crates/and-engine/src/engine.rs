@@ -56,6 +56,7 @@ impl AndEngine {
                 .fault_plan
                 .as_ref()
                 .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
+            memo: cfg.resolve_memo_table(),
         });
 
         let mut workers: Vec<AndWorker> = (0..cfg.workers.max(1))
@@ -65,6 +66,7 @@ impl AndEngine {
         let costs = Arc::new(cfg.costs.clone());
         let mut root = Box::new(Machine::new(self.db.clone(), costs));
         root.enable_parallel(true);
+        root.set_memo(shared.memo.clone(), cfg.trace.enabled);
         let vars = root
             .load_query_text(query)
             .map_err(|e| format!("query parse error: {e}"))?;
@@ -330,6 +332,50 @@ mod tests {
         let t2 = e.run("process_list([1,2,3,4,5], O)", &c).unwrap();
         assert_eq!(t1.outcome.virtual_time, t2.outcome.virtual_time);
         assert_eq!(t1.outcome.clocks, t2.outcome.clocks);
+    }
+
+    #[test]
+    fn memoization_reuses_answers_across_runs() {
+        use ace_runtime::{MemoConfig, MemoTable};
+        let e = AndEngine::new(db(r#"
+            app([], L, L).
+            app([H|T], L, [H|R]) :- app(T, L, R).
+            nrev([], []).
+            nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+            cell(R) :- nrev([1,2,3,4,5,6,7,8,9,10], R).
+            pair(A, B) :- cell(A) & cell(B).
+        "#));
+        let q = "pair(A, B)";
+        let base = e.run(q, &cfg(2, OptFlags::none())).unwrap();
+        assert_eq!(base.solutions.len(), 1);
+
+        let table = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+        let c = cfg(2, OptFlags::none()).with_memo_table(table.clone());
+        let cold = e.run(q, &c).unwrap();
+        assert_eq!(renders(&cold), renders(&base));
+        assert!(cold.stats.memo_stores > 0, "{}", cold.stats.summary());
+
+        // Second run against the now-warm table: the `cell/1` subgoals hit
+        // immediately and the whole nrev recursion is skipped.
+        let warm = e.run(q, &c).unwrap();
+        assert_eq!(renders(&warm), renders(&base));
+        assert!(warm.stats.memo_hits > 0, "{}", warm.stats.summary());
+        assert!(warm.stats.calls < cold.stats.calls);
+        assert!(warm.outcome.virtual_time < cold.outcome.virtual_time);
+        assert_eq!(table.counters().stores, cold.stats.memo_stores);
+    }
+
+    #[test]
+    fn memo_off_runs_are_bit_identical_to_the_seed_config() {
+        let e = AndEngine::new(db(PROCESS_LIST));
+        let q = "process_list([1,2,3], Out)";
+        let plain = e.run(q, &cfg(2, OptFlags::all())).unwrap();
+        // `with_memo` with `enabled: false` must not perturb anything.
+        let c = cfg(2, OptFlags::all()).with_memo(ace_runtime::MemoConfig::default());
+        let off = e.run(q, &c).unwrap();
+        assert_eq!(off.outcome.virtual_time, plain.outcome.virtual_time);
+        assert_eq!(off.stats, plain.stats);
+        assert_eq!(off.stats.memo_hits + off.stats.memo_misses, 0);
     }
 
     #[test]

@@ -19,11 +19,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ace_logic::copy::copy_term;
-use ace_logic::{Cell, Database};
+use ace_logic::{CanonKey, Cell, Database};
 use ace_machine::{Machine, MarkerKind, Solution, Status};
 use ace_runtime::{
     fault::FAULT_ERROR_PREFIX, Agent, CancelToken, EngineConfig, EventKind, FaultAction,
-    FaultInjector, Phase, Stats, TraceBuf, Tracer,
+    FaultInjector, MemoTable, Phase, Stats, TraceBuf, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -54,6 +54,9 @@ pub struct Shared {
     pub trace_bufs: Mutex<Vec<TraceBuf>>,
     /// Fault injection (tests/robustness validation); `None` = no faults.
     pub injector: Option<FaultInjector>,
+    /// Answer-memoization table shared by every machine of the run (and,
+    /// when the caller passed one in, across runs); `None` = memo off.
+    pub memo: Option<Arc<MemoTable>>,
 }
 
 impl Shared {
@@ -109,6 +112,11 @@ enum Act {
         /// Machine-heap cells of each member slot's shipped goal (in group
         /// slot order) — the roots extracted into the solution bundle.
         goal_cells: Vec<Cell>,
+        /// Memo keys of the member goals, canonicalized *before* execution
+        /// bound them (same order as `goal_cells`; empty when memo is off).
+        /// Deterministic groups publish their answers under these keys at
+        /// finalization.
+        memo_keys: Vec<CanonKey>,
         /// Machine-heap cells of LPCO-merged branch goals awaiting
         /// registration as new slots at group finalization.
         lpco_added: Vec<Cell>,
@@ -229,6 +237,7 @@ impl AndWorker {
             ctx: RunCtx::Root,
             cancel,
             goal_cells: Vec::new(),
+            memo_keys: Vec::new(),
             lpco_added: Vec::new(),
             pdo_nondet_prefix: false,
             inline: Vec::new(),
@@ -247,9 +256,22 @@ impl AndWorker {
     }
 
     fn get_machine(&mut self) -> Box<Machine> {
-        match self.pool.pop() {
+        let mut m = match self.pool.pop() {
             Some(m) => m,
             None => Box::new(Machine::new(self.sh.db.clone(), self.costs.clone())),
+        };
+        if self.sh.memo.is_some() {
+            m.set_memo(self.sh.memo.clone(), self.sh.cfg.trace.enabled);
+        }
+        m
+    }
+
+    /// Forward memo events buffered by a machine to this worker's tracer
+    /// (no-op vector unless memo tracing is on).
+    fn emit_memo_events(&mut self, events: Vec<EventKind>) {
+        let t = self.vclock + self.phase_cost;
+        for ev in events {
+            self.tracer.emit(t, || ev);
         }
     }
 
@@ -259,6 +281,8 @@ impl AndWorker {
         // clocks via per-phase surfacing; `stats.cost` keeps the report
         // totals coherent.
         self.phase_cost += m.take_unsurfaced_cost();
+        let memo_events = m.take_memo_events();
+        self.emit_memo_events(memo_events);
         let mut ms = m.stats;
         let machine_cost = ms.cost;
         ms.cost = 0;
@@ -355,6 +379,16 @@ impl AndWorker {
         }
         machine.set_query(out.root);
 
+        // Snapshot the memo key while the shipped goal is still unbound:
+        // a deterministic completion publishes its answer under this key.
+        let memo_keys = if machine.memo_enabled() {
+            self.stats.charge(costs.memo_lookup);
+            self.phase_cost += costs.memo_lookup;
+            vec![machine.memo_key(out.root)]
+        } else {
+            Vec::new()
+        };
+
         // Register the group.
         {
             let mut inner = frame.inner.lock();
@@ -379,6 +413,7 @@ impl AndWorker {
             },
             cancel,
             goal_cells: vec![out.root],
+            memo_keys,
             lpco_added: Vec::new(),
             pdo_nondet_prefix: false,
             inline: Vec::new(),
@@ -443,6 +478,8 @@ impl AndWorker {
             .unwrap_or_else(|| cancel.clone());
         let status = machine.run(quantum, Some(&check));
         self.phase_cost += machine.take_unsurfaced_cost();
+        let memo_events = machine.take_memo_events();
+        self.emit_memo_events(memo_events);
 
         match status {
             Status::Running => Outcome::Worked,
@@ -991,6 +1028,7 @@ impl AndWorker {
             machine,
             ctx: RunCtx::Slot { frame, leader },
             goal_cells,
+            memo_keys,
             lpco_added,
             pdo_nondet_prefix,
             ..
@@ -1027,6 +1065,11 @@ impl AndWorker {
         }
         let out = copy_term(&src_heap, root, &mut machine.heap);
         goal_cells.push(out.root);
+        if machine.memo_enabled() {
+            memo_keys.push(machine.memo_key(out.root));
+            self.stats.charge(costs.memo_lookup);
+            self.phase_cost += costs.memo_lookup;
+        }
         machine.continue_with(out.root);
         let unsurfaced = machine.take_unsurfaced_cost();
         self.phase_cost += unsurfaced;
@@ -1048,6 +1091,7 @@ impl AndWorker {
             mut machine,
             ctx: RunCtx::Slot { frame, leader },
             goal_cells,
+            memo_keys,
             lpco_added,
             pdo_nondet_prefix,
             ..
@@ -1080,6 +1124,27 @@ impl AndWorker {
             }
         } else {
             machine.push_marker(MarkerKind::End, frame.id, last_slot as u32);
+        }
+
+        // Publish the answers of a determinate group: with no choice point
+        // ever created, no parallel call raised, and no side effects, each
+        // member's single solution is its complete answer set. (The
+        // machine's own `$memo_store` watches normally got there first —
+        // publication is idempotent, so this is a cheap engine-side
+        // backstop that also covers SPO/PDO-merged members.)
+        if det
+            && !has_frames
+            && lpco_added.is_empty()
+            && !memo_keys.is_empty()
+            && machine.stats.choice_points == 0
+            && machine.output.is_empty()
+            && machine.answers.is_empty()
+        {
+            for (key, &goal) in memo_keys.iter().zip(&goal_cells) {
+                machine.memo_publish_answer(key, goal);
+            }
+            let memo_events = machine.take_memo_events();
+            self.emit_memo_events(memo_events);
         }
 
         self.phase_cost += machine.take_unsurfaced_cost();
@@ -1634,6 +1699,8 @@ impl AndWorker {
         let cancel = frame.cancel.clone();
         let status = machine.run(quantum, Some(&cancel));
         self.phase_cost += machine.take_unsurfaced_cost();
+        let memo_events = machine.take_memo_events();
+        self.emit_memo_events(memo_events);
 
         match status {
             Status::Running => Outcome::Worked,

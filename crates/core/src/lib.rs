@@ -173,6 +173,12 @@ impl Ace {
         let start = std::time::Instant::now();
         let mut solver = Solver::new(self.db.clone(), Arc::new(cfg.costs.clone()), query)
             .map_err(|e| AceError::classify(e.to_string()))?;
+        // The sequential path shares the same answer table as the parallel
+        // engines (a warm table from a parallel run keeps paying off here).
+        // No tracer exists in this mode, so event buffering stays off.
+        solver
+            .machine_mut()
+            .set_memo(cfg.resolve_memo_table(), false);
         let sols = solver
             .collect_solutions(cfg.max_solutions)
             .map_err(|e| AceError::classify(e.to_string()))?;
@@ -291,6 +297,35 @@ mod tests {
             .unwrap();
         let s = r.summary();
         assert!(s.contains("virtual time"));
+    }
+
+    #[test]
+    fn memo_table_is_shared_across_modes() {
+        use ace_runtime::{MemoConfig, MemoTable};
+        let ace = Ace::load(
+            r#"
+            append([], L, L).
+            append([H|T], L, [H|R]) :- append(T, L, R).
+            nrev([], []).
+            nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+            "#,
+        )
+        .unwrap();
+        let table = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+        let q = "nrev([1,2,3,4,5,6], R)";
+
+        // Warm the table on the and-engine...
+        let c = cfg(2, OptFlags::all()).with_memo_table(table.clone());
+        let warm = ace.run(Mode::AndParallel, q, &c).unwrap();
+        assert_eq!(warm.solutions, vec!["R=[6,5,4,3,2,1]"]);
+        assert!(warm.stats.memo_stores > 0, "{}", warm.summary());
+
+        // ...then the sequential path replays from it.
+        let seq = ace.run(Mode::Sequential, q, &c).unwrap();
+        assert_eq!(seq.solutions, warm.solutions);
+        assert!(seq.stats.memo_hits > 0, "{}", seq.summary());
+        assert_eq!(seq.stats.memo_stores, 0);
+        assert!(seq.summary().contains("memo hit-rate"), "{}", seq.summary());
     }
 
     #[test]

@@ -71,6 +71,15 @@ impl RunReport {
             self.clocks.len(),
             self.stats.summary()
         );
+        let lookups = self.stats.memo_hits + self.stats.memo_misses;
+        if lookups > 0 {
+            s.push_str(&format!(
+                ", memo hit-rate {:.1}% ({}/{} lookups)",
+                100.0 * self.stats.memo_hits as f64 / lookups as f64,
+                self.stats.memo_hits,
+                lookups
+            ));
+        }
         if !self.recovery.is_empty() {
             s.push_str(&format!(
                 ", {} recovery event(s): {}",
@@ -131,6 +140,16 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("1 recovery event(s)"), "{s}");
         assert!(s.contains("sequential fallback"), "{s}");
+    }
+
+    #[test]
+    fn summary_shows_memo_hit_rate_only_when_memo_ran() {
+        let mut r = report(100);
+        assert!(!r.summary().contains("memo hit-rate"), "{}", r.summary());
+        r.stats.memo_hits = 3;
+        r.stats.memo_misses = 1;
+        let s = r.summary();
+        assert!(s.contains("memo hit-rate 75.0% (3/4 lookups)"), "{s}");
     }
 
     #[test]

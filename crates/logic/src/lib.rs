@@ -24,6 +24,7 @@
 //! (`ace-machine`), the and-parallel engine (`ace-and`) and the or-parallel
 //! engine (`ace-or`) are all built on these types.
 
+pub mod canon;
 pub mod copy;
 pub mod db;
 pub mod heap;
@@ -33,6 +34,7 @@ pub mod term;
 pub mod unify;
 pub mod write;
 
+pub use canon::{CanonKey, TermArena};
 pub use db::{Clause, Database, IndexKey, Predicate};
 pub use heap::{Addr, Cell, Heap, TrailMark};
 pub use read::{parse_program, parse_term, ReadError};

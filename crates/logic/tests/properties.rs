@@ -199,6 +199,49 @@ proptest! {
         }
     }
 
+    /// Memo keys are variant-invariant: copying a call term (which renames
+    /// every variable to a fresh one) yields a byte-identical CanonKey,
+    /// within one heap and across heaps.
+    #[test]
+    fn canon_keys_are_variant_invariant(t in term_strategy()) {
+        use ace_logic::CanonKey;
+        let mut src = Heap::new();
+        let mut vars = Vec::new();
+        let c = build(&mut src, &t, &mut vars);
+        let k = CanonKey::of(&src, c);
+        // cross-heap rename
+        let mut dst = Heap::new();
+        let out = copy_term(&src, c, &mut dst);
+        prop_assert_eq!(&CanonKey::of(&dst, out.root), &k);
+        // within-heap rename
+        let within = ace_logic::copy::copy_term_within(&mut src, c);
+        prop_assert_eq!(&CanonKey::of(&src, within.root), &k);
+    }
+
+    /// A stored answer arena round-trips through freeze/thaw: the thawed
+    /// term is a variant of the original (same canonical key, same size
+    /// and variable count), at any relocation base.
+    #[test]
+    fn term_arena_round_trips(t in term_strategy(), base in 0usize..32) {
+        use ace_logic::{CanonKey, TermArena};
+        let mut src = Heap::new();
+        let mut vars = Vec::new();
+        let c = build(&mut src, &t, &mut vars);
+        let arena = TermArena::freeze(&src, c);
+        let mut dst = Heap::new();
+        for _ in 0..base {
+            dst.new_var(); // force a nonzero relocation base
+        }
+        let (thawed, appended) = arena.thaw(&mut dst);
+        prop_assert_eq!(appended, arena.len());
+        prop_assert_eq!(&CanonKey::of(&dst, thawed), &CanonKey::of(&src, c));
+        prop_assert_eq!(term_size(&dst, thawed), term_size(&src, c));
+        prop_assert_eq!(
+            variables(&dst, thawed).len(),
+            variables(&src, c).len()
+        );
+    }
+
     /// Unwind/rewind is an exact inverse pair even interleaved with reads.
     #[test]
     fn unwind_rewind_identity(a in term_strategy(), b in term_strategy()) {

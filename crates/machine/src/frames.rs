@@ -18,6 +18,7 @@ use std::sync::Arc;
 use ace_logic::db::IndexKey;
 use ace_logic::heap::HeapMark;
 use ace_logic::{Cell, Sym, TrailMark};
+use ace_memo::MemoEntry;
 
 use crate::cont::Cont;
 
@@ -36,6 +37,10 @@ pub enum Alts {
     Disj { rhs: Cell },
     /// `between/3` enumeration: bind `var` to `next..=hi`.
     Between { var: Cell, next: i64, hi: i64 },
+    /// Remaining tabled answers of a memoized call: thaw and unify
+    /// `entry.answers[next..]`. Never published to the or-tree — the
+    /// answer set is already complete, so there is nothing to claim.
+    Memo { entry: Arc<MemoEntry>, next: usize },
 }
 
 /// Hook installed by the or-parallel engine when a choice point is made

@@ -10,8 +10,9 @@ use ace_logic::sym::{sym, wk};
 use ace_logic::term::{view, TermView};
 use ace_logic::unify::unify;
 use ace_logic::write::term_to_string;
-use ace_logic::{Cell, Heap, Sym, TrailMark};
-use ace_runtime::{CancelToken, CostModel, Stats};
+use ace_logic::{CanonKey, Cell, Heap, Sym, TermArena, TrailMark};
+use ace_memo::{MemoEntry, MemoTable, PublishOutcome};
+use ace_runtime::{CancelToken, CostModel, EventKind, Stats};
 
 use crate::cont::{self, Cont};
 use crate::frames::{Alts, ChoicePoint, CtrlFrame, Marker, MarkerKind, ParcallFrame, SharedChoice};
@@ -77,6 +78,36 @@ fn inline_barrier_sym() -> Sym {
     *S.get_or_init(|| sym("$inline_barrier"))
 }
 
+/// Interned `$memo_store` (answer-publication marker of a watched call).
+fn memo_store_sym() -> Sym {
+    static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *S.get_or_init(|| sym("$memo_store"))
+}
+
+/// A call being watched for answer memoization: a `$memo_store(Idx, Gen)`
+/// goal planted right after the call in the continuation reaches this
+/// record when (a derivation of) the call completes. The snapshots decide
+/// whether that derivation was *unique* — nothing nondeterministic or
+/// effectful happened in between — in which case its single answer is the
+/// call's complete answer set and can be published.
+struct MemoWatch {
+    key: CanonKey,
+    /// The call term (instantiated by the time the marker arrives).
+    goal: Cell,
+    /// Generation tag; a marker whose generation mismatches is stale
+    /// (its slot was reclaimed after backtracking discarded the marker).
+    gen: u64,
+    /// Heap length just after the marker was planted: a heap truncated
+    /// below it has destroyed the marker, so the watch is dead.
+    heap_tide: usize,
+    ctrl_len: usize,
+    choice_points: u64,
+    parcalls_raised: u64,
+    markers: u64,
+    output_len: usize,
+    answers_len: usize,
+}
+
 /// A published-choice-point state closure: everything a remote worker needs
 /// to continue an alternative (or-parallel state copying).
 #[derive(Debug)]
@@ -117,6 +148,22 @@ pub struct Machine {
     /// Cost already surfaced to a driver clock (see
     /// [`Machine::take_unsurfaced_cost`]).
     surfaced_cost: u64,
+    /// Answer-memoization handle. `None` (the default) keeps every memo
+    /// consultation point a single branch: no charges, no events — a
+    /// memo-off run is bit-identical to a memo-free build.
+    memo: Option<Arc<MemoTable>>,
+    /// Buffer memo trace events for the engine to drain (tracing only).
+    memo_trace: bool,
+    memo_events: Vec<EventKind>,
+    /// In-flight watches on calls whose answer may be publishable.
+    memo_watches: Vec<Option<MemoWatch>>,
+    /// Free slots in `memo_watches`.
+    memo_free: Vec<usize>,
+    /// Generation counter for watch slots (stale-marker detection).
+    memo_gen: u64,
+    /// Monotone count of parallel conjunctions raised (memo determinacy
+    /// validation: a derivation that crossed a parcall is never tabled).
+    parcalls_raised: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -146,6 +193,13 @@ impl Machine {
             cancel_check_countdown: 0,
             pending_marker: None,
             surfaced_cost: 0,
+            memo: None,
+            memo_trace: false,
+            memo_events: Vec::new(),
+            memo_watches: Vec::new(),
+            memo_free: Vec::new(),
+            memo_gen: 0,
+            parcalls_raised: 0,
         }
     }
 
@@ -205,6 +259,206 @@ impl Machine {
         self.pending_marker = None;
         self.stats = Stats::new();
         self.surfaced_cost = 0;
+        // The memo handle survives reset — pooled machines keep serving
+        // the same table; per-run state does not.
+        self.memo_events.clear();
+        self.memo_watches.clear();
+        self.memo_free.clear();
+        self.parcalls_raised = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Answer memoization
+    // ------------------------------------------------------------------
+
+    /// Attach (or detach) an answer table. `trace` buffers memo events
+    /// ([`EventKind::MemoHit`] and friends) for [`Machine::take_memo_events`].
+    pub fn set_memo(&mut self, table: Option<Arc<MemoTable>>, trace: bool) {
+        self.memo = table;
+        self.memo_trace = trace && self.memo.is_some();
+    }
+
+    pub fn memo_enabled(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Drain buffered memo trace events (engines forward them to their
+    /// worker tracer after every `run`). Allocation-free when empty.
+    pub fn take_memo_events(&mut self) -> Vec<EventKind> {
+        std::mem::take(&mut self.memo_events)
+    }
+
+    /// Canonical memo key of a call term in this machine's heap.
+    pub fn memo_key(&self, goal: Cell) -> CanonKey {
+        CanonKey::of(&self.heap, goal)
+    }
+
+    /// Engine-side publication: freeze `goal` (instantiated) as the single
+    /// complete answer of `key` (the key must have been taken *before*
+    /// execution bound the call). Returns true if this publication stored.
+    pub fn memo_publish_answer(&mut self, key: &CanonKey, goal: Cell) -> bool {
+        let Some(table) = self.memo.clone() else {
+            return false;
+        };
+        self.charge(self.costs.memo_store);
+        let arena = TermArena::freeze(&self.heap, goal);
+        match table.publish(key, vec![arena]) {
+            PublishOutcome::Stored { epoch, evicted } => {
+                self.stats.memo_stores += 1;
+                self.stats.memo_evictions += evicted;
+                if self.memo_trace {
+                    self.memo_events.push(EventKind::MemoStore {
+                        key: key.hash,
+                        epoch,
+                    });
+                    self.memo_events.push(EventKind::MemoComplete {
+                        key: key.hash,
+                        epoch,
+                        answers: 1,
+                    });
+                }
+                true
+            }
+            PublishOutcome::Present { .. } => false,
+        }
+    }
+
+    /// Consult the answer table for `goal`. `Some(status)` short-circuits
+    /// the call (hit: answers replayed); `None` falls through to normal
+    /// resolution with a watch planted to capture the answer.
+    fn memo_consult(&mut self, goal: Cell) -> Option<Status> {
+        let table = self.memo.as_ref()?.clone();
+        self.charge(self.costs.memo_lookup);
+        let key = CanonKey::of(&self.heap, goal);
+        if let Some(entry) = table.lookup(&key) {
+            self.stats.memo_hits += 1;
+            if self.memo_trace {
+                self.memo_events.push(EventKind::MemoHit {
+                    key: key.hash,
+                    epoch: entry.epoch,
+                });
+            }
+            return Some(self.memo_replay(goal, entry));
+        }
+        self.stats.memo_misses += 1;
+        // Watch this call: a `$memo_store` marker planted before the
+        // clause body publishes the answer when the derivation completes
+        // without creating nondeterminism.
+        let gen = self.memo_gen;
+        self.memo_gen += 1;
+        let idx = match self.memo_free.pop() {
+            Some(i) => i,
+            None => {
+                self.memo_watches.push(None);
+                self.memo_watches.len() - 1
+            }
+        };
+        let marker = self.heap.new_struct(
+            memo_store_sym(),
+            &[Cell::Int(idx as i64), Cell::Int(gen as i64)],
+        );
+        self.memo_watches[idx] = Some(MemoWatch {
+            key,
+            goal,
+            gen,
+            heap_tide: self.heap.len(),
+            ctrl_len: self.ctrl.len(),
+            choice_points: self.stats.choice_points,
+            parcalls_raised: self.parcalls_raised,
+            markers: self.stats.markers_allocated,
+            output_len: self.output.len(),
+            answers_len: self.answers.len(),
+        });
+        self.cont = cont::push(&self.cont, marker, self.ctrl.len() as u32);
+        None
+    }
+
+    /// Replay a complete answer set for `goal` (a memo hit).
+    fn memo_replay(&mut self, goal: Cell, entry: Arc<MemoEntry>) -> Status {
+        if entry.answers.is_empty() {
+            // complete with zero answers: the call is known to fail
+            return self.backtrack();
+        }
+        if entry.answers.len() > 1 {
+            self.push_choice(ChoicePoint {
+                goal,
+                alts: Alts::Memo {
+                    entry: entry.clone(),
+                    next: 1,
+                },
+                cont: self.cont.clone(),
+                trail: self.heap.trail_mark(),
+                heap: self.heap.heap_mark(),
+                barrier: self.ctrl.len() as u32,
+                shared: None,
+            });
+        }
+        if self.memo_unify_answer(goal, &entry.answers[0]) {
+            self.status = Status::Running;
+            Status::Running
+        } else {
+            self.backtrack()
+        }
+    }
+
+    /// Thaw one stored answer and unify it with the live call. On failure
+    /// the partial bindings are undone; returns success.
+    fn memo_unify_answer(&mut self, goal: Cell, arena: &TermArena) -> bool {
+        let (thawed, cells) = arena.thaw(&mut self.heap);
+        self.stats.heap_cells += cells as u64;
+        self.charge(cells as u64 * self.costs.heap_cell);
+        let pre = self.heap.trail_mark();
+        match unify(&mut self.heap, goal, thawed) {
+            Some(steps) => {
+                self.stats.unify_steps += steps as u64;
+                self.charge(steps as u64 * self.costs.unify_step);
+                true
+            }
+            None => {
+                let undone = self.heap.undo_to(pre);
+                self.stats.trail_undos += undone as u64;
+                self.charge(undone as u64 * self.costs.trail_undo);
+                false
+            }
+        }
+    }
+
+    /// A `$memo_store(Idx, Gen)` marker was reached: a derivation of the
+    /// watched call completed. Publish its answer if the derivation was
+    /// provably unique and effect-free; otherwise do nothing (re-running
+    /// the goal stays the source of truth).
+    fn memo_store_arrival(&mut self, idx: usize, gen: u64) -> Status {
+        self.status = Status::Running;
+        let Some(slot) = self.memo_watches.get_mut(idx) else {
+            return Status::Running;
+        };
+        if slot.as_ref().is_none_or(|w| w.gen != gen) {
+            return Status::Running; // stale marker from a reclaimed slot
+        }
+        let w = slot.take().expect("checked above");
+        self.memo_free.push(idx);
+        let unique = self.ctrl.len() == w.ctrl_len
+            && self.stats.choice_points == w.choice_points
+            && self.parcalls_raised == w.parcalls_raised
+            && self.stats.markers_allocated == w.markers
+            && self.output.len() == w.output_len
+            && self.answers.len() == w.answers_len;
+        if unique {
+            self.memo_publish_answer(&w.key, w.goal);
+        }
+        Status::Running
+    }
+
+    /// Drop watches whose `$memo_store` marker was destroyed by heap
+    /// truncation (backtracking below the watched call).
+    fn memo_prune_watches(&mut self) {
+        let len = self.heap.len();
+        for (i, slot) in self.memo_watches.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|w| w.heap_tide > len) {
+                *slot = None;
+                self.memo_free.push(i);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -532,12 +786,19 @@ impl Machine {
     /// can run one of its alternatives: temporarily unwind the trail to the
     /// choice point, copy the goal and continuation, rewind.
     pub fn choice_closure(&mut self, idx: usize) -> StateClosure {
-        let (goal, cont_goals, trail) = {
+        let (goal, mut cont_goals, trail) = {
             let Some(CtrlFrame::Choice(cp)) = self.ctrl.get(idx) else {
                 panic!("choice_closure: not a choice point");
             };
             (cp.goal, cont::to_vec(&cp.cont), cp.trail)
         };
+        // `$memo_store` markers are machine-local bookkeeping (they index
+        // this machine's watch table); to a remote worker they mean
+        // `true`, so they are dropped from the shipped continuation.
+        cont_goals.retain(|&(g, _)| {
+            !matches!(view(&self.heap, g),
+                      TermView::Struct(f, 2, _) if f == memo_store_sym())
+        });
         let section = self.heap.unwind_section(trail);
         // Copy goal + every continuation goal jointly so shared variables
         // stay shared in the closure.
@@ -729,6 +990,14 @@ impl Machine {
                     };
                     self.status = Status::InlineBarrier(fid as u64);
                     self.status.clone()
+                } else if f == memo_store_sym() && n == 2 {
+                    let Cell::Int(idx) = self.heap.deref(self.heap.str_arg(hdr, 0)) else {
+                        unreachable!("malformed memo-store marker")
+                    };
+                    let Cell::Int(gen) = self.heap.deref(self.heap.str_arg(hdr, 1)) else {
+                        unreachable!("malformed memo-store marker")
+                    };
+                    self.memo_store_arrival(idx as usize, gen as u64)
                 } else if f == ite_then_sym() && n == 2 {
                     // internal: ITE condition succeeded — cut the else
                     // choice point, then run Then.
@@ -766,6 +1035,7 @@ impl Machine {
         }
         // Frame-allocation cost and count are charged by the and-engine,
         // which decides whether this frame is kept or merged away (LPCO).
+        self.parcalls_raised += 1;
         let pf = ParcallFrame {
             id: PARCALL_IDS.fetch_add(1, Ordering::Relaxed),
             branches,
@@ -860,6 +1130,11 @@ impl Machine {
     ) -> Status {
         self.stats.calls += 1;
         self.charge(self.costs.index_lookup);
+        if self.memo.is_some() {
+            if let Some(status) = self.memo_consult(goal) {
+                return status;
+            }
+        }
         let db = self.db.clone();
         let Some(pred) = db.predicate(name, arity) else {
             return self.error(format!("undefined predicate {}/{arity}", name.name()));
@@ -1018,6 +1293,9 @@ impl Machine {
                     self.charge(undone as u64 * self.costs.trail_undo);
                     self.heap.truncate_to(heap_mark);
                     self.cont = cont;
+                    if !self.memo_watches.is_empty() {
+                        self.memo_prune_watches();
+                    }
 
                     // Published choice point: alternatives come from the
                     // shared pool, competed for with remote workers.
@@ -1091,6 +1369,21 @@ impl Machine {
                             self.heap.bind(a, Cell::Int(next));
                             self.status = Status::Running;
                             return Status::Running;
+                        }
+                        Alts::Memo { entry, next } => {
+                            if next + 1 >= entry.answers.len() {
+                                self.ctrl.pop(); // last tabled answer
+                            } else if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
+                                if let Alts::Memo { next: n, .. } = &mut cp.alts {
+                                    *n = next + 1;
+                                }
+                            }
+                            self.charge(self.costs.memo_lookup);
+                            if self.memo_unify_answer(goal, &entry.answers[next]) {
+                                self.status = Status::Running;
+                                return Status::Running;
+                            }
+                            continue;
                         }
                     }
                 }

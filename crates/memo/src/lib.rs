@@ -1,0 +1,435 @@
+//! # ace-memo — a concurrent answer-memoization table
+//!
+//! The caching layer the ROADMAP's "repeated subgoal" line of related
+//! work calls for: a sharded, concurrent call table mapping canonicalized
+//! call terms ([`ace_logic::CanonKey`]) to *complete* answer sets stored
+//! as relocatable heap arenas ([`ace_logic::TermArena`]). Any worker —
+//! and-parallel, or-parallel, or the sequential machine — can replay a
+//! published answer with a block copy instead of re-running the goal.
+//!
+//! Design points:
+//!
+//! * **Variant normalization**: keys are produced by a `copy_term`-style
+//!   key writer that numbers variables by first occurrence, so renamed
+//!   calls share one entry.
+//! * **Completeness before reuse**: an entry is only published once its
+//!   answer set is known complete (the producing computation was
+//!   determinate, or enumerated the call to exhaustion). Lookups
+//!   therefore never return partial answer sets, and the or-engine can
+//!   short-circuit claims on calls whose answers are already tabled.
+//! * **Epochs**: every store gets a globally monotone epoch from the
+//!   table, carried on `MemoHit`/`MemoStore` trace events — the handle
+//!   the `TraceChecker` uses to assert "no hit before the store of the
+//!   same key epoch".
+//! * **Bounded memory**: per-shard LRU eviction at a configurable
+//!   capacity, surfaced through the `memo_evictions` counter.
+//! * **Poison tolerance**: shard locks are `std::sync::Mutex` acquired
+//!   with `unwrap_or_else(PoisonError::into_inner)` — consistent with the
+//!   fault model, a worker death mid-operation must not take the table
+//!   (or the run) down with it. Entries are immutable once inserted, so a
+//!   poisoned shard is never structurally torn.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ace_logic::{CanonKey, TermArena};
+
+/// Memoization knobs, threaded through `EngineConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Master switch. Off by default: no table is allocated and every
+    /// consultation point in the engines is a single branch.
+    pub enabled: bool,
+    /// Number of independent shards (lock granularity).
+    pub shards: usize,
+    /// Maximum entries per shard; LRU eviction beyond.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        MemoConfig {
+            enabled: false,
+            shards: 16,
+            capacity_per_shard: 256,
+        }
+    }
+}
+
+impl MemoConfig {
+    /// A config with memoization switched on (default sizing).
+    pub fn enabled() -> Self {
+        MemoConfig {
+            enabled: true,
+            ..MemoConfig::default()
+        }
+    }
+
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    pub fn with_capacity_per_shard(mut self, capacity: usize) -> Self {
+        self.capacity_per_shard = capacity.max(1);
+        self
+    }
+}
+
+/// One complete, immutable answer set for a canonicalized call.
+#[derive(Debug)]
+pub struct MemoEntry {
+    /// Globally monotone store epoch (trace correlation).
+    pub epoch: u64,
+    /// Hash of the producing key (trace correlation).
+    pub key_hash: u64,
+    /// The answers: each arena holds one fully-instantiated copy of the
+    /// call term, replayed by thawing and unifying with the live call.
+    pub answers: Vec<TermArena>,
+    /// Answer set known complete (always true for published entries; the
+    /// flag documents the protocol and guards future partial-entry use).
+    pub complete: bool,
+}
+
+/// Outcome of a [`MemoTable::publish`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// The answers were stored under a fresh epoch; `evicted` entries
+    /// were LRU-dropped from the shard to make room.
+    Stored { epoch: u64, evicted: u64 },
+    /// An entry for this key already existed (kept; publish is
+    /// idempotent — first writer wins, so replayed answers are unique).
+    Present { epoch: u64 },
+}
+
+struct SlotEnt {
+    entry: Arc<MemoEntry>,
+    last_used: u64,
+}
+
+struct Shard {
+    entries: HashMap<Vec<u8>, SlotEnt>,
+    /// Per-shard LRU clock (bumped on every touch).
+    clock: u64,
+}
+
+/// Aggregate table-lifetime counters (session-wide, across runs — the
+/// per-run engine `Stats` carry their own memo counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub stores: u64,
+    pub evictions: u64,
+}
+
+/// The concurrent, sharded answer table. Cheaply shareable via `Arc`;
+/// engines attach one handle per machine.
+pub struct MemoTable {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for MemoTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoTable")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("len", &self.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl MemoTable {
+    pub fn new(cfg: &MemoConfig) -> MemoTable {
+        let shards = cfg.shards.max(1);
+        MemoTable {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard: cfg.capacity_per_shard.max(1),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Poison-tolerant shard lock: entries are immutable once inserted
+    /// and the LRU metadata is self-healing, so a panic elsewhere never
+    /// leaves a shard in a state worth refusing.
+    fn shard_for(&self, key: &CanonKey) -> MutexGuard<'_, Shard> {
+        let idx = (key.hash as usize) % self.shards.len();
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Look up the complete answer set for `key`, bumping its LRU slot.
+    pub fn lookup(&self, key: &CanonKey) -> Option<Arc<MemoEntry>> {
+        let mut shard = self.shard_for(key);
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.entries.get_mut(&key.bytes) {
+            Some(slot) => {
+                slot.last_used = clock;
+                let entry = slot.entry.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Is the answer set of `key` already complete in the table? (The
+    /// or-engine's claim short-circuit: no LRU bump, no counter noise.)
+    pub fn is_complete(&self, key: &CanonKey) -> bool {
+        let shard = self.shard_for(key);
+        shard
+            .entries
+            .get(&key.bytes)
+            .is_some_and(|s| s.entry.complete)
+    }
+
+    /// Publish the complete answer set of `key`. Idempotent: if another
+    /// worker raced the store, the existing entry wins and the new
+    /// answers are dropped (both sets are complete for the same call, so
+    /// answers are never lost or duplicated).
+    pub fn publish(&self, key: &CanonKey, answers: Vec<TermArena>) -> PublishOutcome {
+        let mut shard = self.shard_for(key);
+        if let Some(slot) = shard.entries.get(&key.bytes) {
+            return PublishOutcome::Present {
+                epoch: slot.entry.epoch,
+            };
+        }
+        let mut evicted = 0u64;
+        while shard.entries.len() >= self.capacity_per_shard {
+            let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            shard.entries.remove(&victim);
+            evicted += 1;
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.clock += 1;
+        let clock = shard.clock;
+        shard.entries.insert(
+            key.bytes.clone(),
+            SlotEnt {
+                entry: Arc::new(MemoEntry {
+                    epoch,
+                    key_hash: key.hash,
+                    answers,
+                    complete: true,
+                }),
+                last_used: clock,
+            },
+        );
+        drop(shard);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        PublishOutcome::Stored { epoch, evicted }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Table-lifetime counters (REPL `:memo-stats`, diagnostics).
+    pub fn counters(&self) -> MemoCounters {
+        MemoCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_logic::{parse_term, CanonKey, Heap};
+
+    fn key(src: &str) -> (Heap, CanonKey, ace_logic::Cell) {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, src).unwrap();
+        let k = CanonKey::of(&h, t);
+        (h, k, t)
+    }
+
+    fn answers(h: &Heap, roots: &[ace_logic::Cell]) -> Vec<TermArena> {
+        roots.iter().map(|&r| TermArena::freeze(h, r)).collect()
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let table = MemoTable::new(&MemoConfig::enabled());
+        let (h, k, t) = key("p(1, X)");
+        assert!(table.lookup(&k).is_none());
+        let out = table.publish(&k, answers(&h, &[t]));
+        let PublishOutcome::Stored { epoch, evicted } = out else {
+            panic!("first publish must store: {out:?}");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(evicted, 0);
+        let entry = table.lookup(&k).expect("stored entry must be found");
+        assert_eq!(entry.epoch, 1);
+        assert_eq!(entry.key_hash, k.hash);
+        assert!(entry.complete);
+        assert_eq!(entry.answers.len(), 1);
+        // variant of the call hits the same entry
+        let (_, k2, _) = key("p(1, Y)");
+        assert!(table.lookup(&k2).is_some());
+        let c = table.counters();
+        assert_eq!((c.hits, c.misses, c.stores), (2, 1, 1));
+    }
+
+    #[test]
+    fn publish_is_idempotent_first_writer_wins() {
+        let table = MemoTable::new(&MemoConfig::enabled());
+        let (h, k, t) = key("q(a)");
+        let PublishOutcome::Stored { epoch, .. } = table.publish(&k, answers(&h, &[t])) else {
+            panic!()
+        };
+        let again = table.publish(&k, answers(&h, &[t, t]));
+        assert_eq!(again, PublishOutcome::Present { epoch });
+        assert_eq!(table.lookup(&k).unwrap().answers.len(), 1);
+        assert_eq!(table.counters().stores, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity_prefers_stale_entries() {
+        // single shard, capacity 2, so eviction order is fully observable
+        let cfg = MemoConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(2);
+        let table = MemoTable::new(&cfg);
+        let (ha, ka, ta) = key("e(a)");
+        let (hb, kb, tb) = key("e(b)");
+        let (hc, kc, tc) = key("e(c)");
+        table.publish(&ka, answers(&ha, &[ta]));
+        table.publish(&kb, answers(&hb, &[tb]));
+        // touch `a` so `b` becomes the LRU victim
+        assert!(table.lookup(&ka).is_some());
+        let PublishOutcome::Stored { evicted, .. } = table.publish(&kc, answers(&hc, &[tc])) else {
+            panic!()
+        };
+        assert_eq!(evicted, 1);
+        assert_eq!(table.len(), 2);
+        assert!(table.lookup(&ka).is_some(), "recently used entry survives");
+        assert!(table.lookup(&kb).is_none(), "LRU entry was evicted");
+        assert!(table.lookup(&kc).is_some());
+        assert_eq!(table.counters().evictions, 1);
+    }
+
+    #[test]
+    fn epochs_are_globally_monotone_across_shards() {
+        let table = MemoTable::new(&MemoConfig::enabled().with_shards(4));
+        let mut epochs = Vec::new();
+        for i in 0..16 {
+            let (h, k, t) = key(&format!("m({i})"));
+            let PublishOutcome::Stored { epoch, .. } = table.publish(&k, answers(&h, &[t])) else {
+                panic!()
+            };
+            epochs.push(epoch);
+        }
+        for w in epochs.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "epochs must be strictly increasing: {epochs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_complete_reflects_published_entries_without_counter_noise() {
+        let table = MemoTable::new(&MemoConfig::enabled());
+        let (h, k, t) = key("c(1)");
+        assert!(!table.is_complete(&k));
+        table.publish(&k, answers(&h, &[t]));
+        assert!(table.is_complete(&k));
+        assert_eq!(table.counters().hits + table.counters().misses, 0);
+    }
+
+    #[test]
+    fn table_survives_a_poisoned_shard_lock() {
+        let cfg = MemoConfig::enabled().with_shards(1);
+        let table = Arc::new(MemoTable::new(&cfg));
+        let (h, k, t) = key("pois(1)");
+        table.publish(&k, answers(&h, &[t]));
+        // poison the single shard by panicking while holding its lock
+        let t2 = table.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = t2.shards[0].lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(
+            table.lookup(&k).is_some(),
+            "poisoned lock must be tolerated"
+        );
+        let (h2, k2, tt) = key("pois(2)");
+        assert!(matches!(
+            table.publish(&k2, answers(&h2, &[tt])),
+            PublishOutcome::Stored { .. }
+        ));
+    }
+
+    #[test]
+    fn concurrent_racing_publishes_keep_one_entry() {
+        let table = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = table.clone();
+            handles.push(std::thread::spawn(move || {
+                let (h, k, c) = {
+                    let mut h = Heap::new();
+                    let (c, _) = parse_term(&mut h, "race(X)").unwrap();
+                    let k = CanonKey::of(&h, c);
+                    (h, k, c)
+                };
+                t.publish(&k, vec![TermArena::freeze(&h, c)])
+            }));
+        }
+        let outcomes: Vec<PublishOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let stored = outcomes
+            .iter()
+            .filter(|o| matches!(o, PublishOutcome::Stored { .. }))
+            .count();
+        assert_eq!(stored, 1, "exactly one racer stores: {outcomes:?}");
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -10,8 +10,8 @@ use ace_machine::frames::Alts;
 use ace_machine::{Machine, Status};
 use ace_runtime::{
     fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig, EventKind,
-    FaultAction, FaultInjector, OrScheduler, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver,
-    Trace, TraceBuf, TraceSink, Tracer,
+    FaultAction, FaultInjector, MemoTable, OrScheduler, Phase, RunOutcome, SimDriver, Stats,
+    ThreadsDriver, Trace, TraceBuf, TraceSink, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -59,6 +59,9 @@ struct OrShared {
     injector: Option<FaultInjector>,
     /// Completed workers deposit their trace ring buffers here.
     trace_bufs: Mutex<Vec<TraceBuf>>,
+    /// Answer-memoization table shared by every machine of the run (and,
+    /// when the caller passed one in, across runs); `None` = memo off.
+    memo: Option<Arc<MemoTable>>,
 }
 
 impl OrShared {
@@ -220,8 +223,24 @@ impl OrWorker {
             next,
         } = cp.alts
         else {
+            // Memo-replay (and other non-clause) alternatives never enter
+            // the or-tree: a tabled answer set is already complete, so
+            // there is nothing for a remote worker to claim.
             return;
         };
+        // Short-circuit claims on calls whose answer set is known complete:
+        // keep the choice point private — remote workers could only
+        // re-derive answers a memo hit replays for free, and the owner
+        // still enumerates the alternatives locally (no solution is lost).
+        if let Some(table) = &self.sh.memo {
+            let goal = cp.goal;
+            let key = run.machine.memo_key(goal);
+            self.stats.charge(costs.memo_lookup);
+            self.phase_cost += costs.memo_lookup;
+            if table.is_complete(&key) {
+                return;
+            }
+        }
         let Some(pred) = self.sh.db.predicate(name, arity) else {
             return;
         };
@@ -455,7 +474,7 @@ impl OrWorker {
     /// recycling pool when available (no heap/trail reallocation, interned
     /// handles kept warm), else allocate fresh.
     fn acquire_machine(&mut self) -> Box<Machine> {
-        match self.free_machines.pop() {
+        let mut m = match self.free_machines.pop() {
             Some(m) => {
                 self.stats.machines_recycled += 1;
                 let t = self.now();
@@ -463,12 +482,27 @@ impl OrWorker {
                 m
             }
             None => Box::new(Machine::new(self.sh.db.clone(), self.costs.clone())),
+        };
+        if self.sh.memo.is_some() {
+            m.set_memo(self.sh.memo.clone(), self.sh.cfg.trace.enabled);
+        }
+        m
+    }
+
+    /// Forward memo events buffered by a machine to this worker's tracer
+    /// (no-op vector unless memo tracing is on).
+    fn emit_memo_events(&mut self, events: Vec<EventKind>) {
+        let t = self.vclock + self.phase_cost;
+        for ev in events {
+            self.tracer.emit(t, || ev);
         }
     }
 
     /// Harvest a finished machine's counters, reset it, and cache it for
     /// the next claim.
     fn retire_machine(&mut self, mut m: Box<Machine>) {
+        let memo_events = m.take_memo_events();
+        self.emit_memo_events(memo_events);
         self.harvest(&m);
         m.reset();
         if self.free_machines.len() < MACHINE_POOL_CAP {
@@ -536,6 +570,8 @@ impl OrWorker {
         let run = self.current.as_mut().expect("run_current without machine");
         let status = run.machine.run(quantum, Some(&cancel));
         self.phase_cost += run.machine.take_unsurfaced_cost();
+        let memo_events = run.machine.take_memo_events();
+        self.emit_memo_events(memo_events);
         if self.tracer.lifecycle() {
             let t = self.now();
             let cost = self.phase_cost - before;
@@ -620,7 +656,9 @@ impl OrWorker {
         if self.sh.done.load(Ordering::Acquire) {
             if !self.reported {
                 self.reported = true;
-                if let Some(run) = self.current.take() {
+                if let Some(mut run) = self.current.take() {
+                    let memo_events = run.machine.take_memo_events();
+                    self.emit_memo_events(memo_events);
                     self.harvest(&run.machine);
                     self.sh.busy.fetch_sub(1, Ordering::AcqRel);
                 }
@@ -735,6 +773,7 @@ impl OrEngine {
                 .as_ref()
                 .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
             trace_bufs: Mutex::new(Vec::new()),
+            memo: cfg.resolve_memo_table(),
         });
         let sink = cfg.trace.enabled.then(|| TraceSink::new(&cfg.trace));
 
@@ -743,6 +782,7 @@ impl OrEngine {
         // machines share it by refcount.
         let costs = Arc::new(cfg.costs.clone());
         let mut root = Box::new(Machine::new(self.db.clone(), costs.clone()));
+        root.set_memo(shared.memo.clone(), cfg.trace.enabled);
         let (goal, mut vars) = ace_logic::parse_term(&mut root.heap, query)
             .map_err(|e| format!("query parse error: {e}"))?;
         vars.sort_by(|a, b| a.0.cmp(&b.0));
@@ -1026,6 +1066,57 @@ mod tests {
             "expected recycled machines: {:?}",
             r.stats
         );
+    }
+
+    const MEMO_PROG: &str = r#"
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        len([], z).
+        len([_|T], s(N)) :- len(T, N).
+        heavy(R) :- len([a,b,c,d,e,f,g,h], R).
+    "#;
+
+    #[test]
+    fn memoization_reuses_answers_across_branches_and_runs() {
+        use ace_runtime::{MemoConfig, MemoTable};
+        let e = OrEngine::new(db(MEMO_PROG));
+        // Every or-branch repeats the same deterministic subcall.
+        let q = "member(V, [1,2,3,4]), heavy(R)";
+        let base = e.run(q, &cfg(4, OptFlags::none())).unwrap();
+        assert_eq!(base.solutions.len(), 4);
+
+        let table = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+        let c = cfg(4, OptFlags::none()).with_memo_table(table.clone());
+        let cold = e.run(q, &c).unwrap();
+        assert_eq!(
+            sorted(cold.solutions.clone()),
+            sorted(base.solutions.clone())
+        );
+        assert!(cold.stats.memo_stores > 0, "{}", cold.stats.summary());
+        // First branch stores; later branches (and their claims on other
+        // workers) replay instead of re-deriving.
+        assert!(cold.stats.memo_hits > 0, "{}", cold.stats.summary());
+
+        let warm = e.run(q, &c).unwrap();
+        assert_eq!(
+            sorted(warm.solutions.clone()),
+            sorted(base.solutions.clone())
+        );
+        assert_eq!(warm.stats.memo_stores, 0, "{}", warm.stats.summary());
+        assert!(warm.stats.memo_hits > 0);
+        assert!(warm.stats.calls < cold.stats.calls);
+    }
+
+    #[test]
+    fn memo_off_is_bit_identical() {
+        let e = OrEngine::new(db(MEMBER));
+        let q = "member(V, [1,2,3,4]), compute(V, R)";
+        let plain = e.run(q, &cfg(4, OptFlags::lao_only())).unwrap();
+        let c = cfg(4, OptFlags::lao_only()).with_memo(ace_runtime::MemoConfig::default());
+        let off = e.run(q, &c).unwrap();
+        assert_eq!(off.outcome.virtual_time, plain.outcome.virtual_time);
+        assert_eq!(off.stats, plain.stats);
+        assert_eq!(off.stats.memo_hits + off.stats.memo_misses, 0);
     }
 
     #[test]

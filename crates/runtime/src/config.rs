@@ -1,6 +1,9 @@
 //! Engine configuration: worker count, optimization toggles, driver choice.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use ace_memo::{MemoConfig, MemoTable};
 
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
@@ -189,6 +192,14 @@ pub struct EngineConfig {
     /// the run's merged [`crate::trace::Trace`] is surfaced on the report.
     /// Tracing charges no virtual time.
     pub trace: TraceConfig,
+    /// Answer memoization (see [`ace_memo`]). Off by default; when off no
+    /// table is allocated and every consultation point is one branch, so
+    /// reports stay bit-identical to a memo-free build.
+    pub memo: MemoConfig,
+    /// An externally owned answer table to reuse across runs (REPL
+    /// sessions, warm-table tests). `None` = the engine allocates a fresh
+    /// table per run when `memo.enabled`.
+    pub memo_table: Option<Arc<MemoTable>>,
 }
 
 impl Default for EngineConfig {
@@ -207,6 +218,8 @@ impl Default for EngineConfig {
             threads_deadline: Some(Duration::from_secs(60)),
             fault_plan: None,
             trace: TraceConfig::default(),
+            memo: MemoConfig::default(),
+            memo_table: None,
         }
     }
 }
@@ -256,6 +269,31 @@ impl EngineConfig {
         self.trace = trace;
         self
     }
+
+    pub fn with_memo(mut self, memo: MemoConfig) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// Reuse an existing answer table (implies enabling memoization).
+    pub fn with_memo_table(mut self, table: Arc<MemoTable>) -> Self {
+        self.memo.enabled = true;
+        self.memo_table = Some(table);
+        self
+    }
+
+    /// The table this run should consult: the externally provided one, or
+    /// a freshly allocated private table; `None` when memoization is off.
+    pub fn resolve_memo_table(&self) -> Option<Arc<MemoTable>> {
+        if !self.memo.enabled {
+            return None;
+        }
+        Some(
+            self.memo_table
+                .clone()
+                .unwrap_or_else(|| Arc::new(MemoTable::new(&self.memo))),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -286,5 +324,19 @@ mod tests {
         assert_eq!(c.workers, 10);
         assert!(c.opts.pdo);
         assert_eq!(c.max_solutions, None);
+    }
+
+    #[test]
+    fn memo_table_resolution() {
+        // off by default: no table, zero-cost opt-out
+        assert!(EngineConfig::default().resolve_memo_table().is_none());
+        // enabled without an external table: fresh private table
+        let c = EngineConfig::default().with_memo(MemoConfig::enabled());
+        assert!(c.resolve_memo_table().is_some());
+        // external table is reused identically (and implies enablement)
+        let shared = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+        let c = EngineConfig::default().with_memo_table(shared.clone());
+        assert!(c.memo.enabled);
+        assert!(Arc::ptr_eq(&c.resolve_memo_table().unwrap(), &shared));
     }
 }

@@ -81,6 +81,13 @@ pub struct CostModel {
     /// much cheaper than a completed `install_state`.
     pub install_abort: u64,
 
+    // -- memoization ---------------------------------------------------------
+    /// One answer-table consultation (key canonicalization + sharded
+    /// lookup); thawed answer cells add `heap_cell` each on a hit.
+    pub memo_lookup: u64,
+    /// Publishing one complete answer set into the table (freeze + insert).
+    pub memo_store: u64,
+
     // -- scheduling / synchronization ---------------------------------------
     /// Pushing or popping the shared work pool.
     pub queue_op: u64,
@@ -125,6 +132,9 @@ impl Default for CostModel {
             install_state: 20,
             install_abort: 5,
 
+            memo_lookup: 8,
+            memo_store: 12,
+
             queue_op: 6,
             steal: 30,
             idle_probe: 12,
@@ -163,6 +173,8 @@ impl CostModel {
             claim_alternative: 1,
             install_state: 1,
             install_abort: 1,
+            memo_lookup: 1,
+            memo_store: 1,
             queue_op: 1,
             steal: 1,
             idle_probe: 1,
@@ -188,6 +200,10 @@ mod tests {
         assert!(m.lpco_check <= 4);
         // a branch killed at head unification never pays full state setup
         assert!(m.install_abort < m.install_state);
+        // a memo hit must undercut even one choice point of re-execution,
+        // or the table could never pay off
+        assert!(m.memo_lookup < m.choice_point_alloc);
+        assert!(m.memo_store < m.parcall_frame_alloc);
     }
 
     #[test]

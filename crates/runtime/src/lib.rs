@@ -37,6 +37,14 @@
 //! consumers export Chrome `trace_event` JSON or replay the trace through
 //! [`trace::TraceChecker`] to assert scheduler invariants. Disabled
 //! tracing costs one branch per emission point and zero virtual time.
+//!
+//! ## Memoization
+//!
+//! [`config::EngineConfig::with_memo`] attaches an [`ace_memo`] answer
+//! table (re-exported here as [`MemoTable`]): complete answer sets of
+//! deterministic calls are published once and replayed by any worker.
+//! Off by default and zero-cost when off — no table is allocated and
+//! every consultation point is a single branch.
 
 pub mod cancel;
 pub mod config;
@@ -46,6 +54,7 @@ pub mod fault;
 pub mod stats;
 pub mod trace;
 
+pub use ace_memo::{MemoConfig, MemoCounters, MemoEntry, MemoTable, PublishOutcome};
 pub use cancel::CancelToken;
 pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy};
 pub use cost::CostModel;

@@ -121,6 +121,16 @@ stats_sheet! {
         /// Publications deferred by a transient failure and retried.
         pub publish_retries: u64,
 
+        // memoization
+        /// Calls answered from the memo table instead of re-execution.
+        pub memo_hits: u64,
+        /// Memo consultations that found no complete answer set.
+        pub memo_misses: u64,
+        /// Complete answer sets published into the memo table.
+        pub memo_stores: u64,
+        /// Entries LRU-evicted to keep shards within capacity.
+        pub memo_evictions: u64,
+
         // outcomes
         pub solutions: u64,
     }
@@ -156,7 +166,8 @@ impl Stats {
              (lpco-merged {}) markers={} (spo-elided {}) pdo={} stolen={} \
              published={} visits={} copied={} backtracks={} \
              pool={}push/{}pop recycled={} probes={} \
-             faults={} steal-retries={} publish-retries={}",
+             faults={} steal-retries={} publish-retries={} \
+             memo={}hit/{}miss/{}store/{}evict",
             self.cost,
             self.idle_cost,
             self.calls,
@@ -179,6 +190,10 @@ impl Stats {
             self.faults_injected,
             self.steal_retries,
             self.publish_retries,
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_stores,
+            self.memo_evictions,
         )
     }
 }
@@ -248,6 +263,7 @@ mod tests {
             "faults=",
             "steal-retries=",
             "publish-retries=",
+            "memo=",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

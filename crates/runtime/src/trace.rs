@@ -138,6 +138,20 @@ pub enum EventKind {
     /// The run degraded to the sequential engine.
     Degraded { reason: String },
 
+    // -- memoization --
+    /// A call was answered from the memo table. `key` is the canonical
+    /// key hash, `epoch` the table epoch of the entry replayed.
+    MemoHit { key: u64, epoch: u64 },
+    /// A complete answer set was published into the memo table.
+    MemoStore { key: u64, epoch: u64 },
+    /// The answer set under `key` was marked complete with `answers`
+    /// stored answers (emitted alongside the store that completed it).
+    MemoComplete {
+        key: u64,
+        epoch: u64,
+        answers: usize,
+    },
+
     // -- driver --
     /// A worker exited (reason: completed/panicked/cancelled/deadline).
     WorkerExit { reason: String },
@@ -184,6 +198,9 @@ impl EventKind {
             EventKind::FaultStall { .. } => "fault-stall",
             EventKind::FaultRetry { .. } => "fault-retry",
             EventKind::Degraded { .. } => "degraded",
+            EventKind::MemoHit { .. } => "memo-hit",
+            EventKind::MemoStore { .. } => "memo-store",
+            EventKind::MemoComplete { .. } => "memo-complete",
             EventKind::WorkerExit { .. } => "worker-exit",
             EventKind::Abort { .. } => "abort",
             EventKind::Solution => "solution",
@@ -222,6 +239,18 @@ impl EventKind {
             EventKind::FrameElide { merged_slots } => {
                 vec![("merged_slots", U(*merged_slots as u64))]
             }
+            EventKind::MemoHit { key, epoch } | EventKind::MemoStore { key, epoch } => {
+                vec![("key", U(*key)), ("epoch", U(*epoch))]
+            }
+            EventKind::MemoComplete {
+                key,
+                epoch,
+                answers,
+            } => vec![
+                ("key", U(*key)),
+                ("epoch", U(*epoch)),
+                ("answers", U(*answers as u64)),
+            ],
             EventKind::FaultInjected { kind } => vec![("kind", S(kind))],
             EventKind::FaultRetry { what } => vec![("what", S(what))],
             EventKind::Degraded { reason } | EventKind::Abort { reason } => {
@@ -504,7 +533,12 @@ impl Trace {
 ///   the bound is slack but safe);
 /// * **faults are answered** — every `fault-injected` is matched by a
 ///   recovery record (`fault-retry`, `fault-stall`, `degraded`) or a
-///   `worker-exit`/`abort`.
+///   `worker-exit`/`abort`;
+/// * **no hit before its store** — every `memo-hit (key, epoch)` matches
+///   a `memo-store` of the same key epoch recorded in this run, *or*
+///   predates every store in the trace (table epochs are globally
+///   monotone, so a hit at an epoch below the run's first store can only
+///   come from a warm table carried in from a previous run).
 ///
 /// When the trace reports dropped events, count- and set-based checks
 /// that eviction could falsify are skipped; the double-issue check still
@@ -518,6 +552,8 @@ impl TraceChecker {
         let mut claimed: HashMap<(u64, u64, usize), u64> = HashMap::new();
         let (mut pushes, mut pops, mut steals) = (0u64, 0u64, 0u64);
         let (mut injected, mut recovered) = (0u64, 0u64);
+        let mut memo_stores: HashSet<(u64, u64)> = HashSet::new();
+        let mut memo_hits: Vec<(u64, u64)> = Vec::new();
         let mut violations = Vec::new();
 
         for ev in &trace.events {
@@ -532,6 +568,10 @@ impl TraceChecker {
                 EventKind::PoolPush { .. } => pushes += 1,
                 EventKind::PoolPop { .. } => pops += 1,
                 EventKind::StealSuccess => steals += 1,
+                EventKind::MemoStore { key, epoch } => {
+                    memo_stores.insert((*key, *epoch));
+                }
+                EventKind::MemoHit { key, epoch } => memo_hits.push((*key, *epoch)),
                 EventKind::FaultInjected { .. } => injected += 1,
                 EventKind::FaultRetry { .. }
                 | EventKind::FaultStall { .. }
@@ -569,6 +609,21 @@ impl TraceChecker {
                 violations.push(format!(
                     "{injected} fault injection(s) but only {recovered} recovery/exit record(s)"
                 ));
+            }
+            // Hits at or above the run's first stored epoch must match a
+            // recorded store; hits below it are warm-table replays (table
+            // epochs are globally monotone across runs).
+            let min_store = memo_stores.iter().map(|&(_, e)| e).min();
+            for (key, epoch) in &memo_hits {
+                let warm = match min_store {
+                    None => true,
+                    Some(min) => *epoch < min,
+                };
+                if !warm && !memo_stores.contains(&(*key, *epoch)) {
+                    violations.push(format!(
+                        "memo hit without a matching store: key={key} epoch={epoch}"
+                    ));
+                }
             }
         }
 
@@ -843,6 +898,63 @@ mod tests {
         assert_eq!(trace.dropped, 1);
         // the publish was evicted, but the checker must not false-positive
         assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_accepts_memo_hit_after_store() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::MemoStore { key: 42, epoch: 3 }),
+                ev(
+                    1,
+                    0,
+                    EventKind::MemoComplete {
+                        key: 42,
+                        epoch: 3,
+                        answers: 1,
+                    },
+                ),
+                ev(5, 1, EventKind::MemoHit { key: 42, epoch: 3 }),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_memo_hit_without_store() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::MemoStore { key: 42, epoch: 3 }),
+                // epoch 7 >= first stored epoch but was never stored
+                ev(5, 1, EventKind::MemoHit { key: 9, epoch: 7 }),
+            ],
+        );
+        let violations = TraceChecker::check(&trace).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("memo hit without a matching store")));
+    }
+
+    #[test]
+    fn checker_allows_warm_table_memo_hits() {
+        // A hit with no stores at all: table warmed by a previous run.
+        let only_hit = Trace::merge(
+            vec![],
+            vec![ev(2, 0, EventKind::MemoHit { key: 9, epoch: 1 })],
+        );
+        assert!(TraceChecker::check(&only_hit).is_ok());
+        // A hit below the run's first stored epoch: also warm (epochs
+        // are globally monotone across runs sharing a table).
+        let old_epoch = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::MemoStore { key: 42, epoch: 5 }),
+                ev(2, 1, EventKind::MemoHit { key: 9, epoch: 2 }),
+            ],
+        );
+        assert!(TraceChecker::check(&old_epoch).is_ok());
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //! * `?- Goal.` — solve sequentially (all solutions)
 //! * `:and N ?- Goal.` — solve on the and-parallel engine with N workers
 //! * `:or N ?- Goal.` — solve on the or-parallel engine with N workers
+//! * `:memo` — toggle answer memoization (the table persists across
+//!   queries and engines until toggled off, which clears it)
+//! * `:memo-stats` — table size and hit/miss/store/eviction counters
 //! * `:quit`
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags};
+use ace_runtime::{EngineConfig, MemoConfig, MemoTable, OptFlags};
 
 fn main() {
     let mut program = String::new();
@@ -39,6 +43,10 @@ fn main() {
     };
     println!("ACE repl — `?- goal.` to query, `:quit` to exit.");
 
+    // One table for the whole session: answers stored by any engine on
+    // any query replay on every later one, until `:memo` toggles off.
+    let mut memo: Option<Arc<MemoTable>> = None;
+
     let stdin = std::io::stdin();
     loop {
         print!("> ");
@@ -54,6 +62,37 @@ fn main() {
         if line == ":quit" || line == ":q" {
             break;
         }
+        if line == ":memo" {
+            memo = match memo {
+                None => {
+                    println!("memo on (fresh table).");
+                    Some(Arc::new(MemoTable::new(&MemoConfig::enabled())))
+                }
+                Some(_) => {
+                    println!("memo off (table dropped).");
+                    None
+                }
+            };
+            continue;
+        }
+        if line == ":memo-stats" {
+            match &memo {
+                None => println!("memo is off — `:memo` to enable."),
+                Some(t) => {
+                    let c = t.counters();
+                    println!(
+                        "{} tabled call(s); {} hit(s), {} miss(es), {} store(s), \
+                         {} eviction(s)",
+                        t.len(),
+                        c.hits,
+                        c.misses,
+                        c.stores,
+                        c.evictions
+                    );
+                }
+            }
+            continue;
+        }
         let (mode, workers, rest) = parse_command(line);
         let goal = rest
             .trim()
@@ -64,10 +103,13 @@ fn main() {
             println!("usage: ?- goal.   or   :and 4 ?- goal.");
             continue;
         }
-        let cfg = EngineConfig::default()
+        let mut cfg = EngineConfig::default()
             .with_workers(workers)
             .with_opts(OptFlags::all())
             .all_solutions();
+        if let Some(t) = &memo {
+            cfg = cfg.with_memo_table(t.clone());
+        }
         match ace.run(mode, goal, &cfg) {
             Ok(r) => {
                 if r.solutions.is_empty() {
@@ -76,8 +118,14 @@ fn main() {
                     for s in &r.solutions {
                         println!("{}", if s.is_empty() { "yes." } else { s });
                     }
+                    let lookups = r.stats.memo_hits + r.stats.memo_misses;
+                    let memo_note = if lookups > 0 {
+                        format!(", memo {}/{} hit(s)", r.stats.memo_hits, lookups)
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "({} solution(s), virtual time {})",
+                        "({} solution(s), virtual time {}{memo_note})",
                         r.solutions.len(),
                         r.virtual_time
                     );

@@ -309,6 +309,87 @@ fn rotating_seed_sweep() {
     }
 }
 
+/// Faults against a warm answer table: memoized replays must not lose or
+/// duplicate answers under injected steal/publish failures, stalls, or a
+/// guaranteed worker death — every cell stays multiset-equal to the
+/// memo-off oracle, cold table and warm table alike.
+#[test]
+fn memo_enabled_matrix_preserves_answers() {
+    use ace_runtime::{MemoConfig, MemoTable};
+    use std::sync::Arc;
+
+    // Structurally indexed so the table really fills: each and-slot / each
+    // or-branch repeats the same deterministic nrev cell.
+    let prog = r#"
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+        nrev([], []).
+        nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+        cell(R) :- nrev([1,2,3,4,5,6], R).
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        both(A, B) :- cell(A) & cell(B).
+    "#;
+    let ace = Ace::load(prog).unwrap();
+    let and_query = "both(A, B)";
+    let or_query = "member(V, [1,2,3]), cell(R)";
+
+    let quiet = cfg(OptFlags::all(), DriverKind::Sim, FaultPlan::new(0));
+    let and_oracle = ace.run(Mode::AndParallel, and_query, &quiet).unwrap();
+    let or_oracle = ace.run(Mode::OrParallel, or_query, &quiet).unwrap();
+
+    // Warm the shared table with one undisturbed memo run per engine.
+    let table = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+    let warmup = quiet.clone().with_memo_table(table.clone());
+    ace.run(Mode::AndParallel, and_query, &warmup).unwrap();
+    ace.run(Mode::OrParallel, or_query, &warmup).unwrap();
+    assert!(table.counters().stores > 0, "warmup never filled the table");
+
+    let mut plans: Vec<(String, FaultPlan)> =
+        vec![("death".into(), FaultPlan::new(0).with(0, 2, FaultKind::Die))];
+    for seed in [21u64, 4242] {
+        plans.push((
+            format!("transient seed={seed}"),
+            FaultPlan::random_transient(seed, WORKERS, 6),
+        ));
+        plans.push((
+            format!("taxonomy seed={seed}"),
+            FaultPlan::random(seed, WORKERS, 8),
+        ));
+    }
+    for (label, plan) in &plans {
+        for memo in [None, Some(&table)] {
+            let mut c = cfg(OptFlags::all(), DriverKind::Sim, plan.clone());
+            if let Some(t) = memo {
+                c = c.with_memo_table((*t).clone());
+            }
+            let tag = |engine: &str| {
+                format!(
+                    "{engine} {label} memo={}",
+                    if memo.is_some() { "warm" } else { "off" }
+                )
+            };
+
+            let r = ace
+                .run_query(Mode::AndParallel, and_query, &c)
+                .unwrap_or_else(|e| panic!("{}: {e}", tag("and")));
+            assert_eq!(r.solutions, and_oracle.solutions, "{}", tag("and"));
+            check_trace(&r, &tag("and"));
+
+            let r = ace
+                .run_query(Mode::OrParallel, or_query, &c)
+                .unwrap_or_else(|e| panic!("{}: {e}", tag("or")));
+            assert_eq!(
+                sorted(r.solutions.clone()),
+                sorted(or_oracle.solutions.clone()),
+                "{}",
+                tag("or")
+            );
+            check_trace(&r, &tag("or"));
+        }
+    }
+}
+
 /// Program errors must never be masked by the degradation path: the error
 /// is the answer, under every driver, with or without faults in the plan.
 #[test]
