@@ -18,7 +18,7 @@ use std::path::PathBuf;
 
 use ace_bench::json::Json;
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags, OrScheduler, TraceConfig};
+use ace_runtime::{EngineConfig, FaultKind, FaultPlan, OptFlags, OrScheduler, TraceConfig};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -98,6 +98,119 @@ fn steal_cost_entry(depth: usize) -> Result<Json, String> {
     ))
 }
 
+/// Claim-locality series: the procrastinated-capture payoff, measured on
+/// a K-way `alt/1` choice whose continuation carries a size-S list (so
+/// the closure a claimant would install grows with S). Three rows per S:
+///
+/// * `local` — one worker; every alternative is drained by its owner via
+///   direct backtracking, so no closure is ever frozen.
+/// * `local_faulted` — four workers but every steal attempt fails; nodes
+///   are published (and deferred), then fully drained by their owners.
+/// * `remote` — four workers stealing normally; materialization pays one
+///   freeze per demanded node, amortized over all remote claims, and the
+///   per-claim thaw cost is flat in S.
+///
+/// The two all-local rows double as the CI regression guard for the
+/// defer path: they hard-fail (exit 2 via main) unless publish-side
+/// copying is exactly zero, and every row must reproduce the traversal
+/// oracle's answer multiset.
+fn claim_locality_entry(list_len: usize, smoke: bool) -> Result<Json, String> {
+    let k = if smoke { 8 } else { 12 };
+    let mut program = String::new();
+    for i in 1..=k {
+        program.push_str(&format!("alt({i}).\n"));
+    }
+    program.push_str("pick(L, X) :- alt(X), walk(L).\nwalk([]).\nwalk([_|T]) :- walk(T).\n");
+    let list: Vec<String> = (1..=list_len).map(|i| i.to_string()).collect();
+    let query = format!("pick([{}], X)", list.join(","));
+    let ace = Ace::load(&program)?;
+
+    let locality_cfg = |workers: usize, sched: OrScheduler| {
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_opts(OptFlags::all())
+            .with_or_scheduler(sched)
+            .all_solutions()
+    };
+    let sort = |mut v: Vec<String>| {
+        v.sort();
+        v
+    };
+
+    let oracle = ace
+        .run(
+            Mode::OrParallel,
+            &query,
+            &locality_cfg(4, OrScheduler::Traversal),
+        )
+        .map_err(|e| format!("claim-locality oracle S={list_len}: {e}"))?;
+    let expected = sort(oracle.solutions);
+    if expected.len() != k {
+        return Err(format!(
+            "claim-locality oracle S={list_len}: expected {k} answers, got {}",
+            expected.len()
+        ));
+    }
+
+    // Saturate every worker with queued StealFail events (each armed at
+    // op 0, consumed one per attempt): no remote claim ever reaches a
+    // node, so every deferred closure must be elided by its owner.
+    let mut starved = FaultPlan::new(0);
+    for w in 0..4 {
+        for _ in 0..512 {
+            starved = starved.with(w, 0, FaultKind::StealFail);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (mode, workers, plan) in [
+        ("local", 1usize, None),
+        ("local_faulted", 4, Some(starved)),
+        ("remote", 4, None),
+    ] {
+        let mut c = locality_cfg(workers, OrScheduler::Pool);
+        if let Some(p) = plan {
+            c = c.with_fault_plan(p);
+        }
+        let r = ace
+            .run(Mode::OrParallel, &query, &c)
+            .map_err(|e| format!("claim-locality {mode} S={list_len}: {e}"))?;
+        if sort(r.solutions.clone()) != expected {
+            return Err(format!(
+                "claim-locality {mode} S={list_len}: answers diverge from the traversal oracle"
+            ));
+        }
+        if mode != "remote"
+            && (r.stats.cells_copied_publish != 0 || r.stats.closures_materialized != 0)
+        {
+            return Err(format!(
+                "claim-locality {mode} S={list_len}: all-local claims must elide capture \
+                 entirely (cells_copied_publish={}, closures_materialized={})",
+                r.stats.cells_copied_publish, r.stats.closures_materialized
+            ));
+        }
+        rows.push(Json::obj([
+            ("mode", mode.into()),
+            ("workers", workers.into()),
+            ("virtual_time", r.virtual_time.into()),
+            ("nodes_published", r.stats.nodes_published.into()),
+            (
+                "closures_materialized",
+                r.stats.closures_materialized.into(),
+            ),
+            ("closures_elided", r.stats.closures_elided.into()),
+            ("cells_copied_publish", r.stats.cells_copied_publish.into()),
+            ("cells_copied_claim", r.stats.cells_copied_claim.into()),
+            ("alternatives_claimed", r.stats.alternatives_claimed.into()),
+        ]));
+    }
+    Ok(Json::obj([
+        ("closure_list_len", list_len.into()),
+        ("alternatives", k.into()),
+        ("runs", Json::Arr(rows)),
+    ]))
+}
+
 /// Traced 4-worker pool run over the first corpus benchmark; writes the
 /// Chrome `trace_event` JSON for Perfetto (the CI-uploaded artifact).
 fn write_trace(name: &str, smoke: bool, path: &PathBuf) -> Result<(), String> {
@@ -125,6 +238,9 @@ fn write_trace(name: &str, smoke: bool, path: &PathBuf) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    // --claim-locality: run only the claim-locality series (targeted use);
+    // the series always runs as part of the full/smoke sweeps too.
+    let only_locality = args.iter().any(|a| a == "--claim-locality");
     // --json is the only output mode; accepted for CLI symmetry with tables.
     let out = args
         .iter()
@@ -144,23 +260,37 @@ fn main() {
         &["queen1", "queen2", "puzzle", "ancestors", "members", "maps"]
     };
     let depths: &[usize] = if smoke { &[6, 10] } else { &[8, 16, 32] };
+    let locality_sizes: &[usize] = if smoke { &[8, 32] } else { &[16, 64, 256] };
 
     let mut benchmarks = Vec::new();
-    for name in corpus {
-        eprintln!("scaling {name} ...");
-        match scaling_entry(name, smoke) {
-            Ok(entry) => benchmarks.push(entry),
-            Err(e) => {
-                eprintln!("or_scaling FAILED: {e}");
-                std::process::exit(2);
+    let mut steal = Vec::new();
+    if !only_locality {
+        for name in corpus {
+            eprintln!("scaling {name} ...");
+            match scaling_entry(name, smoke) {
+                Ok(entry) => benchmarks.push(entry),
+                Err(e) => {
+                    eprintln!("or_scaling FAILED: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        for &d in depths {
+            eprintln!("steal cost, member chain depth {d} ...");
+            match steal_cost_entry(d) {
+                Ok(entry) => steal.push(entry),
+                Err(e) => {
+                    eprintln!("or_scaling FAILED: {e}");
+                    std::process::exit(2);
+                }
             }
         }
     }
-    let mut steal = Vec::new();
-    for &d in depths {
-        eprintln!("steal cost, member chain depth {d} ...");
-        match steal_cost_entry(d) {
-            Ok(entry) => steal.push(entry),
+    let mut locality = Vec::new();
+    for &s in locality_sizes {
+        eprintln!("claim locality, closure list length {s} ...");
+        match claim_locality_entry(s, smoke) {
+            Ok(entry) => locality.push(entry),
             Err(e) => {
                 eprintln!("or_scaling FAILED: {e}");
                 std::process::exit(2);
@@ -175,6 +305,7 @@ fn main() {
         ("workers", WORKER_COUNTS.to_vec().into()),
         ("benchmarks", Json::Arr(benchmarks)),
         ("steal_cost_by_depth", Json::Arr(steal)),
+        ("claim_locality", Json::Arr(locality)),
     ]);
     fs::write(&out, doc.render()).expect("write bench json");
     eprintln!("wrote {}", out.display());

@@ -242,6 +242,66 @@ proptest! {
         );
     }
 
+    /// The or-engine's procrastinated state capture freezes a
+    /// `$closure(Goal, Cont...)` tuple and thaws it per claim: variables
+    /// shared between the goal and the continuation goals must stay
+    /// shared (and un-shared ones distinct) through freeze→thaw, and the
+    /// tuple must round-trip structurally at any relocation base.
+    #[test]
+    fn closure_freeze_thaw_preserves_goal_cont_sharing(
+        goal in term_strategy(),
+        cont in prop::collection::vec(term_strategy(), 0..4),
+        base in 0usize..16,
+    ) {
+        use ace_logic::{CanonKey, TermArena};
+        let mut src = Heap::new();
+        // One shared variable namespace: `T::Var(i)` denotes the same
+        // variable wherever it occurs, across goal and continuation.
+        let mut vars = Vec::new();
+        let g = build(&mut src, &goal, &mut vars);
+        let mut args = vec![g];
+        for c in &cont {
+            args.push(build(&mut src, c, &mut vars));
+        }
+        let tuple = src.new_struct(sym("$closure"), &args);
+
+        let arena = TermArena::freeze(&src, tuple);
+        let mut dst = Heap::new();
+        for _ in 0..base {
+            dst.new_var(); // force a nonzero relocation base
+        }
+        let (thawed, appended) = arena.thaw(&mut dst);
+        prop_assert_eq!(appended, arena.len());
+        // Structural round trip, sharing included: CanonKey numbers
+        // variables by first occurrence, so f(X,X) ≠ f(X,Y).
+        prop_assert_eq!(&CanonKey::of(&dst, thawed), &CanonKey::of(&src, tuple));
+
+        // Exact per-position sharing matrix: canonicalize every tuple
+        // argument's variable occurrences by first appearance across the
+        // whole tuple; the numbering must survive freeze→thaw verbatim.
+        let shares = |heap: &Heap, root: Cell| -> Vec<Vec<usize>> {
+            let Cell::Str(hdr) = heap.deref(root) else {
+                panic!("closure tuple root must stay a struct");
+            };
+            let mut order = Vec::new();
+            (0..args.len() as u32)
+                .map(|i| {
+                    variables(heap, heap.str_arg(hdr, i))
+                        .into_iter()
+                        .map(|v| match order.iter().position(|&o| o == v) {
+                            Some(p) => p,
+                            None => {
+                                order.push(v);
+                                order.len() - 1
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        prop_assert_eq!(shares(&dst, thawed), shares(&src, tuple));
+    }
+
     /// Unwind/rewind is an exact inverse pair even interleaved with reads.
     #[test]
     fn unwind_rewind_identity(a in term_strategy(), b in term_strategy()) {

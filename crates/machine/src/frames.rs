@@ -55,6 +55,11 @@ pub trait SharedChoice: Send + Sync {
     fn owner_detached(&self);
     /// Diagnostic id.
     fn node_id(&self) -> u64;
+    /// Publication epoch of the node this hook serves (bumped by LAO
+    /// reuse). Implementations without epochs report 0.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// A choice point: everything needed to restore the computation to the

@@ -4,7 +4,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ace_logic::copy::copy_term;
 use ace_logic::db::{Database, IndexKey};
 use ace_logic::sym::{sym, wk};
 use ace_logic::term::{view, TermView};
@@ -110,17 +109,35 @@ struct MemoWatch {
 
 /// A published-choice-point state closure: everything a remote worker needs
 /// to continue an alternative (or-parallel state copying).
+///
+/// The state is a *frozen* `$closure(Goal, Cont...)` tuple in an immutable
+/// relocatable [`TermArena`]: freezing happens at most once per published
+/// node (on first remote demand — see the or-engine's procrastinated
+/// capture), and every claim thaws straight from the arena into the
+/// claimant's heap with no intermediate clone.
 #[derive(Debug)]
 pub struct StateClosure {
-    /// Self-contained heap holding the copied goal and continuation.
-    pub heap: Heap,
-    /// The call that created the choice point (in `heap`).
-    pub goal: Cell,
-    /// The continuation at the choice point, nearest goal first, with
-    /// original barriers (clamped on install).
-    pub cont: Vec<(Cell, u32)>,
-    /// Cells copied (cost accounting at publication).
+    /// Frozen snapshot of the `$closure(Goal, Cont...)` tuple.
+    pub arena: TermArena,
+    /// Number of continuation goals following the goal in the tuple.
+    pub cont_len: usize,
+    /// Cells frozen (cost accounting at materialization).
     pub cells: usize,
+}
+
+impl StateClosure {
+    /// Freeze an already-assembled `$closure(Goal, Cont...)` tuple from
+    /// `heap`. `cont_len` is the number of continuation goals after the
+    /// goal argument.
+    pub fn freeze(heap: &Heap, tuple: Cell, cont_len: usize) -> StateClosure {
+        let arena = TermArena::freeze(heap, tuple);
+        let cells = arena.len();
+        StateClosure {
+            arena,
+            cont_len,
+            cells,
+        }
+    }
 }
 
 /// The solver machine. See the crate docs for the role it plays.
@@ -782,9 +799,25 @@ impl Machine {
         }
     }
 
-    /// Copy out the state of the choice point at `idx` so a remote worker
+    /// Find the control index of the shared choice point published under
+    /// `node_id` at `epoch`, if it is still on this machine's stack
+    /// (deferred-closure materialization: the or-engine records the node,
+    /// not the index, because the stack may shift between publish and
+    /// first remote demand).
+    pub fn shared_choice_index(&self, node_id: u64, epoch: u64) -> Option<usize> {
+        self.ctrl.iter().enumerate().find_map(|(i, f)| match f {
+            CtrlFrame::Choice(cp) => match &cp.shared {
+                Some(sh) if sh.node_id() == node_id && sh.epoch() == epoch => Some(i),
+                _ => None,
+            },
+            _ => None,
+        })
+    }
+
+    /// Freeze the state of the choice point at `idx` so a remote worker
     /// can run one of its alternatives: temporarily unwind the trail to the
-    /// choice point, copy the goal and continuation, rewind.
+    /// choice point, freeze the goal and continuation into an immutable
+    /// arena, rewind.
     pub fn choice_closure(&mut self, idx: usize) -> StateClosure {
         let (goal, mut cont_goals, trail) = {
             let Some(CtrlFrame::Choice(cp)) = self.ctrl.get(idx) else {
@@ -800,36 +833,23 @@ impl Machine {
                       TermView::Struct(f, 2, _) if f == memo_store_sym())
         });
         let section = self.heap.unwind_section(trail);
-        // Copy goal + every continuation goal jointly so shared variables
-        // stay shared in the closure.
+        // Freeze goal + every continuation goal jointly (one tuple) so
+        // shared variables stay shared in the closure.
         let mut tuple_args = Vec::with_capacity(cont_goals.len() + 1);
         tuple_args.push(goal);
         tuple_args.extend(cont_goals.iter().map(|(g, _)| *g));
         let tuple = self.heap.new_struct(sym("$closure"), &tuple_args);
-        let mut closure_heap = Heap::new();
-        let out = copy_term(&self.heap, tuple, &mut closure_heap);
+        let closure = StateClosure::freeze(&self.heap, tuple, cont_goals.len());
         self.heap.rewind_section(section);
 
-        let Cell::Str(hdr) = out.root else {
-            unreachable!()
-        };
-        let c_goal = closure_heap.str_arg(hdr, 0);
-        let c_cont: Vec<(Cell, u32)> = cont_goals
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, b))| (closure_heap.str_arg(hdr, 1 + i as u32), b))
-            .collect();
-        self.stats.cells_copied += out.cells_copied as u64;
-        StateClosure {
-            heap: closure_heap,
-            goal: c_goal,
-            cont: c_cont,
-            cells: out.cells_copied,
-        }
+        self.stats.cells_copied_publish += closure.cells as u64;
+        closure
     }
 
-    /// Install a published alternative on this (fresh) machine: copy the
-    /// closure in, rebuild the continuation (barriers clamp to this
+    /// Install a published alternative on this (fresh) machine: thaw the
+    /// frozen closure tuple straight into this heap (one block splice —
+    /// no clone, no structural re-copy; variable sharing is preserved by
+    /// the arena), rebuild the continuation (barriers clamp to this
     /// machine's floor), and start executing `clause_idx` of the goal's
     /// predicate. Returns `false` when the head unification already fails.
     pub fn install_closure(
@@ -840,26 +860,18 @@ impl Machine {
         clause_idx: usize,
     ) -> bool {
         debug_assert!(self.ctrl.is_empty() && self.cont.is_none());
-        let mut tuple_args = Vec::with_capacity(closure.cont.len() + 1);
-        tuple_args.push(closure.goal);
-        tuple_args.extend(closure.cont.iter().map(|(g, _)| *g));
-        // Rebuild jointly (via a scratch root) so shared variables stay
-        // shared across the goal and its continuation.
-        let mut scratch = closure.heap.clone();
-        let root = scratch.new_struct(sym("$closure"), &tuple_args);
-        let tuple = copy_term(&scratch, root, &mut self.heap);
-        self.stats.cells_copied += tuple.cells_copied as u64;
-        self.charge(tuple.cells_copied as u64 * self.costs.heap_cell);
+        let (root, cells) = closure.arena.thaw(&mut self.heap);
+        self.stats.cells_copied_claim += cells as u64;
+        // Flat price: the thaw is a block copy plus relocation, not a
+        // per-cell structural walk (see `CostModel::closure_thaw`).
+        self.charge(self.costs.closure_thaw);
 
-        let Cell::Str(hdr) = tuple.root else {
-            unreachable!()
+        let Cell::Str(hdr) = root else {
+            unreachable!("closure arena root is the $closure tuple")
         };
         let goal = self.heap.str_arg(hdr, 0);
-        let cont_goals: Vec<(Cell, u32)> = closure
-            .cont
-            .iter()
-            .enumerate()
-            .map(|(i, _)| (self.heap.str_arg(hdr, 1 + i as u32), 0u32))
+        let cont_goals: Vec<(Cell, u32)> = (0..closure.cont_len)
+            .map(|i| (self.heap.str_arg(hdr, 1 + i as u32), 0u32))
             .collect();
         self.cont = cont::from_vec(&cont_goals, |_| 0);
         self.status = Status::Running;

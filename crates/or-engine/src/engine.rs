@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use ace_logic::sym::{sym, wk};
 use ace_logic::{Cell, Database};
-use ace_machine::frames::Alts;
+use ace_machine::frames::{Alts, SharedChoice};
 use ace_machine::{Machine, Status};
 use ace_runtime::{
     fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig, EventKind,
@@ -16,7 +16,7 @@ use ace_runtime::{
 use parking_lot::Mutex;
 
 use crate::pool::AltPool;
-use crate::tree::{NodeClaim, OrNode};
+use crate::tree::{DeferPoll, NodeClaim, OrNode, RemoteClaim};
 
 /// How many reset machines a worker keeps for reuse. Claims are bursty but
 /// each worker drives at most one machine at a time, so a shallow cache
@@ -90,6 +90,12 @@ struct Running {
     origin: Arc<OrNode>,
     /// Youngest node this machine published (publish parent / LAO target).
     last_published: Option<Arc<OrNode>>,
+    /// Nodes this machine published with a *deferred* (procrastinated)
+    /// closure, with the epoch each was published at. Polled at every
+    /// quantum checkpoint: a remote demand triggers the one-time freeze
+    /// ([`OrWorker::service_deferred`]); a deferral that dies un-frozen
+    /// (owner drained it, LAO superseded it) is an elided capture.
+    deferred: Vec<(Arc<OrNode>, u64)>,
 }
 
 struct OrWorker {
@@ -114,6 +120,9 @@ struct OrWorker {
     marked_idle: bool,
     /// Consecutive no-work phases (exponential idle backoff).
     idle_streak: u32,
+    /// Last `find_work` met a deferred node (claim pending on the owner's
+    /// materialization): suppress the idle backoff — work is imminent.
+    saw_pending: bool,
     /// Event tracing (no-op unless `cfg.trace.enabled`).
     tracer: Tracer,
     /// Virtual time of all phases already returned to the driver; event
@@ -137,6 +146,7 @@ impl OrWorker {
             reported: false,
             marked_idle: false,
             idle_streak: 0,
+            saw_pending: false,
             tracer,
             vclock: 0,
         }
@@ -170,6 +180,7 @@ impl OrWorker {
             machine,
             origin: self.sh.root.clone(),
             last_published: None,
+            deferred: Vec::new(),
         });
         // `busy` was pre-set to 1 by the engine.
     }
@@ -254,8 +265,11 @@ impl OrWorker {
             return;
         }
         let nalts = alts.len();
-        let closure = Arc::new(run.machine.choice_closure(idx));
-        let copy_cost = closure.cells as u64 * costs.heap_cell;
+        // Procrastinated capture (paper schema 2): the expensive state
+        // closure is NOT built here. Publication stores metadata only;
+        // the freeze happens at most once, at this worker's next
+        // checkpoint after a remote claim raises the demand flag
+        // (`service_deferred`). All-owner-claimed nodes never pay it.
 
         // LAO (paper §3.2, Figures 6/7): this computation descends from the
         // node holding its youngest public choice point — `last_published`,
@@ -276,7 +290,7 @@ impl OrWorker {
         let mut reuse_hit = None;
         if lao {
             if let Some(n) = &candidate {
-                if let Some(e) = n.try_reuse((name, arity), alts.clone(), closure.clone()) {
+                if let Some(e) = n.try_reuse((name, arity), alts.clone()) {
                     reuse_hit = Some((n.clone(), e));
                 }
             }
@@ -291,13 +305,7 @@ impl OrWorker {
                     .last_published
                     .clone()
                     .unwrap_or_else(|| run.origin.clone());
-                let n = OrNode::publish(
-                    &parent,
-                    (name, arity),
-                    alts,
-                    closure,
-                    self.sh.total_alts.clone(),
-                );
+                let n = OrNode::publish(&parent, (name, arity), alts, self.sh.total_alts.clone());
                 self.sh.note_depth(n.depth);
                 (n, 0)
             }
@@ -310,12 +318,13 @@ impl OrWorker {
             }),
         );
         run.last_published = Some(node.clone());
+        run.deferred.push((node.clone(), epoch));
         if reused {
             self.stats.cp_reused_lao += 1;
-            self.charge(costs.lao_reuse + copy_cost);
+            self.charge(costs.lao_reuse);
         } else {
             self.stats.nodes_published += 1;
-            self.charge(costs.publish_node + copy_cost + costs.queue_op * nalts as u64);
+            self.charge(costs.publish_node + costs.queue_op * nalts as u64);
         }
         let t = self.now();
         let node_id = node.id;
@@ -333,6 +342,10 @@ impl OrWorker {
                     alts: nalts,
                 }
             }
+        });
+        self.tracer.emit(t, || EventKind::ClosureDefer {
+            node: node_id,
+            epoch,
         });
         // Make the fresh alternatives findable in O(1). An LAO-refilled
         // node may still have a stale pool entry, in which case the push
@@ -362,6 +375,7 @@ impl OrWorker {
         // alternatives stay in the tree/pool (checked before any pop, so
         // every item remains claimable) and this worker retries after its
         // idle backoff.
+        self.saw_pending = false;
         let steal_faulted = self.sh.injector.as_ref().is_some_and(|inj| {
             self.sh.total_alts.load(Ordering::Acquire) > 0 && inj.steal_fails(self.id)
         });
@@ -394,20 +408,29 @@ impl OrWorker {
                 let t = self.now();
                 let node_id = node.id;
                 self.tracer.emit(t, || EventKind::PoolPop { node: node_id });
-                if let Some((idx, epoch, pred, closure)) = node.claim_remote() {
-                    // Keep the node visible to other idle workers while it
-                    // still has unclaimed alternatives.
-                    if node.has_work() && self.sh.pool.push(self.id, &node) {
-                        self.stats.pool_pushes += 1;
-                        self.charge(costs.queue_op);
-                        let t = self.now();
-                        self.tracer
-                            .emit(t, || EventKind::PoolPush { node: node_id });
+                match node.claim_remote() {
+                    RemoteClaim::Ready((idx, epoch, pred, closure)) => {
+                        // Keep the node visible to other idle workers while
+                        // it still has unclaimed alternatives.
+                        if node.has_work() && self.sh.pool.push(self.id, &node) {
+                            self.stats.pool_pushes += 1;
+                            self.charge(costs.queue_op);
+                            let t = self.now();
+                            self.tracer
+                                .emit(t, || EventKind::PoolPush { node: node_id });
+                        }
+                        break Some((node, idx, epoch, pred, closure));
                     }
-                    break Some((node, idx, epoch, pred, closure));
+                    // Deferred closure: the demand flag is up now, and the
+                    // owner re-advertises the node once it materializes —
+                    // no re-push here (a pooled deferred hint would just
+                    // spin other idle workers on the same pending node).
+                    RemoteClaim::Pending => self.saw_pending = true,
+                    // Drained behind the pool's back (owner claims, a cut,
+                    // an LAO reuse that was itself re-enqueued): stale
+                    // hint, drop.
+                    RemoteClaim::Empty => {}
                 }
-                // Drained behind the pool's back (owner claims, a cut, an
-                // LAO reuse that was itself re-enqueued): stale hint, drop.
             },
             OrScheduler::Traversal => {
                 let mut work: std::collections::VecDeque<_> =
@@ -421,10 +444,21 @@ impl OrWorker {
                     let Some(node) = node else { break None };
                     self.stats.tree_visits += 1;
                     self.charge(costs.tree_visit);
-                    if let Some((idx, epoch, pred, closure)) = node.claim_remote() {
-                        break Some((node, idx, epoch, pred, closure));
+                    match node.claim_remote() {
+                        RemoteClaim::Ready((idx, epoch, pred, closure)) => {
+                            break Some((node, idx, epoch, pred, closure));
+                        }
+                        // Pending: demand recorded; descend — the owner
+                        // materializes at its next checkpoint and this
+                        // worker's next sweep will find the node ready.
+                        RemoteClaim::Pending => {
+                            self.saw_pending = true;
+                            work.extend(node.children.lock().iter().cloned());
+                        }
+                        RemoteClaim::Empty => {
+                            work.extend(node.children.lock().iter().cloned());
+                        }
                     }
-                    work.extend(node.children.lock().iter().cloned());
                 }
             }
         };
@@ -436,9 +470,18 @@ impl OrWorker {
             return false;
         };
         self.stats.alternatives_claimed += 1;
-        self.charge(costs.claim_alternative + closure.cells as u64 * costs.heap_cell);
+        // Claim bookkeeping only: installing the state is one flat-priced
+        // arena thaw, charged by `install_closure` itself (the per-cell
+        // copy price died with the eager closure clone).
+        self.charge(costs.claim_alternative);
         let t = self.now();
         let node_id = node.id;
+        let cells = closure.cells as u64;
+        self.tracer.emit(t, || EventKind::ClosureThaw {
+            node: node_id,
+            epoch,
+            cells,
+        });
         self.tracer.emit(t, || EventKind::Claim {
             node: node_id,
             epoch,
@@ -466,8 +509,83 @@ impl OrWorker {
             machine,
             origin: node,
             last_published: None,
+            deferred: Vec::new(),
         });
         true
+    }
+
+    /// Owner checkpoint for procrastinated captures: poll every node this
+    /// machine published with a deferred closure. A raised demand flag
+    /// triggers the one-time freeze (`choice_closure` on the live stack)
+    /// and re-advertises the node; a deferral that died un-frozen — the
+    /// owner's own backtracking drained it, a cut discarded it, or an LAO
+    /// reuse superseded its epoch — is an elided capture: the `copy_cost`
+    /// the eager scheme would have paid at publish time never happens.
+    fn service_deferred(&mut self) {
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        if run.deferred.is_empty() {
+            return;
+        }
+        let costs = self.costs.clone();
+        let mut i = 0;
+        while i < run.deferred.len() {
+            let (node, epoch) = run.deferred[i].clone();
+            match node.defer_poll(epoch) {
+                DeferPoll::Keep => i += 1,
+                DeferPoll::Dead => {
+                    self.stats.closures_elided += 1;
+                    run.deferred.swap_remove(i);
+                }
+                DeferPoll::Materialize => {
+                    let Some(idx) = run.machine.shared_choice_index(node.id, epoch) else {
+                        // The choice point left the stack without its
+                        // detach hook firing (should not happen); drain
+                        // the node so waiting remotes terminate.
+                        NodeClaim {
+                            node: node.clone(),
+                            epoch,
+                        }
+                        .owner_detached();
+                        self.stats.closures_elided += 1;
+                        run.deferred.swap_remove(i);
+                        continue;
+                    };
+                    let closure = Arc::new(run.machine.choice_closure(idx));
+                    let cells = closure.cells as u64;
+                    let freeze_cost = costs.closure_freeze + cells * costs.heap_cell;
+                    if node.fulfill_closure(epoch, closure) {
+                        self.stats.closures_materialized += 1;
+                        // `self.charge` would re-borrow self while `run`
+                        // is live; charge the fields directly.
+                        self.stats.charge(freeze_cost);
+                        self.phase_cost += freeze_cost;
+                        let t = self.vclock + self.phase_cost;
+                        let node_id = node.id;
+                        self.tracer.emit(t, || EventKind::ClosureMaterialize {
+                            node: node_id,
+                            epoch,
+                            cells,
+                        });
+                        // Re-advertise: the node is now installable, and
+                        // the pending claimant holds no pool entry for it
+                        // (Pending pops are not re-pushed).
+                        if self.sh.cfg.or_scheduler == OrScheduler::Pool
+                            && self.sh.pool.push(self.id, &node)
+                        {
+                            self.stats.pool_pushes += 1;
+                            self.stats.charge(costs.queue_op);
+                            self.phase_cost += costs.queue_op;
+                            let t = self.vclock + self.phase_cost;
+                            self.tracer
+                                .emit(t, || EventKind::PoolPush { node: node_id });
+                        }
+                    }
+                    run.deferred.swap_remove(i);
+                }
+            }
+        }
     }
 
     /// A machine ready for `install_closure`: reuse a reset one from the
@@ -520,6 +638,11 @@ impl OrWorker {
 
     fn drop_current(&mut self) {
         if let Some(run) = self.current.take() {
+            // Every deferral still on the watch list is un-materialized by
+            // construction (materialization removes its entry): a Failed
+            // machine backtracked through all of them, so their captures
+            // were elided outright.
+            self.stats.closures_elided += run.deferred.len() as u64;
             self.retire_machine(run.machine);
             self.sh.busy.fetch_sub(1, Ordering::AcqRel);
         }
@@ -582,8 +705,11 @@ impl OrWorker {
         // before the owner backtracks into them. Only a machine that
         // survives the quantum publishes — a Failed/Cancelled machine is
         // dropped below, and publishing its choice points would enqueue
-        // work that is immediately garbage.
+        // work that is immediately garbage. Service deferred captures
+        // first: demand raised during the quantum is answered before new
+        // (also deferred) publications join the watch list.
         if matches!(status, Status::Running | Status::Solution) {
+            self.service_deferred();
             self.maybe_publish();
         }
 
@@ -657,6 +783,7 @@ impl OrWorker {
             if !self.reported {
                 self.reported = true;
                 if let Some(mut run) = self.current.take() {
+                    self.stats.closures_elided += run.deferred.len() as u64;
                     let memo_events = run.machine.take_memo_events();
                     self.emit_memo_events(memo_events);
                     self.harvest(&run.machine);
@@ -728,6 +855,11 @@ impl OrWorker {
         {
             self.sh.finish();
             return Phase::Busy(1);
+        }
+        // A pending deferred node means its owner is about to materialize:
+        // probe again at the base cadence instead of backing off.
+        if self.saw_pending {
+            self.idle_streak = 0;
         }
         let base = self.costs.idle_probe;
         let p = (base << self.idle_streak.min(6)).min(self.sh.cfg.quantum.max(base));
@@ -937,6 +1069,39 @@ mod tests {
             "lao depth {} !< unopt depth {}",
             r1.max_tree_depth,
             r0.max_tree_depth
+        );
+    }
+
+    #[test]
+    fn all_local_claims_never_pay_the_capture() {
+        use ace_runtime::{FaultKind, FaultPlan};
+        // Starve every worker's steal path: nodes get published (and
+        // deferred), but no remote ever raises demand, so the owner must
+        // drain everything by direct backtracking and every deferred
+        // capture must be elided — zero publish-side cells copied.
+        let mut plan = FaultPlan::new(0);
+        for w in 0..4 {
+            for _ in 0..512 {
+                plan = plan.with(w, 0, FaultKind::StealFail);
+            }
+        }
+        let e = OrEngine::new(db(MEMBER));
+        let r = e
+            .run(
+                "member(V, [1,2,3,4,5,6,7,8]), compute(V, R)",
+                &cfg(4, OptFlags::all()).with_fault_plan(plan),
+            )
+            .unwrap();
+        assert_eq!(r.solutions.len(), 8);
+        assert!(r.stats.nodes_published > 0, "{:?}", r.stats);
+        assert_eq!(r.stats.closures_materialized, 0, "{:?}", r.stats);
+        assert_eq!(r.stats.cells_copied_publish, 0, "{:?}", r.stats);
+        assert_eq!(r.stats.cells_copied_claim, 0, "{:?}", r.stats);
+        assert_eq!(
+            r.stats.closures_elided,
+            r.stats.nodes_published + r.stats.cp_reused_lao,
+            "every deferral (publish or LAO re-arm) must be elided: {:?}",
+            r.stats
         );
     }
 

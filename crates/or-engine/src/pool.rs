@@ -97,24 +97,13 @@ mod tests {
     use std::collections::VecDeque;
     use std::sync::atomic::AtomicUsize;
 
-    use ace_logic::{sym, Heap};
-    use ace_machine::machine::StateClosure;
-
-    fn closure() -> Arc<StateClosure> {
-        Arc::new(StateClosure {
-            heap: Heap::new(),
-            goal: ace_logic::Cell::Nil,
-            cont: Vec::new(),
-            cells: 0,
-        })
-    }
+    use ace_logic::sym;
 
     fn node(total: &Arc<AtomicUsize>, root: &Arc<OrNode>, alts: &[usize]) -> Arc<OrNode> {
         OrNode::publish(
             root,
             (sym("p"), 1),
             VecDeque::from(alts.to_vec()),
-            closure(),
             total.clone(),
         )
     }

@@ -1,4 +1,12 @@
 //! The shared or-tree: published choice points and their alternative pools.
+//!
+//! Closure capture is **procrastinated** (the paper's schema 2): a
+//! publication stores only choice-point metadata — the expensive state
+//! snapshot stays un-captured ([`ClosureState::Deferred`]) until the
+//! first *remote* claim attempt raises the demand flag, after which the
+//! owner freezes the closure once at its next checkpoint
+//! ([`OrNode::fulfill_closure`]). A node whose alternatives are all
+//! consumed by the owner's own backtracking never pays the copy.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -15,6 +23,42 @@ static NODE_IDS: AtomicU64 = AtomicU64::new(1);
 /// epoch it was claimed at, the predicate, and the closure to run against.
 pub type ClaimedAlt = (usize, u64, (Sym, u32), Arc<StateClosure>);
 
+/// The materialization state of a published node's closure.
+pub enum ClosureState {
+    /// Capture procrastinated: only the owner can produce the closure,
+    /// and only a remote demand makes it do so.
+    Deferred,
+    /// Frozen and installable by any claimant.
+    Ready(Arc<StateClosure>),
+}
+
+/// Outcome of a remote claim attempt ([`OrNode::claim_remote`]).
+pub enum RemoteClaim {
+    /// An alternative was taken; install and run it.
+    Ready(ClaimedAlt),
+    /// Alternatives exist but the closure is still deferred: the demand
+    /// flag is now raised and the owner will materialize at its next
+    /// checkpoint. No alternative was consumed — come back later.
+    Pending,
+    /// Nothing to claim (drained or never published at this epoch).
+    Empty,
+}
+
+/// What the owner should do with a deferred node it is polling
+/// ([`OrNode::defer_poll`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum DeferPoll {
+    /// A remote wants the closure: freeze it now and
+    /// [`OrNode::fulfill_closure`].
+    Materialize,
+    /// No demand yet; keep polling.
+    Keep,
+    /// The deferral is moot — drained, reused at a younger epoch, or
+    /// already materialized. Stop tracking (counts as an elision when the
+    /// closure was never frozen).
+    Dead,
+}
+
 /// The claimable content of a node. Replaced wholesale by an LAO reuse,
 /// with `epoch` incremented so stale owner choice points claim nothing.
 pub struct Payload {
@@ -23,8 +67,12 @@ pub struct Payload {
     pub pred: (Sym, u32),
     /// Untried clause indices.
     pub alts: VecDeque<usize>,
-    /// Machine state at the choice point (installed by remote claimants).
-    pub closure: Arc<StateClosure>,
+    /// Machine state at the choice point (installed by remote claimants);
+    /// deferred until first remote demand.
+    pub closure: ClosureState,
+    /// A remote tried to claim while the closure was deferred (owner
+    /// checks this at its checkpoints). Guarded by the payload mutex.
+    remote_wanted: bool,
 }
 
 /// One public choice point of the or-tree.
@@ -55,12 +103,12 @@ impl OrNode {
         })
     }
 
-    /// Publish a fresh node under `parent`.
+    /// Publish a fresh node under `parent`. The closure is *not* captured:
+    /// publication stores metadata only (procrastinated capture).
     pub fn publish(
         parent: &Arc<OrNode>,
         pred: (Sym, u32),
         alts: VecDeque<usize>,
-        closure: Arc<StateClosure>,
         total_alts: Arc<AtomicUsize>,
     ) -> Arc<OrNode> {
         total_alts.fetch_add(alts.len(), Ordering::AcqRel);
@@ -71,7 +119,8 @@ impl OrNode {
                 epoch: 0,
                 pred,
                 alts,
-                closure,
+                closure: ClosureState::Deferred,
+                remote_wanted: false,
             })),
             children: Mutex::new(Vec::new()),
             total_alts,
@@ -98,13 +147,9 @@ impl OrNode {
     /// place, bumping the epoch (Figure 7 — "B1 can be updated with the
     /// information that would be stored in B2"). Atomic: fails (returns
     /// `None`) if the node still holds unclaimed alternatives — the caller
-    /// then publishes a fresh node instead.
-    pub fn try_reuse(
-        &self,
-        pred: (Sym, u32),
-        alts: VecDeque<usize>,
-        closure: Arc<StateClosure>,
-    ) -> Option<u64> {
+    /// then publishes a fresh node instead. The new epoch starts deferred
+    /// again: the reused slot's demand history does not carry over.
+    pub fn try_reuse(&self, pred: (Sym, u32), alts: VecDeque<usize>) -> Option<u64> {
         let mut p = self.payload.lock();
         if p.as_ref().is_some_and(|p| !p.alts.is_empty()) {
             return None;
@@ -115,19 +160,74 @@ impl OrNode {
             epoch,
             pred,
             alts,
-            closure,
+            closure: ClosureState::Deferred,
+            remote_wanted: false,
         });
         Some(epoch)
     }
 
-    /// Remote claim: atomically take one alternative together with the
-    /// epoch it was claimed at and the closure it must run against.
-    pub fn claim_remote(&self) -> Option<ClaimedAlt> {
+    /// Remote claim attempt. Only a materialized node yields an
+    /// alternative; a deferred node records the demand and returns
+    /// [`RemoteClaim::Pending`] without consuming anything — the owner
+    /// freezes the closure at its next checkpoint and re-advertises the
+    /// node.
+    pub fn claim_remote(&self) -> RemoteClaim {
         let mut p = self.payload.lock();
-        let payload = p.as_mut()?;
-        let idx = payload.alts.pop_front()?;
-        self.total_alts.fetch_sub(1, Ordering::AcqRel);
-        Some((idx, payload.epoch, payload.pred, payload.closure.clone()))
+        let Some(payload) = p.as_mut() else {
+            return RemoteClaim::Empty;
+        };
+        if payload.alts.is_empty() {
+            return RemoteClaim::Empty;
+        }
+        match &payload.closure {
+            ClosureState::Deferred => {
+                payload.remote_wanted = true;
+                RemoteClaim::Pending
+            }
+            ClosureState::Ready(closure) => {
+                let closure = closure.clone();
+                let idx = payload.alts.pop_front().expect("checked non-empty");
+                self.total_alts.fetch_sub(1, Ordering::AcqRel);
+                RemoteClaim::Ready((idx, payload.epoch, payload.pred, closure))
+            }
+        }
+    }
+
+    /// Owner side of materialization: install the frozen closure for
+    /// `epoch`. Returns `false` (and drops the closure) when the deferral
+    /// is moot — epoch superseded by LAO reuse, payload gone, or already
+    /// fulfilled.
+    pub fn fulfill_closure(&self, epoch: u64, closure: Arc<StateClosure>) -> bool {
+        let mut p = self.payload.lock();
+        match p.as_mut() {
+            Some(payload)
+                if payload.epoch == epoch && matches!(payload.closure, ClosureState::Deferred) =>
+            {
+                payload.closure = ClosureState::Ready(closure);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Owner checkpoint poll of a node it published with a deferred
+    /// closure at `epoch`.
+    pub fn defer_poll(&self, epoch: u64) -> DeferPoll {
+        let p = self.payload.lock();
+        let Some(payload) = p.as_ref() else {
+            return DeferPoll::Dead;
+        };
+        if payload.epoch != epoch
+            || payload.alts.is_empty()
+            || matches!(payload.closure, ClosureState::Ready(_))
+        {
+            return DeferPoll::Dead;
+        }
+        if payload.remote_wanted {
+            DeferPoll::Materialize
+        } else {
+            DeferPoll::Keep
+        }
     }
 
     /// Any unclaimed alternatives right now?
@@ -136,6 +236,15 @@ impl OrNode {
             .lock()
             .as_ref()
             .is_some_and(|p| !p.alts.is_empty())
+    }
+
+    /// Any unclaimed alternatives *installable by a remote* right now
+    /// (materialized and non-empty)?
+    pub fn has_ready_work(&self) -> bool {
+        self.payload
+            .lock()
+            .as_ref()
+            .is_some_and(|p| !p.alts.is_empty() && matches!(p.closure, ClosureState::Ready(_)))
     }
 
     /// Is the alternative pool empty (reusable under LAO)?
@@ -197,6 +306,10 @@ impl SharedChoice for NodeClaim {
     fn node_id(&self) -> u64 {
         self.node.id
     }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 #[cfg(test)]
@@ -205,12 +318,9 @@ mod tests {
     use ace_logic::{sym, Heap};
 
     fn closure() -> Arc<StateClosure> {
-        Arc::new(StateClosure {
-            heap: Heap::new(),
-            goal: ace_logic::Cell::Nil,
-            cont: Vec::new(),
-            cells: 0,
-        })
+        let mut h = Heap::new();
+        let tuple = h.new_struct(sym("$closure"), &[ace_logic::Cell::Nil]);
+        Arc::new(StateClosure::freeze(&h, tuple, 0))
     }
 
     fn counter() -> Arc<AtomicUsize> {
@@ -225,62 +335,91 @@ mod tests {
             &root,
             (sym("p"), 1),
             VecDeque::from([1, 2, 3]),
-            closure(),
             total.clone(),
         );
         assert_eq!(total.load(Ordering::Acquire), 3);
         assert_eq!(node.depth, 1);
         assert_eq!(root.children.lock().len(), 1);
         assert!(node.has_work());
+        // capture was procrastinated: nothing is remotely installable yet
+        assert!(!node.has_ready_work());
     }
 
     #[test]
-    fn remote_claims_drain_the_pool() {
+    fn deferred_claim_raises_demand_then_fulfill_serves_remotes() {
         let total = counter();
         let root = OrNode::root(total.clone());
-        let node = OrNode::publish(
-            &root,
-            (sym("p"), 1),
-            VecDeque::from([5, 7]),
-            closure(),
-            total.clone(),
-        );
-        let (i1, epoch, pred, _) = node.claim_remote().unwrap();
+        let node = OrNode::publish(&root, (sym("p"), 1), VecDeque::from([5, 7]), total.clone());
+
+        // no demand yet: the owner keeps the deferral parked
+        assert_eq!(node.defer_poll(0), DeferPoll::Keep);
+
+        // a remote attempt consumes nothing and raises the flag
+        assert!(matches!(node.claim_remote(), RemoteClaim::Pending));
+        assert_eq!(total.load(Ordering::Acquire), 2);
+        assert_eq!(node.defer_poll(0), DeferPoll::Materialize);
+
+        // owner materializes once; the node becomes claimable
+        assert!(node.fulfill_closure(0, closure()));
+        assert_eq!(node.defer_poll(0), DeferPoll::Dead); // already ready
+        let RemoteClaim::Ready((i1, epoch, pred, _)) = node.claim_remote() else {
+            panic!("expected a ready claim");
+        };
         assert_eq!(i1, 5);
         assert_eq!(epoch, 0);
         assert_eq!(pred, (sym("p"), 1));
-        let (i2, ..) = node.claim_remote().unwrap();
+        let RemoteClaim::Ready((i2, ..)) = node.claim_remote() else {
+            panic!("expected a ready claim");
+        };
         assert_eq!(i2, 7);
-        assert!(node.claim_remote().is_none());
+        assert!(matches!(node.claim_remote(), RemoteClaim::Empty));
         assert!(node.is_drained());
         assert_eq!(total.load(Ordering::Acquire), 0);
+
+        // double-fulfill is refused (closure already installed)
+        assert!(!node.fulfill_closure(0, closure()));
+    }
+
+    #[test]
+    fn owner_drain_elides_the_deferred_capture() {
+        let total = counter();
+        let root = OrNode::root(total.clone());
+        let node = OrNode::publish(&root, (sym("p"), 1), VecDeque::from([1, 2]), total.clone());
+        let owner = NodeClaim {
+            node: node.clone(),
+            epoch: 0,
+        };
+        // the owner's own backtracking drains the node without any freeze
+        assert_eq!(owner.claim_next(), Some(1));
+        assert_eq!(owner.claim_next(), Some(2));
+        assert_eq!(owner.claim_next(), None);
+        assert_eq!(node.defer_poll(0), DeferPoll::Dead);
+        assert!(matches!(node.claim_remote(), RemoteClaim::Empty));
     }
 
     #[test]
     fn lao_reuse_bumps_epoch_and_blocks_stale_claims() {
         let total = counter();
         let root = OrNode::root(total.clone());
-        let node = OrNode::publish(
-            &root,
-            (sym("p"), 1),
-            VecDeque::from([1]),
-            closure(),
-            total.clone(),
-        );
+        let node = OrNode::publish(&root, (sym("p"), 1), VecDeque::from([1]), total.clone());
         let stale = NodeClaim {
             node: node.clone(),
             epoch: 0,
         };
+        assert_eq!(stale.epoch(), 0);
         assert_eq!(stale.claim_next(), Some(1));
         assert!(node.is_drained());
 
         let epoch = node
-            .try_reuse((sym("q"), 2), VecDeque::from([0, 1]), closure())
+            .try_reuse((sym("q"), 2), VecDeque::from([0, 1]))
             .unwrap();
         assert_eq!(epoch, 1);
         assert_eq!(total.load(Ordering::Acquire), 2);
         // the stale owner claim sees nothing
         assert_eq!(stale.claim_next(), None);
+        // a stale fulfill (for the superseded epoch) is refused
+        assert!(!node.fulfill_closure(0, closure()));
+        assert_eq!(node.defer_poll(0), DeferPoll::Dead);
         // a fresh claim at the right epoch works
         let fresh = NodeClaim {
             node: node.clone(),
@@ -295,13 +434,7 @@ mod tests {
     fn owner_detached_discards_only_its_epoch() {
         let total = counter();
         let root = OrNode::root(total.clone());
-        let node = OrNode::publish(
-            &root,
-            (sym("p"), 1),
-            VecDeque::from([1, 2]),
-            closure(),
-            total.clone(),
-        );
+        let node = OrNode::publish(&root, (sym("p"), 1), VecDeque::from([1, 2]), total.clone());
         let old = NodeClaim {
             node: node.clone(),
             epoch: 0,
@@ -309,9 +442,7 @@ mod tests {
         // reuse first (epoch 1), then detach the old claim
         node.payload.lock().as_mut().unwrap().alts.clear();
         total.store(0, Ordering::Release);
-        let epoch = node
-            .try_reuse((sym("q"), 1), VecDeque::from([0]), closure())
-            .unwrap();
+        let epoch = node.try_reuse((sym("q"), 1), VecDeque::from([0])).unwrap();
         old.owner_detached();
         assert_eq!(total.load(Ordering::Acquire), 1, "new epoch untouched");
         let new = NodeClaim { node, epoch };

@@ -80,6 +80,14 @@ pub struct CostModel {
     /// branch dies before any machine state is set up, so the kill path is
     /// much cheaper than a completed `install_state`.
     pub install_abort: u64,
+    /// Freezing a deferred closure into an immutable arena snapshot on
+    /// first remote demand (base price; the structural copy adds
+    /// `heap_cell` per cell). Paid at most once per published node.
+    pub closure_freeze: u64,
+    /// Thawing a frozen closure arena into a claimant's heap. The splice
+    /// is a block copy plus pointer relocation — bandwidth-bound, not a
+    /// per-cell structural walk — so the price is flat in closure size.
+    pub closure_thaw: u64,
 
     // -- memoization ---------------------------------------------------------
     /// One answer-table consultation (key canonicalization + sharded
@@ -131,6 +139,8 @@ impl Default for CostModel {
             claim_alternative: 10,
             install_state: 20,
             install_abort: 5,
+            closure_freeze: 12,
+            closure_thaw: 6,
 
             memo_lookup: 8,
             memo_store: 12,
@@ -173,6 +183,8 @@ impl CostModel {
             claim_alternative: 1,
             install_state: 1,
             install_abort: 1,
+            closure_freeze: 1,
+            closure_thaw: 1,
             memo_lookup: 1,
             memo_store: 1,
             queue_op: 1,
@@ -200,6 +212,11 @@ mod tests {
         assert!(m.lpco_check <= 4);
         // a branch killed at head unification never pays full state setup
         assert!(m.install_abort < m.install_state);
+        // thawing a frozen arena is a flat block splice, cheaper than the
+        // full install bookkeeping around it, and freezing undercuts the
+        // publish base price — procrastination must not invert the curve
+        assert!(m.closure_thaw < m.install_state);
+        assert!(m.closure_freeze < m.publish_node);
         // a memo hit must undercut even one choice point of re-execution,
         // or the table could never pay off
         assert!(m.memo_lookup < m.choice_point_alloc);

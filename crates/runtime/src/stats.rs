@@ -111,6 +111,19 @@ stats_sheet! {
         pub idle_probes: u64,
         pub cells_copied: u64,
 
+        // procrastinated closure capture (or-engine publish/claim path)
+        /// Cells frozen on the publish side of the or-tree: paid only when
+        /// a deferred closure is actually materialized on remote demand.
+        pub cells_copied_publish: u64,
+        /// Cells thawed into a claimant's heap when installing a shared
+        /// alternative (block splice, charged flat — see `closure_thaw`).
+        pub cells_copied_claim: u64,
+        /// Published nodes whose closure capture was never needed: every
+        /// alternative was claimed by the owner's own backtracking.
+        pub closures_elided: u64,
+        /// Deferred closures actually frozen on first remote demand.
+        pub closures_materialized: u64,
+
         // fault injection & recovery
         /// Injected fault events absorbed by this worker.
         pub faults_injected: u64,
@@ -165,6 +178,7 @@ impl Stats {
             "cost={} idle={} calls={} cps={} (lao-reused {}) frames={} \
              (lpco-merged {}) markers={} (spo-elided {}) pdo={} stolen={} \
              published={} visits={} copied={} backtracks={} \
+             closure={}frozen/{}thawed/{}elided/{}made \
              pool={}push/{}pop recycled={} probes={} \
              faults={} steal-retries={} publish-retries={} \
              memo={}hit/{}miss/{}store/{}evict",
@@ -183,6 +197,10 @@ impl Stats {
             self.tree_visits,
             self.cells_copied,
             self.backtracks,
+            self.cells_copied_publish,
+            self.cells_copied_claim,
+            self.closures_elided,
+            self.closures_materialized,
             self.pool_pushes,
             self.pool_pops,
             self.machines_recycled,
@@ -264,6 +282,7 @@ mod tests {
             "steal-retries=",
             "publish-retries=",
             "memo=",
+            "closure=",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

@@ -103,6 +103,14 @@ pub enum EventKind {
     InstallAbort { node: u64 },
     /// A claim was served by a recycled machine, not a fresh allocation.
     MachineRecycle,
+    /// Publication stored only choice-point metadata; the expensive
+    /// closure capture was procrastinated (paper schema 2).
+    ClosureDefer { node: u64, epoch: u64 },
+    /// First remote demand arrived: the owner froze the deferred closure
+    /// into an immutable arena of `cells` cells.
+    ClosureMaterialize { node: u64, epoch: u64, cells: u64 },
+    /// A claimant thawed `cells` cells of a frozen closure into its heap.
+    ClosureThaw { node: u64, epoch: u64, cells: u64 },
 
     // -- and-engine --
     /// A parcall frame was allocated with `slots` subgoal slots.
@@ -184,6 +192,9 @@ impl EventKind {
             EventKind::Claim { .. } => "claim",
             EventKind::InstallAbort { .. } => "install-abort",
             EventKind::MachineRecycle => "machine-recycle",
+            EventKind::ClosureDefer { .. } => "closure-defer",
+            EventKind::ClosureMaterialize { .. } => "closure-materialize",
+            EventKind::ClosureThaw { .. } => "closure-thaw",
             EventKind::FrameAlloc { .. } => "frame-alloc",
             EventKind::FrameElide { .. } => "frame-elide",
             EventKind::SlotFail => "slot-fail",
@@ -233,6 +244,17 @@ impl EventKind {
                     ("node", U(*node)),
                     ("epoch", U(*epoch)),
                     ("alt", U(*alt as u64)),
+                ]
+            }
+            EventKind::ClosureDefer { node, epoch } => {
+                vec![("node", U(*node)), ("epoch", U(*epoch))]
+            }
+            EventKind::ClosureMaterialize { node, epoch, cells }
+            | EventKind::ClosureThaw { node, epoch, cells } => {
+                vec![
+                    ("node", U(*node)),
+                    ("epoch", U(*epoch)),
+                    ("cells", U(*cells)),
                 ]
             }
             EventKind::FrameAlloc { slots } => vec![("slots", U(*slots as u64))],
@@ -534,6 +556,14 @@ impl Trace {
 /// * **faults are answered** — every `fault-injected` is matched by a
 ///   recovery record (`fault-retry`, `fault-stall`, `degraded`) or a
 ///   `worker-exit`/`abort`;
+/// * **no install before materialization** — in a run that deferred any
+///   closure capture (at least one `closure-defer` recorded), every
+///   remote `claim` and every `closure-thaw` of a `(node, epoch)` must
+///   match a `closure-materialize` for that same node epoch, and every
+///   materialization must match a defer — a claimant can never install
+///   an alternative whose closure was never frozen. (The rule is gated
+///   on defers being present so synthetic traces from older layers stay
+///   valid.)
 /// * **no hit before its store** — every `memo-hit (key, epoch)` matches
 ///   a `memo-store` of the same key epoch recorded in this run, *or*
 ///   predates every store in the trace (table epochs are globally
@@ -554,6 +584,9 @@ impl TraceChecker {
         let (mut injected, mut recovered) = (0u64, 0u64);
         let mut memo_stores: HashSet<(u64, u64)> = HashSet::new();
         let mut memo_hits: Vec<(u64, u64)> = Vec::new();
+        let mut deferred: HashSet<(u64, u64)> = HashSet::new();
+        let mut materialized: HashSet<(u64, u64)> = HashSet::new();
+        let mut thawed: Vec<(u64, u64)> = Vec::new();
         let mut violations = Vec::new();
 
         for ev in &trace.events {
@@ -568,6 +601,13 @@ impl TraceChecker {
                 EventKind::PoolPush { .. } => pushes += 1,
                 EventKind::PoolPop { .. } => pops += 1,
                 EventKind::StealSuccess => steals += 1,
+                EventKind::ClosureDefer { node, epoch } => {
+                    deferred.insert((*node, *epoch));
+                }
+                EventKind::ClosureMaterialize { node, epoch, .. } => {
+                    materialized.insert((*node, *epoch));
+                }
+                EventKind::ClosureThaw { node, epoch, .. } => thawed.push((*node, *epoch)),
                 EventKind::MemoStore { key, epoch } => {
                     memo_stores.insert((*key, *epoch));
                 }
@@ -609,6 +649,30 @@ impl TraceChecker {
                 violations.push(format!(
                     "{injected} fault injection(s) but only {recovered} recovery/exit record(s)"
                 ));
+            }
+            // Procrastinated capture: once any defer is recorded, remote
+            // installs are only legal against materialized closures.
+            if !deferred.is_empty() {
+                for (node, epoch) in materialized.difference(&deferred) {
+                    violations.push(format!(
+                        "closure materialized without a defer: node={node} epoch={epoch}"
+                    ));
+                }
+                for (node, epoch) in &thawed {
+                    if !materialized.contains(&(*node, *epoch)) {
+                        violations.push(format!(
+                            "closure thawed before materialization: node={node} epoch={epoch}"
+                        ));
+                    }
+                }
+                for (node, epoch, alt) in claimed.keys() {
+                    if !materialized.contains(&(*node, *epoch)) {
+                        violations.push(format!(
+                            "alternative installed before its node's closure was \
+                             materialized: node={node} epoch={epoch} alt={alt}"
+                        ));
+                    }
+                }
             }
             // Hits at or above the run's first stored epoch must match a
             // recorded store; hits below it are warm-table replays (table
@@ -897,6 +961,156 @@ mod tests {
         let trace = Trace::merge(vec![buf], vec![]);
         assert_eq!(trace.dropped, 1);
         // the publish was evicted, but the checker must not false-positive
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_accepts_defer_materialize_thaw_claim_chain() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 2,
+                    },
+                ),
+                ev(1, 0, EventKind::ClosureDefer { node: 1, epoch: 0 }),
+                ev(
+                    4,
+                    0,
+                    EventKind::ClosureMaterialize {
+                        node: 1,
+                        epoch: 0,
+                        cells: 12,
+                    },
+                ),
+                ev(
+                    6,
+                    1,
+                    EventKind::ClosureThaw {
+                        node: 1,
+                        epoch: 0,
+                        cells: 12,
+                    },
+                ),
+                ev(
+                    6,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_install_before_materialization() {
+        // A defer exists, so installs of un-materialized nodes are illegal.
+        let claim_unmaterialized = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 1,
+                    },
+                ),
+                ev(1, 0, EventKind::ClosureDefer { node: 1, epoch: 0 }),
+                ev(
+                    3,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+            ],
+        );
+        let violations = TraceChecker::check(&claim_unmaterialized).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("before its node's closure was")));
+
+        let thaw_unmaterialized = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::ClosureDefer { node: 2, epoch: 0 }),
+                ev(
+                    3,
+                    1,
+                    EventKind::ClosureThaw {
+                        node: 2,
+                        epoch: 0,
+                        cells: 5,
+                    },
+                ),
+            ],
+        );
+        let violations = TraceChecker::check(&thaw_unmaterialized).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("thawed before materialization")));
+
+        let materialize_undeferred = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::ClosureDefer { node: 3, epoch: 0 }),
+                ev(
+                    2,
+                    0,
+                    EventKind::ClosureMaterialize {
+                        node: 9,
+                        epoch: 4,
+                        cells: 1,
+                    },
+                ),
+            ],
+        );
+        let violations = TraceChecker::check(&materialize_undeferred).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("materialized without a defer")));
+    }
+
+    #[test]
+    fn checker_gate_keeps_deferless_traces_valid() {
+        // No closure-defer events at all: pre-procrastination synthetic
+        // traces (claims with no closure lifecycle) must stay accepted.
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 1,
+                    },
+                ),
+                ev(
+                    2,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+            ],
+        );
         assert!(TraceChecker::check(&trace).is_ok());
     }
 

@@ -407,3 +407,32 @@ fn program_errors_still_surface_through_run_query() {
         );
     }
 }
+
+/// Worker death inside the deferral window: with procrastinated capture,
+/// a published node can sit with its closure still deferred — remotes may
+/// even have raised demand (`RemoteClaim::Pending`) — when the victim
+/// dies. Sweeping the death point across early phase checkpoints lands
+/// kills before publication, between defer and materialization, and
+/// after installs have begun. Every cell must still hand back the oracle
+/// multiset (directly or via the recorded sequential fallback), and every
+/// surviving trace must pass the checker, including the
+/// no-install-before-materialization rule.
+#[test]
+fn death_in_defer_window_recovers() {
+    let ace = Ace::load(OR_PROG).unwrap();
+    for driver in [DriverKind::Sim, DriverKind::Threads] {
+        for victim in [0usize, 1] {
+            for at_op in [1u64, 2, 3, 5, 8] {
+                let plan = FaultPlan::new(0).with(victim, at_op, FaultKind::Die);
+                let c = cfg(OptFlags::all(), driver, plan);
+                let tag =
+                    format!("defer-window death driver={driver:?} victim={victim} at_op={at_op}");
+                let r = ace
+                    .run_query(Mode::OrParallel, OR_QUERY, &c)
+                    .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                assert_eq!(sorted(r.solutions.clone()), sorted(or_oracle()), "{tag}");
+                check_trace(&r, &tag);
+            }
+        }
+    }
+}
