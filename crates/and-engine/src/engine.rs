@@ -7,8 +7,8 @@ use std::sync::Arc;
 use ace_logic::Database;
 use ace_machine::{Machine, Solution};
 use ace_runtime::{
-    Agent, CancelToken, DriverKind, EngineConfig, FaultInjector, RunOutcome, SimDriver, Stats,
-    ThreadsDriver, Trace, TraceSink,
+    Agent, DriverKind, EngineConfig, FaultInjector, RunOutcome, SimDriver, Stats, ThreadsDriver,
+    Trace, TraceSink,
 };
 use parking_lot::Mutex;
 
@@ -49,7 +49,7 @@ impl AndEngine {
             solutions: Mutex::new(Vec::new()),
             solutions_count: AtomicUsize::new(0),
             error: Mutex::new(None),
-            root_cancel: CancelToken::new(),
+            root_cancel: cfg.root_cancel(),
             worker_stats: Mutex::new(Vec::new()),
             trace_bufs: Mutex::new(Vec::new()),
             injector: cfg
@@ -67,6 +67,7 @@ impl AndEngine {
         let mut root = Box::new(Machine::new(self.db.clone(), costs));
         root.enable_parallel(true);
         root.set_memo(shared.memo.clone(), cfg.trace.enabled);
+        root.set_memo_tenant(cfg.memo_tenant);
         let vars = root
             .load_query_text(query)
             .map_err(|e| format!("query parse error: {e}"))?;

@@ -262,6 +262,7 @@ impl AndWorker {
         };
         if self.sh.memo.is_some() {
             m.set_memo(self.sh.memo.clone(), self.sh.cfg.trace.enabled);
+            m.set_memo_tenant(self.sh.cfg.memo_tenant);
         }
         m
     }
@@ -993,11 +994,24 @@ impl AndWorker {
                 .map(|(n, c)| (n.clone(), machine.render(*c)))
                 .collect(),
         };
+        // Streamed delivery before publication; a Stop verdict ends the
+        // run early through the same path as `max_solutions`.
+        let sink_stop = match self.sh.cfg.sink.clone() {
+            Some(sink) => {
+                self.stats.answers_streamed += 1;
+                let stop = sink.deliver(&sol.render()).is_stop();
+                if stop {
+                    self.stats.sink_stops += 1;
+                }
+                stop
+            }
+            None => false,
+        };
         self.sh.solutions.lock().push(sol);
         let t = self.vclock + self.phase_cost;
         self.tracer.emit(t, || EventKind::Solution);
         let count = self.sh.solutions_count.fetch_add(1, Ordering::AcqRel) + 1;
-        if self.sh.cfg.max_solutions.is_some_and(|max| count >= max) {
+        if sink_stop || self.sh.cfg.max_solutions.is_some_and(|max| count >= max) {
             self.sh.finish();
             return Outcome::Worked;
         }

@@ -1,0 +1,251 @@
+//! `server_load` — serving-layer bench: open-loop mixed-query load over one
+//! shared fleet, JSON output.
+//!
+//! Drives the [`ace_server::QueryServer`] with two tiers of traffic:
+//! high-priority short enumeration queries submitted at a fixed open-loop
+//! rate, and a best-effort low-priority flood of heavier queries that
+//! saturates the admission controller. Measures per-session *first-answer*
+//! latency (the whole point of streaming) against the run-to-completion
+//! time the same sessions would need without streaming, plus throughput
+//! and rejection counts.
+//!
+//! Exit-2 guards:
+//! - streamed first-answer p99 must be at least 3x lower than the
+//!   run-to-completion p99 of the same high-priority sessions;
+//! - the high-priority first-answer p99 must not collapse under the
+//!   low-priority flood (priority dispatch must shield it).
+//!
+//! ```text
+//! server_load                    # full sizes, writes BENCH_server_load.json
+//! server_load --smoke            # reduced sizes (CI smoke job)
+//! server_load --json --out FILE  # explicit output path
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ace_bench::json::Json;
+use ace_core::{Ace, Mode};
+use ace_runtime::{EngineConfig, OptFlags};
+use ace_server::{Priority, QueryRequest, QueryServer, Serve, ServerConfig};
+
+const FLEET: usize = 8;
+
+fn program(
+    work_items: usize,
+    work_len: usize,
+    work_reps: usize,
+    flood_len: usize,
+    flood_reps: usize,
+) -> String {
+    let list = |n: usize| (1..=n).map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+    format!(
+        r#"
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+        nrev([], []).
+        nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        rep(0).
+        rep(N) :- N > 0, nrev([{work}], _), N1 is N - 1, rep(N1).
+        work(X) :- member(X, [{items}]), rep({reps}).
+        frep(0).
+        frep(N) :- N > 0, nrev([{flood}], _), N1 is N - 1, frep(N1).
+        flood(R) :- frep({freps}), nrev([{flood}], R).
+        "#,
+        items = list(work_items),
+        work = list(work_len),
+        reps = work_reps,
+        flood = list(flood_len),
+        freps = flood_reps,
+    )
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(1)
+        .with_opts(OptFlags::all())
+        .all_solutions()
+}
+
+/// Latencies of one high-priority session, in microseconds.
+struct Sample {
+    first_answer_us: u64,
+    completion_us: u64,
+}
+
+/// Submit `n` high-priority `work(X)` sessions at a fixed open-loop rate
+/// and collect first-answer / completion latencies on a thread per
+/// session (the "client").
+fn drive_high_priority(server: &QueryServer, n: usize, spacing: Duration) -> Vec<Sample> {
+    let mut collectors = Vec::new();
+    for _ in 0..n {
+        let t0 = Instant::now();
+        // Backpressure rather than rejection for the latency-sensitive
+        // tier: any wait for an admission slot counts against the
+        // measured first-answer latency (t0 is taken before submission).
+        let handle = server
+            .submit_blocking(
+                QueryRequest::new(Mode::Sequential, "work(X)", engine_cfg())
+                    .with_priority(Priority::High),
+            )
+            .expect("high-priority session admitted");
+        collectors.push(std::thread::spawn(move || {
+            let first = handle.next_answer().map(|_| t0.elapsed());
+            let outcome = handle.wait();
+            let done = t0.elapsed();
+            (first, done, outcome.end)
+        }));
+        std::thread::sleep(spacing);
+    }
+    collectors
+        .into_iter()
+        .map(|c| {
+            let (first, done, end) = c.join().expect("collector thread");
+            assert_eq!(
+                end,
+                ace_server::SessionEnd::Completed,
+                "high-priority session must complete"
+            );
+            Sample {
+                first_answer_us: first.expect("streamed first answer").as_micros() as u64,
+                completion_us: done.as_micros() as u64,
+            }
+        })
+        .collect()
+}
+
+fn p99(mut us: Vec<u64>) -> u64 {
+    us.sort_unstable();
+    us[(us.len() - 1).min(us.len() * 99 / 100)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // --json is the only output mode; accepted for CLI symmetry.
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_server_load.json"));
+
+    // Per-answer work (`rep`) is deliberately a small fraction of the
+    // per-session total (`work_items` answers): the completion/first-answer
+    // spread is what streaming buys, and CPU contention from the flood
+    // scales both sides of that ratio equally.
+    let (high_n, flood_n, work_items, work_len, work_reps, flood_len, flood_reps): (
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+    ) = if smoke {
+        (20, 100, 40, 20, 8, 24, 12)
+    } else {
+        (32, 200, 40, 20, 8, 24, 12)
+    };
+    // Open-loop spacing chosen so offered high-priority load stays well
+    // under fleet capacity even on a single-core host: queueing must not
+    // drown the work itself.
+    let spacing = Duration::from_millis(if smoke { 80 } else { 100 });
+
+    let ace = Ace::load(&program(
+        work_items, work_len, work_reps, flood_len, flood_reps,
+    ))
+    .expect("load program");
+    let server_cfg = ServerConfig::default()
+        .with_fleet(FLEET)
+        .with_max_in_flight(64);
+
+    // Phase A — high-priority traffic alone: the undisturbed baseline.
+    eprintln!("server_load: phase A ({high_n} high-priority sessions, no flood) ...");
+    let server = ace.serve(server_cfg.clone());
+    let solo = drive_high_priority(&server, high_n, spacing);
+    server.shutdown();
+
+    // Phase B — the same high-priority traffic under a low-priority
+    // flood submitted open-loop as fast as the admission controller
+    // accepts (rejections are part of the measurement).
+    eprintln!("server_load: phase B ({high_n} high-priority + {flood_n} flood) ...");
+    let server = ace.serve(server_cfg);
+    let mut flood_handles = Vec::new();
+    let mut flood_rejected = 0u64;
+    let t_flood = Instant::now();
+    for _ in 0..flood_n {
+        match server.submit(
+            QueryRequest::new(Mode::Sequential, "flood(R)", engine_cfg())
+                .with_priority(Priority::Low),
+        ) {
+            Ok(h) => flood_handles.push(h),
+            Err(_) => flood_rejected += 1,
+        }
+    }
+    let loaded = drive_high_priority(&server, high_n, spacing);
+    for h in &flood_handles {
+        h.wait();
+    }
+    let flood_wall = t_flood.elapsed();
+    let stats = server.shutdown();
+
+    let p99_first_solo = p99(solo.iter().map(|s| s.first_answer_us).collect());
+    let p99_first_loaded = p99(loaded.iter().map(|s| s.first_answer_us).collect());
+    let p99_completion_loaded = p99(loaded.iter().map(|s| s.completion_us).collect());
+    let stream_speedup = p99_completion_loaded as f64 / p99_first_loaded.max(1) as f64;
+    let throughput = stats.completed as f64 / flood_wall.as_secs_f64();
+
+    eprintln!(
+        "server_load: first-answer p99 solo={p99_first_solo}us loaded={p99_first_loaded}us \
+         completion p99={p99_completion_loaded}us (stream speedup {stream_speedup:.1}x), \
+         {throughput:.0} sessions/s, {flood_rejected} rejected"
+    );
+
+    let doc = Json::obj([
+        ("bench", "server_load".into()),
+        ("smoke", smoke.into()),
+        ("fleet", FLEET.into()),
+        ("high_sessions", high_n.into()),
+        ("flood_sessions", flood_n.into()),
+        ("flood_rejected", flood_rejected.into()),
+        ("admitted", stats.admitted.into()),
+        ("completed", stats.completed.into()),
+        ("answers_streamed", stats.answers_streamed.into()),
+        ("throughput_sessions_per_sec", throughput.into()),
+        ("p99_first_answer_solo_us", p99_first_solo.into()),
+        ("p99_first_answer_loaded_us", p99_first_loaded.into()),
+        ("p99_completion_loaded_us", p99_completion_loaded.into()),
+        ("stream_speedup_p99", stream_speedup.into()),
+    ]);
+    fs::write(&out, doc.render()).expect("write bench json");
+    eprintln!("wrote {}", out.display());
+
+    // Guard 1: streaming must beat run-to-completion on first-answer p99
+    // by at least 3x under mixed load.
+    if stream_speedup < 3.0 {
+        eprintln!(
+            "server_load FAILED: first-answer p99 ({p99_first_loaded}us) is not >=3x \
+             lower than run-to-completion p99 ({p99_completion_loaded}us)"
+        );
+        std::process::exit(2);
+    }
+    // Guard 2: priority dispatch must shield high-priority first-answer
+    // latency from the flood. A priority inversion would queue the session
+    // behind the whole flood (seconds); plain CPU contention from
+    // already-dispatched flood sessions only multiplies latency by the
+    // fleet width. The bound is generous (16x or 100ms of absolute slack,
+    // against a flood backlog worth seconds) to stay robust on single-core
+    // CI hosts where the p99 of a small sample is its maximum.
+    let bound = (p99_first_solo * 16).max(p99_first_solo + 100_000);
+    if p99_first_loaded > bound {
+        eprintln!(
+            "server_load FAILED: high-priority first-answer p99 regressed under flood: \
+             {p99_first_loaded}us vs solo {p99_first_solo}us (bound {bound}us)"
+        );
+        std::process::exit(2);
+    }
+}

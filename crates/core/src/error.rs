@@ -9,6 +9,9 @@
 
 use ace_runtime::fault::{ABORT_ERROR_PREFIX, FAULT_ERROR_PREFIX, PANIC_ERROR_PREFIX};
 
+/// Stable prefix on admission-control rejections from the serving layer.
+pub const OVERLOAD_ERROR_PREFIX: &str = "overloaded:";
+
 /// Why a query run failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AceError {
@@ -27,6 +30,10 @@ pub enum AceError {
     /// An injected fault (or the cooperative cancellation path) killed the
     /// run. Recoverable by sequential fallback.
     FaultInjected(String),
+    /// The serving layer refused the query at admission: too many queries
+    /// already in flight. Not recoverable by sequential fallback — the
+    /// engine never ran; the client should back off and resubmit.
+    Overloaded(String),
 }
 
 impl AceError {
@@ -40,6 +47,8 @@ impl AceError {
             AceError::Aborted(msg)
         } else if msg.starts_with(FAULT_ERROR_PREFIX) {
             AceError::FaultInjected(msg)
+        } else if msg.starts_with(OVERLOAD_ERROR_PREFIX) {
+            AceError::Overloaded(msg)
         } else {
             AceError::Program(msg)
         }
@@ -52,7 +61,8 @@ impl AceError {
             | AceError::Program(m)
             | AceError::Aborted(m)
             | AceError::WorkerPanicked(m)
-            | AceError::FaultInjected(m) => m,
+            | AceError::FaultInjected(m)
+            | AceError::Overloaded(m) => m,
         }
     }
 
@@ -98,6 +108,10 @@ mod tests {
             AceError::FaultInjected(_)
         ));
         assert!(matches!(
+            AceError::classify("overloaded: 32 queries in flight".into()),
+            AceError::Overloaded(_)
+        ));
+        assert!(matches!(
             AceError::classify("type error: expected evaluable".into()),
             AceError::Program(_)
         ));
@@ -110,6 +124,7 @@ mod tests {
         assert!(AceError::classify("driver aborted: deadline".into()).is_recoverable());
         assert!(AceError::classify("worker panic: w0".into()).is_recoverable());
         assert!(AceError::classify("fault: run cancelled".into()).is_recoverable());
+        assert!(!AceError::classify("overloaded: full".into()).is_recoverable());
     }
 
     #[test]

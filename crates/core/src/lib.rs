@@ -53,6 +53,10 @@ pub enum Mode {
 }
 
 /// The loaded system: a program database plus both engines.
+///
+/// Cloning is cheap (the database is shared behind an `Arc`), so a server
+/// can hand one handle to every session worker.
+#[derive(Clone)]
 pub struct Ace {
     db: Arc<Database>,
 }
@@ -75,11 +79,27 @@ impl Ace {
 
     /// Run `query` under `mode` and `cfg` (legacy string-error API).
     ///
-    /// Strict: every failure surfaces, including recoverable infrastructure
-    /// failures. Use [`Ace::run_query`] for structured errors and graceful
-    /// degradation.
+    /// Thin wrapper over [`Ace::run_query`]: the same [`AceError`]
+    /// classification and graceful degradation, with the typed error
+    /// flattened back to its message string. Kept for callers that predate
+    /// the structured API; new code should use [`Ace::run_query`]
+    /// (degrading) or [`Ace::run_strict`] (every failure surfaces).
     pub fn run(&self, mode: Mode, query: &str, cfg: &EngineConfig) -> Result<RunReport, String> {
-        self.run_once(mode, query, cfg).map_err(|e| e.to_string())
+        self.run_query(mode, query, cfg).map_err(|e| e.to_string())
+    }
+
+    /// Run `query` strictly: every failure surfaces as a classified
+    /// [`AceError`], including recoverable infrastructure failures that
+    /// [`Ace::run_query`] would absorb via sequential fallback. The
+    /// serving layer builds on this entry point so it stays in control of
+    /// its own degraded replays (and of what has already been streamed).
+    pub fn run_strict(
+        &self,
+        mode: Mode,
+        query: &str,
+        cfg: &EngineConfig,
+    ) -> Result<RunReport, AceError> {
+        self.run_once(mode, query, cfg)
     }
 
     /// Run `query` under `mode` and `cfg` with structured errors and
@@ -179,12 +199,43 @@ impl Ace {
         solver
             .machine_mut()
             .set_memo(cfg.resolve_memo_table(), false);
-        let sols = solver
-            .collect_solutions(cfg.max_solutions)
-            .map_err(|e| AceError::classify(e.to_string()))?;
-        let stats = solver.machine().stats;
+        solver.machine_mut().set_memo_tenant(cfg.memo_tenant);
+        if let Some(parent) = &cfg.cancel {
+            solver.set_cancel(parent.child());
+        }
+        // Stream each answer through the sink as it is found — the same
+        // contract as the parallel engines' publication points — honouring
+        // an early `Stop` exactly like a `max_solutions` bound.
+        let mut solutions: Vec<String> = Vec::new();
+        let mut streamed = 0u64;
+        let mut sink_stops = 0u64;
+        while cfg.max_solutions.is_none_or(|max| solutions.len() < max) {
+            let sol = match solver
+                .next_solution()
+                .map_err(|e| AceError::classify(e.to_string()))?
+            {
+                Some(sol) => sol,
+                None => break,
+            };
+            let rendered = sol.render();
+            let stop = match &cfg.sink {
+                Some(sink) => {
+                    streamed += 1;
+                    sink.deliver(&rendered).is_stop()
+                }
+                None => false,
+            };
+            solutions.push(rendered);
+            if stop {
+                sink_stops += 1;
+                break;
+            }
+        }
+        let mut stats = solver.machine().stats;
+        stats.answers_streamed = streamed;
+        stats.sink_stops = sink_stops;
         Ok(RunReport {
-            solutions: sols.iter().map(|s| s.render()).collect(),
+            solutions,
             virtual_time: stats.total_cost(),
             wall: start.elapsed(),
             clocks: vec![stats.total_cost()],
@@ -326,6 +377,68 @@ mod tests {
         assert!(seq.stats.memo_hits > 0, "{}", seq.summary());
         assert_eq!(seq.stats.memo_stores, 0);
         assert!(seq.summary().contains("memo hit-rate"), "{}", seq.summary());
+    }
+
+    #[test]
+    fn run_degrades_while_run_strict_surfaces() {
+        use ace_runtime::fault::{FaultKind, FaultPlan};
+        let ace = Ace::load(PROG).unwrap();
+        let c =
+            cfg(2, OptFlags::all()).with_fault_plan(FaultPlan::new(0).with(0, 2, FaultKind::Die));
+        let err = ace
+            .run_strict(Mode::AndParallel, "pl([1,2,3], Out)", &c)
+            .expect_err("strict path must surface the worker death");
+        assert!(err.is_recoverable(), "{err:?}");
+        // The legacy string API now rides run_query: same query, same
+        // config, but the infrastructure failure degrades to sequential.
+        let r = ace.run(Mode::AndParallel, "pl([1,2,3], Out)", &c).unwrap();
+        assert_eq!(r.solutions, vec!["Out=[2,4,6]"]);
+        assert!(
+            r.recovery.iter().any(|l| l.contains("sequential fallback")),
+            "{:?}",
+            r.recovery
+        );
+    }
+
+    #[test]
+    fn sequential_streams_through_sink_with_early_stop() {
+        use ace_runtime::{AnswerSink, SinkVerdict};
+        use std::sync::Mutex;
+        let ace = Ace::load(PROG).unwrap();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let tap = got.clone();
+        let sink = AnswerSink::new(move |a: &str| {
+            let mut v = tap.lock().unwrap();
+            v.push(a.to_string());
+            if v.len() >= 2 {
+                SinkVerdict::Stop
+            } else {
+                SinkVerdict::Continue
+            }
+        });
+        let c = EngineConfig::default()
+            .all_solutions()
+            .with_answer_sink(sink);
+        let r = ace
+            .run(Mode::Sequential, "member(X, [1,2,3,4,5])", &c)
+            .unwrap();
+        assert_eq!(r.solutions.len(), 2, "{:?}", r.solutions);
+        assert_eq!(*got.lock().unwrap(), r.solutions);
+        assert_eq!(r.stats.answers_streamed, 2);
+        assert_eq!(r.stats.sink_stops, 1);
+    }
+
+    #[test]
+    fn sequential_honours_external_cancel() {
+        use ace_runtime::CancelToken;
+        let ace = Ace::load(PROG).unwrap();
+        let tok = CancelToken::new();
+        tok.cancel();
+        let c = EngineConfig::default().all_solutions().with_cancel(tok);
+        let err = ace
+            .run_strict(Mode::Sequential, "member(X, [1,2,3])", &c)
+            .expect_err("a pre-cancelled token must stop the run");
+        assert!(matches!(err, AceError::FaultInjected(_)), "{err:?}");
     }
 
     #[test]

@@ -171,6 +171,9 @@ pub struct Machine {
     memo: Option<Arc<MemoTable>>,
     /// Buffer memo trace events for the engine to drain (tracing only).
     memo_trace: bool,
+    /// Tenant charged for this machine's memo insertions (quota
+    /// accounting on shared tables; 0 = the single-tenant default).
+    memo_tenant: u32,
     memo_events: Vec<EventKind>,
     /// In-flight watches on calls whose answer may be publishable.
     memo_watches: Vec<Option<MemoWatch>>,
@@ -212,6 +215,7 @@ impl Machine {
             surfaced_cost: 0,
             memo: None,
             memo_trace: false,
+            memo_tenant: 0,
             memo_events: Vec::new(),
             memo_watches: Vec::new(),
             memo_free: Vec::new(),
@@ -299,6 +303,12 @@ impl Machine {
         self.memo.is_some()
     }
 
+    /// Charge this machine's memo insertions to `tenant` (see
+    /// [`ace_memo::MemoConfig::tenant_quota`]).
+    pub fn set_memo_tenant(&mut self, tenant: u32) {
+        self.memo_tenant = tenant;
+    }
+
     /// Drain buffered memo trace events (engines forward them to their
     /// worker tracer after every `run`). Allocation-free when empty.
     pub fn take_memo_events(&mut self) -> Vec<EventKind> {
@@ -319,7 +329,7 @@ impl Machine {
         };
         self.charge(self.costs.memo_store);
         let arena = TermArena::freeze(&self.heap, goal);
-        match table.publish(key, vec![arena]) {
+        match table.publish_as(self.memo_tenant, key, vec![arena]) {
             PublishOutcome::Stored { epoch, evicted } => {
                 self.stats.memo_stores += 1;
                 self.stats.memo_evictions += evicted;

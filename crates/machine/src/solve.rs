@@ -8,7 +8,8 @@
 use std::sync::Arc;
 
 use ace_logic::{Cell, Database};
-use ace_runtime::CostModel;
+use ace_runtime::fault::FAULT_ERROR_PREFIX;
+use ace_runtime::{CancelToken, CostModel};
 
 use crate::machine::{Machine, Status};
 
@@ -44,6 +45,10 @@ impl Solution {
 pub enum SolveError {
     Parse(String),
     Execution(String),
+    /// The run was stopped by an external [`CancelToken`]. Displays with
+    /// the stable `fault:` prefix so the facade classifies it as a
+    /// recoverable infrastructure failure, not a program error.
+    Cancelled,
 }
 
 impl std::fmt::Display for SolveError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for SolveError {
         match self {
             SolveError::Parse(e) => write!(f, "parse error: {e}"),
             SolveError::Execution(e) => write!(f, "execution error: {e}"),
+            SolveError::Cancelled => write!(f, "{FAULT_ERROR_PREFIX} run cancelled"),
         }
     }
 }
@@ -64,6 +70,10 @@ pub struct Solver {
     /// Pending backtrack before producing the next solution.
     need_backtrack: bool,
     exhausted: bool,
+    /// External cancellation, polled between resolution quanta (deadline
+    /// watchdogs and session cancellation reach the sequential engine
+    /// through this; `None` runs uninterrupted as before).
+    cancel: Option<CancelToken>,
 }
 
 impl Solver {
@@ -78,7 +88,15 @@ impl Solver {
             vars,
             need_backtrack: false,
             exhausted: false,
+            cancel: None,
         })
+    }
+
+    /// Poll `token` between resolution quanta; a cancelled token ends the
+    /// enumeration with a `fault: run cancelled` execution error (the
+    /// same classification the parallel engines use).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Produce the next solution, or `None` when the search is exhausted.
@@ -93,7 +111,17 @@ impl Solver {
                 return Ok(None);
             }
         }
-        match self.machine.run_to_completion() {
+        let status = match self.cancel.clone() {
+            // bounded quanta keep cancellation latency low
+            Some(tok) => loop {
+                match self.machine.run(4096, Some(&tok)) {
+                    Status::Running => continue,
+                    s => break s,
+                }
+            },
+            None => self.machine.run_to_completion(),
+        };
+        match status {
             Status::Solution => {
                 self.need_backtrack = true;
                 let bindings = self
@@ -110,6 +138,10 @@ impl Solver {
             Status::Error(e) => {
                 self.exhausted = true;
                 Err(SolveError::Execution(e))
+            }
+            Status::Cancelled => {
+                self.exhausted = true;
+                Err(SolveError::Cancelled)
             }
             other => {
                 self.exhausted = true;
@@ -179,6 +211,30 @@ mod tests {
         let db = db("p(1). p(2). p(3).");
         let sols = all_solutions(&db, "p(X)").unwrap();
         assert_eq!(sols, vec!["X=1", "X=2", "X=3"]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_enumeration_as_a_fault() {
+        let d = db("spin(N) :- ( N =< 0 -> true ; N1 is N - 1, spin(N1) ).");
+        let mut s = Solver::new(d, Arc::new(CostModel::default()), "spin(100000000)").unwrap();
+        let tok = CancelToken::new();
+        s.set_cancel(tok.clone());
+        tok.cancel();
+        let err = s.next_solution().unwrap_err();
+        assert_eq!(err, SolveError::Cancelled);
+        assert!(err.to_string().starts_with(FAULT_ERROR_PREFIX), "{err}");
+        // enumeration is over after a cancellation
+        assert_eq!(s.next_solution(), Ok(None));
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_perturb_solutions() {
+        let d = db("p(1). p(2). p(3).");
+        let mut s = Solver::new(d, Arc::new(CostModel::default()), "p(X)").unwrap();
+        s.set_cancel(CancelToken::new());
+        let sols = s.collect_solutions(None).unwrap();
+        let rendered: Vec<String> = sols.iter().map(Solution::render).collect();
+        assert_eq!(rendered, vec!["X=1", "X=2", "X=3"]);
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub struct MemoConfig {
     pub shards: usize,
     /// Maximum entries per shard; LRU eviction beyond.
     pub capacity_per_shard: usize,
+    /// Per-tenant entry cap per shard on a table shared across queries
+    /// (the serving layer's fairness knob). A tenant at its cap recycles
+    /// its *own* least-recently-used entries, and under capacity pressure
+    /// the inserting tenant's entries are preferred as victims — so one
+    /// flooding tenant can never evict another tenant's warm entries.
+    /// `None` = single-tenant behaviour, exactly as before.
+    pub tenant_quota: Option<usize>,
 }
 
 impl Default for MemoConfig {
@@ -53,6 +60,7 @@ impl Default for MemoConfig {
             enabled: false,
             shards: 16,
             capacity_per_shard: 256,
+            tenant_quota: None,
         }
     }
 }
@@ -73,6 +81,11 @@ impl MemoConfig {
 
     pub fn with_capacity_per_shard(mut self, capacity: usize) -> Self {
         self.capacity_per_shard = capacity.max(1);
+        self
+    }
+
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = Some(quota.max(1));
         self
     }
 }
@@ -106,6 +119,9 @@ pub enum PublishOutcome {
 struct SlotEnt {
     entry: Arc<MemoEntry>,
     last_used: u64,
+    /// Tenant whose run inserted the entry (quota accounting; lookups
+    /// stay cross-tenant — a warm answer is shared with everyone).
+    tenant: u32,
 }
 
 struct Shard {
@@ -129,6 +145,7 @@ pub struct MemoCounters {
 pub struct MemoTable {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    tenant_quota: Option<usize>,
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -160,6 +177,7 @@ impl MemoTable {
                 })
                 .collect(),
             capacity_per_shard: cfg.capacity_per_shard.max(1),
+            tenant_quota: cfg.tenant_quota.map(|q| q.max(1)),
             epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -209,11 +227,26 @@ impl MemoTable {
             .is_some_and(|s| s.entry.complete)
     }
 
-    /// Publish the complete answer set of `key`. Idempotent: if another
-    /// worker raced the store, the existing entry wins and the new
-    /// answers are dropped (both sets are complete for the same call, so
-    /// answers are never lost or duplicated).
+    /// Publish the complete answer set of `key` as tenant 0 (the
+    /// single-tenant default). Idempotent: if another worker raced the
+    /// store, the existing entry wins and the new answers are dropped
+    /// (both sets are complete for the same call, so answers are never
+    /// lost or duplicated).
     pub fn publish(&self, key: &CanonKey, answers: Vec<TermArena>) -> PublishOutcome {
+        self.publish_as(0, key, answers)
+    }
+
+    /// [`MemoTable::publish`] with the insertion charged to `tenant`.
+    /// When the table carries a [`MemoConfig::tenant_quota`], a tenant at
+    /// its per-shard cap recycles its own LRU entries, and capacity
+    /// eviction prefers the inserting tenant's entries — other tenants'
+    /// warm entries are untouchable by this tenant's churn.
+    pub fn publish_as(
+        &self,
+        tenant: u32,
+        key: &CanonKey,
+        answers: Vec<TermArena>,
+    ) -> PublishOutcome {
         let mut shard = self.shard_for(key);
         if let Some(slot) = shard.entries.get(&key.bytes) {
             return PublishOutcome::Present {
@@ -221,16 +254,28 @@ impl MemoTable {
             };
         }
         let mut evicted = 0u64;
-        while shard.entries.len() >= self.capacity_per_shard {
-            let Some(victim) = shard
+        // Quota: self-evict down to one-below-cap before inserting.
+        if let Some(quota) = self.tenant_quota {
+            while shard
                 .entries
-                .iter()
-                .min_by_key(|(_, s)| s.last_used)
-                .map(|(k, _)| k.clone())
-            else {
+                .values()
+                .filter(|s| s.tenant == tenant)
+                .count()
+                >= quota
+            {
+                match evict_lru(&mut shard, Some(tenant)) {
+                    true => evicted += 1,
+                    false => break,
+                }
+            }
+        }
+        // Capacity: the inserting tenant's entries are the preferred
+        // victims; only a tenant with nothing left in the shard may
+        // displace global LRU.
+        while shard.entries.len() >= self.capacity_per_shard {
+            if !evict_lru(&mut shard, Some(tenant)) && !evict_lru(&mut shard, None) {
                 break;
-            };
-            shard.entries.remove(&victim);
+            }
             evicted += 1;
         }
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
@@ -246,12 +291,28 @@ impl MemoTable {
                     complete: true,
                 }),
                 last_used: clock,
+                tenant,
             },
         );
         drop(shard);
         self.stores.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         PublishOutcome::Stored { epoch, evicted }
+    }
+
+    /// Total entries inserted by `tenant` across all shards.
+    pub fn tenant_len(&self, tenant: u32) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .entries
+                    .values()
+                    .filter(|e| e.tenant == tenant)
+                    .count()
+            })
+            .sum()
     }
 
     /// Total entries across all shards.
@@ -274,6 +335,24 @@ impl MemoTable {
             stores: self.stores.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Remove the least-recently-used entry in `shard`, restricted to
+/// `tenant`'s entries when given. Returns whether a victim was found.
+fn evict_lru(shard: &mut Shard, tenant: Option<u32>) -> bool {
+    let victim = shard
+        .entries
+        .iter()
+        .filter(|(_, s)| tenant.is_none_or(|t| s.tenant == t))
+        .min_by_key(|(_, s)| s.last_used)
+        .map(|(k, _)| k.clone());
+    match victim {
+        Some(k) => {
+            shard.entries.remove(&k);
+            true
+        }
+        None => false,
     }
 }
 
@@ -381,6 +460,74 @@ mod tests {
         table.publish(&k, answers(&h, &[t]));
         assert!(table.is_complete(&k));
         assert_eq!(table.counters().hits + table.counters().misses, 0);
+    }
+
+    #[test]
+    fn tenant_quota_forces_self_eviction() {
+        // single shard, plenty of capacity, quota of 2 entries per tenant
+        let cfg = MemoConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(64)
+            .with_tenant_quota(2);
+        let table = MemoTable::new(&cfg);
+        for i in 0..5 {
+            let (h, k, t) = key(&format!("t1({i})"));
+            table.publish_as(1, &k, answers(&h, &[t]));
+        }
+        // the flooding tenant never holds more than its quota
+        assert_eq!(table.tenant_len(1), 2);
+        assert_eq!(table.counters().evictions, 3);
+        // newest entries survive, oldest were self-evicted
+        let (_, k4, _) = key("t1(4)");
+        let (_, k0, _) = key("t1(0)");
+        assert!(table.lookup(&k4).is_some());
+        assert!(table.lookup(&k0).is_none());
+    }
+
+    #[test]
+    fn tenant_flood_cannot_evict_another_tenants_warm_entries() {
+        let cfg = MemoConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(4)
+            .with_tenant_quota(2);
+        let table = MemoTable::new(&cfg);
+        // tenant 1 warms two entries first (its full quota)
+        let (h_a, k_a, t_a) = key("warm(a)");
+        let (h_b, k_b, t_b) = key("warm(b)");
+        table.publish_as(1, &k_a, answers(&h_a, &[t_a]));
+        table.publish_as(1, &k_b, answers(&h_b, &[t_b]));
+        // tenant 2 floods far past the shard capacity
+        for i in 0..16 {
+            let (h, k, t) = key(&format!("flood({i})"));
+            table.publish_as(2, &k, answers(&h, &[t]));
+        }
+        // tenant 1's warm entries are untouched; tenant 2 churned itself
+        assert!(table.lookup(&k_a).is_some(), "warm entry a evicted");
+        assert!(table.lookup(&k_b).is_some(), "warm entry b evicted");
+        assert_eq!(table.tenant_len(1), 2);
+        assert_eq!(table.tenant_len(2), 2);
+        // ...and the warm answers are still shared across tenants: a
+        // variant lookup (as any tenant) hits tenant 1's entry
+        let (_, k_var, _) = key("warm(a)");
+        assert!(table.is_complete(&k_var));
+    }
+
+    #[test]
+    fn capacity_pressure_without_quota_prefers_inserting_tenants_entries() {
+        let cfg = MemoConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(3);
+        let table = MemoTable::new(&cfg);
+        let (h_x, k_x, t_x) = key("other(x)");
+        table.publish_as(7, &k_x, answers(&h_x, &[t_x]));
+        for i in 0..8 {
+            let (h, k, t) = key(&format!("own({i})"));
+            table.publish_as(8, &k, answers(&h, &[t]));
+        }
+        // even with no quota set, capacity eviction victimized the
+        // churning tenant, not the bystander
+        assert!(table.lookup(&k_x).is_some());
+        assert_eq!(table.tenant_len(8), 2);
     }
 
     #[test]

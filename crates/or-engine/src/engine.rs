@@ -603,6 +603,7 @@ impl OrWorker {
         };
         if self.sh.memo.is_some() {
             m.set_memo(self.sh.memo.clone(), self.sh.cfg.trace.enabled);
+            m.set_memo_tenant(self.sh.cfg.memo_tenant);
         }
         m
     }
@@ -670,6 +671,20 @@ impl OrWorker {
     fn flush_answers(&mut self) {
         if self.pending_answers.is_empty() {
             return;
+        }
+        // Streamed delivery: each answer of the batch is handed to the
+        // consumer's sink before publication; a Stop verdict terminates
+        // the run early through the same cooperative path as
+        // `max_solutions` (the `take(n)` hook).
+        if let Some(sink) = self.sh.cfg.sink.clone() {
+            for answer in &self.pending_answers {
+                self.stats.answers_streamed += 1;
+                if sink.deliver(answer).is_stop() {
+                    self.stats.sink_stops += 1;
+                    self.sh.finish();
+                    break;
+                }
+            }
         }
         let n = self.pending_answers.len();
         self.sh.solutions.lock().append(&mut self.pending_answers);
@@ -897,7 +912,7 @@ impl OrEngine {
             solutions: Mutex::new(Vec::new()),
             nsolutions: AtomicUsize::new(0),
             error: Mutex::new(None),
-            cancel: CancelToken::new(),
+            cancel: cfg.root_cancel(),
             worker_stats: Mutex::new(Vec::new()),
             max_depth: AtomicUsize::new(0),
             injector: cfg
@@ -915,6 +930,7 @@ impl OrEngine {
         let costs = Arc::new(cfg.costs.clone());
         let mut root = Box::new(Machine::new(self.db.clone(), costs.clone()));
         root.set_memo(shared.memo.clone(), cfg.trace.enabled);
+        root.set_memo_tenant(cfg.memo_tenant);
         let (goal, mut vars) = ace_logic::parse_term(&mut root.heap, query)
             .map_err(|e| format!("query parse error: {e}"))?;
         vars.sort_by(|a, b| a.0.cmp(&b.0));

@@ -5,8 +5,10 @@ use std::time::Duration;
 
 use ace_memo::{MemoConfig, MemoTable};
 
+use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
+use crate::sink::AnswerSink;
 use crate::trace::TraceConfig;
 
 /// Which optimizations from the paper are enabled.
@@ -200,6 +202,20 @@ pub struct EngineConfig {
     /// sessions, warm-table tests). `None` = the engine allocates a fresh
     /// table per run when `memo.enabled`.
     pub memo_table: Option<Arc<MemoTable>>,
+    /// Tenant id charged for this run's memo-table insertions (per-tenant
+    /// quota accounting when a table is shared across queries; see
+    /// [`ace_memo::MemoConfig::tenant_quota`]). Tenant 0 is the default
+    /// single-tenant owner.
+    pub memo_tenant: u32,
+    /// Streamed answer delivery (see [`crate::sink`]). `None` = answers
+    /// are only collected on the final report, exactly as before.
+    pub sink: Option<AnswerSink>,
+    /// External cancellation parent. When set, the engine's root token is
+    /// created as a child of this one, so an outside supervisor (a query
+    /// server session, a deadline watchdog) can cancel the run through
+    /// the engines' existing cooperative checkpoints. The engine's own
+    /// internal cancellations never propagate *up* into this token.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EngineConfig {
@@ -220,6 +236,9 @@ impl Default for EngineConfig {
             trace: TraceConfig::default(),
             memo: MemoConfig::default(),
             memo_table: None,
+            memo_tenant: 0,
+            sink: None,
+            cancel: None,
         }
     }
 }
@@ -282,6 +301,34 @@ impl EngineConfig {
         self
     }
 
+    /// Charge this run's memo insertions to `tenant` (quota accounting on
+    /// shared tables).
+    pub fn with_memo_tenant(mut self, tenant: u32) -> Self {
+        self.memo_tenant = tenant;
+        self
+    }
+
+    /// Stream each root solution through `sink` as it is found.
+    pub fn with_answer_sink(mut self, sink: AnswerSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Parent the engine's root cancellation token under `token`.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The root cancellation token for a run under this config: a child
+    /// of the external parent when one is set, a fresh root otherwise.
+    pub fn root_cancel(&self) -> CancelToken {
+        match &self.cancel {
+            Some(parent) => parent.child(),
+            None => CancelToken::new(),
+        }
+    }
+
     /// The table this run should consult: the externally provided one, or
     /// a freshly allocated private table; `None` when memoization is off.
     pub fn resolve_memo_table(&self) -> Option<Arc<MemoTable>> {
@@ -324,6 +371,29 @@ mod tests {
         assert_eq!(c.workers, 10);
         assert!(c.opts.pdo);
         assert_eq!(c.max_solutions, None);
+    }
+
+    #[test]
+    fn root_cancel_parents_under_external_token() {
+        // no external parent: fresh root, independent of everything
+        let free = EngineConfig::default().root_cancel();
+        assert!(!free.is_cancelled());
+
+        // external parent: cancelling it cancels the run's root...
+        let session = CancelToken::new();
+        let cfg = EngineConfig::default().with_cancel(session.clone());
+        let root = cfg.root_cancel();
+        assert!(!root.is_cancelled());
+        session.cancel();
+        assert!(root.is_cancelled());
+
+        // ...but an engine-internal cancel never propagates upward
+        let session = CancelToken::new();
+        let root = EngineConfig::default()
+            .with_cancel(session.clone())
+            .root_cancel();
+        root.cancel();
+        assert!(!session.is_cancelled());
     }
 
     #[test]

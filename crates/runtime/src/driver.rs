@@ -126,7 +126,7 @@ std::thread_local! {
 /// not a crash, and its message survives on the outcome. The installed hook
 /// delegates to the previous one for every unsupervised thread, so panics
 /// outside driver phases still print normally.
-fn supervised<R>(f: impl FnOnce() -> R) -> std::thread::Result<R> {
+pub fn supervised<R>(f: impl FnOnce() -> R) -> std::thread::Result<R> {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();

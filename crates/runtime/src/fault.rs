@@ -64,6 +64,12 @@ pub enum FaultKind {
     /// panic, report it as a structured [`WorkerExit`](crate::WorkerExit),
     /// and shut the remaining workers down.
     Die,
+    /// The serving layer's admission controller spuriously rejects the
+    /// next submission routed through `worker` (models a control-plane
+    /// brown-out: the query is bounced as overloaded even though capacity
+    /// exists). Engines never consume this kind — it fires only at the
+    /// server's admission checkpoint ([`FaultInjector::admit_rejects`]).
+    AdmitReject,
 }
 
 /// One scheduled fault: `kind` arms on `worker` once that worker has
@@ -250,7 +256,10 @@ impl FaultInjector {
             if ev.worker != worker || ev.at_op > ops {
                 continue;
             }
-            let scheduler_kind = matches!(ev.kind, FaultKind::StealFail | FaultKind::PublishFail);
+            let scheduler_kind = matches!(
+                ev.kind,
+                FaultKind::StealFail | FaultKind::PublishFail | FaultKind::AdmitReject
+            );
             if scheduler_kind != want_scheduler {
                 continue;
             }
@@ -276,8 +285,8 @@ impl FaultInjector {
             FaultKind::Stall { cost } => Some(FaultAction::Stall(cost)),
             FaultKind::Cancel => Some(FaultAction::Cancel),
             FaultKind::Die => Some(FaultAction::Die),
-            // scheduler kinds are filtered out by `take`
-            FaultKind::StealFail | FaultKind::PublishFail => None,
+            // scheduler/admission kinds are filtered out by `take`
+            FaultKind::StealFail | FaultKind::PublishFail | FaultKind::AdmitReject => None,
         }
     }
 
@@ -291,6 +300,14 @@ impl FaultInjector {
     /// Scheduler checkpoint: should `worker`'s next publication fail?
     pub fn publish_fails(&self, worker: usize) -> bool {
         self.fire_scheduler(worker, FaultKind::PublishFail)
+    }
+
+    /// Admission checkpoint (serving layer): should the next submission
+    /// routed through `worker` be spuriously rejected? Fires an armed
+    /// [`FaultKind::AdmitReject`] event (once). Does not advance the
+    /// operation counter.
+    pub fn admit_rejects(&self, worker: usize) -> bool {
+        self.fire_scheduler(worker, FaultKind::AdmitReject)
     }
 
     fn fire_scheduler(&self, worker: usize, kind: FaultKind) -> bool {
@@ -355,6 +372,21 @@ mod tests {
         assert!(!inj.steal_fails(0)); // fired once
         assert!(inj.publish_fails(0));
         assert!(!inj.publish_fails(0));
+    }
+
+    #[test]
+    fn admit_rejects_fire_only_at_the_admission_checkpoint() {
+        let plan = FaultPlan::new(5).with(0, 0, FaultKind::AdmitReject);
+        let inj = FaultInjector::new(&plan, 1);
+        // engines never consume admission faults at phase or scheduler
+        // checkpoints
+        assert_eq!(inj.poll(0), None);
+        assert!(!inj.steal_fails(0));
+        assert!(!inj.publish_fails(0));
+        // the admission checkpoint consumes it exactly once
+        assert!(inj.admit_rejects(0));
+        assert!(!inj.admit_rejects(0));
+        assert_eq!(inj.injected(), 1);
     }
 
     #[test]

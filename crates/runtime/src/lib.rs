@@ -51,6 +51,7 @@ pub mod config;
 pub mod cost;
 pub mod driver;
 pub mod fault;
+pub mod sink;
 pub mod stats;
 pub mod trace;
 
@@ -58,8 +59,9 @@ pub use ace_memo::{MemoConfig, MemoCounters, MemoEntry, MemoTable, PublishOutcom
 pub use cancel::CancelToken;
 pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy};
 pub use cost::CostModel;
-pub use driver::{Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
+pub use driver::{supervised, Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use sink::{AnswerSink, SinkVerdict};
 pub use stats::Stats;
 pub use trace::{
     EventKind, Trace, TraceBuf, TraceChecker, TraceConfig, TraceEvent, TraceSink, Tracer,

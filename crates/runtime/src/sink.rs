@@ -1,0 +1,96 @@
+//! Streamed answer delivery.
+//!
+//! An [`AnswerSink`] is an engine-agnostic callback invoked with each
+//! rendered root solution *at the moment it is found*, while the search
+//! is still running — the hook the serving layer uses to deliver
+//! solution 1 over a channel long before the or-tree is exhausted.
+//!
+//! The sink's return value is a [`SinkVerdict`]: `Continue` keeps the
+//! search going, `Stop` asks the engine to terminate early (the `take(n)`
+//! path — the consumer has every answer it wants). Engines honour `Stop`
+//! through the same cooperative shutdown used by `max_solutions`, so
+//! early termination propagates to every worker at the next cancellation
+//! checkpoint.
+//!
+//! Sinks are called from engine worker contexts: under the simulation
+//! driver that is the driving thread, under the threads driver it is an
+//! arbitrary worker thread — implementations must be `Send + Sync` and
+//! fast (a channel send, a counter bump). A sink that panics is contained
+//! by the driver's worker supervision like any other worker panic.
+//!
+//! No sink, no cost: the config field is an `Option`, and every call
+//! site is a single branch when it is `None`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// What the consumer wants the engine to do after one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkVerdict {
+    /// Keep searching.
+    Continue,
+    /// Terminate the run early — the consumer is satisfied (`take(n)`),
+    /// cancelled, or gone.
+    Stop,
+}
+
+impl SinkVerdict {
+    pub fn is_stop(self) -> bool {
+        matches!(self, SinkVerdict::Stop)
+    }
+}
+
+/// Shared handle to a streamed-answer callback. Cheap to clone (an `Arc`
+/// inside); stored on `EngineConfig`, which stays `Clone + Debug`.
+#[derive(Clone)]
+pub struct AnswerSink {
+    f: Arc<dyn Fn(&str) -> SinkVerdict + Send + Sync>,
+}
+
+impl AnswerSink {
+    pub fn new(f: impl Fn(&str) -> SinkVerdict + Send + Sync + 'static) -> Self {
+        AnswerSink { f: Arc::new(f) }
+    }
+
+    /// Deliver one rendered solution; the verdict steers the search.
+    pub fn deliver(&self, answer: &str) -> SinkVerdict {
+        (self.f)(answer)
+    }
+}
+
+impl fmt::Debug for AnswerSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnswerSink").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sink_delivers_and_steers() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let sink = AnswerSink::new(move |_| {
+            if n2.fetch_add(1, Ordering::Relaxed) < 1 {
+                SinkVerdict::Continue
+            } else {
+                SinkVerdict::Stop
+            }
+        });
+        assert_eq!(sink.deliver("X=1"), SinkVerdict::Continue);
+        assert_eq!(sink.deliver("X=2"), SinkVerdict::Stop);
+        assert!(sink.deliver("X=3").is_stop());
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn sink_is_cloneable_and_debuggable() {
+        let sink = AnswerSink::new(|_| SinkVerdict::Continue);
+        let clone = sink.clone();
+        assert_eq!(clone.deliver("ok"), SinkVerdict::Continue);
+        assert!(format!("{sink:?}").contains("AnswerSink"));
+    }
+}

@@ -144,6 +144,13 @@ stats_sheet! {
         /// Entries LRU-evicted to keep shards within capacity.
         pub memo_evictions: u64,
 
+        // serving
+        /// Root solutions handed to a streaming `AnswerSink` while the
+        /// search was still running.
+        pub answers_streamed: u64,
+        /// Sink verdicts that requested early termination (`take(n)`).
+        pub sink_stops: u64,
+
         // outcomes
         pub solutions: u64,
     }
@@ -181,7 +188,7 @@ impl Stats {
              closure={}frozen/{}thawed/{}elided/{}made \
              pool={}push/{}pop recycled={} probes={} \
              faults={} steal-retries={} publish-retries={} \
-             memo={}hit/{}miss/{}store/{}evict",
+             memo={}hit/{}miss/{}store/{}evict streamed={}",
             self.cost,
             self.idle_cost,
             self.calls,
@@ -212,6 +219,7 @@ impl Stats {
             self.memo_misses,
             self.memo_stores,
             self.memo_evictions,
+            self.answers_streamed,
         )
     }
 }
@@ -283,6 +291,7 @@ mod tests {
             "publish-retries=",
             "memo=",
             "closure=",
+            "streamed=",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

@@ -166,6 +166,29 @@ pub enum EventKind {
     /// The driver aborted the run.
     Abort { reason: String },
 
+    // -- serving (session lifecycle; emitted by the query server's sink,
+    //    with `t` a server-global sequence number so cross-session order
+    //    is causal, and `worker` the fleet lane that ran the session) --
+    /// The admission controller accepted a session into the queue.
+    SessionAdmit { session: u64 },
+    /// The admission controller rejected a session (overloaded).
+    SessionReject { session: u64 },
+    /// A session was cancelled by its client.
+    SessionCancel { session: u64 },
+    /// A session's deadline expired; the watchdog cancelled it.
+    SessionDeadlineCancel { session: u64 },
+    /// The session's first answer left the server (time-to-first-answer).
+    SessionFirstAnswer { session: u64 },
+    /// One answer was streamed to the session's consumer.
+    AnswerStreamed { session: u64 },
+    /// The session finished and its resources were reclaimed; `outcome`
+    /// is the terminal state label, `answers` the total streamed.
+    SessionDrain {
+        session: u64,
+        outcome: &'static str,
+        answers: u64,
+    },
+
     // -- outcomes --
     /// A solution was recorded.
     Solution,
@@ -214,6 +237,13 @@ impl EventKind {
             EventKind::MemoComplete { .. } => "memo-complete",
             EventKind::WorkerExit { .. } => "worker-exit",
             EventKind::Abort { .. } => "abort",
+            EventKind::SessionAdmit { .. } => "session-admit",
+            EventKind::SessionReject { .. } => "session-reject",
+            EventKind::SessionCancel { .. } => "session-cancel",
+            EventKind::SessionDeadlineCancel { .. } => "session-deadline-cancel",
+            EventKind::SessionFirstAnswer { .. } => "session-first-answer",
+            EventKind::AnswerStreamed { .. } => "answer-streamed",
+            EventKind::SessionDrain { .. } => "session-drain",
             EventKind::Solution => "solution",
         }
     }
@@ -279,6 +309,21 @@ impl EventKind {
                 vec![("reason", S(reason))]
             }
             EventKind::WorkerExit { reason } => vec![("reason", S(reason))],
+            EventKind::SessionAdmit { session }
+            | EventKind::SessionReject { session }
+            | EventKind::SessionCancel { session }
+            | EventKind::SessionDeadlineCancel { session }
+            | EventKind::SessionFirstAnswer { session }
+            | EventKind::AnswerStreamed { session } => vec![("session", U(*session))],
+            EventKind::SessionDrain {
+                session,
+                outcome,
+                answers,
+            } => vec![
+                ("session", U(*session)),
+                ("outcome", S(outcome)),
+                ("answers", U(*answers)),
+            ],
             EventKind::QuantumStart
             | EventKind::MachineRecycle
             | EventKind::SlotFail
@@ -569,6 +614,12 @@ impl Trace {
 ///   predates every store in the trace (table epochs are globally
 ///   monotone, so a hit at an epoch below the run's first store can only
 ///   come from a warm table carried in from a previous run).
+/// * **no answer after cancel** — session events carry a server-global
+///   sequence number in `t`, so within one session's stream `t` *is*
+///   causal: no `answer-streamed`/`session-first-answer` may carry a `t`
+///   greater than the session's first `session-cancel` /
+///   `session-deadline-cancel` event, and a rejected session streams no
+///   answers at all (nor may a session be both admitted and rejected).
 ///
 /// When the trace reports dropped events, count- and set-based checks
 /// that eviction could falsify are skipped; the double-issue check still
@@ -587,6 +638,10 @@ impl TraceChecker {
         let mut deferred: HashSet<(u64, u64)> = HashSet::new();
         let mut materialized: HashSet<(u64, u64)> = HashSet::new();
         let mut thawed: Vec<(u64, u64)> = Vec::new();
+        let mut admitted: HashSet<u64> = HashSet::new();
+        let mut rejected: HashSet<u64> = HashSet::new();
+        let mut cancelled_at: HashMap<u64, u64> = HashMap::new();
+        let mut streamed: Vec<(u64, u64)> = Vec::new(); // (session, t)
         let mut violations = Vec::new();
 
         for ev in &trace.events {
@@ -612,6 +667,19 @@ impl TraceChecker {
                     memo_stores.insert((*key, *epoch));
                 }
                 EventKind::MemoHit { key, epoch } => memo_hits.push((*key, *epoch)),
+                EventKind::SessionAdmit { session } => {
+                    admitted.insert(*session);
+                }
+                EventKind::SessionReject { session } => {
+                    rejected.insert(*session);
+                }
+                EventKind::SessionCancel { session }
+                | EventKind::SessionDeadlineCancel { session } => {
+                    let t = cancelled_at.entry(*session).or_insert(ev.t);
+                    *t = (*t).min(ev.t);
+                }
+                EventKind::SessionFirstAnswer { session }
+                | EventKind::AnswerStreamed { session } => streamed.push((*session, ev.t)),
                 EventKind::FaultInjected { .. } => injected += 1,
                 EventKind::FaultRetry { .. }
                 | EventKind::FaultStall { .. }
@@ -687,6 +755,26 @@ impl TraceChecker {
                     violations.push(format!(
                         "memo hit without a matching store: key={key} epoch={epoch}"
                     ));
+                }
+            }
+            // Session streams: answers stop at the cancel event, rejected
+            // sessions never stream, and admit/reject are exclusive.
+            for s in admitted.intersection(&rejected) {
+                violations.push(format!("session {s} both admitted and rejected"));
+            }
+            for (session, t) in &streamed {
+                if rejected.contains(session) {
+                    violations.push(format!(
+                        "answer streamed for rejected session {session} at t={t}"
+                    ));
+                }
+                if let Some(cancel_t) = cancelled_at.get(session) {
+                    if t > cancel_t {
+                        violations.push(format!(
+                            "answer streamed after session cancel: session={session} \
+                             answer t={t} cancel t={cancel_t}"
+                        ));
+                    }
                 }
             }
         }
@@ -1169,6 +1257,72 @@ mod tests {
             ],
         );
         assert!(TraceChecker::check(&old_epoch).is_ok());
+    }
+
+    #[test]
+    fn checker_accepts_well_formed_session_stream() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::SessionAdmit { session: 7 }),
+                ev(2, 0, EventKind::SessionFirstAnswer { session: 7 }),
+                ev(2, 0, EventKind::AnswerStreamed { session: 7 }),
+                ev(3, 0, EventKind::AnswerStreamed { session: 7 }),
+                ev(4, 0, EventKind::SessionCancel { session: 7 }),
+                ev(
+                    5,
+                    0,
+                    EventKind::SessionDrain {
+                        session: 7,
+                        outcome: "cancelled",
+                        answers: 2,
+                    },
+                ),
+                ev(6, 1, EventKind::SessionReject { session: 8 }),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_answer_after_session_cancel() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::SessionAdmit { session: 3 }),
+                ev(2, 0, EventKind::SessionDeadlineCancel { session: 3 }),
+                ev(5, 0, EventKind::AnswerStreamed { session: 3 }),
+            ],
+        );
+        let violations = TraceChecker::check(&trace).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("answer streamed after session cancel")));
+    }
+
+    #[test]
+    fn checker_rejects_stream_from_rejected_session() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::SessionReject { session: 9 }),
+                ev(2, 0, EventKind::AnswerStreamed { session: 9 }),
+            ],
+        );
+        let violations = TraceChecker::check(&trace).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("rejected session 9")));
+
+        let both = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::SessionAdmit { session: 4 }),
+                ev(2, 0, EventKind::SessionReject { session: 4 }),
+            ],
+        );
+        let violations = TraceChecker::check(&both).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("both admitted and rejected")));
     }
 
     #[test]

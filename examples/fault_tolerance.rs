@@ -46,7 +46,7 @@ fn main() -> Result<(), String> {
     let plan = FaultPlan::new(0).with(0, 2, FaultKind::Die);
     let cfg = base.clone().with_fault_plan(plan);
     let err = ace
-        .run(Mode::AndParallel, "pair(N)", &cfg)
+        .run_strict(Mode::AndParallel, "pair(N)", &cfg)
         .expect_err("a dead worker fails the strict run");
     println!("\nworker death, strict API:\n  error: {err}");
 

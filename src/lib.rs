@@ -11,6 +11,7 @@ pub use ace_logic as logic;
 pub use ace_machine as machine;
 pub use ace_programs as programs;
 pub use ace_runtime as runtime;
+pub use ace_server as server;
 
 pub use ace_and as and_engine;
 pub use ace_fd as fd;

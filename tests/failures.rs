@@ -247,6 +247,87 @@ fn cancellation_storm_no_marker_or_trail_leak() {
     }
 }
 
+/// Session-level cancellation storm: N concurrent sessions, all streaming
+/// from an infinite generator tagged with their own constant, all
+/// cancelled mid-stream. No session may leak a fleet worker (the server
+/// must serve fresh queries afterwards), no received answer may be lost,
+/// and no answer may bleed across sessions (every answer carries its own
+/// session's tag).
+#[test]
+fn session_cancellation_storm_no_leak_or_bleed() {
+    use ace_server::{QueryRequest, Serve, ServerConfig, SessionEnd};
+
+    let ace = Ace::load(
+        r#"
+        d(0). d(1). d(2). d(3). d(4).
+        tagged(T, v(T, D)) :- d(D).
+        tagged(T, X) :- tagged(T, X).
+        "#,
+    )
+    .unwrap();
+    let server = ace.serve(ServerConfig::default().with_fleet(4).with_max_in_flight(64));
+
+    const SESSIONS: usize = 16;
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let q = format!("tagged({i}, X)");
+            let h = server
+                .submit(QueryRequest::new(
+                    Mode::Sequential,
+                    q,
+                    EngineConfig::default().all_solutions(),
+                ))
+                .unwrap();
+            (i, h)
+        })
+        .collect();
+
+    // Each session proves its stream is live (two answers received), then
+    // cancels mid-stream.
+    let mut results = Vec::new();
+    for (i, h) in &handles {
+        // Only 4 fleet threads: later sessions wait queued while earlier
+        // ones stream. Drain in submission order so each gets dispatched.
+        let a1 = h.next_answer().expect("first streamed answer");
+        let a2 = h.next_answer().expect("second streamed answer");
+        h.cancel();
+        let (rest, outcome) = h.drain();
+        assert_eq!(outcome.end, SessionEnd::ClientCancelled, "session {i}");
+        let mut answers = vec![a1, a2];
+        answers.extend(rest);
+        results.push((*i, answers));
+    }
+
+    for (i, answers) in &results {
+        assert!(answers.len() >= 2, "session {i} lost streamed answers");
+        let tag = format!("v({i},");
+        for a in answers {
+            assert!(
+                a.contains(&tag),
+                "session {i} received a foreign answer: {a}"
+            );
+        }
+    }
+
+    // No leaked workers: the fleet still serves, and the admission window
+    // is fully released.
+    let h = server
+        .submit(QueryRequest::new(
+            Mode::Sequential,
+            "d(X)",
+            EngineConfig::default().all_solutions(),
+        ))
+        .unwrap();
+    let (answers, outcome) = h.drain();
+    assert_eq!(outcome.end, SessionEnd::Completed);
+    assert_eq!(answers, vec!["X=0", "X=1", "X=2", "X=3", "X=4"]);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.client_cancelled as usize, SESSIONS);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
 /// Cut committing over a completed parallel call discards its pending
 /// alternatives (cross-product pruning).
 #[test]

@@ -203,8 +203,9 @@ fn injected_death_is_structured_then_recovers() {
 
         // Strict path: a structured error, not a crash.
         let err = ace
-            .run(Mode::AndParallel, AND_QUERY, &c)
-            .expect_err("a dead worker must fail the strict run");
+            .run_strict(Mode::AndParallel, AND_QUERY, &c)
+            .expect_err("a dead worker must fail the strict run")
+            .to_string();
         assert!(err.starts_with("worker panic:"), "driver={driver:?}: {err}");
         assert!(err.contains("injected worker death"), "{err}");
 
@@ -434,5 +435,71 @@ fn death_in_defer_window_recovers() {
                 check_trace(&r, &tag);
             }
         }
+    }
+}
+
+/// Serving-layer matrix cell: seeded `Die`/`Stall` faults inside the
+/// session dispatch window, crossed with both drivers on the engine side.
+/// The hit sessions degrade (with the recovery on record) and still
+/// deliver the exact oracle; unaffected sessions complete normally; the
+/// fleet survives the whole round.
+#[test]
+fn dispatch_window_faults_degrade_only_the_hit_sessions() {
+    use ace_server::{QueryRequest, Serve, ServerConfig, SessionEnd};
+
+    let ace = Ace::load(AND_PROG).unwrap();
+    let oracle = and_oracle();
+    for driver in [DriverKind::Sim, DriverKind::Threads] {
+        let plan =
+            FaultPlan::new(7)
+                .with(0, 1, FaultKind::Die)
+                .with(1, 2, FaultKind::Stall { cost: 300 });
+        let server = ace.serve(
+            ServerConfig::default()
+                .with_fleet(2)
+                .with_max_in_flight(16)
+                .with_fault_plan(plan),
+        );
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                server
+                    .submit(QueryRequest::new(
+                        Mode::AndParallel,
+                        AND_QUERY,
+                        cfg(OptFlags::all(), driver, FaultPlan::new(0)),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        let (mut degraded, mut completed) = (0usize, 0usize);
+        for h in &handles {
+            let (answers, outcome) = h.drain();
+            assert_eq!(
+                answers, oracle,
+                "driver={driver:?}: wrong or missing answers"
+            );
+            match &outcome.end {
+                SessionEnd::Degraded => {
+                    degraded += 1;
+                    let report = outcome.report.as_ref().expect("degraded report");
+                    assert!(
+                        report
+                            .recovery
+                            .iter()
+                            .any(|l| l.contains("sequential replay")),
+                        "driver={driver:?}: degraded session lacks a recovery record: {:?}",
+                        report.recovery
+                    );
+                }
+                SessionEnd::Completed => completed += 1,
+                other => panic!("driver={driver:?}: unexpected session end {other:?}"),
+            }
+        }
+        assert!(
+            degraded >= 1,
+            "driver={driver:?}: the Die must hit a session"
+        );
+        assert_eq!(degraded + completed, 6, "driver={driver:?}");
+        server.shutdown();
     }
 }
