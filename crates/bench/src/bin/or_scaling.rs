@@ -11,6 +11,8 @@
 //! or_scaling --smoke               # reduced sizes (CI smoke job)
 //! or_scaling --json --out FILE     # explicit output path
 //! or_scaling --trace FILE          # + Perfetto trace of a 4-worker run
+//! or_scaling --topology            # 64-512 worker grid, BENCH_or_topology.json
+//! or_scaling --topology-smoke      # reduced grid + CI guards (exit 2)
 //! ```
 
 use std::fs;
@@ -18,7 +20,9 @@ use std::path::PathBuf;
 
 use ace_bench::json::Json;
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, FaultKind, FaultPlan, OptFlags, OrScheduler, TraceConfig};
+use ace_runtime::{
+    EngineConfig, FaultKind, FaultPlan, OptFlags, OrScheduler, Topology, TraceConfig,
+};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -235,24 +239,268 @@ fn write_trace(name: &str, smoke: bool, path: &PathBuf) -> Result<(), String> {
     Ok(())
 }
 
+/// One cell of the topology grid: `wide_tree` on `workers` workers under
+/// `topo`, answers checked against the program's known solution count.
+struct TopoCell {
+    virtual_time: u64,
+    speedup: f64,
+    cross_fraction: f64,
+    row: Json,
+}
+
+fn topology_cell(
+    ace: &Ace,
+    query: &str,
+    expected: usize,
+    workers: usize,
+    topo_name: &str,
+    topo: Topology,
+    base: Option<u64>,
+) -> Result<TopoCell, String> {
+    let c = EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(OptFlags::all())
+        .with_or_scheduler(OrScheduler::Pool)
+        .with_topology(topo)
+        .all_solutions();
+    let r = ace
+        .run(Mode::OrParallel, query, &c)
+        .map_err(|e| format!("topology {topo_name} w={workers}: {e}"))?;
+    if r.solutions.len() != expected {
+        return Err(format!(
+            "topology {topo_name} w={workers}: expected {expected} answers, got {}",
+            r.solutions.len()
+        ));
+    }
+    let one = base.unwrap_or(r.virtual_time);
+    let total_steals = r.stats.steals_local_domain + r.stats.steals_cross_domain;
+    // Eager crosses — domain boundary crossed while the thief's own
+    // domain still had visible work — are the hierarchy violation the
+    // guard watches; starvation crosses (local domain empty) are the
+    // scheduler doing its job.
+    let cross_fraction = if total_steals == 0 {
+        0.0
+    } else {
+        r.stats.steals_cross_eager as f64 / total_steals as f64
+    };
+    let speedup = r.speedup_from(one);
+    let row = Json::obj([
+        ("topology", topo_name.into()),
+        ("workers", workers.into()),
+        ("virtual_time", r.virtual_time.into()),
+        ("speedup", speedup.into()),
+        ("steals_local_domain", r.stats.steals_local_domain.into()),
+        ("steals_cross_domain", r.stats.steals_cross_domain.into()),
+        ("steals_cross_eager", r.stats.steals_cross_eager.into()),
+        (
+            "cross_steal_fraction",
+            r.stats.cross_steal_fraction().into(),
+        ),
+        ("eager_cross_fraction", cross_fraction.into()),
+        ("lock_contended", r.stats.lock_contended.into()),
+        ("lock_wait_cost", r.stats.lock_wait_cost.into()),
+        ("pool_pushes", r.stats.pool_pushes.into()),
+        ("pool_pops", r.stats.pool_pops.into()),
+        ("idle_probes", r.stats.idle_probes.into()),
+    ]);
+    Ok(TopoCell {
+        virtual_time: r.virtual_time,
+        speedup,
+        cross_fraction,
+        row,
+    })
+}
+
+/// The 64-512 worker x topology grid on `wide_tree`, plus the ablations
+/// that expose each high-worker cliff:
+///
+/// * `flat` — single domain, zero steal premiums, but locks priced at
+///   the same rate as numa4 so contention is visible: the PR-2 machine's
+///   structure under an honest lock model (the default `Topology::flat()`
+///   charges nothing and reproduces PR 2 exactly — that equivalence is
+///   pinned by BENCH_or_scaling.json, not this grid).
+/// * `numa4` — 4 domains, cross-steals 4x intra cost, hierarchical
+///   victim scan + per-domain answer buffers (the full scheme).
+/// * `numa4_flat_scan` — same cost model, victim scan ignores domains:
+///   what the grid looks like without hierarchy (ablation).
+/// * `numa4_global_lock` — hierarchical scan but one engine-wide answer
+///   lock: isolates the solution-collection cliff at 256 workers.
+///
+/// Guards (exit 2 via main, both smoke and full): on the hierarchical
+/// numa4 column, speedup@64 must be at least 2x speedup@8, and eager
+/// cross-domain steals (boundary crossed while the thief's own domain
+/// still had visible work) at 64 workers must stay under 25% of all
+/// classified steals.
+fn topology_grid(smoke: bool) -> Result<Json, String> {
+    let b = ace_programs::benchmark("wide_tree").expect("wide_tree benchmark exists");
+    let size = if smoke { 16 } else { b.bench_size };
+    let expected = size * 8;
+    let ace = Ace::load(&(b.program)(size))?;
+    let query = (b.query)(size);
+
+    let scale: &[usize] = if smoke { &[64] } else { &[64, 128, 256, 512] };
+    let mut rows = Vec::new();
+
+    // Lock pricing for the grid's flat column: numa4's rate, so the flat
+    // and hierarchical columns differ only in structure, not honesty.
+    let priced_flat = || Topology::flat().with_contended_lock(Topology::numa(4).contended_lock);
+
+    // 1-worker flat run anchors every speedup in the grid.
+    let base = topology_cell(&ace, &query, expected, 1, "flat", priced_flat(), None)?;
+    let one = base.virtual_time;
+    rows.push(base.row);
+
+    let mut guard_speedups = (None, None); // (numa4@8, numa4@64)
+    let mut guard_cross = None; // numa4@64
+    type TopoArm = (&'static str, fn() -> Topology);
+    let topologies: [TopoArm; 3] = [
+        ("flat", priced_flat),
+        ("numa4", || Topology::numa(4)),
+        ("numa4_flat_scan", || Topology::numa(4).flat_scan()),
+    ];
+    for (name, make) in topologies {
+        let counts: Vec<usize> = if name == "numa4_flat_scan" {
+            scale.to_vec() // ablation only needs the high-worker half
+        } else {
+            [8].iter().chain(scale).copied().collect()
+        };
+        for w in counts {
+            eprintln!("topology {name} at {w} workers ...");
+            let cell = topology_cell(&ace, &query, expected, w, name, make(), Some(one))?;
+            if name == "numa4" && w == 8 {
+                guard_speedups.0 = Some(cell.speedup);
+            }
+            if name == "numa4" && w == 64 {
+                guard_speedups.1 = Some(cell.speedup);
+                guard_cross = Some(cell.cross_fraction);
+            }
+            rows.push(cell.row);
+        }
+    }
+    if !smoke {
+        eprintln!("topology numa4_global_lock at 256 workers ...");
+        let cell = topology_cell(
+            &ace,
+            &query,
+            expected,
+            256,
+            "numa4_global_lock",
+            Topology::numa(4).global_answer_lock(),
+            Some(one),
+        )?;
+        rows.push(cell.row);
+    }
+
+    let (s8, s64) = (
+        guard_speedups.0.expect("numa4@8 ran"),
+        guard_speedups.1.expect("numa4@64 ran"),
+    );
+    if s64 < 2.0 * s8 {
+        return Err(format!(
+            "topology guard: speedup@64 ({s64:.2}) is under 2x speedup@8 ({s8:.2}) \
+             on wide_tree/numa4 — the hierarchical pool stopped scaling"
+        ));
+    }
+    let cross = guard_cross.expect("numa4@64 ran");
+    if cross >= 0.25 {
+        return Err(format!(
+            "topology guard: eager cross-domain steal fraction {cross:.3} at 64 \
+             workers reached 25% — thieves are crossing domains with local work \
+             still visible"
+        ));
+    }
+
+    Ok(Json::obj([
+        ("program", "wide_tree".into()),
+        ("size", size.into()),
+        ("solutions", expected.into()),
+        ("cells", Json::Arr(rows)),
+    ]))
+}
+
+/// Traced 64-worker hierarchical run for Perfetto: the domain-steal
+/// events make every cross-domain claim visible on the timeline.
+fn write_topology_trace(smoke: bool, path: &PathBuf) -> Result<(), String> {
+    let b = ace_programs::benchmark("wide_tree").expect("wide_tree benchmark exists");
+    let size = if smoke { 16 } else { b.bench_size };
+    let ace = Ace::load(&(b.program)(size))?;
+    let mut c = EngineConfig::default()
+        .with_workers(64)
+        .with_opts(OptFlags::all())
+        .with_or_scheduler(OrScheduler::Pool)
+        .with_topology(Topology::numa(4))
+        .all_solutions();
+    c.trace = TraceConfig::enabled();
+    let r = ace.run(Mode::OrParallel, &(b.query)(size), &c)?;
+    let trace = r
+        .trace
+        .as_ref()
+        .ok_or("tracing enabled but no trace on the report")?;
+    fs::write(path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} events, {} workers, {} dropped)",
+        path.display(),
+        trace.len(),
+        trace.workers(),
+        trace.dropped
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     // --claim-locality: run only the claim-locality series (targeted use);
     // the series always runs as part of the full/smoke sweeps too.
     let only_locality = args.iter().any(|a| a == "--claim-locality");
+    // --topology / --topology-smoke: run only the worker-scaling grid and
+    // write BENCH_or_topology.json (separate artifact, separate CI step).
+    let topo_smoke = args.iter().any(|a| a == "--topology-smoke");
+    let topology = topo_smoke || args.iter().any(|a| a == "--topology");
     // --json is the only output mode; accepted for CLI symmetry with tables.
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_or_scaling.json"));
+        .unwrap_or_else(|| {
+            PathBuf::from(if topology {
+                "BENCH_or_topology.json"
+            } else {
+                "BENCH_or_scaling.json"
+            })
+        });
     let trace_out = args
         .iter()
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+
+    if topology {
+        let grid = match topology_grid(topo_smoke) {
+            Ok(grid) => grid,
+            Err(e) => {
+                eprintln!("or_scaling FAILED: {e}");
+                std::process::exit(2);
+            }
+        };
+        let doc = Json::obj([
+            ("bench", "or_topology".into()),
+            ("smoke", topo_smoke.into()),
+            ("scheduler", "pool".into()),
+            ("grid", grid),
+        ]);
+        fs::write(&out, doc.render()).expect("write bench json");
+        eprintln!("wrote {}", out.display());
+        if let Some(path) = trace_out {
+            eprintln!("tracing wide_tree at 64 workers / numa4 ...");
+            if let Err(e) = write_topology_trace(topo_smoke, &path) {
+                eprintln!("or_scaling FAILED: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
 
     let corpus: &[&str] = if smoke {
         &["queen1", "members", "ancestors"]

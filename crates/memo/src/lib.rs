@@ -327,6 +327,13 @@ impl MemoTable {
         self.len() == 0
     }
 
+    /// Number of independent shards (lock granularity). Fresh per-run
+    /// tables are sized to the fleet by `EngineConfig::resolve_memo_table`,
+    /// so big-worker runs can verify their table matches the machine.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Table-lifetime counters (REPL `:memo-stats`, diagnostics).
     pub fn counters(&self) -> MemoCounters {
         MemoCounters {

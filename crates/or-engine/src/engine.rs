@@ -10,12 +10,12 @@ use ace_machine::frames::{Alts, SharedChoice};
 use ace_machine::{Machine, Status};
 use ace_runtime::{
     fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig, EventKind,
-    FaultAction, FaultInjector, MemoTable, OrScheduler, Phase, RunOutcome, SimDriver, Stats,
-    ThreadsDriver, Trace, TraceBuf, TraceSink, Tracer,
+    FaultAction, FaultInjector, LockClock, MemoTable, OrScheduler, Phase, RunOutcome, SimDriver,
+    Stats, ThreadsDriver, Trace, TraceBuf, TraceSink, Tracer,
 };
 use parking_lot::Mutex;
 
-use crate::pool::AltPool;
+use crate::pool::{AltPool, StealScope};
 use crate::tree::{DeferPoll, NodeClaim, OrNode, RemoteClaim};
 
 /// How many reset machines a worker keeps for reuse. Claims are bursty but
@@ -49,7 +49,14 @@ struct OrShared {
     busy: AtomicUsize,
     idle: AtomicUsize,
     done: AtomicBool,
-    solutions: Mutex<Vec<String>>,
+    /// Solution accumulation, one buffer per topology domain (a single
+    /// buffer when `topology.domain_answer_buffers` is off — the
+    /// pre-topology engine-wide lock, kept as the ablation baseline).
+    /// Workers append to their own domain's buffer; the buffers are
+    /// concatenated in domain order once, at report time.
+    answers: Vec<Mutex<Vec<String>>>,
+    /// Virtual-time contention observation for each answer buffer.
+    answer_clocks: Vec<LockClock>,
     nsolutions: AtomicUsize,
     error: Mutex<Option<String>>,
     cancel: CancelToken,
@@ -129,11 +136,31 @@ struct OrWorker {
     /// timestamps are `vclock + phase_cost` so they are monotone per
     /// worker and track the driver's clock.
     vclock: u64,
+    /// Index into `OrShared::answers` (0 when domain buffers are off).
+    answer_slot: usize,
+    /// Topology steal premiums and contention price, copied out of the
+    /// config so the hot paths don't re-borrow `sh`.
+    intra_steal: u64,
+    cross_steal: u64,
+    contended_lock: u64,
+    /// Emit `DomainSteal` events (hierarchical scan only — the flat-scan
+    /// ablation legitimately crosses domains with local work visible).
+    trace_domain_steals: bool,
 }
 
 impl OrWorker {
     fn new(id: usize, sh: Arc<OrShared>, costs: Arc<CostModel>) -> Self {
         let tracer = Tracer::new(&sh.cfg.trace, id);
+        let topo = &sh.cfg.topology;
+        let domain = topo.domain_of(id, sh.cfg.workers.max(1));
+        let answer_slot = if topo.domain_answer_buffers {
+            domain
+        } else {
+            0
+        };
+        let (intra_steal, cross_steal, contended_lock) =
+            (topo.intra_steal, topo.cross_steal, topo.contended_lock);
+        let trace_domain_steals = topo.hierarchical;
         OrWorker {
             id,
             sh,
@@ -149,6 +176,11 @@ impl OrWorker {
             saw_pending: false,
             tracer,
             vclock: 0,
+            answer_slot,
+            intra_steal,
+            cross_steal,
+            contended_lock,
+            trace_domain_steals,
         }
     }
 
@@ -172,6 +204,67 @@ impl OrWorker {
     fn charge(&mut self, units: u64) {
         self.stats.charge(units);
         self.phase_cost += units;
+    }
+
+    /// Absorb observed lock contention into this worker's clock: the
+    /// residual wait behind the previous holder plus the topology's
+    /// per-event contention price, per contended acquisition. A topology
+    /// with `contended_lock == 0` (the flat default) only counts the
+    /// events — charging nothing keeps the default machine's virtual
+    /// times bit-identical to the pre-topology engine.
+    fn note_contention(&mut self, events: u64, wait: u64) {
+        if events == 0 {
+            return;
+        }
+        self.stats.lock_contended += events;
+        if self.contended_lock == 0 {
+            return;
+        }
+        let units = wait + events * self.contended_lock;
+        self.stats.lock_wait_cost += units;
+        self.charge(units);
+    }
+
+    /// Pool push at the current virtual time, charging any contention
+    /// the pool observed. Returns whether an entry was actually added.
+    fn pool_push(&mut self, node: &Arc<OrNode>) -> bool {
+        let out = self.sh.pool.push(self.id, node, self.now());
+        self.note_contention(out.contended, out.lock_wait);
+        out.added
+    }
+
+    /// Steal-scope accounting for a successful pool claim: count it,
+    /// charge the topology's distance premium, and emit the
+    /// `DomainSteal` trace event for non-own scopes (hierarchical scan
+    /// only — see `trace_domain_steals`).
+    fn note_steal_scope(&mut self, node_id: u64, scope: StealScope, local_work: usize) {
+        let (premium, scope_name) = match scope {
+            StealScope::Own => {
+                self.stats.steals_local_domain += 1;
+                return;
+            }
+            StealScope::Domain => {
+                self.stats.steals_local_domain += 1;
+                (self.intra_steal, "domain")
+            }
+            StealScope::Cross => {
+                self.stats.steals_cross_domain += 1;
+                if local_work > 0 {
+                    self.stats.steals_cross_eager += 1;
+                }
+                (self.cross_steal, "cross")
+            }
+        };
+        self.charge(premium);
+        if self.trace_domain_steals {
+            let t = self.now();
+            let local_work = local_work as u64;
+            self.tracer.emit(t, || EventKind::DomainSteal {
+                node: node_id,
+                scope: scope_name,
+                local_work,
+            });
+        }
     }
 
     /// Install the root query machine (worker 0).
@@ -350,7 +443,7 @@ impl OrWorker {
         // Make the fresh alternatives findable in O(1). An LAO-refilled
         // node may still have a stale pool entry, in which case the push
         // no-ops and the existing entry serves the new alternatives.
-        if self.sh.cfg.or_scheduler == OrScheduler::Pool && self.sh.pool.push(self.id, &node) {
+        if self.sh.cfg.or_scheduler == OrScheduler::Pool && self.pool_push(&node) {
             self.stats.pool_pushes += 1;
             self.charge(costs.queue_op);
             let t = self.now();
@@ -399,9 +492,11 @@ impl OrWorker {
         let topmost = self.sh.cfg.or_dispatch == ace_runtime::OrDispatch::Topmost;
         let claimed = match self.sh.cfg.or_scheduler {
             OrScheduler::Pool => loop {
-                let Some(node) = self.sh.pool.pop(self.id, topmost) else {
+                let Some(pop) = self.sh.pool.pop(self.id, topmost, self.now()) else {
                     break None;
                 };
+                self.note_contention(pop.contended, pop.lock_wait);
+                let node = pop.node;
                 self.stats.pool_pops += 1;
                 self.stats.tree_visits += 1;
                 self.charge(costs.queue_op + costs.tree_visit);
@@ -412,13 +507,16 @@ impl OrWorker {
                     RemoteClaim::Ready((idx, epoch, pred, closure)) => {
                         // Keep the node visible to other idle workers while
                         // it still has unclaimed alternatives.
-                        if node.has_work() && self.sh.pool.push(self.id, &node) {
+                        if node.has_work() && self.pool_push(&node) {
                             self.stats.pool_pushes += 1;
                             self.charge(costs.queue_op);
                             let t = self.now();
                             self.tracer
                                 .emit(t, || EventKind::PoolPush { node: node_id });
                         }
+                        // The claim succeeded: price the steal by how far
+                        // the entry travelled across the topology.
+                        self.note_steal_scope(node_id, pop.scope, pop.local_work);
                         break Some((node, idx, epoch, pred, closure));
                     }
                     // Deferred closure: the demand flag is up now, and the
@@ -570,16 +668,32 @@ impl OrWorker {
                         });
                         // Re-advertise: the node is now installable, and
                         // the pending claimant holds no pool entry for it
-                        // (Pending pops are not re-pushed).
-                        if self.sh.cfg.or_scheduler == OrScheduler::Pool
-                            && self.sh.pool.push(self.id, &node)
-                        {
-                            self.stats.pool_pushes += 1;
-                            self.stats.charge(costs.queue_op);
-                            self.phase_cost += costs.queue_op;
-                            let t = self.vclock + self.phase_cost;
-                            self.tracer
-                                .emit(t, || EventKind::PoolPush { node: node_id });
+                        // (Pending pops are not re-pushed). Contention is
+                        // charged inline for the same reason as above:
+                        // `note_contention` takes `&mut self` and `run`
+                        // is still live.
+                        if self.sh.cfg.or_scheduler == OrScheduler::Pool {
+                            let out =
+                                self.sh
+                                    .pool
+                                    .push(self.id, &node, self.vclock + self.phase_cost);
+                            if out.contended > 0 {
+                                self.stats.lock_contended += out.contended;
+                                if self.contended_lock > 0 {
+                                    let units = out.lock_wait + out.contended * self.contended_lock;
+                                    self.stats.lock_wait_cost += units;
+                                    self.stats.charge(units);
+                                    self.phase_cost += units;
+                                }
+                            }
+                            if out.added {
+                                self.stats.pool_pushes += 1;
+                                self.stats.charge(costs.queue_op);
+                                self.phase_cost += costs.queue_op;
+                                let t = self.vclock + self.phase_cost;
+                                self.tracer
+                                    .emit(t, || EventKind::PoolPush { node: node_id });
+                            }
                         }
                     }
                     run.deferred.swap_remove(i);
@@ -687,7 +801,17 @@ impl OrWorker {
             }
         }
         let n = self.pending_answers.len();
-        self.sh.solutions.lock().append(&mut self.pending_answers);
+        // Domain-local accumulation: each domain appends into its own
+        // buffer behind its own clock, so 512 workers serialize on at
+        // most `domains` locks instead of one engine-wide bottleneck.
+        // The virtual-time clock observes any residual contention that
+        // does remain within the domain.
+        let hold = self.sh.cfg.costs.queue_op + n as u64;
+        let wait = self.sh.answer_clocks[self.answer_slot].acquire(self.id, self.now(), hold);
+        self.note_contention(u64::from(wait > 0), wait);
+        self.sh.answers[self.answer_slot]
+            .lock()
+            .append(&mut self.pending_answers);
         let total = self.sh.nsolutions.fetch_add(n, Ordering::AcqRel) + n;
         if self.sh.cfg.max_solutions.is_some_and(|max| total >= max) {
             self.sh.finish();
@@ -900,16 +1024,24 @@ impl OrEngine {
     /// Run `query` under `cfg`, exploring alternatives or-parallel.
     pub fn run(&self, query: &str, cfg: &EngineConfig) -> Result<OrReport, String> {
         let total_alts = Arc::new(AtomicUsize::new(0));
+        // Answer buffers: one per topology domain (or a single shared one
+        // when domain buffering is disabled for ablation runs).
+        let answer_slots = if cfg.topology.domain_answer_buffers {
+            cfg.topology.domains.max(1)
+        } else {
+            1
+        };
         let shared = Arc::new(OrShared {
             db: self.db.clone(),
             cfg: cfg.clone(),
             root: OrNode::root(total_alts.clone()),
-            pool: AltPool::new(cfg.workers.max(1)),
+            pool: AltPool::new(cfg.workers.max(1), &cfg.topology, cfg.costs.queue_op),
             total_alts,
             busy: AtomicUsize::new(1), // the root machine
             idle: AtomicUsize::new(0),
             done: AtomicBool::new(false),
-            solutions: Mutex::new(Vec::new()),
+            answers: (0..answer_slots).map(|_| Mutex::new(Vec::new())).collect(),
+            answer_clocks: (0..answer_slots).map(|_| LockClock::new()).collect(),
             nsolutions: AtomicUsize::new(0),
             error: Mutex::new(None),
             cancel: cfg.root_cancel(),
@@ -989,7 +1121,14 @@ impl OrEngine {
         for w in &per_worker {
             stats += *w;
         }
-        let mut solutions = std::mem::take(&mut *shared.solutions.lock());
+        // Concatenate the per-domain answer buffers in domain order. The
+        // engine's answer order was never deterministic across workers
+        // (callers sort), so domain-major order is as good as arrival
+        // order was.
+        let mut solutions = Vec::new();
+        for buf in &shared.answers {
+            solutions.append(&mut buf.lock());
+        }
         if let Some(max) = cfg.max_solutions {
             solutions.truncate(max);
         }

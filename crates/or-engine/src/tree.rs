@@ -88,6 +88,39 @@ pub struct OrNode {
     /// Whether a handle to this node currently sits in the alternative
     /// pool (at most one live entry per node; see [`crate::pool::AltPool`]).
     in_pool: AtomicBool,
+    /// Lock-free mirror of the payload's bookkeeping —
+    /// `epoch << 3 | empty << 2 | ready << 1 | wanted` — kept in sync
+    /// under the payload mutex by every mutating method. The owner's
+    /// per-quantum deferral sweep ([`OrNode::defer_poll`]) and the steal
+    /// path's liveness check ([`OrNode::has_work`]) read this word
+    /// instead of taking the mutex, so epoch bookkeeping costs one load
+    /// per node instead of a lock acquisition — the difference between
+    /// O(deferred) atomic reads and O(deferred) mutex round-trips every
+    /// quantum at 512 workers. Direct payload surgery (tests) must be
+    /// followed by a mutating method before these fast paths are trusted.
+    meta: AtomicU64,
+}
+
+/// Bit layout of [`OrNode::meta`].
+const META_WANTED: u64 = 1;
+const META_READY: u64 = 2;
+const META_EMPTY: u64 = 4;
+const META_EPOCH_SHIFT: u32 = 3;
+
+fn meta_word(p: &Option<Payload>) -> u64 {
+    match p {
+        None => META_EMPTY,
+        Some(p) => {
+            (p.epoch << META_EPOCH_SHIFT)
+                | if p.alts.is_empty() { META_EMPTY } else { 0 }
+                | if matches!(p.closure, ClosureState::Ready(_)) {
+                    META_READY
+                } else {
+                    0
+                }
+                | if p.remote_wanted { META_WANTED } else { 0 }
+        }
+    }
 }
 
 impl OrNode {
@@ -100,7 +133,14 @@ impl OrNode {
             children: Mutex::new(Vec::new()),
             total_alts,
             in_pool: AtomicBool::new(false),
+            meta: AtomicU64::new(META_EMPTY),
         })
+    }
+
+    /// Re-mirror the payload's bookkeeping into [`OrNode::meta`]. Must be
+    /// called (and only makes sense) while holding the payload mutex.
+    fn sync_meta(&self, p: &Option<Payload>) {
+        self.meta.store(meta_word(p), Ordering::Release);
     }
 
     /// Publish a fresh node under `parent`. The closure is *not* captured:
@@ -112,19 +152,22 @@ impl OrNode {
         total_alts: Arc<AtomicUsize>,
     ) -> Arc<OrNode> {
         total_alts.fetch_add(alts.len(), Ordering::AcqRel);
+        let payload = Some(Payload {
+            epoch: 0,
+            pred,
+            alts,
+            closure: ClosureState::Deferred,
+            remote_wanted: false,
+        });
+        let meta = AtomicU64::new(meta_word(&payload));
         let node = Arc::new(OrNode {
             id: NODE_IDS.fetch_add(1, Ordering::Relaxed),
             depth: parent.depth + 1,
-            payload: Mutex::new(Some(Payload {
-                epoch: 0,
-                pred,
-                alts,
-                closure: ClosureState::Deferred,
-                remote_wanted: false,
-            })),
+            payload: Mutex::new(payload),
             children: Mutex::new(Vec::new()),
             total_alts,
             in_pool: AtomicBool::new(false),
+            meta,
         });
         parent.children.lock().push(node.clone());
         node
@@ -163,6 +206,7 @@ impl OrNode {
             closure: ClosureState::Deferred,
             remote_wanted: false,
         });
+        self.sync_meta(&p);
         Some(epoch)
     }
 
@@ -179,7 +223,7 @@ impl OrNode {
         if payload.alts.is_empty() {
             return RemoteClaim::Empty;
         }
-        match &payload.closure {
+        let claim = match &payload.closure {
             ClosureState::Deferred => {
                 payload.remote_wanted = true;
                 RemoteClaim::Pending
@@ -190,7 +234,9 @@ impl OrNode {
                 self.total_alts.fetch_sub(1, Ordering::AcqRel);
                 RemoteClaim::Ready((idx, payload.epoch, payload.pred, closure))
             }
-        }
+        };
+        self.sync_meta(&p);
+        claim
     }
 
     /// Owner side of materialization: install the frozen closure for
@@ -199,7 +245,7 @@ impl OrNode {
     /// fulfilled.
     pub fn fulfill_closure(&self, epoch: u64, closure: Arc<StateClosure>) -> bool {
         let mut p = self.payload.lock();
-        match p.as_mut() {
+        let fulfilled = match p.as_mut() {
             Some(payload)
                 if payload.epoch == epoch && matches!(payload.closure, ClosureState::Deferred) =>
             {
@@ -207,35 +253,36 @@ impl OrNode {
                 true
             }
             _ => false,
+        };
+        if fulfilled {
+            self.sync_meta(&p);
         }
+        fulfilled
     }
 
     /// Owner checkpoint poll of a node it published with a deferred
-    /// closure at `epoch`.
+    /// closure at `epoch`. Lock-free: reads the `OrNode::meta` mirror,
+    /// so the owner's per-quantum sweep over its deferral list costs one
+    /// atomic load per node — the payload mutex is only taken when this
+    /// answers [`DeferPoll::Materialize`] and the owner goes on to
+    /// freeze and [`OrNode::fulfill_closure`].
     pub fn defer_poll(&self, epoch: u64) -> DeferPoll {
-        let p = self.payload.lock();
-        let Some(payload) = p.as_ref() else {
-            return DeferPoll::Dead;
-        };
-        if payload.epoch != epoch
-            || payload.alts.is_empty()
-            || matches!(payload.closure, ClosureState::Ready(_))
-        {
+        let m = self.meta.load(Ordering::Acquire);
+        if (m >> META_EPOCH_SHIFT) != epoch || m & (META_EMPTY | META_READY) != 0 {
             return DeferPoll::Dead;
         }
-        if payload.remote_wanted {
+        if m & META_WANTED != 0 {
             DeferPoll::Materialize
         } else {
             DeferPoll::Keep
         }
     }
 
-    /// Any unclaimed alternatives right now?
+    /// Any unclaimed alternatives right now? Lock-free (`OrNode::meta`):
+    /// the steal path consults this after every claim to decide on
+    /// re-advertisement without re-entering the payload mutex.
     pub fn has_work(&self) -> bool {
-        self.payload
-            .lock()
-            .as_ref()
-            .is_some_and(|p| !p.alts.is_empty())
+        self.meta.load(Ordering::Acquire) & META_EMPTY == 0
     }
 
     /// Any unclaimed alternatives *installable by a remote* right now
@@ -287,6 +334,7 @@ impl SharedChoice for NodeClaim {
         }
         let idx = payload.alts.pop_front()?;
         self.node.total_alts.fetch_sub(1, Ordering::AcqRel);
+        self.node.sync_meta(&p);
         Some(idx)
     }
 
@@ -299,6 +347,7 @@ impl SharedChoice for NodeClaim {
                 let n = payload.alts.len();
                 payload.alts.clear();
                 self.node.total_alts.fetch_sub(n, Ordering::AcqRel);
+                self.node.sync_meta(&p);
             }
         }
     }
@@ -428,6 +477,48 @@ mod tests {
         assert_eq!(fresh.claim_next(), Some(0));
         // depth is unchanged — that is the whole point of LAO
         assert_eq!(node.depth, 1);
+    }
+
+    #[test]
+    fn meta_mirror_tracks_payload_through_every_mutation() {
+        let total = counter();
+        let root = OrNode::root(total.clone());
+        // Root: no payload, mirrored as empty.
+        assert!(!root.has_work());
+
+        let node = OrNode::publish(&root, (sym("p"), 1), VecDeque::from([1, 2]), total.clone());
+        let locked_has_work = |n: &OrNode| {
+            n.payload
+                .lock()
+                .as_ref()
+                .is_some_and(|p| !p.alts.is_empty())
+        };
+        assert_eq!(node.has_work(), locked_has_work(&node));
+
+        // Demand flag, materialization, and claims all re-mirror.
+        assert!(matches!(node.claim_remote(), RemoteClaim::Pending));
+        assert_eq!(node.defer_poll(0), DeferPoll::Materialize);
+        assert!(node.fulfill_closure(0, closure()));
+        assert!(matches!(node.claim_remote(), RemoteClaim::Ready(_)));
+        assert_eq!(node.has_work(), locked_has_work(&node));
+        assert!(matches!(node.claim_remote(), RemoteClaim::Ready(_)));
+        assert!(!node.has_work());
+        assert_eq!(node.has_work(), locked_has_work(&node));
+
+        // LAO reuse re-arms the mirror at the bumped epoch.
+        let epoch = node.try_reuse((sym("q"), 1), VecDeque::from([7])).unwrap();
+        assert!(node.has_work());
+        assert_eq!(node.defer_poll(epoch), DeferPoll::Keep);
+
+        // Owner-side drain through the claim handle re-mirrors too.
+        let owner = NodeClaim {
+            node: node.clone(),
+            epoch,
+        };
+        assert_eq!(owner.claim_next(), Some(7));
+        assert!(!node.has_work());
+        owner.owner_detached();
+        assert_eq!(node.defer_poll(epoch), DeferPoll::Dead);
     }
 
     #[test]

@@ -40,6 +40,25 @@ pub fn range_list(n: usize) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// The wide two-level or-tree program: `n` top-level alternatives, each
+/// fanning into 8 inner alternatives, each leaf paying a fixed
+/// deterministic walk. The top or-node is `n` clauses wide, so a single
+/// publication feeds hundreds of thieves — the shape the 64–512 worker
+/// scaling grid needs to separate scheduler overhead from work shortage.
+pub fn wide_tree(n: usize) -> String {
+    let mut src = String::new();
+    for i in 1..=n {
+        src.push_str(&format!("alt1({i}).\n"));
+    }
+    for i in 1..=8 {
+        src.push_str(&format!("alt2({i}).\n"));
+    }
+    src.push_str("walk([]).\nwalk([_|T]) :- walk(T).\n");
+    src.push_str(&format!("work :- walk({}).\n", range_list(12)));
+    src.push_str("wt(X, Y) :- alt1(X), alt2(Y), work.\n");
+    src
+}
+
 /// `k` sublists of `m` pseudo-random digits 0..9.
 pub fn list_of_lists(k: usize, m: usize, seed: u64) -> String {
     let mut rng = Lcg::new(seed);

@@ -283,6 +283,18 @@ pub fn all() -> Vec<Benchmark> {
             description: "nested member/2 search for triples with a target sum",
         },
         Benchmark {
+            name: "wide_tree",
+            mode: Mode::OrParallel,
+            program: |n| gen::wide_tree(n),
+            query: |_| "wt(X, Y)".to_owned(),
+            test_size: 4,
+            bench_size: 64,
+            all_solutions: true,
+            appears_in: "scaling grid (BENCH_or_topology)",
+            description: "wide two-level or-tree (n x 8 alternatives, fixed \
+                          leaf work) for the 64-512 worker scaling wall",
+        },
+        Benchmark {
             name: "maps",
             mode: Mode::OrParallel,
             program: |_| with_lib(MAPS),
@@ -328,6 +340,7 @@ mod tests {
             "puzzle",
             "ancestors",
             "members",
+            "wide_tree",
             "maps",
         ] {
             assert!(names.contains(&expected), "missing benchmark {expected}");

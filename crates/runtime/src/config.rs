@@ -9,6 +9,7 @@ use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
 use crate::sink::AnswerSink;
+use crate::topology::Topology;
 use crate::trace::TraceConfig;
 
 /// Which optimizations from the paper are enabled.
@@ -167,6 +168,10 @@ pub struct EngineConfig {
     pub driver: DriverKind,
     /// Cost-unit prices (virtual time).
     pub costs: CostModel,
+    /// Worker placement and per-edge-class steal/contention costs (see
+    /// [`crate::topology`]). Flat by default — one domain, zero steal
+    /// premiums — which reproduces the pre-topology cost accounting.
+    pub topology: Topology,
     /// Maximum cost a worker may accumulate in one uninterrupted phase
     /// before yielding to the driver (bounds cancellation latency and
     /// interleaving granularity in the simulator).
@@ -225,6 +230,7 @@ impl Default for EngineConfig {
             opts: OptFlags::none(),
             driver: DriverKind::Sim,
             costs: CostModel::default(),
+            topology: Topology::flat(),
             quantum: 400,
             max_solutions: Some(1),
             ship: ShipPolicy::default(),
@@ -256,6 +262,11 @@ impl EngineConfig {
 
     pub fn with_driver(mut self, driver: DriverKind) -> Self {
         self.driver = driver;
+        self
+    }
+
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -335,11 +346,17 @@ impl EngineConfig {
         if !self.memo.enabled {
             return None;
         }
-        Some(
-            self.memo_table
-                .clone()
-                .unwrap_or_else(|| Arc::new(MemoTable::new(&self.memo))),
-        )
+        Some(self.memo_table.clone().unwrap_or_else(|| {
+            // A fresh per-run table is sized to the fleet: the default 16
+            // shards serialize lookups once more than ~16 workers hammer
+            // the table, so scale the shard count up to the worker count
+            // (next power of two keeps the modulo distribution even).
+            // Externally supplied tables are reused as-is — their owner
+            // chose their geometry.
+            let mut memo = self.memo.clone();
+            memo.shards = memo.shards.max(self.workers.next_power_of_two());
+            Arc::new(MemoTable::new(&memo))
+        }))
     }
 }
 
@@ -408,5 +425,33 @@ mod tests {
         let c = EngineConfig::default().with_memo_table(shared.clone());
         assert!(c.memo.enabled);
         assert!(Arc::ptr_eq(&c.resolve_memo_table().unwrap(), &shared));
+    }
+
+    #[test]
+    fn memo_shards_scale_to_the_fleet() {
+        // Small fleets keep the configured default geometry...
+        let c = EngineConfig::default()
+            .with_workers(8)
+            .with_memo(MemoConfig::enabled());
+        assert_eq!(c.resolve_memo_table().unwrap().shard_count(), 16);
+        // ...big fleets get one shard per worker (power-of-two rounded).
+        let c = EngineConfig::default()
+            .with_workers(100)
+            .with_memo(MemoConfig::enabled());
+        assert_eq!(c.resolve_memo_table().unwrap().shard_count(), 128);
+        // External tables are never resized behind their owner's back.
+        let shared = Arc::new(MemoTable::new(&MemoConfig::enabled()));
+        let c = EngineConfig::default()
+            .with_workers(512)
+            .with_memo_table(shared.clone());
+        assert_eq!(c.resolve_memo_table().unwrap().shard_count(), 16);
+    }
+
+    #[test]
+    fn topology_defaults_flat() {
+        let c = EngineConfig::default();
+        assert_eq!(c.topology, Topology::flat());
+        let c = c.with_topology(Topology::numa(4));
+        assert_eq!(c.topology.domains, 4);
     }
 }

@@ -19,6 +19,12 @@
 //! that engine logic is correct under true concurrency, and on multicore
 //! hosts it reports wall-clock times.
 //!
+//! The virtual machine need not be flat: a [`topology::Topology`] on
+//! the config groups workers into NUMA-style domains with per-edge-class
+//! costs (intra- vs cross-domain steals, observed lock contention via
+//! [`topology::LockClock`]), so 64–512-worker fleets are simulated with
+//! locality effects the paper's 10-CPU Sequent never exposed.
+//!
 //! ## Fault model
 //!
 //! The [`fault`] module provides seeded, deterministic fault injection
@@ -53,6 +59,7 @@ pub mod driver;
 pub mod fault;
 pub mod sink;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 pub use ace_memo::{MemoConfig, MemoCounters, MemoEntry, MemoTable, PublishOutcome};
@@ -63,6 +70,7 @@ pub use driver::{supervised, Agent, Phase, RunOutcome, SimDriver, ThreadsDriver,
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use sink::{AnswerSink, SinkVerdict};
 pub use stats::Stats;
+pub use topology::{LockClock, Topology};
 pub use trace::{
     EventKind, Trace, TraceBuf, TraceChecker, TraceConfig, TraceEvent, TraceSink, Tracer,
 };

@@ -110,6 +110,22 @@ stats_sheet! {
         pub tasks_stolen: u64,
         pub idle_probes: u64,
         pub cells_copied: u64,
+        /// Alternatives claimed from a shard inside the thief's own
+        /// topology domain (own shard included).
+        pub steals_local_domain: u64,
+        /// Alternatives claimed across a domain boundary (including
+        /// overflow-tier entries that originated in another domain).
+        pub steals_cross_domain: u64,
+        /// Cross-domain claims taken while the thief's own domain still
+        /// had visible pool entries — the hierarchical victim scan keeps
+        /// this at zero; a flat scan crosses eagerly.
+        pub steals_cross_eager: u64,
+        /// Lock acquisitions the virtual-time contention model observed
+        /// as contended (landing inside a prior holder's interval).
+        pub lock_contended: u64,
+        /// Virtual time lost to contended locks: residual waits behind
+        /// prior holders plus the topology's per-event contention cost.
+        pub lock_wait_cost: u64,
 
         // procrastinated closure capture (or-engine publish/claim path)
         /// Cells frozen on the publish side of the or-tree: paid only when
@@ -173,6 +189,18 @@ impl Stats {
         self.idle_cost += units;
     }
 
+    /// Fraction of pool claims that crossed a topology domain boundary
+    /// (0.0 when no claims were classified — single worker, traversal
+    /// scheduler, or flat single-domain runs with no overflow traffic).
+    pub fn cross_steal_fraction(&self) -> f64 {
+        let total = self.steals_local_domain + self.steals_cross_domain;
+        if total == 0 {
+            0.0
+        } else {
+            self.steals_cross_domain as f64 / total as f64
+        }
+    }
+
     /// Total virtual time (busy + idle).
     #[inline]
     pub fn total_cost(&self) -> u64 {
@@ -187,6 +215,7 @@ impl Stats {
              published={} visits={} copied={} backtracks={} \
              closure={}frozen/{}thawed/{}elided/{}made \
              pool={}push/{}pop recycled={} probes={} \
+             domain-steals={}local/{}cross/{}eager contended={}locks/{}units \
              faults={} steal-retries={} publish-retries={} \
              memo={}hit/{}miss/{}store/{}evict streamed={}",
             self.cost,
@@ -212,6 +241,11 @@ impl Stats {
             self.pool_pops,
             self.machines_recycled,
             self.idle_probes,
+            self.steals_local_domain,
+            self.steals_cross_domain,
+            self.steals_cross_eager,
+            self.lock_contended,
+            self.lock_wait_cost,
             self.faults_injected,
             self.steal_retries,
             self.publish_retries,
@@ -277,6 +311,15 @@ mod tests {
     }
 
     #[test]
+    fn cross_steal_fraction_handles_empty_and_mixed() {
+        let mut s = Stats::new();
+        assert_eq!(s.cross_steal_fraction(), 0.0);
+        s.steals_local_domain = 3;
+        s.steals_cross_domain = 1;
+        assert!((s.cross_steal_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
     fn summary_mentions_key_counters() {
         let s = Stats::new();
         let text = s.summary();
@@ -292,6 +335,8 @@ mod tests {
             "memo=",
             "closure=",
             "streamed=",
+            "domain-steals=",
+            "contended=",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

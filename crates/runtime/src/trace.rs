@@ -127,6 +127,18 @@ pub enum EventKind {
     RedoRound,
 
     // -- scheduler --
+    /// A claim was served by a shard outside the thief's own (emitted by
+    /// the hierarchical pool only). `scope` is `"domain"` for a
+    /// same-domain victim, `"cross"` for a claim that crossed a topology
+    /// domain boundary; `local_work` is the thief's own-domain pool
+    /// occupancy observed when the entry was taken. The `TraceChecker`
+    /// asserts `scope == "cross"` implies `local_work == 0` — a thief
+    /// never crosses domains while local work is visible.
+    DomainSteal {
+        node: u64,
+        scope: &'static str,
+        local_work: u64,
+    },
     /// A worker started hunting for work.
     StealAttempt,
     /// The hunt yielded a task/alternative from another worker.
@@ -224,6 +236,7 @@ impl EventKind {
             EventKind::MarkerElide => "marker-elide",
             EventKind::PdoMerge => "pdo-merge",
             EventKind::RedoRound => "redo-round",
+            EventKind::DomainSteal { .. } => "domain-steal",
             EventKind::StealAttempt => "steal-attempt",
             EventKind::StealSuccess => "steal-success",
             EventKind::StealFail => "steal-fail",
@@ -302,6 +315,15 @@ impl EventKind {
                 ("key", U(*key)),
                 ("epoch", U(*epoch)),
                 ("answers", U(*answers as u64)),
+            ],
+            EventKind::DomainSteal {
+                node,
+                scope,
+                local_work,
+            } => vec![
+                ("node", U(*node)),
+                ("scope", S(scope)),
+                ("local_work", U(*local_work)),
             ],
             EventKind::FaultInjected { kind } => vec![("kind", S(kind))],
             EventKind::FaultRetry { what } => vec![("what", S(what))],
@@ -680,6 +702,22 @@ impl TraceChecker {
                 }
                 EventKind::SessionFirstAnswer { session }
                 | EventKind::AnswerStreamed { session } => streamed.push((*session, ev.t)),
+                // Hierarchical stealing: a thief never crosses a domain
+                // boundary while work is visible in its own domain. The
+                // event carries the occupancy snapshot taken at claim
+                // time, so the rule is per-event and holds under
+                // ring-buffer eviction.
+                EventKind::DomainSteal {
+                    node,
+                    scope,
+                    local_work,
+                } if *scope == "cross" && *local_work > 0 => {
+                    violations.push(format!(
+                        "worker {} stole node={node} across domains with {local_work} \
+                         local pool entries visible",
+                        ev.worker
+                    ));
+                }
                 EventKind::FaultInjected { .. } => injected += 1,
                 EventKind::FaultRetry { .. }
                 | EventKind::FaultStall { .. }
@@ -957,6 +995,56 @@ mod tests {
             ],
         );
         assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_domain_steal_rule() {
+        // Same-domain steals and cross-domain steals with an empty local
+        // domain are fine, whatever the local occupancy says for the
+        // former.
+        let ok = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    1,
+                    EventKind::DomainSteal {
+                        node: 3,
+                        scope: "domain",
+                        local_work: 4,
+                    },
+                ),
+                ev(
+                    2,
+                    2,
+                    EventKind::DomainSteal {
+                        node: 4,
+                        scope: "cross",
+                        local_work: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(TraceChecker::check(&ok).is_ok());
+
+        // Crossing a domain while local work is visible is a violation.
+        let bad = Trace::merge(
+            vec![],
+            vec![ev(
+                1,
+                2,
+                EventKind::DomainSteal {
+                    node: 5,
+                    scope: "cross",
+                    local_work: 3,
+                },
+            )],
+        );
+        let errs = TraceChecker::check(&bad).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("across domains")),
+            "{errs:?}"
+        );
     }
 
     #[test]

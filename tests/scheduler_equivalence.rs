@@ -15,7 +15,9 @@
 //!   workload.
 
 use ace_core::{Ace, Mode, RunReport};
-use ace_runtime::{EngineConfig, OptFlags, OrDispatch, OrScheduler, TraceChecker, TraceConfig};
+use ace_runtime::{
+    EngineConfig, OptFlags, OrDispatch, OrScheduler, Topology, TraceChecker, TraceConfig,
+};
 
 fn sorted(mut v: Vec<String>) -> Vec<String> {
     v.sort();
@@ -84,6 +86,57 @@ fn pool_matches_traversal_oracle_across_corpus() {
                     "{name} {dispatch:?}: pool scheduler never used the pool"
                 );
             }
+        }
+    }
+}
+
+/// (c) Topology equivalence at fleet scale: 64 workers over hierarchical
+/// multi-domain topologies — the even 4 x 16 split and an uneven 3-way
+/// split (22/22/20) — reproduce the traversal oracle's answer multiset.
+/// Every traced run is held to the full `TraceChecker` rule set,
+/// including the new one: no cross-domain steal while the thief's own
+/// domain still has visible pool entries. Under the deterministic sim
+/// driver the hierarchical scan makes eager crosses structurally
+/// impossible, so the counter is asserted exactly zero.
+#[test]
+fn pool_matches_oracle_at_64_workers_across_topologies() {
+    for name in ["wide_tree", "members"] {
+        let b = ace_programs::benchmark(name).unwrap();
+        let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+        let query = (b.query)(b.test_size);
+        let oracle = ace
+            .run(
+                b.mode,
+                &query,
+                &cfg(
+                    4,
+                    OptFlags::all(),
+                    OrScheduler::Traversal,
+                    OrDispatch::Deepest,
+                ),
+            )
+            .unwrap();
+        let expected = sorted(oracle.solutions);
+        assert!(!expected.is_empty(), "{name}: oracle found no solutions");
+
+        for (label, topo) in [
+            ("numa4", Topology::numa(4)),
+            ("numa3_uneven", Topology::numa(3)),
+        ] {
+            let c = cfg(64, OptFlags::all(), OrScheduler::Pool, OrDispatch::Deepest)
+                .with_topology(topo);
+            let pool = ace.run(b.mode, &query, &c).unwrap();
+            check_trace(&pool, &format!("{name} 64w {label}"));
+            assert_eq!(sorted(pool.solutions), expected, "{name} 64w {label}");
+            assert!(
+                pool.stats.steals_local_domain + pool.stats.steals_cross_domain > 0,
+                "{name} 64w {label}: no steals were scope-classified"
+            );
+            assert_eq!(
+                pool.stats.steals_cross_eager, 0,
+                "{name} 64w {label}: hierarchical scan crossed a domain with \
+                 local work still visible"
+            );
         }
     }
 }
