@@ -116,6 +116,11 @@ impl AndEngine {
         for w in &per_worker {
             stats += *w;
         }
+        // Fold the finished run into the live registry (engine totals +
+        // per-tenant memo traffic); a scrape between runs sees it.
+        if let Some(metrics) = &cfg.metrics {
+            metrics.record_run("and", cfg.memo_tenant, &stats, outcome.virtual_time);
+        }
         let solutions = std::mem::take(&mut *shared.solutions.lock());
         let trace =
             sink.map(|s| Trace::merge(std::mem::take(&mut *shared.trace_bufs.lock()), s.drain()));
@@ -396,5 +401,28 @@ mod tests {
             )
             .unwrap();
         assert_eq!(renders(&r), vec!["A=2, B=101, X=1", "A=4, B=102, X=2"]);
+    }
+
+    /// Attaching a metrics registry must not perturb virtual time or
+    /// stats, and the run must fold into the `and` engine family.
+    #[test]
+    fn metrics_attach_is_bit_identical() {
+        let e = AndEngine::new(db(BASE));
+        let q = "p(X), (double(X, A) & add(X, 100, B))";
+        let plain = e.run(q, &cfg(2, OptFlags::all())).unwrap();
+        let registry = ace_runtime::MetricsRegistry::shared();
+        let c = cfg(2, OptFlags::all()).with_metrics(registry.clone());
+        let live = e.run(q, &c).unwrap();
+        assert_eq!(live.outcome.virtual_time, plain.outcome.virtual_time);
+        assert_eq!(live.stats, plain.stats);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("ace_engine_runs_total", &[("engine", "and")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("ace_engine_virtual_time_total", &[("engine", "and")]),
+            Some(live.outcome.virtual_time)
+        );
     }
 }

@@ -13,6 +13,8 @@
 //! or_scaling --trace FILE          # + Perfetto trace of a 4-worker run
 //! or_scaling --topology            # 64-512 worker grid, BENCH_or_topology.json
 //! or_scaling --topology-smoke      # reduced grid + CI guards (exit 2)
+//! or_scaling --profile             # cost profile of the worst grid cell
+//! or_scaling --profile-smoke       # reduced size, same guards (exit 2)
 //! ```
 
 use std::fs;
@@ -21,7 +23,8 @@ use std::path::PathBuf;
 use ace_bench::json::Json;
 use ace_core::{Ace, Mode};
 use ace_runtime::{
-    EngineConfig, FaultKind, FaultPlan, OptFlags, OrScheduler, Topology, TraceConfig,
+    EngineConfig, FaultKind, FaultPlan, MetricsRegistry, OptFlags, OrScheduler, Profile, Topology,
+    TraceConfig,
 };
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -447,6 +450,97 @@ fn write_topology_trace(smoke: bool, path: &PathBuf) -> Result<(), String> {
     Ok(())
 }
 
+/// Profiled run of the topology grid's worst cell: `wide_tree` at 256
+/// workers under the global-answer-lock ablation, virtual-time trace
+/// folded into a cost profile. Prints the ranked frame table, writes the
+/// collapsed-stack file (`flamegraph.pl` / inferno input format), and
+/// guards that the contended answer lock actually ranks among the top-5
+/// frames — the profiler must be able to *name* the PR-7 cliff, not just
+/// show that it exists.
+fn profile_run(smoke: bool, out: &PathBuf) -> Result<(), String> {
+    let b = ace_programs::benchmark("wide_tree").expect("wide_tree benchmark exists");
+    let size = if smoke { 16 } else { b.bench_size };
+    let ace = Ace::load(&(b.program)(size))?;
+    let mut c = EngineConfig::default()
+        .with_workers(256)
+        .with_opts(OptFlags::all())
+        .with_or_scheduler(OrScheduler::Pool)
+        .with_topology(Topology::numa(4).global_answer_lock())
+        .all_solutions();
+    c.trace = TraceConfig::enabled();
+    eprintln!("profiling wide_tree (size {size}) at 256 workers / numa4 + global answer lock ...");
+    let r = ace
+        .run(Mode::OrParallel, &(b.query)(size), &c)
+        .map_err(|e| format!("profile run: {e}"))?;
+    let trace = r
+        .trace
+        .as_ref()
+        .ok_or("tracing enabled but no trace on the report")?;
+    if trace.dropped > 0 {
+        return Err(format!(
+            "profile run: trace dropped {} event(s) — profile would be partial; \
+             raise the ring capacity",
+            trace.dropped
+        ));
+    }
+    let profile = Profile::from_trace(trace);
+    println!("{}", profile.table(10));
+    fs::write(out, profile.collapsed()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} units of virtual cost attributed)",
+        out.display(),
+        profile.total()
+    );
+    let top5 = profile.top(5);
+    if !top5.iter().any(|(frame, _, _)| frame == "lock;answer") {
+        return Err(format!(
+            "profile guard: the global-answer-lock ablation's contended lock \
+             (frame `lock;answer`, cost {}) did not rank in the top-5 frames: {:?}",
+            profile.cost("lock;answer"),
+            top5.iter().map(|(f, _, _)| f.as_str()).collect::<Vec<_>>()
+        ));
+    }
+    Ok(())
+}
+
+/// Metrics bit-identity guard (smoke path): attaching a live registry to
+/// a deterministic run must leave the virtual clock and every stat
+/// untouched. Counter folds are checked against the report they came from.
+fn metrics_identity_guard() -> Result<(), String> {
+    let b = ace_programs::benchmark("queen1").expect("queen1 benchmark exists");
+    let ace = Ace::load(&(b.program)(b.test_size))?;
+    let query = (b.query)(b.test_size);
+    let plain = ace.run(b.mode, &query, &cfg(&b, 4, OrScheduler::Pool))?;
+    let registry = MetricsRegistry::shared();
+    let mut c = cfg(&b, 4, OrScheduler::Pool);
+    c = c.with_metrics(registry.clone());
+    let live = ace.run(b.mode, &query, &c)?;
+    if plain.virtual_time != live.virtual_time {
+        return Err(format!(
+            "metrics guard: live registry perturbed the virtual clock \
+             ({} -> {})",
+            plain.virtual_time, live.virtual_time
+        ));
+    }
+    if plain.stats != live.stats {
+        return Err("metrics guard: live registry perturbed the run stats".into());
+    }
+    let snap = registry.snapshot();
+    let folded = snap.counter_value("ace_engine_virtual_time_total", &[("engine", "or")]);
+    if folded != Some(live.virtual_time) {
+        return Err(format!(
+            "metrics guard: folded virtual time {folded:?} disagrees with the \
+             report ({})",
+            live.virtual_time
+        ));
+    }
+    eprintln!(
+        "metrics identity guard passed (virtual time {})",
+        live.virtual_time
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -457,6 +551,10 @@ fn main() {
     // write BENCH_or_topology.json (separate artifact, separate CI step).
     let topo_smoke = args.iter().any(|a| a == "--topology-smoke");
     let topology = topo_smoke || args.iter().any(|a| a == "--topology");
+    // --profile / --profile-smoke: cost-profile the topology grid's worst
+    // cell and write the collapsed-stack flamegraph input (separate mode).
+    let profile_smoke = args.iter().any(|a| a == "--profile-smoke");
+    let profile = profile_smoke || args.iter().any(|a| a == "--profile");
     // --json is the only output mode; accepted for CLI symmetry with tables.
     let out = args
         .iter()
@@ -464,7 +562,9 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| {
-            PathBuf::from(if topology {
+            PathBuf::from(if profile {
+                "BENCH_or_profile.folded"
+            } else if topology {
                 "BENCH_or_topology.json"
             } else {
                 "BENCH_or_scaling.json"
@@ -475,6 +575,14 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+
+    if profile {
+        if let Err(e) = profile_run(profile_smoke, &out) {
+            eprintln!("or_scaling FAILED: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
 
     if topology {
         let grid = match topology_grid(topo_smoke) {
@@ -513,6 +621,10 @@ fn main() {
     let mut benchmarks = Vec::new();
     let mut steal = Vec::new();
     if !only_locality {
+        if let Err(e) = metrics_identity_guard() {
+            eprintln!("or_scaling FAILED: {e}");
+            std::process::exit(2);
+        }
         for name in corpus {
             eprintln!("scaling {name} ...");
             match scaling_entry(name, smoke) {

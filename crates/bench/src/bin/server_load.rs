@@ -9,16 +9,25 @@
 //! time the same sessions would need without streaming, plus throughput
 //! and rejection counts.
 //!
+//! Phase B runs with a live metrics registry attached; its Prometheus
+//! scrape is the CI-uploaded artifact (`--metrics-out FILE`) and the
+//! server-side first-answer histogram is cross-checked against the
+//! client-side sample.
+//!
 //! Exit-2 guards:
 //! - streamed first-answer p99 must be at least 3x lower than the
 //!   run-to-completion p99 of the same high-priority sessions;
 //! - the high-priority first-answer p99 must not collapse under the
-//!   low-priority flood (priority dispatch must shield it).
+//!   low-priority flood (priority dispatch must shield it);
+//! - the registry's server-side first-answer p99 must agree with the
+//!   client-side sampled p99 within noise, and its admission counters
+//!   must agree with the server's own stats exactly.
 //!
 //! ```text
 //! server_load                    # full sizes, writes BENCH_server_load.json
 //! server_load --smoke            # reduced sizes (CI smoke job)
 //! server_load --json --out FILE  # explicit output path
+//! server_load --metrics-out FILE # + phase-B Prometheus text dump
 //! ```
 
 use std::fs;
@@ -27,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use ace_bench::json::Json;
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, OptFlags};
+use ace_runtime::{EngineConfig, MetricsRegistry, OptFlags};
 use ace_server::{Priority, QueryRequest, QueryServer, Serve, ServerConfig};
 
 const FLEET: usize = 8;
@@ -132,6 +141,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_server_load.json"));
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     // Per-answer work (`rep`) is deliberately a small fraction of the
     // per-session total (`work_items` answers): the completion/first-answer
@@ -173,7 +187,11 @@ fn main() {
     // flood submitted open-loop as fast as the admission controller
     // accepts (rejections are part of the measurement).
     eprintln!("server_load: phase B ({high_n} high-priority + {flood_n} flood) ...");
-    let server = ace.serve(server_cfg);
+    // The live registry rides along on the measured phase only: its scrape
+    // is the artifact CI uploads, and its server-side latency histograms
+    // are cross-checked against the client-side samples below.
+    let registry = MetricsRegistry::shared();
+    let server = ace.serve(server_cfg.with_metrics(registry.clone()));
     let mut flood_handles = Vec::new();
     let mut flood_rejected = 0u64;
     let t_flood = Instant::now();
@@ -191,6 +209,8 @@ fn main() {
         h.wait();
     }
     let flood_wall = t_flood.elapsed();
+    // Scrape before shutdown, the way a live Prometheus poll would see it.
+    let snap = server.metrics();
     let stats = server.shutdown();
 
     let p99_first_solo = p99(solo.iter().map(|s| s.first_answer_us).collect());
@@ -198,6 +218,17 @@ fn main() {
     let p99_completion_loaded = p99(loaded.iter().map(|s| s.completion_us).collect());
     let stream_speedup = p99_completion_loaded as f64 / p99_first_loaded.max(1) as f64;
     let throughput = stats.completed as f64 / flood_wall.as_secs_f64();
+
+    // The server-side view of the same phase-B traffic, from the registry.
+    let metrics_p99_first_high = snap
+        .histogram(
+            "ace_server_first_answer_latency_us",
+            &[("priority", "high")],
+        )
+        .map(|h| h.quantile(0.99))
+        .unwrap_or(0);
+    let metrics_admitted = snap.counter_total("ace_server_sessions_admitted_total");
+    let metrics_rejected = snap.counter_total("ace_server_sessions_rejected_total");
 
     eprintln!(
         "server_load: first-answer p99 solo={p99_first_solo}us loaded={p99_first_loaded}us \
@@ -220,9 +251,19 @@ fn main() {
         ("p99_first_answer_loaded_us", p99_first_loaded.into()),
         ("p99_completion_loaded_us", p99_completion_loaded.into()),
         ("stream_speedup_p99", stream_speedup.into()),
+        (
+            "metrics_p99_first_answer_high_us",
+            metrics_p99_first_high.into(),
+        ),
+        ("metrics_admitted_total", metrics_admitted.into()),
+        ("metrics_rejected_total", metrics_rejected.into()),
     ]);
     fs::write(&out, doc.render()).expect("write bench json");
     eprintln!("wrote {}", out.display());
+    if let Some(path) = &metrics_out {
+        fs::write(path, snap.render_prometheus()).expect("write metrics dump");
+        eprintln!("wrote {}", path.display());
+    }
 
     // Guard 1: streaming must beat run-to-completion on first-answer p99
     // by at least 3x under mixed load.
@@ -245,6 +286,32 @@ fn main() {
         eprintln!(
             "server_load FAILED: high-priority first-answer p99 regressed under flood: \
              {p99_first_loaded}us vs solo {p99_first_solo}us (bound {bound}us)"
+        );
+        std::process::exit(2);
+    }
+    // Guard 3: the registry must agree with what the bench measured.
+    // Counters exactly — every admission and rejection increments exactly
+    // one labeled series. The latency histogram within noise: server-side
+    // timing starts at submission like the client's t0 but is observed at
+    // the sink rather than the client thread, and the log-bucket layout
+    // rounds up to a bucket bound — a 2x band plus 20ms absolute slack
+    // covers both without masking a broken histogram (a real bug is off by
+    // orders of magnitude or zero).
+    if metrics_admitted != stats.admitted || metrics_rejected != stats.rejected {
+        eprintln!(
+            "server_load FAILED: metrics admission counters disagree with server \
+             stats: admitted {metrics_admitted} vs {}, rejected {metrics_rejected} vs {}",
+            stats.admitted, stats.rejected
+        );
+        std::process::exit(2);
+    }
+    let slack = 20_000u64;
+    let agree = metrics_p99_first_high <= p99_first_loaded * 2 + slack
+        && p99_first_loaded <= metrics_p99_first_high * 2 + slack;
+    if !agree {
+        eprintln!(
+            "server_load FAILED: metrics first-answer p99 ({metrics_p99_first_high}us) \
+             disagrees with the client-side sample ({p99_first_loaded}us)"
         );
         std::process::exit(2);
     }

@@ -234,6 +234,9 @@ impl Ace {
         let mut stats = solver.machine().stats;
         stats.answers_streamed = streamed;
         stats.sink_stops = sink_stops;
+        if let Some(metrics) = &cfg.metrics {
+            metrics.record_run("sequential", cfg.memo_tenant, &stats, stats.total_cost());
+        }
         Ok(RunReport {
             solutions,
             virtual_time: stats.total_cost(),

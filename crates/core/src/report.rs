@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use ace_runtime::{Stats, Trace};
+use ace_runtime::{Profile, Stats, Trace};
 
 /// The outcome of one query run under one configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +87,19 @@ impl RunReport {
                 self.recovery.join("; ")
             ));
         }
+        if let Some(trace) = &self.trace {
+            if trace.dropped > 0 {
+                s.push_str(&format!(
+                    ", trace incomplete ({} event(s) dropped)",
+                    trace.dropped
+                ));
+            }
+            let profile = Profile::from_trace(trace);
+            if !profile.is_empty() {
+                s.push('\n');
+                s.push_str(&profile.table(5));
+            }
+        }
         s
     }
 }
@@ -150,6 +163,45 @@ mod tests {
         r.stats.memo_misses = 1;
         let s = r.summary();
         assert!(s.contains("memo hit-rate 75.0% (3/4 lookups)"), "{s}");
+    }
+
+    #[test]
+    fn summary_flags_incomplete_trace_and_appends_profile() {
+        use ace_runtime::trace::{EventKind, Trace, TraceEvent};
+        let mut r = report(100);
+        assert!(!r.summary().contains("trace incomplete"));
+
+        // A complete trace with cost to attribute: profile table appended,
+        // no incompleteness note.
+        r.trace = Some(Trace {
+            events: vec![
+                TraceEvent {
+                    t: 0,
+                    worker: 0,
+                    kind: EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 2,
+                        pred: "p/1".into(),
+                    },
+                },
+                TraceEvent {
+                    t: 40,
+                    worker: 0,
+                    kind: EventKind::QuantumEnd { cost: 40 },
+                },
+            ],
+            dropped: 0,
+        });
+        let s = r.summary();
+        assert!(!s.contains("trace incomplete"), "{s}");
+        assert!(s.contains("frames by virtual cost"), "{s}");
+        assert!(s.contains("run;p/1"), "{s}");
+
+        // Dropped events: the summary says so explicitly.
+        r.trace.as_mut().unwrap().dropped = 7;
+        let s = r.summary();
+        assert!(s.contains("trace incomplete (7 event(s) dropped)"), "{s}");
     }
 
     #[test]

@@ -215,7 +215,7 @@ impl FdWorker {
         let costs = self.costs.clone();
         let lao = self.sh.cfg.opts.lao;
         let total_alts = self.sh.total_alts.clone();
-        let (copy_cost, reused, depth, node_id, epoch, nalts) = {
+        let (copy_cost, reused, depth, node_id, epoch, nalts, var) = {
             let Some(run) = self.current.as_mut() else {
                 return;
             };
@@ -271,7 +271,7 @@ impl FdWorker {
             };
             let node_id = node.id;
             run.last_published = Some(node);
-            (copy_cost, reused, depth, node_id, epoch, nalts)
+            (copy_cost, reused, depth, node_id, epoch, nalts, var)
         };
         if lao {
             self.charge(costs.lao_check);
@@ -288,17 +288,22 @@ impl FdWorker {
         }
         let t = self.now();
         self.tracer.emit(t, || {
+            // FD splits have no predicate; label frames by the branched
+            // variable instead (built in-closure: disabled tracing is free).
+            let pred = format!("fd.v{var}");
             if reused {
                 EventKind::LaoReuse {
                     node: node_id,
                     epoch,
                     alts: nalts,
+                    pred,
                 }
             } else {
                 EventKind::Publish {
                     node: node_id,
                     epoch,
                     alts: nalts,
+                    pred,
                 }
             }
         });

@@ -4,14 +4,15 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ace_logic::sym::{sym, wk};
+use ace_logic::sym::{sym, sym_name, wk};
 use ace_logic::{Cell, Database};
 use ace_machine::frames::{Alts, SharedChoice};
 use ace_machine::{Machine, Status};
 use ace_runtime::{
-    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, DriverKind, EngineConfig, EventKind,
-    FaultAction, FaultInjector, LockClock, MemoTable, OrScheduler, Phase, RunOutcome, SimDriver,
-    Stats, ThreadsDriver, Trace, TraceBuf, TraceSink, Tracer,
+    fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, Counter, DriverKind, EngineConfig,
+    EventKind, FaultAction, FaultInjector, Gauge, LockClock, MemoTable, MetricsRegistry,
+    OrScheduler, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver, Trace, TraceBuf, TraceSink,
+    Tracer,
 };
 use parking_lot::Mutex;
 
@@ -90,6 +91,51 @@ impl OrShared {
     }
 }
 
+/// Live metric handles for the or-engine's hot events, pre-resolved from
+/// the run's [`MetricsRegistry`] so the hot paths touch only atomics.
+/// Built once per worker iff `cfg.metrics` is set; the disabled path is a
+/// single `Option` branch per site and charges zero virtual time.
+#[derive(Clone)]
+struct OrLive {
+    publish_fresh: Counter,
+    publish_lao: Counter,
+    claims_own: Counter,
+    claims_domain: Counter,
+    claims_cross: Counter,
+    materializations: Counter,
+    pool_occupancy: Gauge,
+}
+
+impl OrLive {
+    fn new(m: &MetricsRegistry) -> Self {
+        m.describe(
+            "ace_or_publishes_total",
+            "or-tree node publications by kind (fresh publish vs LAO refill)",
+        );
+        m.describe(
+            "ace_or_claims_total",
+            "alternatives claimed from the public tree, by steal scope",
+        );
+        m.describe(
+            "ace_or_closure_materializations_total",
+            "deferred state closures frozen on remote demand",
+        );
+        m.describe(
+            "ace_or_pool_occupancy",
+            "live node entries advertised in the alternative pool",
+        );
+        OrLive {
+            publish_fresh: m.counter("ace_or_publishes_total", &[("kind", "fresh")]),
+            publish_lao: m.counter("ace_or_publishes_total", &[("kind", "lao")]),
+            claims_own: m.counter("ace_or_claims_total", &[("scope", "own")]),
+            claims_domain: m.counter("ace_or_claims_total", &[("scope", "domain")]),
+            claims_cross: m.counter("ace_or_claims_total", &[("scope", "cross")]),
+            materializations: m.counter("ace_or_closure_materializations_total", &[]),
+            pool_occupancy: m.gauge("ace_or_pool_occupancy", &[]),
+        }
+    }
+}
+
 struct Running {
     machine: Box<Machine>,
     /// Node whose claimed alternative spawned this computation (publish
@@ -146,6 +192,8 @@ struct OrWorker {
     /// Emit `DomainSteal` events (hierarchical scan only — the flat-scan
     /// ablation legitimately crosses domains with local work visible).
     trace_domain_steals: bool,
+    /// Live metric handles (`None` unless `cfg.metrics` is attached).
+    live: Option<OrLive>,
 }
 
 impl OrWorker {
@@ -161,6 +209,7 @@ impl OrWorker {
         let (intra_steal, cross_steal, contended_lock) =
             (topo.intra_steal, topo.cross_steal, topo.contended_lock);
         let trace_domain_steals = topo.hierarchical;
+        let live = sh.cfg.metrics.as_deref().map(OrLive::new);
         OrWorker {
             id,
             sh,
@@ -181,6 +230,7 @@ impl OrWorker {
             cross_steal,
             contended_lock,
             trace_domain_steals,
+            live,
         }
     }
 
@@ -212,7 +262,10 @@ impl OrWorker {
     /// with `contended_lock == 0` (the flat default) only counts the
     /// events — charging nothing keeps the default machine's virtual
     /// times bit-identical to the pre-topology engine.
-    fn note_contention(&mut self, events: u64, wait: u64) {
+    /// `what` names the contended structure ("pool", "answer") for the
+    /// `LockWait` trace event — emitted only when the topology actually
+    /// prices the contention, so flat runs stay event-identical too.
+    fn note_contention(&mut self, what: &'static str, events: u64, wait: u64) {
         if events == 0 {
             return;
         }
@@ -223,13 +276,21 @@ impl OrWorker {
         let units = wait + events * self.contended_lock;
         self.stats.lock_wait_cost += units;
         self.charge(units);
+        let t = self.now();
+        self.tracer
+            .emit(t, || EventKind::LockWait { what, cost: units });
     }
 
     /// Pool push at the current virtual time, charging any contention
     /// the pool observed. Returns whether an entry was actually added.
     fn pool_push(&mut self, node: &Arc<OrNode>) -> bool {
         let out = self.sh.pool.push(self.id, node, self.now());
-        self.note_contention(out.contended, out.lock_wait);
+        self.note_contention("pool", out.contended, out.lock_wait);
+        if out.added {
+            if let Some(live) = &self.live {
+                live.pool_occupancy.inc();
+            }
+        }
         out.added
     }
 
@@ -241,16 +302,25 @@ impl OrWorker {
         let (premium, scope_name) = match scope {
             StealScope::Own => {
                 self.stats.steals_local_domain += 1;
+                if let Some(live) = &self.live {
+                    live.claims_own.inc(self.id);
+                }
                 return;
             }
             StealScope::Domain => {
                 self.stats.steals_local_domain += 1;
+                if let Some(live) = &self.live {
+                    live.claims_domain.inc(self.id);
+                }
                 (self.intra_steal, "domain")
             }
             StealScope::Cross => {
                 self.stats.steals_cross_domain += 1;
                 if local_work > 0 {
                     self.stats.steals_cross_eager += 1;
+                }
+                if let Some(live) = &self.live {
+                    live.claims_cross.inc(self.id);
                 }
                 (self.cross_steal, "cross")
             }
@@ -415,24 +485,35 @@ impl OrWorker {
         if reused {
             self.stats.cp_reused_lao += 1;
             self.charge(costs.lao_reuse);
+            if let Some(live) = &self.live {
+                live.publish_lao.inc(self.id);
+            }
         } else {
             self.stats.nodes_published += 1;
             self.charge(costs.publish_node + costs.queue_op * nalts as u64);
+            if let Some(live) = &self.live {
+                live.publish_fresh.inc(self.id);
+            }
         }
         let t = self.now();
         let node_id = node.id;
         self.tracer.emit(t, || {
+            // Predicate label built inside the closure: disabled tracing
+            // must not pay the symbol-table lookup or the allocation.
+            let pred = format!("{}/{arity}", sym_name(name));
             if reused {
                 EventKind::LaoReuse {
                     node: node_id,
                     epoch,
                     alts: nalts,
+                    pred,
                 }
             } else {
                 EventKind::Publish {
                     node: node_id,
                     epoch,
                     alts: nalts,
+                    pred,
                 }
             }
         });
@@ -495,9 +576,12 @@ impl OrWorker {
                 let Some(pop) = self.sh.pool.pop(self.id, topmost, self.now()) else {
                     break None;
                 };
-                self.note_contention(pop.contended, pop.lock_wait);
+                self.note_contention("pool", pop.contended, pop.lock_wait);
                 let node = pop.node;
                 self.stats.pool_pops += 1;
+                if let Some(live) = &self.live {
+                    live.pool_occupancy.dec();
+                }
                 self.stats.tree_visits += 1;
                 self.charge(costs.queue_op + costs.tree_visit);
                 let t = self.now();
@@ -655,6 +739,9 @@ impl OrWorker {
                     let freeze_cost = costs.closure_freeze + cells * costs.heap_cell;
                     if node.fulfill_closure(epoch, closure) {
                         self.stats.closures_materialized += 1;
+                        if let Some(live) = &self.live {
+                            live.materializations.inc(self.id);
+                        }
                         // `self.charge` would re-borrow self while `run`
                         // is live; charge the fields directly.
                         self.stats.charge(freeze_cost);
@@ -684,9 +771,17 @@ impl OrWorker {
                                     self.stats.lock_wait_cost += units;
                                     self.stats.charge(units);
                                     self.phase_cost += units;
+                                    let t = self.vclock + self.phase_cost;
+                                    self.tracer.emit(t, || EventKind::LockWait {
+                                        what: "pool",
+                                        cost: units,
+                                    });
                                 }
                             }
                             if out.added {
+                                if let Some(live) = &self.live {
+                                    live.pool_occupancy.inc();
+                                }
                                 self.stats.pool_pushes += 1;
                                 self.stats.charge(costs.queue_op);
                                 self.phase_cost += costs.queue_op;
@@ -808,7 +903,7 @@ impl OrWorker {
         // does remain within the domain.
         let hold = self.sh.cfg.costs.queue_op + n as u64;
         let wait = self.sh.answer_clocks[self.answer_slot].acquire(self.id, self.now(), hold);
-        self.note_contention(u64::from(wait > 0), wait);
+        self.note_contention("answer", u64::from(wait > 0), wait);
         self.sh.answers[self.answer_slot]
             .lock()
             .append(&mut self.pending_answers);
@@ -1120,6 +1215,11 @@ impl OrEngine {
         let mut stats = Stats::new();
         for w in &per_worker {
             stats += *w;
+        }
+        // Fold the finished run into the live registry (engine totals +
+        // per-tenant memo traffic); a scrape between runs sees it.
+        if let Some(metrics) = &cfg.metrics {
+            metrics.record_run("or", cfg.memo_tenant, &stats, outcome.virtual_time);
         }
         // Concatenate the per-domain answer buffers in domain order. The
         // engine's answer order was never deterministic across workers
@@ -1450,5 +1550,40 @@ mod tests {
             "#));
         let r = e.run("t(X, Y)", &cfg(1, OptFlags::none())).unwrap();
         assert_eq!(r.solutions, vec!["X=0, Y=0", "X=2, Y=20", "X=5, Y=50"]);
+    }
+
+    /// The metrics contract: attaching a registry changes no virtual time
+    /// and no stats — live counters observe the run without perturbing it.
+    #[test]
+    fn metrics_attach_is_bit_identical_and_counts_events() {
+        let e = OrEngine::new(db(MEMBER));
+        let q = "member(V, [1,2,3,4,5,6,7,8]), compute(V, R)";
+        let plain = e.run(q, &cfg(4, OptFlags::all())).unwrap();
+        let registry = MetricsRegistry::shared();
+        let c = cfg(4, OptFlags::all()).with_metrics(registry.clone());
+        let live = e.run(q, &c).unwrap();
+        assert_eq!(live.outcome.virtual_time, plain.outcome.virtual_time);
+        assert_eq!(live.stats, plain.stats);
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("ace_engine_runs_total", &[("engine", "or")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("ace_engine_virtual_time_total", &[("engine", "or")]),
+            Some(live.outcome.virtual_time)
+        );
+        let published = snap.counter_total("ace_or_publishes_total");
+        assert_eq!(
+            published,
+            live.stats.nodes_published + live.stats.cp_reused_lao
+        );
+        assert_eq!(
+            snap.counter_total("ace_or_claims_total"),
+            live.stats.steals_local_domain + live.stats.steals_cross_domain
+        );
+        // The pool gauge nets out when the run drains all advertised work.
+        assert_eq!(snap.gauge_value("ace_or_pool_occupancy", &[]), Some(0));
     }
 }

@@ -8,6 +8,7 @@ use ace_memo::{MemoConfig, MemoTable};
 use crate::cancel::CancelToken;
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
+use crate::metrics::MetricsRegistry;
 use crate::sink::AnswerSink;
 use crate::topology::Topology;
 use crate::trace::TraceConfig;
@@ -212,6 +213,12 @@ pub struct EngineConfig {
     /// [`ace_memo::MemoConfig::tenant_quota`]). Tenant 0 is the default
     /// single-tenant owner.
     pub memo_tenant: u32,
+    /// Live metrics registry (see [`crate::metrics`]). `None` (the
+    /// default) disables metric recording entirely: every emission point
+    /// is one branch, nothing is charged to virtual time, and runs stay
+    /// bit-identical to a metrics-free build. Share one registry across
+    /// runs/sessions to accumulate fleet-wide series.
+    pub metrics: Option<Arc<MetricsRegistry>>,
     /// Streamed answer delivery (see [`crate::sink`]). `None` = answers
     /// are only collected on the final report, exactly as before.
     pub sink: Option<AnswerSink>,
@@ -243,6 +250,7 @@ impl Default for EngineConfig {
             memo: MemoConfig::default(),
             memo_table: None,
             memo_tenant: 0,
+            metrics: None,
             sink: None,
             cancel: None,
         }
@@ -297,6 +305,12 @@ impl EngineConfig {
 
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Record live metrics into `registry` (see [`crate::metrics`]).
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 

@@ -44,6 +44,17 @@
 //! [`trace::TraceChecker`] to assert scheduler invariants. Disabled
 //! tracing costs one branch per emission point and zero virtual time.
 //!
+//! The [`metrics`] module adds the *live* counterpart: a lock-free
+//! [`metrics::MetricsRegistry`] of sharded counters, gauges and
+//! log-bucketed histograms attached via
+//! [`config::EngineConfig::with_metrics`], scraped as a
+//! [`metrics::MetricsSnapshot`] and rendered in the Prometheus text
+//! format — same always-compiled/off-by-default/zero-virtual-cost
+//! contract as the tracer. The [`profile`] module folds a finished
+//! run's trace into a [`profile::Profile`]: virtual cost attributed to
+//! predicate/activity frames, exported as a top-N table or an
+//! `inferno`-compatible collapsed-stack flamegraph.
+//!
 //! ## Memoization
 //!
 //! [`config::EngineConfig::with_memo`] attaches an [`ace_memo`] answer
@@ -57,6 +68,8 @@ pub mod config;
 pub mod cost;
 pub mod driver;
 pub mod fault;
+pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod stats;
 pub mod topology;
@@ -68,9 +81,15 @@ pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, Sh
 pub use cost::CostModel;
 pub use driver::{supervised, Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Sample,
+    SampleValue,
+};
+pub use profile::Profile;
 pub use sink::{AnswerSink, SinkVerdict};
 pub use stats::Stats;
 pub use topology::{LockClock, Topology};
 pub use trace::{
-    EventKind, Trace, TraceBuf, TraceChecker, TraceConfig, TraceEvent, TraceSink, Tracer,
+    EventKind, Trace, TraceBuf, TraceChecker, TraceConfig, TraceEvent, TraceSink, TraceVerdict,
+    Tracer,
 };

@@ -1,0 +1,790 @@
+//! Live metrics: a lock-free registry of sharded counters, gauges and
+//! log-bucketed histograms, merged on scrape.
+//!
+//! The tracer (see [`crate::trace`]) answers "what happened in this
+//! run?" after the report lands; this module answers "what is happening
+//! right now?" for long-lived processes like the query server, where
+//! per-run artifacts are useless for watching a fleet serve traffic.
+//!
+//! Design contract, mirroring the tracer's:
+//!
+//! * **Always compiled, off by default.** [`crate::EngineConfig::metrics`]
+//!   is `None` unless [`crate::EngineConfig::with_metrics`] installs a
+//!   registry. Every hot-path emission point holds an
+//!   `Option<...>`-shaped handle, so the disabled path is one branch.
+//! * **Zero virtual cost.** Recording a metric never charges the cost
+//!   model — observability must not perturb the simulated schedule.
+//!   CI guards that a metrics-disabled run is bit-identical in
+//!   `virtual_time` and the full [`Stats`] sheet.
+//! * **Write-fast, read-slow.** Counters are sharded per worker
+//!   ([`Counter::add`] is one relaxed `fetch_add` on the caller's own
+//!   cache line); scrapes ([`MetricsRegistry::snapshot`]) sum the
+//!   shards. Registration (name + labels → handle) is the only code
+//!   path behind a mutex, and it runs once per handle, not per event.
+//!
+//! Histograms bucket values logarithmically: exact buckets below 16,
+//! then four sub-buckets per power of two (worst-case bucket error
+//! ~25%, 256 buckets covering all of `u64`). [`HistogramSnapshot::quantile`]
+//! reads quantiles off the cumulative bucket counts, and
+//! [`MetricsSnapshot::render_prometheus`] emits the standard text
+//! exposition format (`_bucket{le=...}` / `_sum` / `_count`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stats::Stats;
+
+/// Exact buckets `0..16`, then log-spaced buckets.
+const LINEAR_BUCKETS: usize = 16;
+/// Sub-buckets per power of two in the log range.
+const SUB_BUCKETS: usize = 4;
+/// Total bucket count: 16 linear + 4 per octave for octaves 4..=63.
+pub const HISTOGRAM_BUCKETS: usize = LINEAR_BUCKETS + (64 - 4) * SUB_BUCKETS;
+
+/// Bucket index for a histogram observation: identity below 16, then
+/// `16 + (octave - 4) * 4 + sub` where `sub` is the top two mantissa
+/// bits — log-spaced with four sub-buckets per power of two.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // >= 4 here
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    LINEAR_BUCKETS + (octave - 4) * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound of bucket `idx` (the Prometheus `le` value).
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    let octave = 4 + (idx - LINEAR_BUCKETS) / SUB_BUCKETS;
+    let sub = (idx - LINEAR_BUCKETS) % SUB_BUCKETS;
+    let ub = (1u128 << octave) + (((sub as u128) + 1) << (octave - 2)) - 1;
+    ub.min(u64::MAX as u128) as u64
+}
+
+// ----------------------------------------------------------------------
+// Instruments
+// ----------------------------------------------------------------------
+
+/// A monotonically increasing counter, sharded to keep concurrent
+/// writers off each other's cache lines. Cloning shares the cells.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cells: Arc<[AtomicU64]>,
+    mask: usize,
+}
+
+impl Counter {
+    fn new(shards: usize) -> Counter {
+        let shards = shards.next_power_of_two().max(1);
+        let cells: Arc<[AtomicU64]> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+        Counter {
+            mask: shards - 1,
+            cells,
+        }
+    }
+
+    /// Add `n`, routed by `shard` (pass the worker id; any value works).
+    #[inline]
+    pub fn add(&self, shard: usize, n: u64) {
+        self.cells[shard & self.mask].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Sum of all shards (scrape path).
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A signed instantaneous value (queue depth, pool occupancy).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            cell: Arc::new(AtomicI64::new(0)),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>, // HISTOGRAM_BUCKETS entries
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A log-bucketed histogram of `u64` observations (latencies in µs,
+/// cost units, sizes). Fixed 256-bucket layout; see [`bucket_index`].
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.core.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                buckets.push((bucket_upper_bound(i), cum));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.core.sum.load(Ordering::Relaxed),
+            count: self.core.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Registry
+// ----------------------------------------------------------------------
+
+type SeriesKey = (String, Vec<(String, String)>);
+
+#[derive(Default)]
+struct Families {
+    counters: BTreeMap<SeriesKey, Counter>,
+    gauges: BTreeMap<SeriesKey, Gauge>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+    help: BTreeMap<String, String>,
+}
+
+/// The process-wide (or server-wide, or run-wide — scope is the
+/// caller's choice) metrics registry. Share it as `Arc<MetricsRegistry>`
+/// via [`crate::EngineConfig::with_metrics`]; scrape it with
+/// [`MetricsRegistry::snapshot`].
+pub struct MetricsRegistry {
+    shards: usize,
+    inner: Mutex<Families>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("shards", &self.shards)
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+impl MetricsRegistry {
+    /// A registry with the default counter shard count (8).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_shards(8)
+    }
+
+    /// A registry whose counters split into `shards` cells (rounded up
+    /// to a power of two). Size to the expected worker fleet; more
+    /// shards cost memory per series, never correctness.
+    pub fn with_shards(shards: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            shards: shards.next_power_of_two().max(1),
+            inner: Mutex::new(Families::default()),
+        }
+    }
+
+    /// Convenience: `Arc::new(MetricsRegistry::new())`.
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// Attach a `# HELP` line to every series of family `name`.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .lock()
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// Resolve (registering on first use) the counter `name{labels}`.
+    /// Cold path: call once and keep the returned handle.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.lock();
+        let shards = self.shards;
+        inner
+            .counters
+            .entry(key)
+            .or_insert_with(|| Counter::new(shards))
+            .clone()
+    }
+
+    /// Resolve (registering on first use) the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = series_key(name, labels);
+        self.inner
+            .lock()
+            .gauges
+            .entry(key)
+            .or_insert_with(Gauge::new)
+            .clone()
+    }
+
+    /// Resolve (registering on first use) the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = series_key(name, labels);
+        self.inner
+            .lock()
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .clone()
+    }
+
+    /// Fold one finished run's statistics sheet into the registry: every
+    /// nonzero [`Stats`] counter becomes `ace_engine_stat_total{engine,stat}`,
+    /// plus run count, virtual time, and per-tenant memo activity. Cold
+    /// path — called once per run at report time, so the engines' hot
+    /// loops never see it.
+    pub fn record_run(&self, engine: &str, tenant: u32, stats: &Stats, virtual_time: u64) {
+        let e = [("engine", engine)];
+        self.counter("ace_engine_runs_total", &e).add(0, 1);
+        self.counter("ace_engine_virtual_time_total", &e)
+            .add(0, virtual_time);
+        for (name, value) in stats.fields() {
+            if value > 0 {
+                self.counter(
+                    "ace_engine_stat_total",
+                    &[("engine", engine), ("stat", name)],
+                )
+                .add(0, value);
+            }
+        }
+        // A run has exactly one memo tenant, so per-tenant memo traffic
+        // is derivable here without threading tenant ids through the
+        // table's lookup path.
+        let tenant = tenant.to_string();
+        for (event, n) in [
+            ("hit", stats.memo_hits),
+            ("miss", stats.memo_misses),
+            ("store", stats.memo_stores),
+            ("eviction", stats.memo_evictions),
+        ] {
+            if n > 0 {
+                self.counter(
+                    "ace_memo_tenant_total",
+                    &[("event", event), ("tenant", &tenant)],
+                )
+                .add(0, n);
+            }
+        }
+    }
+
+    /// Merge every series into an immutable, self-contained snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut samples: Vec<Sample> = Vec::new();
+        for ((name, labels), c) in &inner.counters {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: SampleValue::Counter(c.value()),
+            });
+        }
+        for ((name, labels), g) in &inner.gauges {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: SampleValue::Gauge(g.value()),
+            });
+        }
+        for ((name, labels), h) in &inner.histograms {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: SampleValue::Histogram(h.snapshot()),
+            });
+        }
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        MetricsSnapshot {
+            samples,
+            help: inner.help.clone(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot
+// ----------------------------------------------------------------------
+
+/// One series in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
+
+/// The value of one series at scrape time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Merged histogram state: non-empty buckets as `(upper_bound,
+/// cumulative_count)`, plus the running sum and total count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<(u64, u64)>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// The smallest bucket upper bound covering quantile `q` of the
+    /// observations (so accurate to the ~25% worst-case bucket width).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for &(le, cum) in &self.buckets {
+            if cum >= target {
+                return le;
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
+
+    /// Mean of the observations (exact, from `sum`/`count`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// An immutable scrape of every registered series, ordered by name then
+/// labels. Produced by [`MetricsRegistry::snapshot`]; renders to the
+/// Prometheus text exposition format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub samples: Vec<Sample>,
+    help: BTreeMap<String, String>,
+}
+
+impl MetricsSnapshot {
+    /// The empty snapshot (what a metrics-disabled component scrapes to).
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        let (name, labels) = series_key(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+    }
+
+    /// Value of the counter `name{labels}` (exact label match).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter series in family `name`, regardless of labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Value of the gauge `name{labels}` (exact label match).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name{labels}` (exact label match).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format:
+    /// `# HELP`/`# TYPE` once per family, histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for s in &self.samples {
+            if s.name != last_family {
+                last_family = &s.name;
+                if let Some(help) = self.help.get(&s.name) {
+                    let _ = writeln!(out, "# HELP {} {}", s.name, help);
+                }
+                let kind = match s.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, render_labels(&s.labels, None), v);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, render_labels(&s.labels, None), v);
+                }
+                SampleValue::Histogram(h) => {
+                    for &(le, cum) in &h.buckets {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            render_labels(&s.labels, Some(&le.to_string())),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        render_labels(&s.labels, Some("+Inf")),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        s.name,
+                        render_labels(&s.labels, None),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        render_labels(&s.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for v in [v.saturating_sub(1), v, v.saturating_add(1)] {
+                let idx = bucket_index(v);
+                assert!(idx < HISTOGRAM_BUCKETS, "v={v} idx={idx}");
+                assert!(idx >= last || v < (1u64 << shift), "v={v}");
+                last = last.max(idx);
+                // The value must sit inside its bucket's bounds.
+                assert!(v <= bucket_upper_bound(idx), "v={v} idx={idx}");
+                if idx > 0 {
+                    assert!(v > bucket_upper_bound(idx - 1), "v={v} idx={idx}");
+                }
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_error_stays_under_a_quarter() {
+        for v in [17u64, 100, 999, 12_345, 7_000_000, u32::MAX as u64 * 17] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            assert!(ub >= v);
+            assert!(
+                (ub - v) as f64 <= 0.25 * v as f64 + 1.0,
+                "v={v} ub={ub} error too large"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_shards_sum_on_read() {
+        let c = Counter::new(4);
+        for worker in 0..64 {
+            c.add(worker, 2);
+        }
+        assert_eq!(c.value(), 128);
+        let c2 = c.clone();
+        c2.inc(3);
+        assert_eq!(c.value(), 129, "clones share cells");
+    }
+
+    #[test]
+    fn gauge_tracks_depth() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.set(-5);
+        assert_eq!(g.value(), -5);
+    }
+
+    #[test]
+    fn registry_reuses_series_and_separates_labels() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("req_total", &[("tenant", "1")]);
+        let b = r.counter("req_total", &[("tenant", "1")]);
+        let c = r.counter("req_total", &[("tenant", "2")]);
+        a.add(0, 5);
+        b.add(1, 5);
+        c.add(0, 1);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter_value("req_total", &[("tenant", "1")]),
+            Some(10)
+        );
+        assert_eq!(snap.counter_value("req_total", &[("tenant", "2")]), Some(1));
+        assert_eq!(snap.counter_total("req_total"), 11);
+        // Label order must not matter for identity.
+        let d = r.counter("pair_total", &[("a", "1"), ("b", "2")]);
+        let e = r.counter("pair_total", &[("b", "2"), ("a", "1")]);
+        d.inc(0);
+        e.inc(0);
+        assert_eq!(
+            r.snapshot()
+                .counter_value("pair_total", &[("a", "1"), ("b", "2")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_read_off_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("latency_us", &[]);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("latency_us", &[]).unwrap();
+        assert_eq!(hs.count, 100);
+        assert_eq!(hs.sum, 5050);
+        let p50 = hs.quantile(0.5);
+        let p99 = hs.quantile(0.99);
+        // Bucket upper bounds: within the ~25% bucket width of truth.
+        assert!((50..=64).contains(&p50), "p50={p50}");
+        assert!((99..=128).contains(&p99), "p99={p99}");
+        assert!(hs.quantile(0.0) >= 1);
+        assert_eq!(
+            HistogramSnapshot {
+                buckets: vec![],
+                sum: 0,
+                count: 0
+            }
+            .quantile(0.99),
+            0
+        );
+    }
+
+    #[test]
+    fn record_run_folds_stats_and_tenant_memo() {
+        let r = MetricsRegistry::new();
+        let mut st = Stats::new();
+        st.calls = 7;
+        st.memo_hits = 3;
+        st.memo_misses = 1;
+        r.record_run("or", 4, &st, 1234);
+        r.record_run("or", 4, &st, 66);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter_value("ace_engine_runs_total", &[("engine", "or")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("ace_engine_virtual_time_total", &[("engine", "or")]),
+            Some(1300)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "ace_engine_stat_total",
+                &[("engine", "or"), ("stat", "calls")]
+            ),
+            Some(14)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "ace_memo_tenant_total",
+                &[("tenant", "4"), ("event", "hit")]
+            ),
+            Some(6)
+        );
+        // Zero-valued stats register no series.
+        assert_eq!(
+            snap.counter_value(
+                "ace_engine_stat_total",
+                &[("engine", "or"), ("stat", "backtracks")]
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = MetricsRegistry::new();
+        r.describe("req_total", "requests served");
+        r.counter("req_total", &[("tenant", "a\"b")]).add(0, 3);
+        r.gauge("depth", &[]).set(2);
+        let h = r.histogram("lat_us", &[("priority", "high")]);
+        h.observe(3);
+        h.observe(300);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# HELP req_total requests served"), "{text}");
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{tenant=\"a\\\"b\"} 3"), "{text}");
+        assert!(text.contains("# TYPE depth gauge"), "{text}");
+        assert!(text.contains("depth 2"), "{text}");
+        assert!(text.contains("# TYPE lat_us histogram"), "{text}");
+        assert!(
+            text.contains("lat_us_bucket{priority=\"high\",le=\"3\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us_bucket{priority=\"high\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("lat_us_sum{priority=\"high\"} 303"), "{text}");
+        assert!(text.contains("lat_us_count{priority=\"high\"} 2"), "{text}");
+        // Every non-comment line is "name{...} value" with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            value.parse::<f64>().expect("numeric sample value");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        assert!(MetricsSnapshot::empty().is_empty());
+        assert_eq!(MetricsSnapshot::empty().render_prometheus(), "");
+        assert!(MetricsRegistry::new().snapshot().is_empty());
+    }
+}

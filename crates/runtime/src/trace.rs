@@ -23,7 +23,8 @@
 //!   twice, pool pops bounded by pushes, fault injections matched by
 //!   recovery records).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -90,9 +91,21 @@ pub enum EventKind {
 
     // -- or-engine --
     /// A private choice point became public under `node` (epoch 0).
-    Publish { node: u64, epoch: u64, alts: usize },
+    /// `pred` labels the predicate whose clauses the node's alternatives
+    /// come from (`name/arity`) — the cost profiler's frame anchor.
+    Publish {
+        node: u64,
+        epoch: u64,
+        alts: usize,
+        pred: String,
+    },
     /// LAO: a drained node was reloaded in place at a bumped epoch.
-    LaoReuse { node: u64, epoch: u64, alts: usize },
+    LaoReuse {
+        node: u64,
+        epoch: u64,
+        alts: usize,
+        pred: String,
+    },
     /// A node handle was enqueued into the shared alternative pool.
     PoolPush { node: u64 },
     /// A node handle was dequeued from the pool (inspection, not claim).
@@ -147,6 +160,12 @@ pub enum EventKind {
     StealFail,
     /// An idle probe charged `cost` units of idle time.
     IdleProbe { cost: u64 },
+    /// A contended lock acquisition charged `cost` units (residual wait
+    /// behind the previous holder plus the topology's `contended_lock`
+    /// premium). `what` names the lock ("pool", "answer"). Emitted only
+    /// under a topology that prices contention — the profiler's handle
+    /// on serialization walls.
+    LockWait { what: &'static str, cost: u64 },
 
     // -- faults & recovery --
     /// The injector fired a fault of the named kind on this worker.
@@ -241,6 +260,7 @@ impl EventKind {
             EventKind::StealSuccess => "steal-success",
             EventKind::StealFail => "steal-fail",
             EventKind::IdleProbe { .. } => "idle-probe",
+            EventKind::LockWait { .. } => "lock-wait",
             EventKind::FaultInjected { .. } => "fault-injected",
             EventKind::FaultStall { .. } => "fault-stall",
             EventKind::FaultRetry { .. } => "fault-retry",
@@ -271,12 +291,23 @@ impl EventKind {
             EventKind::QuantumEnd { cost }
             | EventKind::IdleProbe { cost }
             | EventKind::FaultStall { cost } => vec![("cost", U(*cost))],
-            EventKind::Publish { node, epoch, alts }
-            | EventKind::LaoReuse { node, epoch, alts } => {
+            EventKind::Publish {
+                node,
+                epoch,
+                alts,
+                pred,
+            }
+            | EventKind::LaoReuse {
+                node,
+                epoch,
+                alts,
+                pred,
+            } => {
                 vec![
                     ("node", U(*node)),
                     ("epoch", U(*epoch)),
                     ("alts", U(*alts as u64)),
+                    ("pred", S(pred.as_str())),
                 ]
             }
             EventKind::PoolPush { node }
@@ -325,6 +356,7 @@ impl EventKind {
                 ("scope", S(scope)),
                 ("local_work", U(*local_work)),
             ],
+            EventKind::LockWait { what, cost } => vec![("what", S(what)), ("cost", U(*cost))],
             EventKind::FaultInjected { kind } => vec![("kind", S(kind))],
             EventKind::FaultRetry { what } => vec![("what", S(what))],
             EventKind::Degraded { reason } | EventKind::Abort { reason } => {
@@ -644,64 +676,161 @@ impl Trace {
 ///   answers at all (nor may a session be both admitted and rejected).
 ///
 /// When the trace reports dropped events, count- and set-based checks
-/// that eviction could falsify are skipped; the double-issue check still
-/// runs (dropping events can hide a duplicate, never create one).
+/// that eviction could falsify are skipped and the result is the
+/// explicit [`TraceVerdict::Incomplete`] rather than a hard pass/fail;
+/// the double-issue check still runs (dropping events can hide a
+/// duplicate, never create one).
 pub struct TraceChecker;
+
+/// Where an event sits in the merged stream — attached to every checker
+/// message so a violation at 256 workers is a jump-to, not a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EvRef {
+    idx: usize,
+    worker: usize,
+    t: u64,
+}
+
+impl fmt::Display for EvRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event #{} (worker {}, t={})",
+            self.idx, self.worker, self.t
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClaimInfo {
+    count: u64,
+    first: EvRef,
+    last: EvRef,
+    /// Nearest preceding publish/lao-reuse of the claimed node (any
+    /// epoch), captured when the claim was replayed.
+    nearest_pub: Option<(u64, EvRef)>,
+}
+
+/// The outcome of replaying a trace through [`TraceChecker::verdict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// The stream is complete and every invariant held.
+    Passed,
+    /// Ring buffers evicted `dropped` events: drop-sensitive checks were
+    /// skipped, so this is *not* a pass — the stream is unverifiable.
+    /// `violations` lists what the surviving per-event checks still
+    /// caught (dropping events can hide a violation, never forge one).
+    Incomplete {
+        dropped: u64,
+        violations: Vec<String>,
+    },
+    /// The complete stream violated invariants.
+    Failed(Vec<String>),
+}
 
 impl TraceChecker {
     /// Check all invariants; `Err` carries one message per violation.
+    ///
+    /// Compatibility wrapper over [`TraceChecker::verdict`]: an
+    /// [`TraceVerdict::Incomplete`] trace with no surviving violations
+    /// maps to `Ok` (the historical soft-pass); callers that must not
+    /// treat truncation as success should match on `verdict` instead.
     pub fn check(trace: &Trace) -> Result<(), Vec<String>> {
-        let mut published: HashSet<(u64, u64)> = HashSet::new();
-        let mut claimed: HashMap<(u64, u64, usize), u64> = HashMap::new();
+        match Self::verdict(trace) {
+            TraceVerdict::Passed => Ok(()),
+            TraceVerdict::Incomplete { violations, .. } if violations.is_empty() => Ok(()),
+            TraceVerdict::Incomplete { violations, .. } | TraceVerdict::Failed(violations) => {
+                Err(violations)
+            }
+        }
+    }
+
+    /// Replay the trace and classify it: [`TraceVerdict::Passed`],
+    /// [`TraceVerdict::Failed`], or — when ring buffers dropped events —
+    /// the explicit [`TraceVerdict::Incomplete`] instead of a silent
+    /// check of a truncated stream.
+    pub fn verdict(trace: &Trace) -> TraceVerdict {
+        let mut published: HashMap<(u64, u64), EvRef> = HashMap::new();
+        // Latest publish/lao-reuse seen per node, any epoch — the
+        // "nearest preceding related event" for claim diagnostics.
+        let mut last_pub_by_node: HashMap<u64, (u64, EvRef)> = HashMap::new();
+        let mut claimed: HashMap<(u64, u64, usize), ClaimInfo> = HashMap::new();
         let (mut pushes, mut pops, mut steals) = (0u64, 0u64, 0u64);
         let (mut injected, mut recovered) = (0u64, 0u64);
-        let mut memo_stores: HashSet<(u64, u64)> = HashSet::new();
-        let mut memo_hits: Vec<(u64, u64)> = Vec::new();
-        let mut deferred: HashSet<(u64, u64)> = HashSet::new();
-        let mut materialized: HashSet<(u64, u64)> = HashSet::new();
-        let mut thawed: Vec<(u64, u64)> = Vec::new();
-        let mut admitted: HashSet<u64> = HashSet::new();
-        let mut rejected: HashSet<u64> = HashSet::new();
-        let mut cancelled_at: HashMap<u64, u64> = HashMap::new();
-        let mut streamed: Vec<(u64, u64)> = Vec::new(); // (session, t)
+        let mut memo_stores: HashMap<(u64, u64), EvRef> = HashMap::new();
+        let mut last_store_by_key: HashMap<u64, (u64, EvRef)> = HashMap::new();
+        // (key, epoch, hit ref, nearest preceding store of key)
+        #[allow(clippy::type_complexity)]
+        let mut memo_hits: Vec<(u64, u64, EvRef, Option<(u64, EvRef)>)> = Vec::new();
+        let mut deferred: HashMap<(u64, u64), EvRef> = HashMap::new();
+        let mut materialized: HashMap<(u64, u64), EvRef> = HashMap::new();
+        let mut thawed: Vec<(u64, u64, EvRef)> = Vec::new();
+        let mut admitted: HashMap<u64, EvRef> = HashMap::new();
+        let mut rejected: HashMap<u64, EvRef> = HashMap::new();
+        let mut cancelled_at: HashMap<u64, (u64, EvRef)> = HashMap::new();
+        let mut streamed: Vec<(u64, u64, EvRef)> = Vec::new(); // (session, t, ref)
         let mut violations = Vec::new();
 
-        for ev in &trace.events {
+        for (idx, ev) in trace.events.iter().enumerate() {
+            let at = EvRef {
+                idx,
+                worker: ev.worker,
+                t: ev.t,
+            };
             match &ev.kind {
                 EventKind::Publish { node, epoch, .. }
                 | EventKind::LaoReuse { node, epoch, .. } => {
-                    published.insert((*node, *epoch));
+                    published.insert((*node, *epoch), at);
+                    last_pub_by_node.insert(*node, (*epoch, at));
                 }
                 EventKind::Claim { node, epoch, alt } => {
-                    *claimed.entry((*node, *epoch, *alt)).or_insert(0) += 1;
+                    let nearest_pub = last_pub_by_node.get(node).copied();
+                    claimed
+                        .entry((*node, *epoch, *alt))
+                        .and_modify(|c| {
+                            c.count += 1;
+                            c.last = at;
+                        })
+                        .or_insert(ClaimInfo {
+                            count: 1,
+                            first: at,
+                            last: at,
+                            nearest_pub,
+                        });
                 }
                 EventKind::PoolPush { .. } => pushes += 1,
                 EventKind::PoolPop { .. } => pops += 1,
                 EventKind::StealSuccess => steals += 1,
                 EventKind::ClosureDefer { node, epoch } => {
-                    deferred.insert((*node, *epoch));
+                    deferred.insert((*node, *epoch), at);
                 }
                 EventKind::ClosureMaterialize { node, epoch, .. } => {
-                    materialized.insert((*node, *epoch));
+                    materialized.insert((*node, *epoch), at);
                 }
-                EventKind::ClosureThaw { node, epoch, .. } => thawed.push((*node, *epoch)),
+                EventKind::ClosureThaw { node, epoch, .. } => thawed.push((*node, *epoch, at)),
                 EventKind::MemoStore { key, epoch } => {
-                    memo_stores.insert((*key, *epoch));
+                    memo_stores.insert((*key, *epoch), at);
+                    last_store_by_key.insert(*key, (*epoch, at));
                 }
-                EventKind::MemoHit { key, epoch } => memo_hits.push((*key, *epoch)),
+                EventKind::MemoHit { key, epoch } => {
+                    let nearest = last_store_by_key.get(key).copied();
+                    memo_hits.push((*key, *epoch, at, nearest));
+                }
                 EventKind::SessionAdmit { session } => {
-                    admitted.insert(*session);
+                    admitted.entry(*session).or_insert(at);
                 }
                 EventKind::SessionReject { session } => {
-                    rejected.insert(*session);
+                    rejected.entry(*session).or_insert(at);
                 }
                 EventKind::SessionCancel { session }
                 | EventKind::SessionDeadlineCancel { session } => {
-                    let t = cancelled_at.entry(*session).or_insert(ev.t);
-                    *t = (*t).min(ev.t);
+                    let entry = cancelled_at.entry(*session).or_insert((ev.t, at));
+                    if ev.t < entry.0 {
+                        *entry = (ev.t, at);
+                    }
                 }
                 EventKind::SessionFirstAnswer { session }
-                | EventKind::AnswerStreamed { session } => streamed.push((*session, ev.t)),
+                | EventKind::AnswerStreamed { session } => streamed.push((*session, ev.t, at)),
                 // Hierarchical stealing: a thief never crosses a domain
                 // boundary while work is visible in its own domain. The
                 // event carries the occupancy snapshot taken at claim
@@ -714,7 +843,7 @@ impl TraceChecker {
                 } if *scope == "cross" && *local_work > 0 => {
                     violations.push(format!(
                         "worker {} stole node={node} across domains with {local_work} \
-                         local pool entries visible",
+                         local pool entries visible at {at}",
                         ev.worker
                     ));
                 }
@@ -728,10 +857,12 @@ impl TraceChecker {
             }
         }
 
-        for ((node, epoch, alt), n) in &claimed {
-            if *n > 1 {
+        for ((node, epoch, alt), c) in &claimed {
+            if c.count > 1 {
                 violations.push(format!(
-                    "alternative claimed {n} times: node={node} epoch={epoch} alt={alt}"
+                    "alternative claimed {} times: node={node} epoch={epoch} alt={alt} — \
+                     duplicate at {}; first claim at {}",
+                    c.count, c.last, c.first
                 ));
             }
         }
@@ -739,10 +870,19 @@ impl TraceChecker {
         // Eviction can remove a publish whose claim survived (and skew
         // counts); only the complete trace supports the remaining checks.
         if trace.dropped == 0 {
-            for (node, epoch, alt) in claimed.keys() {
-                if !published.contains(&(*node, *epoch)) {
+            for ((node, epoch, alt), c) in &claimed {
+                if !published.contains_key(&(*node, *epoch)) {
+                    let context = match c.nearest_pub {
+                        Some((pub_epoch, pub_at)) => format!(
+                            "; nearest preceding publish of node {node} was epoch \
+                             {pub_epoch} at {pub_at}"
+                        ),
+                        None => format!("; node {node} was never published in this trace"),
+                    };
                     violations.push(format!(
-                        "claim without publication: node={node} epoch={epoch} alt={alt}"
+                        "claim without publication: node={node} epoch={epoch} alt={alt} \
+                         at {}{context}",
+                        c.last
                     ));
                 }
             }
@@ -759,23 +899,36 @@ impl TraceChecker {
             // Procrastinated capture: once any defer is recorded, remote
             // installs are only legal against materialized closures.
             if !deferred.is_empty() {
-                for (node, epoch) in materialized.difference(&deferred) {
-                    violations.push(format!(
-                        "closure materialized without a defer: node={node} epoch={epoch}"
-                    ));
-                }
-                for (node, epoch) in &thawed {
-                    if !materialized.contains(&(*node, *epoch)) {
+                for ((node, epoch), at) in &materialized {
+                    if !deferred.contains_key(&(*node, *epoch)) {
                         violations.push(format!(
-                            "closure thawed before materialization: node={node} epoch={epoch}"
+                            "closure materialized without a defer: node={node} epoch={epoch} \
+                             at {at}"
                         ));
                     }
                 }
-                for (node, epoch, alt) in claimed.keys() {
-                    if !materialized.contains(&(*node, *epoch)) {
+                for (node, epoch, at) in &thawed {
+                    if !materialized.contains_key(&(*node, *epoch)) {
+                        let context = match deferred.get(&(*node, *epoch)) {
+                            Some(d) => format!("; deferred at {d}"),
+                            None => String::new(),
+                        };
+                        violations.push(format!(
+                            "closure thawed before materialization: node={node} epoch={epoch} \
+                             at {at}{context}"
+                        ));
+                    }
+                }
+                for ((node, epoch, alt), c) in &claimed {
+                    if !materialized.contains_key(&(*node, *epoch)) {
+                        let context = match deferred.get(&(*node, *epoch)) {
+                            Some(d) => format!("; deferred at {d}"),
+                            None => String::new(),
+                        };
                         violations.push(format!(
                             "alternative installed before its node's closure was \
-                             materialized: node={node} epoch={epoch} alt={alt}"
+                             materialized: node={node} epoch={epoch} alt={alt} at {}{context}",
+                            c.last
                         ));
                     }
                 }
@@ -783,44 +936,63 @@ impl TraceChecker {
             // Hits at or above the run's first stored epoch must match a
             // recorded store; hits below it are warm-table replays (table
             // epochs are globally monotone across runs).
-            let min_store = memo_stores.iter().map(|&(_, e)| e).min();
-            for (key, epoch) in &memo_hits {
+            let min_store = memo_stores.keys().map(|&(_, e)| e).min();
+            for (key, epoch, at, nearest) in &memo_hits {
                 let warm = match min_store {
                     None => true,
                     Some(min) => *epoch < min,
                 };
-                if !warm && !memo_stores.contains(&(*key, *epoch)) {
+                if !warm && !memo_stores.contains_key(&(*key, *epoch)) {
+                    let context = match nearest {
+                        Some((store_epoch, store_at)) => format!(
+                            "; nearest preceding store of key {key} was epoch \
+                             {store_epoch} at {store_at}"
+                        ),
+                        None => format!("; key {key} was never stored in this trace"),
+                    };
                     violations.push(format!(
-                        "memo hit without a matching store: key={key} epoch={epoch}"
+                        "memo hit without a matching store: key={key} epoch={epoch} \
+                         at {at}{context}"
                     ));
                 }
             }
             // Session streams: answers stop at the cancel event, rejected
             // sessions never stream, and admit/reject are exclusive.
-            for s in admitted.intersection(&rejected) {
-                violations.push(format!("session {s} both admitted and rejected"));
-            }
-            for (session, t) in &streamed {
-                if rejected.contains(session) {
+            for (s, admit_at) in &admitted {
+                if let Some(reject_at) = rejected.get(s) {
                     violations.push(format!(
-                        "answer streamed for rejected session {session} at t={t}"
+                        "session {s} both admitted and rejected \
+                         (admitted at {admit_at}; rejected at {reject_at})"
                     ));
                 }
-                if let Some(cancel_t) = cancelled_at.get(session) {
+            }
+            for (session, t, at) in &streamed {
+                if let Some(reject_at) = rejected.get(session) {
+                    violations.push(format!(
+                        "answer streamed for rejected session {session} at t={t} ({at}); \
+                         rejected at {reject_at}"
+                    ));
+                }
+                if let Some((cancel_t, cancel_at)) = cancelled_at.get(session) {
                     if t > cancel_t {
                         violations.push(format!(
                             "answer streamed after session cancel: session={session} \
-                             answer t={t} cancel t={cancel_t}"
+                             answer t={t} ({at}) cancel t={cancel_t} ({cancel_at})"
                         ));
                     }
                 }
             }
         }
 
-        if violations.is_empty() {
-            Ok(())
+        if trace.dropped > 0 {
+            TraceVerdict::Incomplete {
+                dropped: trace.dropped,
+                violations,
+            }
+        } else if violations.is_empty() {
+            TraceVerdict::Passed
         } else {
-            Err(violations)
+            TraceVerdict::Failed(violations)
         }
     }
 }
@@ -939,6 +1111,7 @@ mod tests {
                         node: 7,
                         epoch: 0,
                         alts: 3,
+                        pred: "p/1".into(),
                     },
                 ),
                 ev(
@@ -969,6 +1142,7 @@ mod tests {
                         node: 1,
                         epoch: 0,
                         alts: 2,
+                        pred: "p/1".into(),
                     },
                 ),
                 ev(2, 0, EventKind::PoolPush { node: 1 }),
@@ -1059,6 +1233,7 @@ mod tests {
                         node: 1,
                         epoch: 0,
                         alts: 1,
+                        pred: "p/1".into(),
                     },
                 ),
                 ev(
@@ -1123,6 +1298,7 @@ mod tests {
                 node: 1,
                 epoch: 0,
                 alts: 1,
+                pred: "p/1".into(),
             },
         ));
         buf.push(ev(
@@ -1152,6 +1328,7 @@ mod tests {
                         node: 1,
                         epoch: 0,
                         alts: 2,
+                        pred: "p/1".into(),
                     },
                 ),
                 ev(1, 0, EventKind::ClosureDefer { node: 1, epoch: 0 }),
@@ -1200,6 +1377,7 @@ mod tests {
                         node: 1,
                         epoch: 0,
                         alts: 1,
+                        pred: "p/1".into(),
                     },
                 ),
                 ev(1, 0, EventKind::ClosureDefer { node: 1, epoch: 0 }),
@@ -1274,6 +1452,7 @@ mod tests {
                         node: 1,
                         epoch: 0,
                         alts: 1,
+                        pred: "p/1".into(),
                     },
                 ),
                 ev(
@@ -1411,6 +1590,153 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.contains("both admitted and rejected")));
+    }
+
+    #[test]
+    fn verdict_distinguishes_incomplete_from_passed_and_failed() {
+        // Complete, clean trace: Passed.
+        let clean = Trace::merge(vec![], vec![ev(1, 0, EventKind::StealAttempt)]);
+        assert_eq!(TraceChecker::verdict(&clean), TraceVerdict::Passed);
+
+        // Complete trace with a violation: Failed.
+        let bad = Trace::merge(
+            vec![],
+            vec![ev(1, 0, EventKind::FaultInjected { kind: "die" })],
+        );
+        assert!(matches!(
+            TraceChecker::verdict(&bad),
+            TraceVerdict::Failed(_)
+        ));
+
+        // Truncated trace: Incomplete, never a silent pass — even though
+        // check() still soft-passes for compatibility.
+        let mut buf = TraceBuf::new(0, 1);
+        buf.push(ev(1, 0, EventKind::StealAttempt));
+        buf.push(ev(2, 0, EventKind::StealFail));
+        let truncated = Trace::merge(vec![buf], vec![]);
+        match TraceChecker::verdict(&truncated) {
+            TraceVerdict::Incomplete {
+                dropped,
+                violations,
+            } => {
+                assert_eq!(dropped, 1);
+                assert!(violations.is_empty());
+            }
+            v => panic!("expected Incomplete, got {v:?}"),
+        }
+        assert!(TraceChecker::check(&truncated).is_ok());
+
+        // Truncated trace with a drop-proof violation: Incomplete carries
+        // it, and check() still errors.
+        let mut buf = TraceBuf::new(0, 2);
+        buf.push(ev(1, 0, EventKind::StealAttempt));
+        buf.push(ev(2, 0, EventKind::StealAttempt));
+        buf.push(ev(3, 0, EventKind::StealAttempt));
+        let double = Trace::merge(
+            vec![buf],
+            vec![
+                ev(
+                    4,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+                ev(
+                    5,
+                    2,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+            ],
+        );
+        match TraceChecker::verdict(&double) {
+            TraceVerdict::Incomplete {
+                dropped,
+                violations,
+            } => {
+                assert_eq!(dropped, 1);
+                assert!(violations.iter().any(|v| v.contains("claimed 2 times")));
+            }
+            v => panic!("expected Incomplete, got {v:?}"),
+        }
+        assert!(TraceChecker::check(&double).is_err());
+    }
+
+    #[test]
+    fn checker_messages_locate_the_offending_event() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    10,
+                    0,
+                    EventKind::Publish {
+                        node: 1,
+                        epoch: 0,
+                        alts: 1,
+                        pred: "p/1".into(),
+                    },
+                ),
+                ev(
+                    20,
+                    1,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+                ev(
+                    30,
+                    2,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 0,
+                        alt: 0,
+                    },
+                ),
+                // Claimed epoch never published; node published at epoch 0.
+                ev(
+                    40,
+                    3,
+                    EventKind::Claim {
+                        node: 1,
+                        epoch: 9,
+                        alt: 0,
+                    },
+                ),
+            ],
+        );
+        let errs = TraceChecker::check(&trace).unwrap_err();
+        let double = errs
+            .iter()
+            .find(|e| e.contains("claimed 2 times"))
+            .expect("double-claim violation");
+        // Offending (duplicate) event and the nearest related (first
+        // claim) are both pinpointed: index, worker, virtual time.
+        assert!(
+            double.contains("duplicate at event #2 (worker 2, t=30)"),
+            "{double}"
+        );
+        assert!(
+            double.contains("first claim at event #1 (worker 1, t=20)"),
+            "{double}"
+        );
+        let orphan = errs
+            .iter()
+            .find(|e| e.contains("without publication"))
+            .expect("orphan-claim violation");
+        assert!(orphan.contains("at event #3 (worker 3, t=40)"), "{orphan}");
+        assert!(
+            orphan.contains("nearest preceding publish of node 1 was epoch 0 at event #0"),
+            "{orphan}"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ use ace_runtime::fault::INJECTED_DEATH;
 use ace_runtime::trace::{TraceConfig, TraceSink};
 use ace_runtime::{
     supervised, AnswerSink, CancelToken, EngineConfig, EventKind, FaultAction, FaultInjector,
-    FaultPlan, SinkVerdict, Trace,
+    FaultPlan, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SinkVerdict, Trace,
 };
 
 // ---------------------------------------------------------------------------
@@ -65,6 +65,14 @@ impl Priority {
             Priority::High => 0,
             Priority::Normal => 1,
             Priority::Low => 2,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
         }
     }
 }
@@ -189,6 +197,12 @@ pub struct ServerConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Session lifecycle tracing (admit / cancel / stream / drain events).
     pub trace: TraceConfig,
+    /// Live metrics registry. When set, the server publishes admission,
+    /// latency and queue-depth families into it and overlays it on every
+    /// session's engine config (engine/memo families accumulate there
+    /// too). `None` (the default) disables scraping at one branch per
+    /// site — the same contract as [`EngineConfig::with_metrics`].
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ServerConfig {
@@ -199,6 +213,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             fault_plan: None,
             trace: TraceConfig::default(),
+            metrics: None,
         }
     }
 }
@@ -226,6 +241,11 @@ impl ServerConfig {
 
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 }
@@ -273,6 +293,105 @@ impl AtomicStats {
     }
 }
 
+/// Pre-resolved serving-layer metric handles. Gauges and latency
+/// histograms are labeled by priority only (three handles each, resolved
+/// once); the per-tenant admission counters carry a dynamic tenant label
+/// and are resolved through the registry at each admission/rejection —
+/// those paths already hold the queue lock, so the registry lookup is
+/// never on an answer-streaming hot path.
+struct ServerLive {
+    registry: Arc<MetricsRegistry>,
+    queue_depth: [Gauge; 3],
+    in_flight: Gauge,
+    first_answer_us: [Histogram; 3],
+    completion_us: [Histogram; 3],
+}
+
+const PRIORITY_NAMES: [&str; 3] = ["high", "normal", "low"];
+
+impl ServerLive {
+    fn new(registry: Arc<MetricsRegistry>) -> ServerLive {
+        registry.describe(
+            "ace_server_sessions_admitted_total",
+            "sessions admitted, by tenant and priority",
+        );
+        registry.describe(
+            "ace_server_sessions_rejected_total",
+            "submissions rejected by admission control, by tenant and priority",
+        );
+        registry.describe(
+            "ace_server_deadline_misses_total",
+            "sessions cancelled by the deadline watchdog, by tenant and priority",
+        );
+        registry.describe(
+            "ace_server_queue_depth",
+            "admitted sessions waiting for a fleet thread, by priority",
+        );
+        registry.describe(
+            "ace_server_in_flight",
+            "admitted sessions queued or running",
+        );
+        registry.describe(
+            "ace_server_first_answer_latency_us",
+            "microseconds from submission to first streamed answer, by priority",
+        );
+        registry.describe(
+            "ace_server_completion_latency_us",
+            "microseconds from submission to session end, by priority",
+        );
+        let queue_depth =
+            PRIORITY_NAMES.map(|p| registry.gauge("ace_server_queue_depth", &[("priority", p)]));
+        let first_answer_us = PRIORITY_NAMES
+            .map(|p| registry.histogram("ace_server_first_answer_latency_us", &[("priority", p)]));
+        let completion_us = PRIORITY_NAMES
+            .map(|p| registry.histogram("ace_server_completion_latency_us", &[("priority", p)]));
+        let in_flight = registry.gauge("ace_server_in_flight", &[]);
+        ServerLive {
+            registry,
+            queue_depth,
+            in_flight,
+            first_answer_us,
+            completion_us,
+        }
+    }
+
+    fn admitted(&self, tenant: u32, priority: Priority) {
+        self.registry
+            .counter(
+                "ace_server_sessions_admitted_total",
+                &[
+                    ("tenant", &tenant.to_string()),
+                    ("priority", priority.name()),
+                ],
+            )
+            .inc(0);
+    }
+
+    fn rejected(&self, tenant: u32, priority: Priority) {
+        self.registry
+            .counter(
+                "ace_server_sessions_rejected_total",
+                &[
+                    ("tenant", &tenant.to_string()),
+                    ("priority", priority.name()),
+                ],
+            )
+            .inc(0);
+    }
+
+    fn deadline_miss(&self, tenant: u32, priority: Priority) {
+        self.registry
+            .counter(
+                "ace_server_deadline_misses_total",
+                &[
+                    ("tenant", &tenant.to_string()),
+                    ("priority", priority.name()),
+                ],
+            )
+            .inc(0);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Session plumbing
 // ---------------------------------------------------------------------------
@@ -309,6 +428,10 @@ struct Session {
     tx: Sender<String>,
     done: Arc<DoneCell>,
     streamed: Arc<AtomicU64>,
+    /// Stamped at the top of `submit`/`submit_blocking` — *before* any
+    /// backpressure wait — so latency histograms measure what the client
+    /// experienced, matching a client-side clock started at submission.
+    born: Instant,
 }
 
 /// Client handle to one admitted session: a live answer stream plus
@@ -411,6 +534,8 @@ struct Inner {
     /// in-flight work instead of waiting forever on an infinite
     /// enumeration. Pruned of finished entries on each admission.
     live: Mutex<Vec<std::sync::Weak<SessionCtl>>>,
+    /// Serving-layer metric handles (`None` unless `cfg.metrics` is set).
+    metrics: Option<ServerLive>,
 }
 
 impl Inner {
@@ -479,6 +604,7 @@ impl QueryServer {
             next_id: AtomicU64::new(1),
             stats: AtomicStats::default(),
             live: Mutex::new(Vec::new()),
+            metrics: cfg.metrics.clone().map(ServerLive::new),
         });
         let watchdog = Arc::new(Watchdog {
             entries: Mutex::new(Vec::new()),
@@ -514,6 +640,7 @@ impl QueryServer {
     /// Submit a query. Rejects with [`AceError::Overloaded`] when the
     /// admission high-water mark is reached (or an admission fault fires).
     pub fn submit(&self, req: QueryRequest) -> Result<SessionHandle, AceError> {
+        let born = Instant::now();
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let injected_reject = self
             .inner
@@ -522,44 +649,58 @@ impl QueryServer {
             .is_some_and(|inj| inj.admit_rejects(0));
         let mut q = self.inner.queue.lock().unwrap();
         if q.shutdown {
-            return self.reject(format!("{OVERLOAD_ERROR_PREFIX} server shutting down"));
+            return self.reject(
+                format!("{OVERLOAD_ERROR_PREFIX} server shutting down"),
+                &req,
+            );
         }
         if injected_reject {
-            return self.reject(format!(
-                "{OVERLOAD_ERROR_PREFIX} admission brown-out (injected)"
-            ));
+            return self.reject(
+                format!("{OVERLOAD_ERROR_PREFIX} admission brown-out (injected)"),
+                &req,
+            );
         }
         if q.in_flight >= self.inner.cfg.max_in_flight {
-            return self.reject(format!(
-                "{OVERLOAD_ERROR_PREFIX} {} sessions in flight (limit {})",
-                q.in_flight, self.inner.cfg.max_in_flight
-            ));
+            return self.reject(
+                format!(
+                    "{OVERLOAD_ERROR_PREFIX} {} sessions in flight (limit {})",
+                    q.in_flight, self.inner.cfg.max_in_flight
+                ),
+                &req,
+            );
         }
-        Ok(self.admit(&mut q, req))
+        Ok(self.admit(&mut q, req, born))
     }
 
     /// Submit with backpressure: block until the admission controller has
     /// room instead of rejecting. Returns `Err` only during shutdown.
     pub fn submit_blocking(&self, req: QueryRequest) -> Result<SessionHandle, AceError> {
+        let born = Instant::now();
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let mut q = self.inner.queue.lock().unwrap();
         while q.in_flight >= self.inner.cfg.max_in_flight && !q.shutdown {
             q = self.inner.space_cv.wait(q).unwrap();
         }
         if q.shutdown {
-            return self.reject(format!("{OVERLOAD_ERROR_PREFIX} server shutting down"));
+            return self.reject(
+                format!("{OVERLOAD_ERROR_PREFIX} server shutting down"),
+                &req,
+            );
         }
-        Ok(self.admit(&mut q, req))
+        Ok(self.admit(&mut q, req, born))
     }
 
-    fn reject(&self, msg: String) -> Result<SessionHandle, AceError> {
+    fn reject(&self, msg: String, req: &QueryRequest) -> Result<SessionHandle, AceError> {
         self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.inner.metrics {
+            m.rejected(req.tenant, req.priority);
+        }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.emit(EventKind::SessionReject { session: id });
         Err(AceError::Overloaded(msg))
     }
 
-    fn admit(&self, q: &mut QueueState, req: QueryRequest) -> SessionHandle {
+    fn admit(&self, q: &mut QueueState, req: QueryRequest, born: Instant) -> SessionHandle {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let ctl = Arc::new(SessionCtl {
             id,
@@ -584,6 +725,11 @@ impl QueryServer {
             cv: Condvar::new(),
         });
         self.inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.inner.metrics {
+            m.admitted(req.tenant, req.priority);
+            m.queue_depth[req.priority.index()].inc();
+            m.in_flight.inc();
+        }
         self.inner.emit(EventKind::SessionAdmit { session: id });
         if let Some(deadline) = req.deadline.or(self.inner.cfg.default_deadline) {
             let mut entries = self.watchdog.entries.lock().unwrap();
@@ -600,6 +746,7 @@ impl QueryServer {
             tx,
             done: done.clone(),
             streamed: Arc::new(AtomicU64::new(0)),
+            born,
         };
         q.in_flight += 1;
         q.queues[session.req.priority.index()].push_back(session);
@@ -615,6 +762,27 @@ impl QueryServer {
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Point-in-time snapshot of the attached metrics registry (empty
+    /// when [`ServerConfig::metrics`] is unset). Includes the serving
+    /// families plus whatever the engines folded in.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.inner.metrics {
+            Some(m) => m.registry.snapshot(),
+            None => MetricsSnapshot::empty(),
+        }
+    }
+
+    /// The current metrics snapshot in the Prometheus text exposition
+    /// format (empty string when metrics are disabled).
+    pub fn metrics_prometheus(&self) -> String {
+        let snap = self.metrics();
+        if snap.is_empty() {
+            String::new()
+        } else {
+            snap.render_prometheus()
+        }
     }
 
     /// Admitted sessions currently queued or running.
@@ -698,6 +866,9 @@ fn fleet_loop(inner: &Arc<Inner>, worker: usize) {
             let mut q = inner.queue.lock().unwrap();
             loop {
                 if let Some(s) = q.queues.iter_mut().find_map(|d| d.pop_front()) {
+                    if let Some(m) = &inner.metrics {
+                        m.queue_depth[s.req.priority.index()].dec();
+                    }
                     break s;
                 }
                 if q.shutdown {
@@ -709,6 +880,11 @@ fn fleet_loop(inner: &Arc<Inner>, worker: usize) {
         serve_session(inner, worker, session);
         let mut q = inner.queue.lock().unwrap();
         q.in_flight -= 1;
+        // Gauge updated under the queue lock: an `in_flight()` observer
+        // that reads 0 is guaranteed to see the matching gauge value.
+        if let Some(m) = &inner.metrics {
+            m.in_flight.dec();
+        }
         drop(q);
         inner.space_cv.notify_one();
     }
@@ -776,6 +952,8 @@ fn session_sink(
     let tx = session.tx.clone();
     let streamed = session.streamed.clone();
     let max_answers = session.req.max_answers;
+    let born = session.born;
+    let priority_idx = session.req.priority.index();
     AnswerSink::new(move |answer: &str| {
         // Per-answer fault checkpoint (serving-layer plan only; never
         // armed on replay because injector events are consumed once).
@@ -810,6 +988,11 @@ fn session_sink(
         }
         let n = streamed.fetch_add(1, Ordering::Relaxed) + 1;
         inner.stats.answers_streamed.fetch_add(1, Ordering::Relaxed);
+        if n == 1 {
+            if let Some(m) = &inner.metrics {
+                m.first_answer_us[priority_idx].observe(born.elapsed().as_micros() as u64);
+            }
+        }
         inner.emit(if n == 1 {
             EventKind::SessionFirstAnswer { session: ctl.id }
         } else {
@@ -849,13 +1032,18 @@ fn serve_session(inner: &Arc<Inner>, worker: usize, session: Session) {
 
     let seen = Arc::new(Mutex::new(HashMap::new()));
     let sink = session_sink(inner, worker, &session, seen.clone(), false);
-    let run_cfg = session
+    let mut run_cfg = session
         .req
         .cfg
         .clone()
         .with_memo_tenant(session.req.tenant)
         .with_cancel(session.ctl.cancel.clone())
         .with_answer_sink(sink);
+    // Engine-level folds (virtual time, stats, per-tenant memo traffic)
+    // land in the server's registry so one scrape covers the whole stack.
+    if let Some(m) = &inner.metrics {
+        run_cfg = run_cfg.with_metrics(m.registry.clone());
+    }
 
     // `supervised` = catch_unwind without the default hook's stderr
     // backtrace: a contained session panic is supervision, not a crash.
@@ -911,13 +1099,16 @@ fn degrade(
     cause: &str,
 ) -> (SessionEnd, Option<RunReport>) {
     let sink = session_sink(inner, worker, session, seen, true);
-    let run_cfg = session
+    let mut run_cfg = session
         .req
         .cfg
         .clone()
         .with_memo_tenant(session.req.tenant)
         .with_cancel(session.ctl.cancel.clone())
         .with_answer_sink(sink);
+    if let Some(m) = &inner.metrics {
+        run_cfg = run_cfg.with_metrics(m.registry.clone());
+    }
     match inner
         .ace
         .run_strict(Mode::Sequential, &session.req.query, &run_cfg)
@@ -968,6 +1159,13 @@ fn finish(inner: &Arc<Inner>, session: &Session, end: SessionEnd, report: Option
         SessionEnd::Failed(_) => &inner.stats.failed,
     };
     counter.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &inner.metrics {
+        m.completion_us[session.req.priority.index()]
+            .observe(session.born.elapsed().as_micros() as u64);
+        if end == SessionEnd::DeadlineCancelled {
+            m.deadline_miss(session.req.tenant, session.req.priority);
+        }
+    }
     let mut st = session.done.state.lock().unwrap();
     *st = Some(SessionDone {
         outcome: SessionOutcome { end, report },
@@ -1261,6 +1459,105 @@ mod tests {
             table.tenant_len(0),
             0,
             "nothing leaked to the default tenant"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_disabled_snapshot_is_empty() {
+        let server = ace().serve(ServerConfig::default());
+        let h = server.submit(req("member(X, [1,2])")).unwrap();
+        h.drain();
+        assert!(server.metrics().is_empty());
+        assert_eq!(server.metrics_prometheus(), "");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_cover_admissions_rejections_and_latency() {
+        let registry = MetricsRegistry::shared();
+        let server = ace().serve(
+            ServerConfig::default()
+                .with_max_in_flight(1)
+                .with_fleet(1)
+                .with_metrics(registry.clone()),
+        );
+        // An infinite enumeration pins the only slot, so the second
+        // submission is deterministically rejected; it is then cancelled
+        // to make room for a session that completes normally.
+        let pinned = server.submit(req("stream(X)").with_tenant(3)).unwrap();
+        let rejected = server.submit(req("member(X, [1])").with_tenant(9));
+        assert!(matches!(rejected, Err(AceError::Overloaded(_))));
+        pinned.cancel();
+        pinned.wait();
+        wait_for_idle(&server);
+        let h = server
+            .submit(
+                QueryRequest::new(Mode::OrParallel, "member(X, [1,2,3])", engine_cfg())
+                    .with_tenant(3)
+                    .with_priority(Priority::High),
+            )
+            .unwrap();
+        let (answers, outcome) = h.drain();
+        assert_eq!(answers.len(), 3);
+        assert_eq!(outcome.end, SessionEnd::Completed);
+        wait_for_idle(&server);
+
+        let snap = server.metrics();
+        assert_eq!(
+            snap.counter_value(
+                "ace_server_sessions_admitted_total",
+                &[("tenant", "3"), ("priority", "high")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "ace_server_sessions_admitted_total",
+                &[("tenant", "3"), ("priority", "normal")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "ace_server_sessions_rejected_total",
+                &[("tenant", "9"), ("priority", "normal")]
+            ),
+            Some(1)
+        );
+        // First-answer and completion latency recorded under the session's
+        // priority; the engine fold landed in the same registry.
+        let first = snap
+            .histogram(
+                "ace_server_first_answer_latency_us",
+                &[("priority", "high")],
+            )
+            .expect("first-answer histogram");
+        assert_eq!(first.count, 1);
+        let done = snap
+            .histogram("ace_server_completion_latency_us", &[("priority", "high")])
+            .expect("completion histogram");
+        assert_eq!(done.count, 1);
+        assert!(done.quantile(0.99) >= first.quantile(0.5));
+        assert_eq!(
+            snap.counter_value("ace_engine_runs_total", &[("engine", "or")]),
+            Some(1)
+        );
+        // In-flight and queue gauges net to zero once the server is idle.
+        assert_eq!(snap.gauge_value("ace_server_in_flight", &[]), Some(0));
+        assert_eq!(
+            snap.gauge_value("ace_server_queue_depth", &[("priority", "high")]),
+            Some(0)
+        );
+        // The Prometheus rendering carries the serving families.
+        let text = server.metrics_prometheus();
+        assert!(
+            text.contains("ace_server_sessions_admitted_total{"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ace_server_first_answer_latency_us_bucket{"),
+            "{text}"
         );
         server.shutdown();
     }

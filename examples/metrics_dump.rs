@@ -1,0 +1,47 @@
+//! Metrics tour: run a corpus benchmark with a live metrics registry and
+//! virtual-time tracing attached, then print the Prometheus text
+//! exposition and the top-10 cost-profile frames.
+//!
+//! ```sh
+//! cargo run --release --example metrics_dump             # queen1
+//! cargo run --release --example metrics_dump wide_tree   # another corpus program
+//! ```
+
+use ace_core::Ace;
+use ace_runtime::{EngineConfig, MetricsRegistry, OptFlags, Profile, TraceConfig};
+
+fn main() -> Result<(), String> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "queen1".into());
+    let bench = ace_programs::benchmark(&name)
+        .ok_or_else(|| format!("unknown corpus benchmark: {name}"))?;
+    let size = bench.test_size;
+    let ace = Ace::load(&(bench.program)(size))?;
+
+    let registry = MetricsRegistry::shared();
+    let mut cfg = EngineConfig::default()
+        .with_workers(4)
+        .with_opts(OptFlags::all())
+        .with_metrics(registry.clone())
+        .with_trace(TraceConfig::enabled());
+    if bench.all_solutions {
+        cfg = cfg.all_solutions();
+    }
+
+    let r = ace.run(bench.mode, &(bench.query)(size), &cfg)?;
+    println!(
+        "{name} (size {size}): {} solution(s), virtual time {}\n",
+        r.solutions.len(),
+        r.virtual_time
+    );
+
+    // The live registry, as a Prometheus scrape would see it.
+    println!("--- metrics (Prometheus text format) ---");
+    print!("{}", registry.snapshot().render_prometheus());
+
+    // The virtual-time cost profile folded from the trace.
+    let trace = r.trace.as_ref().expect("tracing was enabled");
+    let profile = Profile::from_trace(trace);
+    println!("\n--- cost profile ---");
+    println!("{}", profile.table(10));
+    Ok(())
+}

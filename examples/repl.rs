@@ -11,13 +11,15 @@
 //! * `:memo` — toggle answer memoization (the table persists across
 //!   queries and engines until toggled off, which clears it)
 //! * `:memo-stats` — table size and hit/miss/store/eviction counters
+//! * `:metrics` — dump the session's live metrics registry in the
+//!   Prometheus text format (every query folds into it)
 //! * `:quit`
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, MemoConfig, MemoTable, OptFlags};
+use ace_runtime::{EngineConfig, MemoConfig, MemoTable, MetricsRegistry, OptFlags};
 
 fn main() {
     let mut program = String::new();
@@ -46,6 +48,9 @@ fn main() {
     // One table for the whole session: answers stored by any engine on
     // any query replay on every later one, until `:memo` toggles off.
     let mut memo: Option<Arc<MemoTable>> = None;
+    // One metrics registry for the whole session; every query's run folds
+    // into it and `:metrics` scrapes it.
+    let metrics = MetricsRegistry::shared();
 
     let stdin = std::io::stdin();
     loop {
@@ -73,6 +78,15 @@ fn main() {
                     None
                 }
             };
+            continue;
+        }
+        if line == ":metrics" {
+            let snap = metrics.snapshot();
+            if snap.is_empty() {
+                println!("no metrics recorded yet — run a query first.");
+            } else {
+                print!("{}", snap.render_prometheus());
+            }
             continue;
         }
         if line == ":memo-stats" {
@@ -106,6 +120,7 @@ fn main() {
         let mut cfg = EngineConfig::default()
             .with_workers(workers)
             .with_opts(OptFlags::all())
+            .with_metrics(metrics.clone())
             .all_solutions();
         if let Some(t) = &memo {
             cfg = cfg.with_memo_table(t.clone());

@@ -1,0 +1,222 @@
+//! Metrics tier-1: the live registry's Prometheus text export is
+//! well-formed, snapshots agree with the run reports they fold, and a
+//! metrics-disabled run is bit-identical to one that never heard of the
+//! registry.
+
+use std::sync::Arc;
+
+use ace_core::Ace;
+use ace_runtime::{EngineConfig, MetricsRegistry, OptFlags};
+
+fn cfg(workers: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(workers)
+        .with_opts(OptFlags::all())
+        .all_solutions()
+}
+
+fn corpus_run(name: &str, registry: Option<Arc<MetricsRegistry>>) -> ace_core::RunReport {
+    let b = ace_programs::benchmark(name).unwrap();
+    let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+    let mut c = cfg(4);
+    if let Some(r) = registry {
+        c = c.with_metrics(r);
+    }
+    ace.run(b.mode, &(b.query)(b.test_size), &c).unwrap()
+}
+
+/// Minimal Prometheus text-exposition validator: enough to prove the
+/// export is structurally well-formed (comment lines, sample-line
+/// grammar, label quoting/escaping, numeric values, per-histogram
+/// cumulative monotonicity) without an external parser dependency.
+fn validate_prometheus(text: &str) -> Result<(), String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    // (metric base name, cumulative count) of the histogram bucket series
+    // currently being read, to check monotone cumulative counts.
+    let mut bucket_run: Option<(String, u64)> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kw = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match kw {
+                "HELP" => {
+                    if !valid_name(name) || parts.next().is_none() {
+                        return Err(format!("line {ln}: malformed HELP comment: {line}"));
+                    }
+                }
+                "TYPE" => {
+                    let ty = parts.next().unwrap_or("");
+                    if !valid_name(name) || !matches!(ty, "counter" | "gauge" | "histogram") {
+                        return Err(format!("line {ln}: malformed TYPE comment: {line}"));
+                    }
+                }
+                _ => return Err(format!("line {ln}: unknown comment keyword: {line}")),
+            }
+            continue;
+        }
+        // Sample line: name[{label="value",...}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {ln}: no value separator: {line}"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {ln}: non-numeric value {value:?}"));
+        }
+        let (name, mut le) = (series, None);
+        let name = match name.split_once('{') {
+            None => name,
+            Some((base, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {ln}: unterminated label set: {line}"))?;
+                // Split label pairs on `",` boundaries (values are quoted,
+                // and quotes inside values are backslash-escaped).
+                let mut rem = body;
+                while !rem.is_empty() {
+                    let (k, v) = rem
+                        .split_once("=\"")
+                        .ok_or_else(|| format!("line {ln}: malformed label in {line}"))?;
+                    if !valid_name(k) {
+                        return Err(format!("line {ln}: bad label name {k:?}"));
+                    }
+                    // Find the closing unescaped quote.
+                    let mut end = None;
+                    let mut esc = false;
+                    for (i, c) in v.char_indices() {
+                        match c {
+                            '\\' if !esc => esc = true,
+                            '"' if !esc => {
+                                end = Some(i);
+                                break;
+                            }
+                            _ => esc = false,
+                        }
+                    }
+                    let end = end.ok_or_else(|| format!("line {ln}: unterminated label value"))?;
+                    if k == "le" {
+                        le = Some(v[..end].to_string());
+                    }
+                    rem = &v[end + 1..];
+                    rem = rem.strip_prefix(',').unwrap_or(rem);
+                }
+                base
+            }
+        };
+        if !valid_name(name) {
+            return Err(format!("line {ln}: bad metric name {name:?}"));
+        }
+        // Histogram bucket series: cumulative counts must be monotone and
+        // end with the +Inf bucket.
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = le.ok_or_else(|| format!("line {ln}: _bucket sample without le label"))?;
+            let cum = value
+                .parse::<u64>()
+                .map_err(|_| format!("line {ln}: non-integer bucket count"))?;
+            match &mut bucket_run {
+                Some((b, prev)) if b == base => {
+                    if cum < *prev {
+                        return Err(format!(
+                            "line {ln}: bucket counts not cumulative ({prev} then {cum})"
+                        ));
+                    }
+                    *prev = cum;
+                }
+                _ => bucket_run = Some((base.to_string(), cum)),
+            }
+            if le != "+Inf" && le.parse::<f64>().is_err() {
+                return Err(format!("line {ln}: bad le bound {le:?}"));
+            }
+        } else {
+            bucket_run = None;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn prometheus_export_parses_and_is_wellformed() {
+    let registry = MetricsRegistry::shared();
+    corpus_run("queen1", Some(registry.clone()));
+    corpus_run("map2", Some(registry.clone()));
+    // A histogram family too (the engines only fold counters/gauges).
+    registry.describe("test_latency_us", "synthetic latency series");
+    let h = registry.histogram("test_latency_us", &[("priority", "high")]);
+    for v in [3, 17, 290, 12_000, 1_000_000] {
+        h.observe(v);
+    }
+    let text = registry.snapshot().render_prometheus();
+    assert!(
+        text.contains("# TYPE ace_engine_runs_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE test_latency_us histogram"), "{text}");
+    assert!(text.contains("test_latency_us_bucket{"), "{text}");
+    assert!(text.contains("le=\"+Inf\"} 5"), "{text}");
+    assert!(
+        text.contains("test_latency_us_count{priority=\"high\"} 5"),
+        "{text}"
+    );
+    validate_prometheus(&text).unwrap_or_else(|e| panic!("export does not parse: {e}\n{text}"));
+}
+
+#[test]
+fn validator_rejects_malformed_text() {
+    assert!(validate_prometheus("name{unterminated 3").is_err());
+    assert!(validate_prometheus("name notanumber").is_err());
+    assert!(validate_prometheus("# FROB name comment").is_err());
+    assert!(validate_prometheus("2badname 3").is_err());
+    assert!(validate_prometheus("h_bucket{le=\"5\"} 9\nh_bucket{le=\"+Inf\"} 3").is_err());
+    assert!(validate_prometheus("ok{a=\"b\",c=\"d\"} 3\n# HELP ok fine").is_ok());
+}
+
+/// The zero-overhead contract, end to end: running with no registry is
+/// bit-identical (virtual time AND the full stats struct) to the same
+/// deterministic run with a registry attached.
+#[test]
+fn metrics_disabled_runs_are_bit_identical() {
+    for name in ["queen1", "members", "map2"] {
+        let plain = corpus_run(name, None);
+        let live = corpus_run(name, Some(MetricsRegistry::shared()));
+        assert_eq!(
+            plain.virtual_time, live.virtual_time,
+            "{name}: metrics perturbed the virtual clock"
+        );
+        assert_eq!(plain.stats, live.stats, "{name}: metrics perturbed stats");
+    }
+}
+
+/// Snapshots agree with the reports they folded: two runs accumulate, and
+/// the per-engine virtual-time total is the sum of the reports'.
+#[test]
+fn snapshot_agrees_with_run_reports() {
+    let registry = MetricsRegistry::shared();
+    let r1 = corpus_run("queen1", Some(registry.clone()));
+    let r2 = corpus_run("queen1", Some(registry.clone()));
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_value("ace_engine_runs_total", &[("engine", "or")]),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter_value("ace_engine_virtual_time_total", &[("engine", "or")]),
+        Some(r1.virtual_time + r2.virtual_time)
+    );
+    assert_eq!(
+        snap.counter_value(
+            "ace_engine_stat_total",
+            &[("engine", "or"), ("stat", "solutions")]
+        ),
+        Some(r1.stats.solutions + r2.stats.solutions)
+    );
+}

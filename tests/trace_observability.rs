@@ -10,7 +10,8 @@
 //!   virtual cost.
 
 use ace_core::{Ace, Mode, RunReport};
-use ace_runtime::{EngineConfig, OptFlags, TraceChecker, TraceConfig, Tracer};
+use ace_runtime::{EngineConfig, EventKind, OptFlags, TraceChecker, TraceConfig, Tracer};
+use ace_server::{QueryRequest, Serve, ServerConfig, SessionEnd};
 
 fn cfg(workers: usize, trace: TraceConfig) -> EngineConfig {
     EngineConfig::default()
@@ -245,6 +246,88 @@ fn tracing_does_not_change_virtual_time() {
         b2.sort();
         assert_eq!(a, b2, "{name}: tracing perturbed the solutions");
     }
+}
+
+/// Server-session round trip: the lifecycle trace of a served workload
+/// (one completed session, one cancelled mid-stream) exports valid Chrome
+/// JSON, passes the checker, and orders admit → first-answer → cancel →
+/// drain causally per session.
+#[test]
+fn server_session_trace_round_trips() {
+    let ace = Ace::load(
+        r#"
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        d(0). d(1). d(2). d(3). d(4).
+        stream(X) :- d(X).
+        stream(X) :- stream(X).
+        "#,
+    )
+    .unwrap();
+    let server = ace.serve(ServerConfig::default().with_trace(TraceConfig::enabled()));
+
+    let done = server
+        .submit(QueryRequest::new(
+            Mode::Sequential,
+            "member(X, [1,2,3])",
+            EngineConfig::default().all_solutions(),
+        ))
+        .unwrap();
+    let (answers, outcome) = done.drain();
+    assert_eq!(answers.len(), 3);
+    assert_eq!(outcome.end, SessionEnd::Completed);
+
+    let cancelled = server
+        .submit(QueryRequest::new(
+            Mode::Sequential,
+            "stream(X)",
+            EngineConfig::default().all_solutions(),
+        ))
+        .unwrap();
+    // Let it stream at least one answer before cancelling.
+    assert!(cancelled.next_answer().is_some());
+    cancelled.cancel();
+    assert_eq!(cancelled.wait().end, SessionEnd::ClientCancelled);
+
+    let trace = server.take_trace();
+    drop(server);
+
+    // Valid Chrome trace_event JSON, same bar as the engine traces.
+    let json = trace.to_chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    validate_json(&json).unwrap_or_else(|e| panic!("invalid session-trace JSON: {e}"));
+
+    // The checker's session invariants hold (no answer after cancel, no
+    // stream without admission).
+    TraceChecker::check(&trace).unwrap();
+
+    // Causal ordering per session: timestamps are the server's global
+    // sequence numbers, so event positions ARE the causal order.
+    let pos = |pred: &dyn Fn(&EventKind) -> bool| {
+        trace
+            .events
+            .iter()
+            .position(|e| pred(&e.kind))
+            .map(|i| trace.events[i].t)
+    };
+    let cancelled_id = cancelled.id();
+    let admit =
+        pos(&|k| matches!(k, EventKind::SessionAdmit { session } if *session == cancelled_id))
+            .expect("admit event");
+    let first = pos(
+        &|k| matches!(k, EventKind::SessionFirstAnswer { session } if *session == cancelled_id),
+    )
+    .expect("first-answer event");
+    let cancel =
+        pos(&|k| matches!(k, EventKind::SessionCancel { session } if *session == cancelled_id))
+            .expect("cancel event");
+    let drain =
+        pos(&|k| matches!(k, EventKind::SessionDrain { session, .. } if *session == cancelled_id))
+            .expect("drain event");
+    assert!(
+        admit < first && first < cancel && cancel < drain,
+        "session lifecycle out of order: admit={admit} first={first} cancel={cancel} drain={drain}"
+    );
 }
 
 /// And-parallel runs trace too: frame allocation/elision and the
