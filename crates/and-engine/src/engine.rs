@@ -57,6 +57,7 @@ impl AndEngine {
                 .as_ref()
                 .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
             memo: cfg.resolve_memo_table(),
+            table: cfg.resolve_table_space(),
         });
 
         let mut workers: Vec<AndWorker> = (0..cfg.workers.max(1))
@@ -67,6 +68,7 @@ impl AndEngine {
         let mut root = Box::new(Machine::new(self.db.clone(), costs));
         root.enable_parallel(true);
         root.set_memo(shared.memo.clone(), cfg.trace.enabled);
+        root.set_table(shared.table.clone(), cfg.trace.enabled);
         root.set_memo_tenant(cfg.memo_tenant);
         let vars = root
             .load_query_text(query)
@@ -382,6 +384,68 @@ mod tests {
         assert_eq!(off.outcome.virtual_time, plain.outcome.virtual_time);
         assert_eq!(off.stats, plain.stats);
         assert_eq!(off.stats.memo_hits + off.stats.memo_misses, 0);
+    }
+
+    #[test]
+    fn tabled_slots_run_under_parallel_conjunction() {
+        use ace_runtime::{TableConfig, TableSpace};
+        let e = AndEngine::new(db(r#"
+            :- table(path/2).
+            path(X, Y) :- path(X, Z), edge(Z, Y).
+            path(X, Y) :- edge(X, Y).
+            edge(a, b).
+            edge(b, c).
+            edge(b, d).
+            edge(c, a).
+            pair(X, Y) :- path(a, X) & path(b, Y).
+        "#));
+        let q = "pair(X, Y)";
+        for workers in [1, 2, 4] {
+            let space = Arc::new(TableSpace::new(&TableConfig::enabled()));
+            let c = cfg(workers, OptFlags::none()).with_table_space(space.clone());
+            let r = e.run(q, &c).unwrap();
+            // Full cross product of the two closures (both are {a,b,c,d}).
+            let mut got = renders(&r);
+            got.sort();
+            assert_eq!(got.len(), 16, "workers={workers}: {got:?}");
+            got.dedup();
+            assert_eq!(got.len(), 16, "duplicate answers, workers={workers}");
+            assert!(r.stats.table_completes >= 2, "{}", r.stats.summary());
+            assert_eq!(space.complete_len(), 2);
+        }
+    }
+
+    #[test]
+    fn parcall_inside_a_tabled_clause_degrades_soundly() {
+        use ace_runtime::{TableConfig, TableSpace};
+        // `&` in the body of a tabled clause must degrade to `,` (the
+        // derivation's continuation is machine-local) and still produce
+        // the right answers.
+        let e = AndEngine::new(db(r#"
+            :- table(both/2).
+            both(X, Y) :- p(X) & q(Y).
+            p(1). p(2).
+            q(10).
+        "#));
+        let space = Arc::new(TableSpace::new(&TableConfig::enabled()));
+        let c = cfg(2, OptFlags::none()).with_table_space(space.clone());
+        let r = e.run("both(X, Y)", &c).unwrap();
+        let mut got = renders(&r);
+        got.sort();
+        assert_eq!(got, vec!["X=1, Y=10", "X=2, Y=10"]);
+        assert_eq!(r.stats.table_completes, 1, "{}", r.stats.summary());
+    }
+
+    #[test]
+    fn tabling_off_and_runs_are_bit_identical() {
+        let e = AndEngine::new(db(PROCESS_LIST));
+        let q = "process_list([1,2,3], Out)";
+        let plain = e.run(q, &cfg(2, OptFlags::all())).unwrap();
+        let c = cfg(2, OptFlags::all()).with_table(ace_runtime::TableConfig::default());
+        let off = e.run(q, &c).unwrap();
+        assert_eq!(off.outcome.virtual_time, plain.outcome.virtual_time);
+        assert_eq!(off.stats, plain.stats);
+        assert_eq!(off.stats.table_hits + off.stats.table_subgoals, 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use ace_logic::{CanonKey, Cell, Database};
 use ace_machine::{Machine, MarkerKind, Solution, Status};
 use ace_runtime::{
     fault::FAULT_ERROR_PREFIX, Agent, CancelToken, EngineConfig, EventKind, FaultAction,
-    FaultInjector, MemoTable, Phase, Stats, TraceBuf, Tracer,
+    FaultInjector, MemoTable, Phase, Stats, TableSpace, TraceBuf, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -57,6 +57,9 @@ pub struct Shared {
     /// Answer-memoization table shared by every machine of the run (and,
     /// when the caller passed one in, across runs); `None` = memo off.
     pub memo: Option<Arc<MemoTable>>,
+    /// Shared tabling space for non-determinate tabled predicates;
+    /// `None` = tabling off.
+    pub table: Option<Arc<TableSpace>>,
 }
 
 impl Shared {
@@ -262,6 +265,10 @@ impl AndWorker {
         };
         if self.sh.memo.is_some() {
             m.set_memo(self.sh.memo.clone(), self.sh.cfg.trace.enabled);
+            m.set_memo_tenant(self.sh.cfg.memo_tenant);
+        }
+        if self.sh.table.is_some() {
+            m.set_table(self.sh.table.clone(), self.sh.cfg.trace.enabled);
             m.set_memo_tenant(self.sh.cfg.memo_tenant);
         }
         m

@@ -199,6 +199,9 @@ impl Ace {
         solver
             .machine_mut()
             .set_memo(cfg.resolve_memo_table(), false);
+        solver
+            .machine_mut()
+            .set_table(cfg.resolve_table_space(), false);
         solver.machine_mut().set_memo_tenant(cfg.memo_tenant);
         if let Some(parent) = &cfg.cancel {
             solver.set_cancel(parent.child());

@@ -62,6 +62,14 @@ impl RunReport {
             .then(|| self.stats.tree_visits as f64 / self.stats.alternatives_claimed as f64)
     }
 
+    /// Fraction of memo lookups that hit, in `[0, 1]`. `None` when the
+    /// run performed no lookups at all — never `NaN`, so callers can
+    /// format it without a zero-guard of their own.
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let lookups = self.stats.memo_hits + self.stats.memo_misses;
+        (lookups > 0).then(|| self.stats.memo_hits as f64 / lookups as f64)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let mut s = format!(
@@ -71,13 +79,12 @@ impl RunReport {
             self.clocks.len(),
             self.stats.summary()
         );
-        let lookups = self.stats.memo_hits + self.stats.memo_misses;
-        if lookups > 0 {
+        if let Some(rate) = self.memo_hit_rate() {
             s.push_str(&format!(
                 ", memo hit-rate {:.1}% ({}/{} lookups)",
-                100.0 * self.stats.memo_hits as f64 / lookups as f64,
+                100.0 * rate,
                 self.stats.memo_hits,
-                lookups
+                self.stats.memo_hits + self.stats.memo_misses
             ));
         }
         if !self.recovery.is_empty() {
@@ -163,6 +170,25 @@ mod tests {
         r.stats.memo_misses = 1;
         let s = r.summary();
         assert!(s.contains("memo hit-rate 75.0% (3/4 lookups)"), "{s}");
+    }
+
+    #[test]
+    fn zero_lookup_hit_rate_is_none_and_never_nan() {
+        // Regression: 0 hits + 0 misses must not render a `NaN`/`-nan%`
+        // hit rate — the helper reports None and the summary stays quiet.
+        let r = report(100);
+        assert_eq!(r.memo_hit_rate(), None);
+        let s = r.summary();
+        assert!(!s.to_lowercase().contains("nan"), "{s}");
+        assert!(!s.contains("hit-rate"), "{s}");
+
+        // All-miss runs are 0.0, not None (lookups did happen).
+        let mut misses = report(100);
+        misses.stats.memo_misses = 5;
+        assert_eq!(misses.memo_hit_rate(), Some(0.0));
+        assert!(misses
+            .summary()
+            .contains("memo hit-rate 0.0% (0/5 lookups)"));
     }
 
     #[test]

@@ -13,12 +13,12 @@
 //! "is completely known at runtime" unlike compile-time approximations
 //! (paper §1).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::heap::{Cell, Heap};
 use crate::read::{parse_program, ReadClause, ReadError};
-use crate::sym::{wk, Sym};
+use crate::sym::{sym, wk, Sym};
 use crate::term::{view, TermView};
 
 /// First-argument index key.
@@ -192,6 +192,10 @@ pub struct Database {
     /// `?- Goal` / `:- Goal` directives in source order, each as its own
     /// arena (same relocatable representation as clause bodies).
     directives: Vec<Arc<Clause>>,
+    /// Predicates declared tabled via `:- table(name/arity).`; the
+    /// machine routes calls on these through SLG evaluation instead of
+    /// plain clause resolution.
+    tabled: HashSet<(Sym, u32)>,
 }
 
 impl Database {
@@ -213,6 +217,11 @@ impl Database {
             if let TermView::Struct(f, 1, hdr) = view(&rc.arena, rc.root) {
                 if f == wk().query_neck || f == wk().clause_neck {
                     let goal = rc.arena.str_arg(hdr, 0);
+                    // `:- table(p/2, q/3).` declares tabled predicates;
+                    // it is consumed at load time, not run as a goal.
+                    if self.try_table_directive(&rc.arena, goal)? {
+                        continue;
+                    }
                     let arena = rc.arena.clone();
                     self.directives.push(Arc::new(Clause {
                         arena,
@@ -238,6 +247,77 @@ impl Database {
         clause.ordinal = pred.clauses.len();
         pred.clauses.push(Arc::new(clause));
         Ok(())
+    }
+
+    /// If `goal` is a `table(Spec)` directive body, record its specs and
+    /// return `Ok(true)`. Specs are `name/arity` terms, possibly joined
+    /// by `,` — e.g. `:- table(path/2).` or `:- table(p/1, q/2).`.
+    fn try_table_directive(&mut self, arena: &Heap, goal: Cell) -> Result<bool, LoadError> {
+        let TermView::Struct(f, _, hdr) = view(arena, goal) else {
+            return Ok(false);
+        };
+        if f != sym("table") {
+            return Ok(false);
+        }
+        let TermView::Struct(_, n, _) = view(arena, goal) else {
+            unreachable!()
+        };
+        let mut specs = Vec::new();
+        for i in 0..n {
+            self.collect_table_specs(arena, arena.str_arg(hdr, i), &mut specs)?;
+        }
+        for (name, arity) in specs {
+            self.tabled.insert((name, arity));
+        }
+        Ok(true)
+    }
+
+    /// Walk a (possibly `,`-joined) table spec term, collecting
+    /// `name/arity` pairs.
+    fn collect_table_specs(
+        &self,
+        arena: &Heap,
+        spec: Cell,
+        out: &mut Vec<(Sym, u32)>,
+    ) -> Result<(), LoadError> {
+        match view(arena, spec) {
+            TermView::Struct(f, 2, hdr) if f == wk().comma => {
+                self.collect_table_specs(arena, arena.str_arg(hdr, 0), out)?;
+                self.collect_table_specs(arena, arena.str_arg(hdr, 1), out)
+            }
+            TermView::Struct(f, 2, hdr) if f == wk().slash => {
+                let name = view(arena, arena.str_arg(hdr, 0));
+                let arity = view(arena, arena.str_arg(hdr, 1));
+                match (name, arity) {
+                    (TermView::Atom(s), TermView::Int(a)) if a >= 0 => {
+                        out.push((s, a as u32));
+                        Ok(())
+                    }
+                    _ => Err(LoadError::BadClause(
+                        "table/1 expects name/arity specs".into(),
+                    )),
+                }
+            }
+            _ => Err(LoadError::BadClause(
+                "table/1 expects name/arity specs".into(),
+            )),
+        }
+    }
+
+    /// Declare `name/arity` tabled programmatically (tests, embedding).
+    pub fn declare_tabled(&mut self, name: Sym, arity: u32) {
+        self.tabled.insert((name, arity));
+    }
+
+    /// Was `name/arity` declared tabled?
+    pub fn is_tabled(&self, name: Sym, arity: u32) -> bool {
+        self.tabled.contains(&(name, arity))
+    }
+
+    /// Any tabled declarations at all? (Engines use this to skip tabled
+    /// bookkeeping entirely on untabled programs.)
+    pub fn has_tabled(&self) -> bool {
+        !self.tabled.is_empty()
     }
 
     /// Look up a predicate.
@@ -354,6 +434,44 @@ mod tests {
     fn directives_collected() {
         let db = Database::load("p(1). ?- p(X). :- p(1).").unwrap();
         assert_eq!(db.directives().len(), 2);
+    }
+
+    #[test]
+    fn table_directive_declares_predicates() {
+        let db = Database::load(
+            ":- table(path/2).\n\
+             path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             edge(a, b).",
+        )
+        .unwrap();
+        assert!(db.is_tabled(sym("path"), 2));
+        assert!(!db.is_tabled(sym("edge"), 2));
+        assert!(db.has_tabled());
+        // the directive is consumed, not kept as a runnable goal
+        assert_eq!(db.directives().len(), 0);
+    }
+
+    #[test]
+    fn table_directive_accepts_comma_lists_and_multiple_args() {
+        let db = Database::load(":- table(p/1, (q/2, r/0)). p(1). q(1,2). r.").unwrap();
+        assert!(db.is_tabled(sym("p"), 1));
+        assert!(db.is_tabled(sym("q"), 2));
+        assert!(db.is_tabled(sym("r"), 0));
+    }
+
+    #[test]
+    fn malformed_table_directive_is_rejected() {
+        assert!(Database::load(":- table(p).").is_err());
+        assert!(Database::load(":- table(p/x).").is_err());
+    }
+
+    #[test]
+    fn declare_tabled_programmatically() {
+        let mut db = Database::load("p(1).").unwrap();
+        assert!(!db.has_tabled());
+        db.declare_tabled(sym("p"), 1);
+        assert!(db.is_tabled(sym("p"), 1));
     }
 
     #[test]

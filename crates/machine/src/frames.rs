@@ -19,6 +19,7 @@ use ace_logic::db::IndexKey;
 use ace_logic::heap::HeapMark;
 use ace_logic::{Cell, Sym, TrailMark};
 use ace_memo::MemoEntry;
+use ace_table::TableEntry;
 
 use crate::cont::Cont;
 
@@ -41,6 +42,26 @@ pub enum Alts {
     /// `entry.answers[next..]`. Never published to the or-tree — the
     /// answer set is already complete, so there is nothing to claim.
     Memo { entry: Arc<MemoEntry>, next: usize },
+    /// Remaining answers of an already-**complete** tabled subgoal from
+    /// the shared table space. Like `Alts::Memo`, never published.
+    TableReplay { entry: Arc<TableEntry>, next: usize },
+    /// A consumer of a machine-local tabled subgoal under evaluation:
+    /// unify answers `>= next` of the local answer list; when the list
+    /// runs dry, either finish (subgoal complete) or **suspend** the
+    /// continuation as a frozen closure until new answers land. Never
+    /// published — local SLG state is meaningless on another machine.
+    TableConsumer { subgoal: usize, next: usize },
+    /// The generator choice point of a machine-local tabled subgoal:
+    /// remaining program clauses feeding the subgoal's failure-driven
+    /// answer loop. Exhaustion triggers the SCC completion check. Never
+    /// published (see `Machine::table_publish_floor`).
+    TableGen {
+        subgoal: usize,
+        name: Sym,
+        arity: u32,
+        key: IndexKey,
+        next: usize,
+    },
 }
 
 /// Hook installed by the or-parallel engine when a choice point is made

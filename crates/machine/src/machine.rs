@@ -1,6 +1,7 @@
 //! The solver machine: a steppable resolution engine with full
 //! backtracking, cut, and the parallel-frame protocol the engines build on.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -12,6 +13,7 @@ use ace_logic::write::term_to_string;
 use ace_logic::{CanonKey, Cell, Heap, Sym, TermArena, TrailMark};
 use ace_memo::{MemoEntry, MemoTable, PublishOutcome};
 use ace_runtime::{CancelToken, CostModel, EventKind, Stats};
+use ace_table::{RegisterOutcome, TableEntry, TableSpace};
 
 use crate::cont::{self, Cont};
 use crate::frames::{Alts, ChoicePoint, CtrlFrame, Marker, MarkerKind, ParcallFrame, SharedChoice};
@@ -83,6 +85,13 @@ fn memo_store_sym() -> Sym {
     *S.get_or_init(|| sym("$memo_store"))
 }
 
+/// Interned `$table_answer` (answer-insertion marker of a tabled
+/// generator's failure-driven derivation loop).
+fn table_answer_sym() -> Sym {
+    static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *S.get_or_init(|| sym("$table_answer"))
+}
+
 /// A call being watched for answer memoization: a `$memo_store(Idx, Gen)`
 /// goal planted right after the call in the continuation reaches this
 /// record when (a derivation of) the call completes. The snapshots decide
@@ -105,6 +114,40 @@ struct MemoWatch {
     markers: u64,
     output_len: usize,
     answers_len: usize,
+}
+
+/// A tabled consumer whose answer cursor ran dry while its subgoal was
+/// still incomplete: the goal and continuation are frozen (same closure
+/// form as or-parallel state copying) until the leader's fixpoint loop
+/// thaws them after new answers land.
+struct SuspendedConsumer {
+    /// Frozen `$closure(Goal, Cont...)` tuple.
+    closure: StateClosure,
+    /// Answers already consumed before suspension (resume cursor).
+    next: usize,
+}
+
+/// Machine-local evaluation state of one tabled subgoal (an SLG frame).
+/// Lives for the whole query — consumer cursors index into `answers`, so
+/// frames are never reclaimed before [`Machine::reset`].
+struct LocalSubgoal {
+    /// Canonical (variant-normalized) subgoal key.
+    key: CanonKey,
+    /// Shared-space subgoal id (trace correlation across workers).
+    shared_id: u64,
+    /// The answer list, in derivation order (frozen: machine-independent).
+    answers: Vec<TermArena>,
+    /// Canonical answer keys already inserted (duplicate elimination).
+    dedup: HashSet<Vec<u8>>,
+    /// Consumers parked until new answers land or the subgoal completes.
+    suspended: Vec<SuspendedConsumer>,
+    /// Fixpoint reached: `answers` is the complete answer set.
+    complete: bool,
+    /// Depth-first number (creation order) and the smallest dfn this
+    /// subgoal's subtree links back to — Tarjan-style SCC detection for
+    /// leader-based completion.
+    dfn: u32,
+    minlink: u32,
 }
 
 /// A published-choice-point state closure: everything a remote worker needs
@@ -184,6 +227,21 @@ pub struct Machine {
     /// Monotone count of parallel conjunctions raised (memo determinacy
     /// validation: a derivation that crossed a parcall is never tabled).
     parcalls_raised: u64,
+    /// Shared tabling space for non-determinate tabled predicates. `None`
+    /// (the default) keeps every table consultation point a single branch:
+    /// a table-off run is bit-identical to a table-free build.
+    table: Option<Arc<TableSpace>>,
+    /// Buffer table trace events (they ride `memo_events` so engines need
+    /// no extra drain plumbing).
+    table_trace: bool,
+    /// Machine-local SLG frames of tabled subgoals (indexed by cursors).
+    table_subgoals: Vec<LocalSubgoal>,
+    /// Canonical key bytes → index into `table_subgoals`.
+    table_index: HashMap<Vec<u8>, usize>,
+    /// In-flight generators, outermost first: (subgoal index, control
+    /// index of the generator choice point). Drives dfn/minlink SCC
+    /// completion and the or-engine's publication floor.
+    table_gen_stack: Vec<(usize, usize)>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -221,6 +279,11 @@ impl Machine {
             memo_free: Vec::new(),
             memo_gen: 0,
             parcalls_raised: 0,
+            table: None,
+            table_trace: false,
+            table_subgoals: Vec::new(),
+            table_index: HashMap::new(),
+            table_gen_stack: Vec::new(),
         }
     }
 
@@ -286,6 +349,11 @@ impl Machine {
         self.memo_watches.clear();
         self.memo_free.clear();
         self.parcalls_raised = 0;
+        // Likewise the table-space handle survives; local SLG state does
+        // not (frames are per-query).
+        self.table_subgoals.clear();
+        self.table_index.clear();
+        self.table_gen_stack.clear();
     }
 
     // ------------------------------------------------------------------
@@ -489,6 +557,431 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Tabling (SLG evaluation of non-determinate tabled predicates)
+    // ------------------------------------------------------------------
+
+    /// Attach (or detach) a shared tabling space. `trace` buffers table
+    /// events ([`EventKind::TableNew`] and friends) into the memo event
+    /// buffer ([`Machine::take_memo_events`] drains both).
+    pub fn set_table(&mut self, space: Option<Arc<TableSpace>>, trace: bool) {
+        self.table = space;
+        self.table_trace = trace && self.table.is_some();
+    }
+
+    pub fn table_enabled(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Control index of the outermost tabled-generator choice point, or
+    /// `usize::MAX` when no tabled evaluation is in flight. The or-engine
+    /// must not publish choice points at or above this floor: frames of
+    /// an active SLG evaluation (consumer cursors, `$table_answer`
+    /// markers in continuations, the generators themselves) index
+    /// machine-local state and are meaningless on another worker.
+    pub fn table_publish_floor(&self) -> usize {
+        self.table_gen_stack
+            .first()
+            .map_or(usize::MAX, |&(_, ctrl_idx)| ctrl_idx)
+    }
+
+    /// SLG call of a tabled predicate: classify as consumer of a subgoal
+    /// this machine is already evaluating, replayer of a completed shared
+    /// table, or a fresh generator driving the failure-loop derivation.
+    fn table_call(
+        &mut self,
+        goal: Cell,
+        name: Sym,
+        arity: u32,
+        hdr: Option<ace_logic::Addr>,
+    ) -> Status {
+        let space = self
+            .table
+            .as_ref()
+            .expect("table_call without a table space")
+            .clone();
+        self.charge(self.costs.memo_lookup);
+        let key = CanonKey::of(&self.heap, goal);
+
+        // Variant of a subgoal already framed on this machine: become a
+        // consumer of its (growing or complete) answer list. A link to an
+        // incomplete frame means the running generators up to that frame
+        // form one SCC — fold the dfn into the innermost generator's
+        // minlink so completion is deferred to the common leader.
+        if let Some(&idx) = self.table_index.get(&key.bytes) {
+            if !self.table_subgoals[idx].complete {
+                if let Some(&(top, _)) = self.table_gen_stack.last() {
+                    let dfn = self.table_subgoals[idx].dfn;
+                    let m = &mut self.table_subgoals[top].minlink;
+                    *m = (*m).min(dfn);
+                }
+            }
+            self.push_choice(ChoicePoint {
+                goal,
+                alts: Alts::TableConsumer {
+                    subgoal: idx,
+                    next: 0,
+                },
+                cont: self.cont.clone(),
+                trail: self.heap.trail_mark(),
+                heap: self.heap.heap_mark(),
+                barrier: self.ctrl.len() as u32,
+                shared: None,
+            });
+            // The cursor choice point drains answers (and suspends when
+            // dry) through the ordinary backtracking path.
+            return self.backtrack();
+        }
+
+        match space.register(self.memo_tenant, &key) {
+            // Someone already completed this subgoal: a pure lookup.
+            RegisterOutcome::Complete(entry) => {
+                self.stats.table_hits += 1;
+                self.table_replay(goal, entry)
+            }
+            RegisterOutcome::Fresh { subgoal_id } => {
+                self.stats.table_subgoals += 1;
+                if self.table_trace {
+                    self.memo_events.push(EventKind::TableNew {
+                        key: key.hash,
+                        subgoal: subgoal_id,
+                    });
+                }
+                self.table_generate(goal, name, arity, hdr, key, subgoal_id)
+            }
+            // A foreign worker is the registered generator. Stacks are
+            // private, so cross-machine suspension is impossible: evaluate
+            // the subgoal privately (shadow evaluation). Publication at
+            // completion is first-writer-wins, so the race is confluent.
+            RegisterOutcome::InProgress { subgoal_id } => {
+                self.stats.table_subgoals += 1;
+                self.table_generate(goal, name, arity, hdr, key, subgoal_id)
+            }
+        }
+    }
+
+    /// Replay the complete answer set of a shared table entry (the tabled
+    /// mirror of [`Machine::memo_replay`]).
+    fn table_replay(&mut self, goal: Cell, entry: Arc<TableEntry>) -> Status {
+        if entry.answers.is_empty() {
+            // complete with zero answers: the call is known to fail
+            return self.backtrack();
+        }
+        if entry.answers.len() > 1 {
+            self.push_choice(ChoicePoint {
+                goal,
+                alts: Alts::TableReplay {
+                    entry: entry.clone(),
+                    next: 1,
+                },
+                cont: self.cont.clone(),
+                trail: self.heap.trail_mark(),
+                heap: self.heap.heap_mark(),
+                barrier: self.ctrl.len() as u32,
+                shared: None,
+            });
+        }
+        if self.memo_unify_answer(goal, &entry.answers[0]) {
+            self.status = Status::Running;
+            Status::Running
+        } else {
+            self.backtrack()
+        }
+    }
+
+    /// Install a fresh generator for `key`: a caller-consumer cursor below
+    /// a generator choice point whose alternatives are the predicate's
+    /// clauses, each run with a continuation of exactly
+    /// `$table_answer(Frame, Goal)` — derivations insert answers and fail
+    /// back into the clause loop, never into the caller. The caller drains
+    /// the answer list through the cursor once the generator's SCC
+    /// completes (local scheduling).
+    fn table_generate(
+        &mut self,
+        goal: Cell,
+        name: Sym,
+        arity: u32,
+        hdr: Option<ace_logic::Addr>,
+        key: CanonKey,
+        shared_id: u64,
+    ) -> Status {
+        let db = self.db.clone();
+        let Some(pred) = db.predicate(name, arity) else {
+            return self.error(format!("undefined predicate {}/{arity}", name.name()));
+        };
+        let ikey = match hdr {
+            Some(h) if arity > 0 => IndexKey::of(&self.heap, self.heap.str_arg(h, 0)),
+            _ => IndexKey::Any,
+        };
+        let idx = self.table_subgoals.len();
+        self.table_index.insert(key.bytes.clone(), idx);
+        self.table_subgoals.push(LocalSubgoal {
+            key,
+            shared_id,
+            answers: Vec::new(),
+            dedup: HashSet::new(),
+            suspended: Vec::new(),
+            complete: false,
+            dfn: idx as u32,
+            minlink: idx as u32,
+        });
+
+        let Some(first) = pred.next_matching(ikey, 0) else {
+            // No clause can match: the subgoal completes empty here.
+            self.table_complete_frame(idx);
+            return self.backtrack();
+        };
+
+        // The caller's cursor sits below the generator so it survives the
+        // generator's exhaustion and drains the completed answer list.
+        self.push_choice(ChoicePoint {
+            goal,
+            alts: Alts::TableConsumer {
+                subgoal: idx,
+                next: 0,
+            },
+            cont: self.cont.clone(),
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+            barrier: self.ctrl.len() as u32,
+            shared: None,
+        });
+
+        let marker = self
+            .heap
+            .new_struct(table_answer_sym(), &[Cell::Int(idx as i64), goal]);
+        let gen_ctrl = self.ctrl.len();
+        let gen_cont = cont::push(&None, marker, gen_ctrl as u32);
+        self.push_choice(ChoicePoint {
+            goal,
+            alts: Alts::TableGen {
+                subgoal: idx,
+                name,
+                arity,
+                key: ikey,
+                next: first + 1,
+            },
+            cont: gen_cont.clone(),
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+            barrier: gen_ctrl as u32,
+            shared: None,
+        });
+        self.table_gen_stack.push((idx, gen_ctrl));
+        self.cont = gen_cont;
+        // Cut inside a tabled clause is local to that clause: it must
+        // never discard the generator choice point.
+        let body_barrier = self.ctrl.len() as u32;
+        if self.try_clause(name, arity, first, goal, body_barrier) {
+            Status::Running
+        } else {
+            self.backtrack()
+        }
+    }
+
+    /// A derivation of a tabled subgoal reached its `$table_answer`
+    /// marker: insert the (now instantiated) answer if new, then fail
+    /// back into the clause loop — the failure-driven core of SLG answer
+    /// generation.
+    fn table_answer_arrival(&mut self, idx: usize, goal: Cell) -> Status {
+        self.charge(self.costs.memo_store);
+        let key = CanonKey::of(&self.heap, goal);
+        if self.table_subgoals[idx].dedup.insert(key.bytes) {
+            let arena = TermArena::freeze(&self.heap, goal);
+            self.table_subgoals[idx].answers.push(arena);
+            self.stats.table_answers += 1;
+            if self.table_trace {
+                let f = &self.table_subgoals[idx];
+                self.memo_events.push(EventKind::TableAnswer {
+                    key: f.key.hash,
+                    subgoal: f.shared_id,
+                    answers: f.answers.len(),
+                });
+            }
+        } else {
+            self.stats.table_dups += 1;
+        }
+        self.backtrack()
+    }
+
+    /// Freeze a dry consumer's goal + continuation and park it on the
+    /// subgoal frame. Called from the backtracking loop with machine state
+    /// already restored to the cursor's choice point (so the frozen terms
+    /// are in their call-time state); the cursor CP itself must still be
+    /// on top of the control stack and is popped here.
+    fn table_suspend(&mut self, subgoal: usize, next: usize, goal: Cell) {
+        self.ctrl.pop();
+        let cont_goals = cont::to_vec(&self.cont);
+        // Freeze goal + continuation jointly (one tuple) so shared
+        // variables stay shared; the scratch tuple is reclaimed at once.
+        let mark = self.heap.heap_mark();
+        let mut tuple_args = Vec::with_capacity(cont_goals.len() + 1);
+        tuple_args.push(goal);
+        tuple_args.extend(cont_goals.iter().map(|(g, _)| *g));
+        let tuple = self.heap.new_struct(sym("$closure"), &tuple_args);
+        let closure = StateClosure::freeze(&self.heap, tuple, cont_goals.len());
+        self.heap.truncate_to(mark);
+        self.charge(closure.cells as u64 * self.costs.heap_cell);
+        self.stats.table_suspends += 1;
+        if self.table_trace {
+            let f = &self.table_subgoals[subgoal];
+            self.memo_events.push(EventKind::TableSuspend {
+                key: f.key.hash,
+                subgoal: f.shared_id,
+                seen: next,
+            });
+        }
+        self.table_subgoals[subgoal]
+            .suspended
+            .push(SuspendedConsumer { closure, next });
+    }
+
+    /// The generator's clause pool ran dry: the SLG completion check.
+    /// Leader (minlink == dfn): resume any suspended consumer in the SCC
+    /// that still has unconsumed answers; when none remain the SCC is at
+    /// its fixpoint — complete every member, publish the answer sets, and
+    /// dissolve the generators so backtracking reaches the caller-consumer
+    /// cursors below. Non-leader: fold the minlink outward and dissolve.
+    ///
+    /// Always followed by another turn of the backtracking loop: a resume
+    /// pushes a fresh cursor CP for the loop to drain (no recursion, so
+    /// deep fixpoint chains cannot overflow the host stack); the other
+    /// outcomes pop the generator CP. `top` is its control index.
+    fn table_gen_exhausted(&mut self, subgoal: usize, top: usize) {
+        debug_assert_eq!(
+            self.table_gen_stack.last().map(|&(s, _)| s),
+            Some(subgoal),
+            "generator exhaustion out of stack order"
+        );
+        let dfn = self.table_subgoals[subgoal].dfn;
+        let minlink = self.table_subgoals[subgoal].minlink;
+        if minlink < dfn {
+            // Non-leader: this subgoal's fate is its leader's.
+            self.table_gen_stack.pop();
+            if let Some(&(outer, _)) = self.table_gen_stack.last() {
+                let m = &mut self.table_subgoals[outer].minlink;
+                *m = (*m).min(minlink);
+            }
+            self.ctrl.pop(); // the generator choice point
+            return;
+        }
+        // Leader: fixpoint loop. Incomplete frames with dfn >= the
+        // leader's are exactly the SCC members (generators stack, and
+        // independent sub-evaluations completed themselves already).
+        let mut pick = None;
+        'scan: for (i, f) in self.table_subgoals.iter().enumerate() {
+            if f.complete || f.dfn < dfn {
+                continue;
+            }
+            for (j, s) in f.suspended.iter().enumerate() {
+                if s.next < f.answers.len() {
+                    pick = Some((i, j));
+                    break 'scan;
+                }
+            }
+        }
+        if let Some((i, j)) = pick {
+            let susp = self.table_subgoals[i].suspended.swap_remove(j);
+            self.table_resume(i, susp, top);
+            return;
+        }
+        // Fixpoint: every member's answer list is saturated. Suspended
+        // consumers are provably drained (the scan found none pending).
+        for i in 0..self.table_subgoals.len() {
+            if self.table_subgoals[i].complete || self.table_subgoals[i].dfn < dfn {
+                continue;
+            }
+            self.table_complete_frame(i);
+        }
+        while self
+            .table_gen_stack
+            .last()
+            .is_some_and(|&(s, _)| self.table_subgoals[s].dfn >= dfn)
+        {
+            self.table_gen_stack.pop();
+        }
+        self.ctrl.pop(); // the leader's generator choice point
+    }
+
+    /// Mark frame `idx` complete, publish its answer set to the shared
+    /// space (first-writer-wins across racing shadow evaluations), and
+    /// drop its (drained) suspensions.
+    fn table_complete_frame(&mut self, idx: usize) {
+        self.table_subgoals[idx].complete = true;
+        self.table_subgoals[idx].suspended.clear();
+        self.stats.table_completes += 1;
+        if self.table_trace {
+            let f = &self.table_subgoals[idx];
+            self.memo_events.push(EventKind::TableComplete {
+                key: f.key.hash,
+                subgoal: f.shared_id,
+                answers: f.answers.len(),
+            });
+        }
+        if let Some(space) = self.table.clone() {
+            self.charge(self.costs.memo_store);
+            let key = self.table_subgoals[idx].key.clone();
+            let answers = self.table_subgoals[idx].answers.clone();
+            let _ = space.publish_as(self.memo_tenant, &key, answers);
+        }
+    }
+
+    /// Thaw a suspended consumer and park its fresh cursor CP just above
+    /// the leader's generator choice point (at control index `top`); the
+    /// enclosing backtracking loop drains it on its next turn.
+    fn table_resume(&mut self, subgoal: usize, susp: SuspendedConsumer, top: usize) {
+        self.stats.table_resumes += 1;
+        if self.table_trace {
+            let f = &self.table_subgoals[subgoal];
+            self.memo_events.push(EventKind::TableResume {
+                key: f.key.hash,
+                subgoal: f.shared_id,
+                seen: susp.next,
+            });
+        }
+        let (root, cells) = susp.closure.arena.thaw(&mut self.heap);
+        self.stats.heap_cells += cells as u64;
+        self.charge(self.costs.closure_thaw);
+        let Cell::Str(hdr) = root else {
+            unreachable!("suspension arena root is the $closure tuple")
+        };
+        let goal = self.heap.str_arg(hdr, 0);
+        // Barriers clamp to the resumption floor: a cut in the resumed
+        // continuation may discard the cursor but never the generator.
+        let floor = (top + 1) as u32;
+        let cont_goals: Vec<(Cell, u32)> = (0..susp.closure.cont_len)
+            .map(|i| (self.heap.str_arg(hdr, 1 + i as u32), 0))
+            .collect();
+        let cont = cont::from_vec(&cont_goals, |_| floor);
+        self.push_choice(ChoicePoint {
+            goal,
+            alts: Alts::TableConsumer {
+                subgoal,
+                next: susp.next,
+            },
+            cont,
+            trail: self.heap.trail_mark(),
+            heap: self.heap.heap_mark(),
+            barrier: floor,
+            shared: None,
+        });
+    }
+
+    /// Choice frames are being discarded outside the backtracking loop
+    /// (cut, parcall failure, rollback): keep the generator stack in sync.
+    /// A generator discarded this way leaves its subgoal incomplete —
+    /// later variant calls degrade to draining whatever answers exist
+    /// (sound: tabling never invents answers), mirroring how cuts over
+    /// tabled calls are restricted in real SLG systems.
+    fn table_note_discarded(&mut self, alts: &Alts) {
+        if self.table_gen_stack.is_empty() {
+            return;
+        }
+        if let Alts::TableGen { subgoal, .. } = alts {
+            self.table_gen_stack.retain(|&(s, _)| s != *subgoal);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Cost & stats helpers (crate-visible for builtins)
     // ------------------------------------------------------------------
 
@@ -581,6 +1074,7 @@ impl Machine {
             match self.ctrl.pop() {
                 None => panic!("fail_parcall_until: frame {frame_id} not on ctrl"),
                 Some(CtrlFrame::Choice(cp)) => {
+                    self.table_note_discarded(&cp.alts);
                     if let Some(shared) = cp.shared {
                         shared.owner_detached();
                     }
@@ -768,6 +1262,7 @@ impl Machine {
     ) {
         while self.ctrl.len() > ctrl_len {
             if let Some(CtrlFrame::Choice(cp)) = self.ctrl.pop() {
+                self.table_note_discarded(&cp.alts);
                 if let Some(shared) = cp.shared {
                     shared.owner_detached();
                 }
@@ -984,7 +1479,13 @@ impl Machine {
                     self.cont = cont::push(&self.cont, a, barrier);
                     Status::Running
                 } else if f == w.amp && n == 2 {
-                    if self.par_enabled {
+                    // Inside a tabled generator `&` degrades to `,`: the
+                    // derivation's continuation carries machine-local
+                    // `$table_answer` markers that must not be handed to
+                    // the and-engine's slot protocol (sound — parallel
+                    // conjunction and sequential conjunction agree on
+                    // answer sets).
+                    if self.par_enabled && self.table_gen_stack.is_empty() {
                         self.raise_parcall(goal, barrier)
                     } else {
                         // sequential fallback: `&` behaves as `,`
@@ -1020,6 +1521,12 @@ impl Machine {
                         unreachable!("malformed memo-store marker")
                     };
                     self.memo_store_arrival(idx as usize, gen as u64)
+                } else if f == table_answer_sym() && n == 2 {
+                    let Cell::Int(idx) = self.heap.deref(self.heap.str_arg(hdr, 0)) else {
+                        unreachable!("malformed table-answer marker")
+                    };
+                    let g = self.heap.str_arg(hdr, 1);
+                    self.table_answer_arrival(idx as usize, g)
                 } else if f == ite_then_sym() && n == 2 {
                     // internal: ITE condition succeeded — cut the else
                     // choice point, then run Then.
@@ -1152,6 +1659,9 @@ impl Machine {
     ) -> Status {
         self.stats.calls += 1;
         self.charge(self.costs.index_lookup);
+        if self.table.is_some() && self.db.is_tabled(name, arity) {
+            return self.table_call(goal, name, arity, hdr);
+        }
         if self.memo.is_some() {
             if let Some(status) = self.memo_consult(goal) {
                 return status;
@@ -1254,6 +1764,7 @@ impl Machine {
         while self.ctrl.len() > height as usize {
             match self.ctrl.pop().unwrap() {
                 CtrlFrame::Choice(cp) => {
+                    self.table_note_discarded(&cp.alts);
                     if let Some(shared) = cp.shared {
                         shared.owner_detached();
                     }
@@ -1406,6 +1917,79 @@ impl Machine {
                                 return Status::Running;
                             }
                             continue;
+                        }
+                        Alts::TableReplay { entry, next } => {
+                            if next + 1 >= entry.answers.len() {
+                                self.ctrl.pop(); // last stored answer
+                            } else if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
+                                if let Alts::TableReplay { next: n, .. } = &mut cp.alts {
+                                    *n = next + 1;
+                                }
+                            }
+                            self.charge(self.costs.memo_lookup);
+                            if self.memo_unify_answer(goal, &entry.answers[next]) {
+                                self.status = Status::Running;
+                                return Status::Running;
+                            }
+                            continue;
+                        }
+                        Alts::TableConsumer { subgoal, next } => {
+                            if next < self.table_subgoals[subgoal].answers.len() {
+                                // Advance the cursor in place — the frame
+                                // may still grow, so the CP stays.
+                                if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
+                                    if let Alts::TableConsumer { next: n, .. } = &mut cp.alts {
+                                        *n = next + 1;
+                                    }
+                                }
+                                self.charge(self.costs.memo_lookup);
+                                let arena = self.table_subgoals[subgoal].answers[next].clone();
+                                if self.memo_unify_answer(goal, &arena) {
+                                    self.status = Status::Running;
+                                    return Status::Running;
+                                }
+                                continue;
+                            }
+                            if self.table_subgoals[subgoal].complete {
+                                self.ctrl.pop(); // answer set closed: spent
+                                continue;
+                            }
+                            // Dry but incomplete: park until the leader's
+                            // fixpoint loop lands new answers.
+                            self.table_suspend(subgoal, next, goal);
+                            continue;
+                        }
+                        Alts::TableGen {
+                            subgoal,
+                            name,
+                            arity,
+                            key,
+                            next,
+                        } => {
+                            let db = self.db.clone();
+                            let pred = db.predicate(name, arity).unwrap();
+                            match pred.next_matching(key, next) {
+                                Some(f) => {
+                                    if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
+                                        if let Alts::TableGen { next: n, .. } = &mut cp.alts {
+                                            *n = f + 1;
+                                        }
+                                    }
+                                    // Clause bodies barrier above the
+                                    // generator CP (cut stays local).
+                                    if self.try_clause(name, arity, f, goal, (top + 1) as u32) {
+                                        self.status = Status::Running;
+                                        return Status::Running;
+                                    }
+                                    continue;
+                                }
+                                None => {
+                                    // Clause pool dry: completion check
+                                    // (resume, complete, or fold outward).
+                                    self.table_gen_exhausted(subgoal, top);
+                                    continue;
+                                }
+                            }
                         }
                     }
                 }

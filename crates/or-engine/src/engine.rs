@@ -11,8 +11,8 @@ use ace_machine::{Machine, Status};
 use ace_runtime::{
     fault::FAULT_ERROR_PREFIX, Agent, CancelToken, CostModel, Counter, DriverKind, EngineConfig,
     EventKind, FaultAction, FaultInjector, Gauge, LockClock, MemoTable, MetricsRegistry,
-    OrScheduler, Phase, RunOutcome, SimDriver, Stats, ThreadsDriver, Trace, TraceBuf, TraceSink,
-    Tracer,
+    OrScheduler, Phase, RunOutcome, SimDriver, Stats, TableSpace, ThreadsDriver, Trace, TraceBuf,
+    TraceSink, Tracer,
 };
 use parking_lot::Mutex;
 
@@ -70,6 +70,9 @@ struct OrShared {
     /// Answer-memoization table shared by every machine of the run (and,
     /// when the caller passed one in, across runs); `None` = memo off.
     memo: Option<Arc<MemoTable>>,
+    /// Shared tabling space for non-determinate tabled predicates;
+    /// `None` = tabling off.
+    table: Option<Arc<TableSpace>>,
 }
 
 impl OrShared {
@@ -386,6 +389,13 @@ impl OrWorker {
         let Some(&idx) = run.machine.private_choice_indices().first() else {
             return;
         };
+        // Frames at or above an active tabled generator are machine-local
+        // SLG state (consumer cursors, `$table_answer` markers in their
+        // continuations): never published. The subgoal's completed answer
+        // set reaches other workers through the shared table space instead.
+        if idx >= run.machine.table_publish_floor() {
+            return;
+        }
         // Only clause-selection choice points are publishable.
         let Some(cp) = run.machine.choice_at(idx) else {
             return;
@@ -814,6 +824,10 @@ impl OrWorker {
             m.set_memo(self.sh.memo.clone(), self.sh.cfg.trace.enabled);
             m.set_memo_tenant(self.sh.cfg.memo_tenant);
         }
+        if self.sh.table.is_some() {
+            m.set_table(self.sh.table.clone(), self.sh.cfg.trace.enabled);
+            m.set_memo_tenant(self.sh.cfg.memo_tenant);
+        }
         m
     }
 
@@ -1148,6 +1162,7 @@ impl OrEngine {
                 .map(|p| FaultInjector::new(p, cfg.workers.max(1))),
             trace_bufs: Mutex::new(Vec::new()),
             memo: cfg.resolve_memo_table(),
+            table: cfg.resolve_table_space(),
         });
         let sink = cfg.trace.enabled.then(|| TraceSink::new(&cfg.trace));
 
@@ -1157,6 +1172,7 @@ impl OrEngine {
         let costs = Arc::new(cfg.costs.clone());
         let mut root = Box::new(Machine::new(self.db.clone(), costs.clone()));
         root.set_memo(shared.memo.clone(), cfg.trace.enabled);
+        root.set_table(shared.table.clone(), cfg.trace.enabled);
         root.set_memo_tenant(cfg.memo_tenant);
         let (goal, mut vars) = ace_logic::parse_term(&mut root.heap, query)
             .map_err(|e| format!("query parse error: {e}"))?;
@@ -1537,6 +1553,61 @@ mod tests {
         assert_eq!(off.outcome.virtual_time, plain.outcome.virtual_time);
         assert_eq!(off.stats, plain.stats);
         assert_eq!(off.stats.memo_hits + off.stats.memo_misses, 0);
+    }
+
+    const TABLED_PATH: &str = r#"
+        :- table(path/2).
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        path(X, Y) :- edge(X, Y).
+        edge(a, b).
+        edge(b, c).
+        edge(b, d).
+        edge(c, a).
+        start(a). start(b).
+    "#;
+
+    #[test]
+    fn tabling_terminates_left_recursion_across_worker_counts() {
+        use ace_runtime::{TableConfig, TableSpace};
+        let e = OrEngine::new(db(TABLED_PATH));
+        // Two or-parallel start nodes, each driving a tabled closure over
+        // the cyclic graph (untabled this loops forever).
+        let q = "start(S), path(S, X)";
+        let expect: Vec<String> = ["a", "b"]
+            .iter()
+            .flat_map(|s| {
+                ["a", "b", "c", "d"]
+                    .iter()
+                    .map(move |x| format!("S={s}, X={x}"))
+            })
+            .collect();
+        for workers in [1, 2, 4] {
+            let space = Arc::new(TableSpace::new(&TableConfig::enabled()));
+            let c = cfg(workers, OptFlags::none()).with_table_space(space.clone());
+            let r = e.run(q, &c).unwrap();
+            assert_eq!(sorted(r.solutions.clone()), expect, "workers={workers}");
+            assert!(r.stats.table_subgoals >= 2, "{}", r.stats.summary());
+            assert!(r.stats.table_completes >= 2, "{}", r.stats.summary());
+            assert_eq!(space.complete_len(), 2, "workers={workers}");
+
+            // Warm second run against the same space: pure lookups.
+            let w = e.run(q, &c).unwrap();
+            assert_eq!(sorted(w.solutions.clone()), expect);
+            assert!(w.stats.table_hits >= 2, "{}", w.stats.summary());
+            assert_eq!(w.stats.table_subgoals, 0, "{}", w.stats.summary());
+        }
+    }
+
+    #[test]
+    fn tabling_off_is_bit_identical() {
+        let e = OrEngine::new(db(MEMBER));
+        let q = "member(V, [1,2,3,4]), compute(V, R)";
+        let plain = e.run(q, &cfg(4, OptFlags::lao_only())).unwrap();
+        let c = cfg(4, OptFlags::lao_only()).with_table(ace_runtime::TableConfig::default());
+        let off = e.run(q, &c).unwrap();
+        assert_eq!(off.outcome.virtual_time, plain.outcome.virtual_time);
+        assert_eq!(off.stats, plain.stats);
+        assert_eq!(off.stats.table_hits + off.stats.table_subgoals, 0);
     }
 
     #[test]

@@ -59,6 +59,58 @@ pub fn wide_tree(n: usize) -> String {
     src
 }
 
+/// `edge/2` facts of an `n`-node directed cycle with chords from every
+/// node two and five steps ahead. The cycle makes every node reachable
+/// from every node, so the tabled closure from any start has exactly `n`
+/// answers — and ordinary left-recursive resolution never terminates.
+/// The chords make every answer re-derivable several ways, so the cold
+/// fixpoint does real duplicate-suppression work while the completed
+/// table replays in O(n).
+pub fn cyclic_graph(n: usize) -> String {
+    let n = n.max(2);
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!("edge(n{i}, n{}).\n", (i + 1) % n));
+        out.push_str(&format!("edge(n{i}, n{}).\n", (i + 2) % n));
+        out.push_str(&format!("edge(n{i}, n{}).\n", (i + 5) % n));
+    }
+    out
+}
+
+/// Token facts for the string `a + a + ... + a` of `n` operands:
+/// `tok(Pos, Kind)` plus successor facts `s(Pos, Pos1)` (the corpus
+/// avoids arithmetic builtins inside tabled clauses). Operand `k` sits
+/// at position `2k`, the `+` separators at odd positions.
+pub fn token_string(n: usize) -> String {
+    let n = n.max(1);
+    let mut out = String::new();
+    for k in 0..n {
+        let p = 2 * k;
+        out.push_str(&format!("tok({p}, a).\n"));
+        out.push_str(&format!("s({p}, {}).\n", p + 1));
+        if k + 1 < n {
+            out.push_str(&format!("tok({}, plus).\n", p + 1));
+            out.push_str(&format!("s({}, {}).\n", p + 1, p + 2));
+        }
+    }
+    out
+}
+
+/// `par/2` (child-to-parent) and `n/1` facts of a complete binary tree
+/// of depth `d`, nodes `p1..p{2^(d+1)-1}` numbered heap-style.
+pub fn samegen_tree(d: usize) -> String {
+    let d = d.min(12);
+    let total = (1usize << (d + 1)) - 1;
+    let mut out = String::new();
+    for c in 2..=total {
+        out.push_str(&format!("par(p{c}, p{}).\n", c / 2));
+    }
+    for v in 1..=total {
+        out.push_str(&format!("n(p{v}).\n"));
+    }
+    out
+}
+
 /// `k` sublists of `m` pseudo-random digits 0..9.
 pub fn list_of_lists(k: usize, m: usize, seed: u64) -> String {
     let mut rng = Lcg::new(seed);

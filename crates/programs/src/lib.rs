@@ -313,6 +313,105 @@ pub fn benchmark(name: &str) -> Option<Benchmark> {
     all().into_iter().find(|b| b.name == name)
 }
 
+// ---------------------------- tabled corpus ----------------------------
+
+/// A tabled corpus program: left or mutual recursion that ordinary
+/// resolution cannot evaluate (or cannot evaluate without exponential
+/// recomputation), paired with an exact finite oracle answer count.
+///
+/// Deliberately *not* part of [`all()`]: the registry's oracle tests run
+/// every benchmark with tabling off, and these programs only terminate
+/// under SLG evaluation. Use [`tabled()`] / [`tabled_program()`] and run
+/// with a table space attached (`EngineConfig::with_table`).
+#[derive(Clone)]
+pub struct TabledProgram {
+    pub name: &'static str,
+    /// Full program text (`:- table` directive included) at size `n`.
+    pub program: fn(usize) -> String,
+    /// The query at size `n`.
+    pub query: fn(usize) -> String,
+    /// Exact number of distinct answers the query has at size `n`.
+    pub oracle: fn(usize) -> usize,
+    /// Size used by tests (small).
+    pub test_size: usize,
+    /// Size used by the tabling benchmark workload.
+    pub bench_size: usize,
+    pub description: &'static str,
+}
+
+impl std::fmt::Debug for TabledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabledProgram")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+const TABLED_PATH: &str = "\
+:- table(path/2).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- edge(X, Y).
+";
+
+const TABLED_GRAMMAR: &str = "\
+:- table(e/2).
+e(I, J) :- e(I, K), tok(K, plus), s(K, K1), t(K1, J).
+e(I, J) :- t(I, J).
+t(I, J) :- tok(I, a), s(I, J).
+";
+
+const TABLED_SAMEGEN: &str = "\
+:- table(sg/2).
+sg(X, X) :- n(X).
+sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+";
+
+/// The tabled corpus: three classic programs tabling makes terminating
+/// (left-recursive closure, left-recursive grammar) or tractable
+/// (same-generation with shared subgoals).
+pub fn tabled() -> Vec<TabledProgram> {
+    vec![
+        TabledProgram {
+            name: "tabled_path",
+            program: |n| format!("{TABLED_PATH}{}", gen::cyclic_graph(n)),
+            query: |_| "path(n0, X)".to_owned(),
+            // The cycle closes over every node.
+            oracle: |n| n.max(2),
+            test_size: 8,
+            bench_size: 48,
+            description: "left-recursive transitive closure over a cyclic \
+                          graph: nonterminating without tabling",
+        },
+        TabledProgram {
+            name: "tabled_grammar",
+            program: |n| format!("{TABLED_GRAMMAR}{}", gen::token_string(n)),
+            query: |_| "e(0, J)".to_owned(),
+            // One parse span per `a + a + ... + a` prefix.
+            oracle: |n| n.max(1),
+            test_size: 6,
+            bench_size: 40,
+            description: "left-recursive expression grammar parsing \
+                          `a + a + ... + a`: nonterminating without tabling",
+        },
+        TabledProgram {
+            name: "tabled_samegen",
+            program: |d| format!("{TABLED_SAMEGEN}{}", gen::samegen_tree(d)),
+            query: |d| format!("sg(p{}, Y)", 1usize << d.min(12)),
+            // Every node at the leaf level is same-generation.
+            oracle: |d| 1usize << d.min(12),
+            test_size: 4,
+            bench_size: 9,
+            description: "same-generation datalog over a complete binary \
+                          tree: exponential re-derivation without tabling",
+        },
+    ]
+}
+
+/// Look a tabled program up by name.
+pub fn tabled_program(name: &str) -> Option<TabledProgram> {
+    tabled().into_iter().find(|p| p.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +508,73 @@ mod tests {
         let b = benchmark("puzzle").unwrap();
         let ace = Ace::load(&(b.program)(1)).unwrap();
         assert_eq!(ace.sequential_solutions("puzzle(C)").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn tabled_corpus_is_complete_and_loads() {
+        let names: Vec<&str> = tabled().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["tabled_path", "tabled_grammar", "tabled_samegen"]
+        );
+        for p in tabled() {
+            let src = (p.program)(p.test_size);
+            Ace::load(&src).unwrap_or_else(|e| panic!("{} failed to load: {e}", p.name));
+            let q = (p.query)(p.test_size);
+            let mut heap = ace_logic::Heap::new();
+            ace_logic::parse_term(&mut heap, &q)
+                .unwrap_or_else(|e| panic!("{} query {q:?} failed to parse: {e}", p.name));
+            assert!(tabled_program(p.name).is_some());
+        }
+    }
+
+    #[test]
+    fn tabled_programs_terminate_with_their_oracle_answer_sets() {
+        use ace_runtime::{EngineConfig, TableConfig};
+        for p in tabled() {
+            let ace = Ace::load(&(p.program)(p.test_size)).unwrap();
+            let cfg = EngineConfig::default()
+                .all_solutions()
+                .with_table(TableConfig::enabled());
+            let report = ace
+                .run(Mode::Sequential, &(p.query)(p.test_size), &cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", p.name));
+            assert_eq!(
+                report.solutions.len(),
+                (p.oracle)(p.test_size),
+                "{} answer count at test size",
+                p.name
+            );
+            // Tabling dedups structurally: the answer set has no repeats.
+            let mut uniq = report.solutions.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), report.solutions.len(), "{} dedup", p.name);
+        }
+    }
+
+    #[test]
+    fn tabled_oracles_scale_with_size() {
+        use ace_runtime::{EngineConfig, TableConfig};
+        // Spot-check a second size so the oracle functions are not
+        // accidentally constants.
+        for (name, size) in [
+            ("tabled_path", 12),
+            ("tabled_grammar", 9),
+            ("tabled_samegen", 5),
+        ] {
+            let p = tabled_program(name).unwrap();
+            let ace = Ace::load(&(p.program)(size)).unwrap();
+            let cfg = EngineConfig::default()
+                .all_solutions()
+                .with_table(TableConfig::enabled());
+            let report = ace.run(Mode::Sequential, &(p.query)(size), &cfg).unwrap();
+            assert_eq!(
+                report.solutions.len(),
+                (p.oracle)(size),
+                "{name} at size {size}"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ace_memo::{MemoConfig, MemoTable};
+use ace_table::{TableConfig, TableSpace};
 
 use crate::cancel::CancelToken;
 use crate::cost::CostModel;
@@ -211,8 +212,18 @@ pub struct EngineConfig {
     /// Tenant id charged for this run's memo-table insertions (per-tenant
     /// quota accounting when a table is shared across queries; see
     /// [`ace_memo::MemoConfig::tenant_quota`]). Tenant 0 is the default
-    /// single-tenant owner.
+    /// single-tenant owner. Tabled completions (see `table`) are charged
+    /// to the same tenant.
     pub memo_tenant: u32,
+    /// Tabling of declared `:- table(p/n).` predicates (see
+    /// [`ace_table`]). Off by default; when off no table space is
+    /// allocated and every tabled-call check is one branch, so runs stay
+    /// bit-identical to a tabling-free build.
+    pub table: TableConfig,
+    /// An externally owned table space to reuse across runs (REPL
+    /// sessions, completed-table warm-up tests). `None` = the engine
+    /// allocates a fresh space per run when `table.enabled`.
+    pub table_space: Option<Arc<TableSpace>>,
     /// Live metrics registry (see [`crate::metrics`]). `None` (the
     /// default) disables metric recording entirely: every emission point
     /// is one branch, nothing is charged to virtual time, and runs stay
@@ -250,6 +261,8 @@ impl Default for EngineConfig {
             memo: MemoConfig::default(),
             memo_table: None,
             memo_tenant: 0,
+            table: TableConfig::default(),
+            table_space: None,
             metrics: None,
             sink: None,
             cancel: None,
@@ -333,6 +346,18 @@ impl EngineConfig {
         self
     }
 
+    pub fn with_table(mut self, table: TableConfig) -> Self {
+        self.table = table;
+        self
+    }
+
+    /// Reuse an existing table space (implies enabling tabling).
+    pub fn with_table_space(mut self, space: Arc<TableSpace>) -> Self {
+        self.table.enabled = true;
+        self.table_space = Some(space);
+        self
+    }
+
     /// Stream each root solution through `sink` as it is found.
     pub fn with_answer_sink(mut self, sink: AnswerSink) -> Self {
         self.sink = Some(sink);
@@ -370,6 +395,21 @@ impl EngineConfig {
             let mut memo = self.memo.clone();
             memo.shards = memo.shards.max(self.workers.next_power_of_two());
             Arc::new(MemoTable::new(&memo))
+        }))
+    }
+
+    /// The table space this run's SLG evaluation should share: the
+    /// externally provided one, or a freshly allocated private space;
+    /// `None` when tabling is off. Same fleet-scaled shard sizing as
+    /// [`EngineConfig::resolve_memo_table`].
+    pub fn resolve_table_space(&self) -> Option<Arc<TableSpace>> {
+        if !self.table.enabled {
+            return None;
+        }
+        Some(self.table_space.clone().unwrap_or_else(|| {
+            let mut table = self.table.clone();
+            table.shards = table.shards.max(self.workers.next_power_of_two());
+            Arc::new(TableSpace::new(&table))
         }))
     }
 }
@@ -459,6 +499,34 @@ mod tests {
             .with_workers(512)
             .with_memo_table(shared.clone());
         assert_eq!(c.resolve_memo_table().unwrap().shard_count(), 16);
+    }
+
+    #[test]
+    fn table_space_resolution() {
+        // off by default: no space, zero-cost opt-out
+        assert!(EngineConfig::default().resolve_table_space().is_none());
+        // enabled without an external space: fresh private space
+        let c = EngineConfig::default().with_table(TableConfig::enabled());
+        assert!(c.resolve_table_space().is_some());
+        // external space is reused identically (and implies enablement)
+        let shared = Arc::new(TableSpace::new(&TableConfig::enabled()));
+        let c = EngineConfig::default().with_table_space(shared.clone());
+        assert!(c.table.enabled);
+        assert!(Arc::ptr_eq(&c.resolve_table_space().unwrap(), &shared));
+    }
+
+    #[test]
+    fn table_shards_scale_to_the_fleet() {
+        let c = EngineConfig::default()
+            .with_workers(100)
+            .with_table(TableConfig::enabled());
+        assert_eq!(c.resolve_table_space().unwrap().shard_count(), 128);
+        // External spaces are never resized behind their owner's back.
+        let shared = Arc::new(TableSpace::new(&TableConfig::enabled()));
+        let c = EngineConfig::default()
+            .with_workers(512)
+            .with_table_space(shared.clone());
+        assert_eq!(c.resolve_table_space().unwrap().shard_count(), 16);
     }
 
     #[test]

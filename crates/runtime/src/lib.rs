@@ -62,6 +62,17 @@
 //! deterministic calls are published once and replayed by any worker.
 //! Off by default and zero-cost when off — no table is allocated and
 //! every consultation point is a single branch.
+//!
+//! ## Tabling
+//!
+//! [`config::EngineConfig::with_table`] attaches an [`ace_table`] table
+//! space (re-exported here as [`TableSpace`]) for *non-determinate*
+//! tabled predicates declared with `:- table(p/n).`: the machine runs
+//! SLG-style generator/consumer evaluation with suspension, answer
+//! dedup, and leader-based SCC completion, and publishes completed
+//! answer sets into the shared space so later calls on any worker are
+//! pure lookups. Same off-by-default/zero-cost-when-off contract as
+//! memoization.
 
 pub mod cancel;
 pub mod config;
@@ -76,6 +87,9 @@ pub mod topology;
 pub mod trace;
 
 pub use ace_memo::{MemoConfig, MemoCounters, MemoEntry, MemoTable, PublishOutcome};
+pub use ace_table::{
+    RegisterOutcome, TableConfig, TableCounters, TableEntry, TablePublish, TableSpace, TableState,
+};
 pub use cancel::CancelToken;
 pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy};
 pub use cost::CostModel;

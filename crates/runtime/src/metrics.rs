@@ -346,6 +346,25 @@ impl MetricsRegistry {
                 .add(0, n);
             }
         }
+        // Tabling mirrors the memo block: completed tables are charged to
+        // the same tenant, so SLG activity is attributable per tenant too.
+        for (event, n) in [
+            ("hit", stats.table_hits),
+            ("subgoal", stats.table_subgoals),
+            ("answer", stats.table_answers),
+            ("duplicate", stats.table_dups),
+            ("suspend", stats.table_suspends),
+            ("resume", stats.table_resumes),
+            ("complete", stats.table_completes),
+        ] {
+            if n > 0 {
+                self.counter(
+                    "ace_table_tenant_total",
+                    &[("event", event), ("tenant", &tenant)],
+                )
+                .add(0, n);
+            }
+        }
     }
 
     /// Merge every series into an immutable, self-contained snapshot.
@@ -713,6 +732,7 @@ mod tests {
         st.calls = 7;
         st.memo_hits = 3;
         st.memo_misses = 1;
+        st.table_answers = 5;
         r.record_run("or", 4, &st, 1234);
         r.record_run("or", 4, &st, 66);
         let snap = r.snapshot();
@@ -737,6 +757,13 @@ mod tests {
                 &[("tenant", "4"), ("event", "hit")]
             ),
             Some(6)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "ace_table_tenant_total",
+                &[("tenant", "4"), ("event", "answer")]
+            ),
+            Some(10)
         );
         // Zero-valued stats register no series.
         assert_eq!(

@@ -100,6 +100,11 @@ impl Profile {
                 EventKind::MemoHit { .. }
                 | EventKind::MemoStore { .. }
                 | EventKind::MemoComplete { .. } => Some(format!("run;{pred};memo")),
+                EventKind::TableNew { .. }
+                | EventKind::TableAnswer { .. }
+                | EventKind::TableSuspend { .. }
+                | EventKind::TableResume { .. }
+                | EventKind::TableComplete { .. } => Some(format!("run;{pred};table")),
                 EventKind::FrameAlloc { .. }
                 | EventKind::FrameElide { .. }
                 | EventKind::SlotFail

@@ -160,6 +160,23 @@ stats_sheet! {
         /// Entries LRU-evicted to keep shards within capacity.
         pub memo_evictions: u64,
 
+        // tabling (SLG evaluation of declared tabled predicates)
+        /// Tabled calls answered from an already-complete table.
+        pub table_hits: u64,
+        /// Tabled subgoals this worker evaluated as generator (fresh or
+        /// shadow of another machine's in-progress subgoal).
+        pub table_subgoals: u64,
+        /// Answers inserted into local answer lists (post-dedup).
+        pub table_answers: u64,
+        /// Derived answers discarded as duplicates of a tabled answer.
+        pub table_dups: u64,
+        /// Consumers suspended on a dry, incomplete answer list.
+        pub table_suspends: u64,
+        /// Suspended consumers resumed after new answers landed.
+        pub table_resumes: u64,
+        /// Subgoals completed (fixpoint reached, table published).
+        pub table_completes: u64,
+
         // serving
         /// Root solutions handed to a streaming `AnswerSink` while the
         /// search was still running.
@@ -217,7 +234,8 @@ impl Stats {
              pool={}push/{}pop recycled={} probes={} \
              domain-steals={}local/{}cross/{}eager contended={}locks/{}units \
              faults={} steal-retries={} publish-retries={} \
-             memo={}hit/{}miss/{}store/{}evict streamed={}",
+             memo={}hit/{}miss/{}store/{}evict \
+             table={}hit/{}sub/{}ans/{}dup/{}susp/{}res/{}done streamed={}",
             self.cost,
             self.idle_cost,
             self.calls,
@@ -253,6 +271,13 @@ impl Stats {
             self.memo_misses,
             self.memo_stores,
             self.memo_evictions,
+            self.table_hits,
+            self.table_subgoals,
+            self.table_answers,
+            self.table_dups,
+            self.table_suspends,
+            self.table_resumes,
+            self.table_completes,
             self.answers_streamed,
         )
     }
@@ -333,6 +358,7 @@ mod tests {
             "steal-retries=",
             "publish-retries=",
             "memo=",
+            "table=",
             "closure=",
             "streamed=",
             "domain-steals=",

@@ -191,6 +191,32 @@ pub enum EventKind {
         answers: usize,
     },
 
+    // -- tabling (SLG evaluation; `key` is the canonical key hash and
+    //    `subgoal` the table space's globally monotone subgoal id) --
+    /// A machine became the generator for a tabled subgoal new to the
+    /// shared table space.
+    TableNew { key: u64, subgoal: u64 },
+    /// A new (non-duplicate) answer was inserted into the subgoal's
+    /// answer list; `answers` is the list length after insertion.
+    TableAnswer {
+        key: u64,
+        subgoal: u64,
+        answers: usize,
+    },
+    /// A consumer drained the subgoal's answer list dry while it was
+    /// still incomplete and suspended; `seen` is how many answers it
+    /// had consumed.
+    TableSuspend { key: u64, subgoal: u64, seen: usize },
+    /// A suspended consumer was resumed to consume answers past `seen`.
+    TableResume { key: u64, subgoal: u64, seen: usize },
+    /// The subgoal's SCC reached its fixpoint; the table was marked
+    /// complete with `answers` answers.
+    TableComplete {
+        key: u64,
+        subgoal: u64,
+        answers: usize,
+    },
+
     // -- driver --
     /// A worker exited (reason: completed/panicked/cancelled/deadline).
     WorkerExit { reason: String },
@@ -268,6 +294,11 @@ impl EventKind {
             EventKind::MemoHit { .. } => "memo-hit",
             EventKind::MemoStore { .. } => "memo-store",
             EventKind::MemoComplete { .. } => "memo-complete",
+            EventKind::TableNew { .. } => "table-new",
+            EventKind::TableAnswer { .. } => "table-answer",
+            EventKind::TableSuspend { .. } => "table-suspend",
+            EventKind::TableResume { .. } => "table-resume",
+            EventKind::TableComplete { .. } => "table-complete",
             EventKind::WorkerExit { .. } => "worker-exit",
             EventKind::Abort { .. } => "abort",
             EventKind::SessionAdmit { .. } => "session-admit",
@@ -346,6 +377,29 @@ impl EventKind {
                 ("key", U(*key)),
                 ("epoch", U(*epoch)),
                 ("answers", U(*answers as u64)),
+            ],
+            EventKind::TableNew { key, subgoal } => {
+                vec![("key", U(*key)), ("subgoal", U(*subgoal))]
+            }
+            EventKind::TableAnswer {
+                key,
+                subgoal,
+                answers,
+            }
+            | EventKind::TableComplete {
+                key,
+                subgoal,
+                answers,
+            } => vec![
+                ("key", U(*key)),
+                ("subgoal", U(*subgoal)),
+                ("answers", U(*answers as u64)),
+            ],
+            EventKind::TableSuspend { key, subgoal, seen }
+            | EventKind::TableResume { key, subgoal, seen } => vec![
+                ("key", U(*key)),
+                ("subgoal", U(*subgoal)),
+                ("seen", U(*seen as u64)),
             ],
             EventKind::DomainSteal {
                 node,
@@ -769,6 +823,17 @@ impl TraceChecker {
         let mut rejected: HashMap<u64, EvRef> = HashMap::new();
         let mut cancelled_at: HashMap<u64, (u64, EvRef)> = HashMap::new();
         let mut streamed: Vec<(u64, u64, EvRef)> = Vec::new(); // (session, t, ref)
+                                                               // Tabling is evaluated machine-locally (local scheduling), so the
+                                                               // rules are per (worker, subgoal): answers inserted so far, and
+                                                               // the point the worker completed the subgoal. Cross-worker
+                                                               // virtual times are not causal, so cross-worker rules would be
+                                                               // unsound here.
+        let mut table_answers_seen: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut table_completed: HashMap<(usize, u64), EvRef> = HashMap::new();
+        // Order-sensitive, so checked inline; only reported when the
+        // trace is complete (ring-buffer eviction can eat the answers
+        // that justified a resume).
+        let mut table_violations: Vec<String> = Vec::new();
         let mut violations = Vec::new();
 
         for (idx, ev) in trace.events.iter().enumerate() {
@@ -815,6 +880,32 @@ impl TraceChecker {
                 EventKind::MemoHit { key, epoch } => {
                     let nearest = last_store_by_key.get(key).copied();
                     memo_hits.push((*key, *epoch, at, nearest));
+                }
+                EventKind::TableAnswer {
+                    subgoal, answers, ..
+                } => {
+                    table_answers_seen.insert((ev.worker, *subgoal), *answers);
+                    if let Some(done_at) = table_completed.get(&(ev.worker, *subgoal)) {
+                        table_violations.push(format!(
+                            "answer inserted into a completed table: subgoal={subgoal} \
+                             at {at}; completed at {done_at}",
+                        ));
+                    }
+                }
+                EventKind::TableResume { subgoal, seen, .. } => {
+                    let available = table_answers_seen
+                        .get(&(ev.worker, *subgoal))
+                        .copied()
+                        .unwrap_or(0);
+                    if *seen >= available {
+                        table_violations.push(format!(
+                            "table consumer resumed without a prior new answer: \
+                             subgoal={subgoal} seen={seen} answers={available} at {at}",
+                        ));
+                    }
+                }
+                EventKind::TableComplete { subgoal, .. } => {
+                    table_completed.entry((ev.worker, *subgoal)).or_insert(at);
                 }
                 EventKind::SessionAdmit { session } => {
                     admitted.entry(*session).or_insert(at);
@@ -870,6 +961,7 @@ impl TraceChecker {
         // Eviction can remove a publish whose claim survived (and skew
         // counts); only the complete trace supports the remaining checks.
         if trace.dropped == 0 {
+            violations.extend(table_violations);
             for ((node, epoch, alt), c) in &claimed {
                 if !published.contains_key(&(*node, *epoch)) {
                     let context = match c.nearest_pub {
@@ -1524,6 +1616,164 @@ mod tests {
             ],
         );
         assert!(TraceChecker::check(&old_epoch).is_ok());
+    }
+
+    #[test]
+    fn checker_accepts_well_formed_tabling_protocol() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::TableNew { key: 7, subgoal: 1 }),
+                ev(
+                    2,
+                    0,
+                    EventKind::TableSuspend {
+                        key: 7,
+                        subgoal: 1,
+                        seen: 0,
+                    },
+                ),
+                ev(
+                    3,
+                    0,
+                    EventKind::TableAnswer {
+                        key: 7,
+                        subgoal: 1,
+                        answers: 1,
+                    },
+                ),
+                ev(
+                    4,
+                    0,
+                    EventKind::TableResume {
+                        key: 7,
+                        subgoal: 1,
+                        seen: 0,
+                    },
+                ),
+                ev(
+                    5,
+                    0,
+                    EventKind::TableComplete {
+                        key: 7,
+                        subgoal: 1,
+                        answers: 1,
+                    },
+                ),
+                // another worker shadow-evaluating the same subgoal keeps
+                // its own answer ledger — its resume is justified locally
+                ev(
+                    2,
+                    1,
+                    EventKind::TableAnswer {
+                        key: 7,
+                        subgoal: 1,
+                        answers: 1,
+                    },
+                ),
+                ev(
+                    3,
+                    1,
+                    EventKind::TableResume {
+                        key: 7,
+                        subgoal: 1,
+                        seen: 0,
+                    },
+                ),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_resume_without_new_answer() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(1, 0, EventKind::TableNew { key: 7, subgoal: 1 }),
+                ev(
+                    2,
+                    0,
+                    EventKind::TableAnswer {
+                        key: 7,
+                        subgoal: 1,
+                        answers: 1,
+                    },
+                ),
+                // resumed at seen=1 with only 1 answer inserted: nothing
+                // new to feed the consumer
+                ev(
+                    3,
+                    0,
+                    EventKind::TableResume {
+                        key: 7,
+                        subgoal: 1,
+                        seen: 1,
+                    },
+                ),
+            ],
+        );
+        let violations = TraceChecker::check(&trace).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("resumed without a prior new answer")));
+    }
+
+    #[test]
+    fn checker_rejects_answer_into_completed_table() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::TableComplete {
+                        key: 7,
+                        subgoal: 3,
+                        answers: 2,
+                    },
+                ),
+                ev(
+                    2,
+                    0,
+                    EventKind::TableAnswer {
+                        key: 7,
+                        subgoal: 3,
+                        answers: 3,
+                    },
+                ),
+            ],
+        );
+        let violations = TraceChecker::check(&trace).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("answer inserted into a completed table")));
+        // ...but another worker completing the same subgoal later is fine
+        // (shadow evaluation) — the rule is per-worker
+        let cross = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::TableComplete {
+                        key: 7,
+                        subgoal: 3,
+                        answers: 2,
+                    },
+                ),
+                ev(
+                    5,
+                    1,
+                    EventKind::TableAnswer {
+                        key: 7,
+                        subgoal: 3,
+                        answers: 1,
+                    },
+                ),
+            ],
+        );
+        assert!(TraceChecker::check(&cross).is_ok());
     }
 
     #[test]

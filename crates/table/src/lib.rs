@@ -1,0 +1,702 @@
+//! # ace-table — shared tabling space for non-determinate predicates
+//!
+//! The tabling counterpart to `ace-memo`: where the memo table publishes
+//! complete answer sets of *determinate* calls, this table space backs
+//! SLG-style evaluation of declared tabled predicates whose answer sets
+//! are produced incrementally by a generator/consumer fixpoint. The
+//! machine evaluates each tabled strongly-connected component locally
+//! (suspension, resumption and leader-based completion live in
+//! `ace-machine`); this crate holds the *shared* state those machines
+//! coordinate through:
+//!
+//! * **Subgoal registration**: the first machine to call a tabled
+//!   variant registers it as [`RegisterOutcome::Fresh`] and becomes its
+//!   generator. Later machines see [`RegisterOutcome::InProgress`] and
+//!   evaluate the subgoal privately (a *shadow* evaluation) — there is no
+//!   cross-machine suspension, so a worker death can never strand a
+//!   remote consumer. Confluence makes the shadow's answer set equal to
+//!   the original's; whichever completes first publishes.
+//! * **Completion publication**: [`TableSpace::publish_as`] upgrades the
+//!   subgoal to [`TableState::Complete`] with its full answer set in
+//!   relocatable [`TermArena`] snapshots. First completer wins; later
+//!   completions of the same key are dropped (equal sets, by confluence).
+//!   Once complete, every later call on any machine is a pure lookup —
+//!   the same `is_complete` fast path the memo table gives the
+//!   or-engine's claim short-circuit.
+//! * **Complete-only eviction**: tenant quotas and shard capacity mirror
+//!   `ace-memo`'s fairness rules, but only [`TableState::Complete`]
+//!   entries are ever victims. An in-progress subgoal is pinned: evicting
+//!   it would tear the generator/shadow protocol (a machine that
+//!   registered it still expects to publish), so pending entries survive
+//!   any amount of churn.
+//! * **Poison tolerance**: shard locks are `std::sync::Mutex` acquired
+//!   with `unwrap_or_else(PoisonError::into_inner)`, consistent with the
+//!   fault model — a worker death mid-registration must not take the
+//!   table down. Entries only ever move Pending → Complete, so a
+//!   poisoned shard is never structurally torn.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ace_logic::{CanonKey, TermArena};
+
+/// Tabling knobs, threaded through `EngineConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Master switch. Off by default: no table space is allocated and
+    /// every tabled-call check in the machine is a single branch.
+    pub enabled: bool,
+    /// Number of independent shards (lock granularity).
+    pub shards: usize,
+    /// Maximum entries per shard; LRU eviction beyond — but only
+    /// completed tables are eviction victims, so the live set of
+    /// in-progress subgoals can exceed this bound.
+    pub capacity_per_shard: usize,
+    /// Per-tenant cap on *completed* tables per shard, mirroring the
+    /// memo table's fairness knob: a tenant at its cap recycles its own
+    /// least-recently-used completed tables, and capacity pressure
+    /// prefers the inserting tenant's completed tables as victims.
+    /// In-progress tables never count and are never evicted.
+    pub tenant_quota: Option<usize>,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            enabled: false,
+            shards: 16,
+            capacity_per_shard: 256,
+            tenant_quota: None,
+        }
+    }
+}
+
+impl TableConfig {
+    /// A config with tabling switched on (default sizing).
+    pub fn enabled() -> Self {
+        TableConfig {
+            enabled: true,
+            ..TableConfig::default()
+        }
+    }
+
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    pub fn with_capacity_per_shard(mut self, capacity: usize) -> Self {
+        self.capacity_per_shard = capacity.max(1);
+        self
+    }
+
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = Some(quota.max(1));
+        self
+    }
+}
+
+/// One completed tabled subgoal: the full answer set, immutable.
+#[derive(Debug)]
+pub struct TableEntry {
+    /// Globally monotone completion epoch (trace correlation).
+    pub epoch: u64,
+    /// Hash of the subgoal key (trace correlation).
+    pub key_hash: u64,
+    /// Globally monotone subgoal id, assigned at registration (trace
+    /// correlation: `table-*` events carry it).
+    pub subgoal_id: u64,
+    /// The answers: each arena holds one fully-instantiated copy of the
+    /// tabled call term, replayed by thawing and unifying with the live
+    /// call. Duplicate-free by the generator's insertion-time dedup.
+    pub answers: Vec<TermArena>,
+}
+
+/// Lifecycle of a subgoal in the shared space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableState {
+    /// Registered by a generator, fixpoint not yet reached. Pinned:
+    /// never an eviction victim.
+    Pending,
+    /// Answer set complete and published; later calls are pure lookups.
+    Complete,
+}
+
+/// Outcome of [`TableSpace::register`].
+#[derive(Debug, Clone)]
+pub enum RegisterOutcome {
+    /// First registration anywhere: the caller is the subgoal's
+    /// generator and owes the space a completion.
+    Fresh { subgoal_id: u64 },
+    /// Another machine registered this subgoal and has not completed it:
+    /// the caller evaluates it privately (shadow evaluation) and races
+    /// to publish.
+    InProgress { subgoal_id: u64 },
+    /// Already complete: drain the answers, no evaluation at all.
+    Complete(Arc<TableEntry>),
+}
+
+/// Outcome of [`TableSpace::publish_as`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TablePublish {
+    /// The answer set was installed under a fresh epoch; `evicted`
+    /// completed tables were dropped to make room.
+    Stored { epoch: u64, evicted: u64 },
+    /// A racing completion got there first (equal answer sets by
+    /// confluence); the new answers were dropped.
+    AlreadyComplete { epoch: u64 },
+}
+
+enum SlotState {
+    Pending { subgoal_id: u64 },
+    Complete(Arc<TableEntry>),
+}
+
+struct SlotEnt {
+    state: SlotState,
+    last_used: u64,
+    /// Tenant whose run completed (or registered) the subgoal; quota
+    /// accounting only — lookups stay cross-tenant.
+    tenant: u32,
+}
+
+impl SlotEnt {
+    fn is_complete(&self) -> bool {
+        matches!(self.state, SlotState::Complete(_))
+    }
+}
+
+struct Shard {
+    entries: HashMap<Vec<u8>, SlotEnt>,
+    /// Per-shard LRU clock (bumped on every touch).
+    clock: u64,
+}
+
+/// Aggregate space-lifetime counters (session-wide, across runs — the
+/// per-run engine `Stats` carry their own table counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCounters {
+    /// Lookups that found a completed table.
+    pub hits: u64,
+    /// Registrations of subgoals new to the space.
+    pub registered: u64,
+    /// Completions installed (first completer per subgoal).
+    pub completions: u64,
+    /// Completed tables evicted by quota or capacity pressure.
+    pub evictions: u64,
+}
+
+/// The shared, sharded tabling space. Cheaply shareable via `Arc`;
+/// engines attach one handle per machine.
+pub struct TableSpace {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    tenant_quota: Option<usize>,
+    /// Completion epochs (trace correlation).
+    epoch: AtomicU64,
+    /// Subgoal ids (trace correlation; also handed to shadow
+    /// registrations so all machines name the subgoal consistently).
+    next_subgoal: AtomicU64,
+    hits: AtomicU64,
+    registered: AtomicU64,
+    completions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for TableSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableSpace")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("len", &self.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl TableSpace {
+    pub fn new(cfg: &TableConfig) -> TableSpace {
+        let shards = cfg.shards.max(1);
+        TableSpace {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard: cfg.capacity_per_shard.max(1),
+            tenant_quota: cfg.tenant_quota.map(|q| q.max(1)),
+            epoch: AtomicU64::new(0),
+            next_subgoal: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            registered: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Poison-tolerant shard lock: entries only move Pending → Complete
+    /// and LRU metadata is self-healing, so a panic elsewhere never
+    /// leaves a shard in a state worth refusing.
+    fn shard_for(&self, key: &CanonKey) -> MutexGuard<'_, Shard> {
+        let idx = (key.hash as usize) % self.shards.len();
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Register a tabled subgoal as `tenant`. The first caller anywhere
+    /// becomes the generator ([`RegisterOutcome::Fresh`]); callers that
+    /// arrive while it is pending shadow-evaluate
+    /// ([`RegisterOutcome::InProgress`], same subgoal id); callers after
+    /// completion get the finished entry.
+    pub fn register(&self, tenant: u32, key: &CanonKey) -> RegisterOutcome {
+        let mut shard = self.shard_for(key);
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(slot) = shard.entries.get_mut(&key.bytes) {
+            slot.last_used = clock;
+            return match &slot.state {
+                SlotState::Pending { subgoal_id } => RegisterOutcome::InProgress {
+                    subgoal_id: *subgoal_id,
+                },
+                SlotState::Complete(entry) => {
+                    let entry = entry.clone();
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    RegisterOutcome::Complete(entry)
+                }
+            };
+        }
+        let subgoal_id = self.next_subgoal.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.entries.insert(
+            key.bytes.clone(),
+            SlotEnt {
+                state: SlotState::Pending { subgoal_id },
+                last_used: clock,
+                tenant,
+            },
+        );
+        drop(shard);
+        self.registered.fetch_add(1, Ordering::Relaxed);
+        RegisterOutcome::Fresh { subgoal_id }
+    }
+
+    /// Is the subgoal's table already complete? (Claim short-circuit:
+    /// no LRU bump, no counter noise.)
+    pub fn is_complete(&self, key: &CanonKey) -> bool {
+        let shard = self.shard_for(key);
+        shard
+            .entries
+            .get(&key.bytes)
+            .is_some_and(|s| s.is_complete())
+    }
+
+    /// The completed answer set for `key`, if any, bumping its LRU slot.
+    pub fn lookup_complete(&self, key: &CanonKey) -> Option<Arc<TableEntry>> {
+        let mut shard = self.shard_for(key);
+        shard.clock += 1;
+        let clock = shard.clock;
+        let slot = shard.entries.get_mut(&key.bytes)?;
+        slot.last_used = clock;
+        match &slot.state {
+            SlotState::Complete(entry) => {
+                let entry = entry.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            SlotState::Pending { .. } => None,
+        }
+    }
+
+    /// Publish the complete, duplicate-free answer set of `key`,
+    /// charging the completed table to `tenant`. Upgrades the pending
+    /// slot regardless of which machine registered it — under faults the
+    /// registering generator may be dead, and any shadow that reached the
+    /// fixpoint may complete on its behalf. First completer wins; racing
+    /// completions (equal sets by confluence) are dropped.
+    pub fn publish_as(&self, tenant: u32, key: &CanonKey, answers: Vec<TermArena>) -> TablePublish {
+        let mut shard = self.shard_for(key);
+        if let Some(slot) = shard.entries.get(&key.bytes) {
+            if let SlotState::Complete(entry) = &slot.state {
+                return TablePublish::AlreadyComplete { epoch: entry.epoch };
+            }
+        }
+        let mut evicted = 0u64;
+        // Quota: self-evict completed tables down to one-below-cap.
+        if let Some(quota) = self.tenant_quota {
+            while shard
+                .entries
+                .values()
+                .filter(|s| s.tenant == tenant && s.is_complete())
+                .count()
+                >= quota
+            {
+                match evict_lru_complete(&mut shard, Some(tenant)) {
+                    true => evicted += 1,
+                    false => break,
+                }
+            }
+        }
+        // Capacity: completed tables of the inserting tenant are the
+        // preferred victims; global completed LRU only as a last resort.
+        // Pending slots are pinned, so the shard may transiently exceed
+        // capacity when the live in-progress set is large. Upgrading a
+        // pending slot in place does not grow the shard, so it only
+        // triggers eviction when the shard is already over capacity.
+        let net_growth = usize::from(!shard.entries.contains_key(&key.bytes));
+        while shard.entries.len() + net_growth > self.capacity_per_shard {
+            if !evict_lru_complete(&mut shard, Some(tenant))
+                && !evict_lru_complete(&mut shard, None)
+            {
+                break;
+            }
+            evicted += 1;
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.clock += 1;
+        let clock = shard.clock;
+        // Keep the registration-time subgoal id when upgrading a pending
+        // slot; a publish with no prior registration (possible after the
+        // pending slot's shard was poisoned and healed) mints a fresh id.
+        let subgoal_id = match shard.entries.get(&key.bytes) {
+            Some(SlotEnt {
+                state: SlotState::Pending { subgoal_id },
+                ..
+            }) => *subgoal_id,
+            _ => self.next_subgoal.fetch_add(1, Ordering::Relaxed) + 1,
+        };
+        shard.entries.insert(
+            key.bytes.clone(),
+            SlotEnt {
+                state: SlotState::Complete(Arc::new(TableEntry {
+                    epoch,
+                    key_hash: key.hash,
+                    subgoal_id,
+                    answers,
+                })),
+                last_used: clock,
+                tenant,
+            },
+        );
+        drop(shard);
+        self.completions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        TablePublish::Stored { epoch, evicted }
+    }
+
+    /// Completed tables held by `tenant` across all shards.
+    pub fn tenant_len(&self, tenant: u32) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .entries
+                    .values()
+                    .filter(|e| e.tenant == tenant && e.is_complete())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Total entries (pending + complete) across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// Completed tables across all shards.
+    pub fn complete_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .entries
+                    .values()
+                    .filter(|e| e.is_complete())
+                    .count()
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of independent shards (lock granularity). Fresh per-run
+    /// spaces are sized to the fleet by
+    /// `EngineConfig::resolve_table_space`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Space-lifetime counters (REPL `:table-stats`, diagnostics).
+    pub fn counters(&self) -> TableCounters {
+        TableCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            registered: self.registered.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Remove the least-recently-used **completed** entry in `shard`,
+/// restricted to `tenant`'s entries when given. Pending entries are
+/// pinned — a generator or suspended consumer still depends on them —
+/// so they are never candidates. Returns whether a victim was found.
+fn evict_lru_complete(shard: &mut Shard, tenant: Option<u32>) -> bool {
+    let victim = shard
+        .entries
+        .iter()
+        .filter(|(_, s)| s.is_complete() && tenant.is_none_or(|t| s.tenant == t))
+        .min_by_key(|(_, s)| s.last_used)
+        .map(|(k, _)| k.clone());
+    match victim {
+        Some(k) => {
+            shard.entries.remove(&k);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_logic::{parse_term, CanonKey, Heap};
+
+    fn key(src: &str) -> (Heap, CanonKey, ace_logic::Cell) {
+        let mut h = Heap::new();
+        let (t, _) = parse_term(&mut h, src).unwrap();
+        let k = CanonKey::of(&h, t);
+        (h, k, t)
+    }
+
+    fn answers(h: &Heap, roots: &[ace_logic::Cell]) -> Vec<TermArena> {
+        roots.iter().map(|&r| TermArena::freeze(h, r)).collect()
+    }
+
+    #[test]
+    fn register_then_complete_round_trips() {
+        let space = TableSpace::new(&TableConfig::enabled());
+        let (h, k, t) = key("path(a, X)");
+        let RegisterOutcome::Fresh { subgoal_id } = space.register(0, &k) else {
+            panic!("first registration must be fresh");
+        };
+        assert_eq!(subgoal_id, 1);
+        assert!(!space.is_complete(&k));
+        assert!(space.lookup_complete(&k).is_none());
+        // a variant registration while pending shadows, same id
+        let (_, k2, _) = key("path(a, Y)");
+        let RegisterOutcome::InProgress { subgoal_id: id2 } = space.register(0, &k2) else {
+            panic!("pending registration must be in-progress");
+        };
+        assert_eq!(id2, subgoal_id);
+        let out = space.publish_as(0, &k, answers(&h, &[t]));
+        let TablePublish::Stored { epoch, evicted } = out else {
+            panic!("first completion must store: {out:?}");
+        };
+        assert_eq!((epoch, evicted), (1, 0));
+        assert!(space.is_complete(&k));
+        let RegisterOutcome::Complete(entry) = space.register(0, &k2) else {
+            panic!("registration after completion must be a lookup");
+        };
+        assert_eq!(entry.subgoal_id, subgoal_id);
+        assert_eq!(entry.answers.len(), 1);
+        let c = space.counters();
+        assert_eq!((c.hits, c.registered, c.completions), (1, 1, 1));
+    }
+
+    #[test]
+    fn racing_completions_first_writer_wins() {
+        let space = TableSpace::new(&TableConfig::enabled());
+        let (h, k, t) = key("sg(a, X)");
+        space.register(0, &k);
+        let TablePublish::Stored { epoch, .. } = space.publish_as(0, &k, answers(&h, &[t])) else {
+            panic!()
+        };
+        // a shadow evaluation completing later is dropped
+        let again = space.publish_as(1, &k, answers(&h, &[t, t]));
+        assert_eq!(again, TablePublish::AlreadyComplete { epoch });
+        assert_eq!(space.lookup_complete(&k).unwrap().answers.len(), 1);
+        assert_eq!(space.counters().completions, 1);
+    }
+
+    #[test]
+    fn publish_without_registration_is_fault_safe() {
+        // a shadow may outlive a dead generator whose registration was
+        // lost; completion must still install
+        let space = TableSpace::new(&TableConfig::enabled());
+        let (h, k, t) = key("orphan(X)");
+        assert!(matches!(
+            space.publish_as(0, &k, answers(&h, &[t])),
+            TablePublish::Stored { .. }
+        ));
+        assert!(space.is_complete(&k));
+    }
+
+    #[test]
+    fn incomplete_tables_are_never_eviction_victims() {
+        // single shard, capacity 2: two pending registrations pin the
+        // shard over capacity and completions churn past them
+        let cfg = TableConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(2);
+        let space = TableSpace::new(&cfg);
+        let (_, k_gen, _) = key("gen(a, X)");
+        let (_, k_gen2, _) = key("gen2(a, X)");
+        space.register(0, &k_gen);
+        space.register(0, &k_gen2);
+        for i in 0..6 {
+            let (h, k, t) = key(&format!("done({i}, X)"));
+            space.register(0, &k);
+            space.publish_as(0, &k, answers(&h, &[t]));
+        }
+        // both pending slots survived arbitrary completion churn
+        assert!(matches!(
+            space.register(0, &k_gen),
+            RegisterOutcome::InProgress { .. }
+        ));
+        assert!(matches!(
+            space.register(0, &k_gen2),
+            RegisterOutcome::InProgress { .. }
+        ));
+        assert!(space.counters().evictions > 0, "completed tables churned");
+        // pending slots never complete-count
+        assert_eq!(space.tenant_len(0), space.complete_len());
+    }
+
+    #[test]
+    fn tenant_quota_self_evicts_only_completed_tables() {
+        let cfg = TableConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(64)
+            .with_tenant_quota(2);
+        let space = TableSpace::new(&cfg);
+        // tenant 1 keeps one subgoal in progress the whole time
+        let (_, k_pin, _) = key("pinned(X)");
+        space.register(1, &k_pin);
+        for i in 0..5 {
+            let (h, k, t) = key(&format!("t1({i}, X)"));
+            space.register(1, &k);
+            space.publish_as(1, &k, answers(&h, &[t]));
+        }
+        // the flooding tenant holds at most its quota of completed tables
+        assert_eq!(space.tenant_len(1), 2);
+        assert_eq!(space.counters().evictions, 3);
+        // ... and the pinned in-progress subgoal was untouched
+        assert!(matches!(
+            space.register(1, &k_pin),
+            RegisterOutcome::InProgress { .. }
+        ));
+        let (_, k4, _) = key("t1(4, X)");
+        let (_, k0, _) = key("t1(0, X)");
+        assert!(space.lookup_complete(&k4).is_some());
+        assert!(space.lookup_complete(&k0).is_none());
+    }
+
+    #[test]
+    fn tenant_flood_cannot_evict_another_tenants_completed_tables() {
+        let cfg = TableConfig::enabled()
+            .with_shards(1)
+            .with_capacity_per_shard(4)
+            .with_tenant_quota(2);
+        let space = TableSpace::new(&cfg);
+        let (h_a, k_a, t_a) = key("warm(a, X)");
+        let (h_b, k_b, t_b) = key("warm(b, X)");
+        space.register(1, &k_a);
+        space.publish_as(1, &k_a, answers(&h_a, &[t_a]));
+        space.register(1, &k_b);
+        space.publish_as(1, &k_b, answers(&h_b, &[t_b]));
+        for i in 0..16 {
+            let (h, k, t) = key(&format!("flood({i}, X)"));
+            space.register(2, &k);
+            space.publish_as(2, &k, answers(&h, &[t]));
+        }
+        assert!(
+            space.lookup_complete(&k_a).is_some(),
+            "warm table a evicted"
+        );
+        assert!(
+            space.lookup_complete(&k_b).is_some(),
+            "warm table b evicted"
+        );
+        assert_eq!(space.tenant_len(1), 2);
+        assert_eq!(space.tenant_len(2), 2);
+        // completed tables stay shared across tenants
+        let (_, k_var, _) = key("warm(a, Y)");
+        assert!(space.is_complete(&k_var));
+    }
+
+    #[test]
+    fn subgoal_ids_are_globally_monotone() {
+        let space = TableSpace::new(&TableConfig::enabled().with_shards(4));
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            let (_, k, _) = key(&format!("m({i}, X)"));
+            let RegisterOutcome::Fresh { subgoal_id } = space.register(0, &k) else {
+                panic!()
+            };
+            ids.push(subgoal_id);
+        }
+        for w in ids.windows(2) {
+            assert!(w[1] > w[0], "ids must be strictly increasing: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn space_survives_a_poisoned_shard_lock() {
+        let cfg = TableConfig::enabled().with_shards(1);
+        let space = Arc::new(TableSpace::new(&cfg));
+        let (h, k, t) = key("pois(1, X)");
+        space.register(0, &k);
+        space.publish_as(0, &k, answers(&h, &[t]));
+        let s2 = space.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = s2.shards[0].lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(
+            space.lookup_complete(&k).is_some(),
+            "poisoned lock must be tolerated"
+        );
+        let (_, k2, _) = key("pois(2, X)");
+        assert!(matches!(
+            space.register(0, &k2),
+            RegisterOutcome::Fresh { .. }
+        ));
+    }
+
+    #[test]
+    fn concurrent_racing_registrations_name_one_generator() {
+        let space = Arc::new(TableSpace::new(&TableConfig::enabled()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = space.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut h = Heap::new();
+                let (c, _) = parse_term(&mut h, "race(X)").unwrap();
+                let k = CanonKey::of(&h, c);
+                s.register(0, &k)
+            }));
+        }
+        let outcomes: Vec<RegisterOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let fresh = outcomes
+            .iter()
+            .filter(|o| matches!(o, RegisterOutcome::Fresh { .. }))
+            .count();
+        assert_eq!(fresh, 1, "exactly one racer generates: {outcomes:?}");
+        assert_eq!(space.len(), 1);
+    }
+}

@@ -11,6 +11,11 @@
 //! * `:memo` — toggle answer memoization (the table persists across
 //!   queries and engines until toggled off, which clears it)
 //! * `:memo-stats` — table size and hit/miss/store/eviction counters
+//! * `:table` — toggle SLG tabling for `:- table(p/n)` predicates
+//!   (left recursion terminates; completed tables persist across
+//!   queries and engines until toggled off, which clears them)
+//! * `:table-stats` — subgoal space size and register/hit/completion
+//!   counters
 //! * `:metrics` — dump the session's live metrics registry in the
 //!   Prometheus text format (every query folds into it)
 //! * `:quit`
@@ -19,7 +24,9 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use ace_core::{Ace, Mode};
-use ace_runtime::{EngineConfig, MemoConfig, MemoTable, MetricsRegistry, OptFlags};
+use ace_runtime::{
+    EngineConfig, MemoConfig, MemoTable, MetricsRegistry, OptFlags, TableConfig, TableSpace,
+};
 
 fn main() {
     let mut program = String::new();
@@ -48,6 +55,9 @@ fn main() {
     // One table for the whole session: answers stored by any engine on
     // any query replay on every later one, until `:memo` toggles off.
     let mut memo: Option<Arc<MemoTable>> = None;
+    // Likewise one tabling space: fixpoints completed by any query are
+    // pure lookups for every later one, until `:table` toggles off.
+    let mut table: Option<Arc<TableSpace>> = None;
     // One metrics registry for the whole session; every query's run folds
     // into it and `:metrics` scrapes it.
     let metrics = MetricsRegistry::shared();
@@ -78,6 +88,38 @@ fn main() {
                     None
                 }
             };
+            continue;
+        }
+        if line == ":table" {
+            table = match table {
+                None => {
+                    println!("tabling on (fresh space).");
+                    Some(Arc::new(TableSpace::new(&TableConfig::enabled())))
+                }
+                Some(_) => {
+                    println!("tabling off (space dropped).");
+                    None
+                }
+            };
+            continue;
+        }
+        if line == ":table-stats" {
+            match &table {
+                None => println!("tabling is off — `:table` to enable."),
+                Some(t) => {
+                    let c = t.counters();
+                    println!(
+                        "{} subgoal(s) ({} complete); {} registered, {} hit(s), \
+                         {} completion(s), {} eviction(s)",
+                        t.len(),
+                        t.complete_len(),
+                        c.registered,
+                        c.hits,
+                        c.completions,
+                        c.evictions
+                    );
+                }
+            }
             continue;
         }
         if line == ":metrics" {
@@ -125,6 +167,9 @@ fn main() {
         if let Some(t) = &memo {
             cfg = cfg.with_memo_table(t.clone());
         }
+        if let Some(t) = &table {
+            cfg = cfg.with_table_space(t.clone());
+        }
         match ace.run(mode, goal, &cfg) {
             Ok(r) => {
                 if r.solutions.is_empty() {
@@ -139,8 +184,17 @@ fn main() {
                     } else {
                         String::new()
                     };
+                    let tabled = r.stats.table_subgoals + r.stats.table_hits;
+                    let table_note = if tabled > 0 {
+                        format!(
+                            ", table {} subgoal(s)/{} hit(s)",
+                            r.stats.table_subgoals, r.stats.table_hits
+                        )
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "({} solution(s), virtual time {}{memo_note})",
+                        "({} solution(s), virtual time {}{memo_note}{table_note})",
                         r.solutions.len(),
                         r.virtual_time
                     );

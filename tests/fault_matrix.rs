@@ -391,6 +391,74 @@ fn memo_enabled_matrix_preserves_answers() {
     }
 }
 
+/// Faults across the tabling suspend→resume window: a left-recursive
+/// tabled query spends most of its run suspended on its own fixpoint, so
+/// sweeping `Die` and `Stall` injection points across both drivers lands
+/// faults before the first answer, between suspension and resumption,
+/// and during completion. Every cell must hand back the sequential
+/// tabled oracle's exact answer set (directly, or via the recorded
+/// sequential fallback) and must never deliver a duplicate — cold table
+/// and warm shared table alike.
+#[test]
+fn tabling_matrix_preserves_answer_sets_across_suspend_resume() {
+    use ace_runtime::{TableConfig, TableSpace};
+    use std::sync::Arc;
+
+    let prog = r#"
+        :- table(path/2).
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        path(X, Y) :- edge(X, Y).
+        edge(a, b).
+        edge(b, c).
+        edge(b, d).
+        edge(c, a).
+    "#;
+    let ace = Ace::load(prog).unwrap();
+    let query = "path(a, X)";
+    let space = || Arc::new(TableSpace::new(&TableConfig::enabled()));
+
+    // The oracle is the undisturbed sequential tabled run (the untabled
+    // program does not terminate).
+    let quiet = cfg(OptFlags::all(), DriverKind::Sim, FaultPlan::new(0)).with_table_space(space());
+    let oracle = sorted(ace.run(Mode::Sequential, query, &quiet).unwrap().solutions);
+    assert_eq!(oracle, vec!["X=a", "X=b", "X=c", "X=d"]);
+
+    // A warm shared table, filled by one undisturbed run.
+    let warm_table = space();
+    ace.run(
+        Mode::Sequential,
+        query,
+        &quiet.clone().with_table_space(warm_table.clone()),
+    )
+    .unwrap();
+    assert!(warm_table.complete_len() >= 1, "warmup never completed");
+
+    for driver in [DriverKind::Sim, DriverKind::Threads] {
+        for victim in [0usize, 1] {
+            for at_op in [1u64, 2, 3, 5, 8] {
+                for kind in [FaultKind::Die, FaultKind::Stall { cost: 250 }] {
+                    let plan = FaultPlan::new(0).with(victim, at_op, kind);
+                    for (round, table) in [("cold", space()), ("warm", warm_table.clone())] {
+                        let tag = format!(
+                            "tabling {driver:?} victim={victim} at_op={at_op} \
+                             {kind:?} {round}"
+                        );
+                        let c = cfg(OptFlags::all(), driver, plan.clone()).with_table_space(table);
+                        let r = ace
+                            .run_query(Mode::OrParallel, query, &c)
+                            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                        // Exact set, and never a duplicate: elimination
+                        // happens at answer insertion, before any
+                        // consumer — faulty schedules included.
+                        assert_eq!(sorted(r.solutions.clone()), oracle, "{tag}");
+                        check_trace(&r, &tag);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Program errors must never be masked by the degradation path: the error
 /// is the answer, under every driver, with or without faults in the plan.
 #[test]

@@ -1,0 +1,168 @@
+//! Tabling equivalence: SLG evaluation must be invisible in the answers.
+//!
+//! * **Corpus invariance** — every tabled corpus program terminates on
+//!   both drivers at 1/2/4/8 workers with exactly the sequential tabled
+//!   oracle's answer set (which itself matches the closed-form count),
+//!   cold table and warm table alike, with every trace satisfying the
+//!   checker's tabling protocol (answers before resumes, completion
+//!   exactly once per subgoal).
+//! * **Warm tables are pure lookup** — a completed table turns
+//!   re-evaluation into replay: no new subgoal frames on any engine.
+//! * **Zero-cost opt-out** — a config carrying a *disabled*
+//!   `TableConfig` is bit-identical (virtual time and full stats sheet)
+//!   to one that never mentioned tabling.
+
+use std::sync::Arc;
+
+use ace_core::{Ace, Mode, RunReport};
+use ace_runtime::{
+    DriverKind, EngineConfig, OptFlags, TableConfig, TableSpace, TraceChecker, TraceConfig,
+};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+fn space() -> Arc<TableSpace> {
+    Arc::new(TableSpace::new(&TableConfig::enabled().with_shards(8)))
+}
+
+fn cfg(workers: usize, driver: DriverKind, table: &Arc<TableSpace>) -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(workers)
+        .with_driver(driver)
+        .with_opts(OptFlags::all())
+        .with_trace(TraceConfig::enabled())
+        .with_table_space(table.clone())
+        .all_solutions()
+}
+
+fn check_trace(r: &RunReport, label: &str) {
+    let trace = r.trace.as_ref().expect("tracing enabled but trace missing");
+    if let Err(violations) = TraceChecker::check(trace) {
+        panic!("{label}: trace invariant violations: {violations:#?}");
+    }
+}
+
+fn assert_oracle(r: &RunReport, oracle: &[String], label: &str) {
+    assert_eq!(sorted(r.solutions.clone()), oracle, "{label}");
+    let mut uniq = r.solutions.clone();
+    uniq.sort();
+    uniq.dedup();
+    assert_eq!(uniq.len(), r.solutions.len(), "{label}: duplicate answers");
+}
+
+#[test]
+fn tabled_corpus_invariant_across_drivers_and_workers() {
+    for p in ace_programs::tabled() {
+        let ace = Ace::load(&(p.program)(p.test_size)).unwrap();
+        let query = (p.query)(p.test_size);
+
+        let seq_space = space();
+        let seq = ace
+            .run(
+                Mode::Sequential,
+                &query,
+                &cfg(1, DriverKind::Sim, &seq_space),
+            )
+            .unwrap_or_else(|e| panic!("{} sequential: {e}", p.name));
+        let oracle = sorted(seq.solutions.clone());
+        assert_eq!(
+            oracle.len(),
+            (p.oracle)(p.test_size),
+            "{} oracle size",
+            p.name
+        );
+
+        for driver in [DriverKind::Sim, DriverKind::Threads] {
+            for w in WORKER_COUNTS {
+                let label = format!("{} {driver:?} workers={w}", p.name);
+                let table = space();
+                let cold = ace
+                    .run(Mode::OrParallel, &query, &cfg(w, driver, &table))
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_oracle(&cold, &oracle, &format!("{label} cold"));
+                check_trace(&cold, &format!("{label} cold"));
+
+                let warm = ace
+                    .run(Mode::OrParallel, &query, &cfg(w, driver, &table))
+                    .unwrap_or_else(|e| panic!("{label} warm: {e}"));
+                assert_oracle(&warm, &oracle, &format!("{label} warm"));
+                check_trace(&warm, &format!("{label} warm"));
+                assert_eq!(
+                    warm.stats.table_subgoals, 0,
+                    "{label}: warm run re-framed subgoals"
+                );
+                assert!(warm.stats.table_hits >= 1, "{label}: warm run missed");
+            }
+        }
+    }
+}
+
+#[test]
+fn completed_tables_are_shared_across_modes() {
+    // One space, three engines: whoever completes the fixpoint first,
+    // everyone else replays it.
+    let p = ace_programs::tabled_program("tabled_path").unwrap();
+    let ace = Ace::load(&(p.program)(p.test_size)).unwrap();
+    let query = (p.query)(p.test_size);
+    let table = space();
+
+    let seq = ace
+        .run(Mode::Sequential, &query, &cfg(1, DriverKind::Sim, &table))
+        .unwrap();
+    let oracle = sorted(seq.solutions.clone());
+    assert!(seq.stats.table_completes >= 1, "{}", seq.summary());
+
+    for mode in [Mode::OrParallel, Mode::AndParallel] {
+        let r = ace
+            .run(mode, &query, &cfg(4, DriverKind::Sim, &table))
+            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        assert_oracle(&r, &oracle, &format!("{mode:?} vs sequential"));
+        assert_eq!(r.stats.table_subgoals, 0, "{mode:?} re-evaluated");
+        assert!(r.stats.table_hits >= 1, "{mode:?} missed the shared table");
+    }
+}
+
+#[test]
+fn disabled_table_config_is_bit_identical() {
+    // Tabled-declared but terminating: with no space attached the
+    // declaration is inert and the machine must not spend one cost unit
+    // on the table path.
+    let ace = Ace::load(
+        r#"
+        :- table(reach/2).
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Y) :- edge(X, Z), reach(Z, Y).
+        edge(a, b).
+        edge(b, c).
+        pair(A, B) :- reach(a, A) & reach(b, B).
+        "#,
+    )
+    .unwrap();
+    for (mode, query) in [
+        (Mode::Sequential, "reach(a, X)"),
+        (Mode::OrParallel, "reach(a, X)"),
+        (Mode::AndParallel, "pair(A, B)"),
+    ] {
+        let base = EngineConfig::default()
+            .with_workers(2)
+            .with_opts(OptFlags::all())
+            .all_solutions();
+        let plain = ace.run(mode, query, &base).unwrap();
+        let off = ace
+            .run(
+                mode,
+                query,
+                &base.clone().with_table(TableConfig::default()),
+            )
+            .unwrap();
+        assert_eq!(off.solutions, plain.solutions, "{mode:?}");
+        assert_eq!(off.virtual_time, plain.virtual_time, "{mode:?}");
+        assert_eq!(off.stats, plain.stats, "{mode:?}");
+        assert_eq!(off.stats.table_subgoals, 0, "{mode:?}");
+    }
+}
