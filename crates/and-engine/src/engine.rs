@@ -70,6 +70,8 @@ impl AndEngine {
         root.set_memo(shared.memo.clone(), cfg.trace.enabled);
         root.set_table(shared.table.clone(), cfg.trace.enabled);
         root.set_memo_tenant(cfg.memo_tenant);
+        root.set_clause_exec(cfg.clause_exec);
+        root.set_dispatch_trace(cfg.trace.enabled && cfg.trace.dispatch);
         let vars = root
             .load_query_text(query)
             .map_err(|e| format!("query parse error: {e}"))?;

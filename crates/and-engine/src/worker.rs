@@ -271,6 +271,8 @@ impl AndWorker {
             m.set_table(self.sh.table.clone(), self.sh.cfg.trace.enabled);
             m.set_memo_tenant(self.sh.cfg.memo_tenant);
         }
+        m.set_clause_exec(self.sh.cfg.clause_exec);
+        m.set_dispatch_trace(self.sh.cfg.trace.enabled && self.sh.cfg.trace.dispatch);
         m
     }
 

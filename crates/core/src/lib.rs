@@ -203,6 +203,7 @@ impl Ace {
             .machine_mut()
             .set_table(cfg.resolve_table_space(), false);
         solver.machine_mut().set_memo_tenant(cfg.memo_tenant);
+        solver.machine_mut().set_clause_exec(cfg.clause_exec);
         if let Some(parent) = &cfg.cancel {
             solver.set_cancel(parent.child());
         }

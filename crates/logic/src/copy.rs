@@ -31,7 +31,8 @@ pub struct CopyOut {
 /// Copy `root` from `src` into `dst` with fresh variables.
 pub fn copy_term(src: &Heap, root: Cell, dst: &mut Heap) -> CopyOut {
     let mut copier = Copier {
-        map: HashMap::new(),
+        var_map: HashMap::new(),
+        block_map: HashMap::new(),
         cells: 0,
         vars: 0,
     };
@@ -60,10 +61,19 @@ pub fn copy_term_within(heap: &mut Heap, root: Cell) -> CopyOut {
 }
 
 struct Copier {
-    /// Source address -> destination cell. Keys are unbound-variable
-    /// addresses and compound header/pair addresses; presence means the
-    /// destination block already exists (sharing & cycle safety).
-    map: HashMap<Addr, Cell>,
+    /// Unbound-variable source address -> fresh destination variable.
+    ///
+    /// Kept separate from `block_map`: in the compact (WAM-style) layout
+    /// produced by compiled head code, a list pair's head slot can be an
+    /// unbound variable stored *at* the pair address, so a single source
+    /// address may name both a pair and a variable. A shared map would
+    /// resolve the variable to the pair's destination block and
+    /// manufacture a cycle (`[X|T]` with `X` = the list itself).
+    var_map: HashMap<Addr, Cell>,
+    /// Compound header/pair source address -> destination block cell;
+    /// presence means the destination block already exists (sharing &
+    /// cycle safety).
+    block_map: HashMap<Addr, Cell>,
     cells: usize,
     vars: usize,
 }
@@ -81,7 +91,7 @@ impl Copier {
         work: &mut Vec<(Cell, Addr)>,
     ) -> Cell {
         match src.deref(c) {
-            Cell::Ref(a) => *self.map.entry(a).or_insert_with(|| {
+            Cell::Ref(a) => *self.var_map.entry(a).or_insert_with(|| {
                 self.vars += 1;
                 self.cells += 1;
                 dst.new_var()
@@ -90,7 +100,7 @@ impl Copier {
             Cell::Int(i) => Cell::Int(i),
             Cell::Nil => Cell::Nil,
             Cell::Str(hdr) => {
-                if let Some(&d) = self.map.get(&hdr) {
+                if let Some(&d) = self.block_map.get(&hdr) {
                     return d;
                 }
                 let (f, n) = src.functor_at(hdr);
@@ -101,11 +111,11 @@ impl Copier {
                 }
                 self.cells += 1 + n as usize;
                 let out = Cell::Str(dhdr);
-                self.map.insert(hdr, out);
+                self.block_map.insert(hdr, out);
                 out
             }
             Cell::Lst(p) => {
-                if let Some(&d) = self.map.get(&p) {
+                if let Some(&d) = self.block_map.get(&p) {
                     return d;
                 }
                 let dh = dst.push(Cell::Nil);
@@ -114,7 +124,7 @@ impl Copier {
                 work.push((src.lst_tail(p), dt));
                 self.cells += 2;
                 let out = Cell::Lst(dh);
-                self.map.insert(p, out);
+                self.block_map.insert(p, out);
                 out
             }
             Cell::Functor(..) => unreachable!("Functor is not a term"),
@@ -220,6 +230,31 @@ mod tests {
             unreachable!()
         };
         assert_eq!(dst.str_arg(h, 0), dst.str_arg(h, 1));
+    }
+
+    #[test]
+    fn copy_compact_pair_with_var_at_pair_address() {
+        // Compiled head code lays `[H|T]` out WAM-style: the pair's head
+        // slot *is* the unbound variable H, so the pair address and the
+        // variable address coincide. The copy must produce `[H'|T']` with
+        // fresh vars — not resolve H to the pair's own destination block.
+        let mut src = Heap::new();
+        let p = Addr(src.len() as u32);
+        src.push(Cell::Ref(p)); // head slot: unbound var at the pair addr
+        let t = Addr(src.len() as u32);
+        src.push(Cell::Ref(t)); // tail slot: unbound var
+        let list = Cell::Lst(p);
+        let mut dst = Heap::new();
+        let out = copy_term(&src, list, &mut dst);
+        let Cell::Lst(dp) = out.root else {
+            unreachable!()
+        };
+        assert_eq!(out.fresh_vars, 2);
+        let head = dst.deref(dst.lst_head(dp));
+        let tail = dst.deref(dst.lst_tail(dp));
+        assert!(matches!(head, Cell::Ref(_)), "head stays a var: {head:?}");
+        assert!(matches!(tail, Cell::Ref(_)), "tail stays a var: {tail:?}");
+        assert_ne!(head, tail);
     }
 
     #[test]

@@ -13,16 +13,18 @@
 //! "is completely known at runtime" unlike compile-time approximations
 //! (paper §1).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use crate::code::CompiledCode;
+use crate::fxhash::FxHashMap;
 use crate::heap::{Cell, Heap};
 use crate::read::{parse_program, ReadClause, ReadError};
-use crate::sym::{sym, wk, Sym};
+use crate::sym::{sym, sym_name, wk, Sym};
 use crate::term::{view, TermView};
 
 /// First-argument index key.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum IndexKey {
     /// Clause head's first argument is a variable (matches anything), or
     /// the predicate has arity 0.
@@ -56,6 +58,19 @@ impl IndexKey {
     }
 }
 
+impl std::fmt::Display for IndexKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexKey::Any => write!(f, "var"),
+            IndexKey::Atom(s) => write!(f, "{}", sym_name(*s)),
+            IndexKey::Int(i) => write!(f, "{i}"),
+            IndexKey::Struct(s, n) => write!(f, "{}/{n}", sym_name(*s)),
+            IndexKey::List => write!(f, "[_|_]"),
+            IndexKey::Nil => write!(f, "[]"),
+        }
+    }
+}
+
 /// One program clause in relocatable form.
 #[derive(Debug)]
 pub struct Clause {
@@ -69,6 +84,9 @@ pub struct Clause {
     pub key: IndexKey,
     /// Source position (clause number within its predicate), for tracing.
     pub ordinal: usize,
+    /// Register-based compiled form (head code + body template), built
+    /// once at load time and cached here.
+    code: CompiledCode,
 }
 
 impl Clause {
@@ -88,13 +106,20 @@ impl Clause {
                 return Err(format!("invalid clause head: {other:?}"));
             }
         };
+        let code = CompiledCode::compile(&arena, head, body);
         Ok(Clause {
             arena,
             head,
             body,
             key,
             ordinal,
+            code,
         })
+    }
+
+    /// The compiled form of this clause.
+    pub fn code(&self) -> &CompiledCode {
+        &self.code
     }
 
     /// Head functor name and arity.
@@ -137,26 +162,110 @@ impl Clause {
     }
 }
 
+/// Switch-on-term dispatch table: for every concrete first-argument key
+/// seen among the clause heads, the ordinals of the clauses that may match
+/// a call with that key — the key's own clauses *merged in source order*
+/// with the variable-headed catch-all clauses. Built incrementally as
+/// clauses are added; chains are ascending, so stepping to "the next
+/// matching clause after `i`" is a binary search, and the match count of
+/// a call is one `len()`.
+#[derive(Debug, Default)]
+struct PredIndex {
+    /// Ordinals of clauses whose key is `Any` (variable first argument).
+    var_chain: Vec<u32>,
+    /// Per concrete key: merged chain of that key's clauses + `Any` clauses.
+    buckets: FxHashMap<IndexKey, Vec<u32>>,
+}
+
+impl PredIndex {
+    fn add(&mut self, ordinal: u32, key: IndexKey) {
+        match key {
+            IndexKey::Any => {
+                // A catch-all clause extends every chain.
+                self.var_chain.push(ordinal);
+                for chain in self.buckets.values_mut() {
+                    chain.push(ordinal);
+                }
+            }
+            k => {
+                self.buckets
+                    .entry(k)
+                    .or_insert_with(|| self.var_chain.clone())
+                    .push(ordinal);
+            }
+        }
+    }
+}
+
 /// All clauses of one `name/arity` predicate.
 #[derive(Debug, Default)]
 pub struct Predicate {
     pub clauses: Vec<Arc<Clause>>,
+    /// All clause ordinals (the chain served to `Any` calls).
+    all: Vec<u32>,
+    index: PredIndex,
 }
 
 impl Predicate {
+    /// Append a clause, keeping the dispatch chains in sync.
+    pub fn push(&mut self, clause: Arc<Clause>) {
+        let ordinal = self.clauses.len() as u32;
+        debug_assert_eq!(clause.ordinal, ordinal as usize);
+        self.all.push(ordinal);
+        self.index.add(ordinal, clause.key);
+        self.clauses.push(clause);
+    }
+
+    /// The chain of clause ordinals a call with key `call` must try, in
+    /// source order. Non-matching clauses are simply absent.
+    pub fn matching_chain(&self, call: IndexKey) -> &[u32] {
+        match call {
+            IndexKey::Any => &self.all,
+            k => self
+                .index
+                .buckets
+                .get(&k)
+                .map(|v| &v[..])
+                .unwrap_or(&self.index.var_chain),
+        }
+    }
+
     /// Indices of clauses whose key may match `call`, starting from clause
-    /// `from`. Returns the first such index, or `None`.
+    /// `from`. Returns the first such index, or `None`. Served from the
+    /// dispatch chains: a binary search, not a scan.
     pub fn next_matching(&self, call: IndexKey, from: usize) -> Option<usize> {
+        let chain = self.matching_chain(call);
+        let at = chain.partition_point(|&o| (o as usize) < from);
+        chain.get(at).map(|&o| o as usize)
+    }
+
+    /// The interpreter oracle's linear scan over the raw clause list —
+    /// exactly what `next_matching` did before the dispatch chains. Kept
+    /// for the interpreted execution mode (whose cost model charges the
+    /// scan) and as a property-test oracle for the chains.
+    pub fn next_matching_scan(&self, call: IndexKey, from: usize) -> Option<usize> {
         (from..self.clauses.len()).find(|&i| self.clauses[i].key.may_match(call))
     }
 
     /// How many clauses may match `call`? (Runtime determinacy query: a
-    /// call with exactly one matching clause is *determinate*.)
+    /// call with exactly one matching clause is *determinate*.) O(1) from
+    /// the dispatch chains.
     pub fn match_count(&self, call: IndexKey) -> usize {
-        self.clauses
+        self.matching_chain(call).len()
+    }
+
+    /// The dispatch table for diagnostics (`:listing`): `(key, chain)`
+    /// pairs sorted by key text, followed by the var fallback chain.
+    pub fn index_buckets(&self) -> Vec<(String, Vec<u32>)> {
+        let mut out: Vec<(String, Vec<u32>)> = self
+            .index
+            .buckets
             .iter()
-            .filter(|c| c.key.may_match(call))
-            .count()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        out.sort();
+        out.push(("var (fallback)".into(), self.index.var_chain.clone()));
+        out
     }
 }
 
@@ -188,7 +297,7 @@ impl From<ReadError> for LoadError {
 /// `Arc<Database>`.
 #[derive(Debug, Default)]
 pub struct Database {
-    preds: HashMap<(Sym, u32), Predicate>,
+    preds: FxHashMap<(Sym, u32), Predicate>,
     /// `?- Goal` / `:- Goal` directives in source order, each as its own
     /// arena (same relocatable representation as clause bodies).
     directives: Vec<Arc<Clause>>,
@@ -223,12 +332,14 @@ impl Database {
                         continue;
                     }
                     let arena = rc.arena.clone();
+                    let code = CompiledCode::compile(&arena, Cell::Atom(wk().true_), goal);
                     self.directives.push(Arc::new(Clause {
                         arena,
                         head: Cell::Atom(wk().true_),
                         body: goal,
                         key: IndexKey::Any,
                         ordinal: self.directives.len(),
+                        code,
                     }));
                     continue;
                 }
@@ -245,7 +356,7 @@ impl Database {
         let pred = self.preds.entry(fa).or_default();
         let mut clause = clause;
         clause.ordinal = pred.clauses.len();
-        pred.clauses.push(Arc::new(clause));
+        pred.push(Arc::new(clause));
         Ok(())
     }
 
@@ -393,6 +504,64 @@ mod tests {
         assert_eq!(p.next_matching(key, 0), Some(0));
         assert_eq!(p.next_matching(key, 1), Some(2));
         assert_eq!(p.next_matching(key, 3), None);
+    }
+
+    #[test]
+    fn chain_dispatch_equals_linear_scan() {
+        let db = Database::load(
+            "p(a). p(b). p(42). p([H|T]) :- q(H, T). p([]). p(f(X)) :- r(X). p(Y) :- s(Y). p(a).",
+        )
+        .unwrap();
+        let p = db.predicate(sym("p"), 1).unwrap();
+        let keys = [
+            IndexKey::Any,
+            IndexKey::Atom(sym("a")),
+            IndexKey::Atom(sym("zz")),
+            IndexKey::Int(42),
+            IndexKey::Int(7),
+            IndexKey::List,
+            IndexKey::Nil,
+            IndexKey::Struct(sym("f"), 1),
+            IndexKey::Struct(sym("f"), 2),
+        ];
+        for key in keys {
+            for from in 0..=p.clauses.len() {
+                assert_eq!(
+                    p.next_matching(key, from),
+                    p.next_matching_scan(key, from),
+                    "key {key} from {from}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn match_count_served_from_buckets() {
+        // Regression for the O(clauses) determinacy probe: match_count is
+        // now chain.len(). Include a catch-all added *after* concrete
+        // clauses and concrete clauses added after the catch-all, so the
+        // incremental merge is exercised in both directions.
+        let db = Database::load("m(a). m(b). m(X) :- x(X). m(a). m(c).").unwrap();
+        let p = db.predicate(sym("m"), 1).unwrap();
+        assert_eq!(p.match_count(IndexKey::Atom(sym("a"))), 3); // 0, 2, 3
+        assert_eq!(p.match_count(IndexKey::Atom(sym("b"))), 2); // 1, 2
+        assert_eq!(p.match_count(IndexKey::Atom(sym("c"))), 2); // 2, 4
+        assert_eq!(p.match_count(IndexKey::Atom(sym("z"))), 1); // 2 only
+        assert_eq!(p.match_count(IndexKey::Any), 5);
+        assert_eq!(p.matching_chain(IndexKey::Atom(sym("a"))), &[0, 2, 3]);
+        assert_eq!(p.matching_chain(IndexKey::Int(9)), &[2]);
+    }
+
+    #[test]
+    fn index_buckets_are_reportable() {
+        let db = Database::load("p(a). p(f(X)) :- q(X). p(Y) :- r(Y).").unwrap();
+        let p = db.predicate(sym("p"), 1).unwrap();
+        let buckets = p.index_buckets();
+        assert!(buckets.iter().any(|(k, v)| k == "a" && v == &[0, 2]));
+        assert!(buckets.iter().any(|(k, v)| k == "f/1" && v == &[1, 2]));
+        assert!(buckets
+            .iter()
+            .any(|(k, v)| k.starts_with("var") && v == &[2]));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! A tiny non-cryptographic hasher for the engine's hot-path tables.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of nanoseconds
+//! per lookup — measurable when every `call_user` resolves a predicate and
+//! a switch-on-term bucket. The keys hashed here (interned symbol ids,
+//! arities, small integers) are engine-internal and never
+//! attacker-controlled, so the classic Fx multiply-mix (the compiler's own
+//! workhorse hasher) is the right trade: one rotate + xor + multiply per
+//! word.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher(u64);
+
+/// `HashMap`/`HashSet` build-hasher plugging [`FxHasher`] in.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by engine-internal values (symbols, arities, index
+/// keys) using the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` over engine-internal values using the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let h = |k: (u32, u32)| {
+            let mut s = FxHasher::default();
+            s.write_u32(k.0);
+            s.write_u32(k.1);
+            s.finish()
+        };
+        assert_ne!(h((1, 2)), h((2, 1)));
+        assert_ne!(h((0, 0)), h((0, 1)));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<(u32, u32), &str> = FxHashMap::default();
+        m.insert((7, 2), "member/2");
+        m.insert((7, 3), "member/3");
+        assert_eq!(m.get(&(7, 2)), Some(&"member/2"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh-tail");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefgh-tali");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -25,8 +25,10 @@
 //! engine (`ace-or`) are all built on these types.
 
 pub mod canon;
+pub mod code;
 pub mod copy;
 pub mod db;
+pub mod fxhash;
 pub mod heap;
 pub mod read;
 pub mod sym;
@@ -35,6 +37,9 @@ pub mod unify;
 pub mod write;
 
 pub use canon::{CanonKey, TermArena};
+pub use code::{
+    run_head, BodyStep, CompiledBody, CompiledCode, ExecCost, Instr, StepKind, StepTemplate,
+};
 pub use db::{Clause, Database, IndexKey, Predicate};
 pub use heap::{Addr, Cell, Heap, TrailMark};
 pub use read::{parse_program, parse_term, ReadError};

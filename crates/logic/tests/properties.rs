@@ -302,6 +302,130 @@ proptest! {
         prop_assert_eq!(shares(&dst, thawed), shares(&src, tuple));
     }
 
+    /// Switch-on-term index soundness and exactness. For a random
+    /// predicate and a random call argument:
+    /// * the bucket-chain walk (`next_matching`) enumerates exactly the
+    ///   same clause ordinals as the literal linear scan the interpreter
+    ///   oracle charges for (`next_matching_scan`);
+    /// * `match_count` agrees with that enumeration;
+    /// * every clause whose head actually unifies with the call is in the
+    ///   enumeration (the index may over-approximate, never drop).
+    #[test]
+    fn index_chain_is_sound_and_equals_scan(
+        heads in prop::collection::vec(term_strategy(), 1..8),
+        goal in term_strategy(),
+    ) {
+        use ace_logic::db::{Database, IndexKey};
+
+        let mut src_txt = String::new();
+        for (i, h) in heads.iter().enumerate() {
+            let mut sh = Heap::new();
+            let mut vars = Vec::new();
+            let c = build(&mut sh, h, &mut vars);
+            src_txt.push_str(&format!("p({}, {i}).\n", term_to_string(&sh, c)));
+        }
+        let db = Database::load(&src_txt)
+            .map_err(|e| TestCaseError::fail(format!("load failed: {e}\n{src_txt}")))?;
+        let pred = db.predicate(sym("p"), 2).unwrap();
+
+        let mut gh = Heap::new();
+        let mut gvars = Vec::new();
+        let g = build(&mut gh, &goal, &mut gvars);
+        let key = IndexKey::of(&gh, g);
+
+        let enumerate = |next: &dyn Fn(IndexKey, usize) -> Option<usize>| {
+            let mut v = Vec::new();
+            let mut from = 0;
+            while let Some(i) = next(key, from) {
+                v.push(i);
+                from = i + 1;
+            }
+            v
+        };
+        let chain = enumerate(&|k, f| pred.next_matching(k, f));
+        let scan = enumerate(&|k, f| pred.next_matching_scan(k, f));
+        prop_assert_eq!(&chain, &scan);
+        prop_assert_eq!(chain.len(), pred.match_count(key));
+
+        for (ord, clause) in pred.clauses.iter().enumerate() {
+            let mut h = Heap::new();
+            let mut gv = Vec::new();
+            let garg = build(&mut h, &goal, &mut gv);
+            let out = h.new_var();
+            let call = h.new_struct(sym("p"), &[garg, out]);
+            let (head, _body) = clause.instantiate(&mut h);
+            if unify(&mut h, call, head).is_some() {
+                prop_assert!(
+                    chain.contains(&ord),
+                    "clause {ord} unifies but is not in chain {chain:?} for key {key:?}\n{src_txt}"
+                );
+            }
+        }
+    }
+
+    /// Compiled head code is an exact drop-in for the interpreter's
+    /// instantiate-then-unify: same success/failure on every clause, and
+    /// on success the call term is bound to a variant-identical instance.
+    #[test]
+    fn compiled_head_matches_like_interpreter(
+        heads in prop::collection::vec(term_strategy(), 1..6),
+        goal in term_strategy(),
+    ) {
+        use ace_logic::db::Database;
+        use ace_logic::{run_head, CanonKey};
+
+        let mut src_txt = String::new();
+        for (i, h) in heads.iter().enumerate() {
+            let mut sh = Heap::new();
+            let mut vars = Vec::new();
+            let c = build(&mut sh, h, &mut vars);
+            src_txt.push_str(&format!("p({}, {i}).\n", term_to_string(&sh, c)));
+        }
+        let db = Database::load(&src_txt)
+            .map_err(|e| TestCaseError::fail(format!("load failed: {e}\n{src_txt}")))?;
+        let pred = db.predicate(sym("p"), 2).unwrap();
+
+        for clause in pred.clauses.iter() {
+            // Interpreter oracle: copy the whole head out of the clause
+            // arena, then general unification against the call.
+            let mut h1 = Heap::new();
+            let mut gv1 = Vec::new();
+            let g1 = build(&mut h1, &goal, &mut gv1);
+            let out1 = h1.new_var();
+            let call1 = h1.new_struct(sym("p"), &[g1, out1]);
+            let (head, _body) = clause.instantiate(&mut h1);
+            let ok1 = unify(&mut h1, call1, head).is_some();
+
+            // Compiled: run the register code against the call in place.
+            let mut h2 = Heap::new();
+            let mut gv2 = Vec::new();
+            let g2 = build(&mut h2, &goal, &mut gv2);
+            let out2 = h2.new_var();
+            let call2 = h2.new_struct(sym("p"), &[g2, out2]);
+            let Cell::Str(hdr) = h2.deref(call2) else {
+                return Err(TestCaseError::fail("call must be a struct"));
+            };
+            let mut slots = Vec::new();
+            let (ok2, _cost) = run_head(&mut h2, clause.code(), Some(hdr), &mut slots);
+
+            prop_assert!(
+                ok1 == ok2,
+                "match disagreement on\n{}\ncall {}",
+                src_txt,
+                term_to_string(&h1, call1)
+            );
+            if ok1 {
+                prop_assert!(
+                    CanonKey::of(&h2, call2) == CanonKey::of(&h1, call1),
+                    "bindings diverge on\n{}\ninterp {} vs compiled {}",
+                    src_txt,
+                    term_to_string(&h1, call1),
+                    term_to_string(&h2, call2)
+                );
+            }
+        }
+    }
+
     /// Unwind/rewind is an exact inverse pair even interleaved with reads.
     #[test]
     fn unwind_rewind_identity(a in term_strategy(), b in term_strategy()) {

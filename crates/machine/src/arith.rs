@@ -109,12 +109,10 @@ fn binop(f: Sym, a: i64, b: i64) -> Result<i64, ArithError> {
     }
 }
 
-/// Evaluate both sides of an arithmetic comparison and apply it.
-pub fn compare(heap: &Heap, op: Sym, lhs: Cell, rhs: Cell) -> Result<(bool, usize), ArithError> {
-    let (a, o1) = eval(heap, lhs)?;
-    let (b, o2) = eval(heap, rhs)?;
+/// Apply a comparison operator to two evaluated integers.
+pub(crate) fn cmp_apply(op: Sym, a: i64, b: i64) -> Option<bool> {
     let w = wk();
-    let r = if op == w.arith_eq {
+    Some(if op == w.arith_eq {
         a == b
     } else if op == w.arith_ne {
         a != b
@@ -127,9 +125,92 @@ pub fn compare(heap: &Heap, op: Sym, lhs: Cell, rhs: Cell) -> Result<(bool, usiz
     } else if op == w.ge {
         a >= b
     } else {
-        return Err(ArithError::NotEvaluable(op.name()));
-    };
-    Ok((r, o1 + o2 + 1))
+        return None;
+    })
+}
+
+/// Evaluate both sides of an arithmetic comparison and apply it.
+pub fn compare(heap: &Heap, op: Sym, lhs: Cell, rhs: Cell) -> Result<(bool, usize), ArithError> {
+    let (a, o1) = eval(heap, lhs)?;
+    let (b, o2) = eval(heap, rhs)?;
+    match cmp_apply(op, a, b) {
+        Some(r) => Ok((r, o1 + o2 + 1)),
+        None => Err(ArithError::NotEvaluable(op.name())),
+    }
+}
+
+/// Evaluate an expression held in a compiled body template without
+/// materializing it: template-internal structure is walked directly,
+/// slot-reference leaves read the registers captured by the head code
+/// (dereferencing any heap term they hold). Returns `None` — "bail to the
+/// generic path" — on anything unusual: an unset/unbound/non-numeric
+/// leaf, an unknown operator, or an arithmetic fault. The generic path
+/// then reproduces the interpreter's exact error or failure.
+pub(crate) fn eval_template(
+    cells: &[ace_logic::Cell],
+    c: ace_logic::Cell,
+    slots: &[ace_logic::Cell],
+    heap: &Heap,
+) -> Option<(i64, u64)> {
+    let mut ops = 0u64;
+    let v = eval_template_inner(cells, c, slots, heap, &mut ops).ok()?;
+    Some((v, ops))
+}
+
+fn eval_template_inner(
+    cells: &[Cell],
+    c: Cell,
+    slots: &[Cell],
+    heap: &Heap,
+    ops: &mut u64,
+) -> Result<i64, ()> {
+    use ace_logic::code::{SLOT_BASE, UNSET_SLOT};
+    match c {
+        Cell::Int(i) => Ok(i),
+        Cell::Ref(a) if a.0 >= SLOT_BASE && c != UNSET_SLOT => {
+            let s = *slots.get((a.0 - SLOT_BASE) as usize).ok_or(())?;
+            if s == UNSET_SLOT {
+                return Err(());
+            }
+            match heap.deref(s) {
+                Cell::Int(i) => Ok(i),
+                Cell::Str(_) => {
+                    // A variable bound to a compound expression: fall back
+                    // to the heap-walking evaluator for this subtree.
+                    let (v, o) = eval(heap, s).map_err(|_| ())?;
+                    *ops += o as u64;
+                    Ok(v)
+                }
+                _ => Err(()),
+            }
+        }
+        Cell::Str(h) => {
+            let Cell::Functor(f, n) = cells[h.0 as usize] else {
+                return Err(());
+            };
+            *ops += 1;
+            let w = wk();
+            let arg = |i: u32| cells[(h.0 + 1 + i) as usize];
+            match n {
+                1 if f == w.minus => eval_template_inner(cells, arg(0), slots, heap, ops)?
+                    .checked_neg()
+                    .ok_or(()),
+                1 if f == w.plus => eval_template_inner(cells, arg(0), slots, heap, ops),
+                1 if f == w.abs => eval_template_inner(cells, arg(0), slots, heap, ops)?
+                    .checked_abs()
+                    .ok_or(()),
+                2 => {
+                    let a = eval_template_inner(cells, arg(0), slots, heap, ops)?;
+                    let b = eval_template_inner(cells, arg(1), slots, heap, ops)?;
+                    binop(f, a, b).map_err(|_| ())
+                }
+                _ => Err(()),
+            }
+        }
+        // Template self-references (single-occurrence variables), atoms,
+        // lists: not arithmetic.
+        _ => Err(()),
+    }
 }
 
 #[cfg(test)]

@@ -15,9 +15,36 @@ use crate::arith;
 use crate::frames::{Alts, ChoicePoint};
 use crate::machine::{Machine, Status};
 
+/// Builtins not in the well-known table, interned once: `dispatch` runs
+/// on every goal that falls through to user-predicate resolution, so it
+/// must not pay the interner's lock + string hash per probe.
+struct ExtraSyms {
+    tab: Sym,
+    findall: Sym,
+    msort: Sym,
+    sort: Sym,
+    reverse: Sym,
+    nth1: Sym,
+    answer: Sym,
+}
+
+fn extra() -> &'static ExtraSyms {
+    static S: std::sync::OnceLock<ExtraSyms> = std::sync::OnceLock::new();
+    S.get_or_init(|| ExtraSyms {
+        tab: sym("tab"),
+        findall: sym("findall"),
+        msort: sym("msort"),
+        sort: sym("sort"),
+        reverse: sym("reverse"),
+        nth1: sym("nth1"),
+        answer: sym("$answer"),
+    })
+}
+
 /// Try to execute `f/n` (with argument block at `hdr`) as a builtin.
 pub(crate) fn dispatch(m: &mut Machine, f: Sym, n: u32, hdr: Addr) -> Option<Status> {
     let w = wk();
+    let xs = extra();
     let s = match (f, n) {
         (x, 2) if x == w.unify => builtin_unify(m, hdr),
         (x, 2) if x == w.not_unify => builtin_not_unify(m, hdr),
@@ -53,13 +80,13 @@ pub(crate) fn dispatch(m: &mut Machine, f: Sym, n: u32, hdr: Addr) -> Option<Sta
         }
         (x, 1) if x == w.write => builtin_write(m, hdr, false),
         (x, 1) if x == w.writeln => builtin_write(m, hdr, true),
-        (x, 1) if x == sym("tab") => builtin_tab(m, hdr),
-        (x, 3) if x == sym("findall") => builtin_findall(m, hdr),
-        (x, 2) if x == sym("msort") => builtin_sort(m, hdr, false),
-        (x, 2) if x == sym("sort") => builtin_sort(m, hdr, true),
-        (x, 2) if x == sym("reverse") => builtin_reverse(m, hdr),
-        (x, 3) if x == sym("nth1") => builtin_nth1(m, hdr),
-        (x, 1) if x == sym("$answer") => builtin_answer(m, hdr),
+        (x, 1) if x == xs.tab => builtin_tab(m, hdr),
+        (x, 3) if x == xs.findall => builtin_findall(m, hdr),
+        (x, 2) if x == xs.msort => builtin_sort(m, hdr, false),
+        (x, 2) if x == xs.sort => builtin_sort(m, hdr, true),
+        (x, 2) if x == xs.reverse => builtin_reverse(m, hdr),
+        (x, 3) if x == xs.nth1 => builtin_nth1(m, hdr),
+        (x, 1) if x == xs.answer => builtin_answer(m, hdr),
         _ => return None,
     };
     Some(s)
@@ -77,6 +104,7 @@ fn builtin_findall(m: &mut Machine, hdr: Addr) -> Status {
     let bag = m.heap.str_arg(hdr, 2);
 
     let mut sub = Machine::new(m.db().clone(), m.costs().clone());
+    sub.set_clause_exec(m.clause_exec());
     // ship template+goal jointly so they keep sharing variables
     let pair = m.heap.new_struct(sym("$findall"), &[template, goal]);
     let out = ace_logic::copy::copy_term(&m.heap, pair, &mut sub.heap);

@@ -5,14 +5,18 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ace_logic::db::{Database, IndexKey};
+use ace_logic::db::{Database, IndexKey, Predicate};
 use ace_logic::sym::{sym, wk};
 use ace_logic::term::{view, TermView};
 use ace_logic::unify::unify;
 use ace_logic::write::term_to_string;
-use ace_logic::{CanonKey, Cell, Heap, Sym, TermArena, TrailMark};
+use ace_logic::{
+    run_head, CanonKey, Cell, CompiledBody, Heap, StepKind, Sym, TermArena, TrailMark,
+};
 use ace_memo::{MemoEntry, MemoTable, PublishOutcome};
-use ace_runtime::{CancelToken, CostModel, EventKind, Stats};
+
+use crate::arith;
+use ace_runtime::{CancelToken, ClauseExec, CostModel, EventKind, Stats};
 use ace_table::{RegisterOutcome, TableEntry, TableSpace};
 
 use crate::cont::{self, Cont};
@@ -52,6 +56,18 @@ pub enum Status {
     Error(String),
 }
 
+/// Result of attempting one compiled body step inline (see
+/// [`Machine::inline_step`]).
+enum StepOutcome {
+    /// Step executed; move to the next conjunct.
+    Ok,
+    /// A deterministic test failed — the body fails here, and nothing
+    /// after this conjunct was ever materialized.
+    Fail,
+    /// Hand this step (and the rest) to the generic machinery.
+    NotInline,
+}
+
 static PARCALL_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// If `goal` is an `$inline_barrier(Id)` term, return the frame id.
@@ -83,6 +99,21 @@ fn inline_barrier_sym() -> Sym {
 fn memo_store_sym() -> Sym {
     static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
     *S.get_or_init(|| sym("$memo_store"))
+}
+
+/// Interned `$body` (compiled-body continuation marker: remaining steps of
+/// a clause body, materialized one goal at a time).
+fn body_step_sym() -> Sym {
+    static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *S.get_or_init(|| sym("$body"))
+}
+
+/// Interned `$slots` (frozen slot registers referenced by `$body` markers;
+/// a plain structure so closures and state copying relocate it like any
+/// term).
+fn body_slots_sym() -> Sym {
+    static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *S.get_or_init(|| sym("$slots"))
 }
 
 /// Interned `$table_answer` (answer-insertion marker of a tabled
@@ -242,6 +273,16 @@ pub struct Machine {
     /// index of the generator choice point). Drives dfn/minlink SCC
     /// completion and the or-engine's publication floor.
     table_gen_stack: Vec<(usize, usize)>,
+    /// Execute clause heads through the compiled register code cache
+    /// (default) or through the tree-walking interpreter oracle
+    /// (instantiate + general unify, linear clause scan).
+    compiled: bool,
+    /// Buffer [`EventKind::ClauseDispatch`]/[`EventKind::ClauseRetry`]
+    /// events onto `memo_events` (off unless the trace config asks).
+    dispatch_trace: bool,
+    /// Reusable register file for compiled head execution (cleared and
+    /// resized per clause; kept across calls to avoid reallocation).
+    code_slots: Vec<Cell>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -284,7 +325,32 @@ impl Machine {
             table_subgoals: Vec::new(),
             table_index: HashMap::new(),
             table_gen_stack: Vec::new(),
+            compiled: true,
+            dispatch_trace: false,
+            code_slots: Vec::new(),
         }
+    }
+
+    /// Select compiled (default) or interpreted clause execution. The
+    /// interpreter is the validation oracle: linear clause scan, arena
+    /// block-copy instantiation, general head unification — the exact
+    /// pre-compilation execution path.
+    pub fn set_clause_exec(&mut self, mode: ClauseExec) {
+        self.compiled = matches!(mode, ClauseExec::Compiled);
+    }
+
+    pub fn clause_exec(&self) -> ClauseExec {
+        if self.compiled {
+            ClauseExec::Compiled
+        } else {
+            ClauseExec::Interpreted
+        }
+    }
+
+    /// Buffer per-call [`EventKind::ClauseDispatch`] and per-retry
+    /// [`EventKind::ClauseRetry`] events (drained with the memo events).
+    pub fn set_dispatch_trace(&mut self, on: bool) {
+        self.dispatch_trace = on;
     }
 
     /// Cost charged by this machine since the last call (engines surface
@@ -354,6 +420,9 @@ impl Machine {
         self.table_subgoals.clear();
         self.table_index.clear();
         self.table_gen_stack.clear();
+        // The clause-execution mode survives reset (pooled machines keep
+        // the engine's configured mode); the register file is scratch.
+        self.code_slots.clear();
     }
 
     // ------------------------------------------------------------------
@@ -725,7 +794,7 @@ impl Machine {
             minlink: idx as u32,
         });
 
-        let Some(first) = pred.next_matching(ikey, 0) else {
+        let Some(first) = self.pred_next(pred, ikey, 0) else {
             // No clause can match: the subgoal completes empty here.
             self.table_complete_frame(idx);
             return self.backtrack();
@@ -1433,7 +1502,7 @@ impl Machine {
         if self.status != Status::Running {
             return self.status.clone();
         }
-        let Some(node) = self.cont.clone() else {
+        let Some(node) = self.cont.take() else {
             self.status = Status::Solution;
             self.stats.solutions += 1;
             return Status::Solution;
@@ -1513,6 +1582,8 @@ impl Machine {
                     };
                     self.status = Status::InlineBarrier(fid as u64);
                     self.status.clone()
+                } else if f == body_step_sym() && n == 3 {
+                    self.compiled_body_step(hdr, barrier)
                 } else if f == memo_store_sym() && n == 2 {
                     let Cell::Int(idx) = self.heap.deref(self.heap.str_arg(hdr, 0)) else {
                         unreachable!("malformed memo-store marker")
@@ -1675,10 +1746,34 @@ impl Machine {
             Some(h) if arity > 0 => IndexKey::of(&self.heap, self.heap.str_arg(h, 0)),
             _ => IndexKey::Any,
         };
-        let Some(first) = pred.next_matching(key, 0) else {
-            return self.backtrack();
+        // Switch-on-term dispatch: one bucket fetch serves the candidate
+        // count and the first two alternatives; clauses outside the chain
+        // are never visited at all. (The interpreter oracle instead pays a
+        // charged linear scan through `pred_next`.)
+        let (first, second) = if self.compiled {
+            let chain = pred.matching_chain(key);
+            let candidates = chain.len();
+            self.stats.clauses_skipped_by_index += (pred.clauses.len() - candidates) as u64;
+            if candidates == 1 {
+                self.stats.index_determinate_calls += 1;
+            }
+            if self.dispatch_trace {
+                self.memo_events.push(EventKind::ClauseDispatch {
+                    pred: format!("{}/{arity}", name.name()),
+                    candidates,
+                    determinate: candidates == 1,
+                });
+            }
+            let Some(&first) = chain.first() else {
+                return self.backtrack();
+            };
+            (first as usize, chain.get(1).map(|&o| o as usize))
+        } else {
+            let Some(first) = self.pred_next(pred, key, 0) else {
+                return self.backtrack();
+            };
+            (first, self.pred_next(pred, key, first + 1))
         };
-        let second = pred.next_matching(key, first + 1);
         let barrier_at_call = self.ctrl.len() as u32;
         if let Some(next) = second {
             self.push_choice(ChoicePoint {
@@ -1696,17 +1791,38 @@ impl Machine {
                 shared: None,
             });
         }
-        if self.try_clause(name, arity, first, goal, barrier_at_call) {
+        if self.try_clause_in(pred, name, arity, first, goal, barrier_at_call) {
             Status::Running
         } else {
             self.backtrack()
         }
     }
 
-    /// Instantiate clause `idx` of `name/arity` and unify its head with
-    /// `goal`; on success push the body. Returns success. On failure the
-    /// partial bindings are undone (heap garbage is reclaimed by the next
-    /// choice-point restore).
+    /// Mode-aware clause lookup: the compiled path binary-searches the
+    /// switch-on-term bucket chain (no per-clause work); the interpreter
+    /// oracle runs the pre-indexing linear scan and pays `index_scan` per
+    /// clause visited. Both return the *same* ordinal sequence — the
+    /// chains are built to mirror the scan exactly.
+    fn pred_next(&mut self, pred: &Predicate, key: IndexKey, from: usize) -> Option<usize> {
+        if self.compiled {
+            pred.next_matching(key, from)
+        } else {
+            let found = pred.next_matching_scan(key, from);
+            let visited = match found {
+                Some(f) => (f - from + 1) as u64,
+                None => pred.clauses.len().saturating_sub(from) as u64,
+            };
+            self.charge(visited * self.costs.index_scan);
+            found
+        }
+    }
+
+    /// Run clause `idx` of `name/arity` against `goal`; on success push
+    /// the body. Returns success. On failure the partial bindings are
+    /// undone (heap garbage is reclaimed by the next choice-point
+    /// restore). Dispatches to the compiled register code by default, or
+    /// to the tree-walking interpreter oracle under
+    /// [`ClauseExec::Interpreted`].
     pub(crate) fn try_clause(
         &mut self,
         name: Sym,
@@ -1717,7 +1833,25 @@ impl Machine {
     ) -> bool {
         let db = self.db.clone();
         let pred = db.predicate(name, arity).expect("predicate vanished");
-        let clause = &pred.clauses[idx];
+        self.try_clause_in(pred, name, arity, idx, goal, body_barrier)
+    }
+
+    /// [`Machine::try_clause`] with the predicate already in hand —
+    /// `call_user` has just fetched it for the index dispatch, so the
+    /// first clause attempt skips the second database lookup.
+    fn try_clause_in(
+        &mut self,
+        pred: &Predicate,
+        name: Sym,
+        arity: u32,
+        idx: usize,
+        goal: Cell,
+        body_barrier: u32,
+    ) -> bool {
+        let clause = Arc::clone(&pred.clauses[idx]);
+        if self.compiled {
+            return self.try_clause_compiled(name, arity, idx, &clause, goal, body_barrier);
+        }
         let pre_trail = self.heap.trail_mark();
         let (head, body) = clause.instantiate(&mut self.heap);
         let cells = clause.arena_len() as u64;
@@ -1738,6 +1872,376 @@ impl Machine {
                 false
             }
         }
+    }
+
+    /// Compiled clause execution: run the head's register code against
+    /// the goal's argument cells (matching in place — no clause-arena
+    /// copy), then run the body *neck* inline — arithmetic guards, `is`,
+    /// and `=` execute straight off the step templates and slot
+    /// registers, materializing nothing. A failing guard costs only the
+    /// head match. An arithmetic if-then-else picks its branch here with
+    /// no choice point. Only the first non-inlinable goal is built on the
+    /// heap; any steps after it ride behind a `$body` continuation marker
+    /// and are materialized one at a time as the resolvent reaches them.
+    fn try_clause_compiled(
+        &mut self,
+        name: Sym,
+        arity: u32,
+        idx: usize,
+        clause: &ace_logic::db::Clause,
+        goal: Cell,
+        body_barrier: u32,
+    ) -> bool {
+        let code = clause.code();
+        let hdr = match self.heap.deref(goal) {
+            Cell::Str(h) => Some(h),
+            _ => None,
+        };
+        let pre_trail = self.heap.trail_mark();
+        let mut slots = std::mem::take(&mut self.code_slots);
+        let (ok, cost) = run_head(&mut self.heap, code, hdr, &mut slots);
+        self.stats.code_cache_hits += 1;
+        self.stats.heap_cells += cost.cells;
+        self.stats.unify_steps += cost.unify_steps;
+        self.charge(
+            cost.instrs * self.costs.instr
+                + cost.cells * self.costs.heap_cell
+                + cost.unify_steps * self.costs.unify_step,
+        );
+        let ok = if ok {
+            match code.body() {
+                CompiledBody::Fact => {
+                    self.status = Status::Running;
+                    true
+                }
+                CompiledBody::Steps(_) => self.run_body_neck(
+                    code,
+                    0,
+                    name,
+                    arity,
+                    idx,
+                    &mut slots,
+                    body_barrier,
+                    pre_trail,
+                ),
+                CompiledBody::IfThenElse { cond, .. } => {
+                    // Decide the branch now, with no choice point: the
+                    // test is deterministic and binds nothing, so the
+                    // generic machinery would cut the else-alternative
+                    // immediately anyway.
+                    let h = match cond.root {
+                        Cell::Str(h) => h.0 as usize,
+                        _ => unreachable!("if-then-else condition is a struct"),
+                    };
+                    let a =
+                        arith::eval_template(&cond.cells, cond.cells[h + 1], &slots, &self.heap);
+                    let b =
+                        arith::eval_template(&cond.cells, cond.cells[h + 2], &slots, &self.heap);
+                    match (a, b) {
+                        (Some((a, o1)), Some((b, o2))) => {
+                            let CompiledBody::IfThenElse { cond_op, .. } = code.body() else {
+                                unreachable!()
+                            };
+                            let taken = arith::cmp_apply(*cond_op, a, b).expect("compiled test op");
+                            self.charge(self.costs.instr + (o1 + o2 + 1) * self.costs.arith_op);
+                            let branch = if taken { 1 } else { 2 };
+                            self.run_body_neck(
+                                code,
+                                branch,
+                                name,
+                                arity,
+                                idx,
+                                &mut slots,
+                                body_barrier,
+                                pre_trail,
+                            )
+                        }
+                        _ => {
+                            // An operand is unbound or non-numeric: rebuild
+                            // the whole if-then-else and let the generic
+                            // control machinery raise the interpreter's
+                            // exact error (or run a non-arithmetic path).
+                            let (body, cells) = code.instantiate_body(&mut self.heap, &mut slots);
+                            self.stats.heap_cells += cells as u64;
+                            self.charge(cells as u64 * self.costs.heap_cell);
+                            self.cont = cont::push(&self.cont, body, body_barrier);
+                            self.status = Status::Running;
+                            true
+                        }
+                    }
+                }
+            }
+        } else {
+            let undone = self.heap.undo_to(pre_trail);
+            self.stats.trail_undos += undone as u64;
+            self.charge(undone as u64 * self.costs.trail_undo);
+            false
+        };
+        self.code_slots = slots;
+        self.code_slots.clear();
+        ok
+    }
+
+    /// Execute the leading inline-able steps of `branch` directly off the
+    /// templates (the clause "neck"), then push the first real goal and —
+    /// only if more than one goal remains — a `$body` marker carrying the
+    /// frozen slot registers. Returns false (after undoing head bindings)
+    /// if an inline guard fails.
+    #[allow(clippy::too_many_arguments)]
+    fn run_body_neck(
+        &mut self,
+        code: &ace_logic::CompiledCode,
+        branch: u8,
+        name: Sym,
+        arity: u32,
+        idx: usize,
+        slots: &mut [Cell],
+        barrier: u32,
+        pre_trail: TrailMark,
+    ) -> bool {
+        let steps = code.steps(branch);
+        let mut k = 0usize;
+        while k < steps.len() {
+            match self.inline_step(code, &steps[k], slots) {
+                StepOutcome::Ok => k += 1,
+                StepOutcome::Fail => {
+                    let undone = self.heap.undo_to(pre_trail);
+                    self.stats.trail_undos += undone as u64;
+                    self.charge(undone as u64 * self.costs.trail_undo);
+                    return false;
+                }
+                StepOutcome::NotInline => break,
+            }
+        }
+        if k < steps.len() {
+            let cells = code.init_fresh_slots(&mut self.heap, slots);
+            self.stats.heap_cells += cells as u64;
+            self.charge(cells as u64 * self.costs.heap_cell);
+            if k + 1 < steps.len() {
+                let slots_t = self.make_slots_term(code, slots);
+                let marker = self.make_body_marker(name, arity, idx, branch, k + 1, slots_t);
+                self.cont = cont::push(&self.cont, marker, barrier);
+            }
+            let (g, cells) = steps[k].tpl.instantiate(&mut self.heap, slots);
+            self.stats.heap_cells += cells as u64;
+            self.charge(cells as u64 * self.costs.heap_cell);
+            self.cont = cont::push(&self.cont, g, barrier);
+        }
+        self.status = Status::Running;
+        true
+    }
+
+    /// Try to run one body step without materializing it. `Fail` means a
+    /// deterministic test failed (caller backtracks as if the clause body
+    /// failed at that conjunct — nothing after it was ever built);
+    /// `NotInline` means the step needs the generic machinery (a user
+    /// goal, or an operand shape the inline evaluator bails on — the
+    /// materialized form then reproduces interpreter errors exactly).
+    fn inline_step(
+        &mut self,
+        code: &ace_logic::CompiledCode,
+        st: &ace_logic::BodyStep,
+        slots: &mut [Cell],
+    ) -> StepOutcome {
+        use ace_logic::code::{SLOT_BASE, UNSET_SLOT};
+        match st.kind {
+            StepKind::Goal => StepOutcome::NotInline,
+            StepKind::Compare(op) => {
+                let h = match st.tpl.root {
+                    Cell::Str(h) => h.0 as usize,
+                    _ => return StepOutcome::NotInline,
+                };
+                let a = arith::eval_template(&st.tpl.cells, st.tpl.cells[h + 1], slots, &self.heap);
+                let b = arith::eval_template(&st.tpl.cells, st.tpl.cells[h + 2], slots, &self.heap);
+                match (a, b) {
+                    (Some((a, o1)), Some((b, o2))) => {
+                        self.charge(self.costs.instr + (o1 + o2 + 1) * self.costs.arith_op);
+                        match arith::cmp_apply(op, a, b) {
+                            Some(true) => StepOutcome::Ok,
+                            Some(false) => StepOutcome::Fail,
+                            None => StepOutcome::NotInline,
+                        }
+                    }
+                    _ => StepOutcome::NotInline,
+                }
+            }
+            StepKind::Is => {
+                let h = match st.tpl.root {
+                    Cell::Str(h) => h.0 as usize,
+                    _ => return StepOutcome::NotInline,
+                };
+                let Some((v, ops)) =
+                    arith::eval_template(&st.tpl.cells, st.tpl.cells[h + 2], slots, &self.heap)
+                else {
+                    return StepOutcome::NotInline;
+                };
+                self.charge(self.costs.instr + ops * self.costs.arith_op);
+                match st.tpl.cells[h + 1] {
+                    Cell::Ref(a) if a.0 >= SLOT_BASE && a.0 != u32::MAX => {
+                        let s = (a.0 - SLOT_BASE) as usize;
+                        if slots[s] == UNSET_SLOT {
+                            // First binding of a body-fresh variable: the
+                            // value lives in the register alone — no heap
+                            // cell, no trail entry, nothing to undo.
+                            slots[s] = Cell::Int(v);
+                            StepOutcome::Ok
+                        } else {
+                            let cell = slots[s];
+                            match unify(&mut self.heap, cell, Cell::Int(v)) {
+                                Some(steps) => {
+                                    self.stats.unify_steps += steps as u64;
+                                    self.charge(steps as u64 * self.costs.unify_step);
+                                    StepOutcome::Ok
+                                }
+                                None => StepOutcome::Fail,
+                            }
+                        }
+                    }
+                    // Single-occurrence result variable: value discarded.
+                    Cell::Ref(_) => StepOutcome::Ok,
+                    Cell::Int(i) => {
+                        if i == v {
+                            StepOutcome::Ok
+                        } else {
+                            StepOutcome::Fail
+                        }
+                    }
+                    _ => StepOutcome::NotInline,
+                }
+            }
+            StepKind::Unify => {
+                // Materialize the operands, then unify in place — skips
+                // the dispatch round and the builtin table lookup.
+                let cells = code.init_fresh_slots(&mut self.heap, slots);
+                self.stats.heap_cells += cells as u64;
+                self.charge(cells as u64 * self.costs.heap_cell);
+                let (g, n) = st.tpl.instantiate(&mut self.heap, slots);
+                self.stats.heap_cells += n as u64;
+                self.charge(n as u64 * self.costs.heap_cell + self.costs.instr);
+                let Cell::Str(gh) = self.heap.deref(g) else {
+                    return StepOutcome::NotInline;
+                };
+                let a = self.heap.str_arg(gh, 0);
+                let b = self.heap.str_arg(gh, 1);
+                match unify(&mut self.heap, a, b) {
+                    Some(steps) => {
+                        self.stats.unify_steps += steps as u64;
+                        self.charge(steps as u64 * self.costs.unify_step);
+                        StepOutcome::Ok
+                    }
+                    None => StepOutcome::Fail,
+                }
+            }
+        }
+    }
+
+    /// Freeze the slot registers into a `$slots/n` structure so the
+    /// `$body` marker survives term copying (closures, or-engine state
+    /// shipping, tabling freeze/thaw) like any other term.
+    fn make_slots_term(&mut self, code: &ace_logic::CompiledCode, slots: &[Cell]) -> Cell {
+        if code.nslots() == 0 {
+            return Cell::Nil;
+        }
+        let t = self
+            .heap
+            .new_struct(body_slots_sym(), &slots[..code.nslots()]);
+        let cells = code.nslots() as u64 + 1;
+        self.stats.heap_cells += cells;
+        self.charge(cells * self.costs.heap_cell);
+        t
+    }
+
+    /// Build a `$body(Pack1, Pack2, Slots)` continuation marker: clause
+    /// identity packed as `name<<32|arity` and `idx<<32|branch<<24|step`.
+    /// The clause DB is immutable (no assert/retract), so the index stays
+    /// valid for the marker's whole lifetime.
+    #[allow(clippy::too_many_arguments)]
+    fn make_body_marker(
+        &mut self,
+        name: Sym,
+        arity: u32,
+        idx: usize,
+        branch: u8,
+        step: usize,
+        slots_term: Cell,
+    ) -> Cell {
+        let p1 = Cell::Int(((name.index() as i64) << 32) | arity as i64);
+        let p2 = Cell::Int(((idx as i64) << 32) | ((branch as i64) << 24) | step as i64);
+        let t = self.heap.new_struct(body_step_sym(), &[p1, p2, slots_term]);
+        self.stats.heap_cells += 4;
+        self.charge(4 * self.costs.heap_cell);
+        t
+    }
+
+    /// A `$body` marker reached the front of the resolvent: reload the
+    /// frozen slots, run any inline-able steps, then materialize and
+    /// dispatch the next real goal (re-pushing a marker for whatever still
+    /// remains). Backtracking into the middle of a body needs no special
+    /// case: the choice point snapshotted the continuation *before* the
+    /// marker existed, so retry starts from the clause head as usual.
+    fn compiled_body_step(&mut self, hdr: ace_logic::Addr, barrier: u32) -> Status {
+        let Cell::Int(p1) = self.heap.deref(self.heap.str_arg(hdr, 0)) else {
+            unreachable!("malformed $body marker");
+        };
+        let Cell::Int(p2) = self.heap.deref(self.heap.str_arg(hdr, 1)) else {
+            unreachable!("malformed $body marker");
+        };
+        let slots_t = self.heap.str_arg(hdr, 2);
+        let name = Sym((p1 >> 32) as u32);
+        let arity = (p1 & 0xffff_ffff) as u32;
+        let idx = (p2 >> 32) as usize;
+        let branch = ((p2 >> 24) & 0xff) as u8;
+        let from = (p2 & 0xff_ffff) as usize;
+        let db = self.db.clone();
+        let pred = db
+            .predicate(name, arity)
+            .expect("marker predicate vanished");
+        let clause = Arc::clone(&pred.clauses[idx]);
+        let code = clause.code();
+
+        let mut slots = std::mem::take(&mut self.code_slots);
+        slots.clear();
+        if let Cell::Str(sh) = self.heap.deref(slots_t) {
+            for i in 0..code.nslots() as u32 {
+                slots.push(self.heap.str_arg(sh, i));
+            }
+        }
+        let steps = code.steps(branch);
+        let mut k = from;
+        while k < steps.len() {
+            match self.inline_step(code, &steps[k], &mut slots) {
+                StepOutcome::Ok => k += 1,
+                StepOutcome::Fail => {
+                    self.code_slots = slots;
+                    self.code_slots.clear();
+                    return self.backtrack();
+                }
+                StepOutcome::NotInline => break,
+            }
+        }
+        if k >= steps.len() {
+            self.code_slots = slots;
+            self.code_slots.clear();
+            self.status = Status::Running;
+            return Status::Running;
+        }
+        if k + 1 < steps.len() {
+            // Reuse the existing frozen-slots structure: inline `is`
+            // results into UNSET registers are the only slot mutations,
+            // and those steps are behind us now.
+            let marker = self.make_body_marker(name, arity, idx, branch, k + 1, slots_t);
+            self.cont = cont::push(&self.cont, marker, barrier);
+        }
+        let (g, cells) = steps[k].tpl.instantiate(&mut self.heap, &slots);
+        self.stats.heap_cells += cells as u64;
+        self.charge(cells as u64 * self.costs.heap_cell);
+        self.code_slots = slots;
+        self.code_slots.clear();
+        // Dispatch the goal directly instead of pushing it and returning:
+        // saves a continuation node alloc/pop per body goal. Recursion is
+        // bounded — `dispatch` on a user goal lands in `try_clause`, which
+        // pushes and returns.
+        self.dispatch(g, barrier)
     }
 
     pub(crate) fn push_choice(&mut self, cp: ChoicePoint) {
@@ -1840,6 +2344,11 @@ impl Machine {
                             Some(idx) => {
                                 self.stats.alternatives_claimed += 1;
                                 self.charge(self.costs.claim_alternative);
+                                if self.dispatch_trace {
+                                    self.memo_events.push(EventKind::ClauseRetry {
+                                        pred: format!("{}/{arity}", name.name()),
+                                    });
+                                }
                                 if self.try_clause(name, arity, idx, goal, barrier) {
                                     self.status = Status::Running;
                                     return Status::Running;
@@ -1863,7 +2372,12 @@ impl Machine {
                         } => {
                             let db = self.db.clone();
                             let pred = db.predicate(name, arity).unwrap();
-                            match pred.next_matching(key, idx + 1) {
+                            if self.dispatch_trace {
+                                self.memo_events.push(EventKind::ClauseRetry {
+                                    pred: format!("{}/{arity}", name.name()),
+                                });
+                            }
+                            match self.pred_next(pred, key, idx + 1) {
                                 Some(f) => {
                                     if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
                                         if let Alts::Clauses { next, .. } = &mut cp.alts {
@@ -1968,7 +2482,7 @@ impl Machine {
                         } => {
                             let db = self.db.clone();
                             let pred = db.predicate(name, arity).unwrap();
-                            match pred.next_matching(key, next) {
+                            match self.pred_next(pred, key, next) {
                                 Some(f) => {
                                     if let CtrlFrame::Choice(cp) = &mut self.ctrl[top] {
                                         if let Alts::TableGen { next: n, .. } = &mut cp.alts {

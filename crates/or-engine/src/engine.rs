@@ -828,6 +828,8 @@ impl OrWorker {
             m.set_table(self.sh.table.clone(), self.sh.cfg.trace.enabled);
             m.set_memo_tenant(self.sh.cfg.memo_tenant);
         }
+        m.set_clause_exec(self.sh.cfg.clause_exec);
+        m.set_dispatch_trace(self.sh.cfg.trace.enabled && self.sh.cfg.trace.dispatch);
         m
     }
 
@@ -1174,6 +1176,8 @@ impl OrEngine {
         root.set_memo(shared.memo.clone(), cfg.trace.enabled);
         root.set_table(shared.table.clone(), cfg.trace.enabled);
         root.set_memo_tenant(cfg.memo_tenant);
+        root.set_clause_exec(cfg.clause_exec);
+        root.set_dispatch_trace(cfg.trace.enabled && cfg.trace.dispatch);
         let (goal, mut vars) = ace_logic::parse_term(&mut root.heap, query)
             .map_err(|e| format!("query parse error: {e}"))?;
         vars.sort_by(|a, b| a.0.cmp(&b.0));
@@ -1489,10 +1493,21 @@ mod tests {
 
     #[test]
     fn machines_are_recycled_across_claims() {
-        let e = OrEngine::new(db(MEMBER));
+        // Per-branch work must dwarf the owner's backtrack step, or the
+        // owner drains every published alternative itself through local
+        // shared claims and the idle workers (whose machines the pool
+        // serves) never install anything.
+        let prog = r#"
+            member(X, [X|_]).
+            member(X, [_|T]) :- member(X, T).
+            work(0).
+            work(N) :- N > 0, M is N - 1, work(M).
+            burn(V, R) :- work(40), R is V * V.
+        "#;
+        let e = OrEngine::new(db(prog));
         let r = e
             .run(
-                "member(V, [1,2,3,4,5,6,7,8,9,10]), compute(V, R)",
+                "member(V, [1,2,3,4,5,6,7,8,9,10]), burn(V, R)",
                 &cfg(4, OptFlags::none()),
             )
             .unwrap();

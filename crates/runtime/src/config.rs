@@ -150,6 +150,21 @@ pub enum OrScheduler {
     Traversal,
 }
 
+/// How user-predicate clauses are resolved against calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClauseExec {
+    /// WAM-style register code compiled at load time, dispatched through
+    /// the switch-on-term first-argument chains — heads match without
+    /// copying the clause arena, and only bucket clauses are visited.
+    #[default]
+    Compiled,
+    /// The original tree-walking interpreter: linear first-argument scan
+    /// over the raw clause list, block-copy instantiation, general
+    /// unification of the copied head. Kept as the validation oracle the
+    /// compiled path is checked bit-identical against.
+    Interpreted,
+}
+
 /// Which execution driver to run under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DriverKind {
@@ -186,6 +201,8 @@ pub struct EngineConfig {
     pub or_dispatch: OrDispatch,
     /// Or-parallel work-finding mechanism (pool vs full traversal).
     pub or_scheduler: OrScheduler,
+    /// Clause execution mechanism (compiled code vs interpreter oracle).
+    pub clause_exec: ClauseExec,
     /// Safety valve: abort if total virtual time exceeds this bound
     /// (catches engine livelocks in tests). `None` = unbounded.
     pub virtual_time_limit: Option<u64>,
@@ -254,6 +271,7 @@ impl Default for EngineConfig {
             ship: ShipPolicy::default(),
             or_dispatch: OrDispatch::default(),
             or_scheduler: OrScheduler::default(),
+            clause_exec: ClauseExec::default(),
             virtual_time_limit: Some(200_000_000_000),
             threads_deadline: Some(Duration::from_secs(60)),
             fault_plan: None,
@@ -303,6 +321,11 @@ impl EngineConfig {
 
     pub fn with_or_scheduler(mut self, sched: OrScheduler) -> Self {
         self.or_scheduler = sched;
+        self
+    }
+
+    pub fn with_clause_exec(mut self, exec: ClauseExec) -> Self {
+        self.clause_exec = exec;
         self
     }
 

@@ -27,8 +27,17 @@ pub struct CostModel {
     pub heap_cell: u64,
     /// One trail entry undone on backtracking.
     pub trail_undo: u64,
-    /// Clause-index lookup for a call.
+    /// Clause-index lookup for a call (switch-on-term bucket dispatch:
+    /// flat, independent of predicate size).
     pub index_lookup: u64,
+    /// One clause key-tested by the interpreter oracle's *linear* scan of
+    /// the clause list (charged per clause visited; the compiled path
+    /// never pays it).
+    pub index_scan: u64,
+    /// One compiled head/body instruction executed (register-code
+    /// dispatch; general unification inside `get_val`/`unify_val` adds
+    /// `unify_step` per node as usual).
+    pub instr: u64,
     /// One builtin evaluation (plus per-step arithmetic below).
     pub builtin: u64,
     /// One arithmetic operator application.
@@ -116,6 +125,8 @@ impl Default for CostModel {
             heap_cell: 1,
             trail_undo: 1,
             index_lookup: 2,
+            index_scan: 1,
+            instr: 1,
             builtin: 3,
             arith_op: 1,
 
@@ -163,6 +174,8 @@ impl CostModel {
             heap_cell: 1,
             trail_undo: 1,
             index_lookup: 1,
+            index_scan: 1,
+            instr: 1,
             builtin: 1,
             arith_op: 1,
             choice_point_alloc: 1,
@@ -221,6 +234,11 @@ mod tests {
         // or the table could never pay off
         assert!(m.memo_lookup < m.choice_point_alloc);
         assert!(m.memo_store < m.parcall_frame_alloc);
+        // compiled instructions are elementary work, priced like unify
+        // steps; bucket dispatch must not cost more than a few scanned
+        // clauses or switch-on-term could not pay off
+        assert!(m.instr <= m.unify_step);
+        assert!(m.index_lookup <= 4 * m.index_scan);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub use ace_table::{
     RegisterOutcome, TableConfig, TableCounters, TableEntry, TablePublish, TableSpace, TableState,
 };
 pub use cancel::CancelToken;
-pub use config::{DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy};
+pub use config::{
+    ClauseExec, DriverKind, EngineConfig, OptFlags, OrDispatch, OrScheduler, ShipPolicy,
+};
 pub use cost::CostModel;
 pub use driver::{supervised, Agent, Phase, RunOutcome, SimDriver, ThreadsDriver, WorkerExit};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan};

@@ -105,6 +105,9 @@ impl Profile {
                 | EventKind::TableSuspend { .. }
                 | EventKind::TableResume { .. }
                 | EventKind::TableComplete { .. } => Some(format!("run;{pred};table")),
+                EventKind::ClauseDispatch { .. } | EventKind::ClauseRetry { .. } => {
+                    Some(format!("run;{pred};dispatch"))
+                }
                 EventKind::FrameAlloc { .. }
                 | EventKind::FrameElide { .. }
                 | EventKind::SlotFail

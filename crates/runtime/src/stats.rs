@@ -77,6 +77,18 @@ stats_sheet! {
         pub backtracks: u64,
         pub trail_undos: u64,
 
+        // clause indexing & compiled execution
+        /// Clauses the switch-on-term chains never visited (raw clause
+        /// count minus the call's bucket chain length, summed per call).
+        pub clauses_skipped_by_index: u64,
+        /// User-predicate calls whose bucket chain held exactly one
+        /// clause — determinate at dispatch, no choice point created.
+        pub index_determinate_calls: u64,
+        /// Clause resolutions executed from the compiled code cache
+        /// (head-code runs, successful or failing) instead of the
+        /// instantiate-and-unify interpreter.
+        pub code_cache_hits: u64,
+
         // nondeterminism structures
         pub choice_points: u64,
         pub cp_reused_lao: u64,
@@ -235,7 +247,8 @@ impl Stats {
              domain-steals={}local/{}cross/{}eager contended={}locks/{}units \
              faults={} steal-retries={} publish-retries={} \
              memo={}hit/{}miss/{}store/{}evict \
-             table={}hit/{}sub/{}ans/{}dup/{}susp/{}res/{}done streamed={}",
+             table={}hit/{}sub/{}ans/{}dup/{}susp/{}res/{}done streamed={} \
+             index={}skipped/{}det code-cache={}",
             self.cost,
             self.idle_cost,
             self.calls,
@@ -279,6 +292,9 @@ impl Stats {
             self.table_resumes,
             self.table_completes,
             self.answers_streamed,
+            self.clauses_skipped_by_index,
+            self.index_determinate_calls,
+            self.code_cache_hits,
         )
     }
 }
@@ -363,6 +379,8 @@ mod tests {
             "streamed=",
             "domain-steals=",
             "contended=",
+            "index=",
+            "code-cache=",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

@@ -23,7 +23,7 @@
 //!   twice, pool pops bounded by pushes, fault injections matched by
 //!   recovery records).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -41,6 +41,10 @@ pub struct TraceConfig {
     /// quantum start/end). Off by default so invariant-relevant events
     /// are not evicted by lifecycle noise on long runs.
     pub lifecycle: bool,
+    /// Also record per-call clause dispatch events (`ClauseDispatch` /
+    /// `ClauseRetry`). Off by default for the same eviction reason —
+    /// every user call emits one.
+    pub dispatch: bool,
 }
 
 impl Default for TraceConfig {
@@ -49,6 +53,7 @@ impl Default for TraceConfig {
             enabled: false,
             capacity: 1 << 16,
             lifecycle: false,
+            dispatch: false,
         }
     }
 }
@@ -69,6 +74,11 @@ impl TraceConfig {
 
     pub fn with_lifecycle(mut self) -> Self {
         self.lifecycle = true;
+        self
+    }
+
+    pub fn with_dispatch(mut self) -> Self {
+        self.dispatch = true;
         self
     }
 }
@@ -246,6 +256,19 @@ pub enum EventKind {
         answers: u64,
     },
 
+    // -- clause dispatch (recorded only with `TraceConfig::dispatch`) --
+    /// A user-predicate call was dispatched through the switch-on-term
+    /// index: `candidates` is the bucket chain length; `determinate`
+    /// claims exactly one clause can match, so no choice point was made.
+    ClauseDispatch {
+        pred: String,
+        candidates: usize,
+        determinate: bool,
+    },
+    /// Backtracking re-entered a later clause of `pred` (second or
+    /// subsequent clause of one call's chain).
+    ClauseRetry { pred: String },
+
     // -- outcomes --
     /// A solution was recorded.
     Solution,
@@ -308,6 +331,8 @@ impl EventKind {
             EventKind::SessionFirstAnswer { .. } => "session-first-answer",
             EventKind::AnswerStreamed { .. } => "answer-streamed",
             EventKind::SessionDrain { .. } => "session-drain",
+            EventKind::ClauseDispatch { .. } => "clause-dispatch",
+            EventKind::ClauseRetry { .. } => "clause-retry",
             EventKind::Solution => "solution",
         }
     }
@@ -432,6 +457,16 @@ impl EventKind {
                 ("outcome", S(outcome)),
                 ("answers", U(*answers)),
             ],
+            EventKind::ClauseDispatch {
+                pred,
+                candidates,
+                determinate,
+            } => vec![
+                ("pred", S(pred.as_str())),
+                ("candidates", U(*candidates as u64)),
+                ("determinate", U(*determinate as u64)),
+            ],
+            EventKind::ClauseRetry { pred } => vec![("pred", S(pred.as_str()))],
             EventKind::QuantumStart
             | EventKind::MachineRecycle
             | EventKind::SlotFail
@@ -830,6 +865,13 @@ impl TraceChecker {
                                                                // unsound here.
         let mut table_answers_seen: HashMap<(usize, u64), usize> = HashMap::new();
         let mut table_completed: HashMap<(usize, u64), EvRef> = HashMap::new();
+        // Clause dispatch is also worker-local: a retry on a worker is
+        // judged against the dispatches *that worker* made (a claimed
+        // shared alternative retries on the thief, whose own dispatch
+        // history for the predicate may be empty — that is fine).
+        let mut clause_dispatched: HashMap<(usize, String), EvRef> = HashMap::new();
+        let mut clause_nondet: HashSet<(usize, String)> = HashSet::new();
+        let mut clause_retries: Vec<(usize, String, EvRef)> = Vec::new();
         // Order-sensitive, so checked inline; only reported when the
         // trace is complete (ring-buffer eviction can eat the answers
         // that justified a resume).
@@ -938,6 +980,19 @@ impl TraceChecker {
                         ev.worker
                     ));
                 }
+                EventKind::ClauseDispatch {
+                    pred, determinate, ..
+                } => {
+                    clause_dispatched
+                        .entry((ev.worker, pred.clone()))
+                        .or_insert(at);
+                    if !determinate {
+                        clause_nondet.insert((ev.worker, pred.clone()));
+                    }
+                }
+                EventKind::ClauseRetry { pred } => {
+                    clause_retries.push((ev.worker, pred.clone(), at));
+                }
                 EventKind::FaultInjected { .. } => injected += 1,
                 EventKind::FaultRetry { .. }
                 | EventKind::FaultStall { .. }
@@ -962,6 +1017,20 @@ impl TraceChecker {
         // counts); only the complete trace supports the remaining checks.
         if trace.dropped == 0 {
             violations.extend(table_violations);
+            // Determinacy claims are binding: if every dispatch of a
+            // predicate on a worker reported exactly one candidate, a
+            // backtrack into a second clause of it there is impossible.
+            for (worker, pred, at) in &clause_retries {
+                let k = (*worker, pred.clone());
+                if let Some(first) = clause_dispatched.get(&k) {
+                    if !clause_nondet.contains(&k) {
+                        violations.push(format!(
+                            "clause retry of {pred} on worker {worker} at {at}, but every \
+                             dispatch of {pred} there claimed determinacy (first at {first})"
+                        ));
+                    }
+                }
+            }
             for ((node, epoch, alt), c) in &claimed {
                 if !published.contains_key(&(*node, *epoch)) {
                     let context = match c.nearest_pub {
@@ -1577,6 +1646,75 @@ mod tests {
                     },
                 ),
                 ev(5, 1, EventKind::MemoHit { key: 42, epoch: 3 }),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_retry_after_determinate_dispatch() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::ClauseDispatch {
+                        pred: "p/1".into(),
+                        candidates: 1,
+                        determinate: true,
+                    },
+                ),
+                ev(9, 0, EventKind::ClauseRetry { pred: "p/1".into() }),
+            ],
+        );
+        let errs = TraceChecker::check(&trace).unwrap_err();
+        assert!(errs[0].contains("claimed determinacy"), "{errs:?}");
+    }
+
+    #[test]
+    fn checker_allows_retry_after_nondeterminate_dispatch() {
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::ClauseDispatch {
+                        pred: "member/2".into(),
+                        candidates: 2,
+                        determinate: false,
+                    },
+                ),
+                ev(
+                    9,
+                    0,
+                    EventKind::ClauseRetry {
+                        pred: "member/2".into(),
+                    },
+                ),
+            ],
+        );
+        assert!(TraceChecker::check(&trace).is_ok());
+    }
+
+    #[test]
+    fn checker_scopes_dispatch_determinacy_per_worker() {
+        // Worker 0 dispatched determinately; the retry happens on worker 1
+        // (a claimed shared alternative), whose own history is empty.
+        let trace = Trace::merge(
+            vec![],
+            vec![
+                ev(
+                    1,
+                    0,
+                    EventKind::ClauseDispatch {
+                        pred: "p/1".into(),
+                        candidates: 1,
+                        determinate: true,
+                    },
+                ),
+                ev(9, 1, EventKind::ClauseRetry { pred: "p/1".into() }),
             ],
         );
         assert!(TraceChecker::check(&trace).is_ok());

@@ -18,6 +18,8 @@
 //!   counters
 //! * `:metrics` — dump the session's live metrics registry in the
 //!   Prometheus text format (every query folds into it)
+//! * `:listing p/n` — clause sources with their compiled register code
+//!   and the predicate's switch-on-term dispatch buckets
 //! * `:quit`
 
 use std::io::{BufRead, Write};
@@ -131,6 +133,10 @@ fn main() {
             }
             continue;
         }
+        if let Some(spec) = line.strip_prefix(":listing") {
+            listing(&ace, spec.trim());
+            continue;
+        }
         if line == ":memo-stats" {
             match &memo {
                 None => println!("memo is off — `:memo` to enable."),
@@ -202,6 +208,43 @@ fn main() {
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+}
+
+/// `:listing p/n` — print each clause of the predicate (reconstructed
+/// from its arena) together with the register code it was compiled to at
+/// load time, then the switch-on-term dispatch table.
+fn listing(ace: &Ace, spec: &str) {
+    use ace_logic::write::term_to_string;
+
+    let parsed = spec
+        .rsplit_once('/')
+        .and_then(|(n, a)| a.trim().parse::<u32>().ok().map(|a| (n.trim(), a)));
+    let Some((name, arity)) = parsed else {
+        println!("usage: :listing name/arity   (e.g. :listing member/2)");
+        return;
+    };
+    let Some(pred) = ace.db().predicate(ace_logic::sym::sym(name), arity) else {
+        println!("no clauses for {name}/{arity}.");
+        return;
+    };
+    for (i, clause) in pred.clauses.iter().enumerate() {
+        let (arena, head) = clause.head_in_arena();
+        let (_, body) = clause.body_in_arena();
+        let head_txt = term_to_string(arena, head);
+        let body_txt = term_to_string(arena, body);
+        if clause.code().is_fact() {
+            println!("% clause {i}: {head_txt}.");
+        } else {
+            println!("% clause {i}: {head_txt} :- {body_txt}.");
+        }
+        for l in clause.code().disassemble() {
+            println!("    {l}");
+        }
+    }
+    println!("% switch-on-term dispatch:");
+    for (key, chain) in pred.index_buckets() {
+        println!("%   {key:<18} -> clauses {chain:?}");
     }
 }
 

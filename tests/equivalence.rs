@@ -122,6 +122,49 @@ fn and_parallel_all_solutions_cross_product() {
     }
 }
 
+/// Compiled clause execution (the default everywhere above) must be
+/// answer-identical to the tree-walking interpreter oracle — sequentially
+/// and under both parallel engines up to 8 workers.
+#[test]
+fn compiled_matches_interpreter_oracle() {
+    use ace_runtime::ClauseExec;
+    for name in ["maps", "queen1", "pderiv_bt", "quick_sort", "members"] {
+        let b = ace_programs::benchmark(name).unwrap();
+        let ace = Ace::load(&(b.program)(b.test_size)).unwrap();
+        let query = (b.query)(b.test_size);
+
+        let interp = |w: usize| {
+            cfg(w, OptFlags::all(), b.all_solutions).with_clause_exec(ClauseExec::Interpreted)
+        };
+        let oracle = ace.run(Mode::Sequential, &query, &interp(1)).unwrap();
+        let seq = ace
+            .run(
+                Mode::Sequential,
+                &query,
+                &cfg(1, OptFlags::all(), b.all_solutions),
+            )
+            .unwrap();
+        assert_eq!(seq.solutions, oracle.solutions, "{name}: sequential");
+
+        for w in [2, 8] {
+            let ri = ace.run(b.mode, &query, &interp(w)).unwrap();
+            let rc = ace
+                .run(b.mode, &query, &cfg(w, OptFlags::all(), b.all_solutions))
+                .unwrap();
+            match b.mode {
+                Mode::AndParallel => {
+                    assert_eq!(rc.solutions, ri.solutions, "{name} w={w}: and-parallel")
+                }
+                _ => assert_eq!(
+                    sorted(rc.solutions),
+                    sorted(ri.solutions),
+                    "{name} w={w}: or-parallel"
+                ),
+            }
+        }
+    }
+}
+
 /// Threads driver spot check (full matrix is sim-only to keep CI fast).
 #[test]
 fn threads_driver_spot_check() {
